@@ -1,0 +1,28 @@
+//! Physical-attack injection engine.
+//!
+//! The paper emulates physical attacks "through targeted software
+//! modifications" — bias values added to raw sensor measurements — because
+//! real spoofing hardware (GPS transmitters, acoustic emitters) was not
+//! available. We do exactly the same: attacks mutate the
+//! [`pidpiper_sensors::SensorReadings`] struct between the sensor
+//! simulation and the estimator.
+//!
+//! Two attack classes (paper Section II-B):
+//!
+//! - **Overt attacks** ([`overt`]): large biases injected on a schedule to
+//!   cause immediate disruption. The paper's three instances: gyroscope
+//!   bias producing > 20° attitude error (Attack-1), GPS bias producing
+//!   > 20 m position error (Attack-2), and a gyroscope attack during the
+//!   vulnerable landing phase (Attack-3).
+//! - **Stealthy attacks** ([`stealthy`]): an attacker who knows the
+//!   detection threshold injects the largest bias that keeps the monitor's
+//!   statistic just below it; over a long mission this still causes large
+//!   deviations against window-based detectors.
+
+pub mod overt;
+pub mod schedule;
+pub mod stealthy;
+
+pub use overt::{Attack, AttackKind, AttackPreset};
+pub use schedule::Schedule;
+pub use stealthy::StealthyAttack;

@@ -1,0 +1,122 @@
+//! Attack activation schedules.
+
+/// When an attack is active during a mission timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Schedule {
+    /// Active from `start` (s) until the end of the mission.
+    Continuous {
+        /// Activation time (s).
+        start: f64,
+    },
+    /// Active during explicit `[start, end)` windows (s).
+    Windows(Vec<(f64, f64)>),
+    /// Repeating bursts: active for `on` seconds, inactive for `off`
+    /// seconds, starting at `start` — the paper's intermittent 3–5 s GPS
+    /// spoofing bursts (Section III).
+    Intermittent {
+        /// First activation time (s).
+        start: f64,
+        /// Burst duration (s).
+        on: f64,
+        /// Gap between bursts (s).
+        off: f64,
+    },
+    /// Never active (placeholder for unarmed attacks).
+    Never,
+}
+
+impl Schedule {
+    /// Whether the attack is active at mission time `t` (seconds).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pidpiper_attacks::Schedule;
+    ///
+    /// let s = Schedule::Intermittent { start: 10.0, on: 3.0, off: 5.0 };
+    /// assert!(!s.is_active(9.9));
+    /// assert!(s.is_active(11.0));
+    /// assert!(!s.is_active(14.0)); // in the off gap
+    /// assert!(s.is_active(18.5));  // second burst
+    /// ```
+    pub fn is_active(&self, t: f64) -> bool {
+        match self {
+            Schedule::Continuous { start } => t >= *start,
+            Schedule::Windows(ws) => ws.iter().any(|&(a, b)| t >= a && t < b),
+            Schedule::Intermittent { start, on, off } => {
+                if t < *start {
+                    return false;
+                }
+                let period = on + off;
+                if period <= 0.0 {
+                    return true;
+                }
+                let phase = (t - start) % period;
+                phase < *on
+            }
+            Schedule::Never => false,
+        }
+    }
+
+    /// The first activation time, if the schedule ever activates.
+    pub fn first_activation(&self) -> Option<f64> {
+        match self {
+            Schedule::Continuous { start } => Some(*start),
+            Schedule::Windows(ws) => ws
+                .iter()
+                .map(|&(a, _)| a)
+                .min_by(|x, y| x.partial_cmp(y).expect("finite times")),
+            Schedule::Intermittent { start, .. } => Some(*start),
+            Schedule::Never => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn continuous_from_start() {
+        let s = Schedule::Continuous { start: 5.0 };
+        assert!(!s.is_active(4.99));
+        assert!(s.is_active(5.0));
+        assert!(s.is_active(1e6));
+        assert_eq!(s.first_activation(), Some(5.0));
+    }
+
+    #[test]
+    fn windows_half_open() {
+        let s = Schedule::Windows(vec![(1.0, 2.0), (4.0, 6.0)]);
+        assert!(!s.is_active(0.5));
+        assert!(s.is_active(1.0));
+        assert!(!s.is_active(2.0));
+        assert!(s.is_active(5.9));
+        assert!(!s.is_active(6.0));
+        assert_eq!(s.first_activation(), Some(1.0));
+    }
+
+    #[test]
+    fn intermittent_periodicity() {
+        let s = Schedule::Intermittent {
+            start: 0.0,
+            on: 2.0,
+            off: 3.0,
+        };
+        for k in 0..5 {
+            let base = k as f64 * 5.0;
+            assert!(s.is_active(base + 0.1), "burst {k}");
+            assert!(s.is_active(base + 1.9));
+            assert!(!s.is_active(base + 2.1), "gap {k}");
+            assert!(!s.is_active(base + 4.9));
+        }
+    }
+
+    #[test]
+    fn never_never_activates() {
+        let s = Schedule::Never;
+        assert!(!s.is_active(0.0));
+        assert!(!s.is_active(1e9));
+        assert_eq!(s.first_activation(), None);
+    }
+}

@@ -1,0 +1,267 @@
+//! Stealthy attacks: threshold-aware controlled bias injection.
+//!
+//! Per the paper (Section II-B and [18]), a stealthy attacker who knows the
+//! detection threshold `tau` injects false data such that the monitor's
+//! statistic never exceeds it. We implement this as a closed-loop injector:
+//! each step the attacker observes the defender's current statistic (the
+//! threat model grants snooping on control inputs/outputs) and ramps the
+//! bias up while a safety margin remains, backing off as the statistic
+//! approaches the threshold.
+//!
+//! Against *window-based* monitors (CI, SRR) with their large thresholds,
+//! the sustainable bias is large, so deviation grows with mission length.
+//! Against *CUSUM* monitors the sustainable persistent bias is bounded by
+//! the drift term, capping the deviation — the paper's Figure 9 contrast.
+
+use pidpiper_math::Vec3;
+use pidpiper_sensors::SensorReadings;
+
+/// Which sensor channel the stealthy attack perturbs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StealthyChannel {
+    /// Lateral GPS spoofing: bias added to the GPS fix along `direction`.
+    GpsLateral,
+    /// Gyroscope bias on the roll axis.
+    GyroRoll,
+}
+
+/// A closed-loop stealthy attacker.
+///
+/// # Examples
+///
+/// ```
+/// use pidpiper_attacks::StealthyAttack;
+/// use pidpiper_math::Vec3;
+///
+/// let mut atk = StealthyAttack::gps_lateral(Vec3::unit_y(), 0.9);
+/// // Monitor far from threshold: attacker ramps up.
+/// let b1 = atk.advance(0.0, 10.0, 0.01);
+/// let b2 = atk.advance(0.0, 10.0, 0.01);
+/// assert!(b2 > b1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StealthyAttack {
+    channel: StealthyChannel,
+    direction: Vec3,
+    /// Fraction of the threshold the attacker aims to sit at (e.g. 0.9).
+    margin: f64,
+    /// Current bias magnitude.
+    bias: f64,
+    /// Ramp rate (units/s) when below the margin.
+    ramp_rate: f64,
+    /// Hard cap on the bias magnitude (physical plausibility).
+    max_bias: f64,
+    active: bool,
+}
+
+impl StealthyAttack {
+    /// Stealthy lateral GPS spoofing along `direction` (normalized
+    /// internally), aiming at `margin` x threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `margin` is not in `(0, 1]`.
+    pub fn gps_lateral(direction: Vec3, margin: f64) -> Self {
+        assert!(margin > 0.0 && margin <= 1.0, "margin must be in (0, 1]");
+        StealthyAttack {
+            channel: StealthyChannel::GpsLateral,
+            direction: direction.normalized(),
+            margin,
+            bias: 0.0,
+            ramp_rate: 0.8,
+            max_bias: 60.0,
+            active: true,
+        }
+    }
+
+    /// Stealthy gyroscope roll bias, aiming at `margin` x threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `margin` is not in `(0, 1]`.
+    pub fn gyro_roll(margin: f64) -> Self {
+        assert!(margin > 0.0 && margin <= 1.0, "margin must be in (0, 1]");
+        StealthyAttack {
+            channel: StealthyChannel::GyroRoll,
+            direction: Vec3::unit_x(),
+            margin,
+            bias: 0.0,
+            ramp_rate: 0.02,
+            max_bias: 0.6,
+            active: true,
+        }
+    }
+
+    /// Current bias magnitude.
+    #[inline]
+    pub fn bias(&self) -> f64 {
+        self.bias
+    }
+
+    /// Overrides the hard cap on the bias magnitude (builder style). Used
+    /// by the "no protection" experiment arms, where there is no monitor
+    /// to evade and the cap models what escapes casual observation.
+    pub fn with_max_bias(mut self, max_bias: f64) -> Self {
+        assert!(max_bias > 0.0, "max bias must be positive");
+        self.max_bias = max_bias;
+        self
+    }
+
+    /// Which channel is being attacked.
+    #[inline]
+    pub fn channel(&self) -> StealthyChannel {
+        self.channel
+    }
+
+    /// Enables or disables the attack (disabled attacks decay to zero
+    /// bias immediately).
+    pub fn set_active(&mut self, active: bool) {
+        self.active = active;
+        if !active {
+            self.bias = 0.0;
+        }
+    }
+
+    /// Adapts the bias given the defender's observed `statistic` and
+    /// `threshold`, then returns the new magnitude.
+    ///
+    /// Ramps up while `statistic < margin * threshold`; backs off
+    /// multiplicatively when the margin is breached, guaranteeing the
+    /// monitor is never tripped by more than one step of overshoot.
+    pub fn advance(&mut self, statistic: f64, threshold: f64, dt: f64) -> f64 {
+        if !self.active {
+            return 0.0;
+        }
+        let ceiling = self.margin * threshold;
+        if statistic < ceiling {
+            self.bias = (self.bias + self.ramp_rate * dt).min(self.max_bias);
+        } else {
+            // Back off hard: a stealthy attacker must not trip the alarm.
+            self.bias *= 0.5;
+        }
+        self.bias
+    }
+
+    /// Applies the current bias to a sensor sample.
+    pub fn apply(&self, r: &mut SensorReadings) {
+        if !self.active || self.bias == 0.0 {
+            return;
+        }
+        match self.channel {
+            StealthyChannel::GpsLateral => {
+                r.gps_position += self.direction * self.bias;
+            }
+            StealthyChannel::GyroRoll => {
+                r.gyro.x += self.bias;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ramps_while_headroom_remains() {
+        let mut a = StealthyAttack::gps_lateral(Vec3::unit_y(), 0.9);
+        let mut last = 0.0;
+        for _ in 0..100 {
+            let b = a.advance(1.0, 100.0, 0.1);
+            assert!(b >= last);
+            last = b;
+        }
+        assert!(last > 1.0, "bias should have ramped, got {last}");
+    }
+
+    #[test]
+    fn backs_off_at_margin() {
+        let mut a = StealthyAttack::gps_lateral(Vec3::unit_y(), 0.9);
+        for _ in 0..200 {
+            a.advance(0.0, 100.0, 0.1);
+        }
+        let high = a.bias();
+        // Statistic now at 95 % of threshold: must back off.
+        let after = a.advance(95.0, 100.0, 0.1);
+        assert!(after < high);
+        assert!((after - high * 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bias_capped() {
+        let mut a = StealthyAttack::gyro_roll(0.9);
+        for _ in 0..100_000 {
+            a.advance(0.0, 1e9, 0.1);
+        }
+        assert!(a.bias() <= 0.6 + 1e-12);
+    }
+
+    #[test]
+    fn applies_along_direction() {
+        let mut a = StealthyAttack::gps_lateral(Vec3::new(0.0, 2.0, 0.0), 0.9);
+        for _ in 0..50 {
+            a.advance(0.0, 1e9, 0.1);
+        }
+        let mut r = SensorReadings::default();
+        a.apply(&mut r);
+        assert!(r.gps_position.y > 0.0);
+        assert_eq!(r.gps_position.x, 0.0, "direction must be normalized to +y");
+    }
+
+    #[test]
+    fn deactivation_zeroes_bias() {
+        let mut a = StealthyAttack::gyro_roll(0.9);
+        for _ in 0..100 {
+            a.advance(0.0, 1e9, 0.1);
+        }
+        assert!(a.bias() > 0.0);
+        a.set_active(false);
+        assert_eq!(a.bias(), 0.0);
+        let mut r = SensorReadings::default();
+        a.apply(&mut r);
+        assert_eq!(r.gyro.x, 0.0);
+        assert_eq!(a.advance(0.0, 1e9, 0.1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "margin")]
+    fn invalid_margin_rejected() {
+        let _ = StealthyAttack::gps_lateral(Vec3::unit_y(), 1.5);
+    }
+
+    #[test]
+    fn window_monitor_allows_more_than_cusum() {
+        // Demonstrates the Fig. 9 mechanism end-to-end at the statistic
+        // level: the same adaptive attacker sustains a much larger bias
+        // against a windowed monitor with a high threshold than against a
+        // CUSUM monitor with a tight drift.
+        use pidpiper_math::cusum::{Cusum, WindowedMonitor};
+        let dt = 0.1;
+
+        let mut against_window = StealthyAttack::gps_lateral(Vec3::unit_y(), 0.9);
+        let mut window = WindowedMonitor::new(30); // 3 s window
+        let window_tau = 91.0; // CI-like threshold
+        for _ in 0..2000 {
+            let s = window.statistic();
+            let bias = against_window.advance(s, window_tau, dt);
+            // Residual proportional to the injected bias.
+            window.update(bias * 0.5);
+        }
+
+        let mut against_cusum = StealthyAttack::gps_lateral(Vec3::unit_y(), 0.9);
+        let mut cusum = Cusum::new(0.5);
+        let cusum_tau = 18.0; // PID-Piper-like threshold
+        for _ in 0..2000 {
+            let s = cusum.statistic();
+            let bias = against_cusum.advance(s, cusum_tau, dt);
+            cusum.update(bias * 0.5);
+        }
+
+        assert!(
+            against_window.bias() > 3.0 * against_cusum.bias(),
+            "window {} vs cusum {}",
+            against_window.bias(),
+            against_cusum.bias()
+        );
+    }
+}

@@ -1,0 +1,119 @@
+//! Shared threshold calibration for the baseline monitors.
+//!
+//! Each baseline replays its own residual stream over attack-free
+//! validation missions and sets its threshold to the largest statistic
+//! observed, inflated by a safety margin — the same empirical procedure
+//! every technique in this space uses. Because the baselines' models are
+//! less accurate than PID-Piper's, their calibrated thresholds come out
+//! much higher (the paper quotes 91° for CI's 3 s window, 22° for SRR's
+//! 1 s window and 60° for Savior's CUSUM), which is exactly what stealthy
+//! attacks exploit.
+
+use pidpiper_math::cusum::WindowedMonitor;
+use pidpiper_math::Cusum;
+
+/// Calibrates a windowed monitor's threshold: the maximum windowed sum of
+/// residuals observed across validation missions, times `margin`.
+///
+/// # Panics
+///
+/// Panics if `window` is zero or no residuals are supplied.
+pub fn calibrate_window_threshold(
+    residuals_per_mission: &[Vec<f64>],
+    window: usize,
+    margin: f64,
+) -> f64 {
+    assert!(window > 0, "window must be positive");
+    assert!(margin >= 1.0, "margin must be >= 1");
+    let mut worst: f64 = 0.0;
+    let mut any = false;
+    for mission in residuals_per_mission {
+        let mut monitor = WindowedMonitor::new(window);
+        for &r in mission {
+            any = true;
+            worst = worst.max(monitor.update(r));
+        }
+    }
+    assert!(any, "no residuals supplied for calibration");
+    worst * margin
+}
+
+/// Calibrates a CUSUM monitor: drift from the benign residual quantile,
+/// threshold from the replayed maximum statistic times `margin`.
+///
+/// Returns `(drift, threshold)`.
+///
+/// # Panics
+///
+/// Panics if no residuals are supplied or parameters are out of range.
+pub fn calibrate_cusum_threshold(
+    residuals_per_mission: &[Vec<f64>],
+    drift_quantile: f64,
+    min_drift: f64,
+    margin: f64,
+) -> (f64, f64) {
+    assert!(
+        (0.5..1.0).contains(&drift_quantile),
+        "quantile must be in [0.5, 1)"
+    );
+    assert!(min_drift > 0.0 && margin >= 1.0, "bad parameters");
+    let pooled: Vec<f64> = residuals_per_mission.iter().flatten().copied().collect();
+    assert!(!pooled.is_empty(), "no residuals supplied for calibration");
+    let drift = pidpiper_math::stats::quantile(&pooled, drift_quantile).max(min_drift);
+    let mut worst: f64 = 0.0;
+    for mission in residuals_per_mission {
+        let mut cusum = Cusum::new(drift);
+        for &r in mission {
+            worst = worst.max(cusum.update(r));
+        }
+    }
+    (drift, (worst * margin).max(8.0 * drift))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn benign(seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..1000).map(|_| rng.gen_range(0.0..1.0)).collect()
+    }
+
+    #[test]
+    fn window_threshold_covers_benign_replay() {
+        let missions: Vec<Vec<f64>> = (0..3).map(benign).collect();
+        let tau = calibrate_window_threshold(&missions, 100, 1.2);
+        // Re-replaying any benign mission stays under tau.
+        let mut m = WindowedMonitor::new(100);
+        let max = missions[0].iter().fold(0.0f64, |acc, &r| acc.max(m.update(r)));
+        assert!(max < tau);
+        // And the threshold is in a sane ballpark (window * mean * margin-ish).
+        assert!(tau > 30.0 && tau < 150.0, "tau {tau}");
+    }
+
+    #[test]
+    fn bigger_window_bigger_threshold() {
+        let missions: Vec<Vec<f64>> = (0..2).map(benign).collect();
+        let t_small = calibrate_window_threshold(&missions, 50, 1.0);
+        let t_big = calibrate_window_threshold(&missions, 300, 1.0);
+        assert!(t_big > 2.0 * t_small, "{t_small} vs {t_big}");
+    }
+
+    #[test]
+    fn cusum_calibration_silences_benign() {
+        let missions: Vec<Vec<f64>> = (0..3).map(benign).collect();
+        let (drift, tau) = calibrate_cusum_threshold(&missions, 0.99, 0.1, 1.25);
+        assert!(drift > 0.8 && drift < 1.05, "drift {drift}");
+        let mut c = Cusum::new(drift);
+        let max = missions[1].iter().fold(0.0f64, |acc, &r| acc.max(c.update(r)));
+        assert!(max < tau, "benign replay {max} exceeded tau {tau}");
+    }
+
+    #[test]
+    #[should_panic(expected = "no residuals")]
+    fn empty_rejected() {
+        let _ = calibrate_window_threshold(&[], 10, 1.0);
+    }
+}

@@ -1,0 +1,282 @@
+//! Linear state-space system identification — the modelling substrate of
+//! the CI and SRR baselines.
+//!
+//! Fits a discrete model `x(t+1) = A x(t) + B u(t) + c` by ordinary least
+//! squares over mission traces, with state
+//! `x = [position(3), velocity(3), attitude(3)]` and input
+//! `u = [target position(3), target yaw(1)]`. The paper built SRR's model
+//! with MATLAB's system-identification toolbox; least-squares fitting of
+//! the same structure is the equivalent here.
+//!
+//! The model is *linear by design* — that limitation (RVs are nonlinear
+//! systems) is precisely what the paper's accuracy comparison measures, so
+//! no effort is made to enrich it.
+
+use pidpiper_math::{Matrix, Vec3};
+use pidpiper_missions::Trace;
+use pidpiper_sensors::EstimatedState;
+
+/// Ridge-regularized multi-output least squares: appends `sqrt(lambda) * I`
+/// rows so constant or collinear regressor columns (straight-line missions
+/// hold most target channels fixed) cannot make the normal equations
+/// singular.
+pub(crate) fn ridge_solve(
+    rows: &[Vec<f64>],
+    targets: &[Vec<f64>],
+    lambda: f64,
+) -> Result<Matrix, String> {
+    assert_eq!(rows.len(), targets.len(), "rows/targets mismatch");
+    assert!(!rows.is_empty(), "empty regression");
+    let k = rows[0].len();
+    let m = targets[0].len();
+    let mut design_rows = rows.to_vec();
+    let mut target_rows = targets.to_vec();
+    let sqrt_l = lambda.sqrt();
+    for i in 0..k {
+        let mut reg_row = vec![0.0; k];
+        reg_row[i] = sqrt_l;
+        design_rows.push(reg_row);
+        target_rows.push(vec![0.0; m]);
+    }
+    let design = Matrix::from_rows(&design_rows);
+    let target_mat = Matrix::from_rows(&target_rows);
+    design
+        .solve_least_squares_multi(&target_mat)
+        .map(|t| t.transpose())
+        .map_err(|e| format!("regression failed: {e}"))
+}
+
+/// State dimension (position, velocity, attitude).
+pub const STATE_DIM: usize = 9;
+/// Input dimension (target position, target yaw).
+pub const INPUT_DIM: usize = 4;
+
+/// A fitted discrete linear state-space model.
+#[derive(Debug, Clone)]
+pub struct LinearStateModel {
+    /// Combined regressor matrix mapping `[x; u; 1]` to `x(t+1)`
+    /// (`STATE_DIM x (STATE_DIM + INPUT_DIM + 1)`).
+    theta: Matrix,
+    /// Prediction step (control steps between samples).
+    pub decimate: usize,
+}
+
+/// Extracts the model's state vector from an estimate.
+pub fn state_vector(est: &EstimatedState) -> [f64; STATE_DIM] {
+    [
+        est.position.x,
+        est.position.y,
+        est.position.z,
+        est.velocity.x,
+        est.velocity.y,
+        est.velocity.z,
+        est.attitude.x,
+        est.attitude.y,
+        est.attitude.z,
+    ]
+}
+
+/// Extracts the model's input vector from a target.
+pub fn input_vector(target: &pidpiper_control::TargetState) -> [f64; INPUT_DIM] {
+    [
+        target.position.x,
+        target.position.y,
+        target.position.z,
+        target.yaw,
+    ]
+}
+
+/// Extracts the actuator-signal input vector from a trace record — the
+/// input set the real SRR's system identification uses (controller +
+/// actuator + vehicle dynamics).
+pub fn actuator_vector(y: &pidpiper_control::ActuatorSignal) -> [f64; INPUT_DIM] {
+    y.to_array()
+}
+
+impl LinearStateModel {
+    /// Fits the model with target-state inputs (CI's invariant form).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string when the traces provide too few samples or
+    /// the regression is singular.
+    pub fn fit(traces: &[Trace], decimate: usize) -> Result<Self, String> {
+        Self::fit_io(traces, decimate, |r| input_vector(&r.target))
+    }
+
+    /// Fits the model with actuator-signal inputs (SRR's software-sensor
+    /// form: the state propagates from the commands actually flown).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string when the traces provide too few samples or
+    /// the regression is singular.
+    pub fn fit_actuator(traces: &[Trace], decimate: usize) -> Result<Self, String> {
+        Self::fit_io(traces, decimate, |r| actuator_vector(&r.flown_signal))
+    }
+
+    /// Fits the model with a caller-supplied input extractor.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string when the traces provide too few samples or
+    /// the regression is singular.
+    pub fn fit_io<F>(traces: &[Trace], decimate: usize, input_of: F) -> Result<Self, String>
+    where
+        F: Fn(&pidpiper_missions::TraceRecord) -> [f64; INPUT_DIM],
+    {
+        assert!(decimate > 0, "decimate must be positive");
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        let mut targets: Vec<Vec<f64>> = Vec::new();
+        for trace in traces {
+            let records = trace.records();
+            let mut i = 0;
+            while i + decimate < records.len() {
+                let now = &records[i];
+                let next = &records[i + decimate];
+                let x = state_vector(&now.est);
+                let u = input_of(now);
+                let mut row = Vec::with_capacity(STATE_DIM + INPUT_DIM + 1);
+                row.extend_from_slice(&x);
+                row.extend_from_slice(&u);
+                row.push(1.0);
+                rows.push(row);
+                targets.push(state_vector(&next.est).to_vec());
+                i += decimate;
+            }
+        }
+        if rows.len() < 4 * (STATE_DIM + INPUT_DIM + 1) {
+            return Err(format!(
+                "insufficient samples for system identification: {}",
+                rows.len()
+            ));
+        }
+        let theta = ridge_solve(&rows, &targets, 1e-4)
+            .map_err(|e| format!("system identification failed: {e}"))?;
+        Ok(LinearStateModel { theta, decimate })
+    }
+
+    /// One-step prediction of the next (decimated) state.
+    pub fn predict(&self, x: &[f64; STATE_DIM], u: &[f64; INPUT_DIM]) -> [f64; STATE_DIM] {
+        let mut reg = Vec::with_capacity(STATE_DIM + INPUT_DIM + 1);
+        reg.extend_from_slice(x);
+        reg.extend_from_slice(u);
+        reg.push(1.0);
+        let out = self.theta.matvec(&reg).expect("shapes fixed at fit time");
+        let mut arr = [0.0; STATE_DIM];
+        arr.copy_from_slice(&out);
+        arr
+    }
+
+    /// Converts a predicted state vector back into an [`EstimatedState`]
+    /// (variance and acceleration carried over from `base`).
+    pub fn to_estimate(x: &[f64; STATE_DIM], base: &EstimatedState) -> EstimatedState {
+        EstimatedState {
+            position: Vec3::new(x[0], x[1], x[2]),
+            velocity: Vec3::new(x[3], x[4], x[5]),
+            attitude: Vec3::new(x[6], x[7], x[8]),
+            body_rates: base.body_rates,
+            position_variance: base.position_variance,
+            acceleration: base.acceleration,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pidpiper_missions::{MissionPlan, MissionRunner, RunnerConfig};
+    use pidpiper_sim::RvId;
+
+    fn traces() -> Vec<Trace> {
+        (0..3)
+            .map(|i| {
+                let runner = MissionRunner::new(
+                    RunnerConfig::for_rv(RvId::ArduCopter).with_seed(300 + i),
+                );
+                runner
+                    .run_clean(&MissionPlan::straight_line(25.0 + 5.0 * i as f64, 5.0))
+                    .trace
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fits_and_predicts_smoothly() {
+        let ts = traces();
+        let model = LinearStateModel::fit(&ts, 5).expect("fit");
+        // One-step predictions on training data should be close (linear
+        // models track short horizons reasonably).
+        let records = ts[0].records();
+        let mut total_err = 0.0;
+        let mut n = 0;
+        let mut i = 400;
+        while i + 5 < records.len() {
+            let x = state_vector(&records[i].est);
+            let u = input_vector(&records[i].target);
+            let pred = model.predict(&x, &u);
+            let actual = state_vector(&records[i + 5].est);
+            let err: f64 = pred
+                .iter()
+                .zip(&actual)
+                .take(3)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+                .sqrt();
+            total_err += err;
+            n += 1;
+            i += 50;
+        }
+        let mean_err = total_err / n as f64;
+        assert!(
+            mean_err < 1.0,
+            "one-step position prediction error {mean_err} m too large"
+        );
+    }
+
+    #[test]
+    fn iterated_prediction_drifts_more_than_one_step() {
+        // The paper's point: a linear model of a nonlinear RV degrades when
+        // rolled forward.
+        let ts = traces();
+        let model = LinearStateModel::fit(&ts, 5).expect("fit");
+        let records = ts[0].records();
+        let start = 600;
+        let mut x = state_vector(&records[start].est);
+        for k in 0..20 {
+            let u = input_vector(&records[start + k * 5].target);
+            x = model.predict(&x, &u);
+        }
+        let actual = state_vector(&records[start + 100].est);
+        let one_step = {
+            let x0 = state_vector(&records[start + 95].est);
+            let u = input_vector(&records[start + 95].target);
+            let p = model.predict(&x0, &u);
+            (p[0] - actual[0]).hypot(p[1] - actual[1])
+        };
+        let rolled = (x[0] - actual[0]).hypot(x[1] - actual[1]);
+        assert!(
+            rolled > one_step,
+            "rolled-forward error {rolled} should exceed one-step {one_step}"
+        );
+    }
+
+    #[test]
+    fn insufficient_data_rejected() {
+        let result = LinearStateModel::fit(&[], 5);
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn state_vector_round_trip() {
+        let mut est = EstimatedState::default();
+        est.position = Vec3::new(1.0, 2.0, 3.0);
+        est.velocity = Vec3::new(0.1, 0.2, 0.3);
+        est.attitude = Vec3::new(0.01, 0.02, 0.03);
+        let x = state_vector(&est);
+        let back = LinearStateModel::to_estimate(&x, &est);
+        assert_eq!(back.position, est.position);
+        assert_eq!(back.velocity, est.velocity);
+        assert_eq!(back.attitude, est.attitude);
+    }
+}

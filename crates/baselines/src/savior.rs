@@ -1,0 +1,411 @@
+//! Savior (Quinonez et al., USENIX Security'20), with the recovery
+//! extension the paper applies for a fair comparison.
+//!
+//! Savior builds a *nonlinear physical* model of the vehicle, propagates
+//! it with an EKF and monitors the prediction residual with **CUSUM** —
+//! which is why (unlike the window-based CI/SRR) it caps the deviation a
+//! stealthy attacker can cause. Its model parameters come from system
+//! identification against a real airframe, so they carry identification
+//! error, and it does not model the RV's mode transitions — both of which
+//! inflate its calibrated threshold relative to PID-Piper's (the paper
+//! quotes 60°), leaving a stealthy attacker proportionally more headroom
+//! (Fig. 9b).
+//!
+//! The extended recovery switches control to commands derived from the
+//! model's open-loop state propagation; without trustworthy feedback the
+//! propagated state drifts, so missions under recovery crash or stall
+//! (Table III).
+
+use crate::calibrate::calibrate_cusum_threshold;
+use pidpiper_control::{ActuatorSignal, PositionController, PositionGains};
+use pidpiper_math::{rad_to_deg, Cusum, Vec3};
+use pidpiper_missions::{Defense, DefenseContext, MonitorLevel, Trace};
+use pidpiper_sensors::EstimatedState;
+use pidpiper_sim::quadcopter::{QuadParams, GRAVITY};
+
+/// Savior configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SaviorConfig {
+    /// Relative error of the identified physical parameters (the paper's
+    /// Savior identified its model against real hardware; identification
+    /// error is what separates its accuracy from a perfect model).
+    pub param_error: f64,
+    /// Attitude-response time constant assumed by the model (s).
+    pub attitude_tau: f64,
+    /// CUSUM drift quantile over benign residuals.
+    pub drift_quantile: f64,
+    /// Threshold safety margin.
+    pub margin: f64,
+    /// Consecutive quiet steps to exit recovery.
+    pub resume_steps: usize,
+}
+
+impl Default for SaviorConfig {
+    fn default() -> Self {
+        SaviorConfig {
+            param_error: 0.15,
+            attitude_tau: 0.22,
+            drift_quantile: 0.995,
+            margin: 1.25,
+            resume_steps: 150,
+        }
+    }
+}
+
+/// A simplified nonlinear physical model of the quadcopter: commanded
+/// attitude is approached with a first-order response, thrust tilts the
+/// gravity-compensated acceleration, drag opposes velocity.
+#[derive(Debug, Clone, Copy)]
+struct PhysicalModel {
+    mass: f64,
+    max_thrust: f64,
+    drag: f64,
+    attitude_tau: f64,
+}
+
+impl PhysicalModel {
+    fn from_params(params: &QuadParams, config: &SaviorConfig) -> Self {
+        // Identification error: the model believes slightly wrong physics.
+        let e = 1.0 + config.param_error;
+        PhysicalModel {
+            mass: params.mass * e,
+            max_thrust: 4.0 * params.max_motor_thrust() / e,
+            drag: params.linear_drag / e,
+            // The identified attitude-response constant carries the same
+            // relative error (and dominates the one-step residual).
+            attitude_tau: config.attitude_tau * e,
+        }
+    }
+
+    /// Propagates a state one step under the flown actuator signal.
+    fn propagate(&self, state: &EstimatedState, y: &ActuatorSignal, dt: f64) -> EstimatedState {
+        let mut next = *state;
+        // First-order attitude response towards the commanded angles.
+        let blend = (dt / self.attitude_tau).min(1.0);
+        next.attitude.x += blend * (y.roll - state.attitude.x);
+        next.attitude.y += blend * (y.pitch - state.attitude.y);
+        next.attitude.z = pidpiper_math::wrap_angle(state.attitude.z + y.yaw_rate * dt);
+        next.body_rates = Vec3::new(
+            (next.attitude.x - state.attitude.x) / dt,
+            (next.attitude.y - state.attitude.y) / dt,
+            y.yaw_rate,
+        );
+        // Thrust and drag.
+        let thrust_n = y.thrust * self.max_thrust;
+        let (sr, cr) = next.attitude.x.sin_cos();
+        let (sp, cp) = next.attitude.y.sin_cos();
+        let (sy, cy) = next.attitude.z.sin_cos();
+        let thrust_dir = Vec3::new(cy * sp * cr + sy * sr, sy * sp * cr - cy * sr, cp * cr);
+        let accel =
+            thrust_dir * (thrust_n / self.mass) - Vec3::new(0.0, 0.0, GRAVITY) - next.velocity * (self.drag / self.mass);
+        next.acceleration = accel;
+        next.velocity += accel * dt;
+        next.position += next.velocity * dt;
+        next
+    }
+}
+
+/// The Savior defense.
+#[derive(Debug, Clone)]
+pub struct SaviorDefense {
+    model: PhysicalModel,
+    config: SaviorConfig,
+    cusum: Cusum,
+    threshold: f64,
+    statistic: f64,
+    predicted: Option<EstimatedState>,
+    recovery: bool,
+    activations: usize,
+    quiet_steps: usize,
+    recovery_controller: PositionController,
+    last_estimate: Option<EstimatedState>,
+    last_flown: ActuatorSignal,
+}
+
+impl SaviorDefense {
+    /// Builds Savior's physical model for an airframe and calibrates its
+    /// CUSUM drift/threshold on validation traces.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when no validation residuals can be produced.
+    pub fn fit(
+        traces: &[Trace],
+        params: &QuadParams,
+        gains: PositionGains,
+        config: SaviorConfig,
+    ) -> Result<Self, String> {
+        if traces.is_empty() {
+            return Err("need at least 1 trace".into());
+        }
+        let model = PhysicalModel::from_params(params, &config);
+
+        // Benign residuals: one-step physical prediction vs observed
+        // estimate, per mission.
+        let mut residuals = Vec::new();
+        for trace in traces {
+            let mut series = Vec::new();
+            let records = trace.records();
+            for w in records.windows(2) {
+                let dt = (w[1].t - w[0].t).max(1e-4);
+                let pred = model.propagate(&w[0].est, &w[0].flown_signal, dt);
+                series.push(Self::residual(&pred, &w[1].est));
+            }
+            residuals.push(series);
+        }
+        let (drift, threshold) =
+            calibrate_cusum_threshold(&residuals, config.drift_quantile, 0.05, config.margin);
+
+        Ok(SaviorDefense {
+            model,
+            config,
+            cusum: Cusum::new(drift),
+            threshold,
+            statistic: 0.0,
+            predicted: None,
+            recovery: false,
+            activations: 0,
+            quiet_steps: 0,
+            recovery_controller: PositionController::new(gains),
+            last_estimate: None,
+            last_flown: ActuatorSignal::default(),
+        })
+    }
+
+    /// The calibrated CUSUM threshold (degrees).
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The calibrated CUSUM drift (degrees/step).
+    pub fn drift(&self) -> f64 {
+        self.cusum.drift()
+    }
+
+    /// Rolls the physical model forward `steps` control periods from the
+    /// given state under a constant actuator signal — the horizon its
+    /// CUSUM effectively integrates over. Used by the accuracy study.
+    pub fn propagate_horizon(
+        &self,
+        start: &EstimatedState,
+        flown: &ActuatorSignal,
+        dt: f64,
+        steps: usize,
+    ) -> EstimatedState {
+        let mut state = *start;
+        for _ in 0..steps {
+            state = self.model.propagate(&state, flown, dt);
+        }
+        state
+    }
+
+    /// Attitude residual in degrees with a position-consistency term.
+    fn residual(pred: &EstimatedState, observed: &EstimatedState) -> f64 {
+        let att = rad_to_deg(
+            (pred.attitude.x - observed.attitude.x)
+                .abs()
+                .max((pred.attitude.y - observed.attitude.y).abs())
+                .max(pidpiper_math::wrap_angle(pred.attitude.z - observed.attitude.z).abs()),
+        );
+        let pos = pred.position.distance(observed.position);
+        att.max(2.0 * pos)
+    }
+}
+
+impl Defense for SaviorDefense {
+    fn name(&self) -> &str {
+        "Savior"
+    }
+
+    fn observe(&mut self, ctx: &DefenseContext<'_>) -> Option<ActuatorSignal> {
+        // One-step physical prediction from the previous estimate.
+        let residual = match self.predicted.take() {
+            Some(pred) => Self::residual(&pred, ctx.est),
+            None => 0.0,
+        };
+        self.statistic = self.cusum.update(residual);
+
+        if !self.recovery {
+            if self.statistic > self.threshold {
+                self.recovery = true;
+                self.activations += 1;
+                self.quiet_steps = 0;
+                self.cusum.reset();
+                // Seed the open-loop propagation from the last estimate.
+                self.last_estimate = Some(*ctx.est);
+            }
+        } else if self.statistic < self.cusum.drift() * 2.0 {
+            self.quiet_steps += 1;
+            if self.quiet_steps >= self.config.resume_steps {
+                self.recovery = false;
+                self.last_estimate = None;
+            }
+        } else {
+            self.quiet_steps = 0;
+        }
+
+        let out = if self.recovery {
+            // Extended-Savior recovery: propagate the physical model open
+            // loop (the sensors are suspect) and fly a PID on the
+            // propagated state. Without feedback the propagation drifts.
+            let state = self
+                .last_estimate
+                .expect("seeded when recovery activated");
+            let propagated = self.model.propagate(&state, &self.last_flown, ctx.dt);
+            self.last_estimate = Some(propagated);
+            let y = self
+                .recovery_controller
+                .update(&propagated, ctx.target, ctx.dt);
+            self.last_flown = y;
+            Some(y)
+        } else {
+            self.last_flown = ctx.pid_signal;
+            None
+        };
+
+        // Predict the next state for the next step's residual.
+        self.predicted = Some(self.model.propagate(ctx.est, &self.last_flown, ctx.dt));
+        out
+    }
+
+    fn sanitized_estimate(&self) -> Option<EstimatedState> {
+        self.last_estimate
+    }
+
+    fn monitor_level(&self) -> MonitorLevel {
+        MonitorLevel {
+            statistic: self.statistic,
+            threshold: self.threshold,
+        }
+    }
+
+    fn in_recovery(&self) -> bool {
+        self.recovery
+    }
+
+    fn recovery_activations(&self) -> usize {
+        self.activations
+    }
+
+    fn reset(&mut self) {
+        self.cusum.reset();
+        self.statistic = 0.0;
+        self.predicted = None;
+        self.recovery = false;
+        self.activations = 0;
+        self.quiet_steps = 0;
+        self.recovery_controller.reset();
+        self.last_estimate = None;
+        self.last_flown = ActuatorSignal::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pidpiper_missions::{MissionPlan, MissionRunner, RunnerConfig};
+    use pidpiper_sim::RvId;
+
+    fn traces(n: u64) -> Vec<Trace> {
+        (0..n)
+            .map(|i| {
+                let runner =
+                    MissionRunner::new(RunnerConfig::for_rv(RvId::Px4Solo).with_seed(850 + i));
+                runner
+                    .run_clean(&MissionPlan::straight_line(25.0 + 4.0 * i as f64, 5.0))
+                    .trace
+            })
+            .collect()
+    }
+
+    fn fixture() -> SaviorDefense {
+        let params = pidpiper_sim::VehicleProfile::px4_solo()
+            .quad_params()
+            .unwrap();
+        let gains = PositionGains::for_quad(params.mass, 4.0 * params.max_motor_thrust());
+        SaviorDefense::fit(&traces(3), &params, gains, SaviorConfig::default()).expect("fit")
+    }
+
+    #[test]
+    fn fits_with_cusum_threshold() {
+        let savior = fixture();
+        assert!(savior.threshold() > 0.0 && savior.threshold().is_finite());
+        assert!(savior.drift() > 0.0);
+        assert_eq!(savior.name(), "Savior");
+    }
+
+    #[test]
+    fn physical_model_hovers_in_place() {
+        let params = QuadParams::default();
+        let model = PhysicalModel::from_params(&params, &SaviorConfig { param_error: 0.0, ..Default::default() });
+        let mut state = EstimatedState {
+            position: Vec3::new(0.0, 0.0, 10.0),
+            ..Default::default()
+        };
+        // Hover command for T/W = 2 is thrust 0.5.
+        let hover = ActuatorSignal {
+            thrust: 0.5,
+            ..Default::default()
+        };
+        for _ in 0..200 {
+            state = model.propagate(&state, &hover, 0.01);
+        }
+        assert!(
+            (state.position.z - 10.0).abs() < 0.5,
+            "hover drifted to z = {}",
+            state.position.z
+        );
+    }
+
+    #[test]
+    fn parameter_error_inflates_residuals() {
+        // The identification error is what pushes Savior's threshold above
+        // PID-Piper's: a perfect-parameter model accrues less residual.
+        let params = pidpiper_sim::VehicleProfile::px4_solo()
+            .quad_params()
+            .unwrap();
+        let gains = PositionGains::for_quad(params.mass, 4.0 * params.max_motor_thrust());
+        let nominal = SaviorDefense::fit(
+            &traces(3),
+            &params,
+            gains,
+            SaviorConfig::default(),
+        )
+        .expect("fit");
+        // A grossly mis-identified attitude response (4x too fast) makes
+        // the one-step predictions much worse and inflates the calibrated
+        // threshold.
+        let wrong = SaviorDefense::fit(
+            &traces(3),
+            &params,
+            gains,
+            SaviorConfig {
+                attitude_tau: 0.05,
+                ..Default::default()
+            },
+        )
+        .expect("fit");
+        assert!(
+            wrong.threshold() > nominal.threshold(),
+            "gross identification error must inflate the threshold: {} vs {}",
+            nominal.threshold(),
+            wrong.threshold()
+        );
+    }
+
+    #[test]
+    fn detects_gps_attack() {
+        let mut savior = fixture();
+        let runner = MissionRunner::new(RunnerConfig::for_rv(RvId::Px4Solo).with_seed(993));
+        let attack = pidpiper_attacks::AttackPreset::GpsOvert.instantiate(8.0, (0.0, 0.0));
+        let result = runner.run(
+            &MissionPlan::straight_line(40.0, 5.0),
+            &mut savior,
+            vec![pidpiper_missions::MissionAttack::Scheduled(attack)],
+        );
+        assert!(
+            result.recovery_activations > 0,
+            "Savior must detect a 25 m GPS spoof"
+        );
+    }
+}

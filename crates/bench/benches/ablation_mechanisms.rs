@@ -1,0 +1,6 @@
+//! Ablation study over PID-Piper's mechanisms; see pidpiper_bench::exp_ablation.
+fn main() {
+    let scale = pidpiper_bench::Scale::from_env();
+    eprintln!("[bench] running ablation_mechanisms at {scale:?} scale");
+    pidpiper_bench::exp_ablation::run(scale);
+}

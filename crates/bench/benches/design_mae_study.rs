@@ -1,0 +1,6 @@
+//! Regenerates the paper artifact; see pidpiper_bench::exp_design_study.
+fn main() {
+    let scale = pidpiper_bench::Scale::from_env();
+    eprintln!("[bench] running design_mae_study at {scale:?} scale (set PIDPIPER_SCALE=full for paper scale)");
+    pidpiper_bench::exp_design_study::run(scale);
+}

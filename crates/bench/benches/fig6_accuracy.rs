@@ -1,0 +1,6 @@
+//! Regenerates the paper artifact; see pidpiper_bench::exp_fig6.
+fn main() {
+    let scale = pidpiper_bench::Scale::from_env();
+    eprintln!("[bench] running fig6_accuracy at {scale:?} scale (set PIDPIPER_SCALE=full for paper scale)");
+    pidpiper_bench::exp_fig6::run(scale);
+}

@@ -1,0 +1,8 @@
+//! Figure 7 (deviation CDF during recovery) shares its runs with Table III;
+//! this target regenerates the Table III experiment, whose report includes
+//! the CDF series for SRR and PID-Piper.
+fn main() {
+    let scale = pidpiper_bench::Scale::from_env();
+    eprintln!("[bench] Figure 7 CDF data is produced by the Table III runs");
+    pidpiper_bench::exp_table3::run(scale);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper artifact; see pidpiper_bench::exp_table2.
+fn main() {
+    let scale = pidpiper_bench::Scale::from_env();
+    eprintln!("[bench] running table2_false_positives at {scale:?} scale (set PIDPIPER_SCALE=full for paper scale)");
+    pidpiper_bench::exp_table2::run(scale);
+}

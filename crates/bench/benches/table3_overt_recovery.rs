@@ -1,0 +1,6 @@
+//! Regenerates the paper artifact; see pidpiper_bench::exp_table3.
+fn main() {
+    let scale = pidpiper_bench::Scale::from_env();
+    eprintln!("[bench] running table3_overt_recovery at {scale:?} scale (set PIDPIPER_SCALE=full for paper scale)");
+    pidpiper_bench::exp_table3::run(scale);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper artifact; see pidpiper_bench::exp_table4.
+fn main() {
+    let scale = pidpiper_bench::Scale::from_env();
+    eprintln!("[bench] running table4_real_rvs at {scale:?} scale (set PIDPIPER_SCALE=full for paper scale)");
+    pidpiper_bench::exp_table4::run(scale);
+}

@@ -1,0 +1,26 @@
+//! Probe: does windy training data degrade recovery quality?
+use pidpiper_bench::exp_table3::run_overt_missions;
+use pidpiper_core::{Trainer, TrainerConfig};
+use pidpiper_missions::{MissionPlan, MissionRunner, RunnerConfig};
+use pidpiper_sim::RvId;
+
+fn main() {
+    let rv = RvId::ArduCopter;
+    // No-wind training set (the v3 recipe).
+    let plans = MissionPlan::table1_missions(rv, 7, 0.5);
+    let traces: Vec<_> = plans.iter().enumerate().map(|(i, p)| {
+        MissionRunner::new(RunnerConfig::for_rv(rv).with_seed(500 + i as u64)).run_clean(p).trace
+    }).collect();
+    let trained = Trainer::new(TrainerConfig::default()).train(&traces, false);
+    eprintln!("no-wind model: {}; thr {:?}; drifts {:?}",
+        trained.report, trained.thresholds, trained.pidpiper.config().drifts);
+    let mut pp = trained.pidpiper;
+    let eval: Vec<MissionPlan> = (0..12).map(|i| {
+        if i % 3 == 2 { MissionPlan::multi_waypoint(3, 30.0, 5.0, 40 + i as u64) }
+        else { MissionPlan::straight_line(40.0 + 2.0 * i as f64, 5.0) }
+    }).collect();
+    let row = run_overt_missions(rv, &mut pp, &eval, 7000);
+    eprintln!("no-wind: success {}/{} crash/stall {} mean dev {:.1}",
+        row.success, row.total, row.crash_or_stall, row.mean_deviation());
+    std::fs::write("models/nowind-ArduCopter.pidpiper", pp.to_text()).unwrap();
+}

@@ -1,0 +1,169 @@
+//! The Section IV-C design study: FBC vs FFC accuracy, with and without
+//! feature engineering, with and without attacks, on an A → B → C mission
+//! with a sharp turn.
+
+use crate::harness::{self, Scale};
+use pidpiper_attacks::{Attack, AttackKind, Schedule};
+use pidpiper_core::features::{FeatureSet, SensorPrimitives};
+use pidpiper_core::sanitizer::SensorSanitizer;
+use pidpiper_core::{FbcModel, FfcModel, Trainer, TrainerConfig};
+use pidpiper_math::{rad_to_deg, Vec3};
+use pidpiper_missions::{MissionAttack, MissionPlan, MissionRunner, NoDefense, RunnerConfig, Trace};
+use pidpiper_sim::RvId;
+use std::fmt::Write as _;
+
+/// The A → B → C mission with a sharp (~150 degree) turn at B.
+fn abc_mission(scale: Scale) -> MissionPlan {
+    let s = scale.geometry();
+    MissionPlan {
+        waypoints: vec![
+            Vec3::new(60.0 * s, 0.0, 0.0),
+            // ~150 degree turn at B.
+            Vec3::new(8.0 * s, 30.0 * s, 0.0),
+        ],
+        cruise_alt: 5.0,
+        cruise_speed: 5.0,
+        kind: pidpiper_missions::PathKind::MultiWaypoint,
+        hover_duration: 0.0,
+        name: "ABC-150deg".into(),
+    }
+}
+
+/// Replays an FFC model over a trace, returning the roll-channel MAE
+/// (degrees) between the model and the PID.
+fn ffc_mae(trainer: &Trainer, model: &FfcModel, trace: &Trace) -> f64 {
+    let series = trainer.replay_ffc(model, trace);
+    if series.is_empty() {
+        return f64::NAN;
+    }
+    series
+        .pid_roll
+        .iter()
+        .zip(&series.ml_roll)
+        .map(|(p, m)| rad_to_deg((p - m).abs()))
+        .sum::<f64>()
+        / series.pid_roll.len() as f64
+}
+
+/// Replays an FBC model over a trace (its shadow PID derives the signal),
+/// returning the roll-channel MAE (degrees).
+fn fbc_mae(model: &FbcModel, trace: &Trace, gate: pidpiper_core::GateConfig) -> f64 {
+    let mut m = model.clone();
+    m.reset();
+    let mut sanitizer = SensorSanitizer::new(gate);
+    let mut total = 0.0;
+    let mut n = 0usize;
+    let records = trace.records();
+    let dt = if records.len() >= 2 {
+        (records[1].t - records[0].t).max(1e-4)
+    } else {
+        0.01
+    };
+    for r in records {
+        let (clean, est) = sanitizer.process(&r.readings, dt);
+        let prims = SensorPrimitives::collect(&est, &clean);
+        if let Some(y) = m.observe(&prims, &est, &r.target, r.phase, r.pid_signal, dt) {
+            total += rad_to_deg((y.roll - r.pid_signal.roll).abs());
+            n += 1;
+        }
+    }
+    total / n.max(1) as f64
+}
+
+/// Runs the Section IV-C design study.
+pub fn run(scale: Scale) -> String {
+    let rv = RvId::PixhawkDrone;
+    let training = harness::collect_traces(rv, scale);
+    let trainer = Trainer::new(TrainerConfig::default());
+
+    // Four models: FFC/FBC x full/pruned.
+    let mut cfg_full = TrainerConfig::default();
+    cfg_full.feature_set = FeatureSet::FfcFull;
+    let trainer_full = Trainer::new(cfg_full);
+    let (ffc_full, _) = trainer_full.train_ffc(&training[..24]);
+    let (ffc_pruned, _) = trainer.train_ffc(&training[..24]);
+    let gains = harness::gains_for(rv);
+    let (fbc_full, _) = trainer.train_fbc(&training[..24], FeatureSet::FbcFull, gains);
+    let (fbc_pruned, _) = trainer.train_fbc(&training[..24], FeatureSet::FbcPruned, gains);
+
+    // Evaluation missions: clean and attacked A->B->C runs.
+    let plan = abc_mission(scale);
+    let clean = MissionRunner::new(RunnerConfig::for_rv(rv).with_seed(3100))
+        .run_clean(&plan)
+        .trace;
+    let attack = Attack::new(
+        AttackKind::GpsBias(Vec3::new(0.0, 6.0, 0.0)),
+        Schedule::Intermittent {
+            start: 10.0,
+            on: 4.0,
+            off: 5.0,
+        },
+    );
+    let attacked = MissionRunner::new(RunnerConfig::for_rv(rv).with_seed(3100))
+        .run(
+            &plan,
+            &mut NoDefense::new(),
+            vec![MissionAttack::Scheduled(attack)],
+        )
+        .trace;
+
+    let gate = trainer.config().pipeline.gate;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Section IV-C design study: roll-channel MAE (degrees) on the A->B->C mission"
+    );
+    let widths = [34, 12, 14];
+    let _ = writeln!(
+        out,
+        "{}",
+        harness::row(
+            &["model".into(), "no attack".into(), "GPS attack".into()],
+            &widths
+        )
+    );
+    let rows: Vec<(String, f64, f64)> = vec![
+        (
+            "FBC, full features (12)".into(),
+            fbc_mae(&fbc_full, &clean, gate),
+            fbc_mae(&fbc_full, &attacked, gate),
+        ),
+        (
+            "FFC, full features (44)".into(),
+            ffc_mae(&trainer_full, &ffc_full, &clean),
+            ffc_mae(&trainer_full, &ffc_full, &attacked),
+        ),
+        (
+            "FBC, pruned features (6)".into(),
+            fbc_mae(&fbc_pruned, &clean, gate),
+            fbc_mae(&fbc_pruned, &attacked, gate),
+        ),
+        (
+            "FFC, pruned features (24)".into(),
+            ffc_mae(&trainer, &ffc_pruned, &clean),
+            ffc_mae(&trainer, &ffc_pruned, &attacked),
+        ),
+    ];
+    for (name, clean_mae, attack_mae) in &rows {
+        let _ = writeln!(
+            out,
+            "{}",
+            harness::row(
+                &[
+                    name.clone(),
+                    format!("{clean_mae:.2}"),
+                    format!("{attack_mae:.2}"),
+                ],
+                &widths
+            )
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\nPaper (Section IV-C): without attacks both designs reach MAE < 1 deg; under\n\
+         attack FFC 5.85 vs FBC 6.16 before feature engineering, and 0.86 vs 3.91 after —\n\
+         the FFC with pruned features is the clear winner, which is what PID-Piper deploys."
+    );
+    harness::emit_report("design_mae_study", &out);
+    out
+}

@@ -1,0 +1,164 @@
+//! Figure 2 and the Section III study: PID parameters under GPS
+//! manipulation (position error, roll fluctuation, effective-P adjustment,
+//! rotation rate) plus the VIF collinearity table.
+
+use crate::harness::{self, Scale};
+use pidpiper_attacks::{Attack, AttackKind, Schedule};
+use pidpiper_core::features::SensorPrimitives;
+use pidpiper_math::{rad_to_deg, vif_all, Matrix, Vec3};
+use pidpiper_missions::{MissionAttack, MissionPlan, MissionRunner, NoDefense, RunnerConfig};
+use pidpiper_sim::RvId;
+use std::fmt::Write as _;
+
+/// Runs the Figure 2 experiment on the Pixhawk-drone profile: an
+/// Arm → Takeoff → Waypoint → Land mission with intermittent 3–5 s GPS
+/// spoofing bursts, dumping the paper's four traces and the VIF table.
+pub fn run(_scale: Scale) -> String {
+    let rv = RvId::PixhawkDrone;
+    let runner = MissionRunner::new(RunnerConfig::for_rv(rv).with_seed(77));
+    let plan = MissionPlan::straight_line(60.0, 5.0);
+    // Intermittent bursts as in Section III (3-5 s on, gaps between).
+    let attack = Attack::new(
+        AttackKind::GpsBias(Vec3::new(0.0, 6.0, 0.0)),
+        Schedule::Intermittent {
+            start: 10.0,
+            on: 4.0,
+            off: 5.0,
+        },
+    );
+    let result = runner.run(
+        &plan,
+        &mut NoDefense::new(),
+        vec![MissionAttack::Scheduled(attack)],
+    );
+
+    // Trace CSV: t, attack, position error, roll (deg), effective P,
+    // rotation rate — Fig 2a-2d.
+    let mut csv = String::from("t,attack,pos_err_m,roll_deg,effective_p,rotation_rate\n");
+    for r in result.trace.records().iter().step_by(10) {
+        let pe = (r.target.position - r.est.position).norm_xy();
+        let _ = writeln!(
+            csv,
+            "{:.2},{},{:.3},{:.3},{:.3},{:.4}",
+            r.t,
+            u8::from(r.attack_active),
+            pe,
+            rad_to_deg(r.pid_signal.roll),
+            r.effective_p,
+            r.rotation_rate
+        );
+    }
+    let csv_path = harness::experiments_dir().join("fig2_traces.csv");
+    let _ = std::fs::write(&csv_path, &csv);
+
+    // Summaries: fluctuation ranges before/during attack.
+    let pre: Vec<&_> = result
+        .trace
+        .records()
+        .iter()
+        .filter(|r| r.t > 6.0 && r.t < 10.0)
+        .collect();
+    let during: Vec<&_> = result
+        .trace
+        .records()
+        .iter()
+        .filter(|r| r.attack_active)
+        .collect();
+    let span = |rs: &[&pidpiper_missions::TraceRecord], f: &dyn Fn(&pidpiper_missions::TraceRecord) -> f64| {
+        let lo = rs.iter().map(|r| f(r)).fold(f64::INFINITY, f64::min);
+        let hi = rs.iter().map(|r| f(r)).fold(f64::NEG_INFINITY, f64::max);
+        (lo, hi)
+    };
+    let roll_pre = span(&pre, &|r| rad_to_deg(r.pid_signal.roll));
+    let roll_atk = span(&during, &|r| rad_to_deg(r.pid_signal.roll));
+    let p_pre = span(&pre, &|r| r.effective_p);
+    let p_atk = span(&during, &|r| r.effective_p);
+    let rot_pre = span(&pre, &|r| r.rotation_rate);
+    let rot_atk = span(&during, &|r| r.rotation_rate);
+
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 2: Pixhawk drone under intermittent GPS manipulation");
+    let _ = writeln!(out, "  full traces: {}", csv_path.display());
+    let _ = writeln!(
+        out,
+        "  roll angle   steady [{:6.2}, {:6.2}] deg   under attack [{:6.2}, {:6.2}] deg",
+        roll_pre.0, roll_pre.1, roll_atk.0, roll_atk.1
+    );
+    let _ = writeln!(
+        out,
+        "  effective P  steady [{:6.2}, {:6.2}]       under attack [{:6.2}, {:6.2}]",
+        p_pre.0, p_pre.1, p_atk.0, p_atk.1
+    );
+    let _ = writeln!(
+        out,
+        "  rot. rate    steady [{:6.2}, {:6.2}] rad/s under attack [{:6.2}, {:6.2}] rad/s",
+        rot_pre.0, rot_pre.1, rot_atk.0, rot_atk.1
+    );
+    let _ = writeln!(
+        out,
+        "\nPaper (Fig. 2): small position errors (< 0.2 m) drive roll fluctuations of\n\
+         -10..20 deg; the effective P coefficient and rotation rate inflate under attack."
+    );
+
+    // Section III: VIF table over the PID controller's parameters (the
+    // paper regresses each controller parameter against the others). A
+    // polygon mission provides the dynamic excitation; the feature set is
+    // the controller-parameter catalogue, not raw duplicated sensor
+    // channels (estimated and raw GPS positions are the same quantity and
+    // would be trivially collinear).
+    // (One covariance channel only: the estimator's x/y covariances follow
+    // an identical recursion and duplicated columns are trivially
+    // collinear.)
+    const PARAM_NAMES: [&str; 17] = [
+        "pos_err_x", "pos_err_y", "pos_err_z", "vel_x", "vel_y", "vel_z", "acc_x", "acc_y",
+        "acc_z", "roll", "pitch", "yaw", "rate_p", "rate_q", "rate_r", "pos_var", "rot_rate",
+    ];
+    let clean = MissionRunner::new(RunnerConfig::for_rv(rv).with_seed(78))
+        .run_clean(&MissionPlan::polygon(4, 20.0, 5.0));
+    let rows: Vec<Vec<f64>> = clean
+        .trace
+        .records()
+        .iter()
+        .step_by(10)
+        .map(|r| {
+            let prims = SensorPrimitives::collect(&r.est, &r.readings);
+            let pe = r.target.position - r.est.position;
+            let mut v = vec![pe.x, pe.y, pe.z];
+            v.extend_from_slice(&prims.velocity);
+            v.extend_from_slice(&prims.acceleration);
+            v.extend_from_slice(&prims.attitude);
+            v.extend_from_slice(&prims.body_rates);
+            v.push(prims.position_variance[0]);
+            v.push(r.rotation_rate);
+            v
+        })
+        .collect();
+    let m = Matrix::from_rows(&rows);
+    let vifs = vif_all(&m);
+    let _ = writeln!(out, "\nSection III: Variance Inflation Factors of the controller parameters");
+    let mut indexed: Vec<(usize, f64)> = vifs.iter().copied().enumerate().collect();
+    indexed.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("VIF finite or inf"));
+    for (i, v) in &indexed {
+        let v_str = if v.is_infinite() {
+            ">1000 (exact)".to_string()
+        } else {
+            format!("{v:.1}")
+        };
+        let _ = writeln!(out, "  {:<10} VIF {}", PARAM_NAMES[*i], v_str);
+    }
+    let high: Vec<&str> = indexed
+        .iter()
+        .filter(|(_, v)| *v > 10.0)
+        .map(|(i, _)| PARAM_NAMES[*i])
+        .collect();
+    let _ = writeln!(
+        out,
+        "\nHigh-VIF (> 10) parameters: {}\n\
+         Paper: velocity, acceleration, angular rotation and angular speed cluster at\n\
+         VIF 22-29 while positions stay near 1-1.6 — the pruned FFC feature set drops\n\
+         the high-VIF channels.",
+        high.join(", ")
+    );
+    harness::emit_report("fig2_overcompensation", &out);
+    out
+}

@@ -1,0 +1,202 @@
+//! Figure 6 and Section VI-B: prediction accuracy (MAE) in normal
+//! operation across PID-Piper, CI, Savior and SRR on the "real" RV group,
+//! plus the wind-robustness rows.
+
+use crate::harness::{self, Scale};
+use pidpiper_core::{Trainer, TrainerConfig};
+use pidpiper_math::rad_to_deg;
+use pidpiper_missions::{MissionPlan, MissionRunner, RunnerConfig, Trace};
+use pidpiper_sim::{RvId, VehicleKind, WindConfig};
+use std::fmt::Write as _;
+
+/// MAE of the PID-Piper FFC's roll prediction over a trace (degrees).
+fn pidpiper_mae(trainer: &Trainer, ffc: &pidpiper_core::FfcModel, trace: &Trace) -> f64 {
+    let series = trainer.replay_ffc(ffc, trace);
+    if series.is_empty() {
+        return f64::NAN;
+    }
+    let n = series.pid_roll.len() as f64;
+    series
+        .pid_roll
+        .iter()
+        .zip(&series.ml_roll)
+        .map(|(p, m)| rad_to_deg((p - m).abs()))
+        .sum::<f64>()
+        / n
+}
+
+/// MAE of a linear (CI/SRR-style) state prediction rolled forward over its
+/// monitor horizon (`horizon` control steps): attitude channels, degrees.
+/// Each technique's model is evaluated over the horizon its detector
+/// actually integrates (CI: 3 s window; SRR: 1 s window) — a single-step
+/// prediction would make the comparison trivially easy for them.
+fn linear_mae(
+    model: &pidpiper_baselines::LinearStateModel,
+    trace: &Trace,
+    horizon: usize,
+) -> f64 {
+    use pidpiper_baselines::linear::{input_vector, state_vector};
+    let records = trace.records();
+    let d = model.decimate;
+    let hops = (horizon / d).max(1);
+    let mut total = 0.0;
+    let mut n = 0;
+    let mut i = 0;
+    while i + hops * d < records.len() {
+        let mut x = state_vector(&records[i].est);
+        for k in 0..hops {
+            let u = input_vector(&records[i + k * d].target);
+            x = model.predict(&x, &u);
+        }
+        let actual = state_vector(&records[i + hops * d].est);
+        total += rad_to_deg((x[6] - actual[6]).abs().max((x[7] - actual[7]).abs()));
+        n += 1;
+        i += 25;
+    }
+    total / n.max(1) as f64
+}
+
+/// MAE of Savior's physical model rolled over its effective CUSUM horizon
+/// (0.5 s): attitude channels, degrees.
+fn savior_mae(savior: &pidpiper_baselines::SaviorDefense, trace: &Trace) -> f64 {
+    let records = trace.records();
+    let dt = if records.len() >= 2 {
+        (records[1].t - records[0].t).max(1e-4)
+    } else {
+        0.01
+    };
+    let horizon = 50;
+    let mut total = 0.0;
+    let mut n = 0;
+    let mut i = 0;
+    while i + horizon < records.len() {
+        let pred = savior.propagate_horizon(
+            &records[i].est,
+            &records[i].flown_signal,
+            dt,
+            horizon,
+        );
+        let actual = &records[i + horizon].est;
+        total += rad_to_deg(
+            (pred.attitude.x - actual.attitude.x)
+                .abs()
+                .max((pred.attitude.y - actual.attitude.y).abs()),
+        );
+        n += 1;
+        i += 25;
+    }
+    total / n.max(1) as f64
+}
+
+/// Runs the Figure 6 experiment.
+pub fn run(scale: Scale) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 6: MAE in normal operation (roll-channel, degrees), 'real' RV group"
+    );
+    let widths = [12, 12, 12, 12, 12];
+    let _ = writeln!(
+        out,
+        "{}",
+        harness::row(
+            &[
+                "RV".into(),
+                "CI".into(),
+                "Savior".into(),
+                "SRR".into(),
+                "PID-Piper".into()
+            ],
+            &widths
+        )
+    );
+
+    let trainer = Trainer::new(TrainerConfig::default());
+    let mut wind_rows = String::new();
+
+    for rv in RvId::REAL {
+        let traces = harness::collect_traces(rv, scale);
+        let pidpiper = harness::trained_pidpiper(rv, scale, &traces);
+        // Fresh evaluation missions (5 per RV, as in the paper).
+        let alt = if rv.kind() == VehicleKind::Rover { 0.0 } else { 5.0 };
+        let eval: Vec<Trace> = (0..5)
+            .map(|i| {
+                let runner =
+                    MissionRunner::new(RunnerConfig::for_rv(rv).with_seed(11000 + i as u64));
+                runner
+                    .run_clean(&MissionPlan::straight_line(30.0 + 5.0 * i as f64, alt))
+                    .trace
+            })
+            .collect();
+
+        let pp_mae: f64 =
+            eval.iter().map(|t| pidpiper_mae(&trainer, pidpiper.ffc(), t)).sum::<f64>() / 5.0;
+
+        // Linear baselines (CI and SRR share the linear SI substrate),
+        // rolled over their respective monitor windows: CI 3 s, SRR 1 s.
+        let linear =
+            pidpiper_baselines::LinearStateModel::fit(&traces, 5).expect("linear SI");
+        let ci_mae: f64 = eval.iter().map(|t| linear_mae(&linear, t, 300)).sum::<f64>() / 5.0;
+        let srr_mae: f64 = eval.iter().map(|t| linear_mae(&linear, t, 100)).sum::<f64>() / 5.0;
+
+        // Savior: nonlinear physical model over its ~0.5 s CUSUM horizon.
+        // Quadcopters only (Savior models a multirotor airframe).
+        let savior_mae_val = if rv.kind() == VehicleKind::Quadcopter {
+            let savior = harness::fit_savior(rv, &traces);
+            eval.iter().map(|t| savior_mae(&savior, t)).sum::<f64>() / 5.0
+        } else {
+            f64::NAN
+        };
+
+        let fmt = |v: f64| {
+            if v.is_nan() {
+                "-".to_string()
+            } else {
+                format!("{v:.2}")
+            }
+        };
+        let _ = writeln!(
+            out,
+            "{}",
+            harness::row(
+                &[
+                    rv.name().into(),
+                    fmt(ci_mae),
+                    fmt(savior_mae_val),
+                    fmt(srr_mae),
+                    fmt(pp_mae),
+                ],
+                &widths
+            )
+        );
+
+        // Section VI-B: wind robustness for the Pixhawk profile.
+        if rv == RvId::PixhawkDrone {
+            for wind_kmh in [15.0, 25.0, 35.0] {
+                let runner = MissionRunner::new(
+                    RunnerConfig::for_rv(rv)
+                        .with_seed(11500)
+                        .with_wind(WindConfig::steady_kmh(wind_kmh, 0.8, 3)),
+                );
+                let trace = runner
+                    .run_clean(&MissionPlan::straight_line(40.0, 5.0))
+                    .trace;
+                let mae = pidpiper_mae(&trainer, pidpiper.ffc(), &trace);
+                let _ = writeln!(
+                    wind_rows,
+                    "  wind {wind_kmh:.0} km/h: PID-Piper MAE {mae:.2} deg"
+                );
+            }
+        }
+    }
+
+    let _ = writeln!(out, "\nSection VI-B: MAE under wind (Pixhawk profile)");
+    out.push_str(&wind_rows);
+    let _ = writeln!(
+        out,
+        "\nPaper (Fig. 6): PID-Piper 0.88-1.11 deg, lowest of the four; Savior below CI/SRR;\n\
+         MAE under 15-35 km/h wind stays 0.96-1.38 deg."
+    );
+    harness::emit_report("fig6_accuracy", &out);
+    out
+}

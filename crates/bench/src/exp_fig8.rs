@@ -1,0 +1,134 @@
+//! Figure 8: recovery case studies — (a) gyroscope attack on the Sky-viper
+//! profile (PID vs ML roll traces), (b) GPS attack on the Pixhawk profile
+//! (deviation with and without PID-Piper).
+
+use crate::harness::{self, Scale};
+use pidpiper_attacks::AttackPreset;
+use pidpiper_math::rad_to_deg;
+use pidpiper_missions::{MissionAttack, MissionPlan, MissionRunner, NoDefense, RunnerConfig};
+use pidpiper_sim::RvId;
+use std::fmt::Write as _;
+
+/// Runs the Figure 8 experiment.
+pub fn run(scale: Scale) -> String {
+    let mut out = String::new();
+
+    // --- (a) Sky-viper gyro attack: roll traces under recovery.
+    let rv = RvId::SkyViper;
+    let traces = harness::collect_traces(rv, scale);
+    let mut pidpiper = harness::trained_pidpiper(rv, scale, &traces);
+    let plan = MissionPlan::straight_line(40.0, 5.0);
+    let attack = AttackPreset::GyroOvert.instantiate(8.0, (0.0, 0.0));
+    let runner = MissionRunner::new(RunnerConfig::for_rv(rv).with_seed(1201));
+    let protected = runner.run(
+        &plan,
+        &mut pidpiper,
+        vec![MissionAttack::Scheduled(attack.clone())],
+    );
+
+    let mut csv = String::from("t,attack,recovery,pid_roll_deg,flown_roll_deg,truth_roll_deg\n");
+    for r in protected.trace.records().iter().step_by(10) {
+        let _ = writeln!(
+            csv,
+            "{:.2},{},{},{:.3},{:.3},{:.3}",
+            r.t,
+            u8::from(r.attack_active),
+            u8::from(r.recovery_active),
+            rad_to_deg(r.pid_signal.roll),
+            rad_to_deg(r.flown_signal.roll),
+            rad_to_deg(r.truth.attitude.x),
+        );
+    }
+    let csv_a = harness::experiments_dir().join("fig8a_skyviper_gyro.csv");
+    let _ = std::fs::write(&csv_a, &csv);
+
+    let runner = MissionRunner::new(RunnerConfig::for_rv(rv).with_seed(1201));
+    let unprotected = runner.run(
+        &plan,
+        &mut NoDefense::new(),
+        vec![MissionAttack::Scheduled(attack)],
+    );
+
+    let span = |res: &pidpiper_missions::MissionResult, flown: bool| {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for r in res.trace.records().iter().filter(|r| r.attack_active) {
+            let v = rad_to_deg(if flown {
+                r.flown_signal.roll
+            } else {
+                r.pid_signal.roll
+            });
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        (lo, hi)
+    };
+    let (pid_lo, pid_hi) = span(&protected, false);
+    let (ml_lo, ml_hi) = span(&protected, true);
+    let _ = writeln!(out, "Figure 8a: Sky-viper gyroscope attack (trace: {})", csv_a.display());
+    let _ = writeln!(
+        out,
+        "  PID roll under attack: [{pid_lo:.1}, {pid_hi:.1}] deg; flown (recovered) roll: [{ml_lo:.1}, {ml_hi:.1}] deg"
+    );
+    let _ = writeln!(
+        out,
+        "  with PID-Piper: {:?} (deviation {:.1} m); without: {:?} (deviation {:.1} m)",
+        protected.outcome, protected.final_deviation, unprotected.outcome, unprotected.final_deviation
+    );
+
+    // --- (b) Pixhawk GPS attack: deviation with and without PID-Piper.
+    let rv = RvId::PixhawkDrone;
+    let traces = harness::collect_traces(rv, scale);
+    let mut pidpiper = harness::trained_pidpiper(rv, scale, &traces);
+    let plan = MissionPlan::straight_line(50.0, 5.0);
+    let attack = AttackPreset::GpsOvert.instantiate(8.0, (0.0, 0.0));
+    let runner = MissionRunner::new(RunnerConfig::for_rv(rv).with_seed(1301));
+    let protected = runner.run(
+        &plan,
+        &mut pidpiper,
+        vec![MissionAttack::Scheduled(attack.clone())],
+    );
+    let runner = MissionRunner::new(RunnerConfig::for_rv(rv).with_seed(1301));
+    let unprotected = runner.run(
+        &plan,
+        &mut NoDefense::new(),
+        vec![MissionAttack::Scheduled(attack)],
+    );
+
+    let mut csv = String::from("t,protected_cross_track_m,protected_x,unprot_cross_track_m,unprot_x\n");
+    let n = protected.trace.len().min(unprotected.trace.len());
+    for i in (0..n).step_by(20) {
+        let p = &protected.trace.records()[i];
+        let u = &unprotected.trace.records()[i];
+        let _ = writeln!(
+            csv,
+            "{:.2},{:.3},{:.2},{:.3},{:.2}",
+            p.t,
+            p.truth.position.y.abs(),
+            p.truth.position.x,
+            u.truth.position.y.abs(),
+            u.truth.position.x,
+        );
+    }
+    let csv_b = harness::experiments_dir().join("fig8b_pixhawk_gps.csv");
+    let _ = std::fs::write(&csv_b, &csv);
+    let _ = writeln!(out, "\nFigure 8b: Pixhawk GPS attack (trace: {})", csv_b.display());
+    let _ = writeln!(
+        out,
+        "  deviation with PID-Piper: {:.1} m ({:?}); without: {:.1} m ({:?}); max cross-track {:.1} vs {:.1} m",
+        protected.final_deviation,
+        protected.outcome,
+        unprotected.final_deviation,
+        unprotected.outcome,
+        protected.max_path_deviation,
+        unprotected.max_path_deviation,
+    );
+    let _ = writeln!(
+        out,
+        "\nPaper (Fig. 8): the attack swings PID roll between -20 and 12 deg while the ML\n\
+         limits fluctuations to +/-5 deg; GPS-attack deviation ~5 m with PID-Piper vs ~25 m\n\
+         without, and the protected deviation stays bounded as the mission continues."
+    );
+    harness::emit_report("fig8_recovery_traces", &out);
+    out
+}

@@ -1,0 +1,109 @@
+//! Figure 9: deviation caused by stealthy attacks as a function of mission
+//! distance — (a) PID-Piper vs SRR vs CI on ArduCopter, (b) PID-Piper vs
+//! Savior on PX4.
+
+use crate::harness::{self, Scale};
+use pidpiper_attacks::StealthyAttack;
+use pidpiper_math::Vec3;
+use pidpiper_missions::{Defense, MissionAttack, MissionPlan, MissionRunner, RunnerConfig};
+use pidpiper_sim::RvId;
+use std::fmt::Write as _;
+
+/// Runs one stealthy straight-line mission and returns the maximum
+/// cross-track deviation (m) — the quantity Fig. 9 plots.
+fn stealthy_run(rv: RvId, defense: &mut dyn Defense, distance: f64, seed: u64) -> f64 {
+    let plan = MissionPlan::straight_line(distance, 5.0);
+    let mut config = RunnerConfig::for_rv(rv).with_seed(seed);
+    // Long missions need a proportionally longer time cap.
+    config.max_duration = (distance / 2.0).max(120.0) + 120.0;
+    let runner = MissionRunner::new(config);
+    let attack = StealthyAttack::gps_lateral(Vec3::unit_y(), 0.9);
+    let result = runner.run(&plan, defense, vec![MissionAttack::Stealthy(attack)]);
+    result.max_path_deviation.max(result.final_deviation)
+}
+
+/// Runs the Figure 9 experiment.
+pub fn run(scale: Scale) -> String {
+    let distances = scale.stealthy_distances();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 9: maximum deviation under stealthy GPS attacks vs mission distance (m)"
+    );
+
+    // (a) ArduCopter: PID-Piper vs SRR vs CI.
+    let rv = RvId::ArduCopter;
+    let traces = harness::collect_traces(rv, scale);
+    let mut pidpiper = harness::trained_pidpiper(rv, scale, &traces);
+    let mut ci = harness::fit_ci(rv, &traces);
+    let mut srr = harness::fit_srr(rv, &traces);
+
+    let _ = writeln!(out, "\n(a) ArduCopter");
+    let widths = [10, 12, 12, 12];
+    let _ = writeln!(
+        out,
+        "{}",
+        harness::row(
+            &["dist m".into(), "CI".into(), "SRR".into(), "PID-Piper".into()],
+            &widths
+        )
+    );
+    let mut fig9a = vec![Vec::new(), Vec::new(), Vec::new()];
+    for &d in &distances {
+        let ci_dev = stealthy_run(rv, &mut ci, d, 2100);
+        let srr_dev = stealthy_run(rv, &mut srr, d, 2100);
+        let pp_dev = stealthy_run(rv, &mut pidpiper, d, 2100);
+        fig9a[0].push(ci_dev);
+        fig9a[1].push(srr_dev);
+        fig9a[2].push(pp_dev);
+        let _ = writeln!(
+            out,
+            "{}",
+            harness::row(
+                &[
+                    format!("{d:.0}"),
+                    format!("{ci_dev:.1}"),
+                    format!("{srr_dev:.1}"),
+                    format!("{pp_dev:.1}"),
+                ],
+                &widths
+            )
+        );
+    }
+
+    // (b) PX4: PID-Piper vs Savior.
+    let rv = RvId::Px4Solo;
+    let traces = harness::collect_traces(rv, scale);
+    let mut pidpiper = harness::trained_pidpiper(rv, scale, &traces);
+    let mut savior = harness::fit_savior(rv, &traces);
+
+    let _ = writeln!(out, "\n(b) PX4 Solo");
+    let widths = [10, 12, 12];
+    let _ = writeln!(
+        out,
+        "{}",
+        harness::row(&["dist m".into(), "Savior".into(), "PID-Piper".into()], &widths)
+    );
+    for &d in &distances {
+        let sv_dev = stealthy_run(rv, &mut savior, d, 2200);
+        let pp_dev = stealthy_run(rv, &mut pidpiper, d, 2200);
+        let _ = writeln!(
+            out,
+            "{}",
+            harness::row(
+                &[format!("{d:.0}"), format!("{sv_dev:.1}"), format!("{pp_dev:.1}")],
+                &widths
+            )
+        );
+    }
+
+    let _ = writeln!(
+        out,
+        "\nPaper (Fig. 9): window-based CI/SRR admit deviations growing past 140-160 m at\n\
+         5 km; CUSUM-based Savior caps deviation (~70 m) regardless of distance; PID-Piper\n\
+         caps it below ~10 m — 7x tighter than Savior. Success under stealthy attacks:\n\
+         PID-Piper 100 %, others 0 %."
+    );
+    harness::emit_report("fig9_stealthy", &out);
+    out
+}

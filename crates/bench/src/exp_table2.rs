@@ -1,0 +1,138 @@
+//! Table II: gratuitous recovery and false-positive rate in the absence of
+//! attacks, across CI, Savior, SRR and PID-Piper.
+
+use crate::harness::{self, Scale};
+use pidpiper_missions::{Defense, MissionPlan, MissionRunner, RunnerConfig};
+use pidpiper_sim::RvId;
+use std::fmt::Write as _;
+
+/// Per-technique tallies for the attack-free runs.
+#[derive(Debug, Default, Clone)]
+pub struct FprRow {
+    /// Technique name.
+    pub name: String,
+    /// Missions run.
+    pub total: usize,
+    /// Missions in which recovery activated at least once.
+    pub recovery_activated: usize,
+    /// Of those, missions that still succeeded.
+    pub recovered_ok: usize,
+    /// Missions that failed (the paper's FPR counts only failures).
+    pub failed: usize,
+}
+
+impl FprRow {
+    /// False-positive rate in percent (failed / total).
+    pub fn fpr(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            100.0 * self.failed as f64 / self.total as f64
+        }
+    }
+}
+
+/// Runs attack-free missions under one technique.
+pub fn run_clean_missions(
+    rv: RvId,
+    defense: &mut dyn Defense,
+    plans: &[MissionPlan],
+    seed_base: u64,
+) -> FprRow {
+    let mut row = FprRow {
+        name: defense.name().to_string(),
+        ..Default::default()
+    };
+    for (i, plan) in plans.iter().enumerate() {
+        let runner = MissionRunner::new(RunnerConfig::for_rv(rv).with_seed(seed_base + i as u64));
+        let result = runner.run(plan, defense, Vec::new());
+        row.total += 1;
+        if result.recovery_activations > 0 {
+            row.recovery_activated += 1;
+            if result.outcome.is_success() {
+                row.recovered_ok += 1;
+            }
+        }
+        if !result.outcome.is_success() {
+            row.failed += 1;
+        }
+    }
+    row
+}
+
+/// Runs the Table II experiment on the ArduCopter profile.
+pub fn run(scale: Scale) -> String {
+    let rv = RvId::ArduCopter;
+    let traces = harness::collect_traces(rv, scale);
+    let mut pidpiper = harness::trained_pidpiper(rv, scale, &traces);
+    let mut ci = harness::fit_ci(rv, &traces);
+    let mut srr = harness::fit_srr(rv, &traces);
+    let mut savior = harness::fit_savior(rv, &traces);
+
+    // Evaluation missions: unseen seeds/geometry (not the training set).
+    let n = scale.missions();
+    let plans: Vec<MissionPlan> = MissionPlan::table1_missions(rv, 23, scale.geometry())
+        .into_iter()
+        .take(n)
+        .collect();
+
+    let mut rows = Vec::new();
+    let defenses: Vec<&mut dyn Defense> = vec![&mut ci, &mut savior, &mut srr, &mut pidpiper];
+    for d in defenses {
+        rows.push(run_clean_missions(rv, d, &plans, 4000));
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table II: gratuitous recovery and FPR in the absence of attacks ({n} missions each)"
+    );
+    let widths = [26, 10, 10, 10, 10, 8];
+    let _ = writeln!(
+        out,
+        "{}",
+        harness::row(
+            &[
+                "Analysis".into(),
+                "CI".into(),
+                "Savior".into(),
+                "SRR".into(),
+                "PID-Piper".into(),
+                "".into()
+            ],
+            &widths
+        )
+    );
+    let line = |label: &str, f: &dyn Fn(&FprRow) -> String| -> String {
+        harness::row(
+            &[
+                label.into(),
+                f(&rows[0]),
+                f(&rows[1]),
+                f(&rows[2]),
+                f(&rows[3]),
+                "".into(),
+            ],
+            &widths,
+        )
+    };
+    let _ = writeln!(out, "{}", line("Total missions", &|r| r.total.to_string()));
+    let _ = writeln!(
+        out,
+        "{}",
+        line("Recovery activated", &|r| r.recovery_activated.to_string())
+    );
+    let _ = writeln!(
+        out,
+        "{}",
+        line("Mission successful", &|r| r.recovered_ok.to_string())
+    );
+    let _ = writeln!(out, "{}", line("Mission failed", &|r| r.failed.to_string()));
+    let _ = writeln!(out, "{}", line("FPR %", &|r| format!("{:.1}", r.fpr())));
+    let _ = writeln!(
+        out,
+        "\nPaper (Table II): FPR 23.3 % (CI), 13.3 % (Savior), 10 % (SRR), 0 % (PID-Piper)."
+    );
+    harness::emit_report("table2_false_positives", &out);
+    out
+}

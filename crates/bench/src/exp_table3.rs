@@ -1,0 +1,183 @@
+//! Table III: mission outcomes under overt attacks, plus the deviation
+//! statistics of Section VI-D and the Figure 7 CDF data.
+
+use crate::harness::{self, Scale};
+use pidpiper_attacks::AttackPreset;
+use pidpiper_missions::metrics::deviation_cdf;
+use pidpiper_missions::{
+    Defense, MissionAttack, MissionOutcome, MissionPlan, MissionRunner, RunnerConfig,
+};
+use pidpiper_sim::RvId;
+use std::fmt::Write as _;
+
+/// Outcome tallies for one technique under overt attacks.
+#[derive(Debug, Default, Clone)]
+pub struct OvertRow {
+    /// Technique name.
+    pub name: String,
+    /// Missions run.
+    pub total: usize,
+    /// Missions completing within the 10 m radius.
+    pub success: usize,
+    /// Missions that completed without crashing/stalling but missed.
+    pub failed_no_crash: usize,
+    /// Crashes and stalls.
+    pub crash_or_stall: usize,
+    /// Final deviations of the non-crash missions (m).
+    pub non_crash_deviations: Vec<f64>,
+}
+
+impl OvertRow {
+    /// Mission success rate in percent.
+    pub fn success_rate(&self) -> f64 {
+        100.0 * self.success as f64 / self.total.max(1) as f64
+    }
+
+    /// Mean deviation across non-crash missions.
+    pub fn mean_deviation(&self) -> f64 {
+        if self.non_crash_deviations.is_empty() {
+            f64::NAN
+        } else {
+            self.non_crash_deviations.iter().sum::<f64>() / self.non_crash_deviations.len() as f64
+        }
+    }
+}
+
+/// Runs the overt-attack mission set under one technique: the mission list
+/// is cycled through the three attack presets.
+pub fn run_overt_missions(
+    rv: RvId,
+    defense: &mut dyn Defense,
+    plans: &[MissionPlan],
+    seed_base: u64,
+) -> OvertRow {
+    let mut row = OvertRow {
+        name: defense.name().to_string(),
+        ..Default::default()
+    };
+    for (i, plan) in plans.iter().enumerate() {
+        let preset = AttackPreset::ALL[i % AttackPreset::ALL.len()];
+        let attack = match preset {
+            AttackPreset::GyroAtLanding => {
+                MissionAttack::AtLanding(preset.instantiate(0.0, (0.0, f64::MAX)).kind)
+            }
+            _ => MissionAttack::Scheduled(preset.instantiate(8.0, (0.0, 0.0))),
+        };
+        let runner = MissionRunner::new(RunnerConfig::for_rv(rv).with_seed(seed_base + i as u64));
+        let result = runner.run(plan, defense, vec![attack]);
+        row.total += 1;
+        match result.outcome {
+            MissionOutcome::Success => {
+                row.success += 1;
+                row.non_crash_deviations.push(result.final_deviation);
+            }
+            MissionOutcome::Failed { deviation } => {
+                row.failed_no_crash += 1;
+                row.non_crash_deviations.push(deviation);
+            }
+            MissionOutcome::Crashed | MissionOutcome::Stalled => {
+                row.crash_or_stall += 1;
+            }
+        }
+    }
+    row
+}
+
+/// Runs the Table III experiment on the ArduCopter profile; also emits the
+/// Section VI-D deviation statistics and the Figure 7 CDF data for
+/// PID-Piper and SRR.
+pub fn run(scale: Scale) -> String {
+    let rv = RvId::ArduCopter;
+    let traces = harness::collect_traces(rv, scale);
+    let mut pidpiper = harness::trained_pidpiper(rv, scale, &traces);
+    let mut ci = harness::fit_ci(rv, &traces);
+    let mut srr = harness::fit_srr(rv, &traces);
+    let mut savior = harness::fit_savior(rv, &traces);
+
+    let n = scale.missions();
+    // Straight-line and multi-waypoint missions, as in the paper's recovery
+    // evaluation.
+    let plans: Vec<MissionPlan> = (0..n)
+        .map(|i| {
+            if i % 3 == 2 {
+                MissionPlan::multi_waypoint(3, 60.0 * scale.geometry(), 5.0, 40 + i as u64)
+            } else {
+                MissionPlan::straight_line((40.0 + 4.0 * i as f64) * scale.geometry().max(0.5), 5.0)
+            }
+        })
+        .collect();
+
+    let mut rows = Vec::new();
+    let defenses: Vec<&mut dyn Defense> = vec![&mut ci, &mut savior, &mut srr, &mut pidpiper];
+    for d in defenses {
+        rows.push(run_overt_missions(rv, d, &plans, 7000));
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "Table III: mission outcomes under overt attacks ({n} missions each)");
+    let widths = [28, 10, 10, 10, 10];
+    let _ = writeln!(
+        out,
+        "{}",
+        harness::row(
+            &[
+                "Analysis".into(),
+                "CI".into(),
+                "Savior".into(),
+                "SRR".into(),
+                "PID-Piper".into()
+            ],
+            &widths
+        )
+    );
+    let line = |label: &str, f: &dyn Fn(&OvertRow) -> String| -> String {
+        harness::row(
+            &[
+                label.into(),
+                f(&rows[0]),
+                f(&rows[1]),
+                f(&rows[2]),
+                f(&rows[3]),
+            ],
+            &widths,
+        )
+    };
+    let _ = writeln!(out, "{}", line("Total missions", &|r| r.total.to_string()));
+    let _ = writeln!(out, "{}", line("Mission successful", &|r| r.success.to_string()));
+    let _ = writeln!(
+        out,
+        "{}",
+        line("Mission failed (no crash)", &|r| r.failed_no_crash.to_string())
+    );
+    let _ = writeln!(out, "{}", line("Crash/Stall", &|r| r.crash_or_stall.to_string()));
+    let _ = writeln!(
+        out,
+        "{}",
+        line("Success rate %", &|r| format!("{:.0}", r.success_rate()))
+    );
+    let _ = writeln!(
+        out,
+        "{}",
+        line("Mean non-crash deviation m", &|r| format!("{:.1}", r.mean_deviation()))
+    );
+
+    // Section VI-D / Figure 7: deviation CDF for the non-crash missions of
+    // SRR and PID-Piper.
+    let _ = writeln!(out, "\nFigure 7: CDF of non-crash deviations (deviation m, fraction)");
+    for idx in [2usize, 3] {
+        let r = &rows[idx];
+        let cdf = deviation_cdf(&r.non_crash_deviations);
+        let pts: Vec<String> = cdf
+            .iter()
+            .map(|(d, f)| format!("({d:.1}, {f:.2})"))
+            .collect();
+        let _ = writeln!(out, "  {:<10} {}", r.name, pts.join(" "));
+    }
+    let _ = writeln!(
+        out,
+        "\nPaper (Table III, 30 missions): success 0 (CI), 0 (Savior), 4 (SRR), 25 (PID-Piper);\n\
+         crash/stall 26, 25, 11, 0; mean non-crash deviation 20.67 m (SRR) vs 7.35 m (PID-Piper)."
+    );
+    harness::emit_report("table3_overt_recovery", &out);
+    out
+}

@@ -1,0 +1,133 @@
+//! The actuator-signal boundary between position and attitude control.
+//!
+//! This four-channel vector is the quantity `y(t)` of the paper: the output
+//! of the position controller (target Euler angles, yaw rate and
+//! normalized thrust) that the attitude controller consumes. PID-Piper's
+//! ML model predicts it, the monitoring module compares the PID's and the
+//! model's versions of it, and the recovery module substitutes the model's
+//! version when an attack is detected.
+
+use pidpiper_math::rad_to_deg;
+
+/// The actuator signal `y(t)`: the position controller's output.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ActuatorSignal {
+    /// Target roll angle (rad).
+    pub roll: f64,
+    /// Target pitch angle (rad).
+    pub pitch: f64,
+    /// Target yaw rate (rad/s).
+    pub yaw_rate: f64,
+    /// Normalized collective thrust in `[0, 1]`.
+    pub thrust: f64,
+}
+
+impl ActuatorSignal {
+    /// Number of channels when flattened.
+    pub const DIM: usize = 4;
+
+    /// Flattens into `[roll, pitch, yaw_rate, thrust]`.
+    pub fn to_array(self) -> [f64; 4] {
+        [self.roll, self.pitch, self.yaw_rate, self.thrust]
+    }
+
+    /// Rebuilds from `[roll, pitch, yaw_rate, thrust]`.
+    pub fn from_array(a: [f64; 4]) -> Self {
+        ActuatorSignal {
+            roll: a[0],
+            pitch: a[1],
+            yaw_rate: a[2],
+            thrust: a[3],
+        }
+    }
+
+    /// Per-axis monitoring residual against another signal, in the units
+    /// the paper's thresholds use: degrees for roll/pitch, degrees/second
+    /// for the yaw-rate channel.
+    pub fn residual_deg(&self, other: &ActuatorSignal) -> [f64; 3] {
+        [
+            rad_to_deg((self.roll - other.roll).abs()),
+            rad_to_deg((self.pitch - other.pitch).abs()),
+            rad_to_deg((self.yaw_rate - other.yaw_rate).abs()),
+        ]
+    }
+
+    /// Clamps every channel into physically meaningful ranges:
+    /// angles to `±max_tilt` rad, thrust to `[0, 1]`, yaw rate to
+    /// `±max_yaw_rate` rad/s.
+    pub fn clamped(self, max_tilt: f64, max_yaw_rate: f64) -> ActuatorSignal {
+        ActuatorSignal {
+            roll: self.roll.clamp(-max_tilt, max_tilt),
+            pitch: self.pitch.clamp(-max_tilt, max_tilt),
+            yaw_rate: self.yaw_rate.clamp(-max_yaw_rate, max_yaw_rate),
+            thrust: self.thrust.clamp(0.0, 1.0),
+        }
+    }
+
+    /// True when every channel is finite.
+    pub fn is_finite(&self) -> bool {
+        self.roll.is_finite()
+            && self.pitch.is_finite()
+            && self.yaw_rate.is_finite()
+            && self.thrust.is_finite()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn array_round_trip() {
+        let y = ActuatorSignal {
+            roll: 0.1,
+            pitch: -0.2,
+            yaw_rate: 0.3,
+            thrust: 0.55,
+        };
+        assert_eq!(ActuatorSignal::from_array(y.to_array()), y);
+    }
+
+    #[test]
+    fn residual_is_absolute_degrees() {
+        let a = ActuatorSignal {
+            roll: 0.0,
+            pitch: 0.0,
+            yaw_rate: 0.0,
+            thrust: 0.5,
+        };
+        let b = ActuatorSignal {
+            roll: std::f64::consts::PI / 18.0, // 10 degrees
+            pitch: -std::f64::consts::PI / 18.0,
+            yaw_rate: 0.0,
+            thrust: 0.9, // thrust excluded from the angular residual
+        };
+        let r = a.residual_deg(&b);
+        assert!((r[0] - 10.0).abs() < 1e-9);
+        assert!((r[1] - 10.0).abs() < 1e-9);
+        assert_eq!(r[2], 0.0);
+    }
+
+    #[test]
+    fn clamping() {
+        let y = ActuatorSignal {
+            roll: 1.0,
+            pitch: -1.0,
+            yaw_rate: 9.0,
+            thrust: 1.7,
+        };
+        let c = y.clamped(0.5, 2.0);
+        assert_eq!(c.roll, 0.5);
+        assert_eq!(c.pitch, -0.5);
+        assert_eq!(c.yaw_rate, 2.0);
+        assert_eq!(c.thrust, 1.0);
+    }
+
+    #[test]
+    fn finiteness() {
+        let mut y = ActuatorSignal::default();
+        assert!(y.is_finite());
+        y.thrust = f64::NAN;
+        assert!(!y.is_finite());
+    }
+}

@@ -1,0 +1,37 @@
+//! Cascaded PID flight and drive controllers, following the ArduPilot
+//! architecture sketched in Figure 1 of the PID-Piper paper.
+//!
+//! The control stack is split exactly along the paper's seams:
+//!
+//! - the **position controller** ([`position::PositionController`]) turns
+//!   target position into velocity, acceleration and finally the *actuator
+//!   signal* — target Euler angles, yaw rate and thrust
+//!   ([`actuator::ActuatorSignal`]);
+//! - the **attitude controller** ([`attitude::AttitudeController`]) turns
+//!   the actuator signal into body-rate setpoints, torques and, through the
+//!   [`mixer`], motor commands.
+//!
+//! The [`actuator::ActuatorSignal`] boundary is the quantity `y(t)` that
+//! PID-Piper's ML model predicts, monitors and (during recovery)
+//! substitutes.
+//!
+//! [`quad::QuadController`] assembles the full stack for quadcopters;
+//! [`rover_ctrl::RoverController`] is the ground-vehicle equivalent (yaw
+//! and speed channels only, which is why the paper calibrates only a yaw
+//! threshold for rovers).
+
+pub mod actuator;
+pub mod attitude;
+pub mod mixer;
+pub mod pid;
+pub mod position;
+pub mod quad;
+pub mod rover_ctrl;
+
+pub use actuator::ActuatorSignal;
+pub use attitude::{AttitudeController, AttitudeGains};
+pub use mixer::Mixer;
+pub use pid::{Pid, PidConfig};
+pub use position::{PositionController, PositionGains, TargetState};
+pub use quad::{QuadController, QuadControlTelemetry};
+pub use rover_ctrl::{RoverController, RoverGains, RoverTarget};

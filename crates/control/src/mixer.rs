@@ -1,0 +1,141 @@
+//! Motor mixer: collective thrust + body torques → four motor commands.
+//!
+//! Inverts the X-frame geometry of the simulator's
+//! [`pidpiper_sim::quadcopter::Quadcopter`]: motor ordering is
+//! `0 = front-right (CCW), 1 = rear-left (CCW), 2 = front-left (CW),
+//! 3 = rear-right (CW)`.
+
+use pidpiper_math::Vec3;
+
+/// Motor mixer for an X-configuration quadcopter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mixer {
+    /// Motor arm offset `d` (m) along each body axis.
+    pub arm_offset: f64,
+    /// Yaw reaction-torque coefficient (N·m per N of thrust).
+    pub yaw_torque_coeff: f64,
+    /// Maximum thrust of a single motor (N).
+    pub max_motor_thrust: f64,
+}
+
+impl Mixer {
+    /// Creates a mixer matching the given airframe geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is non-positive.
+    pub fn new(arm_offset: f64, yaw_torque_coeff: f64, max_motor_thrust: f64) -> Self {
+        assert!(arm_offset > 0.0, "arm offset must be positive");
+        assert!(yaw_torque_coeff > 0.0, "yaw torque coefficient must be positive");
+        assert!(max_motor_thrust > 0.0, "max motor thrust must be positive");
+        Mixer {
+            arm_offset,
+            yaw_torque_coeff,
+            max_motor_thrust,
+        }
+    }
+
+    /// Mixes normalized collective `thrust` (0..1 of total capability) and
+    /// body `torque` (N·m) into four normalized motor commands, clamped to
+    /// `[0, 1]`.
+    ///
+    /// Solves the linear system that the simulator's forward model defines:
+    ///
+    /// ```text
+    /// f_fr = T/4 - tx/(4d) - ty/(4d) - tz/(4k)
+    /// f_rl = T/4 + tx/(4d) + ty/(4d) - tz/(4k)
+    /// f_fl = T/4 + tx/(4d) - ty/(4d) + tz/(4k)
+    /// f_rr = T/4 - tx/(4d) + ty/(4d) + tz/(4k)
+    /// ```
+    pub fn mix(&self, thrust: f64, torque: Vec3) -> [f64; 4] {
+        let total_thrust_n = thrust.clamp(0.0, 1.0) * 4.0 * self.max_motor_thrust;
+        let quarter = total_thrust_n / 4.0;
+        let dx = torque.x / (4.0 * self.arm_offset);
+        let dy = torque.y / (4.0 * self.arm_offset);
+        let dz = torque.z / (4.0 * self.yaw_torque_coeff);
+
+        let f = [
+            quarter - dx - dy - dz, // front-right (CCW)
+            quarter + dx + dy - dz, // rear-left (CCW)
+            quarter + dx - dy + dz, // front-left (CW)
+            quarter - dx + dy + dz, // rear-right (CW)
+        ];
+        f.map(|fi| (fi / self.max_motor_thrust).clamp(0.0, 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pidpiper_sim::quadcopter::{QuadParams, Quadcopter};
+    use pidpiper_sim::state::RigidBodyState;
+
+    fn mixer_for(p: &QuadParams) -> Mixer {
+        Mixer::new(p.arm_offset, p.yaw_torque_coeff, p.max_motor_thrust())
+    }
+
+    #[test]
+    fn pure_thrust_is_uniform() {
+        let p = QuadParams::default();
+        let m = mixer_for(&p);
+        let cmds = m.mix(0.5, Vec3::ZERO);
+        for c in cmds {
+            assert!((c - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn roll_torque_differential() {
+        let p = QuadParams::default();
+        let m = mixer_for(&p);
+        let cmds = m.mix(0.5, Vec3::new(0.2, 0.0, 0.0));
+        // +tau_x boosts RL and FL (left side), per the forward model.
+        assert!(cmds[1] > 0.5 && cmds[2] > 0.5);
+        assert!(cmds[0] < 0.5 && cmds[3] < 0.5);
+    }
+
+    #[test]
+    fn mixer_inverts_simulator_torques() {
+        // Feed mixed commands into the forward model and verify the quad
+        // develops the requested torques (steady-state motor thrusts).
+        let p = QuadParams::default();
+        let m = mixer_for(&p);
+        let torque = Vec3::new(0.08, -0.05, 0.01);
+        let cmds = m.mix(0.5, torque);
+        let mut q = Quadcopter::new(p);
+        q.set_state(RigidBodyState::at_rest(Vec3::new(0.0, 0.0, 50.0)));
+        // Run long enough for the 40 ms motor lag to settle (0.2 s), with a
+        // tiny dt so attitude barely moves.
+        for _ in 0..2000 {
+            q.step(cmds, Vec3::ZERO, 1e-4);
+        }
+        let [f_fr, f_rl, f_fl, f_rr] = q.motor_thrusts();
+        let d = p.arm_offset;
+        let tau_x = d * (f_rl + f_fl - f_fr - f_rr);
+        let tau_y = d * (f_rl + f_rr - f_fr - f_fl);
+        let tau_z = p.yaw_torque_coeff * (f_fl + f_rr - f_fr - f_rl);
+        assert!((tau_x - torque.x).abs() < 0.01, "tau_x {tau_x}");
+        assert!((tau_y - torque.y).abs() < 0.01, "tau_y {tau_y}");
+        assert!((tau_z - torque.z).abs() < 0.005, "tau_z {tau_z}");
+    }
+
+    #[test]
+    fn commands_always_in_unit_range() {
+        let p = QuadParams::default();
+        let m = mixer_for(&p);
+        for &thrust in &[0.0, 0.3, 1.0, 2.0] {
+            for &t in &[-10.0, -1.0, 0.0, 1.0, 10.0] {
+                let cmds = m.mix(thrust, Vec3::new(t, -t, t));
+                for c in cmds {
+                    assert!((0.0..=1.0).contains(&c), "command {c} out of range");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "arm offset")]
+    fn invalid_geometry_rejected() {
+        let _ = Mixer::new(0.0, 0.01, 5.0);
+    }
+}

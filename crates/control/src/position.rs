@@ -1,0 +1,395 @@
+//! Position controller: target position → velocity → acceleration →
+//! actuator signal (target Euler angles, yaw rate, thrust).
+//!
+//! This is the outer loop of the ArduPilot-style cascade in the paper's
+//! Figure 1 and the stage whose output PID-Piper's ML model emulates.
+
+use crate::actuator::ActuatorSignal;
+use crate::pid::{Pid, PidConfig};
+use pidpiper_math::{angles::angle_error, Vec3};
+use pidpiper_sensors::EstimatedState;
+use pidpiper_sim::quadcopter::GRAVITY;
+
+/// The autonomous logic's target for the position controller.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TargetState {
+    /// Target position (ENU metres).
+    pub position: Vec3,
+    /// Feed-forward velocity along the path (m/s, world frame).
+    pub velocity_ff: Vec3,
+    /// Target yaw (rad).
+    pub yaw: f64,
+    /// Whether the autonomous logic is in its landing descent; enables the
+    /// stability-gated descent (a drifting vehicle must not be driven into
+    /// the ground).
+    pub landing: bool,
+}
+
+impl TargetState {
+    /// A hover target at `position` holding yaw `yaw`.
+    pub fn hover_at(position: Vec3, yaw: f64) -> Self {
+        TargetState {
+            position,
+            velocity_ff: Vec3::ZERO,
+            yaw,
+            landing: false,
+        }
+    }
+
+    /// Flattens to `[px, py, pz, yaw]` for the ML feature pipeline.
+    pub fn to_array(self) -> [f64; 4] {
+        [self.position.x, self.position.y, self.position.z, self.yaw]
+    }
+}
+
+/// Gains for the position controller cascade.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PositionGains {
+    /// P gain: position error (m) → velocity setpoint (m/s).
+    pub pos_p: f64,
+    /// Maximum horizontal speed (m/s).
+    pub max_speed_xy: f64,
+    /// Maximum climb/descent speed (m/s).
+    pub max_speed_z: f64,
+    /// Velocity-loop PID (per horizontal axis), producing acceleration.
+    pub vel_xy: PidConfig,
+    /// Vertical velocity-loop PID, producing vertical acceleration.
+    pub vel_z: PidConfig,
+    /// Maximum commanded tilt (rad).
+    pub max_tilt: f64,
+    /// P gain: yaw error (rad) → yaw rate setpoint (rad/s).
+    pub yaw_p: f64,
+    /// Maximum yaw rate (rad/s).
+    pub max_yaw_rate: f64,
+    /// Vehicle mass (kg) for thrust normalization.
+    pub mass: f64,
+    /// Maximum total thrust (N) for thrust normalization.
+    pub max_thrust: f64,
+}
+
+impl PositionGains {
+    /// Reasonable gains for a quadcopter of the given mass and maximum
+    /// thrust (N).
+    pub fn for_quad(mass: f64, max_thrust: f64) -> Self {
+        PositionGains {
+            pos_p: 0.8,
+            max_speed_xy: 5.0,
+            max_speed_z: 2.0,
+            vel_xy: PidConfig {
+                kp: 1.4,
+                ki: 0.35,
+                kd: 0.12,
+                integral_limit: 1.5,
+                output_limit: 4.0,
+                derivative_filter: 0.6,
+            },
+            vel_z: PidConfig {
+                kp: 2.0,
+                ki: 0.8,
+                kd: 0.0,
+                integral_limit: 2.0,
+                output_limit: 4.0,
+                derivative_filter: 0.6,
+            },
+            max_tilt: 0.38,
+            yaw_p: 1.8,
+            max_yaw_rate: 1.2,
+            mass,
+            max_thrust,
+        }
+    }
+}
+
+/// Per-step telemetry from the position controller, used by the paper's
+/// Figure 2 study (position error, velocity/acceleration intermediates and
+/// the effective P coefficient).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PositionTelemetry {
+    /// Position error vector (m).
+    pub position_error: Vec3,
+    /// Velocity setpoint (m/s).
+    pub velocity_setpoint: Vec3,
+    /// Acceleration setpoint (m/s^2).
+    pub acceleration_setpoint: Vec3,
+    /// Effective P gain of the x-velocity loop (paper Fig. 2c).
+    pub effective_p: f64,
+}
+
+/// The outer-loop position controller.
+///
+/// # Examples
+///
+/// ```
+/// use pidpiper_control::position::{PositionController, PositionGains, TargetState};
+/// use pidpiper_sensors::EstimatedState;
+/// use pidpiper_math::Vec3;
+///
+/// let mut pc = PositionController::new(PositionGains::for_quad(1.5, 4.0 * 7.35));
+/// let est = EstimatedState::default();
+/// let target = TargetState::hover_at(Vec3::new(0.0, 0.0, 5.0), 0.0);
+/// let y = pc.update(&est, &target, 0.01);
+/// // Below the target: must command climb-capable thrust.
+/// assert!(y.thrust > 0.3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PositionController {
+    gains: PositionGains,
+    vel_x: Pid,
+    vel_y: Pid,
+    vel_z: Pid,
+    telemetry: PositionTelemetry,
+}
+
+impl PositionController {
+    /// Creates a controller from gains.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any embedded PID configuration is invalid.
+    pub fn new(gains: PositionGains) -> Self {
+        PositionController {
+            vel_x: Pid::new(gains.vel_xy),
+            vel_y: Pid::new(gains.vel_xy),
+            vel_z: Pid::new(gains.vel_z),
+            gains,
+            telemetry: PositionTelemetry::default(),
+        }
+    }
+
+    /// The configured gains.
+    pub fn gains(&self) -> &PositionGains {
+        &self.gains
+    }
+
+    /// Most recent intermediate telemetry.
+    pub fn telemetry(&self) -> &PositionTelemetry {
+        &self.telemetry
+    }
+
+    /// Resets all integrators.
+    pub fn reset(&mut self) {
+        self.vel_x.reset();
+        self.vel_y.reset();
+        self.vel_z.reset();
+    }
+
+    /// Runs one control step: estimated state + target → actuator signal.
+    pub fn update(
+        &mut self,
+        est: &EstimatedState,
+        target: &TargetState,
+        dt: f64,
+    ) -> ActuatorSignal {
+        let g = &self.gains;
+
+        // Position error → velocity setpoint (P with speed limits).
+        let pos_err = target.position - est.position;
+        let mut vel_sp = pos_err * g.pos_p + target.velocity_ff;
+        let vxy = Vec3::new(vel_sp.x, vel_sp.y, 0.0).clamp_norm(g.max_speed_xy);
+        vel_sp.x = vxy.x;
+        vel_sp.y = vxy.y;
+        vel_sp.z = vel_sp.z.clamp(-g.max_speed_z, g.max_speed_z);
+        // Landing flare: near the ground, descend gently (standard
+        // autopilot behaviour; also keeps touchdown within the airframe's
+        // sink-rate limit even when recovering from an attack-induced
+        // wobble).
+        if est.position.z < 1.8 {
+            vel_sp.z = vel_sp.z.max(-0.6);
+        }
+        // Stability-gated descent: while landing, pause the descent until
+        // lateral motion is arrested — touching down while skidding
+        // destroys the airframe. Standard autopilot behaviour, applied
+        // identically under every defense.
+        if target.landing && est.velocity.norm_xy() > 0.6 {
+            vel_sp.z = vel_sp.z.max(0.0);
+        }
+
+        // Velocity error → acceleration setpoint (PID per axis).
+        let accel_sp = Vec3::new(
+            self.vel_x.update(vel_sp.x - est.velocity.x, dt),
+            self.vel_y.update(vel_sp.y - est.velocity.y, dt),
+            self.vel_z.update(vel_sp.z - est.velocity.z, dt),
+        );
+
+        // Acceleration setpoint → target attitude. In the yaw frame:
+        //   pitch = (cos(yaw)*ax + sin(yaw)*ay) / g
+        //   roll  = (sin(yaw)*ax - cos(yaw)*ay) / g
+        let yaw = est.attitude.z;
+        let (sy, cy) = yaw.sin_cos();
+        let pitch = ((cy * accel_sp.x + sy * accel_sp.y) / GRAVITY)
+            .clamp(-g.max_tilt, g.max_tilt);
+        let roll = ((sy * accel_sp.x - cy * accel_sp.y) / GRAVITY)
+            .clamp(-g.max_tilt, g.max_tilt);
+
+        // Vertical acceleration → normalized thrust, compensated for tilt.
+        let tilt_comp = (roll.cos() * pitch.cos()).max(0.5);
+        let thrust_n = g.mass * (GRAVITY + accel_sp.z) / tilt_comp;
+        let thrust = (thrust_n / g.max_thrust).clamp(0.0, 1.0);
+
+        // Yaw error → yaw rate setpoint.
+        let yaw_rate = (g.yaw_p * angle_error(target.yaw, yaw))
+            .clamp(-g.max_yaw_rate, g.max_yaw_rate);
+
+        self.telemetry = PositionTelemetry {
+            position_error: pos_err,
+            velocity_setpoint: vel_sp,
+            acceleration_setpoint: accel_sp,
+            effective_p: self.vel_x.effective_p(),
+        };
+
+        ActuatorSignal {
+            roll,
+            pitch,
+            yaw_rate,
+            thrust,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller() -> PositionController {
+        // 1.5 kg quad, thrust-to-weight 2 => max thrust = 2 * m * g.
+        PositionController::new(PositionGains::for_quad(1.5, 2.0 * 1.5 * GRAVITY))
+    }
+
+    fn hover_estimate(pos: Vec3) -> EstimatedState {
+        EstimatedState {
+            position: pos,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn hover_at_target_commands_hover_thrust() {
+        let mut pc = controller();
+        let est = hover_estimate(Vec3::new(0.0, 0.0, 10.0));
+        let target = TargetState::hover_at(Vec3::new(0.0, 0.0, 10.0), 0.0);
+        let y = pc.update(&est, &target, 0.01);
+        // Hover thrust for T/W = 2 is 0.5 of maximum.
+        assert!((y.thrust - 0.5).abs() < 0.05, "thrust {}", y.thrust);
+        assert!(y.roll.abs() < 1e-6 && y.pitch.abs() < 1e-6);
+        assert!(y.yaw_rate.abs() < 1e-9);
+    }
+
+    #[test]
+    fn target_ahead_commands_positive_pitch() {
+        let mut pc = controller();
+        let est = hover_estimate(Vec3::new(0.0, 0.0, 10.0));
+        let target = TargetState::hover_at(Vec3::new(20.0, 0.0, 10.0), 0.0);
+        let y = pc.update(&est, &target, 0.01);
+        assert!(y.pitch > 0.05, "pitch {} should tip towards +x", y.pitch);
+    }
+
+    #[test]
+    fn target_left_commands_negative_roll() {
+        // +y target => accelerate +y => roll negative in this convention.
+        let mut pc = controller();
+        let est = hover_estimate(Vec3::new(0.0, 0.0, 10.0));
+        let target = TargetState::hover_at(Vec3::new(0.0, 20.0, 10.0), 0.0);
+        let y = pc.update(&est, &target, 0.01);
+        assert!(y.roll < -0.05, "roll {} should tip towards +y", y.roll);
+    }
+
+    #[test]
+    fn tilt_respects_limit() {
+        let mut pc = controller();
+        let est = hover_estimate(Vec3::ZERO);
+        let target = TargetState::hover_at(Vec3::new(1000.0, 1000.0, 0.0), 0.0);
+        for _ in 0..200 {
+            let y = pc.update(&est, &target, 0.01);
+            assert!(y.roll.abs() <= pc.gains().max_tilt + 1e-12);
+            assert!(y.pitch.abs() <= pc.gains().max_tilt + 1e-12);
+        }
+    }
+
+    #[test]
+    fn yaw_error_produces_yaw_rate() {
+        let mut pc = controller();
+        let est = hover_estimate(Vec3::new(0.0, 0.0, 5.0));
+        let target = TargetState::hover_at(Vec3::new(0.0, 0.0, 5.0), 1.0);
+        let y = pc.update(&est, &target, 0.01);
+        assert!(y.yaw_rate > 0.5);
+        assert!(y.yaw_rate <= pc.gains().max_yaw_rate);
+    }
+
+    #[test]
+    fn yaw_frame_mapping_rotates_with_heading() {
+        // Facing +y (yaw 90 deg), a +x target needs a roll command, not pitch.
+        let mut pc = controller();
+        let mut est = hover_estimate(Vec3::new(0.0, 0.0, 10.0));
+        est.attitude.z = std::f64::consts::FRAC_PI_2;
+        let target = TargetState::hover_at(Vec3::new(20.0, 0.0, 10.0), est.attitude.z);
+        let y = pc.update(&est, &target, 0.01);
+        assert!(y.roll > 0.05, "roll {}", y.roll);
+        assert!(y.pitch.abs() < 0.02, "pitch {}", y.pitch);
+    }
+
+    #[test]
+    fn spoofed_position_inflates_effective_p() {
+        // Reproduces the Fig. 2c mechanism: a systematic position error
+        // (as injected by GPS spoofing) keeps the velocity loop's integral
+        // charging, inflating the effective gain.
+        let mut pc = controller();
+        let target = TargetState::hover_at(Vec3::new(0.0, 0.0, 10.0), 0.0);
+        // Vehicle believes it is displaced 0.5 m and never catches up
+        // (systematic, attack-like error).
+        let est = hover_estimate(Vec3::new(0.5, 0.0, 10.0));
+        pc.update(&est, &target, 0.01);
+        let early = pc.telemetry().effective_p;
+        for _ in 0..800 {
+            pc.update(&est, &target, 0.01);
+        }
+        let late = pc.telemetry().effective_p;
+        assert!(
+            late > early + 0.5,
+            "effective P should inflate: early {early}, late {late}"
+        );
+    }
+
+    #[test]
+    fn landing_flare_limits_descent_near_ground() {
+        let mut pc = controller();
+        let mut est = hover_estimate(Vec3::new(0.0, 0.0, 1.0));
+        est.velocity = Vec3::new(0.0, 0.0, -2.0);
+        let mut target = TargetState::hover_at(Vec3::new(0.0, 0.0, 0.0), 0.0);
+        target.landing = true;
+        // The flare caps the descent setpoint at -0.6 m/s below 1.8 m, so
+        // with the vehicle sinking at 2 m/s the controller must push up.
+        let y = pc.update(&est, &target, 0.01);
+        assert!(y.thrust > 0.5, "flare should brake the descent: thrust {}", y.thrust);
+    }
+
+    #[test]
+    fn landing_pauses_descent_while_skidding() {
+        let mut pc = controller();
+        let mut est = hover_estimate(Vec3::new(0.0, 0.0, 3.0));
+        est.velocity = Vec3::new(1.5, 0.0, 0.0); // lateral skid
+        let mut target = TargetState::hover_at(Vec3::new(0.0, 0.0, 0.0), 0.0);
+        target.landing = true;
+        for _ in 0..50 {
+            pc.update(&est, &target, 0.01);
+        }
+        let vel_sp_z = pc.telemetry().velocity_setpoint.z;
+        assert!(
+            vel_sp_z >= 0.0,
+            "descent must pause while lateral speed is high: vz_sp {vel_sp_z}"
+        );
+    }
+
+    #[test]
+    fn reset_clears_integrators() {
+        let mut pc = controller();
+        let est = hover_estimate(Vec3::new(5.0, 0.0, 10.0));
+        let target = TargetState::hover_at(Vec3::new(0.0, 0.0, 10.0), 0.0);
+        for _ in 0..100 {
+            pc.update(&est, &target, 0.01);
+        }
+        pc.reset();
+        let est0 = hover_estimate(Vec3::new(0.0, 0.0, 10.0));
+        let y = pc.update(&est0, &TargetState::hover_at(Vec3::new(0.0, 0.0, 10.0), 0.0), 0.01);
+        assert!(y.roll.abs() < 1e-6 && y.pitch.abs() < 1e-6);
+    }
+}

@@ -1,0 +1,258 @@
+//! The assembled quadcopter controller: position + attitude + mixer.
+
+use crate::actuator::ActuatorSignal;
+use crate::attitude::{AttitudeController, AttitudeGains};
+use crate::mixer::Mixer;
+use crate::position::{PositionController, PositionGains, PositionTelemetry, TargetState};
+use pidpiper_sensors::EstimatedState;
+use pidpiper_sim::quadcopter::QuadParams;
+
+/// Telemetry from one full control step.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct QuadControlTelemetry {
+    /// The actuator signal actually flown this step (PID's, or the ML
+    /// model's during recovery).
+    pub flown_signal: ActuatorSignal,
+    /// The PID position controller's own signal (always computed, even in
+    /// recovery, so the monitor can compare).
+    pub pid_signal: ActuatorSignal,
+    /// Position-controller intermediates (Fig. 2 telemetry).
+    pub position: PositionTelemetry,
+    /// Commanded body-rate magnitude (rad/s) — the paper's "rotation rate"
+    /// trace (Fig. 2d).
+    pub rotation_rate: f64,
+}
+
+/// Full quadcopter control stack.
+///
+/// Each [`QuadController::step`] runs the PID position controller, then
+/// (optionally) substitutes an externally supplied actuator signal — this
+/// is the hook PID-Piper's recovery module uses — and finally runs the
+/// attitude loop and mixer to produce motor commands.
+///
+/// # Examples
+///
+/// ```
+/// use pidpiper_control::quad::QuadController;
+/// use pidpiper_control::position::TargetState;
+/// use pidpiper_sensors::EstimatedState;
+/// use pidpiper_sim::quadcopter::QuadParams;
+/// use pidpiper_math::Vec3;
+///
+/// let mut ctl = QuadController::new(&QuadParams::default());
+/// let est = EstimatedState::default();
+/// let target = TargetState::hover_at(Vec3::new(0.0, 0.0, 5.0), 0.0);
+/// let (motors, y) = ctl.step(&est, &target, None, 0.01);
+/// assert!(motors.iter().all(|m| (0.0..=1.0).contains(m)));
+/// assert!(y.thrust > 0.3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct QuadController {
+    position: PositionController,
+    attitude: AttitudeController,
+    mixer: Mixer,
+    telemetry: QuadControlTelemetry,
+    max_tilt: f64,
+    max_yaw_rate: f64,
+}
+
+impl QuadController {
+    /// Builds the standard controller for an airframe.
+    pub fn new(params: &QuadParams) -> Self {
+        let pos_gains = PositionGains::for_quad(params.mass, 4.0 * params.max_motor_thrust());
+        let att_gains = AttitudeGains::for_inertia(params.inertia);
+        QuadController {
+            max_tilt: pos_gains.max_tilt,
+            max_yaw_rate: pos_gains.max_yaw_rate,
+            position: PositionController::new(pos_gains),
+            attitude: AttitudeController::new(att_gains),
+            mixer: Mixer::new(
+                params.arm_offset,
+                params.yaw_torque_coeff,
+                params.max_motor_thrust(),
+            ),
+            telemetry: QuadControlTelemetry::default(),
+        }
+    }
+
+    /// Latest step telemetry.
+    pub fn telemetry(&self) -> &QuadControlTelemetry {
+        &self.telemetry
+    }
+
+    /// Resets all integrators (used between missions).
+    pub fn reset(&mut self) {
+        self.position.reset();
+        self.attitude.reset();
+    }
+
+    /// Runs one control cycle.
+    ///
+    /// - `est`: the state estimate the autopilot believes;
+    /// - `target`: the autonomous logic's target;
+    /// - `override_signal`: when `Some`, this signal is flown instead of
+    ///   the PID's own output (PID-Piper recovery, baseline recovery);
+    ///   the PID output is still computed for monitoring;
+    /// - returns `(motor_commands, pid_signal)`.
+    pub fn step(
+        &mut self,
+        est: &EstimatedState,
+        target: &TargetState,
+        override_signal: Option<ActuatorSignal>,
+        dt: f64,
+    ) -> ([f64; 4], ActuatorSignal) {
+        let pid_signal = self.position.update(est, target, dt);
+        let flown = override_signal
+            .map(|s| s.clamped(self.max_tilt, self.max_yaw_rate))
+            .unwrap_or(pid_signal);
+
+        let torque = self.attitude.update(est, &flown, dt);
+        let motors = self.mixer.mix(flown.thrust, torque);
+
+        self.telemetry = QuadControlTelemetry {
+            flown_signal: flown,
+            pid_signal,
+            position: *self.position.telemetry(),
+            rotation_rate: est.body_rates.norm(),
+        };
+        (motors, pid_signal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pidpiper_math::Vec3;
+    use pidpiper_sensors::{Estimator, NoiseConfig, SensorSuite};
+    use pidpiper_sim::quadcopter::Quadcopter;
+    use pidpiper_sim::state::RigidBodyState;
+
+    /// Closed-loop fixture: simulator + sensors + estimator + controller.
+    struct Loop {
+        quad: Quadcopter,
+        suite: SensorSuite,
+        est: Estimator,
+        ctl: QuadController,
+    }
+
+    impl Loop {
+        fn new() -> Self {
+            let params = QuadParams::default();
+            Loop {
+                quad: Quadcopter::new(params),
+                suite: SensorSuite::new(NoiseConfig::default(), 11),
+                est: Estimator::new(),
+                ctl: QuadController::new(&params),
+            }
+        }
+
+        fn run(&mut self, target: TargetState, seconds: f64) {
+            let dt = 0.01; // 100 Hz control; physics sub-stepped at 400 Hz
+            let steps = (seconds / dt) as usize;
+            for _ in 0..steps {
+                let readings = self.suite.sample(self.quad.state(), dt);
+                let est = self.est.update(&readings, dt);
+                let (motors, _) = self.ctl.step(&est, &target, None, dt);
+                for _ in 0..4 {
+                    self.quad.step(motors, Vec3::ZERO, dt / 4.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn takeoff_and_hold_altitude() {
+        let mut l = Loop::new();
+        let target = TargetState::hover_at(Vec3::new(0.0, 0.0, 5.0), 0.0);
+        l.run(target, 12.0);
+        let pos = l.quad.state().position;
+        assert!(!l.quad.is_crashed(), "crashed during takeoff");
+        assert!(
+            (pos.z - 5.0).abs() < 0.8,
+            "altitude {} should be near 5",
+            pos.z
+        );
+        assert!(pos.norm_xy() < 1.0, "horizontal drift {}", pos.norm_xy());
+    }
+
+    #[test]
+    fn fly_to_waypoint() {
+        let mut l = Loop::new();
+        // Climb first.
+        l.run(TargetState::hover_at(Vec3::new(0.0, 0.0, 5.0), 0.0), 8.0);
+        // Cruise to a waypoint 30 m east.
+        l.run(TargetState::hover_at(Vec3::new(30.0, 0.0, 5.0), 0.0), 20.0);
+        let pos = l.quad.state().position;
+        assert!(!l.quad.is_crashed());
+        assert!(
+            pos.distance_xy(Vec3::new(30.0, 0.0, 5.0)) < 1.5,
+            "reached {pos} instead of waypoint"
+        );
+    }
+
+    #[test]
+    fn yaw_tracking() {
+        let mut l = Loop::new();
+        l.run(TargetState::hover_at(Vec3::new(0.0, 0.0, 5.0), 0.0), 8.0);
+        l.run(TargetState::hover_at(Vec3::new(0.0, 0.0, 5.0), 1.2), 6.0);
+        let yaw = l.quad.state().attitude.z;
+        assert!((yaw - 1.2).abs() < 0.15, "yaw {yaw} should track 1.2");
+    }
+
+    #[test]
+    fn override_signal_is_flown() {
+        let mut l = Loop::new();
+        l.run(TargetState::hover_at(Vec3::new(0.0, 0.0, 5.0), 0.0), 8.0);
+        // Force a pitch-forward override regardless of the hover target.
+        let ovr = ActuatorSignal {
+            roll: 0.0,
+            pitch: 0.2,
+            yaw_rate: 0.0,
+            thrust: 0.52,
+        };
+        let dt = 0.01;
+        for _ in 0..300 {
+            let readings = l.suite.sample(l.quad.state(), dt);
+            let est = l.est.update(&readings, dt);
+            let (motors, _) = l.ctl.step(&est, &TargetState::hover_at(Vec3::new(0.0, 0.0, 5.0), 0.0), Some(ovr), dt);
+            for _ in 0..4 {
+                l.quad.step(motors, Vec3::ZERO, dt / 4.0);
+            }
+        }
+        // The vehicle must have accelerated east despite the hover target.
+        assert!(
+            l.quad.state().velocity.x > 0.5,
+            "override ignored: vx = {}",
+            l.quad.state().velocity.x
+        );
+        // Telemetry separates flown vs PID signals.
+        let t = l.ctl.telemetry();
+        assert_eq!(t.flown_signal.pitch, 0.2);
+        assert!(t.pid_signal.pitch < 0.1, "PID should be pitching back");
+    }
+
+    #[test]
+    fn wind_disturbance_rejected() {
+        let mut l = Loop::new();
+        let target = TargetState::hover_at(Vec3::new(0.0, 0.0, 6.0), 0.0);
+        l.run(target, 8.0);
+        // 20 km/h steady wind.
+        let dt = 0.01;
+        let wind = Vec3::new(20.0 / 3.6, 0.0, 0.0);
+        for _ in 0..1500 {
+            let readings = l.suite.sample(l.quad.state(), dt);
+            let est = l.est.update(&readings, dt);
+            let (motors, _) = l.ctl.step(&est, &target, None, dt);
+            for _ in 0..4 {
+                l.quad.step(motors, wind, dt / 4.0);
+            }
+        }
+        let pos = l.quad.state().position;
+        assert!(!l.quad.is_crashed());
+        assert!(
+            pos.norm_xy() < 2.0,
+            "wind blew the vehicle {} m off target",
+            pos.norm_xy()
+        );
+    }
+}

@@ -1,0 +1,256 @@
+//! Ground-rover controller: heading and speed loops.
+//!
+//! Rovers control only the Z-axis rotation, so the actuator signal's
+//! meaningful channels are `yaw_rate` (steering) and `thrust` (throttle);
+//! roll and pitch are always zero. This matches the paper's Table I, which
+//! calibrates only a yaw threshold for the rover platforms.
+
+use crate::actuator::ActuatorSignal;
+use crate::pid::{Pid, PidConfig};
+use pidpiper_math::angles::angle_error;
+use pidpiper_sensors::EstimatedState;
+use pidpiper_sim::rover::{RoverCommand, RoverParams};
+
+/// Target for the rover controller.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RoverTarget {
+    /// Target position (only x, y used).
+    pub position: pidpiper_math::Vec3,
+    /// Cruise speed towards the target (m/s).
+    pub cruise_speed: f64,
+}
+
+/// Gains for the rover control loops.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoverGains {
+    /// P gain: heading error (rad) → yaw-rate setpoint (rad/s).
+    pub heading_p: f64,
+    /// Maximum yaw-rate setpoint (rad/s).
+    pub max_yaw_rate: f64,
+    /// Speed-loop PID: speed error (m/s) → throttle.
+    pub speed: PidConfig,
+    /// Steering gain: yaw-rate setpoint → steering command.
+    pub steer_gain: f64,
+    /// Distance at which the rover starts slowing down (m).
+    pub slowdown_radius: f64,
+}
+
+impl RoverGains {
+    /// Reasonable gains for a rover with the given parameters.
+    pub fn for_rover(params: &RoverParams) -> Self {
+        RoverGains {
+            heading_p: 2.5,
+            max_yaw_rate: 1.5,
+            speed: PidConfig {
+                kp: 0.8,
+                ki: 0.6,
+                kd: 0.0,
+                integral_limit: 0.6,
+                output_limit: 1.0,
+                derivative_filter: 0.5,
+            },
+            steer_gain: params.wheelbase / params.max_steer.max(1e-6),
+            slowdown_radius: 3.0,
+        }
+    }
+}
+
+/// The rover control stack.
+///
+/// # Examples
+///
+/// ```
+/// use pidpiper_control::rover_ctrl::{RoverController, RoverGains, RoverTarget};
+/// use pidpiper_sensors::EstimatedState;
+/// use pidpiper_sim::rover::RoverParams;
+/// use pidpiper_math::Vec3;
+///
+/// let params = RoverParams::default();
+/// let mut ctl = RoverController::new(RoverGains::for_rover(&params));
+/// let est = EstimatedState::default();
+/// let target = RoverTarget { position: Vec3::new(10.0, 0.0, 0.0), cruise_speed: 2.0 };
+/// let (cmd, y) = ctl.step(&est, &target, None, 0.01);
+/// assert!(cmd.throttle > 0.0);
+/// assert_eq!(y.roll, 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RoverController {
+    gains: RoverGains,
+    speed_pid: Pid,
+    last_pid_signal: ActuatorSignal,
+}
+
+impl RoverController {
+    /// Creates a rover controller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the speed PID configuration is invalid.
+    pub fn new(gains: RoverGains) -> Self {
+        RoverController {
+            speed_pid: Pid::new(gains.speed),
+            gains,
+            last_pid_signal: ActuatorSignal::default(),
+        }
+    }
+
+    /// The configured gains.
+    pub fn gains(&self) -> &RoverGains {
+        &self.gains
+    }
+
+    /// Resets integrators.
+    pub fn reset(&mut self) {
+        self.speed_pid.reset();
+    }
+
+    /// The actuator signal the PID produced on the last step.
+    pub fn last_pid_signal(&self) -> ActuatorSignal {
+        self.last_pid_signal
+    }
+
+    /// One control cycle.
+    ///
+    /// `override_signal` substitutes the flown signal (recovery mode), as
+    /// in the quadcopter controller. Returns `(drive_command, pid_signal)`.
+    pub fn step(
+        &mut self,
+        est: &EstimatedState,
+        target: &RoverTarget,
+        override_signal: Option<ActuatorSignal>,
+        dt: f64,
+    ) -> (RoverCommand, ActuatorSignal) {
+        let g = &self.gains;
+        let to_target = target.position - est.position;
+        let dist = to_target.norm_xy();
+        let desired_heading = to_target.y.atan2(to_target.x);
+        let heading_err = angle_error(desired_heading, est.attitude.z);
+
+        let yaw_rate_sp =
+            (g.heading_p * heading_err).clamp(-g.max_yaw_rate, g.max_yaw_rate);
+
+        // Slow down near the target; stop inside 0.5 m.
+        let speed_sp = if dist < 0.5 {
+            0.0
+        } else {
+            target.cruise_speed * (dist / g.slowdown_radius).min(1.0)
+        };
+        let speed = est.velocity.norm_xy();
+        let throttle = self.speed_pid.update(speed_sp - speed, dt);
+
+        let pid_signal = ActuatorSignal {
+            roll: 0.0,
+            pitch: 0.0,
+            yaw_rate: yaw_rate_sp,
+            thrust: throttle.clamp(0.0, 1.0),
+        };
+        self.last_pid_signal = pid_signal;
+
+        let flown = override_signal.unwrap_or(pid_signal);
+        let steering = (flown.yaw_rate * g.steer_gain).clamp(-1.0, 1.0);
+        (
+            RoverCommand {
+                throttle: flown.thrust.clamp(-1.0, 1.0),
+                steering,
+            },
+            pid_signal,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pidpiper_math::Vec3;
+    use pidpiper_sensors::{Estimator, NoiseConfig, SensorSuite};
+    use pidpiper_sim::rover::Rover;
+
+    #[test]
+    fn drives_towards_target_closed_loop() {
+        let params = RoverParams::default();
+        let mut rover = Rover::new(params);
+        let mut suite = SensorSuite::new(NoiseConfig::default(), 21);
+        let mut est = Estimator::new();
+        let mut ctl = RoverController::new(RoverGains::for_rover(&params));
+        let target = RoverTarget {
+            position: Vec3::new(15.0, 8.0, 0.0),
+            cruise_speed: 2.0,
+        };
+        let dt = 0.01;
+        for _ in 0..4000 {
+            let readings = suite.sample(rover.state(), dt);
+            let e = est.update(&readings, dt);
+            let (cmd, _) = ctl.step(&e, &target, None, dt);
+            for _ in 0..4 {
+                rover.step(cmd, Vec3::ZERO, dt / 4.0);
+            }
+        }
+        let dist = rover.state().position.distance_xy(target.position);
+        assert!(!rover.is_crashed());
+        assert!(dist < 1.5, "rover ended {dist} m from target");
+    }
+
+    #[test]
+    fn stops_at_target() {
+        let params = RoverParams::default();
+        let mut ctl = RoverController::new(RoverGains::for_rover(&params));
+        let mut est = EstimatedState::default();
+        est.position = Vec3::new(10.0, 0.0, 0.0);
+        let target = RoverTarget {
+            position: Vec3::new(10.0, 0.2, 0.0),
+            cruise_speed: 2.0,
+        };
+        let (cmd, _) = ctl.step(&est, &target, None, 0.01);
+        assert!(cmd.throttle <= 0.05, "throttle {} at target", cmd.throttle);
+    }
+
+    #[test]
+    fn heading_error_steers() {
+        let params = RoverParams::default();
+        let mut ctl = RoverController::new(RoverGains::for_rover(&params));
+        let est = EstimatedState::default(); // facing +x
+        let target = RoverTarget {
+            position: Vec3::new(0.0, 10.0, 0.0), // due north (+y)
+            cruise_speed: 2.0,
+        };
+        let (cmd, y) = ctl.step(&est, &target, None, 0.01);
+        assert!(y.yaw_rate > 0.5, "yaw rate {}", y.yaw_rate);
+        assert!(cmd.steering > 0.1);
+    }
+
+    #[test]
+    fn override_replaces_pid_signal() {
+        let params = RoverParams::default();
+        let mut ctl = RoverController::new(RoverGains::for_rover(&params));
+        let est = EstimatedState::default();
+        let target = RoverTarget {
+            position: Vec3::new(10.0, 0.0, 0.0),
+            cruise_speed: 2.0,
+        };
+        let ovr = ActuatorSignal {
+            yaw_rate: -1.0,
+            thrust: 0.1,
+            ..Default::default()
+        };
+        let (cmd, pid) = ctl.step(&est, &target, Some(ovr), 0.01);
+        assert!(cmd.steering < 0.0, "override steering ignored");
+        assert!((cmd.throttle - 0.1).abs() < 1e-12);
+        // The PID's own opinion is still reported for monitoring.
+        assert!(pid.yaw_rate.abs() < 0.2);
+        assert!(pid.thrust > 0.1);
+    }
+
+    #[test]
+    fn rover_signal_has_no_roll_pitch() {
+        let params = RoverParams::default();
+        let mut ctl = RoverController::new(RoverGains::for_rover(&params));
+        let est = EstimatedState::default();
+        let target = RoverTarget {
+            position: Vec3::new(5.0, 5.0, 0.0),
+            cruise_speed: 1.0,
+        };
+        let (_, y) = ctl.step(&est, &target, None, 0.01);
+        assert_eq!(y.roll, 0.0);
+        assert_eq!(y.pitch, 0.0);
+    }
+}

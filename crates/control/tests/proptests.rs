@@ -1,0 +1,110 @@
+//! Property-based tests for the control stack.
+
+use pidpiper_control::{ActuatorSignal, Mixer, Pid, PidConfig};
+use pidpiper_math::Vec3;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pid_output_always_within_limit(
+        kp in 0.0..50.0f64,
+        ki in 0.0..20.0f64,
+        kd in 0.0..5.0f64,
+        limit in 0.1..100.0f64,
+        errors in prop::collection::vec(-1e3..1e3f64, 1..100),
+    ) {
+        let mut pid = Pid::new(PidConfig {
+            kp,
+            ki,
+            kd,
+            integral_limit: 10.0,
+            output_limit: limit,
+            derivative_filter: 0.5,
+        });
+        for e in errors {
+            let out = pid.update(e, 0.01);
+            prop_assert!(out.abs() <= limit + 1e-12);
+            prop_assert!(out.is_finite());
+        }
+    }
+
+    #[test]
+    fn pid_integral_respects_anti_windup(
+        ki in 0.01..20.0f64,
+        i_limit in 0.0..5.0f64,
+        errors in prop::collection::vec(-100.0..100.0f64, 1..200),
+    ) {
+        let mut pid = Pid::new(PidConfig {
+            kp: 0.0,
+            ki,
+            kd: 0.0,
+            integral_limit: i_limit,
+            output_limit: 1e6,
+            derivative_filter: 0.0,
+        });
+        for e in errors {
+            pid.update(e, 0.01);
+            prop_assert!(pid.integral().abs() <= i_limit + 1e-12);
+        }
+    }
+
+    #[test]
+    fn mixer_commands_always_unit_range(
+        thrust in -2.0..3.0f64,
+        tx in -5.0..5.0f64,
+        ty in -5.0..5.0f64,
+        tz in -1.0..1.0f64,
+    ) {
+        let mixer = Mixer::new(0.18, 0.016, 7.36);
+        for c in mixer.mix(thrust, Vec3::new(tx, ty, tz)) {
+            prop_assert!((0.0..=1.0).contains(&c));
+        }
+    }
+
+    #[test]
+    fn mixer_pure_thrust_is_symmetric(thrust in 0.0..1.0f64) {
+        let mixer = Mixer::new(0.18, 0.016, 7.36);
+        let cmds = mixer.mix(thrust, Vec3::ZERO);
+        for w in cmds.windows(2) {
+            prop_assert!((w[0] - w[1]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn actuator_signal_clamp_is_idempotent(
+        roll in -2.0..2.0f64,
+        pitch in -2.0..2.0f64,
+        yaw_rate in -5.0..5.0f64,
+        thrust in -1.0..2.0f64,
+        max_tilt in 0.01..1.0f64,
+        max_yaw in 0.01..3.0f64,
+    ) {
+        let y = ActuatorSignal { roll, pitch, yaw_rate, thrust };
+        let once = y.clamped(max_tilt, max_yaw);
+        let twice = once.clamped(max_tilt, max_yaw);
+        prop_assert_eq!(once, twice);
+        prop_assert!(once.roll.abs() <= max_tilt);
+        prop_assert!(once.pitch.abs() <= max_tilt);
+        prop_assert!(once.yaw_rate.abs() <= max_yaw);
+        prop_assert!((0.0..=1.0).contains(&once.thrust));
+    }
+
+    #[test]
+    fn residual_deg_symmetric_and_nonnegative(
+        a_roll in -1.0..1.0f64, a_pitch in -1.0..1.0f64, a_yaw in -2.0..2.0f64,
+        b_roll in -1.0..1.0f64, b_pitch in -1.0..1.0f64, b_yaw in -2.0..2.0f64,
+    ) {
+        let a = ActuatorSignal { roll: a_roll, pitch: a_pitch, yaw_rate: a_yaw, thrust: 0.5 };
+        let b = ActuatorSignal { roll: b_roll, pitch: b_pitch, yaw_rate: b_yaw, thrust: 0.5 };
+        let r_ab = a.residual_deg(&b);
+        let r_ba = b.residual_deg(&a);
+        for axis in 0..3 {
+            prop_assert!(r_ab[axis] >= 0.0);
+            prop_assert!((r_ab[axis] - r_ba[axis]).abs() < 1e-9);
+        }
+        // Self-residual is exactly zero.
+        prop_assert_eq!(a.residual_deg(&a), [0.0; 3]);
+    }
+}

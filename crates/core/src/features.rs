@@ -1,0 +1,428 @@
+//! Feature catalogues and extraction — the paper's feature engineering.
+//!
+//! The paper's FFC model starts from 44 features and, after VIF-driven
+//! pruning (Section IV-C), keeps 24 that "capture the RV's linear and
+//! angular positions" — target position, position error, position
+//! variance, angular position/orientation/speed — while dropping the
+//! high-VIF channels (velocities, accelerations, raw GPS/IMU values).
+//! The FBC starts from 12 features and prunes to 6.
+//!
+//! Sensor-derived primitives are gathered in [`SensorPrimitives`]; the
+//! variance gate runs over that vector, and feature assembly then combines
+//! the *gated* primitives with the trusted target state `u(t)` (which the
+//! attacker cannot perturb — it comes from the autonomous logic, not from
+//! sensors).
+
+use pidpiper_control::{ActuatorSignal, TargetState};
+use pidpiper_missions::FlightPhase;
+use pidpiper_sensors::{EstimatedState, SensorReadings};
+
+/// Sensor-derived primitive scalars (everything an attacker can touch).
+///
+/// Flattened order is stable and documented by [`SensorPrimitives::NAMES`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SensorPrimitives {
+    /// Estimated position (3).
+    pub position: [f64; 3],
+    /// Estimated velocity (3).
+    pub velocity: [f64; 3],
+    /// Estimated attitude (3).
+    pub attitude: [f64; 3],
+    /// Body rates / angular speed (3).
+    pub body_rates: [f64; 3],
+    /// Position variance (3).
+    pub position_variance: [f64; 3],
+    /// World-frame acceleration estimate (3).
+    pub acceleration: [f64; 3],
+    /// Raw GPS position (3).
+    pub gps_position: [f64; 3],
+    /// Raw GPS velocity (3).
+    pub gps_velocity: [f64; 3],
+    /// Raw gyroscope (3).
+    pub gyro: [f64; 3],
+    /// Raw accelerometer (3).
+    pub accel: [f64; 3],
+    /// Barometric altitude (1).
+    pub baro: f64,
+    /// Magnetometer heading (1).
+    pub mag: f64,
+}
+
+impl SensorPrimitives {
+    /// Number of scalars in the flattened vector.
+    pub const DIM: usize = 32;
+
+    /// Names of the flattened scalars, for the VIF study output.
+    pub const NAMES: [&'static str; 32] = [
+        "pos_x", "pos_y", "pos_z", "vel_x", "vel_y", "vel_z", "roll", "pitch", "yaw", "rate_p",
+        "rate_q", "rate_r", "pos_var_x", "pos_var_y", "pos_var_z", "acc_x", "acc_y", "acc_z",
+        "gps_x", "gps_y", "gps_z", "gps_vx", "gps_vy", "gps_vz", "gyro_x", "gyro_y", "gyro_z",
+        "accel_x", "accel_y", "accel_z", "baro", "mag",
+    ];
+
+    /// Collects primitives from an estimate and a raw sensor sample.
+    pub fn collect(est: &EstimatedState, readings: &SensorReadings) -> Self {
+        SensorPrimitives {
+            position: est.position.to_array(),
+            velocity: est.velocity.to_array(),
+            attitude: est.attitude.to_array(),
+            body_rates: est.body_rates.to_array(),
+            position_variance: est.position_variance.to_array(),
+            acceleration: est.acceleration.to_array(),
+            gps_position: readings.gps_position.to_array(),
+            gps_velocity: readings.gps_velocity.to_array(),
+            gyro: readings.gyro.to_array(),
+            accel: readings.accel.to_array(),
+            baro: readings.baro_altitude,
+            mag: readings.mag_heading,
+        }
+    }
+
+    /// Flattens into the documented order.
+    pub fn to_vec(&self) -> Vec<f64> {
+        let mut v = Vec::with_capacity(Self::DIM);
+        v.extend_from_slice(&self.position);
+        v.extend_from_slice(&self.velocity);
+        v.extend_from_slice(&self.attitude);
+        v.extend_from_slice(&self.body_rates);
+        v.extend_from_slice(&self.position_variance);
+        v.extend_from_slice(&self.acceleration);
+        v.extend_from_slice(&self.gps_position);
+        v.extend_from_slice(&self.gps_velocity);
+        v.extend_from_slice(&self.gyro);
+        v.extend_from_slice(&self.accel);
+        v.push(self.baro);
+        v.push(self.mag);
+        v
+    }
+
+    /// Rebuilds from a flattened vector (e.g. after gating).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != Self::DIM`.
+    pub fn from_vec(v: &[f64]) -> Self {
+        assert_eq!(v.len(), Self::DIM, "primitive vector length");
+        let take3 = |o: usize| [v[o], v[o + 1], v[o + 2]];
+        SensorPrimitives {
+            position: take3(0),
+            velocity: take3(3),
+            attitude: take3(6),
+            body_rates: take3(9),
+            position_variance: take3(12),
+            acceleration: take3(15),
+            gps_position: take3(18),
+            gps_velocity: take3(21),
+            gyro: take3(24),
+            accel: take3(27),
+            baro: v[30],
+            mag: v[31],
+        }
+    }
+
+    /// Per-scalar noise floors for the variance gate (the minimum assumed
+    /// natural variation of each channel).
+    pub fn sigma_floors() -> [f64; 32] {
+        let mut f = [0.0; 32];
+        for (i, floor) in f.iter_mut().enumerate() {
+            *floor = match i {
+                0..=2 => 0.25,    // position (m)
+                3..=5 => 0.20,    // velocity (m/s)
+                6..=8 => 0.02,    // attitude (rad)
+                9..=11 => 0.05,   // body rates (rad/s)
+                12..=14 => 0.02,  // variance (m^2)
+                15..=17 => 0.30,  // acceleration (m/s^2)
+                18..=20 => 0.30,  // gps position (m)
+                21..=23 => 0.20,  // gps velocity (m/s)
+                24..=26 => 0.05,  // gyro (rad/s)
+                27..=29 => 0.30,  // accel (m/s^2)
+                30 => 0.25,       // baro (m)
+                _ => 0.02,        // mag (rad)
+            };
+        }
+        f
+    }
+}
+
+/// Which feature catalogue a model uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FeatureSet {
+    /// FFC, full 44-feature catalogue (pre-pruning).
+    FfcFull,
+    /// FFC, 24 features after VIF pruning (the deployed configuration).
+    FfcPruned,
+    /// FBC, full 12-feature catalogue.
+    FbcFull,
+    /// FBC, 6 features after VIF pruning.
+    FbcPruned,
+}
+
+impl FeatureSet {
+    /// Feature vector dimension.
+    pub fn dim(self) -> usize {
+        match self {
+            FeatureSet::FfcFull => 44,
+            FeatureSet::FfcPruned => 24,
+            FeatureSet::FbcFull => 12,
+            FeatureSet::FbcPruned => 6,
+        }
+    }
+
+    /// Whether this is a feed-forward (actuator-predicting) set.
+    pub fn is_ffc(self) -> bool {
+        matches!(self, FeatureSet::FfcFull | FeatureSet::FfcPruned)
+    }
+}
+
+/// One-hot encoding of the flight phase (takeoff / cruise-or-hover / land
+/// / done-or-arm), a trusted input from the autonomous logic.
+fn phase_onehot(phase: FlightPhase) -> [f64; 4] {
+    match phase {
+        FlightPhase::Takeoff => [1.0, 0.0, 0.0, 0.0],
+        FlightPhase::Cruise { .. } | FlightPhase::Hover { .. } => [0.0, 1.0, 0.0, 0.0],
+        FlightPhase::Land => [0.0, 0.0, 1.0, 0.0],
+        FlightPhase::Arm | FlightPhase::Done => [0.0, 0.0, 0.0, 1.0],
+    }
+}
+
+/// Assembles the model input vector for a feature set.
+///
+/// - `prims`: (gated) sensor-derived primitives;
+/// - `target`: trusted target state `u(t)`;
+/// - `phase`: trusted flight phase;
+/// - `prev_signal`: the previous actuator signal `y(t-1)` (FBC sets only).
+pub fn assemble(
+    set: FeatureSet,
+    prims: &SensorPrimitives,
+    target: &TargetState,
+    phase: FlightPhase,
+    prev_signal: &ActuatorSignal,
+) -> Vec<f64> {
+    let mut v = Vec::with_capacity(set.dim());
+    let pos_err = [
+        target.position.x - prims.position[0],
+        target.position.y - prims.position[1],
+        target.position.z - prims.position[2],
+    ];
+    match set {
+        FeatureSet::FfcFull => {
+            // 32 gated primitives + u(t): target pos (3), target yaw (1),
+            // position error (3), distance (1), phase (4) = 44.
+            v.extend(prims.to_vec());
+            v.extend_from_slice(&target.position.to_array());
+            v.push(target.yaw);
+            v.extend_from_slice(&pos_err);
+            v.push((pos_err[0] * pos_err[0] + pos_err[1] * pos_err[1]).sqrt());
+            v.extend_from_slice(&phase_onehot(phase));
+        }
+        FeatureSet::FfcPruned => {
+            // Low-VIF primitives: position (3), estimator velocity (3),
+            // attitude (3), angular speed (3), position variance (3) = 15;
+            // plus u(t): target pos (3), yaw (1), position error (3),
+            // takeoff/land phase flags (2) = 9. The estimator-velocity
+            // triple is sanitized upstream (shadow estimator over gated
+            // sensors), so unlike the raw IMU/GPS velocity channels the
+            // paper's VIF study drops, it carries no attack-injected
+            // variance.
+            v.extend_from_slice(&prims.position);
+            v.extend_from_slice(&prims.velocity);
+            v.extend_from_slice(&prims.attitude);
+            v.extend_from_slice(&prims.body_rates);
+            v.extend_from_slice(&prims.position_variance);
+            v.extend_from_slice(&target.position.to_array());
+            v.push(target.yaw);
+            v.extend_from_slice(&pos_err);
+            let oh = phase_onehot(phase);
+            v.push(oh[0]); // takeoff
+            v.push(oh[2]); // land
+        }
+        FeatureSet::FbcFull => {
+            // y(t-1) (4) + target pos (3) + yaw (1) + velocity (3) +
+            // rotation-rate magnitude (1) = 12.
+            v.extend_from_slice(&prev_signal.to_array());
+            v.extend_from_slice(&target.position.to_array());
+            v.push(target.yaw);
+            v.extend_from_slice(&prims.velocity);
+            let r = prims.body_rates;
+            v.push((r[0] * r[0] + r[1] * r[1] + r[2] * r[2]).sqrt());
+        }
+        FeatureSet::FbcPruned => {
+            // y(t-1) roll/pitch (2) + target pos (3) + yaw (1) = 6.
+            v.push(prev_signal.roll);
+            v.push(prev_signal.pitch);
+            v.extend_from_slice(&target.position.to_array());
+            v.push(target.yaw);
+        }
+    }
+    debug_assert_eq!(v.len(), set.dim(), "feature assembly dimension drift");
+    v
+}
+
+/// The FBC model's regression target: the current state `x'(t)` =
+/// position (3) + attitude (3).
+pub fn fbc_target(est: &EstimatedState) -> Vec<f64> {
+    let mut v = Vec::with_capacity(6);
+    v.extend_from_slice(&est.position.to_array());
+    v.extend_from_slice(&est.attitude.to_array());
+    v
+}
+
+/// Dimension of the FBC regression target.
+pub const FBC_TARGET_DIM: usize = 6;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pidpiper_math::Vec3;
+
+    fn fixture() -> (SensorPrimitives, TargetState, ActuatorSignal) {
+        let mut est = EstimatedState::default();
+        est.position = Vec3::new(1.0, 2.0, 3.0);
+        est.velocity = Vec3::new(0.1, 0.2, 0.3);
+        est.attitude = Vec3::new(0.01, 0.02, 0.03);
+        let mut readings = SensorReadings::default();
+        readings.baro_altitude = 3.1;
+        readings.mag_heading = 0.04;
+        let prims = SensorPrimitives::collect(&est, &readings);
+        let target = TargetState::hover_at(Vec3::new(11.0, 2.0, 3.0), 0.5);
+        let prev = ActuatorSignal {
+            roll: 0.05,
+            pitch: -0.02,
+            yaw_rate: 0.1,
+            thrust: 0.5,
+        };
+        (prims, target, prev)
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        let (prims, _, _) = fixture();
+        let v = prims.to_vec();
+        assert_eq!(v.len(), SensorPrimitives::DIM);
+        assert_eq!(SensorPrimitives::from_vec(&v), prims);
+        assert_eq!(SensorPrimitives::NAMES.len(), SensorPrimitives::DIM);
+    }
+
+    #[test]
+    fn dimensions_match_paper() {
+        // Paper Section IV: 44 features for FFC, 12 for FBC; after
+        // pruning, 24 and 6.
+        assert_eq!(FeatureSet::FfcFull.dim(), 44);
+        assert_eq!(FeatureSet::FfcPruned.dim(), 24);
+        assert_eq!(FeatureSet::FbcFull.dim(), 12);
+        assert_eq!(FeatureSet::FbcPruned.dim(), 6);
+    }
+
+    #[test]
+    fn assembly_produces_declared_dims() {
+        let (prims, target, prev) = fixture();
+        for set in [
+            FeatureSet::FfcFull,
+            FeatureSet::FfcPruned,
+            FeatureSet::FbcFull,
+            FeatureSet::FbcPruned,
+        ] {
+            let v = assemble(set, &prims, &target, FlightPhase::Cruise { wp_index: 0 }, &prev);
+            assert_eq!(v.len(), set.dim(), "{set:?}");
+            assert!(v.iter().all(|x| x.is_finite()));
+        }
+    }
+
+    #[test]
+    fn pruned_ffc_excludes_high_vif_channels() {
+        // Changing velocity / raw GPS / raw IMU must not affect the pruned
+        // FFC features.
+        let (mut prims, target, prev) = fixture();
+        let before = assemble(
+            FeatureSet::FfcPruned,
+            &prims,
+            &target,
+            FlightPhase::Takeoff,
+            &prev,
+        );
+        prims.acceleration = [9.0, 9.0, 9.0];
+        prims.gps_position = [9.0, 9.0, 9.0];
+        prims.gps_velocity = [9.0, 9.0, 9.0];
+        prims.gyro = [9.0, 9.0, 9.0];
+        prims.accel = [9.0, 9.0, 9.0];
+        prims.baro = 9.0;
+        prims.mag = 9.0;
+        let after = assemble(
+            FeatureSet::FfcPruned,
+            &prims,
+            &target,
+            FlightPhase::Takeoff,
+            &prev,
+        );
+        assert_eq!(before, after, "pruned set must ignore high-VIF channels");
+    }
+
+    #[test]
+    fn full_ffc_sees_everything() {
+        let (mut prims, target, prev) = fixture();
+        let before = assemble(
+            FeatureSet::FfcFull,
+            &prims,
+            &target,
+            FlightPhase::Takeoff,
+            &prev,
+        );
+        prims.velocity = [9.0, 9.0, 9.0];
+        let after = assemble(
+            FeatureSet::FfcFull,
+            &prims,
+            &target,
+            FlightPhase::Takeoff,
+            &prev,
+        );
+        assert_ne!(before, after);
+    }
+
+    #[test]
+    fn position_error_feature_is_target_minus_position() {
+        let (prims, target, prev) = fixture();
+        let v = assemble(
+            FeatureSet::FfcPruned,
+            &prims,
+            &target,
+            FlightPhase::Cruise { wp_index: 0 },
+            &prev,
+        );
+        // Pruned layout: 13 primitives, then target pos (3), yaw (1), then
+        // pos_err (3).
+        let pos_err_x = v[15 + 4];
+        assert!((pos_err_x - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phase_onehot_is_exclusive() {
+        for phase in [
+            FlightPhase::Arm,
+            FlightPhase::Takeoff,
+            FlightPhase::Cruise { wp_index: 2 },
+            FlightPhase::Hover { until: 1.0 },
+            FlightPhase::Land,
+            FlightPhase::Done,
+        ] {
+            let oh = phase_onehot(phase);
+            assert_eq!(oh.iter().sum::<f64>(), 1.0, "{phase:?}");
+        }
+    }
+
+    #[test]
+    fn fbc_target_is_pose() {
+        let mut est = EstimatedState::default();
+        est.position = Vec3::new(1.0, 2.0, 3.0);
+        est.attitude = Vec3::new(0.1, 0.2, 0.3);
+        let t = fbc_target(&est);
+        assert_eq!(t, vec![1.0, 2.0, 3.0, 0.1, 0.2, 0.3]);
+        assert_eq!(t.len(), FBC_TARGET_DIM);
+    }
+
+    #[test]
+    fn sigma_floors_cover_all_channels() {
+        let f = SensorPrimitives::sigma_floors();
+        assert_eq!(f.len(), SensorPrimitives::DIM);
+        assert!(f.iter().all(|x| *x > 0.0));
+    }
+}

@@ -1,0 +1,619 @@
+//! The PID-Piper framework: monitoring + recovery (paper Algorithm 1).
+//!
+//! The FFC model runs in tandem with the PID controller. Each control
+//! step the monitor accumulates the per-axis CUSUM of
+//! `|y_ML(t) - y_PID(t)|`. When a monitored axis exceeds its calibrated
+//! threshold, recovery mode activates: the vehicle flies the ML model's
+//! actuator predictions, and the inner loops consume PID-Piper's
+//! noise-gated state estimate (so a gyroscope attack cannot re-enter
+//! through the attitude loop). Recovery deactivates when the
+//! instantaneous residual drops back below the CUSUM drift for a hold
+//! period — the paper's `error -> 0` condition.
+
+use crate::features::SensorPrimitives;
+use crate::ffc::FfcModel;
+use crate::monitor::{AxisThresholds, CusumMonitor};
+use crate::sanitizer::SensorSanitizer;
+use pidpiper_control::ActuatorSignal;
+use pidpiper_missions::{Defense, DefenseContext, MonitorLevel};
+use pidpiper_sensors::EstimatedState;
+
+/// PID-Piper deployment configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PidPiperConfig {
+    /// Calibrated per-axis thresholds (degrees).
+    pub thresholds: AxisThresholds,
+    /// Per-axis CUSUM drifts `b` (degrees per step for the angular
+    /// channels, percent per step for thrust).
+    pub drifts: [f64; 4],
+    /// Consecutive steps with residual below drift required to exit
+    /// recovery (debounces the `error -> 0` check).
+    pub exit_hold_steps: usize,
+    /// Lag-tolerance horizon of the monitor (control steps).
+    pub lag_history: usize,
+}
+
+impl PidPiperConfig {
+    /// Validates parameter sanity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the drift is non-positive or no axis is monitored.
+    pub fn validate(&self) {
+        assert!(
+            self.drifts.iter().all(|d| *d > 0.0),
+            "drifts must be positive"
+        );
+        assert!(
+            self.thresholds.max_threshold().is_finite(),
+            "at least one axis must be monitored"
+        );
+        assert!(self.exit_hold_steps > 0, "exit hold must be positive");
+        assert!(self.lag_history > 0, "lag history must be positive");
+    }
+}
+
+/// The PID-Piper defense (implements [`Defense`]).
+///
+/// Construct via [`crate::trainer::Trainer`] for a fully trained instance,
+/// or directly from a trained [`FfcModel`] and calibrated thresholds.
+#[derive(Debug, Clone)]
+pub struct PidPiper {
+    ffc: FfcModel,
+    sanitizer: SensorSanitizer,
+    monitor: CusumMonitor,
+    config: PidPiperConfig,
+    recovery_mode: bool,
+    recovery_activations: usize,
+    below_drift_streak: usize,
+    last_ml_signal: Option<ActuatorSignal>,
+    sanitized: Option<EstimatedState>,
+}
+
+impl PidPiper {
+    /// Creates the framework from a trained FFC and configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`PidPiperConfig::validate`].
+    pub fn new(ffc: FfcModel, config: PidPiperConfig) -> Self {
+        config.validate();
+        PidPiper {
+            monitor: CusumMonitor::with_drifts_and_lag(
+                config.thresholds,
+                config.drifts,
+                config.lag_history,
+            ),
+            sanitizer: SensorSanitizer::new(ffc.pipeline().gate),
+            ffc,
+            config,
+            recovery_mode: false,
+            recovery_activations: 0,
+            below_drift_streak: 0,
+            last_ml_signal: None,
+            sanitized: None,
+        }
+    }
+
+    /// The deployment configuration.
+    pub fn config(&self) -> &PidPiperConfig {
+        &self.config
+    }
+
+    /// The FFC model (e.g. for serialization).
+    pub fn ffc(&self) -> &FfcModel {
+        &self.ffc
+    }
+
+    /// The most recent ML prediction, if warmed up.
+    pub fn last_ml_signal(&self) -> Option<ActuatorSignal> {
+        self.last_ml_signal
+    }
+
+    /// Serializes the full deployment (config + trained FFC) to text, so a
+    /// trained defense can be cached and reloaded without retraining.
+    pub fn to_text(&self) -> String {
+        let c = &self.config;
+        let opt = |o: Option<f64>| o.map_or("-".to_string(), |v| format!("{v:e}"));
+        let g = self.ffc.pipeline().gate;
+        let mut out = String::from("pidpiper-deployment v1
+");
+        out.push_str(&format!(
+            "thresholds {} {} {} {}
+",
+            opt(c.thresholds.roll),
+            opt(c.thresholds.pitch),
+            opt(c.thresholds.yaw),
+            opt(c.thresholds.thrust)
+        ));
+        out.push_str(&format!(
+            "drifts {:e} {:e} {:e} {:e}
+",
+            c.drifts[0], c.drifts[1], c.drifts[2], c.drifts[3]
+        ));
+        out.push_str(&format!("exit_hold {}
+", c.exit_hold_steps));
+        out.push_str(&format!("lag_history {}
+", c.lag_history));
+        out.push_str(&format!(
+            "pipeline {} {} {:e} {:e} {:e} {} {:e}
+",
+            self.ffc.pipeline().decimate,
+            g.window,
+            g.nu0,
+            g.kappa,
+            g.g_min,
+            g.min_fill,
+            g.leak
+        ));
+        out.push_str(&format!(
+            "feature_set {}
+",
+            match self.ffc.feature_set() {
+                crate::features::FeatureSet::FfcFull => "ffc-full",
+                crate::features::FeatureSet::FfcPruned => "ffc-pruned",
+                _ => unreachable!("FFC models only"),
+            }
+        ));
+        out.push_str(&self.ffc.to_text());
+        out
+    }
+
+    /// Restores a deployment serialized by [`PidPiper::to_text`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive error on any format violation.
+    pub fn from_text(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines();
+        if lines.next() != Some("pidpiper-deployment v1") {
+            return Err("unknown deployment header".into());
+        }
+        let parse_opt = |tok: &str| -> Result<Option<f64>, String> {
+            if tok == "-" {
+                Ok(None)
+            } else {
+                tok.parse().map(Some).map_err(|e| format!("bad float: {e}"))
+            }
+        };
+        let thr_line = lines.next().ok_or("missing thresholds")?;
+        let toks: Vec<&str> = thr_line.split_whitespace().collect();
+        if toks.len() != 5 || toks[0] != "thresholds" {
+            return Err("bad thresholds line".into());
+        }
+        let thresholds = AxisThresholds {
+            roll: parse_opt(toks[1])?,
+            pitch: parse_opt(toks[2])?,
+            yaw: parse_opt(toks[3])?,
+            thrust: parse_opt(toks[4])?,
+        };
+        let drift_line = lines.next().ok_or("missing drifts")?;
+        let toks: Vec<&str> = drift_line.split_whitespace().collect();
+        if toks.len() != 5 || toks[0] != "drifts" {
+            return Err("bad drifts line".into());
+        }
+        let mut drifts = [0.0; 4];
+        for (d, t) in drifts.iter_mut().zip(&toks[1..]) {
+            *d = t.parse().map_err(|e| format!("bad drift: {e}"))?;
+        }
+        let hold_line = lines.next().ok_or("missing exit_hold")?;
+        let exit_hold_steps: usize = hold_line
+            .strip_prefix("exit_hold ")
+            .ok_or("bad exit_hold line")?
+            .parse()
+            .map_err(|e| format!("bad exit_hold: {e}"))?;
+        let lag_line = lines.next().ok_or("missing lag_history")?;
+        let lag_history: usize = lag_line
+            .strip_prefix("lag_history ")
+            .ok_or("bad lag_history line")?
+            .parse()
+            .map_err(|e| format!("bad lag_history: {e}"))?;
+        let pipe_line = lines.next().ok_or("missing pipeline")?;
+        let toks: Vec<&str> = pipe_line.split_whitespace().collect();
+        if toks.len() != 8 || toks[0] != "pipeline" {
+            return Err("bad pipeline line".into());
+        }
+        let pipeline = crate::ffc::PipelineConfig {
+            decimate: toks[1].parse().map_err(|e| format!("bad decimate: {e}"))?,
+            gate: crate::gate::GateConfig {
+                window: toks[2].parse().map_err(|e| format!("bad window: {e}"))?,
+                nu0: toks[3].parse().map_err(|e| format!("bad nu0: {e}"))?,
+                kappa: toks[4].parse().map_err(|e| format!("bad kappa: {e}"))?,
+                g_min: toks[5].parse().map_err(|e| format!("bad g_min: {e}"))?,
+                min_fill: toks[6].parse().map_err(|e| format!("bad min_fill: {e}"))?,
+                leak: toks[7].parse().map_err(|e| format!("bad leak: {e}"))?,
+            },
+        };
+        let fs_line = lines.next().ok_or("missing feature_set")?;
+        let feature_set = match fs_line.strip_prefix("feature_set ") {
+            Some("ffc-full") => crate::features::FeatureSet::FfcFull,
+            Some("ffc-pruned") => crate::features::FeatureSet::FfcPruned,
+            _ => return Err("bad feature_set line".into()),
+        };
+        let rest: String = lines.collect::<Vec<_>>().join("\n");
+        let ffc = FfcModel::from_text(&rest, feature_set, pipeline)?;
+        Ok(PidPiper::new(
+            ffc,
+            PidPiperConfig {
+                thresholds,
+                drifts,
+                exit_hold_steps,
+                lag_history,
+            },
+        ))
+    }
+}
+
+/// Raw-vs-shadow sensor consistency: while an attack is injecting bias,
+/// the raw readings disagree with the sanitized estimate by far more than
+/// sensor noise allows. Recovery must not exit while this holds — during
+/// recovery the PID runs on the sanitized estimate, so the monitor's
+/// residual alone cannot see that the attack is still in progress.
+fn sensors_consistent(
+    readings: &pidpiper_sensors::SensorReadings,
+    shadow: &EstimatedState,
+    attitude_innovation: (f64, f64),
+) -> bool {
+    let pos_gap = readings.gps_position.distance(shadow.position);
+    let gyro_gap = (readings.gyro - shadow.body_rates).norm();
+    let baro_gap = (readings.baro_altitude - shadow.position.z).abs();
+    let mag_gap = pidpiper_math::wrap_angle(readings.mag_heading - shadow.attitude.z).abs();
+    // A persistent attitude innovation means the gyro stream disagrees
+    // with the accelerometer's gravity direction — gyro tampering that the
+    // (deliberately loose) gyro gate passes through.
+    let innovation = attitude_innovation.0.abs().max(attitude_innovation.1.abs());
+    pos_gap < 3.5 && gyro_gap < 0.25 && baro_gap < 2.5 && mag_gap < 0.3 && innovation < 0.05
+}
+
+/// Clamps each channel of `ml` into a trust band around `anchor`.
+fn band(ml: ActuatorSignal, anchor: ActuatorSignal) -> ActuatorSignal {
+    // The band must be narrower than the accumulated (integral) correction
+    // the anchor PID applies against steady disturbances — otherwise a
+    // model that mispredicts by a constant offset can hold the vehicle in
+    // a slow drift the anchor never gets to cancel.
+    const ANGLE_BAND: f64 = 0.05; // rad
+    const YAW_BAND: f64 = 0.20; // rad/s
+    const THRUST_BAND: f64 = 0.04;
+    ActuatorSignal {
+        roll: ml.roll.clamp(anchor.roll - ANGLE_BAND, anchor.roll + ANGLE_BAND),
+        pitch: ml
+            .pitch
+            .clamp(anchor.pitch - ANGLE_BAND, anchor.pitch + ANGLE_BAND),
+        yaw_rate: ml
+            .yaw_rate
+            .clamp(anchor.yaw_rate - YAW_BAND, anchor.yaw_rate + YAW_BAND),
+        thrust: ml
+            .thrust
+            .clamp(anchor.thrust - THRUST_BAND, anchor.thrust + THRUST_BAND),
+    }
+}
+
+impl Defense for PidPiper {
+    fn name(&self) -> &str {
+        "PID-Piper"
+    }
+
+    fn observe(&mut self, ctx: &DefenseContext<'_>) -> Option<ActuatorSignal> {
+        // Noise model: gate the raw sensors and run the shadow estimator;
+        // the FFC consumes the sanitized view.
+        let (clean_readings, shadow_est) = self.sanitizer.process(ctx.readings, ctx.dt);
+        let prims = SensorPrimitives::collect(&shadow_est, &clean_readings);
+        let ml = self.ffc.observe(&prims, ctx.target, ctx.phase);
+        self.last_ml_signal = ml;
+        self.sanitized = Some(shadow_est);
+
+        let Some(ml_signal) = ml else {
+            // Model still warming up: no monitoring, no override.
+            return None;
+        };
+
+        let tripped = self.monitor.update(&ml_signal, &ctx.pid_signal);
+
+        if !self.recovery_mode {
+            if tripped {
+                // Algorithm 1 line 15-17: activate recovery, reset S.
+                self.recovery_mode = true;
+                self.recovery_activations += 1;
+                self.below_drift_streak = 0;
+                self.monitor.reset();
+            }
+        } else if ctx.phase.is_landing() {
+            // The landing descent is the RV's most vulnerable state (the
+            // paper's Attack-3 targets exactly this): once recovery is
+            // active there, it stays latched until touchdown — an
+            // intermittent attack must not regain the controls metres
+            // above the ground.
+            self.below_drift_streak = 0;
+        } else {
+            // Algorithm 1 line 21-24: exit when the raw sensors agree
+            // with the sanitized estimate again (the direct indicator that
+            // the attack has subsided) and the controllers have
+            // re-converged (debounced). The residual bound is relaxed to
+            // 4x drift: during recovery the PID runs on the sanitized
+            // state, so once the sensors are consistent a tight residual
+            // requirement only delays handing control back.
+            if self.monitor.residuals_below_drift(4.0)
+                && sensors_consistent(
+                    ctx.readings,
+                    &self.sanitizer.estimate().clone(),
+                    self.sanitizer.attitude_innovation(),
+                )
+            {
+                self.below_drift_streak += 1;
+                if self.below_drift_streak >= self.config.exit_hold_steps {
+                    self.recovery_mode = false;
+                    self.below_drift_streak = 0;
+                    self.monitor.reset();
+                }
+            } else {
+                self.below_drift_streak = 0;
+            }
+        }
+
+        if self.recovery_mode {
+            // Fly the FFC's prediction, banded around the PID signal.
+            // During recovery the runner feeds the sanitized estimate to
+            // the controller, so `ctx.pid_signal` is the PID's response to
+            // the *clean* state — exactly what the FFC approximates. The
+            // band is a trust region: where the LSTM is accurate it flies
+            // unchanged; where it extrapolates out of distribution it
+            // cannot command the vehicle away from the closed-loop
+            // envelope (in particular, thrust stays altitude-stable).
+            Some(band(ml_signal, ctx.pid_signal))
+        } else {
+            None
+        }
+    }
+
+    fn sanitized_estimate(&self) -> Option<EstimatedState> {
+        self.sanitized
+    }
+
+    fn monitor_level(&self) -> MonitorLevel {
+        // Normalized so the stealthy-attack oracle sees one scalar level
+        // regardless of per-axis units: 1.0 = detection.
+        MonitorLevel {
+            statistic: self.monitor.normalized_statistic(),
+            threshold: 1.0,
+        }
+    }
+
+    fn in_recovery(&self) -> bool {
+        self.recovery_mode
+    }
+
+    fn recovery_activations(&self) -> usize {
+        self.recovery_activations
+    }
+
+    fn reset(&mut self) {
+        self.ffc.reset();
+        self.sanitizer.reset();
+        self.monitor.reset_all();
+        self.recovery_mode = false;
+        self.recovery_activations = 0;
+        self.below_drift_streak = 0;
+        self.last_ml_signal = None;
+        self.sanitized = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::FeatureSet;
+    use crate::ffc::PipelineConfig;
+    use pidpiper_control::TargetState;
+    use pidpiper_missions::FlightPhase;
+    use pidpiper_ml::{LstmRegressor, RegressorConfig};
+    use pidpiper_sensors::SensorReadings;
+
+    fn tiny_pidpiper() -> PidPiper {
+        let set = FeatureSet::FfcPruned;
+        let net = RegressorConfig {
+            input_dim: set.dim(),
+            output_dim: 4,
+            hidden: 4,
+            fc_width: 4,
+            window: 3,
+        };
+        let ffc = FfcModel::new(
+            LstmRegressor::new(net, 7),
+            set,
+            PipelineConfig {
+                decimate: 1,
+                gate: Default::default(),
+            },
+        );
+        PidPiper::new(
+            ffc,
+            PidPiperConfig {
+                thresholds: AxisThresholds::quad(18.0, 18.0, 18.6),
+                drifts: [0.5; 4],
+                exit_hold_steps: 5,
+                lag_history: 12,
+            },
+        )
+    }
+
+    fn ctx_with<'a>(
+        est: &'a EstimatedState,
+        readings: &'a SensorReadings,
+        target: &'a TargetState,
+        pid: ActuatorSignal,
+        t: f64,
+    ) -> DefenseContext<'a> {
+        DefenseContext {
+            t,
+            dt: 0.01,
+            est,
+            readings,
+            target,
+            pid_signal: pid,
+            phase: FlightPhase::Cruise { wp_index: 0 },
+        }
+    }
+
+    #[test]
+    fn warmup_returns_none_and_does_not_monitor() {
+        let mut pp = tiny_pidpiper();
+        let est = EstimatedState::default();
+        let readings = SensorReadings::default();
+        let target = TargetState::default();
+        // Even a wild PID signal during warmup cannot trip detection.
+        let pid = ActuatorSignal {
+            roll: 1.0,
+            ..Default::default()
+        };
+        let out = pp.observe(&ctx_with(&est, &readings, &target, pid, 0.01));
+        assert!(out.is_none());
+        assert!(!pp.in_recovery());
+    }
+
+    #[test]
+    fn large_divergence_triggers_recovery_with_ml_override() {
+        let mut pp = tiny_pidpiper();
+        let est = EstimatedState::default();
+        let readings = SensorReadings::default();
+        let target = TargetState::default();
+        // Warm up feeding the model's own prediction back as the PID
+        // signal (an untrained net outputs an arbitrary constant; agreeing
+        // with it emulates a well-trained, benign baseline).
+        for i in 0..30 {
+            let pid = pp.last_ml_signal().unwrap_or_default();
+            pp.observe(&ctx_with(&est, &readings, &target, pid, i as f64 * 0.01));
+        }
+        assert!(!pp.in_recovery(), "agreement must not trigger recovery");
+        let activations_before = pp.recovery_activations();
+        // ...then diverge the PID hard (attack reaction).
+        let base = pp.last_ml_signal().expect("warmed up");
+        let pid = ActuatorSignal {
+            roll: base.roll + 0.5, // ~28.6 degrees above the ML output
+            ..base
+        };
+        for i in 0..60 {
+            pp.observe(&ctx_with(&est, &readings, &target, pid, 1.0 + i as f64 * 0.01));
+            if pp.in_recovery() {
+                break;
+            }
+        }
+        assert!(pp.in_recovery(), "divergence must trigger recovery");
+        assert_eq!(pp.recovery_activations(), activations_before + 1);
+        // Next step flies the ML signal.
+        let out = pp.observe(&ctx_with(&est, &readings, &target, pid, 2.0));
+        assert!(out.is_some(), "recovery must override with the ML signal");
+    }
+
+    #[test]
+    fn recovery_exits_when_residual_subsides() {
+        let mut pp = tiny_pidpiper();
+        let est = EstimatedState::default();
+        let readings = SensorReadings::default();
+        let target = TargetState::default();
+        for i in 0..30 {
+            let pid = pp.last_ml_signal().unwrap_or_default();
+            pp.observe(&ctx_with(&est, &readings, &target, pid, i as f64 * 0.01));
+        }
+        let base = pp.last_ml_signal().expect("warmed up");
+        let attack_pid = ActuatorSignal {
+            roll: base.roll + 0.5,
+            ..base
+        };
+        for i in 0..20 {
+            pp.observe(&ctx_with(&est, &readings, &target, attack_pid, 1.0 + i as f64 * 0.01));
+        }
+        assert!(pp.in_recovery());
+        // Attack subsides: PID returns to agreeing with the ML model.
+        for i in 0..30 {
+            let ml = pp.last_ml_signal().expect("warmed up");
+            pp.observe(&ctx_with(&est, &readings, &target, ml, 2.0 + i as f64 * 0.01));
+        }
+        assert!(!pp.in_recovery(), "recovery must deactivate after the attack");
+    }
+
+    #[test]
+    fn sanitized_estimate_tracks_shadow_estimator() {
+        let mut pp = tiny_pidpiper();
+        let est = EstimatedState::default();
+        let mut readings = SensorReadings::default();
+        readings.gps_position = pidpiper_math::Vec3::new(1.0, 2.0, 3.0);
+        readings.baro_altitude = 3.0;
+        let target = TargetState::default();
+        for i in 0..50 {
+            pp.observe(&ctx_with(&est, &readings, &target, ActuatorSignal::default(), 0.01 * (i + 1) as f64));
+        }
+        let s = pp.sanitized_estimate().expect("populated after observe");
+        // The shadow estimator snaps to the (clean) GPS fix.
+        assert!(s.position.distance(readings.gps_position) < 0.5, "shadow pos {}", s.position);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut pp = tiny_pidpiper();
+        let est = EstimatedState::default();
+        let readings = SensorReadings::default();
+        let target = TargetState::default();
+        for i in 0..10 {
+            pp.observe(&ctx_with(
+                &est,
+                &readings,
+                &target,
+                ActuatorSignal {
+                    roll: 0.5,
+                    ..Default::default()
+                },
+                i as f64 * 0.01,
+            ));
+        }
+        pp.reset();
+        assert!(!pp.in_recovery());
+        assert_eq!(pp.recovery_activations(), 0);
+        assert_eq!(pp.monitor_level().statistic, 0.0);
+        assert!(pp.last_ml_signal().is_none());
+    }
+
+    #[test]
+    fn deployment_serialization_round_trip() {
+        let mut a = tiny_pidpiper();
+        let text = a.to_text();
+        let mut b = PidPiper::from_text(&text).expect("round trip");
+        assert_eq!(a.config(), b.config());
+        // Behavioural equality: identical observations yield identical
+        // outputs.
+        let est = EstimatedState::default();
+        let readings = SensorReadings::default();
+        let target = TargetState::default();
+        for i in 0..20 {
+            let pid = ActuatorSignal {
+                roll: 0.01 * i as f64,
+                ..Default::default()
+            };
+            let ya = a.observe(&ctx_with(&est, &readings, &target, pid, i as f64 * 0.01));
+            let yb = b.observe(&ctx_with(&est, &readings, &target, pid, i as f64 * 0.01));
+            assert_eq!(ya, yb, "divergence at step {i}");
+            assert_eq!(a.last_ml_signal(), b.last_ml_signal());
+        }
+    }
+
+    #[test]
+    fn deployment_rejects_garbage() {
+        assert!(PidPiper::from_text("").is_err());
+        assert!(PidPiper::from_text("not a deployment\n").is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "drift")]
+    fn invalid_config_rejected() {
+        let pp = tiny_pidpiper();
+        let ffc = pp.ffc().clone();
+        let _ = PidPiper::new(
+            ffc,
+            PidPiperConfig {
+                thresholds: AxisThresholds::quad(18.0, 18.0, 18.0),
+                drifts: [0.0; 4],
+                exit_hold_steps: 5,
+                lag_history: 12,
+            },
+        );
+    }
+}

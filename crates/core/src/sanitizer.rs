@@ -1,0 +1,279 @@
+//! Sensor sanitizer: the variance gate applied at the raw-sensor level,
+//! feeding a shadow state estimator.
+//!
+//! Physical attacks inject biases into raw sensor streams. At that level a
+//! bias is a single step-outlier in the stream's increments — exactly what
+//! the [`VarianceGate`] rejects — while all subsequent increments of the
+//! attacked stream equal the true ones. Running a *shadow estimator* over
+//! the gated readings therefore yields a state estimate that tracks the
+//! vehicle through the entire attack, which is what PID-Piper's FFC
+//! consumes and what the recovery mode feeds to the inner control loops.
+
+use crate::gate::{GateConfig, VarianceGate};
+use pidpiper_math::Vec3;
+use pidpiper_sensors::estimator::EstimatorGains;
+use pidpiper_sensors::{EstimatedState, Estimator, SensorReadings};
+
+/// Number of raw scalar channels gated.
+const RAW_DIM: usize = 14;
+
+/// Gated raw sensors + shadow estimator.
+///
+/// # Examples
+///
+/// ```
+/// use pidpiper_core::sanitizer::SensorSanitizer;
+/// use pidpiper_sensors::SensorReadings;
+///
+/// let mut san = SensorSanitizer::new(Default::default());
+/// let mut readings = SensorReadings::default();
+/// readings.accel.z = 9.80665;
+/// let (clean, est) = san.process(&readings, 0.01);
+/// assert_eq!(clean.gps_position, readings.gps_position);
+/// assert!(est.position.norm() < 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SensorSanitizer {
+    gate: VarianceGate,
+    shadow: Estimator,
+    last_estimate: EstimatedState,
+}
+
+impl SensorSanitizer {
+    /// Creates a sanitizer with the given gate configuration.
+    pub fn new(gate: GateConfig) -> Self {
+        // Per-channel increment noise floors: GPS fixes are white-noise
+        // dominated (sigma ~ sqrt(2) * fix noise); IMU channels are
+        // smoother.
+        // GPS/baro channels gate tightly: spoof steps are far outside the
+        // fix noise. Gyro/accel floors are deliberately loose — a bias
+        // step there is physically indistinguishable from an aggressive
+        // commanded maneuver at the increment level, so the IMU defense
+        // comes from the shadow estimator's gravity/magnetometer
+        // corrections (below) instead of the gate: a rate bias `f` can
+        // displace the shadow attitude by at most `f / correction_gain`.
+        let floors = [
+            0.4, 0.4, 0.7, // gps position x, y, z
+            0.15, 0.15, 0.15, // gps velocity
+            0.35, // baro
+            0.5, 0.5, 0.5, // gyro
+            1.2, 1.2, 1.2, // accel
+            0.05, // mag heading (circular)
+        ];
+        let mut circular = [false; RAW_DIM];
+        circular[13] = true;
+        // The shadow estimator trusts GPS *position* only weakly and
+        // dead-reckons on GPS velocity, accelerometer and barometer.
+        // A position-only spoof ramp (the stealthy attack) therefore barely
+        // moves the shadow estimate — the FFC keeps seeing the vehicle's
+        // true displacement, creating the residual that lets the CUSUM
+        // bound stealthy deviations, while the primary EKF (which trusts
+        // its position fix, like any stock autopilot) gets dragged.
+        let shadow_gains = EstimatorGains {
+            gps_variance: 12.0,
+            process_noise: 0.15,
+            // Strong gravity/mag corrections bound the attitude error a
+            // gyro-bias attack can induce (error ~ bias / gain).
+            attitude_correction: 8.0,
+            yaw_correction: 8.0,
+            ..EstimatorGains::default()
+        };
+        SensorSanitizer {
+            gate: VarianceGate::new(RAW_DIM, gate, &floors, &circular),
+            shadow: Estimator::with_gains(shadow_gains),
+            last_estimate: EstimatedState::default(),
+        }
+    }
+
+    /// The most recent shadow estimate.
+    pub fn estimate(&self) -> &EstimatedState {
+        &self.last_estimate
+    }
+
+    /// Per-channel gate gains from the last step (diagnostics).
+    pub fn last_gains(&self) -> &[f64] {
+        self.gate.last_gains()
+    }
+
+    /// The shadow estimator's low-passed attitude innovation `(roll,
+    /// pitch)` — the gyro-attack indicator (see
+    /// [`Estimator::attitude_innovation`]).
+    pub fn attitude_innovation(&self) -> (f64, f64) {
+        self.shadow.attitude_innovation()
+    }
+
+    /// Sanitizes one sensor sample and advances the shadow estimator.
+    /// Returns `(sanitized_readings, shadow_estimate)`.
+    pub fn process(&mut self, readings: &SensorReadings, dt: f64) -> (SensorReadings, EstimatedState) {
+        let raw = [
+            readings.gps_position.x,
+            readings.gps_position.y,
+            readings.gps_position.z,
+            readings.gps_velocity.x,
+            readings.gps_velocity.y,
+            readings.gps_velocity.z,
+            readings.baro_altitude,
+            readings.gyro.x,
+            readings.gyro.y,
+            readings.gyro.z,
+            readings.accel.x,
+            readings.accel.y,
+            readings.accel.z,
+            readings.mag_heading,
+        ];
+        let g = self.gate.filter(&raw);
+        let clean = SensorReadings {
+            gps_position: Vec3::new(g[0], g[1], g[2]),
+            gps_velocity: Vec3::new(g[3], g[4], g[5]),
+            baro_altitude: g[6],
+            gyro: Vec3::new(g[7], g[8], g[9]),
+            accel: Vec3::new(g[10], g[11], g[12]),
+            mag_heading: g[13],
+        };
+        let est = self.shadow.update(&clean, dt);
+        self.last_estimate = est;
+        (clean, est)
+    }
+
+    /// Resets all state (between missions).
+    pub fn reset(&mut self) {
+        self.gate.reset();
+        self.shadow.reset();
+        self.last_estimate = EstimatedState::default();
+    }
+}
+
+impl Default for SensorSanitizer {
+    fn default() -> Self {
+        SensorSanitizer::new(GateConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pidpiper_sensors::{NoiseConfig, SensorSuite};
+    use pidpiper_sim::RigidBodyState;
+
+    const DT: f64 = 0.01;
+
+    #[test]
+    fn matches_plain_estimator_without_attacks() {
+        let truth = RigidBodyState::at_rest(Vec3::new(5.0, -3.0, 12.0));
+        let mut suite = SensorSuite::new(NoiseConfig::default(), 11);
+        let mut plain = Estimator::new();
+        let mut san = SensorSanitizer::default();
+        let mut max_diff: f64 = 0.0;
+        for _ in 0..800 {
+            let r = suite.sample(&truth, DT);
+            let e1 = plain.update(&r, DT);
+            let (_, e2) = san.process(&r, DT);
+            max_diff = max_diff.max(e1.position.distance(e2.position));
+        }
+        assert!(
+            max_diff < 0.8,
+            "sanitized estimate diverged from plain estimator by {max_diff} m in clean conditions"
+        );
+    }
+
+    #[test]
+    fn gps_bias_removed_from_shadow_estimate() {
+        let truth = RigidBodyState::at_rest(Vec3::new(0.0, 0.0, 10.0));
+        let mut suite = SensorSuite::new(NoiseConfig::default(), 12);
+        let mut plain = Estimator::new();
+        let mut san = SensorSanitizer::default();
+        // Warm up clean.
+        for _ in 0..500 {
+            let r = suite.sample(&truth, DT);
+            plain.update(&r, DT);
+            san.process(&r, DT);
+        }
+        // 25 m spoof for 4 seconds.
+        for _ in 0..400 {
+            let mut r = suite.sample(&truth, DT);
+            r.gps_position.y += 25.0;
+            plain.update(&r, DT);
+            san.process(&r, DT);
+        }
+        let dragged = plain.state().position.y;
+        let shadow = san.estimate().position.y;
+        assert!(dragged > 15.0, "plain estimator must follow the spoof ({dragged})");
+        assert!(
+            shadow.abs() < 4.0,
+            "shadow estimate must reject the spoof (got {shadow})"
+        );
+        // Attack ends: both re-converge, shadow without any transient.
+        for _ in 0..300 {
+            let r = suite.sample(&truth, DT);
+            plain.update(&r, DT);
+            san.process(&r, DT);
+        }
+        assert!(san.estimate().position.y.abs() < 4.0);
+    }
+
+    #[test]
+    fn gyro_bias_removed_from_shadow_attitude() {
+        let truth = RigidBodyState::at_rest(Vec3::new(0.0, 0.0, 10.0));
+        let mut suite = SensorSuite::new(NoiseConfig::default(), 13);
+        let mut plain = Estimator::new();
+        let mut san = SensorSanitizer::default();
+        for _ in 0..500 {
+            let r = suite.sample(&truth, DT);
+            plain.update(&r, DT);
+            san.process(&r, DT);
+        }
+        for _ in 0..200 {
+            let mut r = suite.sample(&truth, DT);
+            r.gyro.x += 0.7;
+            plain.update(&r, DT);
+            san.process(&r, DT);
+        }
+        let plain_roll = plain.state().attitude.x;
+        let shadow_roll = san.estimate().attitude.x;
+        assert!(plain_roll > 0.1, "plain attitude must drift ({plain_roll})");
+        assert!(
+            shadow_roll.abs() < 0.13,
+            "shadow attitude error must stay bounded near bias/gain (got {shadow_roll})"
+        );
+    }
+
+    #[test]
+    fn tracks_motion_during_attack() {
+        // The decisive property: while the GPS is spoofed, the shadow
+        // estimate must keep following the vehicle's *true* motion.
+        let mut suite = SensorSuite::new(NoiseConfig::default(), 14);
+        let mut san = SensorSanitizer::default();
+        let mut truth = RigidBodyState::at_rest(Vec3::new(0.0, 0.0, 10.0));
+        truth.velocity = Vec3::new(3.0, 0.0, 0.0);
+        for _ in 0..500 {
+            let r = suite.sample(&truth, DT);
+            san.process(&r, DT);
+            truth.position += truth.velocity * DT;
+        }
+        // Spoofed leg: vehicle keeps cruising east at 3 m/s.
+        for _ in 0..400 {
+            let mut r = suite.sample(&truth, DT);
+            r.gps_position.y += 25.0;
+            san.process(&r, DT);
+            truth.position += truth.velocity * DT;
+        }
+        let err = san.estimate().position.distance(truth.position);
+        assert!(
+            err < 5.0,
+            "shadow estimate lost the vehicle during the attack: {err} m"
+        );
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut san = SensorSanitizer::default();
+        let truth = RigidBodyState::at_rest(Vec3::new(9.0, 9.0, 9.0));
+        let mut suite = SensorSuite::new(NoiseConfig::default(), 15);
+        for _ in 0..100 {
+            let r = suite.sample(&truth, DT);
+            san.process(&r, DT);
+        }
+        san.reset();
+        assert_eq!(san.estimate().position, Vec3::ZERO);
+    }
+}

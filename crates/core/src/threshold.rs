@@ -1,0 +1,330 @@
+//! Threshold calibration via dynamic time warping (paper Section V).
+//!
+//! The ML model's predictions lag the PID controller by a small, variable
+//! latency, so a naive pointwise residual would inflate the threshold.
+//! The paper aligns the PID and ML time series with DTW, accumulates the
+//! absolute error along the optimal warping path per validation mission,
+//! and takes the largest accumulated error across the set as the
+//! detection threshold `tau` — per axis, per vehicle (Table I).
+
+use crate::monitor::AxisThresholds;
+use pidpiper_math::dtw::dtw_path;
+use pidpiper_math::{rad_to_deg, Cusum};
+
+/// One calibration mission's aligned signal pair: the PID's and the ML
+/// model's actuator series, per axis (radians; converted internally).
+#[derive(Debug, Clone, Default)]
+pub struct CalibrationSeries {
+    /// PID roll series (rad).
+    pub pid_roll: Vec<f64>,
+    /// ML roll series (rad).
+    pub ml_roll: Vec<f64>,
+    /// PID pitch series (rad).
+    pub pid_pitch: Vec<f64>,
+    /// ML pitch series (rad).
+    pub ml_pitch: Vec<f64>,
+    /// PID yaw-rate series (rad/s).
+    pub pid_yaw: Vec<f64>,
+    /// ML yaw-rate series (rad/s).
+    pub ml_yaw: Vec<f64>,
+    /// PID normalized-thrust series.
+    pub pid_thrust: Vec<f64>,
+    /// ML normalized-thrust series.
+    pub ml_thrust: Vec<f64>,
+}
+
+impl CalibrationSeries {
+    /// Whether the series contain data.
+    pub fn is_empty(&self) -> bool {
+        self.pid_roll.is_empty()
+    }
+}
+
+/// Calibrates per-axis thresholds from attack-free validation missions.
+///
+/// For each mission and axis, the PID and ML series are DTW-aligned in
+/// `chunk`-sample windows (absorbing the model's small, variable latency),
+/// and the *same drift-subtracted CUSUM statistic the runtime monitor
+/// uses* is run over the aligned residuals (degrees). The largest CUSUM
+/// excursion observed across the validation set, inflated by
+/// `safety_margin`, becomes that axis's threshold — so the calibrated
+/// `tau` lives on exactly the scale the deployed monitor compares against
+/// (the paper's "error accumulated in the highest recorded temporal
+/// deviation across the validation sets").
+///
+/// `monitor_yaw_only` reproduces the rover rows of Table I.
+///
+/// # Panics
+///
+/// Panics if `series` is empty, `safety_margin < 1`, `chunk < 2`, or
+/// `drift_deg <= 0`.
+pub fn calibrate_thresholds(
+    series: &[CalibrationSeries],
+    chunk: usize,
+    drift_deg: f64,
+    safety_margin: f64,
+    monitor_yaw_only: bool,
+) -> AxisThresholds {
+    assert!(!series.is_empty(), "need at least one calibration mission");
+    assert!(safety_margin >= 1.0, "safety margin must be >= 1");
+    assert!(chunk > 1, "chunk must exceed 1 sample");
+    assert!(drift_deg > 0.0, "drift must be positive");
+
+    let axis_max = |extract: fn(&CalibrationSeries) -> (&[f64], &[f64])| -> f64 {
+        let mut worst: f64 = 0.0;
+        for s in series {
+            let (pid, ml) = extract(s);
+            if pid.is_empty() || ml.is_empty() {
+                continue;
+            }
+            let n = pid.len().min(ml.len());
+            // The CUSUM persists across chunk boundaries (only the DTW
+            // alignment is windowed, to bound the O(n^2) cost).
+            let mut cusum = Cusum::new(drift_deg);
+            let mut start = 0;
+            while start < n {
+                let end = (start + chunk).min(n);
+                if end - start >= 2 {
+                    let (_, path) = dtw_path(&pid[start..end], &ml[start..end]);
+                    for (i, j) in path {
+                        let residual = rad_to_deg((pid[start + i] - ml[start + j]).abs());
+                        worst = worst.max(cusum.update(residual));
+                    }
+                }
+                start = end;
+            }
+        }
+        worst * safety_margin
+    };
+
+    let yaw = axis_max(|s| (&s.pid_yaw, &s.ml_yaw));
+    if monitor_yaw_only {
+        AxisThresholds::rover(yaw)
+    } else {
+        AxisThresholds::quad(
+            axis_max(|s| (&s.pid_roll, &s.ml_roll)),
+            axis_max(|s| (&s.pid_pitch, &s.ml_pitch)),
+            yaw,
+        )
+    }
+}
+
+/// Pointwise monitor-replay calibration: the deployment path.
+///
+/// The runtime monitor compares `y_ML` and `y_PID` pointwise at the
+/// control rate, so the deployed drift and thresholds must be calibrated
+/// on exactly that statistic. Given the per-axis benign residual series
+/// (degrees) from validation-mission replays, this:
+///
+/// 1. sets the CUSUM drift `b` to the `drift_quantile` (e.g. 0.995) of
+///    the pooled benign residuals, clamped to at least `min_drift` — so
+///    benign residuals almost never accumulate;
+/// 2. replays the CUSUM with that drift over each mission's residuals and
+///    takes the largest excursion per axis;
+/// 3. inflates by `safety_margin` (with a floor of `8 * b`) to obtain the
+///    per-axis thresholds.
+///
+/// By construction the monitor is silent on every validation mission with
+/// `safety_margin` headroom — the paper's 0 % FPR property.
+///
+/// Returns `(per_axis_drifts, thresholds)`. Axes with no data are unmonitored
+/// (`None`), which is how rover calibration yields Table I's '-' entries.
+///
+/// # Panics
+///
+/// Panics if every axis is empty, or parameters are out of range.
+pub fn calibrate_pointwise(
+    residuals_per_mission: &[[Vec<f64>; 4]],
+    drift_quantile: f64,
+    min_drift: f64,
+    safety_margin: f64,
+) -> ([f64; 4], AxisThresholds) {
+    assert!(
+        (0.5..1.0).contains(&drift_quantile),
+        "drift quantile must be in [0.5, 1)"
+    );
+    assert!(min_drift > 0.0, "min_drift must be positive");
+    assert!(safety_margin >= 1.0, "safety margin must be >= 1");
+    assert!(
+        !residuals_per_mission.is_empty(),
+        "need at least one validation mission"
+    );
+
+    // Pool residuals per axis to pick each axis's drift.
+    let mut drifts = [min_drift; 4];
+    let mut any_data = false;
+    for axis in 0..4 {
+        let pooled: Vec<f64> = residuals_per_mission
+            .iter()
+            .flat_map(|m| m[axis].iter().copied())
+            .collect();
+        if pooled.is_empty() {
+            continue;
+        }
+        any_data = true;
+        drifts[axis] = drifts[axis].max(pidpiper_math::stats::quantile(&pooled, drift_quantile));
+    }
+    assert!(any_data, "all validation residual series are empty");
+
+    // Replay the CUSUM per axis and mission.
+    let mut taus = [None; 4];
+    for axis in 0..4 {
+        let mut worst: f64 = 0.0;
+        let mut has_data = false;
+        for mission in residuals_per_mission {
+            if mission[axis].is_empty() {
+                continue;
+            }
+            has_data = true;
+            let mut cusum = Cusum::new(drifts[axis]);
+            for &r in &mission[axis] {
+                worst = worst.max(cusum.update(r));
+            }
+        }
+        if has_data {
+            taus[axis] = Some((worst * safety_margin).max(8.0 * drifts[axis]));
+        }
+    }
+    (
+        drifts,
+        AxisThresholds {
+            roll: taus[0],
+            pitch: taus[1],
+            yaw: taus[2],
+            thrust: taus[3],
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic_mission(seed: u64, lag: usize, noise: f64) -> CalibrationSeries {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 400;
+        let signal: Vec<f64> = (0..n + lag)
+            .map(|i| 0.2 * ((i as f64) * 0.05).sin())
+            .collect();
+        let pid: Vec<f64> = signal[lag..].to_vec();
+        let ml: Vec<f64> = signal[..n]
+            .iter()
+            .map(|x| x + rng.gen_range(-noise..noise))
+            .collect();
+        CalibrationSeries {
+            pid_roll: pid.clone(),
+            ml_roll: ml.clone(),
+            pid_pitch: pid.clone(),
+            ml_pitch: ml.clone(),
+            pid_yaw: pid.clone(),
+            ml_yaw: ml.clone(),
+            pid_thrust: pid,
+            ml_thrust: ml,
+        }
+    }
+
+    #[test]
+    fn accurate_model_yields_tight_threshold() {
+        let missions: Vec<CalibrationSeries> =
+            (0..5).map(|s| synthetic_mission(s, 3, 0.005)).collect();
+        let thr = calibrate_thresholds(&missions, 100, 0.3, 1.2, false);
+        let roll = thr.roll.expect("quad monitors roll");
+        // Small noise + DTW alignment: threshold should be modest.
+        assert!(roll > 0.0 && roll < 60.0, "threshold {roll}");
+    }
+
+    #[test]
+    fn sloppier_model_yields_larger_threshold() {
+        let tight: Vec<CalibrationSeries> =
+            (0..3).map(|s| synthetic_mission(s, 3, 0.002)).collect();
+        let loose: Vec<CalibrationSeries> =
+            (0..3).map(|s| synthetic_mission(s, 3, 0.03)).collect();
+        let t1 = calibrate_thresholds(&tight, 100, 0.1, 1.0, false);
+        let t2 = calibrate_thresholds(&loose, 100, 0.1, 1.0, false);
+        assert!(
+            t2.roll.unwrap() > t1.roll.unwrap() * 2.0,
+            "{:?} vs {:?}",
+            t1,
+            t2
+        );
+    }
+
+    #[test]
+    fn dtw_absorbs_pure_lag() {
+        // A lag-only discrepancy should produce a much smaller threshold
+        // than the pointwise residual would imply.
+        let missions = vec![synthetic_mission(9, 10, 0.0001)];
+        let thr = calibrate_thresholds(&missions, 100, 0.3, 1.0, false);
+        // Pointwise: lag 10 on a sin of amplitude 0.2 rad gives degrees of
+        // accumulated error per chunk in the hundreds.
+        // Pointwise accumulation would be in the hundreds of degrees per
+        // chunk; DTW alignment reduces it by an order of magnitude.
+        assert!(thr.roll.unwrap() < 80.0, "DTW failed to absorb lag: {thr:?}");
+    }
+
+    #[test]
+    fn yaw_only_mode_for_rovers() {
+        let missions = vec![synthetic_mission(1, 2, 0.01)];
+        let thr = calibrate_thresholds(&missions, 50, 0.3, 1.1, true);
+        assert!(thr.roll.is_none());
+        assert!(thr.pitch.is_none());
+        assert!(thr.yaw.is_some());
+    }
+
+    #[test]
+    fn margin_scales_thresholds() {
+        let missions = vec![synthetic_mission(2, 2, 0.01)];
+        let a = calibrate_thresholds(&missions, 50, 0.3, 1.0, false);
+        let b = calibrate_thresholds(&missions, 50, 0.3, 1.5, false);
+        assert!((b.roll.unwrap() / a.roll.unwrap() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_input_rejected() {
+        let _ = calibrate_thresholds(&[], 50, 0.3, 1.0, false);
+    }
+
+    #[test]
+    fn pointwise_drift_above_benign_residuals() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(3);
+        let missions: Vec<[Vec<f64>; 4]> = (0..4)
+            .map(|_| {
+                let r: Vec<f64> = (0..500).map(|_| rng.gen_range(0.0..2.0)).collect();
+                [r.clone(), r.clone(), r.clone(), r]
+            })
+            .collect();
+        let (drifts, thr) = calibrate_pointwise(&missions, 0.995, 0.3, 1.25);
+        // Drift sits near the benign ceiling.
+        assert!(drifts[0] > 1.5 && drifts[0] <= 2.1, "drift {}", drifts[0]);
+        // Thresholds at least the 8x floor.
+        assert!(thr.roll.unwrap() >= 8.0 * drifts[0]);
+        // A fresh CUSUM over benign residuals never reaches the threshold.
+        let mut cusum = Cusum::new(drifts[0]);
+        let mut max_s: f64 = 0.0;
+        for &r in &missions[0][0] {
+            max_s = max_s.max(cusum.update(r));
+        }
+        assert!(max_s < thr.roll.unwrap(), "benign replay tripped");
+    }
+
+    #[test]
+    fn pointwise_unmonitored_axes_are_none() {
+        let missions = vec![[Vec::new(), Vec::new(), vec![0.5, 0.4, 0.6, 0.2], Vec::new()]];
+        let (_, thr) = calibrate_pointwise(&missions, 0.99, 0.3, 1.2);
+        assert!(thr.roll.is_none());
+        assert!(thr.pitch.is_none());
+        assert!(thr.yaw.is_some());
+        assert!(thr.thrust.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "validation mission")]
+    fn pointwise_empty_rejected() {
+        let _ = calibrate_pointwise(&[], 0.99, 0.3, 1.2);
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based tests for PID-Piper's core mechanisms.
+
+use pidpiper_control::ActuatorSignal;
+use pidpiper_core::gate::{GateConfig, VarianceGate};
+use pidpiper_core::monitor::{AxisThresholds, CusumMonitor, LagTolerantResidual, MONITOR_AXES};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn gate_output_finite_for_any_input(
+        xs in prop::collection::vec(-1e4..1e4f64, 1..150),
+    ) {
+        let mut gate = VarianceGate::new(1, GateConfig::default(), &[0.1], &[false]);
+        for x in xs {
+            let y = gate.filter(&[x]);
+            prop_assert!(y[0].is_finite());
+        }
+    }
+
+    #[test]
+    fn gate_is_identity_on_constant_signals(
+        level in -100.0..100.0f64,
+        n in 30usize..200,
+    ) {
+        let mut gate = VarianceGate::new(1, GateConfig::default(), &[0.1], &[false]);
+        let mut y = level;
+        for _ in 0..n {
+            y = gate.filter(&[level])[0];
+        }
+        prop_assert!((y - level).abs() < 1e-6, "constant signal distorted: {y} vs {level}");
+    }
+
+    #[test]
+    fn gate_gains_in_unit_interval(
+        xs in prop::collection::vec(-100.0..100.0f64, 1..120),
+    ) {
+        let mut gate = VarianceGate::new(1, GateConfig::default(), &[0.1], &[false]);
+        for x in xs {
+            gate.filter(&[x]);
+            let g = gate.last_gains()[0];
+            prop_assert!((0.0..=1.0).contains(&g));
+        }
+    }
+
+    #[test]
+    fn gate_suppresses_large_steps_after_warmup(
+        step in 50.0..500.0f64,
+        seed in 0u64..200,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut gate = VarianceGate::new(1, GateConfig::default(), &[0.05], &[false]);
+        let mut last = 0.0;
+        for i in 0..200 {
+            last = (i as f64 * 0.05).sin() + rng.gen_range(-0.02..0.02);
+            gate.filter(&[last]);
+        }
+        let y = gate.filter(&[last + step])[0];
+        prop_assert!(
+            (y - last).abs() < step * 0.2,
+            "step of {step} leaked through: {y} (baseline {last})"
+        );
+    }
+
+    #[test]
+    fn lag_residual_zero_for_identical_streams(
+        signals in prop::collection::vec(
+            (-0.5..0.5f64, -0.5..0.5f64, -1.0..1.0f64, 0.0..1.0f64),
+            1..80,
+        ),
+    ) {
+        let mut tracker = LagTolerantResidual::new(12);
+        for (roll, pitch, yaw_rate, thrust) in signals {
+            let y = ActuatorSignal { roll, pitch, yaw_rate, thrust };
+            let r = tracker.update(&y, &y);
+            for axis in 0..MONITOR_AXES {
+                prop_assert_eq!(r[axis], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn lag_residual_bounded_by_pointwise(
+        ml in prop::collection::vec((-0.5..0.5f64, 0.0..1.0f64), 13..60),
+        pid in prop::collection::vec((-0.5..0.5f64, 0.0..1.0f64), 13..60),
+    ) {
+        // The lag-tolerant residual can only forgive, never inflate: it is
+        // <= the plain pointwise residual at every step.
+        let n = ml.len().min(pid.len());
+        let mut tracker = LagTolerantResidual::new(8);
+        for i in 0..n {
+            let y_ml = ActuatorSignal { roll: ml[i].0, thrust: ml[i].1, ..Default::default() };
+            let y_pid = ActuatorSignal { roll: pid[i].0, thrust: pid[i].1, ..Default::default() };
+            let lag = tracker.update(&y_ml, &y_pid);
+            let pointwise = [
+                (y_pid.roll - y_ml.roll).abs().to_degrees(),
+                0.0,
+                0.0,
+                (y_pid.thrust - y_ml.thrust).abs() * 100.0,
+            ];
+            prop_assert!(lag[0] <= pointwise[0] + 1e-9);
+            prop_assert!(lag[3] <= pointwise[3] + 1e-9);
+        }
+    }
+
+    #[test]
+    fn monitor_never_trips_below_aggregate_threshold(
+        drift in 0.5..5.0f64,
+        residual_scale in 0.0..0.9f64,
+        n in 20usize..300,
+    ) {
+        // Residuals permanently below the drift can never trip any
+        // threshold.
+        let thr = AxisThresholds::quad(18.0, 18.0, 18.0).with_thrust(20.0);
+        let mut m = CusumMonitor::new(thr, drift);
+        let r = drift * residual_scale;
+        for _ in 0..n {
+            let pid = ActuatorSignal { roll: (r / 2.0_f64).to_radians(), ..Default::default() };
+            let tripped = m.update(&ActuatorSignal::default(), &pid);
+            prop_assert!(!tripped);
+        }
+        prop_assert!(m.statistic() <= 1e-9);
+    }
+
+    #[test]
+    fn monitor_statistics_monotone_under_reset(
+        drift in 0.1..2.0f64,
+        rolls in prop::collection::vec(0.0..0.5f64, 1..100),
+    ) {
+        let mut m = CusumMonitor::new(AxisThresholds::quad(1e9, 1e9, 1e9), drift);
+        for roll in rolls {
+            let pid = ActuatorSignal { roll, ..Default::default() };
+            m.update(&ActuatorSignal::default(), &pid);
+            for s in m.statistics() {
+                prop_assert!(s >= 0.0);
+            }
+        }
+        m.reset();
+        prop_assert_eq!(m.statistic(), 0.0);
+    }
+}

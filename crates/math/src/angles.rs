@@ -1,0 +1,90 @@
+//! Angle utilities: wrapping, conversion and shortest-path differences.
+
+use std::f64::consts::PI;
+
+/// Converts degrees to radians.
+///
+/// # Examples
+///
+/// ```
+/// use pidpiper_math::deg_to_rad;
+/// assert!((deg_to_rad(180.0) - std::f64::consts::PI).abs() < 1e-12);
+/// ```
+#[inline]
+pub fn deg_to_rad(deg: f64) -> f64 {
+    deg * PI / 180.0
+}
+
+/// Converts radians to degrees.
+///
+/// # Examples
+///
+/// ```
+/// use pidpiper_math::rad_to_deg;
+/// assert!((rad_to_deg(std::f64::consts::PI) - 180.0).abs() < 1e-12);
+/// ```
+#[inline]
+pub fn rad_to_deg(rad: f64) -> f64 {
+    rad * 180.0 / PI
+}
+
+/// Wraps an angle (radians) into `(-pi, pi]`.
+///
+/// # Examples
+///
+/// ```
+/// use pidpiper_math::wrap_angle;
+/// use std::f64::consts::PI;
+/// assert!((wrap_angle(3.0 * PI) - PI).abs() < 1e-12);
+/// assert!((wrap_angle(-3.0 * PI) - PI).abs() < 1e-12);
+/// ```
+#[inline]
+pub fn wrap_angle(angle: f64) -> f64 {
+    let mut a = angle % (2.0 * PI);
+    if a <= -PI {
+        a += 2.0 * PI;
+    } else if a > PI {
+        a -= 2.0 * PI;
+    }
+    a
+}
+
+/// Shortest signed angular difference `target - current`, wrapped into
+/// `(-pi, pi]`. The controller uses this so that a heading error across the
+/// +/-pi seam turns the short way round.
+#[inline]
+pub fn angle_error(target: f64, current: f64) -> f64 {
+    wrap_angle(target - current)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_invert() {
+        for d in [-720.0, -90.0, 0.0, 13.37, 359.0] {
+            assert!((rad_to_deg(deg_to_rad(d)) - d).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn wrap_stays_in_range() {
+        for i in -100..=100 {
+            let a = i as f64 * 0.37;
+            let w = wrap_angle(a);
+            assert!(w > -PI - 1e-12 && w <= PI + 1e-12, "wrap({a}) = {w}");
+            // Wrapping preserves the angle modulo 2*pi.
+            assert!(((w - a) / (2.0 * PI)).fract().abs() < 1e-9 || ((w - a) / (2.0 * PI)).fract().abs() > 1.0 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn error_takes_short_way() {
+        // 170 deg to -170 deg should be +20 deg, not -340.
+        let e = angle_error(deg_to_rad(-170.0), deg_to_rad(170.0));
+        assert!((rad_to_deg(e) - 20.0).abs() < 1e-9);
+        let e2 = angle_error(deg_to_rad(170.0), deg_to_rad(-170.0));
+        assert!((rad_to_deg(e2) + 20.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,195 @@
+//! Cumulative-sum (CUSUM) change detection, the monitoring statistic used
+//! by PID-Piper and Savior.
+//!
+//! The recursion from the paper's Algorithm 1:
+//! `S(t+1) = max(0, S(t) + |residual(t)| - b(t))`, with `S(0) = 0` and drift
+//! `b(t) > 0` chosen so that transient residuals do not accumulate. When
+//! `S` exceeds the calibrated threshold `tau` the monitor flags an attack.
+
+/// One-sided CUSUM accumulator over non-negative residuals.
+///
+/// # Examples
+///
+/// ```
+/// use pidpiper_math::Cusum;
+///
+/// let mut c = Cusum::new(1.0);
+/// c.update(0.5);          // below drift: no accumulation
+/// assert_eq!(c.statistic(), 0.0);
+/// c.update(3.0);
+/// c.update(3.0);
+/// assert_eq!(c.statistic(), 4.0);
+/// c.reset();
+/// assert_eq!(c.statistic(), 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cusum {
+    drift: f64,
+    statistic: f64,
+}
+
+impl Cusum {
+    /// Creates a CUSUM with the given drift `b > 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `drift` is not strictly positive (the paper requires
+    /// `b(t) > 0`, otherwise benign noise accumulates without bound).
+    pub fn new(drift: f64) -> Self {
+        assert!(drift > 0.0, "CUSUM drift must be strictly positive");
+        Cusum {
+            drift,
+            statistic: 0.0,
+        }
+    }
+
+    /// Feeds one residual magnitude and returns the updated statistic.
+    ///
+    /// Negative residuals are taken by absolute value, matching the paper's
+    /// `|y_ML - y_PID|` usage.
+    pub fn update(&mut self, residual: f64) -> f64 {
+        self.statistic = (self.statistic + residual.abs() - self.drift).max(0.0);
+        self.statistic
+    }
+
+    /// The current accumulated statistic `S(t)`.
+    #[inline]
+    pub fn statistic(&self) -> f64 {
+        self.statistic
+    }
+
+    /// The configured drift `b`.
+    #[inline]
+    pub fn drift(&self) -> f64 {
+        self.drift
+    }
+
+    /// Resets `S` to zero (Algorithm 1 resets on detection).
+    pub fn reset(&mut self) {
+        self.statistic = 0.0;
+    }
+}
+
+/// A windowed residual monitor, as used by the CI and SRR baselines.
+///
+/// Accumulates `|residual|` over a fixed-length window and raises when the
+/// windowed sum exceeds the threshold. Unlike CUSUM, the statistic forgets
+/// everything outside the window — which is exactly the weakness stealthy
+/// attacks exploit (the attacker hides a sub-threshold bias inside every
+/// window).
+#[derive(Debug, Clone)]
+pub struct WindowedMonitor {
+    window: crate::stats::RollingWindow,
+}
+
+impl WindowedMonitor {
+    /// Creates a monitor over `window_len` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_len` is zero.
+    pub fn new(window_len: usize) -> Self {
+        WindowedMonitor {
+            window: crate::stats::RollingWindow::new(window_len),
+        }
+    }
+
+    /// Feeds one residual and returns the current windowed sum.
+    pub fn update(&mut self, residual: f64) -> f64 {
+        self.window.push(residual.abs());
+        self.statistic()
+    }
+
+    /// Sum of absolute residuals currently inside the window.
+    pub fn statistic(&self) -> f64 {
+        self.window.iter().sum()
+    }
+
+    /// Clears the window.
+    pub fn reset(&mut self) {
+        self.window.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transients_do_not_accumulate() {
+        let mut c = Cusum::new(0.5);
+        for _ in 0..100 {
+            c.update(0.3);
+        }
+        assert_eq!(c.statistic(), 0.0);
+    }
+
+    #[test]
+    fn systematic_bias_accumulates_linearly() {
+        let mut c = Cusum::new(0.5);
+        for _ in 0..10 {
+            c.update(1.5);
+        }
+        assert!((c.statistic() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn statistic_never_negative() {
+        let mut c = Cusum::new(2.0);
+        c.update(10.0);
+        for _ in 0..100 {
+            c.update(0.0);
+        }
+        assert_eq!(c.statistic(), 0.0);
+    }
+
+    #[test]
+    fn absolute_value_of_residual_used() {
+        let mut a = Cusum::new(0.1);
+        let mut b = Cusum::new(0.1);
+        a.update(2.0);
+        b.update(-2.0);
+        assert_eq!(a.statistic(), b.statistic());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly positive")]
+    fn zero_drift_rejected() {
+        let _ = Cusum::new(0.0);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut c = Cusum::new(0.5);
+        c.update(100.0);
+        c.reset();
+        assert_eq!(c.statistic(), 0.0);
+    }
+
+    #[test]
+    fn windowed_monitor_forgets() {
+        let mut w = WindowedMonitor::new(3);
+        w.update(5.0);
+        w.update(0.0);
+        w.update(0.0);
+        assert_eq!(w.statistic(), 5.0);
+        w.update(0.0); // evicts the 5.0
+        assert_eq!(w.statistic(), 0.0);
+    }
+
+    #[test]
+    fn stealthy_attack_evades_window_but_not_cusum() {
+        // An attacker injecting a constant 0.9 against a window of length 10
+        // and threshold 10 stays below threshold forever...
+        let mut w = WindowedMonitor::new(10);
+        let mut max_w: f64 = 0.0;
+        // ...but a CUSUM with drift 0.5 accumulates without bound.
+        let mut c = Cusum::new(0.5);
+        for _ in 0..200 {
+            max_w = max_w.max(w.update(0.9));
+            c.update(0.9);
+        }
+        assert!(max_w < 10.0, "window statistic stays sub-threshold");
+        assert!(c.statistic() > 50.0, "CUSUM catches the persistent bias");
+    }
+}

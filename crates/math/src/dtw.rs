@@ -1,0 +1,199 @@
+//! Dynamic time warping (DTW), used by PID-Piper's threshold calibration.
+//!
+//! The ML model's predictions may lag the PID controller by a small,
+//! variable latency. The paper aligns the two time series with DTW and
+//! accumulates the absolute error along the optimal warping path; the
+//! largest accumulated error across the validation missions becomes the
+//! detection threshold `tau`.
+
+/// Computes the DTW distance between two series using absolute difference
+/// as the local cost.
+///
+/// Returns `f64::INFINITY` if either series is empty.
+///
+/// # Examples
+///
+/// ```
+/// use pidpiper_math::dtw_distance;
+/// // Identical series have zero distance.
+/// assert_eq!(dtw_distance(&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0]), 0.0);
+/// // Time-shifted series align cheaply.
+/// let a = [0.0, 0.0, 1.0, 2.0, 1.0, 0.0];
+/// let b = [0.0, 1.0, 2.0, 1.0, 0.0, 0.0];
+/// assert!(dtw_distance(&a, &b) < 0.5);
+/// ```
+pub fn dtw_distance(a: &[f64], b: &[f64]) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return f64::INFINITY;
+    }
+    let n = a.len();
+    let m = b.len();
+    // Rolling two-row DP to keep memory at O(m).
+    let mut prev = vec![f64::INFINITY; m + 1];
+    let mut curr = vec![f64::INFINITY; m + 1];
+    prev[0] = 0.0;
+    for i in 1..=n {
+        curr[0] = f64::INFINITY;
+        for j in 1..=m {
+            let cost = (a[i - 1] - b[j - 1]).abs();
+            let best = prev[j].min(curr[j - 1]).min(prev[j - 1]);
+            curr[j] = cost + best;
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[m]
+}
+
+/// Computes the DTW distance and the optimal warping path as index pairs
+/// `(i, j)` from `(0, 0)` to `(n-1, m-1)`.
+///
+/// Uses the full O(n*m) cost matrix; prefer [`dtw_distance`] when only the
+/// distance is needed.
+///
+/// # Panics
+///
+/// Panics if either series is empty.
+pub fn dtw_path(a: &[f64], b: &[f64]) -> (f64, Vec<(usize, usize)>) {
+    assert!(!a.is_empty() && !b.is_empty(), "DTW path of empty series");
+    let n = a.len();
+    let m = b.len();
+    let mut dp = vec![f64::INFINITY; (n + 1) * (m + 1)];
+    let idx = |i: usize, j: usize| i * (m + 1) + j;
+    dp[idx(0, 0)] = 0.0;
+    for i in 1..=n {
+        for j in 1..=m {
+            let cost = (a[i - 1] - b[j - 1]).abs();
+            let best = dp[idx(i - 1, j)]
+                .min(dp[idx(i, j - 1)])
+                .min(dp[idx(i - 1, j - 1)]);
+            dp[idx(i, j)] = cost + best;
+        }
+    }
+    // Backtrack.
+    let mut path = Vec::new();
+    let (mut i, mut j) = (n, m);
+    while i > 0 && j > 0 {
+        path.push((i - 1, j - 1));
+        let diag = dp[idx(i - 1, j - 1)];
+        let up = dp[idx(i - 1, j)];
+        let left = dp[idx(i, j - 1)];
+        if diag <= up && diag <= left {
+            i -= 1;
+            j -= 1;
+        } else if up <= left {
+            i -= 1;
+        } else {
+            j -= 1;
+        }
+    }
+    // Degenerate leading moves when one index hits zero first.
+    while i > 0 {
+        i -= 1;
+        path.push((i, 0));
+    }
+    while j > 0 {
+        j -= 1;
+        path.push((0, j));
+    }
+    path.reverse();
+    (dp[idx(n, m)], path)
+}
+
+/// Accumulates `|a[i] - b[j]|` along the optimal DTW path — the quantity the
+/// paper records per mission when deriving the detection threshold.
+///
+/// Equivalent to the DTW distance itself but named for its calibration role.
+///
+/// # Panics
+///
+/// Panics if either series is empty.
+pub fn accumulated_warped_error(a: &[f64], b: &[f64]) -> f64 {
+    let (dist, _) = dtw_path(a, b);
+    dist
+}
+
+/// Maximum temporal deviation (in samples) along the optimal DTW path —
+/// how far the ML predictions lag or lead the PID estimates.
+///
+/// # Panics
+///
+/// Panics if either series is empty.
+pub fn max_temporal_deviation(a: &[f64], b: &[f64]) -> usize {
+    let (_, path) = dtw_path(a, b);
+    path.iter()
+        .map(|&(i, j)| i.abs_diff(j))
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_series_zero_distance() {
+        let a = [1.0, 4.0, -2.0, 0.5];
+        assert_eq!(dtw_distance(&a, &a), 0.0);
+        let (d, path) = dtw_path(&a, &a);
+        assert_eq!(d, 0.0);
+        // Diagonal path.
+        assert_eq!(path, vec![(0, 0), (1, 1), (2, 2), (3, 3)]);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = [0.0, 1.0, 3.0, 2.0, 0.0];
+        let b = [0.0, 2.0, 3.0, 1.0];
+        assert_eq!(dtw_distance(&a, &b), dtw_distance(&b, &a));
+    }
+
+    #[test]
+    fn shifted_series_cheaper_than_pointwise() {
+        let a: Vec<f64> = (0..50).map(|i| ((i as f64) * 0.3).sin()).collect();
+        // b is a delayed by 3 samples.
+        let b: Vec<f64> = (0..50).map(|i| (((i as f64) - 3.0) * 0.3).sin()).collect();
+        let pointwise: f64 = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum();
+        let warped = dtw_distance(&a, &b);
+        assert!(warped < pointwise * 0.5, "warped {warped} vs pointwise {pointwise}");
+    }
+
+    #[test]
+    fn empty_series_is_infinite() {
+        assert!(dtw_distance(&[], &[1.0]).is_infinite());
+        assert!(dtw_distance(&[1.0], &[]).is_infinite());
+    }
+
+    #[test]
+    fn path_endpoints_are_corners() {
+        let a = [0.0, 1.0, 2.0];
+        let b = [0.0, 1.0, 1.5, 2.0];
+        let (_, path) = dtw_path(&a, &b);
+        assert_eq!(*path.first().unwrap(), (0, 0));
+        assert_eq!(*path.last().unwrap(), (2, 3));
+    }
+
+    #[test]
+    fn temporal_deviation_detects_lag() {
+        let a: Vec<f64> = (0..40).map(|i| if i >= 10 && i < 20 { 1.0 } else { 0.0 }).collect();
+        // Same pulse delayed by 4 samples.
+        let b: Vec<f64> = (0..40).map(|i| if i >= 14 && i < 24 { 1.0 } else { 0.0 }).collect();
+        let dev = max_temporal_deviation(&a, &b);
+        assert!(dev >= 3 && dev <= 8, "deviation {dev} should be near 4");
+    }
+
+    #[test]
+    fn accumulated_error_matches_distance() {
+        let a = [0.0, 2.0, 1.0];
+        let b = [0.5, 1.5, 1.0, 1.0];
+        assert_eq!(accumulated_warped_error(&a, &b), dtw_path(&a, &b).0);
+    }
+
+    #[test]
+    fn triangle_like_monotonicity() {
+        // Adding a constant offset increases distance roughly linearly.
+        let a: Vec<f64> = (0..30).map(|i| (i as f64 * 0.2).cos()).collect();
+        let b1: Vec<f64> = a.iter().map(|x| x + 0.1).collect();
+        let b2: Vec<f64> = a.iter().map(|x| x + 1.0).collect();
+        assert!(dtw_distance(&a, &b1) < dtw_distance(&a, &b2));
+    }
+}

@@ -1,0 +1,293 @@
+//! 3x3 matrices: rotation matrices from Euler angles and inertia tensors.
+
+use crate::vec3::Vec3;
+use std::fmt;
+use std::ops::{Add, Mul, Sub};
+
+/// A row-major 3x3 `f64` matrix.
+///
+/// Primarily used for body-to-world rotation matrices (Z-Y-X Euler
+/// convention, i.e. yaw–pitch–roll) and diagonal inertia tensors in the
+/// rigid-body simulator.
+///
+/// # Examples
+///
+/// ```
+/// use pidpiper_math::{Mat3, Vec3};
+///
+/// // Identity leaves vectors unchanged.
+/// let v = Vec3::new(1.0, 2.0, 3.0);
+/// assert_eq!(Mat3::identity() * v, v);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mat3 {
+    /// Row-major entries `m[row][col]`.
+    pub m: [[f64; 3]; 3],
+}
+
+impl Default for Mat3 {
+    fn default() -> Self {
+        Mat3::identity()
+    }
+}
+
+impl Mat3 {
+    /// The identity matrix.
+    #[inline]
+    pub fn identity() -> Self {
+        Mat3::diagonal(Vec3::splat(1.0))
+    }
+
+    /// The zero matrix.
+    #[inline]
+    pub fn zero() -> Self {
+        Mat3 { m: [[0.0; 3]; 3] }
+    }
+
+    /// A diagonal matrix with diagonal `d`.
+    #[inline]
+    pub fn diagonal(d: Vec3) -> Self {
+        let mut m = [[0.0; 3]; 3];
+        m[0][0] = d.x;
+        m[1][1] = d.y;
+        m[2][2] = d.z;
+        Mat3 { m }
+    }
+
+    /// Constructs a matrix from three rows.
+    #[inline]
+    pub fn from_rows(r0: Vec3, r1: Vec3, r2: Vec3) -> Self {
+        Mat3 {
+            m: [r0.to_array(), r1.to_array(), r2.to_array()],
+        }
+    }
+
+    /// Body-to-world rotation matrix for Z-Y-X (yaw `psi`, pitch `theta`,
+    /// roll `phi`) Euler angles, the convention used by ArduPilot-style
+    /// autopilots.
+    ///
+    /// A vector expressed in the body frame is mapped into the world (ENU)
+    /// frame by `R * v_body`.
+    pub fn from_euler(roll: f64, pitch: f64, yaw: f64) -> Self {
+        let (sr, cr) = roll.sin_cos();
+        let (sp, cp) = pitch.sin_cos();
+        let (sy, cy) = yaw.sin_cos();
+        Mat3 {
+            m: [
+                [cy * cp, cy * sp * sr - sy * cr, cy * sp * cr + sy * sr],
+                [sy * cp, sy * sp * sr + cy * cr, sy * sp * cr - cy * sr],
+                [-sp, cp * sr, cp * cr],
+            ],
+        }
+    }
+
+    /// The transpose (equal to the inverse for rotation matrices).
+    #[inline]
+    pub fn transpose(&self) -> Mat3 {
+        let mut t = [[0.0; 3]; 3];
+        for (r, row) in self.m.iter().enumerate() {
+            for (c, &v) in row.iter().enumerate() {
+                t[c][r] = v;
+            }
+        }
+        Mat3 { m: t }
+    }
+
+    /// Extracts Z-Y-X Euler angles `(roll, pitch, yaw)` from a rotation
+    /// matrix. Pitch is clamped into `[-pi/2, pi/2]` (gimbal-lock safe).
+    pub fn to_euler(&self) -> (f64, f64, f64) {
+        let pitch = (-self.m[2][0]).clamp(-1.0, 1.0).asin();
+        let roll = self.m[2][1].atan2(self.m[2][2]);
+        let yaw = self.m[1][0].atan2(self.m[0][0]);
+        (roll, pitch, yaw)
+    }
+
+    /// The matrix determinant.
+    pub fn determinant(&self) -> f64 {
+        let m = &self.m;
+        m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1])
+            - m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0])
+            + m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0])
+    }
+
+    /// The inverse of a diagonal matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug only) if any diagonal entry is zero. Intended for
+    /// inertia tensors, which are strictly positive.
+    #[inline]
+    pub fn diagonal_inverse(&self) -> Mat3 {
+        debug_assert!(
+            self.m[0][0] != 0.0 && self.m[1][1] != 0.0 && self.m[2][2] != 0.0,
+            "diagonal_inverse on singular diagonal"
+        );
+        Mat3::diagonal(Vec3::new(
+            1.0 / self.m[0][0],
+            1.0 / self.m[1][1],
+            1.0 / self.m[2][2],
+        ))
+    }
+
+    /// Row `r` as a vector.
+    #[inline]
+    pub fn row(&self, r: usize) -> Vec3 {
+        Vec3::from_array(self.m[r])
+    }
+}
+
+impl Mul<Vec3> for Mat3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, v: Vec3) -> Vec3 {
+        Vec3::new(self.row(0).dot(v), self.row(1).dot(v), self.row(2).dot(v))
+    }
+}
+
+impl Mul<Mat3> for Mat3 {
+    type Output = Mat3;
+    fn mul(self, rhs: Mat3) -> Mat3 {
+        let mut out = [[0.0; 3]; 3];
+        for r in 0..3 {
+            for c in 0..3 {
+                let mut acc = 0.0;
+                for (k, rhs_row) in rhs.m.iter().enumerate() {
+                    acc += self.m[r][k] * rhs_row[c];
+                }
+                out[r][c] = acc;
+            }
+        }
+        Mat3 { m: out }
+    }
+}
+
+impl Add for Mat3 {
+    type Output = Mat3;
+    fn add(self, rhs: Mat3) -> Mat3 {
+        let mut out = self.m;
+        for (r, row) in out.iter_mut().enumerate() {
+            for (c, v) in row.iter_mut().enumerate() {
+                *v += rhs.m[r][c];
+            }
+        }
+        Mat3 { m: out }
+    }
+}
+
+impl Sub for Mat3 {
+    type Output = Mat3;
+    fn sub(self, rhs: Mat3) -> Mat3 {
+        let mut out = self.m;
+        for (r, row) in out.iter_mut().enumerate() {
+            for (c, v) in row.iter_mut().enumerate() {
+                *v -= rhs.m[r][c];
+            }
+        }
+        Mat3 { m: out }
+    }
+}
+
+impl Mul<f64> for Mat3 {
+    type Output = Mat3;
+    fn mul(self, s: f64) -> Mat3 {
+        let mut out = self.m;
+        for row in out.iter_mut() {
+            for v in row.iter_mut() {
+                *v *= s;
+            }
+        }
+        Mat3 { m: out }
+    }
+}
+
+impl fmt::Display for Mat3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for row in &self.m {
+            writeln!(f, "[{:.4} {:.4} {:.4}]", row[0], row[1], row[2])?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::angles::deg_to_rad;
+
+    fn approx(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() < tol
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let v = Vec3::new(1.0, -2.0, 3.0);
+        assert_eq!(Mat3::identity() * v, v);
+        let r = Mat3::from_euler(0.3, -0.2, 1.0);
+        let prod = Mat3::identity() * r;
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!(approx(prod.m[i][j], r.m[i][j], 1e-14));
+            }
+        }
+    }
+
+    #[test]
+    fn rotation_is_orthonormal() {
+        let r = Mat3::from_euler(0.4, -0.7, 2.1);
+        let should_be_identity = r * r.transpose();
+        for i in 0..3 {
+            for j in 0..3 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!(approx(should_be_identity.m[i][j], expect, 1e-12));
+            }
+        }
+        assert!(approx(r.determinant(), 1.0, 1e-12));
+    }
+
+    #[test]
+    fn euler_round_trip() {
+        for &(roll, pitch, yaw) in &[
+            (0.0, 0.0, 0.0),
+            (0.3, -0.4, 1.2),
+            (-1.0, 0.5, -2.5),
+            (0.01, 1.2, 3.0),
+        ] {
+            let r = Mat3::from_euler(roll, pitch, yaw);
+            let (r2, p2, y2) = r.to_euler();
+            assert!(approx(roll, r2, 1e-10), "roll {roll} vs {r2}");
+            assert!(approx(pitch, p2, 1e-10), "pitch {pitch} vs {p2}");
+            assert!(approx(yaw, y2, 1e-10), "yaw {yaw} vs {y2}");
+        }
+    }
+
+    #[test]
+    fn yaw_rotates_x_towards_y() {
+        // ENU: +90 degrees yaw maps body-x (forward) onto world +Y? With
+        // standard Z-Y-X convention, yaw rotates about +Z: x -> (cos, sin, 0).
+        let r = Mat3::from_euler(0.0, 0.0, deg_to_rad(90.0));
+        let v = r * Vec3::unit_x();
+        assert!(approx(v.x, 0.0, 1e-12));
+        assert!(approx(v.y, 1.0, 1e-12));
+    }
+
+    #[test]
+    fn thrust_tilts_with_roll() {
+        // Positive roll tilts the body-z axis so that world-frame thrust
+        // acquires a -Y? component: z_world = R * z_body.
+        let r = Mat3::from_euler(deg_to_rad(10.0), 0.0, 0.0);
+        let z = r * Vec3::unit_z();
+        // roll > 0 about body-x: z tips towards -y in this convention.
+        assert!(z.y < 0.0);
+        assert!(z.z > 0.9);
+    }
+
+    #[test]
+    fn diagonal_inverse_works() {
+        let d = Mat3::diagonal(Vec3::new(2.0, 4.0, 8.0));
+        let inv = d.diagonal_inverse();
+        let prod = d * inv;
+        for i in 0..3 {
+            assert!(approx(prod.m[i][i], 1.0, 1e-14));
+        }
+    }
+}

@@ -1,0 +1,308 @@
+//! Descriptive statistics and rolling windows.
+
+use std::collections::VecDeque;
+
+/// Arithmetic mean of a slice. Returns `0.0` for an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// use pidpiper_math::mean;
+/// assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+/// assert_eq!(mean(&[]), 0.0);
+/// ```
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance (divides by `n`). Returns `0.0` for slices shorter
+/// than 1.
+pub fn population_variance(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Sample variance (divides by `n - 1`). Returns `0.0` for slices shorter
+/// than 2.
+pub fn sample_variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Sample standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    sample_variance(xs).sqrt()
+}
+
+/// Mean absolute error between two equally long series.
+///
+/// This is the accuracy metric used throughout the paper's evaluation
+/// (`MAE = 1/n * sum |y_pid - y_ml|`).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// use pidpiper_math::stats::mean_absolute_error;
+/// let mae = mean_absolute_error(&[1.0, 2.0], &[2.0, 0.0]);
+/// assert_eq!(mae, 1.5);
+/// ```
+pub fn mean_absolute_error(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "MAE requires equal-length series");
+    if a.is_empty() {
+        return 0.0;
+    }
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum::<f64>() / a.len() as f64
+}
+
+/// Root-mean-square error between two equally long series.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn root_mean_square_error(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "RMSE requires equal-length series");
+    if a.is_empty() {
+        return 0.0;
+    }
+    (a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>() / a.len() as f64).sqrt()
+}
+
+/// Empirical p-quantile (linear interpolation between order statistics).
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or `p` is outside `[0, 1]`.
+pub fn quantile(xs: &[f64], p: f64) -> f64 {
+    assert!(!xs.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&p), "p must be in [0,1]");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let idx = p * (sorted.len() - 1) as f64;
+    let lo = idx.floor() as usize;
+    let hi = idx.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = idx - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// A fixed-capacity rolling window with O(1) mean/variance queries.
+///
+/// Maintains running sums, so repeated [`RollingWindow::push`] calls are
+/// cheap. Used by the noise-gate (the paper's sigmoid-layer noise model) to
+/// compare the present input `x(t)` against its recent history `X(k)`.
+///
+/// # Examples
+///
+/// ```
+/// use pidpiper_math::RollingWindow;
+///
+/// let mut w = RollingWindow::new(3);
+/// w.push(1.0);
+/// w.push(2.0);
+/// w.push(3.0);
+/// assert_eq!(w.mean(), 2.0);
+/// w.push(5.0); // evicts 1.0
+/// assert!((w.mean() - 10.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RollingWindow {
+    capacity: usize,
+    buf: VecDeque<f64>,
+    sum: f64,
+    sum_sq: f64,
+}
+
+impl RollingWindow {
+    /// Creates an empty window holding at most `capacity` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "window capacity must be positive");
+        RollingWindow {
+            capacity,
+            buf: VecDeque::with_capacity(capacity),
+            sum: 0.0,
+            sum_sq: 0.0,
+        }
+    }
+
+    /// Pushes a sample, evicting the oldest one if the window is full.
+    /// Returns the evicted sample, if any.
+    pub fn push(&mut self, x: f64) -> Option<f64> {
+        let evicted = if self.buf.len() == self.capacity {
+            let old = self.buf.pop_front().expect("non-empty at capacity");
+            self.sum -= old;
+            self.sum_sq -= old * old;
+            Some(old)
+        } else {
+            None
+        };
+        self.buf.push_back(x);
+        self.sum += x;
+        self.sum_sq += x * x;
+        evicted
+    }
+
+    /// Number of samples currently stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the window holds no samples.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Whether the window has reached capacity.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.buf.len() == self.capacity
+    }
+
+    /// Mean of the stored samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.buf.is_empty() {
+            0.0
+        } else {
+            self.sum / self.buf.len() as f64
+        }
+    }
+
+    /// Population variance of the stored samples (0 when empty).
+    ///
+    /// Clamped at zero to guard against catastrophic cancellation in the
+    /// running sums.
+    pub fn variance(&self) -> f64 {
+        if self.buf.is_empty() {
+            return 0.0;
+        }
+        let n = self.buf.len() as f64;
+        let m = self.sum / n;
+        (self.sum_sq / n - m * m).max(0.0)
+    }
+
+    /// Population standard deviation of the stored samples.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Iterates over the stored samples, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &f64> {
+        self.buf.iter()
+    }
+
+    /// The most recently pushed sample, if any.
+    pub fn last(&self) -> Option<f64> {
+        self.buf.back().copied()
+    }
+
+    /// Clears the window.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.sum = 0.0;
+        self.sum_sq = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_basics() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), 5.0);
+        assert_eq!(population_variance(&xs), 4.0);
+        assert!((sample_variance(&xs) - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(population_variance(&[]), 0.0);
+        assert_eq!(sample_variance(&[1.0]), 0.0);
+        assert_eq!(std_dev(&[]), 0.0);
+    }
+
+    #[test]
+    fn mae_rmse() {
+        let a = [0.0, 0.0, 0.0];
+        let b = [3.0, -3.0, 3.0];
+        assert_eq!(mean_absolute_error(&a, &b), 3.0);
+        assert_eq!(root_mean_square_error(&a, &b), 3.0);
+        assert_eq!(mean_absolute_error(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn mae_length_mismatch_panics() {
+        mean_absolute_error(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn quantiles() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert_eq!(quantile(&xs, 0.5), 2.5);
+    }
+
+    #[test]
+    fn rolling_window_evicts() {
+        let mut w = RollingWindow::new(2);
+        assert!(w.is_empty());
+        assert_eq!(w.push(1.0), None);
+        assert_eq!(w.push(2.0), None);
+        assert!(w.is_full());
+        assert_eq!(w.push(3.0), Some(1.0));
+        assert_eq!(w.mean(), 2.5);
+        assert_eq!(w.last(), Some(3.0));
+    }
+
+    #[test]
+    fn rolling_window_variance_matches_batch() {
+        let mut w = RollingWindow::new(4);
+        for x in [1.0, 5.0, 2.0, 8.0, 3.0, 3.0] {
+            w.push(x);
+        }
+        // Window now holds [2, 8, 3, 3].
+        let batch = population_variance(&[2.0, 8.0, 3.0, 3.0]);
+        assert!((w.variance() - batch).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rolling_window_clear() {
+        let mut w = RollingWindow::new(3);
+        w.push(10.0);
+        w.clear();
+        assert!(w.is_empty());
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.variance(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_panics() {
+        let _ = RollingWindow::new(0);
+    }
+}

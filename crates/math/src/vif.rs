@@ -1,0 +1,176 @@
+//! Variance Inflation Factor (VIF) — the collinearity metric of Section III.
+//!
+//! The paper's initial study regresses each PID-controller parameter against
+//! every other parameter and computes `VIF(x_i) = 1 / (1 - R_i^2)`. A VIF
+//! near 1 indicates an independent parameter; above 10 indicates high
+//! collinearity. The paper found velocities, accelerations and angular
+//! rotations clustered at VIF 22–29 while positions stayed near 1–1.6, which
+//! motivates the feature-engineering step of the FFC design.
+
+use crate::matrix::{Matrix, MatrixError};
+use crate::stats::mean;
+
+/// Computes the VIF of column `target` of a feature matrix whose columns are
+/// features and whose rows are observations.
+///
+/// Features are centered before the regression. Columns with (near-)zero
+/// variance yield `VIF = 1.0` (they carry no variance to inflate). When the
+/// regression is singular — features exactly collinear — `f64::INFINITY` is
+/// returned, which callers should read as "maximally collinear".
+///
+/// # Panics
+///
+/// Panics if `target >= features.cols()` or the matrix has fewer than 3 rows.
+///
+/// # Examples
+///
+/// ```
+/// use pidpiper_math::{Matrix, vif};
+///
+/// // Two independent columns: VIF near 1.
+/// let m = Matrix::from_rows(&[
+///     vec![1.0, 9.0], vec![2.0, 4.0], vec![3.0, 7.0], vec![4.0, 1.0],
+/// ]);
+/// assert!(vif(&m, 0) < 3.0);
+/// ```
+pub fn vif(features: &Matrix, target: usize) -> f64 {
+    assert!(target < features.cols(), "target column out of range");
+    assert!(features.rows() >= 3, "need at least 3 observations for VIF");
+    let n = features.rows();
+    let k = features.cols();
+
+    let y_raw = features.col(target);
+    let y_mean = mean(&y_raw);
+    let y: Vec<f64> = y_raw.iter().map(|v| v - y_mean).collect();
+    let ss_tot: f64 = y.iter().map(|v| v * v).sum();
+    if ss_tot < 1e-12 {
+        // A constant column cannot be inflated.
+        return 1.0;
+    }
+
+    // Design matrix: all other columns, centered, plus nothing else (the
+    // intercept is absorbed by centering).
+    let mut rows: Vec<Vec<f64>> = Vec::with_capacity(n);
+    let mut col_means = vec![0.0; k];
+    for (c, cm) in col_means.iter_mut().enumerate() {
+        *cm = mean(&features.col(c));
+    }
+    for r in 0..n {
+        let mut row = Vec::with_capacity(k - 1);
+        for c in 0..k {
+            if c == target {
+                continue;
+            }
+            row.push(features[(r, c)] - col_means[c]);
+        }
+        rows.push(row);
+    }
+    // Tiny ridge term: duplicated *other* columns (e.g. two identical
+    // covariance channels) must not make the regression for an unrelated
+    // target singular. The regularization is far below any meaningful
+    // signal scale, so VIF values are unaffected to plotting precision.
+    let mut y_aug = y.clone();
+    for i in 0..k - 1 {
+        let mut reg_row = vec![0.0; k - 1];
+        reg_row[i] = 1e-6;
+        rows.push(reg_row);
+        y_aug.push(0.0);
+    }
+    let design_aug = Matrix::from_rows(&rows);
+    let beta = match design_aug.solve_least_squares(&y_aug) {
+        Ok(b) => b,
+        Err(MatrixError::Singular) => return f64::INFINITY,
+        Err(e) => unreachable!("VIF regression shape error: {e}"),
+    };
+    let design = Matrix::from_rows(&rows[..n]);
+    let fitted = design.matvec(&beta).expect("shapes checked");
+    let ss_res: f64 = y
+        .iter()
+        .zip(&fitted)
+        .map(|(yi, fi)| (yi - fi) * (yi - fi))
+        .sum();
+    let r_squared = 1.0 - ss_res / ss_tot;
+    if r_squared >= 1.0 - 1e-12 {
+        f64::INFINITY
+    } else {
+        (1.0 / (1.0 - r_squared)).max(1.0)
+    }
+}
+
+/// Computes the VIF of every column. See [`vif`].
+pub fn vif_all(features: &Matrix) -> Vec<f64> {
+    (0..features.cols()).map(|c| vif(features, c)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn feature_matrix(cols: Vec<Vec<f64>>) -> Matrix {
+        let n = cols[0].len();
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|r| cols.iter().map(|c| c[r]).collect())
+            .collect();
+        Matrix::from_rows(&rows)
+    }
+
+    #[test]
+    fn independent_columns_have_low_vif() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let a: Vec<f64> = (0..200).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let b: Vec<f64> = (0..200).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let c: Vec<f64> = (0..200).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let m = feature_matrix(vec![a, b, c]);
+        for v in vif_all(&m) {
+            assert!(v < 1.5, "independent column has VIF {v}");
+        }
+    }
+
+    #[test]
+    fn collinear_columns_have_high_vif() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let a: Vec<f64> = (0..200).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        // b is a + small noise: strongly collinear.
+        let b: Vec<f64> = a.iter().map(|x| x + rng.gen_range(-0.05..0.05)).collect();
+        let c: Vec<f64> = (0..200).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let m = feature_matrix(vec![a, b, c]);
+        let vifs = vif_all(&m);
+        assert!(vifs[0] > 10.0, "collinear column VIF {}", vifs[0]);
+        assert!(vifs[1] > 10.0, "collinear column VIF {}", vifs[1]);
+        assert!(vifs[2] < 2.0, "independent column VIF {}", vifs[2]);
+    }
+
+    #[test]
+    fn exactly_collinear_is_infinite() {
+        let a: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let b: Vec<f64> = a.iter().map(|x| 2.0 * x + 3.0).collect();
+        let m = feature_matrix(vec![a, b]);
+        let vifs = vif_all(&m);
+        assert!(vifs[0].is_infinite());
+        assert!(vifs[1].is_infinite());
+    }
+
+    #[test]
+    fn constant_column_is_one() {
+        let a: Vec<f64> = (0..50).map(|i| (i as f64).sin()).collect();
+        let b = vec![5.0; 50];
+        let m = feature_matrix(vec![a, b]);
+        assert_eq!(vif(&m, 1), 1.0);
+    }
+
+    #[test]
+    fn vif_never_below_one() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..5 {
+            let cols: Vec<Vec<f64>> = (0..4)
+                .map(|_| (0..60).map(|_| rng.gen_range(-2.0..2.0)).collect())
+                .collect();
+            let m = feature_matrix(cols);
+            for v in vif_all(&m) {
+                assert!(v >= 1.0, "VIF {v} below 1");
+            }
+        }
+    }
+}

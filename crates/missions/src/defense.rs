@@ -1,0 +1,142 @@
+//! The defense plug-in interface.
+//!
+//! PID-Piper and the three baselines (SRR, CI, Savior) all follow the same
+//! contract: observe each control step, maintain a monitoring statistic,
+//! and — when recovery is active — supply a substitute actuator signal.
+//! The mission runner is generic over this trait, so every technique runs
+//! under identical missions, attacks and physics.
+
+use pidpiper_control::{ActuatorSignal, TargetState};
+use pidpiper_sensors::{EstimatedState, SensorReadings};
+
+use crate::phase::FlightPhase;
+
+/// Everything a defense may observe on one control step.
+///
+/// The threat model lets the attacker snoop on the same channels, which is
+/// how the stealthy-attack oracle obtains [`Defense::monitor_level`].
+#[derive(Debug, Clone, Copy)]
+pub struct DefenseContext<'a> {
+    /// Mission time (s).
+    pub t: f64,
+    /// Control period (s).
+    pub dt: f64,
+    /// The estimator's state (post-attack — this is what the autopilot
+    /// believes).
+    pub est: &'a EstimatedState,
+    /// Raw (possibly attacked) sensor readings.
+    pub readings: &'a SensorReadings,
+    /// The autonomous logic's current target.
+    pub target: &'a TargetState,
+    /// The PID controller's actuator signal this step.
+    pub pid_signal: ActuatorSignal,
+    /// Current flight phase.
+    pub phase: FlightPhase,
+}
+
+/// The monitor's externally observable level, used by the stealthy-attack
+/// oracle (the attacker is assumed to know the technique's threshold).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MonitorLevel {
+    /// The detection statistic (CUSUM value or windowed sum).
+    pub statistic: f64,
+    /// The detection threshold `tau`.
+    pub threshold: f64,
+}
+
+/// An attack detection/recovery technique.
+pub trait Defense {
+    /// Technique name for tables ("PID-Piper", "SRR", "CI", "Savior").
+    fn name(&self) -> &str;
+
+    /// Observes one control step and returns the actuator override to fly
+    /// on the *next* step (`None` = fly the PID's own output).
+    fn observe(&mut self, ctx: &DefenseContext<'_>) -> Option<ActuatorSignal>;
+
+    /// A sanitized state estimate to feed the inner control loops while in
+    /// recovery (`None` = use the regular estimator output). PID-Piper
+    /// returns its noise-gated estimate here so that gyro-channel attacks
+    /// cannot re-enter through the attitude loop; SRR returns its software
+    /// sensors.
+    fn sanitized_estimate(&self) -> Option<EstimatedState> {
+        None
+    }
+
+    /// Current monitor statistic and threshold.
+    fn monitor_level(&self) -> MonitorLevel;
+
+    /// Whether recovery mode is currently active.
+    fn in_recovery(&self) -> bool;
+
+    /// Total number of times recovery mode has been (re-)activated.
+    fn recovery_activations(&self) -> usize;
+
+    /// Resets all internal state between missions.
+    fn reset(&mut self);
+}
+
+/// The undefended baseline: never detects, never overrides.
+#[derive(Debug, Clone, Default)]
+pub struct NoDefense;
+
+impl NoDefense {
+    /// Creates the null defense.
+    pub fn new() -> Self {
+        NoDefense
+    }
+}
+
+impl Defense for NoDefense {
+    fn name(&self) -> &str {
+        "None"
+    }
+
+    fn observe(&mut self, _ctx: &DefenseContext<'_>) -> Option<ActuatorSignal> {
+        None
+    }
+
+    fn monitor_level(&self) -> MonitorLevel {
+        MonitorLevel {
+            statistic: 0.0,
+            threshold: f64::INFINITY,
+        }
+    }
+
+    fn in_recovery(&self) -> bool {
+        false
+    }
+
+    fn recovery_activations(&self) -> usize {
+        0
+    }
+
+    fn reset(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_defense_is_inert() {
+        let mut d = NoDefense::new();
+        let est = EstimatedState::default();
+        let readings = SensorReadings::default();
+        let target = TargetState::default();
+        let ctx = DefenseContext {
+            t: 0.0,
+            dt: 0.01,
+            est: &est,
+            readings: &readings,
+            target: &target,
+            pid_signal: ActuatorSignal::default(),
+            phase: FlightPhase::Arm,
+        };
+        assert!(d.observe(&ctx).is_none());
+        assert!(!d.in_recovery());
+        assert_eq!(d.recovery_activations(), 0);
+        assert!(d.monitor_level().threshold.is_infinite());
+        d.reset();
+        assert_eq!(d.name(), "None");
+    }
+}

@@ -1,0 +1,270 @@
+//! Flight-phase state machine: Arm → Takeoff → Cruise/Hover → Land → Done.
+
+use crate::plans::{MissionPlan, PathKind};
+use pidpiper_math::Vec3;
+use pidpiper_sim::VehicleKind;
+
+/// The autonomous logic's current phase.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FlightPhase {
+    /// Motors armed, waiting on the ground (one tick).
+    Arm,
+    /// Climbing to cruise altitude.
+    Takeoff,
+    /// Navigating towards waypoint `wp_index`.
+    Cruise {
+        /// Index into the plan's waypoint list.
+        wp_index: usize,
+    },
+    /// Holding position until mission time `until` (HE missions).
+    Hover {
+        /// Mission time (s) at which the hover ends.
+        until: f64,
+    },
+    /// Descending to the ground at the destination.
+    Land,
+    /// Mission complete (landed / arrived).
+    Done,
+}
+
+impl FlightPhase {
+    /// Whether this phase is the landing descent.
+    pub fn is_landing(self) -> bool {
+        matches!(self, FlightPhase::Land)
+    }
+
+    /// Whether the mission has finished.
+    pub fn is_done(self) -> bool {
+        matches!(self, FlightPhase::Done)
+    }
+}
+
+/// Drives phase transitions and produces the current navigation target.
+#[derive(Debug, Clone)]
+pub struct PhaseLogic {
+    plan: MissionPlan,
+    kind: VehicleKind,
+    phase: FlightPhase,
+    /// Horizontal acceptance radius for waypoints (m).
+    accept_radius: f64,
+}
+
+impl PhaseLogic {
+    /// Creates the phase logic for a plan and vehicle kind.
+    pub fn new(plan: MissionPlan, kind: VehicleKind) -> Self {
+        PhaseLogic {
+            plan,
+            kind,
+            phase: FlightPhase::Arm,
+            accept_radius: 1.5,
+        }
+    }
+
+    /// The current phase.
+    pub fn phase(&self) -> FlightPhase {
+        self.phase
+    }
+
+    /// The mission plan.
+    pub fn plan(&self) -> &MissionPlan {
+        &self.plan
+    }
+
+    /// Advances the state machine given the mission time and the
+    /// autopilot's *estimated* position (autonomy runs on the estimate,
+    /// exactly like a real RV — ground truth is only used for metrics).
+    ///
+    /// Returns the current navigation target `(position, yaw)`; the
+    /// landing flag is exposed via [`PhaseLogic::phase`].
+    pub fn advance(&mut self, t: f64, est_position: Vec3) -> (Vec3, f64) {
+        match self.kind {
+            VehicleKind::Quadcopter => self.advance_quad(t, est_position),
+            VehicleKind::Rover => self.advance_rover(est_position),
+        }
+    }
+
+    fn waypoint_at_alt(&self, i: usize) -> Vec3 {
+        let wp = self.plan.waypoints[i.min(self.plan.waypoints.len() - 1)];
+        Vec3::new(wp.x, wp.y, self.plan.cruise_alt)
+    }
+
+    fn yaw_towards(&self, from: Vec3, to: Vec3) -> f64 {
+        let d = to - from;
+        if d.norm_xy() < 0.5 {
+            0.0
+        } else {
+            d.y.atan2(d.x)
+        }
+    }
+
+    fn advance_quad(&mut self, t: f64, pos: Vec3) -> (Vec3, f64) {
+        match self.phase {
+            FlightPhase::Arm => {
+                self.phase = FlightPhase::Takeoff;
+                (Vec3::new(pos.x, pos.y, self.plan.cruise_alt), 0.0)
+            }
+            FlightPhase::Takeoff => {
+                if (pos.z - self.plan.cruise_alt).abs() < 0.5 {
+                    self.phase = if self.plan.kind == PathKind::HoverElevation {
+                        FlightPhase::Hover {
+                            until: t + self.plan.hover_duration,
+                        }
+                    } else {
+                        FlightPhase::Cruise { wp_index: 0 }
+                    };
+                }
+                (Vec3::new(pos.x, pos.y, self.plan.cruise_alt), 0.0)
+            }
+            FlightPhase::Hover { until } => {
+                if t >= until {
+                    self.phase = FlightPhase::Land;
+                }
+                (
+                    Vec3::new(0.0, 0.0, self.plan.cruise_alt),
+                    0.0,
+                )
+            }
+            FlightPhase::Cruise { wp_index } => {
+                let target = self.waypoint_at_alt(wp_index);
+                if pos.distance_xy(target) < self.accept_radius {
+                    if wp_index + 1 < self.plan.waypoints.len() {
+                        self.phase = FlightPhase::Cruise {
+                            wp_index: wp_index + 1,
+                        };
+                    } else {
+                        self.phase = FlightPhase::Land;
+                    }
+                }
+                // Multirotors fly yaw-fixed (symmetric airframe): slewing
+                // the heading through sharp waypoint turns couples into the
+                // tilt mapping and destabilizes aggressive legs, so the yaw
+                // channel holds 0 and the paper's yaw-rate monitoring runs
+                // on the hold loop.
+                (target, 0.0)
+            }
+            FlightPhase::Land => {
+                let dest = self.plan.destination();
+                let hold = if self.plan.kind == PathKind::HoverElevation {
+                    Vec3::new(0.0, 0.0, 0.0)
+                } else {
+                    Vec3::new(dest.x, dest.y, 0.0)
+                };
+                // The runner flips to Done on touchdown (it owns contact
+                // status); phase logic just keeps commanding descent.
+                (hold, 0.0)
+            }
+            FlightPhase::Done => (pos, 0.0),
+        }
+    }
+
+    fn advance_rover(&mut self, pos: Vec3) -> (Vec3, f64) {
+        match self.phase {
+            FlightPhase::Arm => {
+                self.phase = FlightPhase::Cruise { wp_index: 0 };
+                (self.plan.waypoints[0], 0.0)
+            }
+            FlightPhase::Cruise { wp_index } => {
+                let target = self.plan.waypoints[wp_index];
+                if pos.distance_xy(target) < self.accept_radius {
+                    if wp_index + 1 < self.plan.waypoints.len() {
+                        self.phase = FlightPhase::Cruise {
+                            wp_index: wp_index + 1,
+                        };
+                    } else {
+                        self.phase = FlightPhase::Done;
+                    }
+                }
+                (target, self.yaw_towards(pos, target))
+            }
+            // Rovers have no takeoff/hover/land.
+            _ => {
+                self.phase = FlightPhase::Done;
+                (pos, 0.0)
+            }
+        }
+    }
+
+    /// Marks the mission finished (called by the runner on touchdown).
+    pub fn finish(&mut self) {
+        self.phase = FlightPhase::Done;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quad_phases_progress() {
+        let plan = MissionPlan::straight_line(20.0, 5.0);
+        let mut logic = PhaseLogic::new(plan, VehicleKind::Quadcopter);
+        assert_eq!(logic.phase(), FlightPhase::Arm);
+        logic.advance(0.0, Vec3::ZERO);
+        assert_eq!(logic.phase(), FlightPhase::Takeoff);
+        // Still climbing.
+        logic.advance(1.0, Vec3::new(0.0, 0.0, 2.0));
+        assert_eq!(logic.phase(), FlightPhase::Takeoff);
+        // Reached altitude.
+        logic.advance(5.0, Vec3::new(0.0, 0.0, 4.8));
+        assert_eq!(logic.phase(), FlightPhase::Cruise { wp_index: 0 });
+        // Reached the only waypoint: land.
+        logic.advance(20.0, Vec3::new(19.5, 0.5, 5.0));
+        assert!(logic.phase().is_landing());
+        logic.finish();
+        assert!(logic.phase().is_done());
+    }
+
+    #[test]
+    fn cruise_target_includes_altitude_and_heading() {
+        let plan = MissionPlan::straight_line(30.0, 6.0);
+        let mut logic = PhaseLogic::new(plan, VehicleKind::Quadcopter);
+        logic.advance(0.0, Vec3::ZERO); // Arm -> Takeoff
+        logic.advance(4.0, Vec3::new(0.0, 0.0, 6.0)); // -> Cruise
+        let (target, yaw) = logic.advance(5.0, Vec3::new(1.0, 0.0, 6.0));
+        assert_eq!(target, Vec3::new(30.0, 0.0, 6.0));
+        assert!(yaw.abs() < 1e-9, "heading due east");
+    }
+
+    #[test]
+    fn hover_mission_hovers_then_lands() {
+        let plan = MissionPlan::hover(5.0, 10.0);
+        let mut logic = PhaseLogic::new(plan, VehicleKind::Quadcopter);
+        logic.advance(0.0, Vec3::ZERO);
+        logic.advance(3.0, Vec3::new(0.0, 0.0, 4.9)); // -> Hover until 13.0
+        assert!(matches!(logic.phase(), FlightPhase::Hover { .. }));
+        logic.advance(10.0, Vec3::new(0.0, 0.0, 5.0));
+        assert!(matches!(logic.phase(), FlightPhase::Hover { .. }));
+        logic.advance(13.5, Vec3::new(0.0, 0.0, 5.0));
+        assert!(logic.phase().is_landing());
+    }
+
+    #[test]
+    fn rover_goes_straight_to_cruise_and_done() {
+        let plan = MissionPlan::multi_waypoint(2, 20.0, 0.0, 3);
+        let wp0 = plan.waypoints[0];
+        let wp1 = plan.waypoints[1];
+        let mut logic = PhaseLogic::new(plan, VehicleKind::Rover);
+        logic.advance(0.0, Vec3::ZERO);
+        assert_eq!(logic.phase(), FlightPhase::Cruise { wp_index: 0 });
+        logic.advance(5.0, wp0);
+        assert_eq!(logic.phase(), FlightPhase::Cruise { wp_index: 1 });
+        logic.advance(10.0, wp1);
+        assert!(logic.phase().is_done());
+    }
+
+    #[test]
+    fn multiwaypoint_sequencing() {
+        let plan = MissionPlan::polygon(4, 10.0, 5.0);
+        let n = plan.waypoints.len();
+        let mut logic = PhaseLogic::new(plan.clone(), VehicleKind::Quadcopter);
+        logic.advance(0.0, Vec3::ZERO);
+        logic.advance(4.0, Vec3::new(0.0, 0.0, 5.0));
+        // Visit every waypoint in order.
+        for i in 0..n {
+            assert_eq!(logic.phase(), FlightPhase::Cruise { wp_index: i });
+            let wp = plan.waypoints[i];
+            logic.advance(10.0 + i as f64, Vec3::new(wp.x, wp.y, 5.0));
+        }
+        assert!(logic.phase().is_landing());
+    }
+}

@@ -1,0 +1,282 @@
+//! Mission plans: the five path families of the paper's Table I.
+
+use pidpiper_math::Vec3;
+use pidpiper_sim::{RvId, VehicleKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The path families of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PathKind {
+    /// SL: straight line (e.g. last-mile delivery).
+    StraightLine,
+    /// MW: multiple waypoints.
+    MultiWaypoint,
+    /// CP: circular path (surveillance/agriculture).
+    CircularPath,
+    /// HE: hover at a fixed elevation.
+    HoverElevation,
+    /// PP: polygonal path (warehouse rovers, survey drones).
+    PolygonalPath,
+}
+
+impl PathKind {
+    /// Short code used in tables (SL/MW/CP/HE/PP).
+    pub fn code(self) -> &'static str {
+        match self {
+            PathKind::StraightLine => "SL",
+            PathKind::MultiWaypoint => "MW",
+            PathKind::CircularPath => "CP",
+            PathKind::HoverElevation => "HE",
+            PathKind::PolygonalPath => "PP",
+        }
+    }
+}
+
+/// A mission: a sequence of waypoints plus cruise parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MissionPlan {
+    /// Waypoints in flight order (ENU metres; `z` is ignored for rovers).
+    pub waypoints: Vec<Vec3>,
+    /// Cruise altitude for drones (m); rovers ignore it.
+    pub cruise_alt: f64,
+    /// Cruise speed (m/s).
+    pub cruise_speed: f64,
+    /// The path family.
+    pub kind: PathKind,
+    /// For HE missions: seconds to hold the hover before landing.
+    pub hover_duration: f64,
+    /// Human-readable name.
+    pub name: String,
+}
+
+impl MissionPlan {
+    /// A straight-line mission of `distance` metres heading east.
+    pub fn straight_line(distance: f64, cruise_alt: f64) -> Self {
+        MissionPlan {
+            waypoints: vec![Vec3::new(distance, 0.0, 0.0)],
+            cruise_alt,
+            cruise_speed: 5.0,
+            kind: PathKind::StraightLine,
+            hover_duration: 0.0,
+            name: format!("SL-{distance:.0}m"),
+        }
+    }
+
+    /// A randomized multi-waypoint mission with `n` legs inside a
+    /// `span x span` box.
+    pub fn multi_waypoint(n: usize, span: f64, cruise_alt: f64, seed: u64) -> Self {
+        assert!(n >= 2, "multi-waypoint missions need at least 2 waypoints");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let waypoints = (0..n)
+            .map(|_| {
+                Vec3::new(
+                    rng.gen_range(0.3 * span..span),
+                    rng.gen_range(-0.5 * span..0.5 * span),
+                    0.0,
+                )
+            })
+            .collect();
+        MissionPlan {
+            waypoints,
+            cruise_alt,
+            cruise_speed: 5.0,
+            kind: PathKind::MultiWaypoint,
+            hover_duration: 0.0,
+            name: format!("MW-{n}x{span:.0}m-s{seed}"),
+        }
+    }
+
+    /// A circular path of the given radius sampled at `segments` points,
+    /// returning to the start.
+    pub fn circular(radius: f64, segments: usize, cruise_alt: f64) -> Self {
+        assert!(segments >= 4, "circles need at least 4 segments");
+        let mut waypoints: Vec<Vec3> = (0..segments)
+            .map(|i| {
+                let a = std::f64::consts::PI + 2.0 * std::f64::consts::PI * i as f64 / segments as f64;
+                Vec3::new(radius * a.cos() + radius, radius * a.sin(), 0.0)
+            })
+            .collect();
+        // Close the loop back at the starting vertex (the origin side).
+        waypoints.push(waypoints[0]);
+        MissionPlan {
+            waypoints,
+            cruise_alt,
+            cruise_speed: 4.0,
+            kind: PathKind::CircularPath,
+            hover_duration: 0.0,
+            name: format!("CP-r{radius:.0}m"),
+        }
+    }
+
+    /// A hover-at-elevation mission: climb, hold for `duration` seconds,
+    /// land.
+    pub fn hover(altitude: f64, duration: f64) -> Self {
+        MissionPlan {
+            waypoints: vec![Vec3::new(0.0, 0.0, 0.0)],
+            cruise_alt: altitude,
+            cruise_speed: 2.0,
+            kind: PathKind::HoverElevation,
+            hover_duration: duration,
+            name: format!("HE-{altitude:.0}m-{duration:.0}s"),
+        }
+    }
+
+    /// A regular polygon path with `sides` vertices of the given
+    /// circumradius.
+    pub fn polygon(sides: usize, radius: f64, cruise_alt: f64) -> Self {
+        assert!(sides >= 3, "polygons need at least 3 sides");
+        let waypoints: Vec<Vec3> = (0..=sides)
+            .map(|i| {
+                let a = 2.0 * std::f64::consts::PI * i as f64 / sides as f64;
+                Vec3::new(radius * a.cos() + radius, radius * a.sin(), 0.0)
+            })
+            .collect();
+        MissionPlan {
+            waypoints,
+            cruise_alt,
+            cruise_speed: 4.0,
+            kind: PathKind::PolygonalPath,
+            hover_duration: 0.0,
+            name: format!("PP-{sides}x{radius:.0}m"),
+        }
+    }
+
+    /// The mission destination (final waypoint).
+    pub fn destination(&self) -> Vec3 {
+        *self.waypoints.last().expect("plans have waypoints")
+    }
+
+    /// Total path length through all waypoints from the origin (m).
+    pub fn path_length(&self) -> f64 {
+        let mut prev = Vec3::ZERO;
+        let mut len = 0.0;
+        for wp in &self.waypoints {
+            len += prev.distance_xy(*wp);
+            prev = *wp;
+        }
+        len
+    }
+
+    /// The Table I mission mix for one RV: `(SL, MW, CP, HE, PP)` counts.
+    pub fn table1_mix(rv: RvId) -> (usize, usize, usize, usize, usize) {
+        match rv {
+            RvId::ArduCopter | RvId::Px4Solo => (7, 10, 3, 3, 7),
+            RvId::ArduRover => (8, 12, 0, 0, 10),
+            RvId::PixhawkDrone | RvId::SkyViper => (8, 8, 3, 2, 9),
+            RvId::AionR1 => (15, 5, 0, 0, 10),
+        }
+    }
+
+    /// Generates the full 30-mission Table I profile set for one RV, with
+    /// varied distances and geometry. `scale` shrinks mission sizes (1.0 =
+    /// full size; tests use smaller scales for speed).
+    pub fn table1_missions(rv: RvId, seed: u64, scale: f64) -> Vec<MissionPlan> {
+        let (sl, mw, cp, he, pp) = Self::table1_mix(rv);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let alt = match rv.kind() {
+            VehicleKind::Quadcopter => 5.0,
+            VehicleKind::Rover => 0.0,
+        };
+        let mut plans = Vec::with_capacity(30);
+        for i in 0..sl {
+            let d = rng.gen_range(40.0..90.0) * scale;
+            let mut p = MissionPlan::straight_line(d, alt);
+            p.name = format!("{}-{}", p.name, i);
+            plans.push(p);
+        }
+        for i in 0..mw {
+            let span = rng.gen_range(30.0..70.0) * scale;
+            plans.push(MissionPlan::multi_waypoint(
+                3 + (i % 3),
+                span,
+                alt,
+                seed.wrapping_add(i as u64 * 13 + 1),
+            ));
+        }
+        for _ in 0..cp {
+            let r = rng.gen_range(15.0..30.0) * scale;
+            plans.push(MissionPlan::circular(r, 8, alt));
+        }
+        for _ in 0..he {
+            plans.push(MissionPlan::hover(alt.max(4.0), rng.gen_range(8.0..15.0)));
+        }
+        for i in 0..pp {
+            let r = rng.gen_range(15.0..30.0) * scale;
+            plans.push(MissionPlan::polygon(3 + (i % 3), r, alt));
+        }
+        plans
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn straight_line_geometry() {
+        let p = MissionPlan::straight_line(50.0, 5.0);
+        assert_eq!(p.destination(), Vec3::new(50.0, 0.0, 0.0));
+        assert!((p.path_length() - 50.0).abs() < 1e-9);
+        assert_eq!(p.kind.code(), "SL");
+    }
+
+    #[test]
+    fn circle_returns_near_start() {
+        let p = MissionPlan::circular(20.0, 8, 5.0);
+        let first = p.waypoints[0];
+        let last = *p.waypoints.last().unwrap();
+        assert!(first.distance_xy(last) < 1e-9, "circle must close");
+        assert!(p.path_length() > 2.0 * std::f64::consts::PI * 20.0 * 0.9);
+    }
+
+    #[test]
+    fn polygon_has_sides_plus_one_waypoints() {
+        let p = MissionPlan::polygon(5, 10.0, 5.0);
+        assert_eq!(p.waypoints.len(), 6);
+    }
+
+    #[test]
+    fn table1_mixes_sum_to_thirty() {
+        for rv in RvId::ALL {
+            let (a, b, c, d, e) = MissionPlan::table1_mix(rv);
+            assert_eq!(a + b + c + d + e, 30, "mix for {rv}");
+            let plans = MissionPlan::table1_missions(rv, 1, 1.0);
+            assert_eq!(plans.len(), 30);
+        }
+    }
+
+    #[test]
+    fn rover_mixes_skip_aerial_paths() {
+        let (_, _, cp, he, _) = MissionPlan::table1_mix(RvId::ArduRover);
+        assert_eq!(cp, 0, "rovers fly no circles in Table I");
+        assert_eq!(he, 0, "rovers cannot hover");
+        for p in MissionPlan::table1_missions(RvId::AionR1, 2, 1.0) {
+            assert_eq!(p.cruise_alt, 0.0);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = MissionPlan::table1_missions(RvId::ArduCopter, 42, 1.0);
+        let b = MissionPlan::table1_missions(RvId::ArduCopter, 42, 1.0);
+        assert_eq!(a, b);
+        let c = MissionPlan::table1_missions(RvId::ArduCopter, 43, 1.0);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn scale_shrinks_missions() {
+        let big = MissionPlan::table1_missions(RvId::ArduCopter, 1, 1.0);
+        let small = MissionPlan::table1_missions(RvId::ArduCopter, 1, 0.3);
+        let big_len: f64 = big.iter().map(|p| p.path_length()).sum();
+        let small_len: f64 = small.iter().map(|p| p.path_length()).sum();
+        assert!(small_len < big_len * 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn degenerate_multiwaypoint_rejected() {
+        let _ = MissionPlan::multi_waypoint(1, 10.0, 5.0, 0);
+    }
+}

@@ -1,0 +1,567 @@
+//! The closed-loop mission runner.
+//!
+//! Wires together simulator, sensor suite, estimator, PID control stack,
+//! attack engine and a pluggable [`Defense`], then flies one mission to
+//! completion and reports the paper's metrics. Physics runs at 400 Hz,
+//! control/monitoring at 100 Hz (both configurable).
+
+use crate::defense::{Defense, DefenseContext, NoDefense};
+use crate::metrics::{deviation_from, MissionOutcome, MissionResult};
+use crate::phase::{FlightPhase, PhaseLogic};
+use crate::plans::MissionPlan;
+use crate::trace::{Trace, TraceRecord};
+use pidpiper_attacks::{Attack, AttackKind, Schedule, StealthyAttack};
+use pidpiper_control::{
+    ActuatorSignal, QuadController, RoverController, RoverGains, RoverTarget, TargetState,
+};
+use pidpiper_math::Vec3;
+use pidpiper_sensors::{Estimator, NoiseConfig, SensorSuite};
+use pidpiper_sim::rover::Rover;
+use pidpiper_sim::{
+    ContactStatus, Quadcopter, RvId, VehicleKind, VehicleProfile, Wind, WindConfig,
+};
+
+/// An attack to run during a mission.
+#[derive(Debug, Clone)]
+pub enum MissionAttack {
+    /// A pre-scheduled overt attack.
+    Scheduled(Attack),
+    /// An overt attack armed when the landing phase begins (the paper's
+    /// Attack-3 against the RV's vulnerable state).
+    AtLanding(AttackKind),
+    /// A threshold-aware stealthy attack driven by the defense's monitor
+    /// level (the attacker oracle of the paper's threat model).
+    Stealthy(StealthyAttack),
+}
+
+/// Mission runner configuration.
+#[derive(Debug, Clone)]
+pub struct RunnerConfig {
+    /// Which RV profile to fly.
+    pub rv: RvId,
+    /// Control-loop period (s).
+    pub control_dt: f64,
+    /// Physics sub-steps per control step.
+    pub physics_substeps: usize,
+    /// Wind conditions.
+    pub wind: WindConfig,
+    /// Seed for sensor noise.
+    pub sensor_seed: u64,
+    /// Hard mission time cap (s); exceeding it without finishing = stall.
+    pub max_duration: f64,
+    /// Horizon without waypoint progress that counts as a stall (s).
+    pub stall_horizon: f64,
+}
+
+impl RunnerConfig {
+    /// Default configuration for an RV profile.
+    pub fn for_rv(rv: RvId) -> Self {
+        RunnerConfig {
+            rv,
+            control_dt: 0.01,
+            physics_substeps: 4,
+            wind: WindConfig::calm(),
+            sensor_seed: 1,
+            max_duration: 300.0,
+            stall_horizon: 25.0,
+        }
+    }
+
+    /// Sets the sensor seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.sensor_seed = seed;
+        self
+    }
+
+    /// Sets wind conditions (builder style).
+    pub fn with_wind(mut self, wind: WindConfig) -> Self {
+        self.wind = wind;
+        self
+    }
+}
+
+/// The vehicle plant + controller pair for one mission.
+enum Plant {
+    Quad {
+        vehicle: Box<Quadcopter>,
+        controller: Box<QuadController>,
+    },
+    Rover {
+        vehicle: Box<Rover>,
+        controller: Box<RoverController>,
+        cruise_speed: f64,
+    },
+}
+
+impl Plant {
+    fn for_profile(profile: &VehicleProfile, cruise_speed: f64) -> Plant {
+        match profile.kind() {
+            VehicleKind::Quadcopter => {
+                let params = profile.quad_params().expect("quad profile");
+                Plant::Quad {
+                    vehicle: Box::new(Quadcopter::new(params)),
+                    controller: Box::new(QuadController::new(&params)),
+                }
+            }
+            VehicleKind::Rover => {
+                let params = profile.rover_params().expect("rover profile");
+                Plant::Rover {
+                    vehicle: Box::new(Rover::new(params)),
+                    controller: Box::new(RoverController::new(RoverGains::for_rover(&params))),
+                    cruise_speed,
+                }
+            }
+        }
+    }
+
+    fn truth(&self) -> pidpiper_sim::RigidBodyState {
+        match self {
+            Plant::Quad { vehicle, .. } => *vehicle.state(),
+            Plant::Rover { vehicle, .. } => *vehicle.state(),
+        }
+    }
+
+    fn contact(&self) -> ContactStatus {
+        match self {
+            Plant::Quad { vehicle, .. } => vehicle.contact(),
+            Plant::Rover { vehicle, .. } => vehicle.contact(),
+        }
+    }
+
+    fn is_crashed(&self) -> bool {
+        match self {
+            Plant::Quad { vehicle, .. } => vehicle.is_crashed(),
+            Plant::Rover { vehicle, .. } => vehicle.is_crashed(),
+        }
+    }
+}
+
+/// Runs missions for one RV profile.
+///
+/// # Examples
+///
+/// ```no_run
+/// use pidpiper_missions::{MissionRunner, RunnerConfig, MissionPlan, NoDefense};
+/// use pidpiper_sim::RvId;
+///
+/// let config = RunnerConfig::for_rv(RvId::ArduCopter);
+/// let plan = MissionPlan::straight_line(50.0, 5.0);
+/// let result = MissionRunner::new(config).run(&plan, &mut NoDefense::new(), Vec::new());
+/// assert!(result.outcome.is_success());
+/// ```
+#[derive(Debug)]
+pub struct MissionRunner {
+    config: RunnerConfig,
+    profile: VehicleProfile,
+}
+
+impl MissionRunner {
+    /// Creates a runner for the configured RV.
+    pub fn new(config: RunnerConfig) -> Self {
+        MissionRunner {
+            profile: VehicleProfile::for_rv(config.rv),
+            config,
+        }
+    }
+
+    /// The vehicle profile being flown.
+    pub fn profile(&self) -> &VehicleProfile {
+        &self.profile
+    }
+
+    /// Runs one mission with the given defense and attacks.
+    ///
+    /// The defense's `reset` is called before the run. Attacks are applied
+    /// to the sensor stream; the stealthy attack (if any) adapts to the
+    /// defense's monitor level each step.
+    pub fn run(
+        &self,
+        plan: &MissionPlan,
+        defense: &mut dyn Defense,
+        mut attacks: Vec<MissionAttack>,
+    ) -> MissionResult {
+        defense.reset();
+        let cfg = &self.config;
+        let dt = cfg.control_dt;
+        let noise = NoiseConfig::default()
+            .scaled(self.profile.imu_noise_scale, self.profile.gps_noise_scale);
+        let mut suite = SensorSuite::new(noise, cfg.sensor_seed);
+        let mut estimator = Estimator::new();
+        let mut wind = Wind::new(cfg.wind);
+        let mut plant = Plant::for_profile(&self.profile, plan.cruise_speed);
+        let mut phase_logic = PhaseLogic::new(plan.clone(), self.profile.kind());
+        let destination = plan.destination();
+
+        let mut trace = Trace::new();
+        let mut t = 0.0;
+        let mut override_signal: Option<ActuatorSignal> = None;
+        let mut landing_attack_armed: Option<Attack> = None;
+        let mut stalled = false;
+        let mut best_progress = f64::INFINITY;
+        let mut last_progress_time = 0.0;
+        let mut current_wp: isize = -2;
+        let mut max_path_deviation: f64 = 0.0;
+        let start_xy = Vec3::ZERO;
+
+        let steps = (cfg.max_duration / dt).ceil() as usize;
+        for _step in 0..steps {
+            t += dt;
+
+            // --- Autonomy: phase machine on the estimated position. While
+            // a defense is in recovery, autonomy (like the inner loops)
+            // runs on its sanitized estimate, so a spoofed position cannot
+            // force premature waypoint switches or landings.
+            let est_snapshot = if defense.in_recovery() {
+                defense
+                    .sanitized_estimate()
+                    .unwrap_or_else(|| *estimator.state())
+            } else {
+                *estimator.state()
+            };
+            let (target_pos, target_yaw) = phase_logic.advance(t, est_snapshot.position);
+            let phase = phase_logic.phase();
+            if phase.is_done() {
+                break;
+            }
+
+            // Arm the landing attack when the landing phase begins.
+            if phase.is_landing() && landing_attack_armed.is_none() {
+                if let Some(kind) = attacks.iter().find_map(|a| match a {
+                    MissionAttack::AtLanding(k) => Some(*k),
+                    _ => None,
+                }) {
+                    landing_attack_armed = Some(Attack::new(
+                        kind,
+                        Schedule::Continuous { start: t },
+                    ));
+                }
+            }
+
+            // --- Sensors + attacks.
+            let truth = plant.truth();
+            let mut readings = suite.sample(&truth, dt);
+            let mut attack_active = false;
+            for attack in &attacks {
+                if let MissionAttack::Scheduled(a) = attack {
+                    attack_active |= a.apply(&mut readings, t);
+                }
+            }
+            if let Some(a) = &landing_attack_armed {
+                attack_active |= a.apply(&mut readings, t);
+            }
+            for attack in &mut attacks {
+                if let MissionAttack::Stealthy(s) = attack {
+                    let level = defense.monitor_level();
+                    s.advance(level.statistic, level.threshold, dt);
+                    if s.bias() > 0.0 {
+                        s.apply(&mut readings);
+                        attack_active = true;
+                    }
+                }
+            }
+
+            // --- Estimation. While a defense is in recovery it may
+            // supply a sanitized estimate for the inner loops (PID-Piper's
+            // noise-gated estimate, SRR's software sensors).
+            let raw_est = estimator.update(&readings, dt);
+            let est = if defense.in_recovery() {
+                defense.sanitized_estimate().unwrap_or(raw_est)
+            } else {
+                raw_est
+            };
+
+            // --- Control.
+            let target = TargetState {
+                position: target_pos,
+                velocity_ff: Vec3::ZERO,
+                yaw: target_yaw,
+                landing: phase.is_landing(),
+            };
+            let (pid_signal, flown_signal, telemetry_eff_p, rotation_rate);
+            match &mut plant {
+                Plant::Quad {
+                    vehicle,
+                    controller,
+                } => {
+                    let (motors, pid) = controller.step(&est, &target, override_signal, dt);
+                    pid_signal = pid;
+                    flown_signal = controller.telemetry().flown_signal;
+                    telemetry_eff_p = controller.telemetry().position.effective_p;
+                    rotation_rate = controller.telemetry().rotation_rate;
+                    let sub_dt = dt / cfg.physics_substeps as f64;
+                    for _ in 0..cfg.physics_substeps {
+                        let w = wind.sample(sub_dt);
+                        vehicle.step(motors, w, sub_dt);
+                    }
+                }
+                Plant::Rover {
+                    vehicle,
+                    controller,
+                    cruise_speed,
+                } => {
+                    let rover_target = RoverTarget {
+                        position: target_pos,
+                        cruise_speed: *cruise_speed,
+                    };
+                    let (cmd, pid) = controller.step(&est, &rover_target, override_signal, dt);
+                    pid_signal = pid;
+                    flown_signal = override_signal.unwrap_or(pid);
+                    telemetry_eff_p = 0.0;
+                    rotation_rate = est.body_rates.norm();
+                    let sub_dt = dt / cfg.physics_substeps as f64;
+                    for _ in 0..cfg.physics_substeps {
+                        let w = wind.sample(sub_dt);
+                        vehicle.step(cmd, w, sub_dt);
+                    }
+                }
+            }
+
+            // --- Defense observes and decides the next step's override.
+            // The context always carries the *raw* estimate (what the
+            // vehicle's primary EKF believes): a defense that substitutes
+            // its own sanitized view keeps that internally — feeding its
+            // output back as its input would let errors self-reinforce.
+            let ctx = DefenseContext {
+                t,
+                dt,
+                est: &raw_est,
+                readings: &readings,
+                target: &target,
+                pid_signal,
+                phase,
+            };
+            override_signal = defense.observe(&ctx);
+
+            // --- Metrics bookkeeping (ground truth). Stall detection
+            // tracks progress towards the *current* waypoint so that
+            // closed paths (circles, polygons) are not misclassified.
+            let truth_after = plant.truth();
+            let wp_index = match phase {
+                FlightPhase::Cruise { wp_index } => wp_index as isize,
+                _ => -1,
+            };
+            if wp_index != current_wp {
+                current_wp = wp_index;
+                best_progress = f64::INFINITY;
+                last_progress_time = t;
+            }
+            // 3-D distance so the landing descent counts as progress; a
+            // vehicle hovering in the stability gate without arresting its
+            // drift eventually registers as stalled.
+            let progress = truth_after.position.distance(target_pos);
+            if progress < best_progress - 0.5 {
+                best_progress = progress;
+                last_progress_time = t;
+            }
+            // Cross-track deviation from the straight corridor start->dest.
+            let corridor = Vec3::new(destination.x, destination.y, 0.0) - start_xy;
+            let along = corridor.normalized();
+            let rel = Vec3::new(truth_after.position.x, truth_after.position.y, 0.0) - start_xy;
+            let cross = (rel - along * rel.dot(along)).norm_xy();
+            max_path_deviation = max_path_deviation.max(cross);
+
+            trace.push(TraceRecord {
+                t,
+                truth: truth_after,
+                est,
+                readings,
+                target,
+                phase,
+                pid_signal,
+                flown_signal,
+                attack_active,
+                recovery_active: defense.in_recovery(),
+                monitor_statistic: defense.monitor_level().statistic,
+                effective_p: telemetry_eff_p,
+                rotation_rate,
+            });
+
+            // --- Terminal conditions.
+            if plant.is_crashed() {
+                break;
+            }
+            // Touchdown during the landing phase finishes the mission.
+            if phase.is_landing() && plant.contact() == ContactStatus::Landed {
+                phase_logic.finish();
+                break;
+            }
+            let stall_horizon = if phase.is_landing() {
+                // The stability-gated descent may legitimately pause; give
+                // landings a longer leash before declaring a stall.
+                2.0 * cfg.stall_horizon
+            } else {
+                cfg.stall_horizon
+            };
+            if t - last_progress_time > stall_horizon {
+                stalled = true;
+                break;
+            }
+        }
+
+        let truth = plant.truth();
+        let crashed = plant.is_crashed();
+        let timed_out = t >= cfg.max_duration - dt && !phase_logic.phase().is_done();
+        let final_deviation = deviation_from(destination, truth.position);
+        let outcome = MissionOutcome::classify(crashed, stalled || timed_out, final_deviation);
+
+        MissionResult {
+            outcome,
+            final_deviation,
+            max_path_deviation,
+            mission_time: t,
+            recovery_activations: defense.recovery_activations(),
+            recovery_steps: trace.recovery_steps(),
+            attack_steps: trace.attack_steps(),
+            trace,
+        }
+    }
+
+    /// Convenience: runs a mission with no defense and no attacks
+    /// (profile-data collection for training).
+    pub fn run_clean(&self, plan: &MissionPlan) -> MissionResult {
+        self.run(plan, &mut NoDefense::new(), Vec::new())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pidpiper_attacks::AttackPreset;
+
+    fn quick_config(rv: RvId, seed: u64) -> RunnerConfig {
+        RunnerConfig::for_rv(rv).with_seed(seed)
+    }
+
+    #[test]
+    fn clean_straight_line_succeeds_quad() {
+        let runner = MissionRunner::new(quick_config(RvId::ArduCopter, 2));
+        let plan = MissionPlan::straight_line(40.0, 5.0);
+        let result = runner.run_clean(&plan);
+        assert!(
+            result.outcome.is_success(),
+            "outcome {:?}, deviation {:.1}",
+            result.outcome,
+            result.final_deviation
+        );
+        assert!(result.final_deviation < 3.0);
+        assert_eq!(result.attack_steps, 0);
+    }
+
+    #[test]
+    fn clean_mission_succeeds_rover() {
+        let runner = MissionRunner::new(quick_config(RvId::ArduRover, 3));
+        let plan = MissionPlan::straight_line(30.0, 0.0);
+        let result = runner.run_clean(&plan);
+        assert!(
+            result.outcome.is_success(),
+            "outcome {:?}, deviation {:.1}",
+            result.outcome,
+            result.final_deviation
+        );
+    }
+
+    #[test]
+    fn clean_polygon_succeeds() {
+        let runner = MissionRunner::new(quick_config(RvId::PixhawkDrone, 4));
+        let plan = MissionPlan::polygon(4, 12.0, 5.0);
+        let result = runner.run_clean(&plan);
+        assert!(
+            result.outcome.is_success(),
+            "outcome {:?}, deviation {:.1}",
+            result.outcome,
+            result.final_deviation
+        );
+    }
+
+    #[test]
+    fn hover_mission_lands_home() {
+        let runner = MissionRunner::new(quick_config(RvId::ArduCopter, 5));
+        let plan = MissionPlan::hover(5.0, 6.0);
+        let result = runner.run_clean(&plan);
+        assert!(
+            result.outcome.is_success(),
+            "outcome {:?}, deviation {:.1}",
+            result.outcome,
+            result.final_deviation
+        );
+        assert!(result.mission_time > 6.0);
+    }
+
+    #[test]
+    fn gps_overt_attack_disrupts_unprotected_mission() {
+        let runner = MissionRunner::new(quick_config(RvId::ArduCopter, 6));
+        let plan = MissionPlan::straight_line(60.0, 5.0);
+        let attack = AttackPreset::GpsOvert.instantiate(8.0, (0.0, 0.0));
+        let result = runner.run(
+            &plan,
+            &mut NoDefense::new(),
+            vec![MissionAttack::Scheduled(attack)],
+        );
+        assert!(result.attack_steps > 0, "attack never fired");
+        assert!(
+            !result.outcome.is_success(),
+            "a 25 m GPS spoof must defeat an unprotected mission, got {:?} dev {:.1}",
+            result.outcome,
+            result.final_deviation
+        );
+    }
+
+    #[test]
+    fn landing_gyro_attack_crashes_unprotected_drone() {
+        let runner = MissionRunner::new(quick_config(RvId::ArduCopter, 7));
+        let plan = MissionPlan::straight_line(30.0, 5.0);
+        let result = runner.run(
+            &plan,
+            &mut NoDefense::new(),
+            vec![MissionAttack::AtLanding(AttackKind::GyroBias(
+                pidpiper_math::Vec3::new(0.9, 0.4, 0.0),
+            ))],
+        );
+        assert!(result.attack_steps > 0, "landing attack never armed");
+        assert_eq!(
+            result.outcome,
+            MissionOutcome::Crashed,
+            "gyro attack in the landing phase should crash the drone (deviation {:.1})",
+            result.final_deviation
+        );
+    }
+
+    #[test]
+    fn trace_is_recorded() {
+        let runner = MissionRunner::new(quick_config(RvId::ArduCopter, 8));
+        let plan = MissionPlan::straight_line(20.0, 5.0);
+        let result = runner.run_clean(&plan);
+        assert!(result.trace.len() > 500);
+        let first = &result.trace.records()[0];
+        assert!(first.t > 0.0);
+        // Time is strictly increasing.
+        let times = result.trace.series(|r| r.t);
+        for w in times.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let plan = MissionPlan::straight_line(25.0, 5.0);
+        let r1 = MissionRunner::new(quick_config(RvId::ArduCopter, 42)).run_clean(&plan);
+        let r2 = MissionRunner::new(quick_config(RvId::ArduCopter, 42)).run_clean(&plan);
+        assert_eq!(r1.final_deviation, r2.final_deviation);
+        assert_eq!(r1.trace.len(), r2.trace.len());
+    }
+
+    #[test]
+    fn wind_mission_still_succeeds() {
+        let config = quick_config(RvId::ArduCopter, 9)
+            .with_wind(WindConfig::steady_kmh(25.0, 1.0, 4));
+        let runner = MissionRunner::new(config);
+        let plan = MissionPlan::straight_line(40.0, 5.0);
+        let result = runner.run_clean(&plan);
+        assert!(
+            result.outcome.is_success(),
+            "25 km/h wind should be tolerable: {:?} dev {:.1}",
+            result.outcome,
+            result.final_deviation
+        );
+    }
+}

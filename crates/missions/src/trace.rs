@@ -1,0 +1,187 @@
+//! Per-step mission traces: the raw material for training datasets,
+//! threshold calibration and every figure in the evaluation.
+
+use pidpiper_control::{ActuatorSignal, TargetState};
+use pidpiper_sensors::{EstimatedState, SensorReadings};
+use pidpiper_sim::RigidBodyState;
+use std::fmt::Write as _;
+
+/// One control-step record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    /// Mission time (s).
+    pub t: f64,
+    /// Ground-truth vehicle state.
+    pub truth: RigidBodyState,
+    /// The estimator's belief.
+    pub est: EstimatedState,
+    /// Raw sensor readings after attack injection.
+    pub readings: SensorReadings,
+    /// Navigation target this step.
+    pub target: TargetState,
+    /// Flight phase this step.
+    pub phase: crate::phase::FlightPhase,
+    /// The PID controller's actuator signal.
+    pub pid_signal: ActuatorSignal,
+    /// The signal actually flown (differs from `pid_signal` in recovery).
+    pub flown_signal: ActuatorSignal,
+    /// Whether any attack perturbed the sensors this step.
+    pub attack_active: bool,
+    /// Whether the defense was in recovery mode this step.
+    pub recovery_active: bool,
+    /// The defense monitor's statistic this step.
+    pub monitor_statistic: f64,
+    /// Effective P gain of the velocity loop (paper Fig. 2c telemetry).
+    pub effective_p: f64,
+    /// Body-rate magnitude (paper Fig. 2d "rotation rate").
+    pub rotation_rate: f64,
+}
+
+/// A complete mission trace.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    records: Vec<TraceRecord>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Trace {
+            records: Vec::new(),
+        }
+    }
+
+    /// Appends a record.
+    pub fn push(&mut self, record: TraceRecord) {
+        self.records.push(record);
+    }
+
+    /// The records in time order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Extracts one scalar series with an accessor.
+    pub fn series<F>(&self, f: F) -> Vec<f64>
+    where
+        F: Fn(&TraceRecord) -> f64,
+    {
+        self.records.iter().map(f).collect()
+    }
+
+    /// Time steps during which any attack was active.
+    pub fn attack_steps(&self) -> usize {
+        self.records.iter().filter(|r| r.attack_active).count()
+    }
+
+    /// Time steps spent in recovery mode.
+    pub fn recovery_steps(&self) -> usize {
+        self.records.iter().filter(|r| r.recovery_active).count()
+    }
+
+    /// Renders the trace as CSV (header + one row per record) with the
+    /// columns the experiment harness plots.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "t,x,y,z,roll,pitch,yaw,est_x,est_y,est_z,pid_roll,pid_pitch,pid_yaw_rate,pid_thrust,\
+             flown_roll,flown_pitch,flown_yaw_rate,flown_thrust,attack,recovery,statistic,\
+             effective_p,rotation_rate,pos_err\n",
+        );
+        for r in &self.records {
+            let pe = (r.target.position - r.est.position).norm_xy();
+            let _ = writeln!(
+                out,
+                "{:.3},{:.4},{:.4},{:.4},{:.5},{:.5},{:.5},{:.4},{:.4},{:.4},{:.5},{:.5},{:.5},{:.4},{:.5},{:.5},{:.5},{:.4},{},{},{:.4},{:.4},{:.4},{:.4}",
+                r.t,
+                r.truth.position.x,
+                r.truth.position.y,
+                r.truth.position.z,
+                r.truth.attitude.x,
+                r.truth.attitude.y,
+                r.truth.attitude.z,
+                r.est.position.x,
+                r.est.position.y,
+                r.est.position.z,
+                r.pid_signal.roll,
+                r.pid_signal.pitch,
+                r.pid_signal.yaw_rate,
+                r.pid_signal.thrust,
+                r.flown_signal.roll,
+                r.flown_signal.pitch,
+                r.flown_signal.yaw_rate,
+                r.flown_signal.thrust,
+                u8::from(r.attack_active),
+                u8::from(r.recovery_active),
+                r.monitor_statistic,
+                r.effective_p,
+                r.rotation_rate,
+                pe,
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(t: f64, attack: bool, recovery: bool) -> TraceRecord {
+        TraceRecord {
+            t,
+            truth: RigidBodyState::default(),
+            est: EstimatedState::default(),
+            readings: SensorReadings::default(),
+            target: TargetState::default(),
+            phase: crate::phase::FlightPhase::Arm,
+            pid_signal: ActuatorSignal::default(),
+            flown_signal: ActuatorSignal::default(),
+            attack_active: attack,
+            recovery_active: recovery,
+            monitor_statistic: t * 2.0,
+            effective_p: 4.0,
+            rotation_rate: 0.1,
+        }
+    }
+
+    #[test]
+    fn push_and_series() {
+        let mut tr = Trace::new();
+        for i in 0..5 {
+            tr.push(record(i as f64, i >= 3, false));
+        }
+        assert_eq!(tr.len(), 5);
+        assert_eq!(tr.series(|r| r.t), vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(tr.attack_steps(), 2);
+        assert_eq!(tr.recovery_steps(), 0);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut tr = Trace::new();
+        tr.push(record(0.0, false, true));
+        let csv = tr.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("t,x,y,z"));
+        let fields: Vec<&str> = lines[1].split(',').collect();
+        assert_eq!(fields.len(), lines[0].split(',').count());
+    }
+
+    #[test]
+    fn empty_trace() {
+        let tr = Trace::new();
+        assert!(tr.is_empty());
+        assert_eq!(tr.to_csv().lines().count(), 1);
+    }
+}

@@ -1,0 +1,46 @@
+//! From-scratch machine-learning substrate for PID-Piper's feed-forward
+//! controller.
+//!
+//! The paper trains its models with TensorFlow 1.10 / Keras and deploys a
+//! C++ inference module inside the autopilot. Neither is available here
+//! (and Rust ML inference crates are thin), so this crate implements the
+//! exact architecture the paper describes, end to end:
+//!
+//! > "Both the models have 2 layer stacked LSTM design, a Sigmoid neural
+//! > net layer followed by 2 fully connected PRelu layers."
+//!
+//! Components:
+//!
+//! - [`lstm::LstmLayer`] — a full LSTM cell with backpropagation through
+//!   time;
+//! - [`dense::Dense`] and [`dense::Activation`] — fully connected layers
+//!   with Sigmoid / PReLU (learnable slope) / linear activations;
+//! - [`adam::Adam`] — the Adam optimizer;
+//! - [`network::LstmRegressor`] — the assembled sequence-to-one regression
+//!   network (2x LSTM → sigmoid FC → 2x PReLU FC → linear head), with
+//!   training, windowed inference and text (de)serialization;
+//! - [`normalize::Normalizer`] — per-feature standardization;
+//! - [`dataset::WindowedDataset`] — sliding-window sample extraction from
+//!   mission time series;
+//! - [`selection`] — the paper's greedy forward feature selection and the
+//!   VIF-based collinearity pruning of Section IV-C.
+//!
+//! Everything is deterministic given a seed, in `f64`.
+
+pub mod adam;
+pub mod dataset;
+pub mod dense;
+pub mod lstm;
+pub mod network;
+pub mod normalize;
+pub mod param;
+pub mod selection;
+
+pub use adam::Adam;
+pub use dataset::WindowedDataset;
+pub use dense::{Activation, Dense};
+pub use lstm::LstmLayer;
+pub use network::{LstmRegressor, RegressorConfig, TrainReport};
+pub use normalize::Normalizer;
+pub use param::Param;
+pub use selection::{greedy_forward_selection, vif_prune};

@@ -1,0 +1,112 @@
+//! Property-based tests for the ML substrate.
+
+use pidpiper_ml::{Activation, Dense, LstmLayer, Normalizer, WindowedDataset};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn normalizer_round_trips(
+        rows in prop::collection::vec(
+            prop::collection::vec(-1e3..1e3f64, 3..3 + 1),
+            2..50,
+        ),
+        probe in prop::collection::vec(-1e3..1e3f64, 3..4),
+    ) {
+        let n = Normalizer::fit(&rows);
+        let z = n.transform(&probe[..3]);
+        let back = n.inverse(&z);
+        for (a, b) in probe[..3].iter().zip(&back) {
+            prop_assert!((a - b).abs() < 1e-6 * (1.0 + a.abs()));
+        }
+    }
+
+    #[test]
+    fn normalizer_output_finite(
+        rows in prop::collection::vec(
+            prop::collection::vec(-1e6..1e6f64, 2..3),
+            2..30,
+        ),
+    ) {
+        let n = Normalizer::fit(&rows);
+        for r in &rows {
+            prop_assert!(n.transform(r).iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn lstm_hidden_state_strictly_bounded(
+        seed in 0u64..500,
+        xs in prop::collection::vec(
+            prop::collection::vec(-1e3..1e3f64, 2..3),
+            1..40,
+        ),
+    ) {
+        // h = o * tanh(c) with o in (0,1): |h| < 1 for any input magnitude.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut lstm = LstmLayer::new(2, 5, &mut rng);
+        for h in lstm.forward_seq(&xs) {
+            for v in h {
+                prop_assert!(v.abs() < 1.0);
+                prop_assert!(v.is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn sigmoid_dense_outputs_in_unit_interval(
+        seed in 0u64..500,
+        x in prop::collection::vec(-100.0..100.0f64, 4..5),
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let layer = Dense::new(4, 3, Activation::Sigmoid, &mut rng);
+        for v in layer.infer(&x[..4]) {
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn prelu_preserves_positive_activations(
+        seed in 0u64..500,
+        x in prop::collection::vec(-10.0..10.0f64, 3..4),
+    ) {
+        // PReLU is identity on positive pre-activations: outputs are finite
+        // and the layer never explodes the magnitude beyond |W||x| + |b|.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let layer = Dense::new(3, 3, Activation::PRelu, &mut rng);
+        let y = layer.infer(&x[..3]);
+        prop_assert!(y.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn windowed_dataset_counts(
+        n in 0usize..80,
+        window in 1usize..20,
+    ) {
+        let inputs: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64]).collect();
+        let targets = inputs.clone();
+        let ds = WindowedDataset::from_series(&inputs, &targets, window);
+        let expected = n.saturating_sub(window - 1).min(n);
+        prop_assert_eq!(ds.len(), if n >= window { expected } else { 0 });
+        for s in ds.samples() {
+            prop_assert_eq!(s.window.len(), window);
+            // Window ends at the sample whose value equals the target.
+            prop_assert_eq!(s.window.last().unwrap()[0], s.target[0]);
+        }
+    }
+
+    #[test]
+    fn dataset_split_partitions(
+        n in 10usize..120,
+        frac in 0.1..0.9f64,
+        seed in 0u64..100,
+    ) {
+        let inputs: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64]).collect();
+        let ds = WindowedDataset::from_series(&inputs, &inputs, 3);
+        let total = ds.len();
+        let (train, val) = ds.split(frac, seed);
+        prop_assert_eq!(train.len() + val.len(), total);
+    }
+}

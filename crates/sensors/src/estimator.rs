@@ -1,0 +1,387 @@
+//! EKF-style state estimator: complementary attitude filter plus
+//! Kalman position/velocity fusion with covariance tracking.
+//!
+//! RV autopilots translate raw sensor measurements into the vehicle state
+//! with an Extended Kalman Filter. We implement a lightweight equivalent
+//! that preserves the properties the paper's evaluation relies on:
+//!
+//! 1. attacked sensors steer the *estimated* state (GPS spoofing drags the
+//!    position estimate; gyro tampering corrupts the attitude estimate);
+//! 2. the filter maintains a position covariance used as the "position
+//!    variance" model feature;
+//! 3. attitude is gyro-propagated and accel/mag-corrected, so gyro bias
+//!    injection produces exactly the drift-and-correct dynamics the
+//!    paper's Attack-1 exploits.
+
+use crate::readings::SensorReadings;
+use pidpiper_math::{wrap_angle, Mat3, Vec3};
+use pidpiper_sim::quadcopter::GRAVITY;
+
+/// The estimator's belief about the vehicle state.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EstimatedState {
+    /// Estimated position (ENU metres).
+    pub position: Vec3,
+    /// Estimated velocity (ENU m/s).
+    pub velocity: Vec3,
+    /// Estimated Euler attitude (roll, pitch, yaw), radians.
+    pub attitude: Vec3,
+    /// Body rates as read from the (possibly attacked) gyroscope (rad/s).
+    pub body_rates: Vec3,
+    /// Per-axis position estimate variance (m^2) — the paper's "position
+    /// variance" feature.
+    pub position_variance: Vec3,
+    /// World-frame linear acceleration estimate (m/s^2).
+    pub acceleration: Vec3,
+}
+
+/// Tuning gains for the estimator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EstimatorGains {
+    /// Complementary-filter blend for accel-derived roll/pitch per second.
+    pub attitude_correction: f64,
+    /// Complementary-filter blend for mag-derived yaw per second.
+    pub yaw_correction: f64,
+    /// Process noise for position covariance (m^2/s).
+    pub process_noise: f64,
+    /// GPS measurement variance (m^2).
+    pub gps_variance: f64,
+    /// Barometer measurement variance (m^2).
+    pub baro_variance: f64,
+    /// Blend gain for GPS velocity per second.
+    pub velocity_correction: f64,
+}
+
+impl Default for EstimatorGains {
+    fn default() -> Self {
+        EstimatorGains {
+            attitude_correction: 1.2,
+            yaw_correction: 2.0,
+            process_noise: 0.6,
+            gps_variance: 0.5,
+            baro_variance: 0.3,
+            velocity_correction: 4.0,
+        }
+    }
+}
+
+/// EKF-style estimator.
+///
+/// # Examples
+///
+/// ```
+/// use pidpiper_sensors::{Estimator, SensorReadings};
+///
+/// let mut est = Estimator::new();
+/// let mut r = SensorReadings::default();
+/// r.accel.z = 9.80665; // at rest
+/// for _ in 0..200 { est.update(&r, 0.01); }
+/// assert!(est.state().attitude.x.abs() < 1e-3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Estimator {
+    state: EstimatedState,
+    gains: EstimatorGains,
+    initialized: bool,
+    last_gps_vel: Vec3,
+    accel_world_lp: Vec3,
+    /// Low-passed attitude innovation (accel-gravity measurement minus the
+    /// gyro-propagated estimate), radians. Near zero in clean conditions;
+    /// a persistent gyroscope bias `f` holds it near `f / correction_gain`
+    /// — which makes it a direct gyro-attack indicator.
+    attitude_innovation_lp: (f64, f64),
+}
+
+impl Default for Estimator {
+    fn default() -> Self {
+        Estimator::new()
+    }
+}
+
+impl Estimator {
+    /// Creates an estimator with default gains.
+    pub fn new() -> Self {
+        Estimator::with_gains(EstimatorGains::default())
+    }
+
+    /// Creates an estimator with custom gains.
+    pub fn with_gains(gains: EstimatorGains) -> Self {
+        Estimator {
+            state: EstimatedState {
+                position_variance: Vec3::splat(1.0),
+                ..Default::default()
+            },
+            gains,
+            initialized: false,
+            last_gps_vel: Vec3::ZERO,
+            accel_world_lp: Vec3::ZERO,
+            attitude_innovation_lp: (0.0, 0.0),
+        }
+    }
+
+    /// The current state estimate.
+    #[inline]
+    pub fn state(&self) -> &EstimatedState {
+        &self.state
+    }
+
+    /// Resets the estimator to an uninitialized state.
+    pub fn reset(&mut self) {
+        *self = Estimator::with_gains(self.gains);
+    }
+
+    /// The low-passed attitude innovation `(roll, pitch)` in radians — a
+    /// persistent non-zero value indicates the gyro stream disagrees with
+    /// the accelerometer's gravity direction (gyro tampering).
+    pub fn attitude_innovation(&self) -> (f64, f64) {
+        self.attitude_innovation_lp
+    }
+
+    /// Fuses one sensor sample, advancing the estimate by `dt` seconds.
+    /// Returns the updated estimate.
+    pub fn update(&mut self, r: &SensorReadings, dt: f64) -> EstimatedState {
+        debug_assert!(dt > 0.0 && dt < 0.5, "dt out of sane range: {dt}");
+        if !self.initialized {
+            // Snap to the first fix.
+            self.state.position = r.gps_position;
+            self.state.velocity = r.gps_velocity;
+            self.state.attitude = Vec3::new(0.0, 0.0, r.mag_heading);
+            self.initialized = true;
+        }
+        let g = self.gains;
+
+        // --- Attitude: propagate gyro, correct with accel (roll/pitch) and
+        // magnetometer (yaw).
+        self.state.body_rates = r.gyro;
+        let (roll, pitch, _yaw) = (
+            self.state.attitude.x,
+            self.state.attitude.y,
+            self.state.attitude.z,
+        );
+        let (sr, cr) = roll.sin_cos();
+        let (sp, cp) = pitch.sin_cos();
+        let cp_safe = if cp.abs() < 1e-3 { 1e-3 } else { cp };
+        let tp = sp / cp_safe;
+        let euler_rates = Vec3::new(
+            r.gyro.x + sr * tp * r.gyro.y + cr * tp * r.gyro.z,
+            cr * r.gyro.y - sr * r.gyro.z,
+            (sr / cp_safe) * r.gyro.y + (cr / cp_safe) * r.gyro.z,
+        );
+        let mut att = self.state.attitude + euler_rates * dt;
+
+        // Accelerometer gravity-direction correction. In coordinated
+        // flight the specific force aligns with the thrust (body-z) axis
+        // regardless of tilt, so naive accel levelling fights real tilt.
+        // We subtract an independent estimate of the world-frame linear
+        // acceleration — the low-passed derivative of the GPS velocity —
+        // before extracting the gravity direction (standard EKF practice).
+        let gps_accel = (r.gps_velocity - self.last_gps_vel) / dt;
+        self.last_gps_vel = r.gps_velocity;
+        let lp = (dt / 0.3).min(1.0);
+        self.accel_world_lp = self.accel_world_lp * (1.0 - lp) + gps_accel * lp;
+        let rot_prev = Mat3::from_euler(att.x, att.y, att.z);
+        let gravity_body = r.accel - rot_prev.transpose() * self.accel_world_lp;
+        let grav_norm = gravity_body.norm();
+        if (grav_norm - GRAVITY).abs() < 0.3 * GRAVITY {
+            let roll_meas = gravity_body.y.atan2(gravity_body.z);
+            let pitch_meas = (-gravity_body.x / grav_norm).clamp(-1.0, 1.0).asin();
+            let innov_roll = wrap_angle(roll_meas - att.x);
+            let innov_pitch = wrap_angle(pitch_meas - att.y);
+            let blend = (g.attitude_correction * dt).min(1.0);
+            att.x += blend * innov_roll;
+            att.y += blend * innov_pitch;
+            // Low-pass the innovation (tau ~0.5 s) for attack diagnostics.
+            let lp = (dt / 0.5).min(1.0);
+            self.attitude_innovation_lp.0 += lp * (innov_roll - self.attitude_innovation_lp.0);
+            self.attitude_innovation_lp.1 += lp * (innov_pitch - self.attitude_innovation_lp.1);
+        }
+        let yaw_blend = (g.yaw_correction * dt).min(1.0);
+        att.z = wrap_angle(att.z + yaw_blend * wrap_angle(r.mag_heading - att.z));
+        att.x = wrap_angle(att.x);
+        att.y = att.y.clamp(
+            -std::f64::consts::FRAC_PI_2 + 1e-3,
+            std::f64::consts::FRAC_PI_2 - 1e-3,
+        );
+        self.state.attitude = att;
+
+        // --- Acceleration in world frame from body-frame specific force.
+        let rot = Mat3::from_euler(att.x, att.y, att.z);
+        let accel_world = rot * r.accel - Vec3::new(0.0, 0.0, GRAVITY);
+        self.state.acceleration = accel_world;
+
+        // --- Position/velocity: dead-reckon then Kalman-correct with GPS
+        // (XY, Z) and barometer (Z).
+        self.state.velocity += accel_world * dt;
+        let vel_blend = (g.velocity_correction * dt).min(1.0);
+        self.state.velocity += (r.gps_velocity - self.state.velocity) * vel_blend;
+        self.state.position += self.state.velocity * dt;
+
+        // Covariance predict.
+        self.state.position_variance += Vec3::splat(g.process_noise * dt);
+        // GPS update per axis.
+        for axis in 0..3 {
+            let p = self.state.position_variance[axis];
+            let meas_var = if axis == 2 {
+                // Altitude blends GPS-Z and barometer: use the smaller.
+                g.gps_variance.min(g.baro_variance)
+            } else {
+                g.gps_variance
+            };
+            let k = p / (p + meas_var);
+            let meas = if axis == 2 {
+                // Fuse GPS-Z and baro with inverse-variance weights.
+                let wg = 1.0 / g.gps_variance;
+                let wb = 1.0 / g.baro_variance;
+                (r.gps_position.z * wg + r.baro_altitude * wb) / (wg + wb)
+            } else {
+                r.gps_position[axis]
+            };
+            self.state.position[axis] += k * (meas - self.state.position[axis]);
+            self.state.position_variance[axis] = (1.0 - k) * p;
+        }
+
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::{NoiseConfig, SensorSuite};
+    use pidpiper_sim::state::RigidBodyState;
+
+    const DT: f64 = 0.01;
+
+    fn settle(est: &mut Estimator, suite: &mut SensorSuite, truth: &RigidBodyState, steps: usize) {
+        for _ in 0..steps {
+            let r = suite.sample(truth, DT);
+            est.update(&r, DT);
+        }
+    }
+
+    #[test]
+    fn converges_to_static_truth() {
+        let mut suite = SensorSuite::new(NoiseConfig::default(), 5);
+        let mut est = Estimator::new();
+        let truth = RigidBodyState::at_rest(Vec3::new(10.0, -4.0, 25.0));
+        settle(&mut est, &mut suite, &truth, 500);
+        assert!(
+            est.state().position.distance(truth.position) < 0.6,
+            "pos err {}",
+            est.state().position.distance(truth.position)
+        );
+        assert!(est.state().attitude.norm() < 0.05);
+        assert!(est.state().velocity.norm() < 0.3);
+    }
+
+    #[test]
+    fn covariance_settles_below_prior() {
+        let mut suite = SensorSuite::new(NoiseConfig::default(), 6);
+        let mut est = Estimator::new();
+        let truth = RigidBodyState::at_rest(Vec3::ZERO);
+        settle(&mut est, &mut suite, &truth, 300);
+        for axis in 0..3 {
+            let v = est.state().position_variance[axis];
+            assert!(v > 0.0 && v < 1.0, "variance[{axis}] = {v}");
+        }
+    }
+
+    #[test]
+    fn tracks_attitude_change() {
+        let mut suite = SensorSuite::new(NoiseConfig::noiseless(), 0);
+        let mut est = Estimator::new();
+        let mut truth = RigidBodyState::at_rest(Vec3::ZERO);
+        truth.attitude = Vec3::new(0.2, -0.1, 0.5);
+        settle(&mut est, &mut suite, &truth, 600);
+        assert!((est.state().attitude.x - 0.2).abs() < 0.02);
+        assert!((est.state().attitude.y + 0.1).abs() < 0.02);
+        assert!((est.state().attitude.z - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn gps_bias_drags_position_estimate() {
+        // The core mechanism behind GPS spoofing: a bias on the reported
+        // position pulls the estimate by (almost) the full bias.
+        let mut suite = SensorSuite::new(NoiseConfig::noiseless(), 0);
+        let mut est = Estimator::new();
+        let truth = RigidBodyState::at_rest(Vec3::new(0.0, 0.0, 10.0));
+        settle(&mut est, &mut suite, &truth, 200);
+        for _ in 0..600 {
+            let mut r = suite.sample(&truth, DT);
+            r.gps_position.x += 20.0; // spoof
+            est.update(&r, DT);
+        }
+        assert!(
+            est.state().position.x > 15.0,
+            "estimate dragged to {}",
+            est.state().position.x
+        );
+    }
+
+    #[test]
+    fn gyro_bias_drifts_attitude_estimate() {
+        // Acoustic gyro injection: a rate bias integrates into an attitude
+        // error (partially opposed by the accel correction).
+        let mut suite = SensorSuite::new(NoiseConfig::noiseless(), 0);
+        let mut est = Estimator::new();
+        let truth = RigidBodyState::at_rest(Vec3::new(0.0, 0.0, 10.0));
+        settle(&mut est, &mut suite, &truth, 200);
+        for _ in 0..200 {
+            let mut r = suite.sample(&truth, DT);
+            r.gyro.x += 0.8; // rad/s bias
+            est.update(&r, DT);
+        }
+        assert!(
+            est.state().attitude.x > 0.15,
+            "roll estimate drifted to {}",
+            est.state().attitude.x
+        );
+    }
+
+    #[test]
+    fn attitude_innovation_near_zero_in_clean_conditions() {
+        let mut suite = SensorSuite::new(NoiseConfig::default(), 31);
+        let mut est = Estimator::new();
+        let truth = RigidBodyState::at_rest(Vec3::new(0.0, 0.0, 10.0));
+        settle(&mut est, &mut suite, &truth, 800);
+        let (ir, ip) = est.attitude_innovation();
+        assert!(ir.abs() < 0.02, "clean roll innovation {ir}");
+        assert!(ip.abs() < 0.02, "clean pitch innovation {ip}");
+    }
+
+    #[test]
+    fn attitude_innovation_tracks_gyro_bias() {
+        // A persistent gyro bias holds the innovation near bias / gain —
+        // the gyro-attack indicator PID-Piper's exit condition uses.
+        let gains = EstimatorGains {
+            attitude_correction: 8.0,
+            ..EstimatorGains::default()
+        };
+        let mut suite = SensorSuite::new(NoiseConfig::noiseless(), 0);
+        let mut est = Estimator::with_gains(gains);
+        let truth = RigidBodyState::at_rest(Vec3::new(0.0, 0.0, 10.0));
+        settle(&mut est, &mut suite, &truth, 300);
+        for _ in 0..600 {
+            let mut r = suite.sample(&truth, DT);
+            r.gyro.x += 0.6;
+            est.update(&r, DT);
+        }
+        let (ir, _) = est.attitude_innovation();
+        let expected = -0.6 / 8.0;
+        assert!(
+            (ir - expected).abs() < 0.03,
+            "innovation {ir} should sit near bias/gain {expected}"
+        );
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut suite = SensorSuite::new(NoiseConfig::default(), 9);
+        let mut est = Estimator::new();
+        let truth = RigidBodyState::at_rest(Vec3::new(50.0, 50.0, 50.0));
+        settle(&mut est, &mut suite, &truth, 100);
+        est.reset();
+        assert_eq!(est.state().position, Vec3::ZERO);
+        assert_eq!(est.state().position_variance, Vec3::splat(1.0));
+    }
+}

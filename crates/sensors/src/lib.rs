@@ -1,0 +1,42 @@
+//! Sensor simulation and state estimation for the PID-Piper reproduction.
+//!
+//! Physical attacks in the paper perturb *sensor measurements*, not ground
+//! truth — a GPS spoofer shifts the reported position, acoustic injection
+//! biases the gyroscope. This crate provides:
+//!
+//! - [`suite::SensorSuite`]: simulated GPS, gyroscope, accelerometer,
+//!   barometer and magnetometer with seeded Gaussian noise, scaled per
+//!   vehicle profile (the Sky-viper's cheap IMU is noisier than the
+//!   Pixhawk's);
+//! - [`readings::SensorReadings`]: one sample of every sensor — the object
+//!   the attack engine mutates;
+//! - [`estimator::Estimator`]: an EKF-style estimator (complementary
+//!   attitude filter + Kalman position/velocity fusion with covariance
+//!   tracking) that turns readings into the state the controller consumes.
+//!   The tracked covariance doubles as the paper's "position variance"
+//!   feature.
+//!
+//! # Examples
+//!
+//! ```
+//! use pidpiper_sensors::{SensorSuite, NoiseConfig, Estimator};
+//! use pidpiper_sim::state::RigidBodyState;
+//! use pidpiper_math::Vec3;
+//!
+//! let mut suite = SensorSuite::new(NoiseConfig::default(), 42);
+//! let mut est = Estimator::new();
+//! let truth = RigidBodyState::at_rest(Vec3::new(0.0, 0.0, 10.0));
+//! for _ in 0..100 {
+//!     let readings = suite.sample(&truth, 0.01);
+//!     est.update(&readings, 0.01);
+//! }
+//! assert!(est.state().position.distance(truth.position) < 2.0);
+//! ```
+
+pub mod estimator;
+pub mod readings;
+pub mod suite;
+
+pub use estimator::{EstimatedState, Estimator};
+pub use readings::SensorReadings;
+pub use suite::{NoiseConfig, SensorSuite};

@@ -1,0 +1,58 @@
+//! One sample of every onboard sensor.
+
+use pidpiper_math::Vec3;
+
+/// A single synchronized sample of the RV's sensor suite.
+///
+/// This is the mutation point for the attack engine: physical attacks
+/// (GPS spoofing, gyroscope tampering, …) add bias to fields of this struct
+/// *after* it leaves the sensor simulation and *before* it reaches the
+/// estimator — exactly the signal path real spoofers corrupt.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SensorReadings {
+    /// GPS position fix (ENU metres).
+    pub gps_position: Vec3,
+    /// GPS velocity (ENU m/s).
+    pub gps_velocity: Vec3,
+    /// Barometric altitude (m).
+    pub baro_altitude: f64,
+    /// Gyroscope body rates (rad/s).
+    pub gyro: Vec3,
+    /// Accelerometer specific force in the body frame (m/s^2); reads
+    /// `(0, 0, +g)` at rest.
+    pub accel: Vec3,
+    /// Magnetometer heading (rad, world yaw).
+    pub mag_heading: f64,
+}
+
+impl SensorReadings {
+    /// Returns `true` when every field is finite.
+    pub fn is_finite(&self) -> bool {
+        self.gps_position.is_finite()
+            && self.gps_velocity.is_finite()
+            && self.baro_altitude.is_finite()
+            && self.gyro.is_finite()
+            && self.accel.is_finite()
+            && self.mag_heading.is_finite()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_finite() {
+        assert!(SensorReadings::default().is_finite());
+    }
+
+    #[test]
+    fn nan_is_caught() {
+        let mut r = SensorReadings::default();
+        r.baro_altitude = f64::NAN;
+        assert!(!r.is_finite());
+        let mut r2 = SensorReadings::default();
+        r2.gyro.y = f64::INFINITY;
+        assert!(!r2.is_finite());
+    }
+}

@@ -1,0 +1,232 @@
+//! Simulated sensor suite: GPS, gyroscope, accelerometer, barometer,
+//! magnetometer, with seeded Gaussian noise.
+
+use crate::readings::SensorReadings;
+use pidpiper_math::{Mat3, Vec3};
+use pidpiper_sim::quadcopter::GRAVITY;
+use pidpiper_sim::state::RigidBodyState;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-sensor 1-sigma noise levels.
+///
+/// The defaults correspond to a research-grade Pixhawk-class sensor stack;
+/// scale them with [`NoiseConfig::scaled`] for cheaper or better hardware
+/// (e.g. the Sky-viper profile multiplies IMU noise by 2.6).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseConfig {
+    /// GPS horizontal position noise (m).
+    pub gps_xy: f64,
+    /// GPS vertical position noise (m).
+    pub gps_z: f64,
+    /// GPS velocity noise (m/s).
+    pub gps_vel: f64,
+    /// Gyroscope noise (rad/s).
+    pub gyro: f64,
+    /// Accelerometer noise (m/s^2).
+    pub accel: f64,
+    /// Barometer altitude noise (m).
+    pub baro: f64,
+    /// Magnetometer heading noise (rad).
+    pub mag: f64,
+}
+
+impl Default for NoiseConfig {
+    fn default() -> Self {
+        NoiseConfig {
+            gps_xy: 0.35,
+            gps_z: 0.6,
+            gps_vel: 0.1,
+            gyro: 0.008,
+            accel: 0.12,
+            baro: 0.25,
+            mag: 0.015,
+        }
+    }
+}
+
+impl NoiseConfig {
+    /// Returns a copy with IMU channels (gyro, accel, mag) scaled by
+    /// `imu_scale` and GPS channels by `gps_scale`.
+    pub fn scaled(&self, imu_scale: f64, gps_scale: f64) -> NoiseConfig {
+        NoiseConfig {
+            gps_xy: self.gps_xy * gps_scale,
+            gps_z: self.gps_z * gps_scale,
+            gps_vel: self.gps_vel * gps_scale,
+            gyro: self.gyro * imu_scale,
+            accel: self.accel * imu_scale,
+            baro: self.baro * imu_scale,
+            mag: self.mag * imu_scale,
+        }
+    }
+
+    /// A noiseless configuration (useful in deterministic tests).
+    pub fn noiseless() -> NoiseConfig {
+        NoiseConfig {
+            gps_xy: 0.0,
+            gps_z: 0.0,
+            gps_vel: 0.0,
+            gyro: 0.0,
+            accel: 0.0,
+            baro: 0.0,
+            mag: 0.0,
+        }
+    }
+}
+
+/// Stateful sensor simulator.
+///
+/// # Examples
+///
+/// ```
+/// use pidpiper_sensors::{SensorSuite, NoiseConfig};
+/// use pidpiper_sim::state::RigidBodyState;
+/// use pidpiper_math::Vec3;
+///
+/// let mut suite = SensorSuite::new(NoiseConfig::noiseless(), 0);
+/// let truth = RigidBodyState::at_rest(Vec3::new(3.0, 4.0, 5.0));
+/// let r = suite.sample(&truth, 0.01);
+/// assert_eq!(r.gps_position, truth.position);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SensorSuite {
+    noise: NoiseConfig,
+    rng: StdRng,
+}
+
+impl SensorSuite {
+    /// Creates a suite with the given noise levels and RNG seed.
+    pub fn new(noise: NoiseConfig, seed: u64) -> Self {
+        SensorSuite {
+            noise,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The configured noise levels.
+    pub fn noise(&self) -> &NoiseConfig {
+        &self.noise
+    }
+
+    /// Samples every sensor given the ground-truth state.
+    ///
+    /// `_dt` is accepted for future rate-dependent effects (bias random
+    /// walk); the current model is white noise only.
+    pub fn sample(&mut self, truth: &RigidBodyState, _dt: f64) -> SensorReadings {
+        let n = self.noise;
+        // Accelerometer measures specific force in the body frame:
+        // f_body = R^T * (a_world + g * z_world).
+        let rot = Mat3::from_euler(truth.attitude.x, truth.attitude.y, truth.attitude.z);
+        let specific_force_world = truth.acceleration + Vec3::new(0.0, 0.0, GRAVITY);
+        let accel_body = rot.transpose() * specific_force_world;
+
+        SensorReadings {
+            gps_position: truth.position
+                + Vec3::new(
+                    self.gaussian() * n.gps_xy,
+                    self.gaussian() * n.gps_xy,
+                    self.gaussian() * n.gps_z,
+                ),
+            gps_velocity: truth.velocity
+                + Vec3::new(
+                    self.gaussian() * n.gps_vel,
+                    self.gaussian() * n.gps_vel,
+                    self.gaussian() * n.gps_vel,
+                ),
+            baro_altitude: truth.position.z + self.gaussian() * n.baro,
+            gyro: truth.body_rates
+                + Vec3::new(
+                    self.gaussian() * n.gyro,
+                    self.gaussian() * n.gyro,
+                    self.gaussian() * n.gyro,
+                ),
+            accel: accel_body
+                + Vec3::new(
+                    self.gaussian() * n.accel,
+                    self.gaussian() * n.accel,
+                    self.gaussian() * n.accel,
+                ),
+            mag_heading: pidpiper_math::wrap_angle(truth.attitude.z + self.gaussian() * n.mag),
+        }
+    }
+
+    fn gaussian(&mut self) -> f64 {
+        let u1: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = self.rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noiseless_reports_truth() {
+        let mut s = SensorSuite::new(NoiseConfig::noiseless(), 1);
+        let mut truth = RigidBodyState::at_rest(Vec3::new(1.0, 2.0, 3.0));
+        truth.body_rates = Vec3::new(0.1, -0.2, 0.3);
+        let r = s.sample(&truth, 0.01);
+        assert_eq!(r.gps_position, truth.position);
+        assert_eq!(r.gyro, truth.body_rates);
+        assert_eq!(r.baro_altitude, 3.0);
+        assert_eq!(r.mag_heading, 0.0);
+    }
+
+    #[test]
+    fn accel_reads_gravity_at_rest() {
+        let mut s = SensorSuite::new(NoiseConfig::noiseless(), 1);
+        let truth = RigidBodyState::at_rest(Vec3::ZERO);
+        let r = s.sample(&truth, 0.01);
+        assert!((r.accel.z - GRAVITY).abs() < 1e-9);
+        assert!(r.accel.x.abs() < 1e-9 && r.accel.y.abs() < 1e-9);
+    }
+
+    #[test]
+    fn accel_tilts_with_attitude() {
+        let mut s = SensorSuite::new(NoiseConfig::noiseless(), 1);
+        let mut truth = RigidBodyState::at_rest(Vec3::ZERO);
+        truth.attitude = Vec3::new(0.0, 0.3, 0.0); // pitched
+        let r = s.sample(&truth, 0.01);
+        // Gravity projects onto the body x axis when pitched.
+        assert!(r.accel.x.abs() > 0.5, "accel.x = {}", r.accel.x);
+        assert!(r.accel.z < GRAVITY);
+    }
+
+    #[test]
+    fn noise_statistics_match_config() {
+        let cfg = NoiseConfig::default();
+        let mut s = SensorSuite::new(cfg, 77);
+        let truth = RigidBodyState::at_rest(Vec3::ZERO);
+        let n = 20_000;
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        for _ in 0..n {
+            let r = s.sample(&truth, 0.01);
+            sum += r.gps_position.x;
+            sum_sq += r.gps_position.x * r.gps_position.x;
+        }
+        let mean = sum / n as f64;
+        let std = (sum_sq / n as f64 - mean * mean).sqrt();
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((std - cfg.gps_xy).abs() < 0.03, "std {std} vs {}", cfg.gps_xy);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let truth = RigidBodyState::at_rest(Vec3::new(5.0, 5.0, 5.0));
+        let mut a = SensorSuite::new(NoiseConfig::default(), 13);
+        let mut b = SensorSuite::new(NoiseConfig::default(), 13);
+        for _ in 0..50 {
+            assert_eq!(a.sample(&truth, 0.01), b.sample(&truth, 0.01));
+        }
+    }
+
+    #[test]
+    fn scaling_raises_noise() {
+        let base = NoiseConfig::default();
+        let scaled = base.scaled(2.6, 1.8);
+        assert!((scaled.gyro - base.gyro * 2.6).abs() < 1e-12);
+        assert!((scaled.gps_xy - base.gps_xy * 1.8).abs() < 1e-12);
+    }
+}

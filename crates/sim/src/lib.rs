@@ -1,0 +1,40 @@
+//! From-scratch rigid-body simulators for the robotic vehicles evaluated in
+//! the PID-Piper paper.
+//!
+//! The paper evaluates on six RVs: three simulated (ArduCopter, PX4 SITL,
+//! ArduRover) and three real (Pixhawk drone, Sky-viper drone, Aion R1
+//! rover). We had no access to the real hardware or to ArduPilot/Gazebo, so
+//! this crate provides the closest synthetic equivalent that exercises the
+//! same control paths (see DESIGN.md §2):
+//!
+//! - a 6-DOF quadcopter model ([`quadcopter::Quadcopter`]) with four-motor
+//!   mixing, rigid-body rotational dynamics, linear aerodynamic drag, ground
+//!   contact and crash detection;
+//! - a ground rover ([`rover::Rover`]) with bicycle-model steering;
+//! - a gusty wind model ([`wind::Wind`]) for environmental disturbances;
+//! - per-vehicle physical parameter sets ([`profiles`]) standing in for the
+//!   six RVs — the "real" RVs differ in mass, inertia, limits and (in the
+//!   sensors crate) noise levels, reproducing cross-vehicle variation.
+//!
+//! # Examples
+//!
+//! ```
+//! use pidpiper_sim::profiles::VehicleProfile;
+//! use pidpiper_sim::quadcopter::Quadcopter;
+//!
+//! let profile = VehicleProfile::arducopter();
+//! let quad = Quadcopter::new(profile.quad_params().unwrap());
+//! assert_eq!(quad.state().position.z, 0.0);
+//! ```
+
+pub mod profiles;
+pub mod quadcopter;
+pub mod rover;
+pub mod state;
+pub mod wind;
+
+pub use profiles::{RvId, VehicleProfile};
+pub use quadcopter::{QuadParams, Quadcopter};
+pub use rover::{Rover, RoverParams};
+pub use state::{ContactStatus, RigidBodyState, VehicleKind};
+pub use wind::{Wind, WindConfig};

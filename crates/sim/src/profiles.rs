@@ -1,0 +1,278 @@
+//! Per-vehicle physical parameter profiles for the six RV systems.
+//!
+//! The paper's subject RVs are: ArduCopter, PX4 Solo and ArduRover
+//! (simulated), and a Pixhawk drone, Sky-viper Journey drone and Aion R1
+//! rover (real hardware). We stand in for the real vehicles with distinct
+//! parameterizations of the same simulators — see DESIGN.md §2 for the
+//! substitution rationale. Sensor-noise differences (e.g. the Sky-viper's
+//! cheap STM32-class IMU) live in the sensors crate and are keyed off
+//! [`RvId`].
+
+use crate::quadcopter::QuadParams;
+use crate::rover::RoverParams;
+use crate::state::VehicleKind;
+use pidpiper_math::Vec3;
+
+/// Identifier of one of the six subject RV systems.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RvId {
+    /// ArduPilot quadcopter SITL stand-in (simulated group).
+    ArduCopter,
+    /// PX4 software-in-the-loop stand-in (simulated group).
+    Px4Solo,
+    /// ArduPilot rover SITL stand-in (simulated group).
+    ArduRover,
+    /// Pixhawk-based research drone stand-in ("real" group).
+    PixhawkDrone,
+    /// Sky-viper Journey toy-class drone stand-in ("real" group).
+    SkyViper,
+    /// Aion Robotics R1 rover stand-in ("real" group).
+    AionR1,
+}
+
+impl RvId {
+    /// All six subject RVs in the paper's presentation order.
+    pub const ALL: [RvId; 6] = [
+        RvId::ArduCopter,
+        RvId::Px4Solo,
+        RvId::ArduRover,
+        RvId::PixhawkDrone,
+        RvId::SkyViper,
+        RvId::AionR1,
+    ];
+
+    /// The three "real" RVs (Table IV group).
+    pub const REAL: [RvId; 3] = [RvId::PixhawkDrone, RvId::SkyViper, RvId::AionR1];
+
+    /// The three simulated RVs.
+    pub const SIMULATED: [RvId; 3] = [RvId::ArduCopter, RvId::Px4Solo, RvId::ArduRover];
+
+    /// Human-readable name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            RvId::ArduCopter => "ArduCopter",
+            RvId::Px4Solo => "PX4 Solo",
+            RvId::ArduRover => "ArduRover",
+            RvId::PixhawkDrone => "Pixhawk",
+            RvId::SkyViper => "Sky-viper",
+            RvId::AionR1 => "Aion R1",
+        }
+    }
+
+    /// Whether this RV belongs to the paper's "real hardware" group.
+    pub fn is_real(self) -> bool {
+        matches!(self, RvId::PixhawkDrone | RvId::SkyViper | RvId::AionR1)
+    }
+
+    /// The vehicle kind.
+    pub fn kind(self) -> VehicleKind {
+        match self {
+            RvId::ArduRover | RvId::AionR1 => VehicleKind::Rover,
+            _ => VehicleKind::Quadcopter,
+        }
+    }
+}
+
+impl std::fmt::Display for RvId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A complete physical profile for one subject RV.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VehicleProfile {
+    /// Which RV this profile models.
+    pub id: RvId,
+    /// Quadcopter parameters (None for rovers).
+    quad: Option<QuadParams>,
+    /// Rover parameters (None for quadcopters).
+    rover: Option<RoverParams>,
+    /// Relative IMU noise multiplier (1.0 = research-grade Pixhawk IMU).
+    pub imu_noise_scale: f64,
+    /// Relative GPS noise multiplier.
+    pub gps_noise_scale: f64,
+}
+
+impl VehicleProfile {
+    /// Profile for the given RV.
+    pub fn for_rv(id: RvId) -> Self {
+        match id {
+            RvId::ArduCopter => Self::arducopter(),
+            RvId::Px4Solo => Self::px4_solo(),
+            RvId::ArduRover => Self::ardurover(),
+            RvId::PixhawkDrone => Self::pixhawk_drone(),
+            RvId::SkyViper => Self::sky_viper(),
+            RvId::AionR1 => Self::aion_r1(),
+        }
+    }
+
+    /// ArduCopter SITL default airframe (~1.5 kg).
+    pub fn arducopter() -> Self {
+        VehicleProfile {
+            id: RvId::ArduCopter,
+            quad: Some(QuadParams::default()),
+            rover: None,
+            imu_noise_scale: 1.0,
+            gps_noise_scale: 1.0,
+        }
+    }
+
+    /// PX4 Solo-class airframe (~1.8 kg, more inertia, stronger motors).
+    pub fn px4_solo() -> Self {
+        VehicleProfile {
+            id: RvId::Px4Solo,
+            quad: Some(QuadParams {
+                mass: 1.8,
+                inertia: Vec3::new(0.036, 0.036, 0.068),
+                arm_offset: 0.205,
+                thrust_to_weight: 2.2,
+                ..QuadParams::default()
+            }),
+            rover: None,
+            imu_noise_scale: 1.0,
+            gps_noise_scale: 1.1,
+        }
+    }
+
+    /// ArduRover SITL default rover.
+    pub fn ardurover() -> Self {
+        VehicleProfile {
+            id: RvId::ArduRover,
+            quad: None,
+            rover: Some(RoverParams::default()),
+            imu_noise_scale: 1.0,
+            gps_noise_scale: 1.0,
+        }
+    }
+
+    /// Pixhawk-based research drone (~1.2 kg, agile).
+    pub fn pixhawk_drone() -> Self {
+        VehicleProfile {
+            id: RvId::PixhawkDrone,
+            quad: Some(QuadParams {
+                mass: 1.2,
+                inertia: Vec3::new(0.021, 0.021, 0.040),
+                arm_offset: 0.16,
+                thrust_to_weight: 2.4,
+                ..QuadParams::default()
+            }),
+            rover: None,
+            imu_noise_scale: 1.1,
+            gps_noise_scale: 1.2,
+        }
+    }
+
+    /// Sky-viper Journey toy drone (0.2 kg, weak motors, cheap IMU).
+    ///
+    /// The much noisier IMU is what drives its higher detection thresholds
+    /// in the paper's Table I (23–24 vs ~18.5 degrees).
+    pub fn sky_viper() -> Self {
+        VehicleProfile {
+            id: RvId::SkyViper,
+            quad: Some(QuadParams {
+                mass: 0.2,
+                inertia: Vec3::new(0.0009, 0.0009, 0.0016),
+                arm_offset: 0.08,
+                thrust_to_weight: 1.9,
+                yaw_torque_coeff: 0.01,
+                linear_drag: 0.12,
+                angular_damping: 0.0016,
+                motor_tau: 0.025,
+                ..QuadParams::default()
+            }),
+            rover: None,
+            imu_noise_scale: 2.6,
+            gps_noise_scale: 1.8,
+        }
+    }
+
+    /// Aion Robotics R1 rover (8 kg skid-steer research rover).
+    pub fn aion_r1() -> Self {
+        VehicleProfile {
+            id: RvId::AionR1,
+            quad: None,
+            rover: Some(RoverParams {
+                mass: 8.0,
+                wheelbase: 0.38,
+                max_speed: 2.5,
+                max_accel: 2.0,
+                ..RoverParams::default()
+            }),
+            imu_noise_scale: 1.4,
+            gps_noise_scale: 1.3,
+        }
+    }
+
+    /// Quadcopter parameters, if this profile is a quadcopter.
+    pub fn quad_params(&self) -> Option<QuadParams> {
+        self.quad
+    }
+
+    /// Rover parameters, if this profile is a rover.
+    pub fn rover_params(&self) -> Option<RoverParams> {
+        self.rover
+    }
+
+    /// The vehicle kind of this profile.
+    pub fn kind(&self) -> VehicleKind {
+        self.id.kind()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_profiles_construct_and_validate() {
+        for id in RvId::ALL {
+            let p = VehicleProfile::for_rv(id);
+            assert_eq!(p.id, id);
+            match p.kind() {
+                VehicleKind::Quadcopter => {
+                    let q = p.quad_params().expect("quad profile");
+                    q.validate();
+                    assert!(p.rover_params().is_none());
+                }
+                VehicleKind::Rover => {
+                    let r = p.rover_params().expect("rover profile");
+                    r.validate();
+                    assert!(p.quad_params().is_none());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn groups_partition_the_fleet() {
+        for id in RvId::ALL {
+            assert_eq!(
+                id.is_real(),
+                RvId::REAL.contains(&id),
+                "real-group membership mismatch for {id}"
+            );
+            assert_eq!(!id.is_real(), RvId::SIMULATED.contains(&id));
+        }
+    }
+
+    #[test]
+    fn sky_viper_is_noisier_than_pixhawk() {
+        let sv = VehicleProfile::sky_viper();
+        let px = VehicleProfile::pixhawk_drone();
+        assert!(sv.imu_noise_scale > 2.0 * px.imu_noise_scale);
+    }
+
+    #[test]
+    fn rovers_are_rovers() {
+        assert_eq!(RvId::ArduRover.kind(), VehicleKind::Rover);
+        assert_eq!(RvId::AionR1.kind(), VehicleKind::Rover);
+        assert_eq!(RvId::SkyViper.kind(), VehicleKind::Quadcopter);
+    }
+
+    #[test]
+    fn names_match_paper_tables() {
+        assert_eq!(RvId::Px4Solo.name(), "PX4 Solo");
+        assert_eq!(RvId::SkyViper.to_string(), "Sky-viper");
+    }
+}

@@ -1,0 +1,332 @@
+//! Ground rover with a kinematic bicycle model.
+//!
+//! Stands in for ArduRover and the Aion R1 rover. The rover's control
+//! authority is throttle (forward acceleration) and steering (front-wheel
+//! angle); only the Z-axis rotation (yaw) is controllable, which is why the
+//! paper derives only a yaw threshold for rovers (Table I).
+
+use crate::state::{ContactStatus, RigidBodyState};
+use pidpiper_math::{wrap_angle, Vec3};
+
+/// Physical parameters of a ground rover.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoverParams {
+    /// Mass in kilograms (affects nothing directly in the kinematic model
+    /// but is kept for parity with vehicle profiles).
+    pub mass: f64,
+    /// Wheelbase length (m).
+    pub wheelbase: f64,
+    /// Maximum forward speed (m/s).
+    pub max_speed: f64,
+    /// Maximum forward acceleration (m/s^2) at full throttle.
+    pub max_accel: f64,
+    /// Maximum steering angle (rad).
+    pub max_steer: f64,
+    /// Rolling/viscous drag coefficient (1/s applied to speed).
+    pub drag: f64,
+    /// Lateral acceleration at which the rover rolls over (m/s^2).
+    pub rollover_lat_accel: f64,
+}
+
+impl RoverParams {
+    /// Validates physical plausibility.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive wheelbase, speed, acceleration or steering
+    /// limits.
+    pub fn validate(&self) {
+        assert!(self.wheelbase > 0.0, "wheelbase must be positive");
+        assert!(self.max_speed > 0.0, "max speed must be positive");
+        assert!(self.max_accel > 0.0, "max accel must be positive");
+        assert!(self.max_steer > 0.0, "max steer must be positive");
+    }
+}
+
+impl Default for RoverParams {
+    /// A small research rover similar to the Aion R1.
+    fn default() -> Self {
+        RoverParams {
+            mass: 8.0,
+            wheelbase: 0.4,
+            max_speed: 4.0,
+            max_accel: 2.5,
+            max_steer: 0.5,
+            drag: 0.6,
+            rollover_lat_accel: 14.0,
+        }
+    }
+}
+
+/// Drive command for a rover.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RoverCommand {
+    /// Throttle in `[-1, 1]` (negative = braking / reverse).
+    pub throttle: f64,
+    /// Steering in `[-1, 1]`, scaled by [`RoverParams::max_steer`].
+    pub steering: f64,
+}
+
+/// A simulated ground rover.
+///
+/// # Examples
+///
+/// ```
+/// use pidpiper_sim::rover::{Rover, RoverParams, RoverCommand};
+/// use pidpiper_math::Vec3;
+///
+/// let mut rover = Rover::new(RoverParams::default());
+/// for _ in 0..400 {
+///     rover.step(RoverCommand { throttle: 0.5, steering: 0.0 }, Vec3::ZERO, 1.0 / 400.0);
+/// }
+/// assert!(rover.state().position.x > 0.3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Rover {
+    params: RoverParams,
+    state: RigidBodyState,
+    speed: f64,
+    contact: ContactStatus,
+}
+
+impl Rover {
+    /// Creates a rover at rest at the origin, facing +X (East).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` fails [`RoverParams::validate`].
+    pub fn new(params: RoverParams) -> Self {
+        params.validate();
+        Rover {
+            params,
+            state: RigidBodyState::default(),
+            speed: 0.0,
+            contact: ContactStatus::Airborne,
+        }
+    }
+
+    /// The rover parameters.
+    #[inline]
+    pub fn params(&self) -> &RoverParams {
+        &self.params
+    }
+
+    /// Ground-truth state. `position.z` is always 0; `attitude.z` is the
+    /// heading.
+    #[inline]
+    pub fn state(&self) -> &RigidBodyState {
+        &self.state
+    }
+
+    /// Current forward speed (m/s, signed).
+    #[inline]
+    pub fn speed(&self) -> f64 {
+        self.speed
+    }
+
+    /// Whether the rover has rolled over.
+    #[inline]
+    pub fn is_crashed(&self) -> bool {
+        self.contact.is_crash()
+    }
+
+    /// Contact status after the most recent step.
+    #[inline]
+    pub fn contact(&self) -> ContactStatus {
+        self.contact
+    }
+
+    /// Advances the simulation by `dt` seconds. Wind applies a small
+    /// longitudinal disturbance only (ground vehicles are weakly affected).
+    ///
+    /// Returns the contact status; a rollover latches as crashed.
+    pub fn step(&mut self, cmd: RoverCommand, wind: Vec3, dt: f64) -> ContactStatus {
+        debug_assert!(dt > 0.0 && dt < 0.1, "dt out of sane range: {dt}");
+        if self.contact.is_crash() {
+            return self.contact;
+        }
+        let p = &self.params;
+        let throttle = cmd.throttle.clamp(-1.0, 1.0);
+        let steer = cmd.steering.clamp(-1.0, 1.0) * p.max_steer;
+
+        let heading = self.state.attitude.z;
+        // Wind component along the heading, heavily attenuated.
+        let wind_along = (wind.x * heading.cos() + wind.y * heading.sin()) * 0.02;
+
+        let accel = throttle * p.max_accel - p.drag * self.speed + wind_along;
+        self.speed = (self.speed + accel * dt).clamp(-p.max_speed * 0.3, p.max_speed);
+
+        let yaw_rate = if p.wheelbase > 0.0 {
+            self.speed / p.wheelbase * steer.tan()
+        } else {
+            0.0
+        };
+
+        // Rollover check: lateral acceleration = v * yaw_rate.
+        let lat_accel = (self.speed * yaw_rate).abs();
+        if lat_accel > p.rollover_lat_accel {
+            self.contact = ContactStatus::Crashed;
+            return self.contact;
+        }
+
+        let new_heading = wrap_angle(heading + yaw_rate * dt);
+        let vel = Vec3::new(
+            self.speed * new_heading.cos(),
+            self.speed * new_heading.sin(),
+            0.0,
+        );
+        self.state.acceleration = Vec3::new(
+            accel * new_heading.cos() - self.speed * yaw_rate * new_heading.sin(),
+            accel * new_heading.sin() + self.speed * yaw_rate * new_heading.cos(),
+            0.0,
+        );
+        self.state.position += vel * dt;
+        self.state.position.z = 0.0;
+        self.state.velocity = vel;
+        self.state.attitude = Vec3::new(0.0, 0.0, new_heading);
+        self.state.body_rates = Vec3::new(0.0, 0.0, yaw_rate);
+
+        if !self.state.is_finite() {
+            self.contact = ContactStatus::Crashed;
+        } else {
+            self.contact = ContactStatus::Airborne;
+        }
+        self.contact
+    }
+
+    /// Teleports the rover (test fixtures).
+    pub fn set_state(&mut self, state: RigidBodyState, speed: f64) {
+        self.state = state;
+        self.state.position.z = 0.0;
+        self.speed = speed;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DT: f64 = 1.0 / 400.0;
+
+    #[test]
+    fn drives_straight_under_throttle() {
+        let mut r = Rover::new(RoverParams::default());
+        for _ in 0..2000 {
+            r.step(
+                RoverCommand {
+                    throttle: 0.8,
+                    steering: 0.0,
+                },
+                Vec3::ZERO,
+                DT,
+            );
+        }
+        assert!(r.state().position.x > 5.0);
+        assert!(r.state().position.y.abs() < 1e-6);
+        assert!(r.speed() > 1.0);
+    }
+
+    #[test]
+    fn speed_saturates_at_drag_equilibrium() {
+        let p = RoverParams::default();
+        let mut r = Rover::new(p);
+        for _ in 0..8000 {
+            r.step(
+                RoverCommand {
+                    throttle: 1.0,
+                    steering: 0.0,
+                },
+                Vec3::ZERO,
+                DT,
+            );
+        }
+        let equilibrium = p.max_accel / p.drag;
+        let expected = equilibrium.min(p.max_speed);
+        assert!((r.speed() - expected).abs() < 0.1, "speed {}", r.speed());
+    }
+
+    #[test]
+    fn steering_turns_left_for_positive_input() {
+        let mut r = Rover::new(RoverParams::default());
+        for _ in 0..600 {
+            r.step(
+                RoverCommand {
+                    throttle: 0.5,
+                    steering: 0.4,
+                },
+                Vec3::ZERO,
+                DT,
+            );
+        }
+        assert!(r.state().attitude.z > 0.1, "heading {}", r.state().attitude.z);
+        assert!(r.state().position.y > 0.05);
+    }
+
+    #[test]
+    fn stationary_rover_does_not_yaw() {
+        let mut r = Rover::new(RoverParams::default());
+        for _ in 0..400 {
+            r.step(
+                RoverCommand {
+                    throttle: 0.0,
+                    steering: 1.0,
+                },
+                Vec3::ZERO,
+                DT,
+            );
+        }
+        assert!(r.state().attitude.z.abs() < 1e-6);
+    }
+
+    #[test]
+    fn extreme_cornering_rolls_over() {
+        let p = RoverParams {
+            rollover_lat_accel: 2.0, // fragile test vehicle
+            ..RoverParams::default()
+        };
+        let mut r = Rover::new(p);
+        let mut crashed = false;
+        for _ in 0..8000 {
+            let st = r.step(
+                RoverCommand {
+                    throttle: 1.0,
+                    steering: 1.0,
+                },
+                Vec3::ZERO,
+                DT,
+            );
+            if st.is_crash() {
+                crashed = true;
+                break;
+            }
+        }
+        assert!(crashed, "fragile rover should roll over at full-lock speed");
+        // Latched.
+        let pos = r.state().position;
+        r.step(
+            RoverCommand {
+                throttle: 1.0,
+                steering: 0.0,
+            },
+            Vec3::ZERO,
+            DT,
+        );
+        assert_eq!(r.state().position, pos);
+    }
+
+    #[test]
+    fn command_clamping() {
+        let mut r = Rover::new(RoverParams::default());
+        for _ in 0..4000 {
+            r.step(
+                RoverCommand {
+                    throttle: 50.0,
+                    steering: 0.0,
+                },
+                Vec3::ZERO,
+                DT,
+            );
+        }
+        assert!(r.speed() <= r.params().max_speed + 1e-9);
+    }
+}

@@ -1,0 +1,124 @@
+//! Common ground-truth state types shared by the vehicle models.
+
+use pidpiper_math::Vec3;
+
+/// Which kind of vehicle a profile or controller targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VehicleKind {
+    /// A multirotor UAV (quadcopter).
+    Quadcopter,
+    /// A ground rover (control authority over yaw and forward speed only).
+    Rover,
+}
+
+/// Ground-truth rigid-body state in the world ENU frame.
+///
+/// `attitude` holds Z-Y-X Euler angles `(roll, pitch, yaw)` in radians;
+/// `body_rates` are angular velocities `(p, q, r)` in the body frame.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RigidBodyState {
+    /// Position in metres (East, North, Up).
+    pub position: Vec3,
+    /// Velocity in metres/second (world frame).
+    pub velocity: Vec3,
+    /// Euler angles: `x = roll`, `y = pitch`, `z = yaw` (radians).
+    pub attitude: Vec3,
+    /// Body angular rates: `x = p`, `y = q`, `z = r` (radians/second).
+    pub body_rates: Vec3,
+    /// Most recent world-frame linear acceleration (for accelerometer
+    /// simulation), metres/second^2, including gravity compensation.
+    pub acceleration: Vec3,
+}
+
+impl RigidBodyState {
+    /// Returns a state at rest at `position` with level attitude.
+    pub fn at_rest(position: Vec3) -> Self {
+        RigidBodyState {
+            position,
+            ..Default::default()
+        }
+    }
+
+    /// Roll angle (radians).
+    #[inline]
+    pub fn roll(&self) -> f64 {
+        self.attitude.x
+    }
+
+    /// Pitch angle (radians).
+    #[inline]
+    pub fn pitch(&self) -> f64 {
+        self.attitude.y
+    }
+
+    /// Yaw angle (radians).
+    #[inline]
+    pub fn yaw(&self) -> f64 {
+        self.attitude.z
+    }
+
+    /// True when all state components are finite (divergence guard).
+    pub fn is_finite(&self) -> bool {
+        self.position.is_finite()
+            && self.velocity.is_finite()
+            && self.attitude.is_finite()
+            && self.body_rates.is_finite()
+    }
+}
+
+/// Outcome of ground interaction on a simulation step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ContactStatus {
+    /// Vehicle is airborne (or, for rovers, driving normally).
+    #[default]
+    Airborne,
+    /// Vehicle touched down gently (level attitude, low sink rate).
+    Landed,
+    /// Vehicle hit the ground hard or beyond attitude limits — destroyed.
+    Crashed,
+}
+
+impl ContactStatus {
+    /// Whether this status represents a destroyed vehicle.
+    #[inline]
+    pub fn is_crash(self) -> bool {
+        matches!(self, ContactStatus::Crashed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn at_rest_has_zero_motion() {
+        let s = RigidBodyState::at_rest(Vec3::new(1.0, 2.0, 0.0));
+        assert_eq!(s.velocity, Vec3::ZERO);
+        assert_eq!(s.body_rates, Vec3::ZERO);
+        assert_eq!(s.position.x, 1.0);
+        assert!(s.is_finite());
+    }
+
+    #[test]
+    fn euler_accessors() {
+        let mut s = RigidBodyState::default();
+        s.attitude = Vec3::new(0.1, 0.2, 0.3);
+        assert_eq!(s.roll(), 0.1);
+        assert_eq!(s.pitch(), 0.2);
+        assert_eq!(s.yaw(), 0.3);
+    }
+
+    #[test]
+    fn nan_detected() {
+        let mut s = RigidBodyState::default();
+        s.velocity.x = f64::NAN;
+        assert!(!s.is_finite());
+    }
+
+    #[test]
+    fn crash_predicate() {
+        assert!(ContactStatus::Crashed.is_crash());
+        assert!(!ContactStatus::Landed.is_crash());
+        assert!(!ContactStatus::Airborne.is_crash());
+    }
+}

@@ -1,0 +1,187 @@
+//! Wind and turbulence model for environmental disturbances.
+//!
+//! The paper tests the FFC's robustness against variable wind between
+//! 15 and 35 km/h (Section VI-B). We model wind as a steady mean vector
+//! plus first-order colored (Ornstein-Uhlenbeck) gust noise, a common
+//! lightweight stand-in for the Dryden turbulence spectrum.
+
+use pidpiper_math::Vec3;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Wind configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindConfig {
+    /// Mean wind speed (m/s).
+    pub mean_speed: f64,
+    /// Direction the wind blows *towards* (radians from East, CCW).
+    pub direction: f64,
+    /// Gust intensity: standard deviation of the gust process (m/s).
+    pub gust_intensity: f64,
+    /// Gust correlation time constant (s); larger = slower-varying gusts.
+    pub gust_tau: f64,
+    /// RNG seed for reproducible turbulence.
+    pub seed: u64,
+}
+
+impl WindConfig {
+    /// Calm conditions (no wind at all).
+    pub fn calm() -> Self {
+        WindConfig {
+            mean_speed: 0.0,
+            direction: 0.0,
+            gust_intensity: 0.0,
+            gust_tau: 1.0,
+            seed: 0,
+        }
+    }
+
+    /// Wind blowing towards `direction` at `speed_kmh` km/h with moderate
+    /// gusting (15 % of the mean).
+    pub fn steady_kmh(speed_kmh: f64, direction: f64, seed: u64) -> Self {
+        let mean = speed_kmh / 3.6;
+        WindConfig {
+            mean_speed: mean,
+            direction,
+            gust_intensity: mean * 0.15,
+            gust_tau: 2.0,
+            seed,
+        }
+    }
+}
+
+impl Default for WindConfig {
+    fn default() -> Self {
+        WindConfig::calm()
+    }
+}
+
+/// Stateful wind generator.
+///
+/// # Examples
+///
+/// ```
+/// use pidpiper_sim::wind::{Wind, WindConfig};
+///
+/// let mut wind = Wind::new(WindConfig::steady_kmh(20.0, 0.0, 42));
+/// let v = wind.sample(0.01);
+/// assert!(v.norm() > 1.0); // ~5.6 m/s mean
+/// ```
+#[derive(Debug, Clone)]
+pub struct Wind {
+    config: WindConfig,
+    gust: Vec3,
+    rng: StdRng,
+}
+
+impl Wind {
+    /// Creates a wind generator from a configuration.
+    pub fn new(config: WindConfig) -> Self {
+        Wind {
+            config,
+            gust: Vec3::ZERO,
+            rng: StdRng::seed_from_u64(config.seed),
+        }
+    }
+
+    /// The configuration this generator was built with.
+    pub fn config(&self) -> &WindConfig {
+        &self.config
+    }
+
+    /// Advances the gust process by `dt` and returns the total wind vector
+    /// (world frame, m/s).
+    pub fn sample(&mut self, dt: f64) -> Vec3 {
+        let c = &self.config;
+        let mean = Vec3::new(
+            c.mean_speed * c.direction.cos(),
+            c.mean_speed * c.direction.sin(),
+            0.0,
+        );
+        if c.gust_intensity <= 0.0 {
+            return mean;
+        }
+        // Ornstein-Uhlenbeck: g' = g - g/tau*dt + sigma*sqrt(2*dt/tau)*N(0,1).
+        let decay = (dt / c.gust_tau).min(1.0);
+        let diffusion = c.gust_intensity * (2.0 * dt / c.gust_tau).sqrt();
+        let noise = Vec3::new(
+            self.gaussian() * diffusion,
+            self.gaussian() * diffusion,
+            self.gaussian() * diffusion * 0.3, // weaker vertical gusts
+        );
+        self.gust = self.gust * (1.0 - decay) + noise;
+        mean + self.gust
+    }
+
+    /// Standard normal sample via Box-Muller.
+    fn gaussian(&mut self) -> f64 {
+        let u1: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = self.rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calm_wind_is_zero() {
+        let mut w = Wind::new(WindConfig::calm());
+        for _ in 0..100 {
+            assert_eq!(w.sample(0.01), Vec3::ZERO);
+        }
+    }
+
+    #[test]
+    fn mean_speed_is_respected() {
+        let mut w = Wind::new(WindConfig::steady_kmh(36.0, 0.0, 7)); // 10 m/s
+        let n = 20_000;
+        let mut acc = Vec3::ZERO;
+        for _ in 0..n {
+            acc += w.sample(0.0025);
+        }
+        let avg = acc / n as f64;
+        assert!((avg.x - 10.0).abs() < 1.0, "mean wind x = {}", avg.x);
+        assert!(avg.y.abs() < 1.0);
+    }
+
+    #[test]
+    fn gusts_fluctuate_but_are_bounded() {
+        let mut w = Wind::new(WindConfig::steady_kmh(20.0, 0.0, 3));
+        let mut min_x = f64::INFINITY;
+        let mut max_x = f64::NEG_INFINITY;
+        for _ in 0..20_000 {
+            let v = w.sample(0.0025);
+            min_x = min_x.min(v.x);
+            max_x = max_x.max(v.x);
+        }
+        assert!(max_x - min_x > 0.1, "gusts should vary");
+        // 5-sigma style sanity bound.
+        let mean = 20.0 / 3.6;
+        assert!(max_x < mean + 8.0 && min_x > mean - 8.0);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = Wind::new(WindConfig::steady_kmh(25.0, 1.0, 99));
+        let mut b = Wind::new(WindConfig::steady_kmh(25.0, 1.0, 99));
+        for _ in 0..100 {
+            assert_eq!(a.sample(0.01), b.sample(0.01));
+        }
+    }
+
+    #[test]
+    fn direction_rotates_mean() {
+        let mut w = Wind::new(WindConfig {
+            mean_speed: 5.0,
+            direction: std::f64::consts::FRAC_PI_2,
+            gust_intensity: 0.0,
+            gust_tau: 1.0,
+            seed: 0,
+        });
+        let v = w.sample(0.01);
+        assert!(v.x.abs() < 1e-9);
+        assert!((v.y - 5.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,89 @@
+//! # pid-piper
+//!
+//! A from-scratch Rust reproduction of *“PID-Piper: Recovering Robotic
+//! Vehicles from Physical Attacks”* (Dash, Li, Chen, Karimibiuki,
+//! Pattabiraman — DSN 2021): automated recovery of robotic vehicles (RVs)
+//! from GPS-spoofing and IMU-tampering attacks, using a machine-learned
+//! feed-forward controller (FFC) that runs in tandem with the vehicle's
+//! PID controller.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! - [`math`] — linear algebra, VIF, DTW, CUSUM primitives;
+//! - [`sim`] — 6-DOF quadcopter and rover simulators with wind and the six
+//!   subject-RV profiles;
+//! - [`sensors`] — GPS/IMU/baro/mag models and an EKF-style estimator;
+//! - [`control`] — the ArduPilot-style cascaded PID control stack;
+//! - [`attacks`] — overt and stealthy physical-attack injection;
+//! - [`ml`] — a from-scratch LSTM with BPTT training (the paper's
+//!   2×LSTM → sigmoid → 2×PReLU architecture);
+//! - [`missions`] — mission plans, the closed-loop runner and metrics;
+//! - [`core`] — PID-Piper itself: sensor sanitizer, FFC/FBC models,
+//!   lag-tolerant CUSUM monitor, recovery module and training pipeline;
+//! - [`baselines`] — the SRR, CI and Savior comparison techniques.
+//!
+//! # Quickstart
+//!
+//! Train PID-Piper on attack-free missions, then fly a GPS-spoofed mission
+//! under its protection:
+//!
+//! ```no_run
+//! use pid_piper::prelude::*;
+//!
+//! // 1. Collect attack-free training missions.
+//! let plans = MissionPlan::table1_missions(RvId::ArduCopter, 7, 0.5);
+//! let traces: Vec<_> = plans
+//!     .iter()
+//!     .enumerate()
+//!     .map(|(i, p)| {
+//!         MissionRunner::new(RunnerConfig::for_rv(RvId::ArduCopter).with_seed(i as u64))
+//!             .run_clean(p)
+//!             .trace
+//!     })
+//!     .collect();
+//!
+//! // 2. Train the FFC and calibrate thresholds.
+//! let trained = Trainer::new(TrainerConfig::default()).train(&traces, false);
+//! let mut defense = trained.pidpiper;
+//!
+//! // 3. Fly a mission under a 25 m GPS spoofing attack.
+//! let attack = AttackPreset::GpsOvert.instantiate(8.0, (0.0, 0.0));
+//! let result = MissionRunner::new(RunnerConfig::for_rv(RvId::ArduCopter))
+//!     .run(
+//!         &MissionPlan::straight_line(50.0, 5.0),
+//!         &mut defense,
+//!         vec![MissionAttack::Scheduled(attack)],
+//!     );
+//! assert!(result.outcome.is_success());
+//! ```
+//!
+//! See `examples/` for runnable end-to-end scenarios and
+//! `crates/bench` for the harness that regenerates every table and figure
+//! of the paper's evaluation.
+
+pub use pidpiper_attacks as attacks;
+pub use pidpiper_baselines as baselines;
+pub use pidpiper_control as control;
+pub use pidpiper_core as core;
+pub use pidpiper_math as math;
+pub use pidpiper_missions as missions;
+pub use pidpiper_ml as ml;
+pub use pidpiper_sensors as sensors;
+pub use pidpiper_sim as sim;
+
+/// The most commonly used types, for glob import in examples and tests.
+pub mod prelude {
+    pub use pidpiper_attacks::{Attack, AttackKind, AttackPreset, Schedule, StealthyAttack};
+    pub use pidpiper_baselines::{CiDefense, SaviorDefense, SrrDefense};
+    pub use pidpiper_control::{ActuatorSignal, TargetState};
+    pub use pidpiper_core::{
+        FfcModel, PidPiper, PidPiperConfig, SensorSanitizer, Trainer, TrainerConfig,
+    };
+    pub use pidpiper_math::Vec3;
+    pub use pidpiper_missions::{
+        Defense, MissionAttack, MissionOutcome, MissionPlan, MissionResult, MissionRunner,
+        NoDefense, RunnerConfig,
+    };
+    pub use pidpiper_sensors::{EstimatedState, Estimator, SensorReadings};
+    pub use pidpiper_sim::{Quadcopter, Rover, RvId, VehicleProfile, Wind, WindConfig};
+}
