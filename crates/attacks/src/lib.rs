@@ -11,9 +11,9 @@
 //!
 //! - **Overt attacks** ([`overt`]): large biases injected on a schedule to
 //!   cause immediate disruption. The paper's three instances: gyroscope
-//!   bias producing > 20° attitude error (Attack-1), GPS bias producing
-//!   > 20 m position error (Attack-2), and a gyroscope attack during the
-//!   vulnerable landing phase (Attack-3).
+//!   bias producing over 20° of attitude error (Attack-1), GPS bias
+//!   producing over 20 m of position error (Attack-2), and a gyroscope
+//!   attack during the vulnerable landing phase (Attack-3).
 //! - **Stealthy attacks** ([`stealthy`]): an attacker who knows the
 //!   detection threshold injects the largest bias that keeps the monitor's
 //!   statistic just below it; over a long mission this still causes large

@@ -1,6 +1,7 @@
 //! Stealthy attacks: threshold-aware controlled bias injection.
 //!
-//! Per the paper (Section II-B and [18]), a stealthy attacker who knows the
+//! Per the paper (Section II-B and its reference \[18\]), a stealthy
+//! attacker who knows the
 //! detection threshold `tau` injects false data such that the monitor's
 //! statistic never exceeds it. We implement this as a closed-loop injector:
 //! each step the attacker observes the defender's current statistic (the

@@ -49,7 +49,7 @@ pub fn run(scale: Scale) -> String {
     let full = harness::trained_pidpiper(rv, scale, &traces);
 
     let base_gate = full.ffc().pipeline().gate;
-    let mut variants: Vec<(&str, PidPiper)> = vec![
+    let variants: Vec<(&str, PidPiper)> = vec![
         ("full", variant(&full, None, None)),
         (
             "no-gate",
@@ -101,7 +101,7 @@ pub fn run(scale: Scale) -> String {
             &widths
         )
     );
-    for (name, defense) in variants.iter_mut() {
+    for (name, defense) in &variants {
         let row = run_overt_missions(rv, defense, &plans, 13000);
         let _ = writeln!(
             out,

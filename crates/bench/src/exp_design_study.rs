@@ -8,7 +8,9 @@ use pidpiper_core::features::{FeatureSet, SensorPrimitives};
 use pidpiper_core::sanitizer::SensorSanitizer;
 use pidpiper_core::{FbcModel, FfcModel, Trainer, TrainerConfig};
 use pidpiper_math::{rad_to_deg, Vec3};
-use pidpiper_missions::{MissionAttack, MissionPlan, MissionRunner, NoDefense, RunnerConfig, Trace};
+use pidpiper_missions::{
+    MissionAttack, MissionPlan, MissionSpec, NoDefense, RunnerConfig, Trace,
+};
 use pidpiper_sim::RvId;
 use std::fmt::Write as _;
 
@@ -76,21 +78,31 @@ pub fn run(scale: Scale) -> String {
     let training = harness::collect_traces(rv, scale);
     let trainer = Trainer::new(TrainerConfig::default());
 
-    // Four models: FFC/FBC x full/pruned.
+    // Four models: FFC/FBC x full/pruned. The trainings are independent,
+    // so they run as a two-level fork/join (each side trains its two
+    // variants concurrently).
     let mut cfg_full = TrainerConfig::default();
     cfg_full.feature_set = FeatureSet::FfcFull;
     let trainer_full = Trainer::new(cfg_full);
-    let (ffc_full, _) = trainer_full.train_ffc(&training[..24]);
-    let (ffc_pruned, _) = trainer.train_ffc(&training[..24]);
     let gains = harness::gains_for(rv);
-    let (fbc_full, _) = trainer.train_fbc(&training[..24], FeatureSet::FbcFull, gains);
-    let (fbc_pruned, _) = trainer.train_fbc(&training[..24], FeatureSet::FbcPruned, gains);
+    let ((ffc_full, ffc_pruned), (fbc_full, fbc_pruned)) = rayon::join(
+        || {
+            rayon::join(
+                || trainer_full.train_ffc(&training[..24]).0,
+                || trainer.train_ffc(&training[..24]).0,
+            )
+        },
+        || {
+            rayon::join(
+                || trainer.train_fbc(&training[..24], FeatureSet::FbcFull, gains).0,
+                || trainer.train_fbc(&training[..24], FeatureSet::FbcPruned, gains).0,
+            )
+        },
+    );
 
-    // Evaluation missions: clean and attacked A->B->C runs.
+    // Evaluation missions: clean and attacked A->B->C runs, flown as one
+    // undefended batch (both with the serial seed 3100).
     let plan = abc_mission(scale);
-    let clean = MissionRunner::new(RunnerConfig::for_rv(rv).with_seed(3100))
-        .run_clean(&plan)
-        .trace;
     let attack = Attack::new(
         AttackKind::GpsBias(Vec3::new(0.0, 6.0, 0.0)),
         Schedule::Intermittent {
@@ -99,13 +111,16 @@ pub fn run(scale: Scale) -> String {
             off: 5.0,
         },
     );
-    let attacked = MissionRunner::new(RunnerConfig::for_rv(rv).with_seed(3100))
-        .run(
-            &plan,
-            &mut NoDefense::new(),
-            vec![MissionAttack::Scheduled(attack)],
-        )
-        .trace;
+    let specs = [
+        MissionSpec::clean(RunnerConfig::for_rv(rv).with_seed(3100), plan.clone()),
+        MissionSpec::clean(RunnerConfig::for_rv(rv).with_seed(3100), plan.clone())
+            .with_attacks(vec![MissionAttack::Scheduled(attack)]),
+    ];
+    let mut batch = harness::par_with_defense(&specs, &NoDefense::new())
+        .into_iter()
+        .map(|r| r.trace);
+    let clean = batch.next().expect("clean A->B->C trace");
+    let attacked = batch.next().expect("attacked A->B->C trace");
 
     let gate = trainer.config().pipeline.gate;
     let mut out = String::new();

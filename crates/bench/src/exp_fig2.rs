@@ -6,7 +6,7 @@ use crate::harness::{self, Scale};
 use pidpiper_attacks::{Attack, AttackKind, Schedule};
 use pidpiper_core::features::SensorPrimitives;
 use pidpiper_math::{rad_to_deg, vif_all, Matrix, Vec3};
-use pidpiper_missions::{MissionAttack, MissionPlan, MissionRunner, NoDefense, RunnerConfig};
+use pidpiper_missions::{MissionAttack, MissionPlan, MissionSpec, NoDefense, RunnerConfig};
 use pidpiper_sim::RvId;
 use std::fmt::Write as _;
 
@@ -15,8 +15,6 @@ use std::fmt::Write as _;
 /// spoofing bursts, dumping the paper's four traces and the VIF table.
 pub fn run(_scale: Scale) -> String {
     let rv = RvId::PixhawkDrone;
-    let runner = MissionRunner::new(RunnerConfig::for_rv(rv).with_seed(77));
-    let plan = MissionPlan::straight_line(60.0, 5.0);
     // Intermittent bursts as in Section III (3-5 s on, gaps between).
     let attack = Attack::new(
         AttackKind::GpsBias(Vec3::new(0.0, 6.0, 0.0)),
@@ -26,11 +24,22 @@ pub fn run(_scale: Scale) -> String {
             off: 5.0,
         },
     );
-    let result = runner.run(
-        &plan,
-        &mut NoDefense::new(),
-        vec![MissionAttack::Scheduled(attack)],
-    );
+    // Two undefended missions (the attacked Fig. 2 run and the clean VIF
+    // excitation run), flown as one batch; seeds 77/78 as before.
+    let specs = [
+        MissionSpec::clean(
+            RunnerConfig::for_rv(rv).with_seed(77),
+            MissionPlan::straight_line(60.0, 5.0),
+        )
+        .with_attacks(vec![MissionAttack::Scheduled(attack)]),
+        MissionSpec::clean(
+            RunnerConfig::for_rv(rv).with_seed(78),
+            MissionPlan::polygon(4, 20.0, 5.0),
+        ),
+    ];
+    let mut batch = harness::par_with_defense(&specs, &NoDefense::new()).into_iter();
+    let result = batch.next().expect("attacked Fig. 2 run");
+    let clean = batch.next().expect("clean VIF run");
 
     // Trace CSV: t, attack, position error, roll (deg), effective P,
     // rotation rate — Fig 2a-2d.
@@ -113,8 +122,6 @@ pub fn run(_scale: Scale) -> String {
         "pos_err_x", "pos_err_y", "pos_err_z", "vel_x", "vel_y", "vel_z", "acc_x", "acc_y",
         "acc_z", "roll", "pitch", "yaw", "rate_p", "rate_q", "rate_r", "pos_var", "rot_rate",
     ];
-    let clean = MissionRunner::new(RunnerConfig::for_rv(rv).with_seed(78))
-        .run_clean(&MissionPlan::polygon(4, 20.0, 5.0));
     let rows: Vec<Vec<f64>> = clean
         .trace
         .records()

@@ -5,7 +5,7 @@
 use crate::harness::{self, Scale};
 use pidpiper_core::{Trainer, TrainerConfig};
 use pidpiper_math::rad_to_deg;
-use pidpiper_missions::{MissionPlan, MissionRunner, RunnerConfig, Trace};
+use pidpiper_missions::{MissionPlan, MissionSpec, NoDefense, RunnerConfig, Trace};
 use pidpiper_sim::{RvId, VehicleKind, WindConfig};
 use std::fmt::Write as _;
 
@@ -117,16 +117,20 @@ pub fn run(scale: Scale) -> String {
     for rv in RvId::REAL {
         let traces = harness::collect_traces(rv, scale);
         let pidpiper = harness::trained_pidpiper(rv, scale, &traces);
-        // Fresh evaluation missions (5 per RV, as in the paper).
+        // Fresh evaluation missions (5 per RV, as in the paper), flown as
+        // one parallel batch with the serial seeds 11000 + i.
         let alt = if rv.kind() == VehicleKind::Rover { 0.0 } else { 5.0 };
-        let eval: Vec<Trace> = (0..5)
+        let eval_specs: Vec<MissionSpec> = (0..5)
             .map(|i| {
-                let runner =
-                    MissionRunner::new(RunnerConfig::for_rv(rv).with_seed(11000 + i as u64));
-                runner
-                    .run_clean(&MissionPlan::straight_line(30.0 + 5.0 * i as f64, alt))
-                    .trace
+                MissionSpec::clean(
+                    RunnerConfig::for_rv(rv).with_seed(11000 + i as u64),
+                    MissionPlan::straight_line(30.0 + 5.0 * i as f64, alt),
+                )
             })
+            .collect();
+        let eval: Vec<Trace> = harness::par_with_defense(&eval_specs, &NoDefense::new())
+            .into_iter()
+            .map(|r| r.trace)
             .collect();
 
         let pp_mae: f64 =
@@ -170,18 +174,24 @@ pub fn run(scale: Scale) -> String {
             )
         );
 
-        // Section VI-B: wind robustness for the Pixhawk profile.
+        // Section VI-B: wind robustness for the Pixhawk profile — the
+        // three wind levels fly concurrently (same seed, as before).
         if rv == RvId::PixhawkDrone {
-            for wind_kmh in [15.0, 25.0, 35.0] {
-                let runner = MissionRunner::new(
-                    RunnerConfig::for_rv(rv)
-                        .with_seed(11500)
-                        .with_wind(WindConfig::steady_kmh(wind_kmh, 0.8, 3)),
-                );
-                let trace = runner
-                    .run_clean(&MissionPlan::straight_line(40.0, 5.0))
-                    .trace;
-                let mae = pidpiper_mae(&trainer, pidpiper.ffc(), &trace);
+            let winds = [15.0, 25.0, 35.0];
+            let wind_specs: Vec<MissionSpec> = winds
+                .iter()
+                .map(|&wind_kmh| {
+                    MissionSpec::clean(
+                        RunnerConfig::for_rv(rv)
+                            .with_seed(11500)
+                            .with_wind(WindConfig::steady_kmh(wind_kmh, 0.8, 3)),
+                        MissionPlan::straight_line(40.0, 5.0),
+                    )
+                })
+                .collect();
+            let results = harness::par_with_defense(&wind_specs, &NoDefense::new());
+            for (wind_kmh, result) in winds.iter().zip(results) {
+                let mae = pidpiper_mae(&trainer, pidpiper.ffc(), &result.trace);
                 let _ = writeln!(
                     wind_rows,
                     "  wind {wind_kmh:.0} km/h: PID-Piper MAE {mae:.2} deg"

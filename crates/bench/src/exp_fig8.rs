@@ -5,9 +5,39 @@
 use crate::harness::{self, Scale};
 use pidpiper_attacks::AttackPreset;
 use pidpiper_math::rad_to_deg;
-use pidpiper_missions::{MissionAttack, MissionPlan, MissionRunner, NoDefense, RunnerConfig};
+use pidpiper_core::PidPiper;
+use pidpiper_missions::{
+    Defense, MissionAttack, MissionPlan, MissionResult, MissionRunner, MissionSpec, NoDefense,
+    RunnerConfig,
+};
 use pidpiper_sim::RvId;
 use std::fmt::Write as _;
+
+/// Flies the same attacked mission twice — once under `pidpiper`, once
+/// undefended — as one parallel batch, returning (protected, unprotected).
+/// Both arms share a seed so their noise streams are identical.
+fn protected_vs_unprotected(
+    rv: RvId,
+    pidpiper: &PidPiper,
+    plan: &MissionPlan,
+    attack: MissionAttack,
+    seed: u64,
+) -> (MissionResult, MissionResult) {
+    let spec = MissionSpec::clean(RunnerConfig::for_rv(rv).with_seed(seed), plan.clone())
+        .with_attacks(vec![attack]);
+    let specs = [spec.clone(), spec];
+    let mut results = MissionRunner::par_run_missions(&specs, |i| -> Box<dyn Defense + Send> {
+        if i == 0 {
+            Box::new(pidpiper.clone())
+        } else {
+            Box::new(NoDefense::new())
+        }
+    })
+    .into_iter();
+    let protected = results.next().expect("protected arm");
+    let unprotected = results.next().expect("unprotected arm");
+    (protected, unprotected)
+}
 
 /// Runs the Figure 8 experiment.
 pub fn run(scale: Scale) -> String {
@@ -16,14 +46,15 @@ pub fn run(scale: Scale) -> String {
     // --- (a) Sky-viper gyro attack: roll traces under recovery.
     let rv = RvId::SkyViper;
     let traces = harness::collect_traces(rv, scale);
-    let mut pidpiper = harness::trained_pidpiper(rv, scale, &traces);
+    let pidpiper = harness::trained_pidpiper(rv, scale, &traces);
     let plan = MissionPlan::straight_line(40.0, 5.0);
     let attack = AttackPreset::GyroOvert.instantiate(8.0, (0.0, 0.0));
-    let runner = MissionRunner::new(RunnerConfig::for_rv(rv).with_seed(1201));
-    let protected = runner.run(
+    let (protected, unprotected) = protected_vs_unprotected(
+        rv,
+        &pidpiper,
         &plan,
-        &mut pidpiper,
-        vec![MissionAttack::Scheduled(attack.clone())],
+        MissionAttack::Scheduled(attack),
+        1201,
     );
 
     let mut csv = String::from("t,attack,recovery,pid_roll_deg,flown_roll_deg,truth_roll_deg\n");
@@ -42,14 +73,7 @@ pub fn run(scale: Scale) -> String {
     let csv_a = harness::experiments_dir().join("fig8a_skyviper_gyro.csv");
     let _ = std::fs::write(&csv_a, &csv);
 
-    let runner = MissionRunner::new(RunnerConfig::for_rv(rv).with_seed(1201));
-    let unprotected = runner.run(
-        &plan,
-        &mut NoDefense::new(),
-        vec![MissionAttack::Scheduled(attack)],
-    );
-
-    let span = |res: &pidpiper_missions::MissionResult, flown: bool| {
+    let span = |res: &MissionResult, flown: bool| {
         let mut lo = f64::INFINITY;
         let mut hi = f64::NEG_INFINITY;
         for r in res.trace.records().iter().filter(|r| r.attack_active) {
@@ -79,20 +103,15 @@ pub fn run(scale: Scale) -> String {
     // --- (b) Pixhawk GPS attack: deviation with and without PID-Piper.
     let rv = RvId::PixhawkDrone;
     let traces = harness::collect_traces(rv, scale);
-    let mut pidpiper = harness::trained_pidpiper(rv, scale, &traces);
+    let pidpiper = harness::trained_pidpiper(rv, scale, &traces);
     let plan = MissionPlan::straight_line(50.0, 5.0);
     let attack = AttackPreset::GpsOvert.instantiate(8.0, (0.0, 0.0));
-    let runner = MissionRunner::new(RunnerConfig::for_rv(rv).with_seed(1301));
-    let protected = runner.run(
+    let (protected, unprotected) = protected_vs_unprotected(
+        rv,
+        &pidpiper,
         &plan,
-        &mut pidpiper,
-        vec![MissionAttack::Scheduled(attack.clone())],
-    );
-    let runner = MissionRunner::new(RunnerConfig::for_rv(rv).with_seed(1301));
-    let unprotected = runner.run(
-        &plan,
-        &mut NoDefense::new(),
-        vec![MissionAttack::Scheduled(attack)],
+        MissionAttack::Scheduled(attack),
+        1301,
     );
 
     let mut csv = String::from("t,protected_cross_track_m,protected_x,unprot_cross_track_m,unprot_x\n");

@@ -5,21 +5,36 @@
 use crate::harness::{self, Scale};
 use pidpiper_attacks::StealthyAttack;
 use pidpiper_math::Vec3;
-use pidpiper_missions::{Defense, MissionAttack, MissionPlan, MissionRunner, RunnerConfig};
+use pidpiper_missions::{Defense, MissionAttack, MissionPlan, MissionSpec, RunnerConfig};
 use pidpiper_sim::RvId;
 use std::fmt::Write as _;
 
-/// Runs one stealthy straight-line mission and returns the maximum
-/// cross-track deviation (m) — the quantity Fig. 9 plots.
-fn stealthy_run(rv: RvId, defense: &mut dyn Defense, distance: f64, seed: u64) -> f64 {
-    let plan = MissionPlan::straight_line(distance, 5.0);
-    let mut config = RunnerConfig::for_rv(rv).with_seed(seed);
-    // Long missions need a proportionally longer time cap.
-    config.max_duration = (distance / 2.0).max(120.0) + 120.0;
-    let runner = MissionRunner::new(config);
-    let attack = StealthyAttack::gps_lateral(Vec3::unit_y(), 0.9);
-    let result = runner.run(&plan, defense, vec![MissionAttack::Stealthy(attack)]);
-    result.max_path_deviation.max(result.final_deviation)
+/// Builds the stealthy straight-line sweep: one spec per mission distance,
+/// all with the same seed (the paper varies distance, not noise draw).
+fn sweep_specs(rv: RvId, distances: &[f64], seed: u64) -> Vec<MissionSpec> {
+    distances
+        .iter()
+        .map(|&distance| {
+            let mut config = RunnerConfig::for_rv(rv).with_seed(seed);
+            // Long missions need a proportionally longer time cap.
+            config.max_duration = (distance / 2.0).max(120.0) + 120.0;
+            let attack = StealthyAttack::gps_lateral(Vec3::unit_y(), 0.9);
+            MissionSpec::clean(config, MissionPlan::straight_line(distance, 5.0))
+                .with_attacks(vec![MissionAttack::Stealthy(attack)])
+        })
+        .collect()
+}
+
+/// Runs the sweep under one defense, returning per-distance maximum
+/// cross-track deviations (m) — the quantity Fig. 9 plots.
+fn stealthy_sweep<D>(rv: RvId, distances: &[f64], seed: u64, defense: &D) -> Vec<f64>
+where
+    D: Defense + Clone + Send + Sync + 'static,
+{
+    harness::par_with_defense(&sweep_specs(rv, distances, seed), defense)
+        .into_iter()
+        .map(|r| r.max_path_deviation.max(r.final_deviation))
+        .collect()
 }
 
 /// Runs the Figure 9 experiment.
@@ -34,9 +49,13 @@ pub fn run(scale: Scale) -> String {
     // (a) ArduCopter: PID-Piper vs SRR vs CI.
     let rv = RvId::ArduCopter;
     let traces = harness::collect_traces(rv, scale);
-    let mut pidpiper = harness::trained_pidpiper(rv, scale, &traces);
-    let mut ci = harness::fit_ci(rv, &traces);
-    let mut srr = harness::fit_srr(rv, &traces);
+    let pidpiper = harness::trained_pidpiper(rv, scale, &traces);
+    let ci = harness::fit_ci(rv, &traces);
+    let srr = harness::fit_srr(rv, &traces);
+
+    let ci_devs = stealthy_sweep(rv, &distances, 2100, &ci);
+    let srr_devs = stealthy_sweep(rv, &distances, 2100, &srr);
+    let pp_devs = stealthy_sweep(rv, &distances, 2100, &pidpiper);
 
     let _ = writeln!(out, "\n(a) ArduCopter");
     let widths = [10, 12, 12, 12];
@@ -48,23 +67,16 @@ pub fn run(scale: Scale) -> String {
             &widths
         )
     );
-    let mut fig9a = vec![Vec::new(), Vec::new(), Vec::new()];
-    for &d in &distances {
-        let ci_dev = stealthy_run(rv, &mut ci, d, 2100);
-        let srr_dev = stealthy_run(rv, &mut srr, d, 2100);
-        let pp_dev = stealthy_run(rv, &mut pidpiper, d, 2100);
-        fig9a[0].push(ci_dev);
-        fig9a[1].push(srr_dev);
-        fig9a[2].push(pp_dev);
+    for (i, &d) in distances.iter().enumerate() {
         let _ = writeln!(
             out,
             "{}",
             harness::row(
                 &[
                     format!("{d:.0}"),
-                    format!("{ci_dev:.1}"),
-                    format!("{srr_dev:.1}"),
-                    format!("{pp_dev:.1}"),
+                    format!("{:.1}", ci_devs[i]),
+                    format!("{:.1}", srr_devs[i]),
+                    format!("{:.1}", pp_devs[i]),
                 ],
                 &widths
             )
@@ -74,8 +86,11 @@ pub fn run(scale: Scale) -> String {
     // (b) PX4: PID-Piper vs Savior.
     let rv = RvId::Px4Solo;
     let traces = harness::collect_traces(rv, scale);
-    let mut pidpiper = harness::trained_pidpiper(rv, scale, &traces);
-    let mut savior = harness::fit_savior(rv, &traces);
+    let pidpiper = harness::trained_pidpiper(rv, scale, &traces);
+    let savior = harness::fit_savior(rv, &traces);
+
+    let sv_devs = stealthy_sweep(rv, &distances, 2200, &savior);
+    let pp_devs = stealthy_sweep(rv, &distances, 2200, &pidpiper);
 
     let _ = writeln!(out, "\n(b) PX4 Solo");
     let widths = [10, 12, 12];
@@ -84,14 +99,16 @@ pub fn run(scale: Scale) -> String {
         "{}",
         harness::row(&["dist m".into(), "Savior".into(), "PID-Piper".into()], &widths)
     );
-    for &d in &distances {
-        let sv_dev = stealthy_run(rv, &mut savior, d, 2200);
-        let pp_dev = stealthy_run(rv, &mut pidpiper, d, 2200);
+    for (i, &d) in distances.iter().enumerate() {
         let _ = writeln!(
             out,
             "{}",
             harness::row(
-                &[format!("{d:.0}"), format!("{sv_dev:.1}"), format!("{pp_dev:.1}")],
+                &[
+                    format!("{d:.0}"),
+                    format!("{:.1}", sv_devs[i]),
+                    format!("{:.1}", pp_devs[i]),
+                ],
                 &widths
             )
         );

@@ -2,7 +2,7 @@
 //! attacks, across CI, Savior, SRR and PID-Piper.
 
 use crate::harness::{self, Scale};
-use pidpiper_missions::{Defense, MissionPlan, MissionRunner, RunnerConfig};
+use pidpiper_missions::{Defense, MissionPlan};
 use pidpiper_sim::RvId;
 use std::fmt::Write as _;
 
@@ -32,20 +32,25 @@ impl FprRow {
     }
 }
 
-/// Runs attack-free missions under one technique.
-pub fn run_clean_missions(
+/// Runs attack-free missions under one technique. Mission `i` flies
+/// `plans[i]` with seed `seed_base + i` under a fresh clone of `defense`,
+/// fanned out over the `PIDPIPER_JOBS` pool (the runner resets defense
+/// state before every mission, so a clone of the fitted template is
+/// equivalent to the old serial reuse of one instance).
+pub fn run_clean_missions<D>(
     rv: RvId,
-    defense: &mut dyn Defense,
+    defense: &D,
     plans: &[MissionPlan],
     seed_base: u64,
-) -> FprRow {
+) -> FprRow
+where
+    D: Defense + Clone + Send + Sync + 'static,
+{
     let mut row = FprRow {
         name: defense.name().to_string(),
         ..Default::default()
     };
-    for (i, plan) in plans.iter().enumerate() {
-        let runner = MissionRunner::new(RunnerConfig::for_rv(rv).with_seed(seed_base + i as u64));
-        let result = runner.run(plan, defense, Vec::new());
+    for result in harness::run_cell(rv, defense, plans, seed_base, |_| Vec::new()) {
         row.total += 1;
         if result.recovery_activations > 0 {
             row.recovery_activated += 1;
@@ -64,10 +69,10 @@ pub fn run_clean_missions(
 pub fn run(scale: Scale) -> String {
     let rv = RvId::ArduCopter;
     let traces = harness::collect_traces(rv, scale);
-    let mut pidpiper = harness::trained_pidpiper(rv, scale, &traces);
-    let mut ci = harness::fit_ci(rv, &traces);
-    let mut srr = harness::fit_srr(rv, &traces);
-    let mut savior = harness::fit_savior(rv, &traces);
+    let pidpiper = harness::trained_pidpiper(rv, scale, &traces);
+    let ci = harness::fit_ci(rv, &traces);
+    let srr = harness::fit_srr(rv, &traces);
+    let savior = harness::fit_savior(rv, &traces);
 
     // Evaluation missions: unseen seeds/geometry (not the training set).
     let n = scale.missions();
@@ -76,11 +81,12 @@ pub fn run(scale: Scale) -> String {
         .take(n)
         .collect();
 
-    let mut rows = Vec::new();
-    let defenses: Vec<&mut dyn Defense> = vec![&mut ci, &mut savior, &mut srr, &mut pidpiper];
-    for d in defenses {
-        rows.push(run_clean_missions(rv, d, &plans, 4000));
-    }
+    let rows = vec![
+        run_clean_missions(rv, &ci, &plans, 4000),
+        run_clean_missions(rv, &savior, &plans, 4000),
+        run_clean_missions(rv, &srr, &plans, 4000),
+        run_clean_missions(rv, &pidpiper, &plans, 4000),
+    ];
 
     let mut out = String::new();
     let _ = writeln!(

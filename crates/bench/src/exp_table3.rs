@@ -4,9 +4,7 @@
 use crate::harness::{self, Scale};
 use pidpiper_attacks::AttackPreset;
 use pidpiper_missions::metrics::deviation_cdf;
-use pidpiper_missions::{
-    Defense, MissionAttack, MissionOutcome, MissionPlan, MissionRunner, RunnerConfig,
-};
+use pidpiper_missions::{Defense, MissionAttack, MissionOutcome, MissionPlan};
 use pidpiper_sim::RvId;
 use std::fmt::Write as _;
 
@@ -43,28 +41,36 @@ impl OvertRow {
     }
 }
 
-/// Runs the overt-attack mission set under one technique: the mission list
-/// is cycled through the three attack presets.
-pub fn run_overt_missions(
+/// The attack applied to mission `i` of the overt set: the mission list is
+/// cycled through the attack presets.
+fn overt_attack(i: usize) -> MissionAttack {
+    let preset = AttackPreset::ALL[i % AttackPreset::ALL.len()];
+    match preset {
+        AttackPreset::GyroAtLanding => {
+            MissionAttack::AtLanding(preset.instantiate(0.0, (0.0, f64::MAX)).kind)
+        }
+        _ => MissionAttack::Scheduled(preset.instantiate(8.0, (0.0, 0.0))),
+    }
+}
+
+/// Runs the overt-attack mission set under one technique (mission `i` gets
+/// attack preset `i % 3`, seed `seed_base + i`, a fresh clone of `defense`),
+/// fanned out over the `PIDPIPER_JOBS` pool.
+pub fn run_overt_missions<D>(
     rv: RvId,
-    defense: &mut dyn Defense,
+    defense: &D,
     plans: &[MissionPlan],
     seed_base: u64,
-) -> OvertRow {
+) -> OvertRow
+where
+    D: Defense + Clone + Send + Sync + 'static,
+{
     let mut row = OvertRow {
         name: defense.name().to_string(),
         ..Default::default()
     };
-    for (i, plan) in plans.iter().enumerate() {
-        let preset = AttackPreset::ALL[i % AttackPreset::ALL.len()];
-        let attack = match preset {
-            AttackPreset::GyroAtLanding => {
-                MissionAttack::AtLanding(preset.instantiate(0.0, (0.0, f64::MAX)).kind)
-            }
-            _ => MissionAttack::Scheduled(preset.instantiate(8.0, (0.0, 0.0))),
-        };
-        let runner = MissionRunner::new(RunnerConfig::for_rv(rv).with_seed(seed_base + i as u64));
-        let result = runner.run(plan, defense, vec![attack]);
+    let results = harness::run_cell(rv, defense, plans, seed_base, |i| vec![overt_attack(i)]);
+    for result in results {
         row.total += 1;
         match result.outcome {
             MissionOutcome::Success => {
@@ -89,10 +95,10 @@ pub fn run_overt_missions(
 pub fn run(scale: Scale) -> String {
     let rv = RvId::ArduCopter;
     let traces = harness::collect_traces(rv, scale);
-    let mut pidpiper = harness::trained_pidpiper(rv, scale, &traces);
-    let mut ci = harness::fit_ci(rv, &traces);
-    let mut srr = harness::fit_srr(rv, &traces);
-    let mut savior = harness::fit_savior(rv, &traces);
+    let pidpiper = harness::trained_pidpiper(rv, scale, &traces);
+    let ci = harness::fit_ci(rv, &traces);
+    let srr = harness::fit_srr(rv, &traces);
+    let savior = harness::fit_savior(rv, &traces);
 
     let n = scale.missions();
     // Straight-line and multi-waypoint missions, as in the paper's recovery
@@ -107,11 +113,12 @@ pub fn run(scale: Scale) -> String {
         })
         .collect();
 
-    let mut rows = Vec::new();
-    let defenses: Vec<&mut dyn Defense> = vec![&mut ci, &mut savior, &mut srr, &mut pidpiper];
-    for d in defenses {
-        rows.push(run_overt_missions(rv, d, &plans, 7000));
-    }
+    let rows = vec![
+        run_overt_missions(rv, &ci, &plans, 7000),
+        run_overt_missions(rv, &savior, &plans, 7000),
+        run_overt_missions(rv, &srr, &plans, 7000),
+        run_overt_missions(rv, &pidpiper, &plans, 7000),
+    ];
 
     let mut out = String::new();
     let _ = writeln!(out, "Table III: mission outcomes under overt attacks ({n} missions each)");

@@ -6,35 +6,40 @@ use crate::exp_table3::run_overt_missions;
 use crate::harness::{self, Scale};
 use pidpiper_attacks::StealthyAttack;
 use pidpiper_math::Vec3;
-use pidpiper_missions::{MissionAttack, MissionPlan, MissionRunner, NoDefense, RunnerConfig};
+use pidpiper_missions::{
+    Defense, MissionAttack, MissionPlan, MissionSpec, NoDefense, RunnerConfig,
+};
 use pidpiper_sim::{RvId, VehicleKind};
 use std::fmt::Write as _;
 
-/// Runs one stealthy 50 m mission and returns the final deviation (m).
-fn stealthy_deviation(
-    rv: RvId,
-    defense: Option<&mut dyn pidpiper_missions::Defense>,
-    seed: u64,
-) -> f64 {
-    let plan = MissionPlan::straight_line(50.0, if rv.kind() == VehicleKind::Rover { 0.0 } else { 5.0 });
-    let runner = MissionRunner::new(RunnerConfig::for_rv(rv).with_seed(seed));
-    // Stealthy lateral GPS spoof; the "no protection" arm has no monitor to
-    // evade, so the attacker ramps to a plausibility cap representative of
-    // what escapes casual observation over a 50 m mission (paper: 10-14 m
-    // deviations without PID-Piper).
-    let mut attack = StealthyAttack::gps_lateral(Vec3::unit_y(), 0.9);
-    let result = match defense {
-        Some(d) => runner.run(&plan, d, vec![MissionAttack::Stealthy(attack)]),
-        None => {
-            attack = StealthyAttack::gps_lateral(Vec3::unit_y(), 0.9).with_max_bias(14.0);
-            runner.run(
-                &plan,
-                &mut NoDefense::new(),
-                vec![MissionAttack::Stealthy(attack)],
-            )
-        }
-    };
-    result.final_deviation
+/// Builds the stealthy 50 m mission batch for one RV: one spec per seed,
+/// each carrying a stealthy lateral GPS spoof. `max_bias` caps the spoof
+/// ramp for the "no protection" arm, which has no monitor to evade, at a
+/// level representative of what escapes casual observation over a 50 m
+/// mission (paper: 10-14 m deviations without PID-Piper).
+fn stealthy_specs(rv: RvId, seeds: &[u64], max_bias: Option<f64>) -> Vec<MissionSpec> {
+    let altitude = if rv.kind() == VehicleKind::Rover { 0.0 } else { 5.0 };
+    let plan = MissionPlan::straight_line(50.0, altitude);
+    seeds
+        .iter()
+        .map(|&seed| {
+            let mut attack = StealthyAttack::gps_lateral(Vec3::unit_y(), 0.9);
+            if let Some(cap) = max_bias {
+                attack = attack.with_max_bias(cap);
+            }
+            MissionSpec::clean(RunnerConfig::for_rv(rv).with_seed(seed), plan.clone())
+                .with_attacks(vec![MissionAttack::Stealthy(attack)])
+        })
+        .collect()
+}
+
+/// Mean final deviation of a stealthy batch under one defense.
+fn mean_stealthy_deviation<D>(rv: RvId, seeds: &[u64], max_bias: Option<f64>, defense: &D) -> f64
+where
+    D: Defense + Clone + Send + Sync + 'static,
+{
+    let results = harness::par_with_defense(&stealthy_specs(rv, seeds, max_bias), defense);
+    results.iter().map(|r| r.final_deviation).sum::<f64>() / seeds.len().max(1) as f64
 }
 
 /// Runs the Table IV experiment across the three "real RV" profiles.
@@ -62,7 +67,7 @@ pub fn run(scale: Scale) -> String {
 
     for rv in RvId::REAL {
         let traces = harness::collect_traces(rv, scale);
-        let mut pidpiper = harness::trained_pidpiper(rv, scale, &traces);
+        let pidpiper = harness::trained_pidpiper(rv, scale, &traces);
 
         // Overt recovery rate (drones get the full preset cycle; the rover
         // skips landing-phase attacks it cannot experience).
@@ -70,36 +75,25 @@ pub fn run(scale: Scale) -> String {
             let plans: Vec<MissionPlan> = (0..n)
                 .map(|i| MissionPlan::straight_line(35.0 + 3.0 * i as f64, 5.0))
                 .collect();
-            let row = run_overt_missions(rv, &mut pidpiper, &plans, 9000);
+            let row = run_overt_missions(rv, &pidpiper, &plans, 9000);
             format!("{:.1} %", row.success_rate())
         } else {
             // Rover: GPS overt attacks only.
-            let mut success = 0;
-            for i in 0..n {
-                let plan = MissionPlan::straight_line(35.0 + 3.0 * i as f64, 0.0);
+            let plans: Vec<MissionPlan> = (0..n)
+                .map(|i| MissionPlan::straight_line(35.0 + 3.0 * i as f64, 0.0))
+                .collect();
+            let results = harness::run_cell(rv, &pidpiper, &plans, 9100, |_| {
                 let attack = pidpiper_attacks::AttackPreset::GpsOvert.instantiate(8.0, (0.0, 0.0));
-                let runner =
-                    MissionRunner::new(RunnerConfig::for_rv(rv).with_seed(9100 + i as u64));
-                let r = runner.run(&plan, &mut pidpiper, vec![MissionAttack::Scheduled(attack)]);
-                if r.outcome.is_success() {
-                    success += 1;
-                }
-            }
+                vec![MissionAttack::Scheduled(attack)]
+            });
+            let success = results.iter().filter(|r| r.outcome.is_success()).count();
             format!("{:.1} %", 100.0 * success as f64 / n as f64)
         };
 
         // Stealthy deviations, averaged over a few seeds.
         let seeds = [9200u64, 9201, 9202];
-        let unprotected: f64 = seeds
-            .iter()
-            .map(|&s| stealthy_deviation(rv, None, s))
-            .sum::<f64>()
-            / seeds.len() as f64;
-        let protected: f64 = seeds
-            .iter()
-            .map(|&s| stealthy_deviation(rv, Some(&mut pidpiper), s))
-            .sum::<f64>()
-            / seeds.len() as f64;
+        let unprotected = mean_stealthy_deviation(rv, &seeds, Some(14.0), &NoDefense::new());
+        let protected = mean_stealthy_deviation(rv, &seeds, None, &pidpiper);
 
         let _ = writeln!(
             out,

@@ -7,10 +7,12 @@ use pidpiper_baselines::ci::CiConfig;
 use pidpiper_baselines::savior::SaviorConfig;
 use pidpiper_baselines::srr::SrrConfig;
 use pidpiper_baselines::{CiDefense, SaviorDefense, SrrDefense};
-use pidpiper_missions::{MissionPlan, MissionRunner, RunnerConfig, Trace};
+use pidpiper_missions::{MissionPlan, MissionRunner, MissionSpec, NoDefense, RunnerConfig, Trace};
 use pidpiper_sim::{RvId, VehicleKind, VehicleProfile};
+use std::collections::HashMap;
 use std::fs;
 use std::path::PathBuf;
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 /// Experiment scale, selected by `PIDPIPER_SCALE`.
@@ -64,20 +66,25 @@ pub const TRACE_SEED: u64 = 500;
 /// studies.
 pub fn collect_traces(rv: RvId, scale: Scale) -> Vec<Trace> {
     let plans = MissionPlan::table1_missions(rv, 7, scale.geometry());
-    plans
-        .iter()
+    // Calm conditions throughout: mixing windy missions into the training
+    // set was tried and measurably degraded recovery quality (the model
+    // learns to trim against unobservable wind and carries that bias into
+    // clean predictions) — see EXPERIMENTS.md's divergence notes on the
+    // Section VI-B wind MAE row.
+    //
+    // Mission i's seed is TRACE_SEED + i and the batch runs on the
+    // PIDPIPER_JOBS pool; results come back in plan order, so the trace
+    // set is bit-identical to the old serial loop at any worker count.
+    let specs: Vec<MissionSpec> = plans
+        .into_iter()
         .enumerate()
         .map(|(i, p)| {
-            // Calm conditions throughout: mixing windy missions into the
-            // training set was tried and measurably degraded recovery
-            // quality (the model learns to trim against unobservable wind
-            // and carries that bias into clean predictions) — see
-            // EXPERIMENTS.md's divergence notes on the Section VI-B wind
-            // MAE row.
-            let config = RunnerConfig::for_rv(rv).with_seed(TRACE_SEED + i as u64);
-            let runner = MissionRunner::new(config);
-            runner.run_clean(p).trace
+            MissionSpec::clean(RunnerConfig::for_rv(rv).with_seed(TRACE_SEED + i as u64), p)
         })
+        .collect();
+    MissionRunner::par_run_missions(&specs, |_| Box::new(NoDefense::new()))
+        .into_iter()
+        .map(|r| r.trace)
         .collect()
 }
 
@@ -122,7 +129,24 @@ pub fn emit_report(name: &str, body: &str) {
 /// Cache version — bump to invalidate cached models after pipeline changes.
 const CACHE_VERSION: &str = "v7";
 
+/// In-process model cache: one slot per `(rv, scale)` key. The per-key
+/// `OnceLock` guarantees that when parallel experiment cells ask for the
+/// same vehicle's model simultaneously, exactly one thread trains (or
+/// loads) it and the rest block on the slot instead of duplicating the
+/// work or racing on the on-disk cache file.
+type ModelSlot = Arc<OnceLock<PidPiper>>;
+
+fn model_cache() -> &'static Mutex<HashMap<String, ModelSlot>> {
+    static CACHE: OnceLock<Mutex<HashMap<String, ModelSlot>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
 /// Trains (or loads from cache) the deployed PID-Piper for one RV.
+///
+/// Thread-safe: concurrent calls for the same `(rv, scale)` key share one
+/// training run via a mutex-protected `OnceLock` table; distinct keys
+/// train independently. The trained model is also mirrored to the on-disk
+/// cache (`target/pidpiper-cache/`) for later processes.
 pub fn trained_pidpiper(rv: RvId, scale: Scale, traces: &[Trace]) -> PidPiper {
     let key = format!(
         "{}-{}-{:?}.pidpiper",
@@ -130,30 +154,77 @@ pub fn trained_pidpiper(rv: RvId, scale: Scale, traces: &[Trace]) -> PidPiper {
         rv.name().replace(' ', "_"),
         scale
     );
-    let path = cache_dir().join(&key);
-    for candidate in [path.clone(), models_dir().join(&key)] {
-        if let Ok(text) = fs::read_to_string(&candidate) {
-            if let Ok(pp) = PidPiper::from_text(&text) {
-                eprintln!(
-                    "[harness] loaded PID-Piper for {rv} from {}",
-                    candidate.display()
-                );
-                return pp;
+    let slot: ModelSlot = {
+        let mut map = model_cache().lock().expect("model cache poisoned");
+        map.entry(key.clone()).or_default().clone()
+    };
+    slot.get_or_init(|| {
+        let path = cache_dir().join(&key);
+        for candidate in [path.clone(), models_dir().join(&key)] {
+            if let Ok(text) = fs::read_to_string(&candidate) {
+                if let Ok(pp) = PidPiper::from_text(&text) {
+                    eprintln!(
+                        "[harness] loaded PID-Piper for {rv} from {}",
+                        candidate.display()
+                    );
+                    return pp;
+                }
+                eprintln!("[harness] model at {} is stale", candidate.display());
             }
-            eprintln!("[harness] model at {} is stale", candidate.display());
         }
-    }
-    let t0 = Instant::now();
-    let trainer = Trainer::new(TrainerConfig::default());
-    let trained = trainer.train(traces, rv.kind() == VehicleKind::Rover);
-    eprintln!(
-        "[harness] trained PID-Piper for {rv} in {:.0}s ({}); thresholds {:?}",
-        t0.elapsed().as_secs_f64(),
-        trained.report,
-        trained.thresholds
-    );
-    let _ = fs::write(&path, trained.pidpiper.to_text());
-    trained.pidpiper
+        let t0 = Instant::now();
+        let trainer = Trainer::new(TrainerConfig::default());
+        let trained = trainer.train(traces, rv.kind() == VehicleKind::Rover);
+        eprintln!(
+            "[harness] trained PID-Piper for {rv} in {:.0}s ({}); thresholds {:?}",
+            t0.elapsed().as_secs_f64(),
+            trained.report,
+            trained.thresholds
+        );
+        let _ = fs::write(&path, trained.pidpiper.to_text());
+        trained.pidpiper
+    })
+    .clone()
+}
+
+/// Runs a batch of mission specs against per-mission clones of one fitted
+/// defense, on the `PIDPIPER_JOBS` worker pool. Results are in spec order.
+pub fn par_with_defense<D>(
+    specs: &[MissionSpec],
+    defense: &D,
+) -> Vec<pidpiper_missions::MissionResult>
+where
+    D: pidpiper_missions::Defense + Clone + Send + Sync + 'static,
+{
+    MissionRunner::par_run_missions(specs, |_| Box::new(defense.clone()))
+}
+
+/// Runs one experiment cell: `plans[i]` flown with `attacks_for(i)` under
+/// a fresh clone of `defense`, seeded `seed_base + i` — the exact seed
+/// derivation of the old serial loops, so any worker count reproduces the
+/// serial results.
+pub fn run_cell<D>(
+    rv: RvId,
+    defense: &D,
+    plans: &[MissionPlan],
+    seed_base: u64,
+    attacks_for: impl Fn(usize) -> Vec<pidpiper_missions::MissionAttack>,
+) -> Vec<pidpiper_missions::MissionResult>
+where
+    D: pidpiper_missions::Defense + Clone + Send + Sync + 'static,
+{
+    let specs: Vec<MissionSpec> = plans
+        .iter()
+        .enumerate()
+        .map(|(i, plan)| {
+            MissionSpec::clean(
+                RunnerConfig::for_rv(rv).with_seed(seed_base + i as u64),
+                plan.clone(),
+            )
+            .with_attacks(attacks_for(i))
+        })
+        .collect();
+    par_with_defense(&specs, defense)
 }
 
 /// The position-controller gains matching an RV's airframe (used by the

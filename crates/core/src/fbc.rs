@@ -104,7 +104,7 @@ impl FbcModel {
         pid_signal: ActuatorSignal,
         dt: f64,
     ) -> Option<ActuatorSignal> {
-        if self.step_counter % self.pipeline.decimate == 0 {
+        if self.step_counter.is_multiple_of(self.pipeline.decimate) {
             let features = assemble(self.feature_set, prims, target, phase, &self.prev_signal);
             if self.window.len() == self.regressor.config().window {
                 self.window.pop_front();
@@ -170,8 +170,10 @@ mod tests {
     }
 
     fn fixture() -> (SensorPrimitives, EstimatedState, TargetState) {
-        let mut est = EstimatedState::default();
-        est.position = Vec3::new(0.0, 0.0, 5.0);
+        let est = EstimatedState {
+            position: Vec3::new(0.0, 0.0, 5.0),
+            ..Default::default()
+        };
         let prims = SensorPrimitives::collect(&est, &SensorReadings::default());
         let target = TargetState::hover_at(Vec3::new(10.0, 0.0, 5.0), 0.0);
         (prims, est, target)

@@ -276,13 +276,17 @@ mod tests {
     use pidpiper_math::Vec3;
 
     fn fixture() -> (SensorPrimitives, TargetState, ActuatorSignal) {
-        let mut est = EstimatedState::default();
-        est.position = Vec3::new(1.0, 2.0, 3.0);
-        est.velocity = Vec3::new(0.1, 0.2, 0.3);
-        est.attitude = Vec3::new(0.01, 0.02, 0.03);
-        let mut readings = SensorReadings::default();
-        readings.baro_altitude = 3.1;
-        readings.mag_heading = 0.04;
+        let est = EstimatedState {
+            position: Vec3::new(1.0, 2.0, 3.0),
+            velocity: Vec3::new(0.1, 0.2, 0.3),
+            attitude: Vec3::new(0.01, 0.02, 0.03),
+            ..Default::default()
+        };
+        let readings = SensorReadings {
+            baro_altitude: 3.1,
+            mag_heading: 0.04,
+            ..Default::default()
+        };
         let prims = SensorPrimitives::collect(&est, &readings);
         let target = TargetState::hover_at(Vec3::new(11.0, 2.0, 3.0), 0.5);
         let prev = ActuatorSignal {
@@ -411,9 +415,11 @@ mod tests {
 
     #[test]
     fn fbc_target_is_pose() {
-        let mut est = EstimatedState::default();
-        est.position = Vec3::new(1.0, 2.0, 3.0);
-        est.attitude = Vec3::new(0.1, 0.2, 0.3);
+        let est = EstimatedState {
+            position: Vec3::new(1.0, 2.0, 3.0),
+            attitude: Vec3::new(0.1, 0.2, 0.3),
+            ..Default::default()
+        };
         let t = fbc_target(&est);
         assert_eq!(t, vec![1.0, 2.0, 3.0, 0.1, 0.2, 0.3]);
         assert_eq!(t.len(), FBC_TARGET_DIM);

@@ -154,7 +154,7 @@ impl FfcModel {
             let y = self.regressor.predict(&full);
             self.last_prediction = Some(ActuatorSignal::from_array([y[0], y[1], y[2], y[3]]));
         }
-        if self.step_counter % self.pipeline.decimate == 0 {
+        if self.step_counter.is_multiple_of(self.pipeline.decimate) {
             if self.window.len() == n - 1 {
                 self.window.pop_front();
             }
@@ -198,8 +198,10 @@ mod tests {
     }
 
     fn prims_at(x: f64) -> SensorPrimitives {
-        let mut est = EstimatedState::default();
-        est.position = Vec3::new(x, 0.0, 5.0);
+        let est = EstimatedState {
+            position: Vec3::new(x, 0.0, 5.0),
+            ..Default::default()
+        };
         SensorPrimitives::collect(&est, &SensorReadings::default())
     }
 

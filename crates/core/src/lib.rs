@@ -31,6 +31,8 @@
 //!   mission traces into datasets, trains the models and calibrates the
 //!   thresholds end to end.
 
+#![deny(missing_docs)]
+
 pub mod fbc;
 pub mod features;
 pub mod ffc;

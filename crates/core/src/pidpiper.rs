@@ -1,14 +1,21 @@
 //! The PID-Piper framework: monitoring + recovery (paper Algorithm 1).
 //!
-//! The FFC model runs in tandem with the PID controller. Each control
-//! step the monitor accumulates the per-axis CUSUM of
-//! `|y_ML(t) - y_PID(t)|`. When a monitored axis exceeds its calibrated
-//! threshold, recovery mode activates: the vehicle flies the ML model's
-//! actuator predictions, and the inner loops consume PID-Piper's
-//! noise-gated state estimate (so a gyroscope attack cannot re-enter
-//! through the attitude loop). Recovery deactivates when the
-//! instantaneous residual drops back below the CUSUM drift for a hold
-//! period — the paper's `error -> 0` condition.
+//! The FFC model runs in tandem with the PID controller, predicting the
+//! actuator signal `y'(t)` while the PID produces `y(t)`. Each control
+//! step the monitor accumulates the per-axis CUSUM statistic
+//!
+//! ```text
+//! S(t) = max(0, S(t-1) + |y'(t) - y(t)| - b(t))
+//! ```
+//!
+//! where `b(t)` is the calibrated per-axis drift allowance. When a
+//! monitored axis's `S(t)` exceeds its calibrated threshold `τ`, recovery
+//! mode activates: the vehicle flies the ML model's predictions `y'(t)`
+//! instead of `y(t)`, and the inner loops consume PID-Piper's noise-gated
+//! state estimate (so a gyroscope attack cannot re-enter through the
+//! attitude loop). Recovery deactivates when the instantaneous residual
+//! `|y'(t) - y(t)|` drops back below `b(t)` for a hold period — the
+//! paper's `error -> 0` condition.
 
 use crate::features::SensorPrimitives;
 use crate::ffc::FfcModel;
@@ -21,10 +28,12 @@ use pidpiper_sensors::EstimatedState;
 /// PID-Piper deployment configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PidPiperConfig {
-    /// Calibrated per-axis thresholds (degrees).
+    /// Calibrated per-axis detection thresholds `τ` (degrees): recovery
+    /// triggers when an axis's CUSUM statistic `S(t)` exceeds its `τ`.
     pub thresholds: AxisThresholds,
-    /// Per-axis CUSUM drifts `b` (degrees per step for the angular
-    /// channels, percent per step for thrust).
+    /// Per-axis CUSUM drift allowances `b(t)` (degrees per step for the
+    /// angular channels, percent per step for thrust): the benign residual
+    /// level subtracted from `|y'(t) - y(t)|` before accumulation.
     pub drifts: [f64; 4],
     /// Consecutive steps with residual below drift required to exit
     /// recovery (debounces the `error -> 0` check).
@@ -535,9 +544,11 @@ mod tests {
     fn sanitized_estimate_tracks_shadow_estimator() {
         let mut pp = tiny_pidpiper();
         let est = EstimatedState::default();
-        let mut readings = SensorReadings::default();
-        readings.gps_position = pidpiper_math::Vec3::new(1.0, 2.0, 3.0);
-        readings.baro_altitude = 3.0;
+        let readings = SensorReadings {
+            gps_position: pidpiper_math::Vec3::new(1.0, 2.0, 3.0),
+            baro_altitude: 3.0,
+            ..Default::default()
+        };
         let target = TargetState::default();
         for i in 0..50 {
             pp.observe(&ctx_with(&est, &readings, &target, ActuatorSignal::default(), 0.01 * (i + 1) as f64));

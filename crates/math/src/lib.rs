@@ -8,7 +8,7 @@
 //!   identification (SRR baseline) and VIF regressions ([`matrix`]);
 //! - descriptive statistics and rolling windows ([`stats`]);
 //! - the Variance Inflation Factor collinearity metric from Section III of
-//!   the paper ([`vif`]);
+//!   the paper ([`mod@vif`]);
 //! - dynamic time warping used for threshold calibration ([`dtw`]);
 //! - the CUSUM change detector used by the monitoring module ([`cusum`]);
 //! - angle helpers (wrapping, degree/radian conversion) ([`angles`]).

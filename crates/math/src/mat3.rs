@@ -148,13 +148,13 @@ impl Mul<Mat3> for Mat3 {
     type Output = Mat3;
     fn mul(self, rhs: Mat3) -> Mat3 {
         let mut out = [[0.0; 3]; 3];
-        for r in 0..3 {
-            for c in 0..3 {
+        for (r, out_row) in out.iter_mut().enumerate() {
+            for (c, cell) in out_row.iter_mut().enumerate() {
                 let mut acc = 0.0;
                 for (k, rhs_row) in rhs.m.iter().enumerate() {
                     acc += self.m[r][k] * rhs_row[c];
                 }
-                out[r][c] = acc;
+                *cell = acc;
             }
         }
         Mat3 { m: out }

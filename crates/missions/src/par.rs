@@ -1,0 +1,195 @@
+//! Deterministic parallel mission execution.
+//!
+//! The paper's evaluation is a large grid — missions × vehicles × defenses
+//! × attacks — and every cell is independent: each mission owns its
+//! simulator, sensor suite, estimator, controller and defense instance.
+//! This module fans a batch of [`MissionSpec`]s out over a worker pool
+//! while keeping results **bit-identical to a serial run**:
+//!
+//! - every mission's RNG stream comes only from its own
+//!   [`RunnerConfig::sensor_seed`], which callers derive from
+//!   `(base_seed, mission_index)` exactly as the serial loops always did;
+//! - each worker gets a *fresh* defense instance from the caller's
+//!   factory, so no monitor state leaks between missions;
+//! - results are collected into a pre-sized vector indexed by mission id,
+//!   never by completion order.
+//!
+//! Worker count comes from the `PIDPIPER_JOBS` environment variable
+//! (default: all cores); `PIDPIPER_JOBS=1` reproduces the serial path on
+//! the calling thread, with no pool involved at all.
+
+use crate::defense::Defense;
+use crate::metrics::MissionResult;
+use crate::plans::MissionPlan;
+use crate::runner::{MissionAttack, MissionRunner, RunnerConfig};
+use rayon::prelude::*;
+
+/// One mission of a batch: its runner configuration (carrying the
+/// per-mission sensor seed), plan and attack set.
+#[derive(Debug, Clone)]
+pub struct MissionSpec {
+    /// Runner configuration; `config.sensor_seed` is this mission's sole
+    /// entropy source, so equal specs yield bit-identical traces.
+    pub config: RunnerConfig,
+    /// The mission plan to fly.
+    pub plan: MissionPlan,
+    /// Attacks applied during the mission (empty = clean run).
+    pub attacks: Vec<MissionAttack>,
+}
+
+impl MissionSpec {
+    /// A clean (attack-free) mission.
+    pub fn clean(config: RunnerConfig, plan: MissionPlan) -> Self {
+        MissionSpec {
+            config,
+            plan,
+            attacks: Vec::new(),
+        }
+    }
+
+    /// A mission with the given attacks (builder style).
+    pub fn with_attacks(mut self, attacks: Vec<MissionAttack>) -> Self {
+        self.attacks = attacks;
+        self
+    }
+}
+
+/// The worker count selected by `PIDPIPER_JOBS` (default: all cores).
+///
+/// Invalid or zero values fall back to the default, mirroring how
+/// `PIDPIPER_SCALE` treats unknown values.
+pub fn configured_jobs() -> usize {
+    match std::env::var("PIDPIPER_JOBS") {
+        Ok(v) => v
+            .trim()
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n > 0)
+            .unwrap_or_else(default_jobs),
+        Err(_) => default_jobs(),
+    }
+}
+
+fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+impl MissionRunner {
+    /// Runs a batch of missions in parallel on `PIDPIPER_JOBS` workers,
+    /// returning results in spec order (index `i` of the output is spec
+    /// `i` of the input, regardless of completion order).
+    ///
+    /// `defense_for(i)` must build a fresh defense for mission `i` —
+    /// typically a clone of one fitted template. Determinism contract: the
+    /// result of each mission depends only on its [`MissionSpec`] and its
+    /// defense instance, so any worker count (including 1) produces
+    /// bit-identical [`MissionResult`]s.
+    ///
+    /// # Examples
+    ///
+    /// ```no_run
+    /// use pidpiper_missions::{MissionRunner, MissionSpec, NoDefense, MissionPlan, RunnerConfig};
+    /// use pidpiper_sim::RvId;
+    ///
+    /// let specs: Vec<MissionSpec> = (0..8)
+    ///     .map(|i| MissionSpec::clean(
+    ///         RunnerConfig::for_rv(RvId::ArduCopter).with_seed(500 + i),
+    ///         MissionPlan::straight_line(40.0, 5.0),
+    ///     ))
+    ///     .collect();
+    /// let results = MissionRunner::par_run_missions(&specs, |_| Box::new(NoDefense::new()));
+    /// assert_eq!(results.len(), 8);
+    /// ```
+    pub fn par_run_missions<F>(specs: &[MissionSpec], defense_for: F) -> Vec<MissionResult>
+    where
+        F: Fn(usize) -> Box<dyn Defense + Send> + Sync,
+    {
+        Self::par_run_missions_with_jobs(configured_jobs(), specs, defense_for)
+    }
+
+    /// [`Self::par_run_missions`] with an explicit worker count instead of
+    /// the `PIDPIPER_JOBS` environment knob (used by the serial/parallel
+    /// equivalence tests, which must not race on process-global env vars).
+    pub fn par_run_missions_with_jobs<F>(
+        jobs: usize,
+        specs: &[MissionSpec],
+        defense_for: F,
+    ) -> Vec<MissionResult>
+    where
+        F: Fn(usize) -> Box<dyn Defense + Send> + Sync,
+    {
+        let run_one = |i: usize| {
+            let spec = &specs[i];
+            let runner = MissionRunner::new(spec.config.clone());
+            let mut defense = defense_for(i);
+            runner.run(&spec.plan, defense.as_mut(), spec.attacks.clone())
+        };
+        if jobs <= 1 {
+            // The serial reference path: in spec order, on this thread.
+            return (0..specs.len()).map(run_one).collect();
+        }
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(jobs)
+            .build()
+            .expect("worker pool");
+        pool.install(|| (0..specs.len()).into_par_iter().map(run_one).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::defense::NoDefense;
+    use pidpiper_sim::RvId;
+
+    fn specs(n: usize) -> Vec<MissionSpec> {
+        (0..n)
+            .map(|i| {
+                MissionSpec::clean(
+                    RunnerConfig::for_rv(RvId::ArduCopter).with_seed(500 + i as u64),
+                    MissionPlan::straight_line(15.0 + 15.0 * i as f64, 5.0),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn results_are_indexed_by_spec_not_completion() {
+        let specs = specs(4);
+        let results =
+            MissionRunner::par_run_missions_with_jobs(4, &specs, |_| Box::new(NoDefense::new()));
+        assert_eq!(results.len(), 4);
+        // Output slot i must hold exactly the mission described by spec i
+        // (not whichever finished first): compare each slot against a
+        // standalone run of that spec.
+        for (spec, got) in specs.iter().zip(&results) {
+            let want = MissionRunner::new(spec.config.clone()).run_clean(&spec.plan);
+            assert_eq!(want.mission_time, got.mission_time);
+            assert_eq!(want.final_deviation, got.final_deviation);
+            assert_eq!(want.trace.len(), got.trace.len());
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_bit_for_bit() {
+        let specs = specs(3);
+        let serial =
+            MissionRunner::par_run_missions_with_jobs(1, &specs, |_| Box::new(NoDefense::new()));
+        let parallel =
+            MissionRunner::par_run_missions_with_jobs(3, &specs, |_| Box::new(NoDefense::new()));
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.final_deviation, p.final_deviation);
+            assert_eq!(s.mission_time, p.mission_time);
+            assert_eq!(s.trace.records(), p.trace.records());
+        }
+    }
+
+    #[test]
+    fn jobs_env_parsing_defaults() {
+        // Only checks the pure fallback logic; the env-dependent branch is
+        // covered by running the harness under PIDPIPER_JOBS.
+        assert!(configured_jobs() >= 1);
+    }
+}

@@ -2,8 +2,12 @@
 //!
 //! Wires together simulator, sensor suite, estimator, PID control stack,
 //! attack engine and a pluggable [`Defense`], then flies one mission to
-//! completion and reports the paper's metrics. Physics runs at 400 Hz,
-//! control/monitoring at 100 Hz (both configurable).
+//! completion and reports the paper's metrics. Each control step the
+//! estimator turns (possibly attacked) sensor readings into the state
+//! estimate `x(t)`, the navigation layer supplies the target `u(t)`, the
+//! PID stack derives the actuator signal `y(t)`, and the defense observes
+//! all three — substituting its own signal when recovering. Physics runs
+//! at 400 Hz, control/monitoring at 100 Hz (both configurable).
 
 use crate::defense::{Defense, DefenseContext, NoDefense};
 use crate::metrics::{deviation_from, MissionOutcome, MissionResult};

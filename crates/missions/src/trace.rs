@@ -21,15 +21,18 @@ pub struct TraceRecord {
     pub target: TargetState,
     /// Flight phase this step.
     pub phase: crate::phase::FlightPhase,
-    /// The PID controller's actuator signal.
+    /// The PID controller's actuator signal `y(t)`.
     pub pid_signal: ActuatorSignal,
-    /// The signal actually flown (differs from `pid_signal` in recovery).
+    /// The signal actually flown: `y(t)` normally, the FFC's prediction
+    /// `y'(t)` while the defense is in recovery.
     pub flown_signal: ActuatorSignal,
     /// Whether any attack perturbed the sensors this step.
     pub attack_active: bool,
     /// Whether the defense was in recovery mode this step.
     pub recovery_active: bool,
-    /// The defense monitor's statistic this step.
+    /// The defense monitor's decision statistic this step (for PID-Piper:
+    /// the largest per-axis CUSUM `S(t)` as a fraction of its threshold
+    /// `τ`).
     pub monitor_statistic: f64,
     /// Effective P gain of the velocity loop (paper Fig. 2c telemetry).
     pub effective_p: f64,

@@ -27,6 +27,10 @@
 //!
 //! Everything is deterministic given a seed, in `f64`.
 
+// Matrix/gradient kernels index rows and columns of several arrays with
+// one shared loop variable; iterator rewrites obscure the math.
+#![allow(clippy::needless_range_loop)]
+
 pub mod adam;
 pub mod dataset;
 pub mod dense;

@@ -35,6 +35,9 @@ struct StepCache {
     f: Vec<f64>,
     o: Vec<f64>,
     g: Vec<f64>,
+    // Kept alongside `tanh_c` for cache completeness; the backward pass
+    // only needs the activated form.
+    #[allow(dead_code)]
     c: Vec<f64>,
     tanh_c: Vec<f64>,
 }

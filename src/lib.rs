@@ -81,8 +81,8 @@ pub mod prelude {
     };
     pub use pidpiper_math::Vec3;
     pub use pidpiper_missions::{
-        Defense, MissionAttack, MissionOutcome, MissionPlan, MissionResult, MissionRunner,
-        NoDefense, RunnerConfig,
+        configured_jobs, Defense, MissionAttack, MissionOutcome, MissionPlan, MissionResult,
+        MissionRunner, MissionSpec, NoDefense, RunnerConfig,
     };
     pub use pidpiper_sensors::{EstimatedState, Estimator, SensorReadings};
     pub use pidpiper_sim::{Quadcopter, Rover, RvId, VehicleProfile, Wind, WindConfig};

@@ -1,0 +1,140 @@
+//! Serial/parallel equivalence: the parallel mission harness must be a
+//! pure speedup — same specs in, bit-identical results out, at any worker
+//! count.
+//!
+//! This is the determinism contract the experiment harness
+//! (`crates/bench`) relies on: every mission's RNG stream derives only
+//! from its own seed (`base + mission_index`), each mission gets a fresh
+//! defense clone, and results are collected by spec index, never by
+//! completion order.
+
+use pid_piper::missions::Trace;
+use pid_piper::prelude::*;
+
+/// A small trained quadcopter defense: the shipped full-scale model when
+/// present, otherwise a reduced fixture (a few epochs on short missions —
+/// enough for the monitor to run; equivalence does not need accuracy).
+fn quick_defense(rv: RvId) -> PidPiper {
+    let plans = MissionPlan::table1_missions(rv, 7, 0.3);
+    let traces: Vec<Trace> = plans
+        .iter()
+        .take(6)
+        .enumerate()
+        .map(|(i, p)| {
+            MissionRunner::new(RunnerConfig::for_rv(rv).with_seed(500 + i as u64))
+                .run_clean(p)
+                .trace
+        })
+        .collect();
+    let model_path = format!("models/v7-{}-Quick.pidpiper", rv.name().replace(' ', "_"));
+    if let Ok(text) = std::fs::read_to_string(&model_path) {
+        if let Ok(pp) = PidPiper::from_text(&text) {
+            return pp;
+        }
+    }
+    let mut config = TrainerConfig::default();
+    config.hidden = 16;
+    config.fc_width = 16;
+    config.window = 12;
+    config.stages = [(2, 0.01), (0, 0.0), (0, 0.0)];
+    Trainer::new(config).train(&traces, false).pidpiper
+}
+
+/// One small quadcopter experiment cell: clean and GPS-attacked missions
+/// with the serial seed derivation `4000 + i`.
+fn cell(rv: RvId) -> Vec<MissionSpec> {
+    (0..4)
+        .map(|i| {
+            let spec = MissionSpec::clean(
+                RunnerConfig::for_rv(rv).with_seed(4000 + i as u64),
+                MissionPlan::straight_line(20.0 + 5.0 * i as f64, 5.0),
+            );
+            if i % 2 == 1 {
+                let attack = AttackPreset::GpsOvert.instantiate(8.0, (0.0, 0.0));
+                spec.with_attacks(vec![MissionAttack::Scheduled(attack)])
+            } else {
+                spec
+            }
+        })
+        .collect()
+}
+
+/// The CUSUM detection time of a mission: the timestamp of the first trace
+/// record where the monitor has flipped recovery on (`None` = never).
+fn detection_time(result: &MissionResult) -> Option<f64> {
+    result
+        .trace
+        .records()
+        .iter()
+        .find(|r| r.recovery_active)
+        .map(|r| r.t)
+}
+
+#[test]
+fn parallel_cell_is_bit_identical_to_serial() {
+    let rv = RvId::ArduCopter;
+    let defense = quick_defense(rv);
+    let specs = cell(rv);
+
+    // Jobs = 1 is the serial reference path (plain loop, no pool at all);
+    // jobs = 4 exercises genuinely concurrent workers.
+    let serial = MissionRunner::par_run_missions_with_jobs(1, &specs, |_| {
+        Box::new(defense.clone())
+    });
+    let parallel = MissionRunner::par_run_missions_with_jobs(4, &specs, |_| {
+        Box::new(defense.clone())
+    });
+
+    assert_eq!(serial.len(), specs.len());
+    assert_eq!(parallel.len(), specs.len());
+    for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+        // Bit-identical traces: every record (timestamps, truth, estimates,
+        // control signals, monitor flags) must match exactly.
+        assert_eq!(
+            s.trace.records(),
+            p.trace.records(),
+            "mission {i}: parallel trace diverged from serial"
+        );
+        // And identical CUSUM detection times in particular — the monitor's
+        // decision sequence is part of the contract, not just the flight
+        // path.
+        assert_eq!(
+            detection_time(s),
+            detection_time(p),
+            "mission {i}: detection time diverged"
+        );
+        assert_eq!(s.outcome, p.outcome, "mission {i}: outcome diverged");
+        assert_eq!(
+            s.final_deviation, p.final_deviation,
+            "mission {i}: deviation diverged"
+        );
+    }
+
+    // The attacked missions must actually exercise the monitor for the
+    // detection-time comparison to mean anything (the reduced fixture's
+    // thresholds are wide; the overt 25 m spoof still trips them).
+    assert!(
+        serial.iter().any(|r| detection_time(r).is_some()),
+        "no mission tripped the monitor — the cell is not exercising CUSUM"
+    );
+}
+
+#[test]
+fn serial_reference_matches_direct_runner_calls() {
+    // `par_run_missions_with_jobs(1, ..)` must be exactly the old serial
+    // loop: construct runner, run spec, next — nothing reordered.
+    let rv = RvId::ArduCopter;
+    let specs = cell(rv);
+    let batch =
+        MissionRunner::par_run_missions_with_jobs(1, &specs, |_| Box::new(NoDefense::new()));
+    for (spec, got) in specs.iter().zip(&batch) {
+        let mut defense = NoDefense::new();
+        let want = MissionRunner::new(spec.config.clone()).run(
+            &spec.plan,
+            &mut defense,
+            spec.attacks.clone(),
+        );
+        assert_eq!(want.trace.records(), got.trace.records());
+        assert_eq!(want.outcome, got.outcome);
+    }
+}

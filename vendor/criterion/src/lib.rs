@@ -1,0 +1,139 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface the workspace's benches use —
+//! [`Criterion::bench_function`], [`Bencher::iter`], `sample_size`, and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — backed by a simple
+//! wall-clock timer instead of criterion's statistical machinery. Good
+//! enough to keep `cargo bench` runnable and to print per-bench latencies;
+//! not a replacement for real criterion confidence intervals.
+
+#![deny(missing_docs)]
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque value sink preventing the optimizer from deleting benched code.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Timing driver handed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, running it enough times to get a stable per-iteration
+    /// estimate (at least once; more when iterations are fast).
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up + calibration round.
+        let t0 = Instant::now();
+        black_box(f());
+        let one = t0.elapsed();
+        // Aim for ~50 ms of measurement, capped so slow benches run once.
+        let target = Duration::from_millis(50);
+        let reps = if one.is_zero() {
+            1000
+        } else {
+            (target.as_nanos() / one.as_nanos().max(1)).clamp(1, 10_000) as u64
+        };
+        let t1 = Instant::now();
+        for _ in 0..reps {
+            black_box(f());
+        }
+        self.elapsed = t1.elapsed();
+        self.iters = reps;
+    }
+}
+
+/// Benchmark registry and configuration (stand-in for criterion's).
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timing samples per benchmark (builder style).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one named benchmark and prints its mean per-iteration time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        let mut best = Duration::MAX;
+        let mut total_iters = 0u64;
+        // A handful of samples, keeping the best (least-noise) estimate.
+        let samples = self.sample_size.min(10);
+        for _ in 0..samples {
+            let mut b = Bencher {
+                iters: 0,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            if b.iters > 0 {
+                let per_iter = b.elapsed / b.iters as u32;
+                if per_iter < best {
+                    best = per_iter;
+                }
+                total_iters += b.iters;
+            }
+        }
+        if total_iters == 0 {
+            println!("bench {name}: no iterations recorded");
+        } else {
+            println!("bench {name}: {:.3} us/iter (best of {samples} samples)",
+                best.as_secs_f64() * 1e6);
+        }
+    }
+}
+
+/// Declares a benchmark group: a function running each target against a
+/// configured [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),* $(,)?) => {
+        fn $name() {
+            let mut criterion = $cfg;
+            $( $target(&mut criterion); )*
+        }
+    };
+    ($name:ident, $($target:path),* $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),*
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),* $(,)?) => {
+        fn main() {
+            $( $group(); )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut runs = 0u64;
+        c.bench_function("noop", |b| b.iter(|| runs += 1));
+        assert!(runs > 0);
+    }
+}

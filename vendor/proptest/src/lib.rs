@@ -1,0 +1,383 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the subset of the proptest 1.x API the workspace's property tests use:
+//! the [`proptest!`] macro, [`Strategy`] with `prop_map`, range and tuple
+//! strategies, `prop::collection::vec`, `prop::num::f64::NORMAL`,
+//! [`ProptestConfig::with_cases`], and the `prop_assert*` macros.
+//!
+//! Differences from upstream: failing cases are *not* shrunk (the failing
+//! inputs are reported as-is), and the RNG stream is this workspace's
+//! deterministic xoshiro generator, so each test body sees a fixed,
+//! reproducible input sequence.
+
+#![deny(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The RNG handed to strategies while generating a test case.
+pub type TestRng = StdRng;
+
+/// A failed property inside a test case (produced by `prop_assert!`).
+#[derive(Debug)]
+pub struct TestCaseError {
+    /// Human-readable description of the failed assertion.
+    pub message: String,
+}
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+/// Per-test configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test (default 256).
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A generator of random values of one type.
+///
+/// Upstream proptest separates strategies from value trees to support
+/// shrinking; this stand-in samples values directly.
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, T> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// A strategy that always yields clones of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(f64, f32, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),*) => {
+        impl<$($name: Strategy),*> Strategy for ($($name,)*) {
+            type Value = ($($name::Value,)*);
+
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)*) = self;
+                ($($name.sample(rng),)*)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+
+/// Strategy combinators, mirroring proptest's `prop` module tree.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::{Strategy, TestRng};
+        use rand::Rng;
+
+        /// Strategy for `Vec`s with sizes drawn from a range.
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            size: std::ops::Range<usize>,
+        }
+
+        /// Generates vectors whose length is uniform in `size` and whose
+        /// elements come from `element`.
+        pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, size }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let len = if self.size.start + 1 >= self.size.end {
+                    self.size.start
+                } else {
+                    rng.gen_range(self.size.clone())
+                };
+                (0..len).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+    }
+
+    /// Numeric strategies.
+    pub mod num {
+        /// `f64` strategies.
+        pub mod f64 {
+            use crate::{Strategy, TestRng};
+            use rand::Rng;
+
+            /// Strategy yielding finite, normal (non-subnormal, non-zero)
+            /// `f64` values of both signs across a wide magnitude range.
+            #[derive(Debug, Clone, Copy)]
+            pub struct NormalF64;
+
+            /// Finite normal `f64`s (upstream `prop::num::f64::NORMAL`).
+            pub const NORMAL: NormalF64 = NormalF64;
+
+            impl Strategy for NormalF64 {
+                type Value = f64;
+
+                fn sample(&self, rng: &mut TestRng) -> f64 {
+                    // Magnitude log-uniform in [1e-6, 1e6]: plenty of range
+                    // without subnormals, zeros, infinities or NaNs.
+                    let exp = rng.gen_range(-6.0..6.0f64);
+                    let mag = 10f64.powf(exp);
+                    if rng.gen_bool(0.5) {
+                        mag
+                    } else {
+                        -mag
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Drives one `#[test]` function generated by [`proptest!`].
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+}
+
+impl TestRunner {
+    /// Creates a runner with the given configuration.
+    pub fn new(config: ProptestConfig) -> Self {
+        TestRunner { config }
+    }
+
+    /// Runs `case` once per configured case with a deterministic,
+    /// per-case-seeded RNG; panics (failing the test) on the first error.
+    pub fn run<F>(&mut self, name: &str, case: F)
+    where
+        F: Fn(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        for i in 0..self.config.cases {
+            // Seed derived from the test name so sibling tests in one file
+            // explore different streams, yet every run is reproducible.
+            let name_hash = name
+                .bytes()
+                .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+                    (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
+                });
+            let mut rng = TestRng::seed_from_u64(name_hash ^ (i as u64).wrapping_mul(0x9e37_79b9));
+            if let Err(e) = case(&mut rng) {
+                panic!("proptest case {i} of {name} failed: {}", e.message);
+            }
+        }
+    }
+}
+
+/// Asserts a condition inside a proptest body, failing the current case
+/// (with an optional formatted message) instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let l = $left;
+        let r = $right;
+        if l != r {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {:?} != {:?} ({} vs {})",
+                l,
+                r,
+                stringify!($left),
+                stringify!($right)
+            )));
+        }
+    }};
+}
+
+/// Asserts two expressions are not equal inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let l = $left;
+        let r = $right;
+        if l == r {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {:?} == {:?} ({} vs {})",
+                l,
+                r,
+                stringify!($left),
+                stringify!($right)
+            )));
+        }
+    }};
+}
+
+/// Declares property-based tests.
+///
+/// Supports the subset of upstream syntax used in this workspace: an
+/// optional leading `#![proptest_config(...)]`, then `#[test]` functions
+/// whose arguments are `pattern in strategy` pairs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @cfg($cfg) $($rest)* }
+    };
+    (@cfg($cfg:expr)
+        $(
+            #[test]
+            fn $name:ident($($p:pat in $s:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                let mut runner = $crate::TestRunner::new($cfg);
+                runner.run(stringify!($name), |proptest_rng| {
+                    $(let $p = $crate::Strategy::sample(&($s), proptest_rng);)*
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! { @cfg($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// One-stop import mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+        TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(x in -2.0..3.0f64, n in 1usize..10) {
+            prop_assert!((-2.0..3.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+        }
+
+        #[test]
+        fn vec_lengths(xs in prop::collection::vec(0.0..1.0f64, 2..7)) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 7);
+            prop_assert!(xs.iter().all(|v| (0.0..1.0).contains(v)));
+        }
+
+        #[test]
+        fn tuples_and_map(
+            (a, b) in (0.0..1.0f64, 5.0..6.0f64),
+            y in prop::num::f64::NORMAL.prop_map(|v| v.abs()),
+        ) {
+            prop_assert!(a < b);
+            prop_assert!(y > 0.0 && y.is_finite());
+            prop_assert_ne!(a, b);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failures_panic() {
+        let mut runner = crate::TestRunner::new(ProptestConfig::with_cases(4));
+        runner.run("always_fails", |_rng| {
+            prop_assert!(false, "forced failure");
+            #[allow(unreachable_code)]
+            Ok(())
+        });
+    }
+}

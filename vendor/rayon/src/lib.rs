@@ -1,0 +1,344 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the slice of the rayon API the workspace uses with `std::thread::scope`:
+//!
+//! - `par_iter()` / `into_par_iter()` on slices, `Vec`s and `Range<usize>`,
+//!   followed by `.map(...).collect::<Vec<_>>()`;
+//! - [`join`] for two-way fork/join;
+//! - [`ThreadPoolBuilder`] → [`ThreadPool::install`] to bound worker count
+//!   for a region (how `PIDPIPER_JOBS` is threaded through the harness).
+//!
+//! Work distribution is a shared atomic cursor (dynamic load balancing, so
+//! heterogeneous mission lengths don't serialize on the slowest chunk) and
+//! results are written to a pre-sized slot table indexed by input position,
+//! so **output order always equals input order** regardless of completion
+//! order — the property the deterministic experiment harness relies on.
+
+#![deny(missing_docs)]
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+thread_local! {
+    /// Worker-count override installed by [`ThreadPool::install`].
+    static INSTALLED_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The number of worker threads parallel operations will use here: the
+/// innermost [`ThreadPool::install`] override, else `RAYON_NUM_THREADS`,
+/// else the machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    if let Some(n) = INSTALLED_THREADS.with(|t| t.get()) {
+        return n.max(1);
+    }
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Error type for [`ThreadPoolBuilder::build`] (never produced here; kept
+/// for signature compatibility with rayon).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool construction failed")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`] with a bounded worker count.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with default settings.
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Caps the pool at `n` workers (`0` = use the global default).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    /// Builds the pool. Infallible in this stand-in.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A logical worker pool. Workers are spawned per parallel operation (via
+/// `std::thread::scope`), so the pool only records the configured width.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool's worker count governing every parallel
+    /// operation inside it (on this thread), restoring the previous limit
+    /// afterwards.
+    pub fn install<R, F: FnOnce() -> R>(&self, f: F) -> R {
+        let prev = INSTALLED_THREADS.with(|t| t.get());
+        let n = self.num_threads.unwrap_or_else(current_num_threads);
+        INSTALLED_THREADS.with(|t| t.set(Some(n)));
+        let result = f();
+        INSTALLED_THREADS.with(|t| t.set(prev));
+        result
+    }
+
+    /// This pool's configured worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads.unwrap_or_else(current_num_threads)
+    }
+}
+
+/// Runs `a` and `b` potentially in parallel, returning both results.
+pub fn join<RA, RB, A, B>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon::join closure panicked"))
+    })
+}
+
+/// Order-preserving parallel map: the engine behind every parallel
+/// iterator in this stand-in.
+fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = current_num_threads().min(n.max(1));
+    if workers <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Input slots (taken once by whichever worker claims the index) and
+    // output slots (written once, read back in input order). Mutexes keep
+    // the bounds at `T: Send`/`R: Send` like upstream rayon; they are
+    // uncontended because each index is claimed by exactly one worker.
+    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = work[i]
+                    .lock()
+                    .expect("input slot poisoned")
+                    .take()
+                    .expect("input slot claimed twice");
+                let result = f(item);
+                *slots[i].lock().expect("output slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("output slot poisoned")
+                .expect("worker skipped an index")
+        })
+        .collect()
+}
+
+/// A materialized parallel iterator over owned items.
+#[derive(Debug)]
+pub struct ParIter<T: Send> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Maps each item through `f` (lazily; runs on `collect`/`for_each`).
+    pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> MapParIter<T, R, F> {
+        MapParIter {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Runs `f` on every item in parallel.
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        parallel_map(self.items, &f);
+    }
+}
+
+/// A parallel iterator with a pending `map` stage.
+#[derive(Debug)]
+pub struct MapParIter<T: Send, R: Send, F: Fn(T) -> R + Sync> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, R: Send, F: Fn(T) -> R + Sync> MapParIter<T, R, F> {
+    /// Executes the map in parallel and collects results **in input
+    /// order** (never completion order).
+    pub fn collect<C: FromParallel<R>>(self) -> C {
+        C::from_ordered_vec(parallel_map(self.items, self.f))
+    }
+
+    /// Executes the map in parallel, discarding results.
+    pub fn for_each_drop(self) {
+        let _ = parallel_map(self.items, self.f);
+    }
+}
+
+/// Conversion from an ordered result vector (rayon's `FromParallelIterator`
+/// analogue).
+pub trait FromParallel<R> {
+    /// Builds the collection from results in input order.
+    fn from_ordered_vec(v: Vec<R>) -> Self;
+}
+
+impl<R> FromParallel<R> for Vec<R> {
+    fn from_ordered_vec(v: Vec<R>) -> Self {
+        v
+    }
+}
+
+/// Types convertible into a parallel iterator over owned items.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+
+    /// Converts into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// Types whose references can be iterated in parallel (`par_iter`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type (a reference).
+    type Item: Send;
+
+    /// Creates a parallel iterator over references.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// One-stop import mirroring `rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{FromParallel, IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn collect_preserves_input_order() {
+        let out: Vec<usize> = (0..257).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out, (0..257).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_over_slice() {
+        let data = vec![3.0f64, 1.0, 4.0, 1.0, 5.0];
+        let out: Vec<f64> = data.par_iter().map(|x| x + 1.0).collect();
+        assert_eq!(out, vec![4.0, 2.0, 5.0, 2.0, 6.0]);
+    }
+
+    #[test]
+    fn install_bounds_worker_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        pool.install(|| {
+            assert_eq!(current_num_threads(), 1);
+            let out: Vec<usize> = (0..10).into_par_iter().map(|i| i).collect();
+            assert_eq!(out.len(), 10);
+        });
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn uneven_work_is_balanced_and_ordered() {
+        // Heterogeneous per-item cost; order must still match input.
+        let out: Vec<u64> = (0..64)
+            .into_par_iter()
+            .map(|i| {
+                let mut acc = 0u64;
+                for k in 0..(i as u64 % 7) * 10_000 {
+                    acc = acc.wrapping_add(k);
+                }
+                std::hint::black_box(acc);
+                i as u64
+            })
+            .collect();
+        assert_eq!(out, (0..64).collect::<Vec<_>>());
+    }
+}
