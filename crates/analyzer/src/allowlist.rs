@@ -1,0 +1,218 @@
+//! The `analyzer.allow` exception file: justified, reviewable suppressions.
+//!
+//! One entry per line:
+//!
+//! ```text
+//! PF03 crates/math/src/vec3.rs "Vec3 index out of range" -- Index trait cannot return Result
+//! ```
+//!
+//! i.e. `<rule-id> <path-suffix> "<line-needle>" -- <reason>`. An entry
+//! suppresses a finding when all three match: the rule id, the finding's
+//! path *ends with* the entry path, and the finding's source line
+//! *contains* the needle. Matching on a line substring rather than a line
+//! number keeps entries stable as surrounding code moves.
+//!
+//! Discipline is enforced both ways: a reason is mandatory (parse error
+//! without one), and an entry that suppresses nothing is itself reported
+//! as an `AL01` finding so dead exceptions cannot accumulate.
+
+use crate::rules::{Finding, RuleId};
+
+/// One parsed suppression entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// 1-based line in the allow file (for stale-entry findings).
+    pub line: u32,
+    /// The rule this entry suppresses.
+    pub rule: RuleId,
+    /// Path suffix the finding's path must end with.
+    pub path_suffix: String,
+    /// Substring the finding's source line must contain.
+    pub needle: String,
+    /// The mandatory justification.
+    pub reason: String,
+}
+
+/// A parsed allow file.
+#[derive(Debug, Clone, Default)]
+pub struct Allowlist {
+    /// Entries in file order.
+    pub entries: Vec<AllowEntry>,
+}
+
+/// Outcome of filtering findings through an allowlist.
+#[derive(Debug)]
+pub struct Applied {
+    /// Findings that survived (including `AL01` stale-entry findings).
+    pub kept: Vec<Finding>,
+    /// How many findings the allowlist suppressed.
+    pub suppressed: usize,
+}
+
+impl Allowlist {
+    /// Parses an allow file. Returns `Err` with one message per malformed
+    /// line; blank lines and `#` comments are skipped.
+    pub fn parse(text: &str) -> Result<Allowlist, Vec<String>> {
+        let mut entries = Vec::new();
+        let mut errors = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line_no = idx as u32 + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            match parse_entry(line, line_no) {
+                Ok(e) => entries.push(e),
+                Err(msg) => errors.push(format!("allowlist line {line_no}: {msg}")),
+            }
+        }
+        if errors.is_empty() {
+            Ok(Allowlist { entries })
+        } else {
+            Err(errors)
+        }
+    }
+
+    /// Filters `findings` through the allowlist. `source_line` maps a
+    /// finding's `(path, line)` to its source text (used for needle
+    /// matching). Unused entries become `AL01` findings against the allow
+    /// file itself (`allow_path`).
+    pub fn apply(
+        &self,
+        findings: Vec<Finding>,
+        allow_path: &str,
+        mut source_line: impl FnMut(&str, u32) -> Option<String>,
+    ) -> Applied {
+        let mut used = vec![false; self.entries.len()];
+        let mut kept = Vec::new();
+        let mut suppressed = 0usize;
+        for f in findings {
+            let text = source_line(&f.path, f.line).unwrap_or_default();
+            let hit = self.entries.iter().position(|e| {
+                e.rule == f.rule && f.path.ends_with(&e.path_suffix) && text.contains(&e.needle)
+            });
+            match hit {
+                Some(k) => {
+                    used[k] = true;
+                    suppressed += 1;
+                }
+                None => kept.push(f),
+            }
+        }
+        for (e, _) in self.entries.iter().zip(&used).filter(|(_, u)| !**u) {
+            kept.push(Finding {
+                path: allow_path.to_string(),
+                line: e.line,
+                rule: RuleId::Al01StaleAllow,
+                message: format!(
+                    "stale allowlist entry ({} {} \"{}\") suppresses nothing; remove it",
+                    e.rule.as_str(),
+                    e.path_suffix,
+                    e.needle
+                ),
+            });
+        }
+        Applied { kept, suppressed }
+    }
+}
+
+fn parse_entry(line: &str, line_no: u32) -> Result<AllowEntry, String> {
+    let (head, reason) = line
+        .split_once(" -- ")
+        .ok_or("missing ` -- <reason>`; every exception needs a justification")?;
+    let reason = reason.trim();
+    if reason.is_empty() {
+        return Err("empty reason after ` -- `".into());
+    }
+    let mut rest = head.trim();
+    let (rule_str, after_rule) = rest
+        .split_once(char::is_whitespace)
+        .ok_or("expected `<rule-id> <path> \"<needle>\"`")?;
+    let rule = RuleId::parse(rule_str)
+        .ok_or_else(|| format!("unknown rule id `{rule_str}`"))?;
+    rest = after_rule.trim();
+    let (path_suffix, after_path) = rest
+        .split_once(char::is_whitespace)
+        .ok_or("expected a path and a quoted needle after the rule id")?;
+    let needle_part = after_path.trim();
+    let needle = needle_part
+        .strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .ok_or("needle must be double-quoted")?;
+    if needle.is_empty() {
+        return Err("empty needle would match any line".into());
+    }
+    Ok(AllowEntry {
+        line: line_no,
+        rule,
+        path_suffix: path_suffix.replace('\\', "/"),
+        needle: needle.to_string(),
+        reason: reason.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(path: &str, line: u32, rule: RuleId) -> Finding {
+        Finding {
+            path: path.into(),
+            line,
+            rule,
+            message: "m".into(),
+        }
+    }
+
+    #[test]
+    fn parses_entries_and_comments() {
+        let text = "# header\n\nPF03 crates/math/src/vec3.rs \"index out of range\" -- Index cannot return Result\n";
+        let al = Allowlist::parse(text).expect("parses");
+        assert_eq!(al.entries.len(), 1);
+        let e = &al.entries[0];
+        assert_eq!(e.rule, RuleId::Pf03PanicMacro);
+        assert_eq!(e.path_suffix, "crates/math/src/vec3.rs");
+        assert_eq!(e.needle, "index out of range");
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn reason_is_mandatory() {
+        let err = Allowlist::parse("PF01 a.rs \"x\"\n").expect_err("no reason");
+        assert!(err[0].contains("justification"), "{err:?}");
+        let err2 = Allowlist::parse("ZZ99 a.rs \"x\" -- why\n").expect_err("bad rule");
+        assert!(err2[0].contains("unknown rule id"), "{err2:?}");
+    }
+
+    #[test]
+    fn suppresses_matching_findings_only() {
+        let al = Allowlist::parse("PF01 src/a.rs \"needle\" -- ok\n").expect("parses");
+        let fs = vec![
+            finding("crates/x/src/a.rs", 3, RuleId::Pf01Unwrap),
+            finding("crates/x/src/a.rs", 9, RuleId::Pf01Unwrap),
+            finding("crates/x/src/b.rs", 3, RuleId::Pf01Unwrap),
+        ];
+        let applied = al.apply(fs, "analyzer.allow", |path, line| {
+            // Only a.rs line 3 carries the needle.
+            if path.ends_with("a.rs") && line == 3 {
+                Some("let x = needle.unwrap();".into())
+            } else {
+                Some("let y = other.unwrap();".into())
+            }
+        });
+        assert_eq!(applied.suppressed, 1);
+        assert_eq!(applied.kept.len(), 2);
+        assert!(applied.kept.iter().all(|f| f.rule == RuleId::Pf01Unwrap));
+    }
+
+    #[test]
+    fn stale_entries_become_findings() {
+        let al = Allowlist::parse("DT01 nowhere.rs \"tick\" -- obsolete\n").expect("parses");
+        let applied = al.apply(Vec::new(), "analyzer.allow", |_, _| None);
+        assert_eq!(applied.kept.len(), 1);
+        let f = &applied.kept[0];
+        assert_eq!(f.rule, RuleId::Al01StaleAllow);
+        assert_eq!(f.path, "analyzer.allow");
+        assert_eq!(f.line, 1);
+    }
+}

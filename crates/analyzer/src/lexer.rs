@@ -1,0 +1,447 @@
+//! A lightweight Rust tokenizer, sufficient for line-accurate lint rules.
+//!
+//! This is deliberately *not* a full Rust lexer: the analyzer's rules only
+//! need identifiers, punctuation and literal boundaries, attributed with
+//! line numbers, with comments and string/char literal *contents* reliably
+//! skipped (so `"call .unwrap() here"` in a string or doc comment never
+//! trips a rule). It handles the constructs that would otherwise corrupt
+//! the token stream:
+//!
+//! - line (`//`, `///`, `//!`) and nested block (`/* /* */ */`) comments;
+//! - string, raw-string (`r#".."#`, any number of `#`s), byte-string and
+//!   char literals, including escapes;
+//! - numeric literals, with a float/integer distinction (decimal point,
+//!   exponent or an `f32`/`f64` suffix marks a float);
+//! - lifetimes (`'a`), which would otherwise be mistaken for an unclosed
+//!   char literal.
+//!
+//! The tokenizer never fails: unrecognized bytes become [`TokenKind::Other`]
+//! tokens and the scan continues, so a file with exotic syntax degrades to
+//! fewer findings rather than a crashed analysis.
+
+/// The classification of one token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`unwrap`, `fn`, `HashMap`, ...).
+    Ident,
+    /// An integer literal (`42`, `0xff`, `1_000u64`).
+    Int,
+    /// A floating-point literal (`1.0`, `2e-3`, `1f64`).
+    Float,
+    /// A string, raw-string, byte-string or char literal (content elided).
+    Str,
+    /// A lifetime such as `'a` (kept distinct from char literals).
+    Lifetime,
+    /// A single punctuation byte (`.`, `(`, `=`, ...). Multi-byte
+    /// operators appear as consecutive tokens (`==` is `=`, `=`).
+    Punct(u8),
+    /// Any byte the tokenizer does not classify.
+    Other,
+}
+
+/// One token: kind, source text and 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// The token's text as written (empty for [`TokenKind::Str`] bodies).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation byte `b`.
+    pub fn is_punct(&self, b: u8) -> bool {
+        self.kind == TokenKind::Punct(b)
+    }
+}
+
+/// Tokenizes Rust source. Infallible; see the module docs for scope.
+pub fn tokenize(src: &str) -> Vec<Token> {
+    Lexer {
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        tokens: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.bytes.len() {
+            let start_line = self.line;
+            let b = self.bytes[self.pos];
+            match b {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b if b.is_ascii_whitespace() => self.pos += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.skip_line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.skip_block_comment(),
+                b'r' | b'b' if self.raw_string_ahead() => self.skip_raw_string(start_line),
+                b'b' if self.peek(1) == Some(b'\'') => {
+                    self.pos += 1;
+                    self.skip_char_literal(start_line);
+                }
+                b'b' if self.peek(1) == Some(b'"') => {
+                    self.pos += 1;
+                    self.skip_string_literal(start_line);
+                }
+                b'"' => self.skip_string_literal(start_line),
+                b'\'' => self.char_or_lifetime(start_line),
+                b if b == b'_' || b.is_ascii_alphabetic() => self.lex_ident(start_line),
+                b if b.is_ascii_digit() => self.lex_number(start_line),
+                b if b.is_ascii_punctuation() => {
+                    self.push(TokenKind::Punct(b), (b as char).to_string(), start_line);
+                    self.pos += 1;
+                }
+                _ => {
+                    self.push(TokenKind::Other, String::new(), start_line);
+                    self.pos += 1;
+                }
+            }
+        }
+        self.tokens
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32) {
+        self.tokens.push(Token { kind, text, line });
+    }
+
+    fn bump_line_on(&mut self, b: u8) {
+        if b == b'\n' {
+            self.line += 1;
+        }
+    }
+
+    fn skip_line_comment(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+    }
+
+    fn skip_block_comment(&mut self) {
+        // Rust block comments nest.
+        let mut depth = 0usize;
+        while self.pos < self.bytes.len() {
+            if self.bytes[self.pos] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.pos += 2;
+            } else if self.bytes[self.pos] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.pos += 2;
+                if depth == 0 {
+                    return;
+                }
+            } else {
+                self.bump_line_on(self.bytes[self.pos]);
+                self.pos += 1;
+            }
+        }
+    }
+
+    /// Whether `r"..."`, `r#"..."#`, `br"..."` or `br#"..."#` starts here.
+    fn raw_string_ahead(&self) -> bool {
+        let mut i = self.pos;
+        if self.bytes.get(i) == Some(&b'b') {
+            i += 1;
+        }
+        if self.bytes.get(i) != Some(&b'r') {
+            return false;
+        }
+        i += 1;
+        while self.bytes.get(i) == Some(&b'#') {
+            i += 1;
+        }
+        self.bytes.get(i) == Some(&b'"')
+    }
+
+    fn skip_raw_string(&mut self, line: u32) {
+        if self.bytes.get(self.pos) == Some(&b'b') {
+            self.pos += 1;
+        }
+        self.pos += 1; // the 'r'
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.pos += 1;
+        }
+        self.pos += 1; // opening quote
+        while self.pos < self.bytes.len() {
+            if self.bytes[self.pos] == b'"' {
+                let mut matched = 0usize;
+                while matched < hashes && self.peek(1 + matched) == Some(b'#') {
+                    matched += 1;
+                }
+                if matched == hashes {
+                    self.pos += 1 + hashes;
+                    self.push(TokenKind::Str, String::new(), line);
+                    return;
+                }
+            }
+            self.bump_line_on(self.bytes[self.pos]);
+            self.pos += 1;
+        }
+        self.push(TokenKind::Str, String::new(), line);
+    }
+
+    fn skip_string_literal(&mut self, line: u32) {
+        self.pos += 1; // opening quote
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => self.pos += 2,
+                b'"' => {
+                    self.pos += 1;
+                    self.push(TokenKind::Str, String::new(), line);
+                    return;
+                }
+                b => {
+                    self.bump_line_on(b);
+                    self.pos += 1;
+                }
+            }
+        }
+        self.push(TokenKind::Str, String::new(), line);
+    }
+
+    fn skip_char_literal(&mut self, line: u32) {
+        self.pos += 1; // opening quote
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => self.pos += 2,
+                b'\'' => {
+                    self.pos += 1;
+                    self.push(TokenKind::Str, String::new(), line);
+                    return;
+                }
+                b => {
+                    self.bump_line_on(b);
+                    self.pos += 1;
+                }
+            }
+        }
+        self.push(TokenKind::Str, String::new(), line);
+    }
+
+    fn char_or_lifetime(&mut self, line: u32) {
+        // `'a` / `'static` (no closing quote) vs `'x'` / `'\n'`.
+        let is_lifetime = match (self.peek(1), self.peek(2)) {
+            (Some(c), next) if c == b'_' || c.is_ascii_alphabetic() => next != Some(b'\''),
+            _ => false,
+        };
+        if is_lifetime {
+            let start = self.pos;
+            self.pos += 1;
+            while self
+                .peek(0)
+                .is_some_and(|c| c == b'_' || c.is_ascii_alphanumeric())
+            {
+                self.pos += 1;
+            }
+            let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+            self.push(TokenKind::Lifetime, text, line);
+        } else {
+            self.skip_char_literal(line);
+        }
+    }
+
+    fn lex_ident(&mut self, line: u32) {
+        let start = self.pos;
+        while self
+            .peek(0)
+            .is_some_and(|c| c == b'_' || c.is_ascii_alphanumeric())
+        {
+            self.pos += 1;
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        self.push(TokenKind::Ident, text, line);
+    }
+
+    fn lex_number(&mut self, line: u32) {
+        let start = self.pos;
+        let mut is_float = false;
+        // Hex/octal/binary literals are always integers.
+        if self.peek(0) == Some(b'0')
+            && matches!(self.peek(1), Some(b'x') | Some(b'o') | Some(b'b'))
+        {
+            self.pos += 2;
+            while self
+                .peek(0)
+                .is_some_and(|c| c == b'_' || c.is_ascii_alphanumeric())
+            {
+                self.pos += 1;
+            }
+        } else {
+            while self.peek(0).is_some_and(|c| c == b'_' || c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+            // A decimal point only counts when followed by a digit —
+            // `1.` is a float, but `x.0` tuple access and `1..n` ranges
+            // must not swallow the dot. (`1.` with no digit after is
+            // float syntax too, but only when not followed by an ident
+            // or another `.`.)
+            if self.peek(0) == Some(b'.') {
+                match self.peek(1) {
+                    Some(c) if c.is_ascii_digit() => {
+                        is_float = true;
+                        self.pos += 1;
+                        while self.peek(0).is_some_and(|c| c == b'_' || c.is_ascii_digit()) {
+                            self.pos += 1;
+                        }
+                    }
+                    Some(b'.') => {}
+                    Some(c) if c == b'_' || c.is_ascii_alphabetic() => {}
+                    _ => {
+                        is_float = true;
+                        self.pos += 1;
+                    }
+                }
+            }
+            // Exponent.
+            if matches!(self.peek(0), Some(b'e') | Some(b'E')) {
+                let mut j = 1;
+                if matches!(self.peek(1), Some(b'+') | Some(b'-')) {
+                    j = 2;
+                }
+                if self.peek(j).is_some_and(|c| c.is_ascii_digit()) {
+                    is_float = true;
+                    self.pos += j;
+                    while self.peek(0).is_some_and(|c| c == b'_' || c.is_ascii_digit()) {
+                        self.pos += 1;
+                    }
+                }
+            }
+            // Type suffix (`1f64`, `2.5f32`, `7u32`).
+            if self.peek(0).is_some_and(|c| c.is_ascii_alphabetic()) {
+                let suffix_start = self.pos;
+                while self
+                    .peek(0)
+                    .is_some_and(|c| c == b'_' || c.is_ascii_alphanumeric())
+                {
+                    self.pos += 1;
+                }
+                let suffix = &self.bytes[suffix_start..self.pos];
+                if suffix == b"f32" || suffix == b"f64" {
+                    is_float = true;
+                }
+            }
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        let kind = if is_float { TokenKind::Float } else { TokenKind::Int };
+        self.push(kind, text, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        tokenize(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_punct() {
+        let ts = tokenize("let x = a.unwrap();");
+        let texts: Vec<&str> = ts.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, vec!["let", "x", "=", "a", ".", "unwrap", "(", ")", ";"]);
+    }
+
+    #[test]
+    fn comments_are_skipped_and_lines_counted() {
+        let src = "// has unwrap() inside\n/* block\nunwrap() */\nfoo";
+        let ts = tokenize(src);
+        assert_eq!(ts.len(), 1);
+        assert!(ts[0].is_ident("foo"));
+        assert_eq!(ts[0].line, 4);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let ts = tokenize("/* a /* b */ c */ x");
+        assert_eq!(ts.len(), 1);
+        assert!(ts[0].is_ident("x"));
+    }
+
+    #[test]
+    fn string_contents_are_elided() {
+        let ts = tokenize(r#"emit("call .unwrap() now") "#);
+        assert!(ts.iter().all(|t| t.text != "unwrap"));
+        assert!(ts.iter().any(|t| t.kind == TokenKind::Str));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = r####"let s = r#"embedded "quote" and unwrap()"# ; tail"####;
+        let ts = tokenize(src);
+        assert!(ts.iter().all(|t| t.text != "unwrap"));
+        assert!(ts.iter().any(|t| t.is_ident("tail")));
+    }
+
+    #[test]
+    fn char_and_lifetime() {
+        let ts = tokenize("fn f<'a>(c: char) { let x = 'x'; let n = '\\n'; }");
+        assert!(ts.iter().any(|t| t.kind == TokenKind::Lifetime && t.text == "'a"));
+        assert_eq!(
+            ts.iter().filter(|t| t.kind == TokenKind::Str).count(),
+            2,
+            "two char literals"
+        );
+    }
+
+    #[test]
+    fn float_vs_int_literals() {
+        let ks = kinds("0.0 1e-3 2.5f32 1f64 42 0xff 1_000 x.0 0..n");
+        let floats: Vec<&str> = ks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Float)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(floats, vec!["0.0", "1e-3", "2.5f32", "1f64"]);
+        // Tuple access `.0` stays split, range `0..n` keeps both ints.
+        assert!(ks.iter().any(|(k, t)| *k == TokenKind::Int && t == "42"));
+        assert!(ks.iter().any(|(k, t)| *k == TokenKind::Int && t == "0xff"));
+    }
+
+    #[test]
+    fn multiline_string_counts_lines() {
+        let ts = tokenize("let s = \"a\nb\nc\";\nafter");
+        let after = ts.iter().find(|t| t.is_ident("after")).unwrap();
+        assert_eq!(after.line, 4);
+    }
+
+    #[test]
+    fn operators_split_into_bytes() {
+        let ts = tokenize("a == b != c");
+        let puncts: Vec<u8> = ts
+            .iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::Punct(b) => Some(b),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(puncts, vec![b'=', b'=', b'!', b'=']);
+    }
+}

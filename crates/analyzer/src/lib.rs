@@ -1,0 +1,35 @@
+//! Workspace invariant analyzer for PID-Piper.
+//!
+//! A self-contained static-analysis pass (own lightweight Rust tokenizer,
+//! zero dependencies) that enforces the workspace's cross-cutting
+//! invariants as a CI gate:
+//!
+//! - **determinism** (`DT0x`) — no wall-clock reads, ambient randomness or
+//!   hash-ordered iteration in result-affecting code. The experiment
+//!   harness's bit-identical parallel/serial equivalence contract rests on
+//!   these.
+//! - **panic-freedom** (`PF0x`) — no `unwrap`/`expect`/panic-macros/
+//!   unchecked indexing in library code; a recovery module that panics
+//!   mid-flight is itself a crash.
+//! - **float-safety** (`FS0x`) — no float `==`/`!=`, no
+//!   `partial_cmp().unwrap()`; NaN must order and compare totally
+//!   (`f64::total_cmp`, `pidpiper_math::float`).
+//! - **doc coverage** (`DC01`) — every crate root must carry
+//!   `#![deny(missing_docs)]`.
+//!
+//! Justified exceptions live in the checked-in `analyzer.allow` file; a
+//! stale exception is itself a finding (`AL01`). See the module docs of
+//! [`rules`] and [`allowlist`] for the rule catalogue and file format, and
+//! `ARCHITECTURE.md` ("Invariants & static analysis") for the policy
+//! rationale.
+
+#![deny(missing_docs)]
+
+pub mod allowlist;
+pub mod lexer;
+pub mod rules;
+pub mod scan;
+
+pub use allowlist::{AllowEntry, Allowlist};
+pub use rules::{analyze_source, FileContext, Finding, RuleId};
+pub use scan::{analyze_rel, scan_workspace, ScanReport};

@@ -1,0 +1,155 @@
+//! `pidpiper-analyzer` — the workspace invariant gate.
+//!
+//! ```text
+//! pidpiper-analyzer --workspace              # scan the whole workspace (CI mode)
+//! pidpiper-analyzer file.rs [file2.rs ...]   # scan specific files
+//! pidpiper-analyzer --allow my.allow ...     # use an explicit allow file
+//! ```
+//!
+//! Findings print as `path:line: RULE: message`, sorted. Exit status:
+//! `0` clean, `1` findings, `2` usage or I/O error.
+
+#![deny(missing_docs)]
+
+use pidpiper_analyzer::scan;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    workspace: bool,
+    allow: Option<PathBuf>,
+    files: Vec<PathBuf>,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        workspace: false,
+        allow: None,
+        files: Vec::new(),
+    };
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workspace" => args.workspace = true,
+            "--allow" => {
+                let p = it.next().ok_or("--allow requires a file path")?;
+                args.allow = Some(PathBuf::from(p));
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag `{other}`\n{USAGE}"));
+            }
+            file => args.files.push(PathBuf::from(file)),
+        }
+    }
+    if !args.workspace && args.files.is_empty() {
+        return Err(format!("nothing to scan\n{USAGE}"));
+    }
+    if args.workspace && !args.files.is_empty() {
+        return Err("--workspace and explicit files are mutually exclusive".into());
+    }
+    Ok(args)
+}
+
+const USAGE: &str = "usage: pidpiper-analyzer --workspace | <file.rs>... [--allow <file>]";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = if args.workspace {
+        let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+        let root = scan::find_workspace_root(&cwd);
+        scan::scan_workspace(&root, args.allow.as_deref())
+    } else {
+        let files: Vec<(PathBuf, String)> = args
+            .files
+            .iter()
+            .map(|p| (p.clone(), p.to_string_lossy().replace('\\', "/")))
+            .collect();
+        let allow_text = match &args.allow {
+            Some(p) => match std::fs::read_to_string(p) {
+                Ok(text) => Some((p.clone(), text)),
+                Err(e) => {
+                    eprintln!("{}: {e}", p.display());
+                    return ExitCode::from(2);
+                }
+            },
+            None => None,
+        };
+        let allow_ref = allow_text
+            .as_ref()
+            .map(|(p, t)| (p.to_string_lossy().replace('\\', "/"), t.as_str()));
+        scan::scan_files(
+            &files,
+            allow_ref.as_ref().map(|(p, t)| (p.as_str(), *t)),
+        )
+    };
+
+    let report = match report {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("pidpiper-analyzer: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for f in &report.findings {
+        println!("{f}");
+    }
+    let suppressed = match report.suppressed {
+        0 => String::new(),
+        n => format!(" ({n} suppressed by allowlist)"),
+    };
+    if scan::should_fail(&report) {
+        eprintln!(
+            "pidpiper-analyzer: {} finding(s) across {} file(s){suppressed}",
+            report.findings.len(),
+            report.files
+        );
+        ExitCode::from(1)
+    } else {
+        eprintln!(
+            "pidpiper-analyzer: clean — {} file(s) analyzed{suppressed}",
+            report.files
+        );
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn argv(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_workspace_mode() {
+        let a = parse_args(&argv(&["--workspace"])).expect("ok");
+        assert!(a.workspace);
+        assert!(a.files.is_empty());
+    }
+
+    #[test]
+    fn parses_files_and_allow() {
+        let a = parse_args(&argv(&["--allow", "x.allow", "a.rs", "b.rs"])).expect("ok");
+        assert_eq!(a.allow.as_deref(), Some(Path::new("x.allow")));
+        assert_eq!(a.files.len(), 2);
+    }
+
+    #[test]
+    fn rejects_empty_and_conflicting_invocations() {
+        assert!(parse_args(&[]).is_err());
+        assert!(parse_args(&argv(&["--workspace", "a.rs"])).is_err());
+        assert!(parse_args(&argv(&["--bogus"])).is_err());
+    }
+}

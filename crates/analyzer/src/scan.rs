@@ -1,0 +1,237 @@
+//! Workspace file discovery and the end-to-end analysis driver.
+//!
+//! The scanner covers exactly the code whose behaviour reaches results or
+//! the flight loop: `crates/*/src/**` plus the root facade's `src/**`.
+//! Integration tests, benches, examples and fixture corpora are skipped —
+//! they are either allowed to panic by design or are deliberately-bad
+//! analyzer test inputs.
+
+use crate::allowlist::Allowlist;
+use crate::rules::{analyze_source, FileContext, Finding};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into.
+const SKIP_DIRS: [&str; 6] = ["target", "vendor", "tests", "benches", "examples", "fixtures"];
+
+/// A scan-level failure (I/O, malformed allowlist).
+#[derive(Debug)]
+pub enum ScanError {
+    /// A file or directory could not be read.
+    Io(PathBuf, std::io::Error),
+    /// The allow file had malformed lines.
+    BadAllowlist(Vec<String>),
+}
+
+impl std::fmt::Display for ScanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScanError::Io(p, e) => write!(f, "{}: {e}", p.display()),
+            ScanError::BadAllowlist(errs) => write!(f, "{}", errs.join("\n")),
+        }
+    }
+}
+
+/// Result of a full scan.
+#[derive(Debug)]
+pub struct ScanReport {
+    /// Surviving findings, sorted by `(path, line, rule)`.
+    pub findings: Vec<Finding>,
+    /// Number of findings suppressed by the allowlist.
+    pub suppressed: usize,
+    /// Number of `.rs` files analyzed.
+    pub files: usize,
+}
+
+/// Lists the workspace `.rs` files under analysis, as
+/// `(absolute, workspace-relative)` pairs in deterministic (sorted) order.
+pub fn workspace_files(root: &Path) -> Result<Vec<(PathBuf, String)>, ScanError> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut crate_dirs = read_dir_sorted(&crates_dir)?;
+        crate_dirs.retain(|p| p.is_dir());
+        for c in crate_dirs {
+            collect_rs(&c.join("src"), &mut files)?;
+        }
+    }
+    collect_rs(&root.join("src"), &mut files)?;
+    let mut out: Vec<(PathBuf, String)> = files
+        .into_iter()
+        .map(|abs| {
+            let rel = abs
+                .strip_prefix(root)
+                .unwrap_or(&abs)
+                .to_string_lossy()
+                .replace('\\', "/");
+            (abs, rel)
+        })
+        .collect();
+    out.sort_by(|a, b| a.1.cmp(&b.1));
+    Ok(out)
+}
+
+fn read_dir_sorted(dir: &Path) -> Result<Vec<PathBuf>, ScanError> {
+    let rd = std::fs::read_dir(dir).map_err(|e| ScanError::Io(dir.to_path_buf(), e))?;
+    let mut out = Vec::new();
+    for entry in rd {
+        let entry = entry.map_err(|e| ScanError::Io(dir.to_path_buf(), e))?;
+        out.push(entry.path());
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), ScanError> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for p in read_dir_sorted(dir)? {
+        let name = p.file_name().map(|n| n.to_string_lossy().into_owned());
+        let name = name.unwrap_or_default();
+        if p.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_str()) {
+                collect_rs(&p, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// Derives `(crate_name, is_crate_root)` from a workspace-relative path.
+/// The root facade package is reported as `pid-piper`.
+pub fn classify(rel: &str) -> (String, bool) {
+    if let Some(rest) = rel.strip_prefix("crates/") {
+        let crate_name = rest.split('/').next().unwrap_or(rest).to_string();
+        let is_root = rest == format!("{crate_name}/src/lib.rs");
+        (crate_name, is_root)
+    } else {
+        ("pid-piper".to_string(), rel == "src/lib.rs")
+    }
+}
+
+/// Analyzes one source buffer under its workspace-relative path.
+pub fn analyze_rel(rel: &str, src: &str) -> Vec<Finding> {
+    let (crate_name, is_crate_root) = classify(rel);
+    analyze_source(
+        FileContext {
+            rel_path: rel,
+            crate_name: &crate_name,
+            is_crate_root,
+        },
+        src,
+    )
+}
+
+/// Scans a set of files and applies the allowlist. `allow` is the allow
+/// file's `(relative-path, contents)` when present.
+pub fn scan_files(
+    files: &[(PathBuf, String)],
+    allow: Option<(&str, &str)>,
+) -> Result<ScanReport, ScanError> {
+    let mut sources: BTreeMap<String, String> = BTreeMap::new();
+    let mut findings = Vec::new();
+    for (abs, rel) in files {
+        let src =
+            std::fs::read_to_string(abs).map_err(|e| ScanError::Io(abs.clone(), e))?;
+        findings.extend(analyze_rel(rel, &src));
+        sources.insert(rel.clone(), src);
+    }
+    let (allow_path, allowlist) = match allow {
+        Some((path, text)) => (
+            path,
+            Allowlist::parse(text).map_err(ScanError::BadAllowlist)?,
+        ),
+        None => ("analyzer.allow", Allowlist::default()),
+    };
+    let applied = allowlist.apply(findings, allow_path, |path, line| {
+        sources
+            .get(path)
+            .zip((line as usize).checked_sub(1))
+            .and_then(|(src, idx)| src.lines().nth(idx))
+            .map(str::to_string)
+    });
+    let mut kept = applied.kept;
+    kept.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule))
+    });
+    Ok(ScanReport {
+        findings: kept,
+        suppressed: applied.suppressed,
+        files: files.len(),
+    })
+}
+
+/// Scans the whole workspace rooted at `root`, honouring
+/// `<root>/analyzer.allow` when it exists (or an explicit override).
+pub fn scan_workspace(root: &Path, allow_override: Option<&Path>) -> Result<ScanReport, ScanError> {
+    let files = workspace_files(root)?;
+    let allow_path = match allow_override {
+        Some(p) => Some(p.to_path_buf()),
+        None => {
+            let default = root.join("analyzer.allow");
+            default.is_file().then_some(default)
+        }
+    };
+    match allow_path {
+        Some(p) => {
+            let text =
+                std::fs::read_to_string(&p).map_err(|e| ScanError::Io(p.clone(), e))?;
+            let rel = p
+                .strip_prefix(root)
+                .unwrap_or(&p)
+                .to_string_lossy()
+                .replace('\\', "/");
+            scan_files(&files, Some((&rel, &text)))
+        }
+        None => scan_files(&files, None),
+    }
+}
+
+/// Locates the workspace root: the nearest ancestor of `start` holding
+/// both a `Cargo.toml` and a `crates/` directory, falling back to the
+/// analyzer crate's own grandparent (compiled-in) so `pidpiper-analyzer`
+/// works from any cwd inside the repo.
+pub fn find_workspace_root(start: &Path) -> PathBuf {
+    for dir in start.ancestors() {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return dir.to_path_buf();
+        }
+    }
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .unwrap_or(Path::new("."))
+        .to_path_buf()
+}
+
+/// `true` when any finding remains that is not merely informational —
+/// i.e. the gate should fail.
+pub fn should_fail(report: &ScanReport) -> bool {
+    !report.findings.is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::RuleId;
+
+    #[test]
+    fn classify_paths() {
+        assert_eq!(classify("crates/math/src/lib.rs"), ("math".into(), true));
+        assert_eq!(classify("crates/math/src/float.rs"), ("math".into(), false));
+        assert_eq!(classify("src/lib.rs"), ("pid-piper".into(), true));
+        assert_eq!(classify("src/main.rs"), ("pid-piper".into(), false));
+    }
+
+    #[test]
+    fn unused_rule_variant_lint_guard() {
+        // RuleId::parse round-trips every id the analyzer can emit.
+        for id in ["DT01", "DT02", "DT03", "PF01", "PF02", "PF03", "PF04", "FS01", "FS02", "DC01", "AL01"] {
+            let parsed = RuleId::parse(id).map(RuleId::as_str);
+            assert_eq!(parsed, Some(id));
+        }
+    }
+}

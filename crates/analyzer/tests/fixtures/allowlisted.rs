@@ -1,0 +1,6 @@
+//! Fixture: a violation whose suppression lives in `fixtures.allow`.
+
+/// Panics with a documented contract that the allow entry accepts.
+pub fn indexed() {
+    panic!("fixture index out of range");
+}

@@ -1,0 +1,31 @@
+//! Fixture: idiomatic code that every rule family must accept.
+
+#![deny(missing_docs)]
+
+/// Total-ordering comparison, checked access, explicit fallback.
+pub fn safe(v: &[f64]) -> f64 {
+    let mut xs = v.to_vec();
+    xs.sort_by(f64::total_cmp);
+    xs.first().copied().unwrap_or(0.0)
+}
+
+/// Epsilon comparison instead of float `==`; integer `==` is fine.
+pub fn near(a: f64, b: f64, n: usize) -> bool {
+    (a - b).abs() <= 1e-9 && n == 0
+}
+
+/// Asserts state documented caller contracts and are allowed.
+pub fn contract(len: usize) {
+    assert!(len > 0, "caller must pass a non-empty batch");
+    debug_assert_eq!(len % 2, 0);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap_and_compare() {
+        Some(3).unwrap();
+        assert!(0.0_f64 == 0.0);
+        panic!("even panic is fine under cfg(test)");
+    }
+}

@@ -1,0 +1,22 @@
+//! Fixture: seeded determinism violations (DT01/DT02/DT03).
+
+use std::collections::HashMap;
+use std::time::{Instant, SystemTime};
+
+/// Reads the wall clock twice.
+pub fn stamp() -> f64 {
+    let t0 = Instant::now();
+    let _ = SystemTime::now();
+    t0.elapsed().as_secs_f64()
+}
+
+/// Draws ambient entropy.
+pub fn roll() -> u64 {
+    let mut rng = thread_rng();
+    rng.next_u64()
+}
+
+/// Hash-ordered state.
+pub fn counts() -> HashMap<String, u64> {
+    HashMap::new()
+}

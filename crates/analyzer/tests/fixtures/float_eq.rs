@@ -1,0 +1,16 @@
+//! Fixture: seeded float-safety violations (FS01/FS02).
+
+/// Compares floats with `==`.
+pub fn eq(x: f64) -> bool {
+    x == 0.0
+}
+
+/// Compares floats with `!=`.
+pub fn ne(x: f64) -> bool {
+    x != 1.5
+}
+
+/// Sorts with a panicking comparator.
+pub fn sort(v: &mut [f64]) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}

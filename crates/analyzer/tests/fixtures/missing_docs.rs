@@ -1,0 +1,4 @@
+//! Fixture: a crate root without `#![deny(missing_docs)]` (DC01).
+
+/// A documented item; the missing lint attribute is the violation.
+pub fn f() {}

@@ -1,0 +1,29 @@
+//! Fixture: seeded panic-freedom violations (PF01-PF04).
+
+/// Unwraps an option.
+pub fn a(x: Option<u8>) -> u8 {
+    x.unwrap()
+}
+
+/// Expects a result.
+pub fn b(x: Result<u8, ()>) -> u8 {
+    x.expect("b")
+}
+
+/// Panics outright.
+pub fn c() {
+    panic!("nope");
+}
+
+/// Bypasses bounds checks.
+pub fn d(v: &[u8]) -> u8 {
+    unsafe { *v.get_unchecked(1) }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn masked() {
+        Some(1).unwrap();
+    }
+}

@@ -19,6 +19,8 @@
 //!   statistic just below it; over a long mission this still causes large
 //!   deviations against window-based detectors.
 
+#![deny(missing_docs)]
+
 pub mod overt;
 pub mod schedule;
 pub mod stealthy;

@@ -172,8 +172,10 @@ mod tests {
 
     #[test]
     fn mag_bias_wraps() {
-        let mut r = SensorReadings::default();
-        r.mag_heading = 3.0;
+        let mut r = SensorReadings {
+            mag_heading: 3.0,
+            ..SensorReadings::default()
+        };
         AttackKind::MagBias(1.0).apply(&mut r);
         assert!(r.mag_heading <= std::f64::consts::PI);
     }

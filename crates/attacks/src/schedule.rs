@@ -62,10 +62,9 @@ impl Schedule {
     pub fn first_activation(&self) -> Option<f64> {
         match self {
             Schedule::Continuous { start } => Some(*start),
-            Schedule::Windows(ws) => ws
-                .iter()
-                .map(|&(a, _)| a)
-                .min_by(|x, y| x.partial_cmp(y).expect("finite times")),
+            Schedule::Windows(ws) => {
+                pidpiper_math::float::min_of(ws.iter().map(|&(a, _)| a))
+            }
             Schedule::Intermittent { start, .. } => Some(*start),
             Schedule::Never => None,
         }

@@ -145,7 +145,7 @@ impl StealthyAttack {
 
     /// Applies the current bias to a sensor sample.
     pub fn apply(&self, r: &mut SensorReadings) {
-        if !self.active || self.bias == 0.0 {
+        if !self.active || pidpiper_math::is_zero(self.bias) {
             return;
         }
         match self.channel {

@@ -128,13 +128,17 @@ impl CiDefense {
         target: &pidpiper_control::TargetState,
     ) -> ActuatorSignal {
         let reg = regressor(&state_vector(est), &input_vector(target));
-        let y = y_model.matvec(&reg).expect("shapes fixed at fit time");
-        ActuatorSignal::from_array([y[0], y[1], y[2], y[3]])
+        // Shapes are fixed at fit time; a neutral signal is the safe
+        // deterministic fallback if that invariant ever breaks.
+        match y_model.matvec(&reg) {
+            Ok(y) => ActuatorSignal::from_array([y[0], y[1], y[2], y[3]]),
+            Err(_) => ActuatorSignal::default(),
+        }
     }
 
     fn residual(pred: &ActuatorSignal, pid: &ActuatorSignal) -> f64 {
         let r = pred.residual_deg(pid);
-        r[0].max(r[1]).max(r[2])
+        pidpiper_math::fmax(pidpiper_math::fmax(r[0], r[1]), r[2])
     }
 
     /// Internal accessor for the state model (used by tests).

@@ -22,6 +22,8 @@
 //! PID-Piper's (Fig. 9b); and none of the three recovers to *mission
 //! completion* like an FFC does (Table III).
 
+#![deny(missing_docs)]
+
 pub mod calibrate;
 pub mod ci;
 pub mod linear;

@@ -162,10 +162,16 @@ impl LinearStateModel {
         reg.extend_from_slice(x);
         reg.extend_from_slice(u);
         reg.push(1.0);
-        let out = self.theta.matvec(&reg).expect("shapes fixed at fit time");
-        let mut arr = [0.0; STATE_DIM];
-        arr.copy_from_slice(&out);
-        arr
+        // Shapes are fixed at fit time; if that invariant ever breaks,
+        // predicting "state unchanged" is the safe deterministic fallback.
+        match self.theta.matvec(&reg) {
+            Ok(out) => {
+                let mut arr = [0.0; STATE_DIM];
+                arr.copy_from_slice(&out);
+                arr
+            }
+            Err(_) => *x,
+        }
     }
 
     /// Converts a predicted state vector back into an [`EstimatedState`]
@@ -269,10 +275,12 @@ mod tests {
 
     #[test]
     fn state_vector_round_trip() {
-        let mut est = EstimatedState::default();
-        est.position = Vec3::new(1.0, 2.0, 3.0);
-        est.velocity = Vec3::new(0.1, 0.2, 0.3);
-        est.attitude = Vec3::new(0.01, 0.02, 0.03);
+        let est = EstimatedState {
+            position: Vec3::new(1.0, 2.0, 3.0),
+            velocity: Vec3::new(0.1, 0.2, 0.3),
+            attitude: Vec3::new(0.01, 0.02, 0.03),
+            ..EstimatedState::default()
+        };
         let x = state_vector(&est);
         let back = LinearStateModel::to_estimate(&x, &est);
         assert_eq!(back.position, est.position);

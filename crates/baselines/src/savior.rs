@@ -244,13 +244,12 @@ impl Defense for SaviorDefense {
             self.quiet_steps = 0;
         }
 
-        let out = if self.recovery {
-            // Extended-Savior recovery: propagate the physical model open
-            // loop (the sensors are suspect) and fly a PID on the
-            // propagated state. Without feedback the propagation drifts.
-            let state = self
-                .last_estimate
-                .expect("seeded when recovery activated");
+        // Extended-Savior recovery: propagate the physical model open
+        // loop (the sensors are suspect) and fly a PID on the propagated
+        // state. Without feedback the propagation drifts. The estimate is
+        // seeded when recovery activates; if that invariant ever breaks,
+        // fall through to the undefended PID signal instead of panicking.
+        let out = if let (true, Some(state)) = (self.recovery, self.last_estimate) {
             let propagated = self.model.propagate(&state, &self.last_flown, ctx.dt);
             self.last_estimate = Some(propagated);
             let y = self

@@ -163,7 +163,7 @@ impl Defense for SrrDefense {
     fn observe(&mut self, ctx: &DefenseContext<'_>) -> Option<ActuatorSignal> {
         // Software sensors: one-step model prediction from the previous
         // (decimated) state; during recovery the model propagates itself.
-        if self.step % self.config.decimate == 0 {
+        if self.step.is_multiple_of(self.config.decimate) {
             // The software sensors propagate from the commands actually
             // flown (SRR identifies controller + actuators + dynamics).
             let u = crate::linear::actuator_vector(&self.last_flown);
@@ -216,13 +216,18 @@ impl Defense for SrrDefense {
             self.hold_steps += 1;
         }
 
-        if self.recovery {
+        // Both recovery anchors are set on detection; if that invariant
+        // ever breaks, fall through to the undefended PID signal instead
+        // of panicking mid-mission.
+        let anchors = (|| {
+            if self.recovery {
+                Some((self.software_state?, self.hold_position?))
+            } else {
+                None
+            }
+        })();
+        if let Some((mut state, hold)) = anchors {
             // Emergency hold: station-keep at the software-sensor position.
-            // The software sensors replace the *position-level* channels;
-            // the attitude solution still comes from the live estimator
-            // (SRR replaces sensor values, not the whole EKF), which is why
-            // gyroscope attacks remain its weak spot.
-            let mut state = self.software_state.expect("set on detection");
             // The software sensors replace the suspect position channels;
             // the barometer and the inertial attitude solution remain real
             // (SRR swaps out individual sensors, not the whole stack) —
@@ -235,7 +240,6 @@ impl Defense for SrrDefense {
             est.attitude = ctx.est.attitude;
             est.body_rates = ctx.est.body_rates;
             self.last_estimate = Some(est);
-            let hold = self.hold_position.expect("set on detection");
             let target = TargetState::hover_at(hold, ctx.target.yaw);
             let y = self.hold_controller.update(&est, &target, ctx.dt);
             self.last_flown = y;
@@ -287,7 +291,7 @@ impl Defense for SrrDefense {
 mod tests {
     use super::*;
     use pidpiper_missions::{MissionPlan, MissionRunner, RunnerConfig};
-    use pidpiper_sim::quadcopter::{QuadParams, GRAVITY};
+    use pidpiper_sim::quadcopter::QuadParams;
     use pidpiper_sim::RvId;
 
     fn traces(n: u64) -> Vec<Trace> {

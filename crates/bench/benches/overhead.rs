@@ -33,8 +33,10 @@ fn quick_ffc() -> pidpiper_core::FfcModel {
                 .trace
         })
         .collect();
-    let mut cfg = TrainerConfig::default();
-    cfg.stages = [(1, 0.01), (0, 0.0), (0, 0.0)];
+    let cfg = TrainerConfig {
+        stages: [(1, 0.01), (0, 0.0), (0, 0.0)],
+        ..TrainerConfig::default()
+    };
     let trainer = Trainer::new(cfg);
     trainer.train_ffc(&traces).0
 }

@@ -14,12 +14,12 @@ fn main() {
     let trained = Trainer::new(TrainerConfig::default()).train(&traces, false);
     eprintln!("no-wind model: {}; thr {:?}; drifts {:?}",
         trained.report, trained.thresholds, trained.pidpiper.config().drifts);
-    let mut pp = trained.pidpiper;
+    let pp = trained.pidpiper;
     let eval: Vec<MissionPlan> = (0..12).map(|i| {
         if i % 3 == 2 { MissionPlan::multi_waypoint(3, 30.0, 5.0, 40 + i as u64) }
         else { MissionPlan::straight_line(40.0 + 2.0 * i as f64, 5.0) }
     }).collect();
-    let row = run_overt_missions(rv, &mut pp, &eval, 7000);
+    let row = run_overt_missions(rv, &pp, &eval, 7000);
     eprintln!("no-wind: success {}/{} crash/stall {} mean dev {:.1}",
         row.success, row.total, row.crash_or_stall, row.mean_deviation());
     std::fs::write("models/nowind-ArduCopter.pidpiper", pp.to_text()).unwrap();

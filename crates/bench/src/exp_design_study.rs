@@ -81,8 +81,10 @@ pub fn run(scale: Scale) -> String {
     // Four models: FFC/FBC x full/pruned. The trainings are independent,
     // so they run as a two-level fork/join (each side trains its two
     // variants concurrently).
-    let mut cfg_full = TrainerConfig::default();
-    cfg_full.feature_set = FeatureSet::FfcFull;
+    let cfg_full = TrainerConfig {
+        feature_set: FeatureSet::FfcFull,
+        ..TrainerConfig::default()
+    };
     let trainer_full = Trainer::new(cfg_full);
     let gains = harness::gains_for(rv);
     let ((ffc_full, ffc_pruned), (fbc_full, fbc_pruned)) = rayon::join(

@@ -144,7 +144,7 @@ pub fn run(_scale: Scale) -> String {
     let vifs = vif_all(&m);
     let _ = writeln!(out, "\nSection III: Variance Inflation Factors of the controller parameters");
     let mut indexed: Vec<(usize, f64)> = vifs.iter().copied().enumerate().collect();
-    indexed.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("VIF finite or inf"));
+    indexed.sort_by(|a, b| b.1.total_cmp(&a.1));
     for (i, v) in &indexed {
         let v_str = if v.is_infinite() {
             ">1000 (exact)".to_string()

@@ -81,7 +81,7 @@ pub fn run(scale: Scale) -> String {
         .take(n)
         .collect();
 
-    let rows = vec![
+    let rows = [
         run_clean_missions(rv, &ci, &plans, 4000),
         run_clean_missions(rv, &savior, &plans, 4000),
         run_clean_missions(rv, &srr, &plans, 4000),

@@ -113,7 +113,7 @@ pub fn run(scale: Scale) -> String {
         })
         .collect();
 
-    let rows = vec![
+    let rows = [
         run_overt_missions(rv, &ci, &plans, 7000),
         run_overt_missions(rv, &savior, &plans, 7000),
         run_overt_missions(rv, &srr, &plans, 7000),

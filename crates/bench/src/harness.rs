@@ -9,7 +9,7 @@ use pidpiper_baselines::srr::SrrConfig;
 use pidpiper_baselines::{CiDefense, SaviorDefense, SrrDefense};
 use pidpiper_missions::{MissionPlan, MissionRunner, MissionSpec, NoDefense, RunnerConfig, Trace};
 use pidpiper_sim::{RvId, VehicleKind, VehicleProfile};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fs;
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex, OnceLock};
@@ -136,9 +136,12 @@ const CACHE_VERSION: &str = "v7";
 /// work or racing on the on-disk cache file.
 type ModelSlot = Arc<OnceLock<PidPiper>>;
 
-fn model_cache() -> &'static Mutex<HashMap<String, ModelSlot>> {
-    static CACHE: OnceLock<Mutex<HashMap<String, ModelSlot>>> = OnceLock::new();
-    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+// A BTreeMap (not HashMap) keyed by model name: any future iteration over
+// the cached slots is deterministic by construction, per the workspace
+// determinism policy (analyzer rule DT03).
+fn model_cache() -> &'static Mutex<BTreeMap<String, ModelSlot>> {
+    static CACHE: OnceLock<Mutex<BTreeMap<String, ModelSlot>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(BTreeMap::new()))
 }
 
 /// Trains (or loads from cache) the deployed PID-Piper for one RV.

@@ -11,6 +11,8 @@
 //!
 //! Outputs are printed and mirrored into `target/experiments/`.
 
+#![deny(missing_docs)]
+
 pub mod exp_ablation;
 pub mod exp_design_study;
 pub mod exp_fig2;

@@ -140,8 +140,10 @@ mod tests {
     #[test]
     fn rate_damping_opposes_spin() {
         let mut ac = controller();
-        let mut est = EstimatedState::default();
-        est.body_rates = Vec3::new(2.0, 0.0, 0.0); // spinning in roll
+        let est = EstimatedState {
+            body_rates: Vec3::new(2.0, 0.0, 0.0), // spinning in roll
+            ..EstimatedState::default()
+        };
         let y = ActuatorSignal::default(); // want level
         let t = ac.update(&est, &y, 0.01);
         assert!(t.x < 0.0, "torque must oppose the spin, got {}", t.x);

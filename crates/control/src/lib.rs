@@ -20,6 +20,8 @@
 //! and speed channels only, which is why the paper calibrates only a yaw
 //! threshold for rovers).
 
+#![deny(missing_docs)]
+
 pub mod actuator;
 pub mod attitude;
 pub mod mixer;

@@ -125,7 +125,6 @@ mod tests {
     use pidpiper_math::Vec3;
     use pidpiper_sensors::{Estimator, NoiseConfig, SensorSuite};
     use pidpiper_sim::quadcopter::Quadcopter;
-    use pidpiper_sim::state::RigidBodyState;
 
     /// Closed-loop fixture: simulator + sensors + estimator + controller.
     struct Loop {

@@ -194,8 +194,10 @@ mod tests {
     fn stops_at_target() {
         let params = RoverParams::default();
         let mut ctl = RoverController::new(RoverGains::for_rover(&params));
-        let mut est = EstimatedState::default();
-        est.position = Vec3::new(10.0, 0.0, 0.0);
+        let est = EstimatedState {
+            position: Vec3::new(10.0, 0.0, 0.0),
+            ..EstimatedState::default()
+        };
         let target = RoverTarget {
             position: Vec3::new(10.0, 0.2, 0.0),
             cruise_speed: 2.0,

@@ -126,10 +126,15 @@ impl VarianceGate {
         assert!(dim > 0, "gate dimension must be positive");
         config.validate();
         let broadcast_f = |s: &[f64]| -> Vec<f64> {
-            match s.len() {
-                1 => vec![s[0]; dim],
-                n if n == dim => s.to_vec(),
-                n => panic!("slice length {n} matches neither 1 nor dim {dim}"),
+            assert!(
+                s.len() == 1 || s.len() == dim,
+                "slice length {} matches neither 1 nor dim {dim}",
+                s.len()
+            );
+            if s.len() == 1 {
+                vec![s[0]; dim]
+            } else {
+                s.to_vec()
             }
         };
         let floors = broadcast_f(sigma_floor);
@@ -137,10 +142,15 @@ impl VarianceGate {
             floors.iter().all(|f| *f > 0.0),
             "sigma floors must be positive"
         );
-        let circ = match circular.len() {
-            1 => vec![circular[0]; dim],
-            n if n == dim => circular.to_vec(),
-            n => panic!("circular mask length {n} matches neither 1 nor dim {dim}"),
+        assert!(
+            circular.len() == 1 || circular.len() == dim,
+            "circular mask length {} matches neither 1 nor dim {dim}",
+            circular.len()
+        );
+        let circ = if circular.len() == 1 {
+            vec![circular[0]; dim]
+        } else {
+            circular.to_vec()
         };
         VarianceGate {
             windows: (0..dim).map(|_| RollingWindow::new(config.window)).collect(),

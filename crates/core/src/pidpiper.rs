@@ -161,7 +161,10 @@ impl PidPiper {
             match self.ffc.feature_set() {
                 crate::features::FeatureSet::FfcFull => "ffc-full",
                 crate::features::FeatureSet::FfcPruned => "ffc-pruned",
-                _ => unreachable!("FFC models only"),
+                // FfcModel's constructor rejects FBC sets, so these arms
+                // are inert; naming them keeps serialization total.
+                crate::features::FeatureSet::FbcFull => "fbc-full",
+                crate::features::FeatureSet::FbcPruned => "fbc-pruned",
             }
         ));
         out.push_str(&self.ffc.to_text());

@@ -9,7 +9,7 @@
 
 use crate::monitor::AxisThresholds;
 use pidpiper_math::dtw::dtw_path;
-use pidpiper_math::{rad_to_deg, Cusum};
+use pidpiper_math::{fmax, rad_to_deg, Cusum};
 
 /// One calibration mission's aligned signal pair: the PID's and the ML
 /// model's actuator series, per axis (radians; converted internally).
@@ -88,7 +88,7 @@ pub fn calibrate_thresholds(
                     let (_, path) = dtw_path(&pid[start..end], &ml[start..end]);
                     for (i, j) in path {
                         let residual = rad_to_deg((pid[start + i] - ml[start + j]).abs());
-                        worst = worst.max(cusum.update(residual));
+                        worst = fmax(worst, cusum.update(residual));
                     }
                 }
                 start = end;
@@ -162,7 +162,10 @@ pub fn calibrate_pointwise(
             continue;
         }
         any_data = true;
-        drifts[axis] = drifts[axis].max(pidpiper_math::stats::quantile(&pooled, drift_quantile));
+        drifts[axis] = fmax(
+            drifts[axis],
+            pidpiper_math::stats::quantile(&pooled, drift_quantile),
+        );
     }
     assert!(any_data, "all validation residual series are empty");
 
@@ -178,11 +181,11 @@ pub fn calibrate_pointwise(
             has_data = true;
             let mut cusum = Cusum::new(drifts[axis]);
             for &r in &mission[axis] {
-                worst = worst.max(cusum.update(r));
+                worst = fmax(worst, cusum.update(r));
             }
         }
         if has_data {
-            taus[axis] = Some((worst * safety_margin).max(8.0 * drifts[axis]));
+            taus[axis] = Some(fmax(worst * safety_margin, 8.0 * drifts[axis]));
         }
     }
     (

@@ -6,6 +6,8 @@
 //! largest accumulated error across the validation missions becomes the
 //! detection threshold `tau`.
 
+use crate::float::fmin;
+
 /// Computes the DTW distance between two series using absolute difference
 /// as the local cost.
 ///
@@ -36,7 +38,7 @@ pub fn dtw_distance(a: &[f64], b: &[f64]) -> f64 {
         curr[0] = f64::INFINITY;
         for j in 1..=m {
             let cost = (a[i - 1] - b[j - 1]).abs();
-            let best = prev[j].min(curr[j - 1]).min(prev[j - 1]);
+            let best = fmin(fmin(prev[j], curr[j - 1]), prev[j - 1]);
             curr[j] = cost + best;
         }
         std::mem::swap(&mut prev, &mut curr);
@@ -50,11 +52,12 @@ pub fn dtw_distance(a: &[f64], b: &[f64]) -> f64 {
 /// Uses the full O(n*m) cost matrix; prefer [`dtw_distance`] when only the
 /// distance is needed.
 ///
-/// # Panics
-///
-/// Panics if either series is empty.
+/// An empty series has no alignment: the distance is `f64::INFINITY` and
+/// the path is empty, mirroring [`dtw_distance`].
 pub fn dtw_path(a: &[f64], b: &[f64]) -> (f64, Vec<(usize, usize)>) {
-    assert!(!a.is_empty() && !b.is_empty(), "DTW path of empty series");
+    if a.is_empty() || b.is_empty() {
+        return (f64::INFINITY, Vec::new());
+    }
     let n = a.len();
     let m = b.len();
     let mut dp = vec![f64::INFINITY; (n + 1) * (m + 1)];
@@ -63,9 +66,10 @@ pub fn dtw_path(a: &[f64], b: &[f64]) -> (f64, Vec<(usize, usize)>) {
     for i in 1..=n {
         for j in 1..=m {
             let cost = (a[i - 1] - b[j - 1]).abs();
-            let best = dp[idx(i - 1, j)]
-                .min(dp[idx(i, j - 1)])
-                .min(dp[idx(i - 1, j - 1)]);
+            let best = fmin(
+                fmin(dp[idx(i - 1, j)], dp[idx(i, j - 1)]),
+                dp[idx(i - 1, j - 1)],
+            );
             dp[idx(i, j)] = cost + best;
         }
     }
@@ -103,10 +107,7 @@ pub fn dtw_path(a: &[f64], b: &[f64]) -> (f64, Vec<(usize, usize)>) {
 /// paper records per mission when deriving the detection threshold.
 ///
 /// Equivalent to the DTW distance itself but named for its calibration role.
-///
-/// # Panics
-///
-/// Panics if either series is empty.
+/// Returns `f64::INFINITY` if either series is empty.
 pub fn accumulated_warped_error(a: &[f64], b: &[f64]) -> f64 {
     let (dist, _) = dtw_path(a, b);
     dist
@@ -114,10 +115,7 @@ pub fn accumulated_warped_error(a: &[f64], b: &[f64]) -> f64 {
 
 /// Maximum temporal deviation (in samples) along the optimal DTW path —
 /// how far the ML predictions lag or lead the PID estimates.
-///
-/// # Panics
-///
-/// Panics if either series is empty.
+/// Returns `0` if either series is empty (there is no path to deviate on).
 pub fn max_temporal_deviation(a: &[f64], b: &[f64]) -> usize {
     let (_, path) = dtw_path(a, b);
     path.iter()
@@ -164,6 +162,15 @@ mod tests {
     }
 
     #[test]
+    fn empty_series_path_is_empty() {
+        let (d, path) = dtw_path(&[], &[1.0, 2.0]);
+        assert!(d.is_infinite());
+        assert!(path.is_empty());
+        assert!(accumulated_warped_error(&[], &[]).is_infinite());
+        assert_eq!(max_temporal_deviation(&[1.0], &[]), 0);
+    }
+
+    #[test]
     fn path_endpoints_are_corners() {
         let a = [0.0, 1.0, 2.0];
         let b = [0.0, 1.0, 1.5, 2.0];
@@ -174,11 +181,11 @@ mod tests {
 
     #[test]
     fn temporal_deviation_detects_lag() {
-        let a: Vec<f64> = (0..40).map(|i| if i >= 10 && i < 20 { 1.0 } else { 0.0 }).collect();
+        let a: Vec<f64> = (0..40).map(|i| if (10..20).contains(&i) { 1.0 } else { 0.0 }).collect();
         // Same pulse delayed by 4 samples.
-        let b: Vec<f64> = (0..40).map(|i| if i >= 14 && i < 24 { 1.0 } else { 0.0 }).collect();
+        let b: Vec<f64> = (0..40).map(|i| if (14..24).contains(&i) { 1.0 } else { 0.0 }).collect();
         let dev = max_temporal_deviation(&a, &b);
-        assert!(dev >= 3 && dev <= 8, "deviation {dev} should be near 4");
+        assert!((3..=8).contains(&dev), "deviation {dev} should be near 4");
     }
 
     #[test]

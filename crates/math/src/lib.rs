@@ -11,7 +11,10 @@
 //!   the paper ([`mod@vif`]);
 //! - dynamic time warping used for threshold calibration ([`dtw`]);
 //! - the CUSUM change detector used by the monitoring module ([`cusum`]);
-//! - angle helpers (wrapping, degree/radian conversion) ([`angles`]).
+//! - angle helpers (wrapping, degree/radian conversion) ([`angles`]);
+//! - NaN-safe total-order comparison helpers ([`float`]) — the required
+//!   replacement for `partial_cmp().unwrap()` and float `==` throughout
+//!   the workspace (enforced by `pidpiper-analyzer`).
 //!
 //! # Examples
 //!
@@ -26,9 +29,12 @@
 //! assert!(monitor.statistic() > 5.0);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod angles;
 pub mod cusum;
 pub mod dtw;
+pub mod float;
 pub mod mat3;
 pub mod matrix;
 pub mod stats;
@@ -38,6 +44,7 @@ pub mod vif;
 pub use angles::{deg_to_rad, rad_to_deg, wrap_angle};
 pub use cusum::Cusum;
 pub use dtw::{dtw_distance, dtw_path};
+pub use float::{approx_eq, fmax, fmin, is_zero, sort_floats};
 pub use mat3::Mat3;
 pub use matrix::Matrix;
 pub use stats::{mean, population_variance, sample_variance, std_dev, RollingWindow};

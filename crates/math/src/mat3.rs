@@ -119,7 +119,9 @@ impl Mat3 {
     #[inline]
     pub fn diagonal_inverse(&self) -> Mat3 {
         debug_assert!(
-            self.m[0][0] != 0.0 && self.m[1][1] != 0.0 && self.m[2][2] != 0.0,
+            !crate::float::is_zero(self.m[0][0])
+                && !crate::float::is_zero(self.m[1][1])
+                && !crate::float::is_zero(self.m[2][2]),
             "diagonal_inverse on singular diagonal"
         );
         Mat3::diagonal(Vec3::new(

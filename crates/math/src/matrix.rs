@@ -152,7 +152,7 @@ impl Matrix {
         for r in 0..self.rows {
             for k in 0..self.cols {
                 let a = self[(r, k)];
-                if a == 0.0 {
+                if crate::float::is_zero(a) {
                     continue;
                 }
                 for c in 0..rhs.cols {

@@ -82,6 +82,9 @@ pub fn root_mean_square_error(a: &[f64], b: &[f64]) -> f64 {
 
 /// Empirical p-quantile (linear interpolation between order statistics).
 ///
+/// NaN samples sort above `+inf` under the total order, so a corrupted
+/// input surfaces in the upper quantiles instead of panicking.
+///
 /// # Panics
 ///
 /// Panics if `xs` is empty or `p` is outside `[0, 1]`.
@@ -89,7 +92,7 @@ pub fn quantile(xs: &[f64], p: f64) -> f64 {
     assert!(!xs.is_empty(), "quantile of empty slice");
     assert!((0.0..=1.0).contains(&p), "p must be in [0,1]");
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    crate::float::sort_floats(&mut sorted);
     let idx = p * (sorted.len() - 1) as f64;
     let lo = idx.floor() as usize;
     let hi = idx.ceil() as usize;
@@ -148,10 +151,10 @@ impl RollingWindow {
     /// Returns the evicted sample, if any.
     pub fn push(&mut self, x: f64) -> Option<f64> {
         let evicted = if self.buf.len() == self.capacity {
-            let old = self.buf.pop_front().expect("non-empty at capacity");
-            self.sum -= old;
-            self.sum_sq -= old * old;
-            Some(old)
+            self.buf.pop_front().inspect(|old| {
+                self.sum -= old;
+                self.sum_sq -= old * old;
+            })
         } else {
             None
         };

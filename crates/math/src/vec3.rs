@@ -179,10 +179,10 @@ impl Vec3 {
         Vec3::new(self.x.abs(), self.y.abs(), self.z.abs())
     }
 
-    /// The largest component.
+    /// The largest component (NaN components win, surfacing corruption).
     #[inline]
     pub fn max_component(self) -> f64 {
-        self.x.max(self.y).max(self.z)
+        crate::float::fmax(crate::float::fmax(self.x, self.y), self.z)
     }
 }
 

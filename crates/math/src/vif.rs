@@ -7,7 +7,8 @@
 //! rotations clustered at VIF 22–29 while positions stayed near 1–1.6, which
 //! motivates the feature-engineering step of the FFC design.
 
-use crate::matrix::{Matrix, MatrixError};
+use crate::float::fmax;
+use crate::matrix::Matrix;
 use crate::stats::mean;
 
 /// Computes the VIF of column `target` of a feature matrix whose columns are
@@ -77,13 +78,15 @@ pub fn vif(features: &Matrix, target: usize) -> f64 {
         y_aug.push(0.0);
     }
     let design_aug = Matrix::from_rows(&rows);
-    let beta = match design_aug.solve_least_squares(&y_aug) {
-        Ok(b) => b,
-        Err(MatrixError::Singular) => return f64::INFINITY,
-        Err(e) => unreachable!("VIF regression shape error: {e}"),
+    // A shape error is impossible here (the design is built above), but a
+    // singular system is not; both read as "maximally collinear".
+    let Ok(beta) = design_aug.solve_least_squares(&y_aug) else {
+        return f64::INFINITY;
     };
     let design = Matrix::from_rows(&rows[..n]);
-    let fitted = design.matvec(&beta).expect("shapes checked");
+    let Ok(fitted) = design.matvec(&beta) else {
+        return f64::INFINITY;
+    };
     let ss_res: f64 = y
         .iter()
         .zip(&fitted)
@@ -93,7 +96,7 @@ pub fn vif(features: &Matrix, target: usize) -> f64 {
     if r_squared >= 1.0 - 1e-12 {
         f64::INFINITY
     } else {
-        (1.0 / (1.0 - r_squared)).max(1.0)
+        fmax(1.0 / (1.0 - r_squared), 1.0)
     }
 }
 

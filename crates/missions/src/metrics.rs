@@ -144,7 +144,7 @@ pub fn deviation_cdf(deviations: &[f64]) -> Vec<(f64, f64)> {
         return Vec::new();
     }
     let mut sorted = deviations.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite deviations"));
+    pidpiper_math::sort_floats(&mut sorted);
     let n = sorted.len() as f64;
     sorted
         .into_iter()

@@ -130,11 +130,15 @@ impl MissionRunner {
             // The serial reference path: in spec order, on this thread.
             return (0..specs.len()).map(run_one).collect();
         }
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(jobs)
-            .build()
-            .expect("worker pool");
-        pool.install(|| (0..specs.len()).into_par_iter().map(run_one).collect())
+        // Pool construction only fails when the OS refuses threads; the
+        // serial path produces bit-identical results, so degrade to it
+        // instead of panicking.
+        match rayon::ThreadPoolBuilder::new().num_threads(jobs).build() {
+            Ok(pool) => {
+                pool.install(|| (0..specs.len()).into_par_iter().map(run_one).collect())
+            }
+            Err(_) => (0..specs.len()).map(run_one).collect(),
+        }
     }
 }
 

@@ -142,9 +142,10 @@ impl MissionPlan {
         }
     }
 
-    /// The mission destination (final waypoint).
+    /// The mission destination (final waypoint; the origin for a plan
+    /// with no waypoints, which never leaves the launch point).
     pub fn destination(&self) -> Vec3 {
-        *self.waypoints.last().expect("plans have waypoints")
+        self.waypoints.last().copied().unwrap_or(Vec3::ZERO)
     }
 
     /// Total path length through all waypoints from the origin (m).

@@ -22,7 +22,7 @@ use pidpiper_math::Vec3;
 use pidpiper_sensors::{Estimator, NoiseConfig, SensorSuite};
 use pidpiper_sim::rover::Rover;
 use pidpiper_sim::{
-    ContactStatus, Quadcopter, RvId, VehicleKind, VehicleProfile, Wind, WindConfig,
+    ContactStatus, ProfileParams, Quadcopter, RvId, VehicleProfile, Wind, WindConfig,
 };
 
 /// An attack to run during a mission.
@@ -99,22 +99,19 @@ enum Plant {
 
 impl Plant {
     fn for_profile(profile: &VehicleProfile, cruise_speed: f64) -> Plant {
-        match profile.kind() {
-            VehicleKind::Quadcopter => {
-                let params = profile.quad_params().expect("quad profile");
-                Plant::Quad {
-                    vehicle: Box::new(Quadcopter::new(params)),
-                    controller: Box::new(QuadController::new(&params)),
-                }
-            }
-            VehicleKind::Rover => {
-                let params = profile.rover_params().expect("rover profile");
-                Plant::Rover {
-                    vehicle: Box::new(Rover::new(params)),
-                    controller: Box::new(RoverController::new(RoverGains::for_rover(&params))),
-                    cruise_speed,
-                }
-            }
+        // Matching the params enum (rather than `kind()` + per-kind
+        // `Option` accessors) makes the quad/rover split exhaustive — no
+        // "wrong kind" state exists to panic on.
+        match profile.params() {
+            ProfileParams::Quad(params) => Plant::Quad {
+                vehicle: Box::new(Quadcopter::new(params)),
+                controller: Box::new(QuadController::new(&params)),
+            },
+            ProfileParams::Rover(params) => Plant::Rover {
+                vehicle: Box::new(Rover::new(params)),
+                controller: Box::new(RoverController::new(RoverGains::for_rover(&params))),
+                cruise_speed,
+            },
         }
     }
 

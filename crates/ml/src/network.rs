@@ -167,7 +167,12 @@ impl LstmRegressor {
     fn forward_train(&mut self, window: &[Vec<f64>]) -> Vec<f64> {
         let h1 = self.lstm1.forward_seq(window);
         let h2 = self.lstm2.forward_seq(&h1);
-        let last = h2.last().expect("non-empty window").clone();
+        // Dataset windows are never empty; an empty one maps to the zero
+        // hidden state rather than a panic.
+        let last = h2
+            .last()
+            .cloned()
+            .unwrap_or_else(|| vec![0.0; self.config.hidden]);
         let s = self.fc_sigmoid.forward(&last);
         let p1 = self.fc_prelu1.forward(&s);
         let p2 = self.fc_prelu2.forward(&p1);
@@ -182,7 +187,9 @@ impl LstmRegressor {
         let dlast = self.fc_sigmoid.backward(&ds);
         // Only the final timestep of lstm2 receives external gradient.
         let mut dh2 = vec![vec![0.0; self.config.hidden]; window_len];
-        *dh2.last_mut().expect("non-empty") = dlast;
+        if let Some(slot) = dh2.last_mut() {
+            *slot = dlast;
+        }
         let dh1 = self.lstm2.backward_seq(&dh2);
         let _ = self.lstm1.backward_seq(&dh1);
     }

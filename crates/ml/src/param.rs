@@ -121,7 +121,7 @@ impl Param {
         for r in 0..self.rows {
             let row = &self.value[r * self.cols..(r + 1) * self.cols];
             let dr = d[r];
-            if dr == 0.0 {
+            if pidpiper_math::is_zero(dr) {
                 continue;
             }
             for (c, w) in row.iter().enumerate() {
@@ -136,7 +136,7 @@ impl Param {
         debug_assert_eq!(x.len(), self.cols);
         for r in 0..self.rows {
             let dr = d[r];
-            if dr == 0.0 {
+            if pidpiper_math::is_zero(dr) {
                 continue;
             }
             let row = &mut self.grad[r * self.cols..(r + 1) * self.cols];

@@ -52,7 +52,11 @@ where
                 round_best = Some((pos, err));
             }
         }
-        let (pos, err) = round_best.expect("non-empty remaining");
+        let Some((pos, err)) = round_best else {
+            // Unreachable while `remaining` is non-empty; terminate
+            // rather than panic if that invariant ever breaks.
+            break;
+        };
         let improved = if best_error.is_infinite() {
             true
         } else {
@@ -107,7 +111,7 @@ pub fn vif_prune(
             .iter()
             .enumerate()
             .filter(|(i, _)| !protected.contains(&retained[*i]))
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("VIF is never NaN"));
+            .max_by(|a, b| a.1.total_cmp(b.1));
         match worst {
             Some((idx, &v)) if v > vif_threshold => {
                 retained.remove(idx);

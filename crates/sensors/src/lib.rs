@@ -33,6 +33,8 @@
 //! assert!(est.state().position.distance(truth.position) < 2.0);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod estimator;
 pub mod readings;
 pub mod suite;

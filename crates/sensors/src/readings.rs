@@ -48,8 +48,10 @@ mod tests {
 
     #[test]
     fn nan_is_caught() {
-        let mut r = SensorReadings::default();
-        r.baro_altitude = f64::NAN;
+        let r = SensorReadings {
+            baro_altitude: f64::NAN,
+            ..SensorReadings::default()
+        };
         assert!(!r.is_finite());
         let mut r2 = SensorReadings::default();
         r2.gyro.y = f64::INFINITY;

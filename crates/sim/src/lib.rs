@@ -27,13 +27,15 @@
 //! assert_eq!(quad.state().position.z, 0.0);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod profiles;
 pub mod quadcopter;
 pub mod rover;
 pub mod state;
 pub mod wind;
 
-pub use profiles::{RvId, VehicleProfile};
+pub use profiles::{ProfileParams, RvId, VehicleProfile};
 pub use quadcopter::{QuadParams, Quadcopter};
 pub use rover::{Rover, RoverParams};
 pub use state::{ContactStatus, RigidBodyState, VehicleKind};

@@ -79,15 +79,24 @@ impl std::fmt::Display for RvId {
     }
 }
 
+/// Airframe parameters for one subject RV — exactly one variant per
+/// profile, so consumers can match exhaustively instead of unwrapping
+/// per-kind `Option`s.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ProfileParams {
+    /// Quadcopter airframe parameters.
+    Quad(QuadParams),
+    /// Ground-rover airframe parameters.
+    Rover(RoverParams),
+}
+
 /// A complete physical profile for one subject RV.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VehicleProfile {
     /// Which RV this profile models.
     pub id: RvId,
-    /// Quadcopter parameters (None for rovers).
-    quad: Option<QuadParams>,
-    /// Rover parameters (None for quadcopters).
-    rover: Option<RoverParams>,
+    /// The airframe parameters (quadcopter or rover).
+    params: ProfileParams,
     /// Relative IMU noise multiplier (1.0 = research-grade Pixhawk IMU).
     pub imu_noise_scale: f64,
     /// Relative GPS noise multiplier.
@@ -111,8 +120,7 @@ impl VehicleProfile {
     pub fn arducopter() -> Self {
         VehicleProfile {
             id: RvId::ArduCopter,
-            quad: Some(QuadParams::default()),
-            rover: None,
+            params: ProfileParams::Quad(QuadParams::default()),
             imu_noise_scale: 1.0,
             gps_noise_scale: 1.0,
         }
@@ -122,14 +130,13 @@ impl VehicleProfile {
     pub fn px4_solo() -> Self {
         VehicleProfile {
             id: RvId::Px4Solo,
-            quad: Some(QuadParams {
+            params: ProfileParams::Quad(QuadParams {
                 mass: 1.8,
                 inertia: Vec3::new(0.036, 0.036, 0.068),
                 arm_offset: 0.205,
                 thrust_to_weight: 2.2,
                 ..QuadParams::default()
             }),
-            rover: None,
             imu_noise_scale: 1.0,
             gps_noise_scale: 1.1,
         }
@@ -139,8 +146,7 @@ impl VehicleProfile {
     pub fn ardurover() -> Self {
         VehicleProfile {
             id: RvId::ArduRover,
-            quad: None,
-            rover: Some(RoverParams::default()),
+            params: ProfileParams::Rover(RoverParams::default()),
             imu_noise_scale: 1.0,
             gps_noise_scale: 1.0,
         }
@@ -150,14 +156,13 @@ impl VehicleProfile {
     pub fn pixhawk_drone() -> Self {
         VehicleProfile {
             id: RvId::PixhawkDrone,
-            quad: Some(QuadParams {
+            params: ProfileParams::Quad(QuadParams {
                 mass: 1.2,
                 inertia: Vec3::new(0.021, 0.021, 0.040),
                 arm_offset: 0.16,
                 thrust_to_weight: 2.4,
                 ..QuadParams::default()
             }),
-            rover: None,
             imu_noise_scale: 1.1,
             gps_noise_scale: 1.2,
         }
@@ -170,7 +175,7 @@ impl VehicleProfile {
     pub fn sky_viper() -> Self {
         VehicleProfile {
             id: RvId::SkyViper,
-            quad: Some(QuadParams {
+            params: ProfileParams::Quad(QuadParams {
                 mass: 0.2,
                 inertia: Vec3::new(0.0009, 0.0009, 0.0016),
                 arm_offset: 0.08,
@@ -181,7 +186,6 @@ impl VehicleProfile {
                 motor_tau: 0.025,
                 ..QuadParams::default()
             }),
-            rover: None,
             imu_noise_scale: 2.6,
             gps_noise_scale: 1.8,
         }
@@ -191,8 +195,7 @@ impl VehicleProfile {
     pub fn aion_r1() -> Self {
         VehicleProfile {
             id: RvId::AionR1,
-            quad: None,
-            rover: Some(RoverParams {
+            params: ProfileParams::Rover(RoverParams {
                 mass: 8.0,
                 wheelbase: 0.38,
                 max_speed: 2.5,
@@ -204,14 +207,25 @@ impl VehicleProfile {
         }
     }
 
+    /// The airframe parameters (quadcopter or rover).
+    pub fn params(&self) -> ProfileParams {
+        self.params
+    }
+
     /// Quadcopter parameters, if this profile is a quadcopter.
     pub fn quad_params(&self) -> Option<QuadParams> {
-        self.quad
+        match self.params {
+            ProfileParams::Quad(q) => Some(q),
+            ProfileParams::Rover(_) => None,
+        }
     }
 
     /// Rover parameters, if this profile is a rover.
     pub fn rover_params(&self) -> Option<RoverParams> {
-        self.rover
+        match self.params {
+            ProfileParams::Quad(_) => None,
+            ProfileParams::Rover(r) => Some(r),
+        }
     }
 
     /// The vehicle kind of this profile.

@@ -101,8 +101,10 @@ mod tests {
 
     #[test]
     fn euler_accessors() {
-        let mut s = RigidBodyState::default();
-        s.attitude = Vec3::new(0.1, 0.2, 0.3);
+        let s = RigidBodyState {
+            attitude: Vec3::new(0.1, 0.2, 0.3),
+            ..RigidBodyState::default()
+        };
         assert_eq!(s.roll(), 0.1);
         assert_eq!(s.pitch(), 0.2);
         assert_eq!(s.yaw(), 0.3);

@@ -27,8 +27,10 @@ fn main() {
                 .trace
         })
         .collect();
-    let mut config = TrainerConfig::default();
-    config.stages = [(10, 0.01), (6, 0.003), (0, 0.0)];
+    let config = TrainerConfig {
+        stages: [(10, 0.01), (6, 0.003), (0, 0.0)],
+        ..TrainerConfig::default()
+    };
     let trained = Trainer::new(config).train(&traces, false);
     let mut defense = trained.pidpiper;
     println!("trained: {}", trained.report);

@@ -35,8 +35,10 @@ fn main() {
     //    stage keeps the example fast; the experiment harness trains with
     //    the full three-stage schedule).
     let t1 = Instant::now();
-    let mut config = TrainerConfig::default();
-    config.stages = [(10, 0.01), (6, 0.003), (0, 0.0)];
+    let config = TrainerConfig {
+        stages: [(10, 0.01), (6, 0.003), (0, 0.0)],
+        ..TrainerConfig::default()
+    };
     let trained = Trainer::new(config).train(&traces, false);
     println!(
         "trained in {:.0}s — {}; thresholds {:?}",

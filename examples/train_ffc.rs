@@ -70,8 +70,10 @@ fn main() {
     );
 
     // --- 3. Model training + threshold calibration (Sections IV-B/V).
-    let mut config = TrainerConfig::default();
-    config.stages = [(10, 0.01), (6, 0.003), (0, 0.0)];
+    let config = TrainerConfig {
+        stages: [(10, 0.01), (6, 0.003), (0, 0.0)],
+        ..TrainerConfig::default()
+    };
     let trained = Trainer::new(config).train(&traces, false);
     println!("3. {}", trained.report);
     println!("   calibrated thresholds: {:?}", trained.thresholds);

@@ -26,8 +26,10 @@ fn main() {
                 .trace
         })
         .collect();
-    let mut config = TrainerConfig::default();
-    config.stages = [(10, 0.01), (6, 0.003), (0, 0.0)];
+    let config = TrainerConfig {
+        stages: [(10, 0.01), (6, 0.003), (0, 0.0)],
+        ..TrainerConfig::default()
+    };
     // Rovers monitor only the yaw channel (Table I).
     let trained = Trainer::new(config).train(&traces, true);
     let mut defense = trained.pidpiper;

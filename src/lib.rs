@@ -61,6 +61,8 @@
 //! `crates/bench` for the harness that regenerates every table and figure
 //! of the paper's evaluation.
 
+#![deny(missing_docs)]
+
 pub use pidpiper_attacks as attacks;
 pub use pidpiper_baselines as baselines;
 pub use pidpiper_control as control;

@@ -32,11 +32,13 @@ fn quick_defense(rv: RvId, monitor_yaw_only: bool) -> (Vec<pid_piper::missions::
         }
     }
     eprintln!("[tests] no shipped model at {model_path}; training a reduced fixture");
-    let mut config = TrainerConfig::default();
-    config.hidden = 16;
-    config.fc_width = 16;
-    config.window = 12;
-    config.stages = [(8, 0.01), (5, 0.003), (0, 0.0)];
+    let config = TrainerConfig {
+        hidden: 16,
+        fc_width: 16,
+        window: 12,
+        stages: [(8, 0.01), (5, 0.003), (0, 0.0)],
+        ..TrainerConfig::default()
+    };
     let trained = Trainer::new(config).train(&traces, monitor_yaw_only);
     (traces, trained.pidpiper)
 }

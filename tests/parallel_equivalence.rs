@@ -32,11 +32,13 @@ fn quick_defense(rv: RvId) -> PidPiper {
             return pp;
         }
     }
-    let mut config = TrainerConfig::default();
-    config.hidden = 16;
-    config.fc_width = 16;
-    config.window = 12;
-    config.stages = [(2, 0.01), (0, 0.0), (0, 0.0)];
+    let config = TrainerConfig {
+        hidden: 16,
+        fc_width: 16,
+        window: 12,
+        stages: [(2, 0.01), (0, 0.0), (0, 0.0)],
+        ..TrainerConfig::default()
+    };
     Trainer::new(config).train(&traces, false).pidpiper
 }
 
