@@ -103,6 +103,24 @@ fn panics_fixture_is_exempt_in_the_bench_crate() {
     assert_eq!(det.len(), 7);
 }
 
+#[test]
+fn fixtures_fire_at_full_strictness_in_the_faults_crate() {
+    // The fault-injection crate is first-party *library* code feeding the
+    // deterministic mission runner: unlike the bench exemption, every
+    // panic-freedom rule applies there, and the determinism rules guard
+    // its seeded RNG contract.
+    let findings = analyze_rel("crates/faults/src/inject.rs", &fixture("panics.rs"));
+    assert_eq!(
+        findings.len(),
+        4,
+        "faults crate must not be panic-exempt: {findings:?}"
+    );
+    assert!(findings.iter().all(|f| f.rule.as_str().starts_with("PF")));
+    let det = analyze_rel("crates/faults/src/inject.rs", &fixture("determinism.rs"));
+    assert_eq!(det.len(), 7);
+    assert!(det.iter().all(|f| f.rule.as_str().starts_with("DT")));
+}
+
 fn run_analyzer(args: &[&str]) -> (Option<i32>, String, String) {
     let out = Command::new(env!("CARGO_BIN_EXE_pidpiper-analyzer"))
         .args(args)

@@ -365,4 +365,20 @@ mod tests {
         }
         assert!(!srr.in_recovery(), "SRR should resume after residuals clear");
     }
+
+    #[test]
+    fn health_state_mirrors_recovery_and_never_degrades() {
+        // The baselines have no supervisor of their own: the trait's
+        // default `health_state` maps recovery directly and can never
+        // report `Degraded`.
+        use pidpiper_missions::HealthState;
+        let mut srr = SrrDefense::fit(&traces(4), SrrConfig::default(), gains()).expect("fit");
+        assert_eq!(srr.health_state(), HealthState::Nominal);
+        srr.recovery = true;
+        srr.hold_position = Some(Vec3::new(0.0, 0.0, 5.0));
+        assert_eq!(srr.health_state(), HealthState::Recovery);
+        assert!(!srr.health_state().is_degraded());
+        srr.reset();
+        assert_eq!(srr.health_state(), HealthState::Nominal);
+    }
 }

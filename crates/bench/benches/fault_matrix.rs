@@ -1,0 +1,6 @@
+//! Regenerates the fault-matrix artifact; see pidpiper_bench::exp_fault_matrix.
+fn main() {
+    let scale = pidpiper_bench::Scale::from_env();
+    eprintln!("[bench] running fault_matrix at {scale:?} scale (set PIDPIPER_SCALE=full for paper scale)");
+    pidpiper_bench::exp_fault_matrix::run(scale);
+}

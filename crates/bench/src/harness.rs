@@ -127,7 +127,7 @@ pub fn emit_report(name: &str, body: &str) {
 }
 
 /// Cache version — bump to invalidate cached models after pipeline changes.
-const CACHE_VERSION: &str = "v7";
+const CACHE_VERSION: &str = "v8";
 
 /// In-process model cache: one slot per `(rv, scale)` key. The per-key
 /// `OnceLock` guarantees that when parallel experiment cells ask for the

@@ -15,6 +15,7 @@
 
 pub mod exp_ablation;
 pub mod exp_design_study;
+pub mod exp_fault_matrix;
 pub mod exp_fig2;
 pub mod exp_fig6;
 pub mod exp_fig8;

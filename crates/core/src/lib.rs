@@ -27,6 +27,10 @@
 //!   detection, the RV flies the FFC's predictions (and its inner loops
 //!   consume the noise-gated estimate) until the residual returns to
 //!   zero;
+//! - the **graceful-degradation supervisor** ([`supervisor`]) bounding
+//!   the defense's own failure modes: FFC output health checks with an
+//!   offline latch, and a recovery watchdog that forces an explicit
+//!   `Degraded` fail-safe instead of an unbounded recovery;
 //! - the **training pipeline** ([`trainer`]) that turns attack-free
 //!   mission traces into datasets, trains the models and calibrates the
 //!   thresholds end to end.
@@ -40,6 +44,7 @@ pub mod gate;
 pub mod monitor;
 pub mod pidpiper;
 pub mod sanitizer;
+pub mod supervisor;
 pub mod threshold;
 pub mod trainer;
 
@@ -48,7 +53,8 @@ pub use features::{FeatureSet, SensorPrimitives};
 pub use ffc::FfcModel;
 pub use gate::{GateConfig, VarianceGate};
 pub use monitor::{AxisThresholds, CusumMonitor};
-pub use pidpiper::{PidPiper, PidPiperConfig};
+pub use pidpiper::{ConsistencyGates, PidPiper, PidPiperConfig, TrustBand};
 pub use sanitizer::SensorSanitizer;
+pub use supervisor::{FfcHealthMonitor, RecoveryWatchdog, SignalEnvelope};
 pub use threshold::calibrate_thresholds;
 pub use trainer::{TrainedPidPiper, Trainer, TrainerConfig};

@@ -188,6 +188,10 @@ pub struct CusumMonitor {
     cusums: [Cusum; MONITOR_AXES],
     residual_tracker: LagTolerantResidual,
     last_residuals: [f64; MONITOR_AXES],
+    /// Optional statistic saturation: each monitored axis's `S(t)` is
+    /// clamped to `factor * tau`, and a non-finite residual counts as
+    /// maximal evidence instead of poisoning the accumulator.
+    saturation: Option<f64>,
 }
 
 impl CusumMonitor {
@@ -238,7 +242,26 @@ impl CusumMonitor {
             drifts,
             residual_tracker: LagTolerantResidual::new(lag_history),
             last_residuals: [0.0; MONITOR_AXES],
+            saturation: None,
         }
+    }
+
+    /// Enables statistic saturation (builder style): each monitored
+    /// axis's `S(t)` is clamped to `factor` times its own threshold.
+    /// Saturation keeps a long benign divergence (or an injected fault)
+    /// from winding the accumulator up arbitrarily — detection fires at
+    /// `tau` either way, but the reset/exit path never has to wait out an
+    /// unbounded de-accumulation, and a non-finite residual saturates the
+    /// axis instead of poisoning it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not greater than 1 (the cap must lie above
+    /// the detection threshold).
+    pub fn with_saturation(mut self, factor: f64) -> Self {
+        assert!(factor > 1.0, "saturation factor must exceed 1");
+        self.saturation = Some(factor);
+        self
     }
 
     /// The configured thresholds.
@@ -274,18 +297,31 @@ impl CusumMonitor {
     /// Feeds one step's ML prediction and PID signal; returns `true` when
     /// any monitored axis's CUSUM exceeds its threshold.
     pub fn update(&mut self, ml: &ActuatorSignal, pid: &ActuatorSignal) -> bool {
-        let residual = self.residual_tracker.update(ml, pid);
-        self.last_residuals = residual;
+        let mut residual = self.residual_tracker.update(ml, pid);
         let thr = self.thresholds.to_array();
         let mut tripped = false;
         for axis in 0..MONITOR_AXES {
+            let cap = self
+                .saturation
+                .and_then(|factor| thr[axis].map(|tau| factor * tau));
+            if !residual[axis].is_finite() {
+                // Non-finite evidence: under saturation it counts as
+                // maximal divergence (the statistic jumps to the cap);
+                // without a cap it is dropped — either way NaN/Inf never
+                // enters the accumulator.
+                residual[axis] = cap.map_or(0.0, |c| c + self.drifts[axis]);
+            }
             let s = self.cusums[axis].update(residual[axis]);
+            if let Some(cap) = cap {
+                self.cusums[axis].saturate(cap);
+            }
             if let Some(tau) = thr[axis] {
                 if s > tau {
                     tripped = true;
                 }
             }
         }
+        self.last_residuals = residual;
         tripped
     }
 
@@ -502,6 +538,67 @@ mod tests {
         assert_eq!(m.statistic(), 0.0);
         m.reset_all();
         assert_eq!(m.last_residuals(), [0.0; MONITOR_AXES]);
+    }
+
+    #[test]
+    fn saturation_caps_statistic_at_factor_times_threshold() {
+        let mut m =
+            CusumMonitor::new(AxisThresholds::quad(18.0, 18.0, 18.0), 0.5).with_saturation(2.0);
+        let pid = ActuatorSignal {
+            roll: deg(30.0),
+            ..Default::default()
+        };
+        // A huge sustained divergence would wind an unsaturated CUSUM into
+        // the thousands; the cap holds it at 2 * 18 = 36.
+        for _ in 0..500 {
+            m.update(&ActuatorSignal::default(), &pid);
+        }
+        assert!(m.statistic() <= 36.0 + 1e-12, "statistic {}", m.statistic());
+        assert!(m.statistic() > 18.0, "still above detection threshold");
+    }
+
+    #[test]
+    fn non_finite_residual_saturates_instead_of_poisoning() {
+        let mut m =
+            CusumMonitor::new(AxisThresholds::quad(18.0, 18.0, 18.0), 0.5).with_saturation(2.0);
+        let nan_ml = ActuatorSignal {
+            roll: f64::NAN,
+            pitch: f64::NAN,
+            yaw_rate: f64::NAN,
+            thrust: f64::NAN,
+        };
+        let mut tripped = false;
+        for _ in 0..2 * CusumMonitor::DEFAULT_LAG_HISTORY {
+            tripped |= m.update(&nan_ml, &ActuatorSignal::default());
+        }
+        assert!(m.statistic().is_finite(), "statistic must stay finite");
+        assert!(tripped, "saturated evidence still trips detection");
+        // After the burst the monitor keeps working normally.
+        let mut quiet = true;
+        m.reset_all();
+        for _ in 0..50 {
+            quiet &= !m.update(&ActuatorSignal::default(), &ActuatorSignal::default());
+        }
+        assert!(quiet, "recovered monitor must not trip on agreement");
+    }
+
+    #[test]
+    fn unsaturated_monitor_drops_non_finite_residuals() {
+        let mut m = CusumMonitor::new(AxisThresholds::quad(18.0, 18.0, 18.0), 0.5);
+        let nan_ml = ActuatorSignal {
+            roll: f64::NAN,
+            ..Default::default()
+        };
+        for _ in 0..60 {
+            m.update(&nan_ml, &ActuatorSignal::default());
+        }
+        assert_eq!(m.statistic(), 0.0, "dropped evidence, not poisoned");
+    }
+
+    #[test]
+    #[should_panic(expected = "saturation factor")]
+    fn saturation_factor_must_exceed_one() {
+        let _ = CusumMonitor::new(AxisThresholds::quad(18.0, 18.0, 18.0), 0.5).with_saturation(1.0);
     }
 
     #[test]

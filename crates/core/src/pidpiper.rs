@@ -21,9 +21,91 @@ use crate::features::SensorPrimitives;
 use crate::ffc::FfcModel;
 use crate::monitor::{AxisThresholds, CusumMonitor};
 use crate::sanitizer::SensorSanitizer;
+use crate::supervisor::{FfcHealthMonitor, RecoveryWatchdog, SignalEnvelope};
 use pidpiper_control::ActuatorSignal;
-use pidpiper_missions::{Defense, DefenseContext, MonitorLevel};
+use pidpiper_missions::{Defense, DefenseContext, HealthState, MonitorLevel};
 use pidpiper_sensors::EstimatedState;
+
+/// Raw-vs-shadow consistency gates for the recovery-exit check: recovery
+/// may only hand control back while every gap between the raw sensors and
+/// the sanitized estimate is below its gate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConsistencyGates {
+    /// Largest tolerated GPS-fix-to-shadow-position gap (m).
+    pub pos_gap: f64,
+    /// Largest tolerated gyro-to-shadow-body-rate gap (rad/s).
+    pub gyro_gap: f64,
+    /// Largest tolerated barometer-to-shadow-altitude gap (m).
+    pub baro_gap: f64,
+    /// Largest tolerated magnetometer-to-shadow-yaw gap (rad).
+    pub mag_gap: f64,
+    /// Largest tolerated low-passed attitude innovation (rad) — the
+    /// gyro-tampering indicator.
+    pub attitude_innovation: f64,
+}
+
+impl Default for ConsistencyGates {
+    fn default() -> Self {
+        // Calibrated against benign sensor noise at the default noise
+        // config: each gate sits a comfortable margin above the clean
+        // steady-state gap.
+        ConsistencyGates {
+            pos_gap: 3.5,
+            gyro_gap: 0.25,
+            baro_gap: 2.5,
+            mag_gap: 0.3,
+            attitude_innovation: 0.05,
+        }
+    }
+}
+
+impl ConsistencyGates {
+    fn validate(&self) {
+        assert!(
+            self.pos_gap > 0.0
+                && self.gyro_gap > 0.0
+                && self.baro_gap > 0.0
+                && self.mag_gap > 0.0
+                && self.attitude_innovation > 0.0,
+            "consistency gates must be positive"
+        );
+    }
+}
+
+/// Per-channel trust band clamping the FFC override around the PID
+/// signal while recovering.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrustBand {
+    /// Half-width of the roll/pitch band (rad).
+    pub angle: f64,
+    /// Half-width of the yaw-rate band (rad/s).
+    pub yaw_rate: f64,
+    /// Half-width of the thrust band (fraction of full scale).
+    pub thrust: f64,
+}
+
+impl Default for TrustBand {
+    fn default() -> Self {
+        // The band must be narrower than the accumulated (integral)
+        // correction the anchor PID applies against steady disturbances —
+        // otherwise a model that mispredicts by a constant offset can hold
+        // the vehicle in a slow drift the anchor never gets to cancel.
+        TrustBand {
+            angle: 0.05,
+            yaw_rate: 0.20,
+            thrust: 0.04,
+        }
+    }
+}
+
+impl TrustBand {
+    fn validate(&self) {
+        assert!(
+            self.angle > 0.0 && self.yaw_rate > 0.0 && self.thrust > 0.0,
+            "trust band widths must be positive"
+        );
+    }
+}
 
 /// PID-Piper deployment configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -40,14 +122,57 @@ pub struct PidPiperConfig {
     pub exit_hold_steps: usize,
     /// Lag-tolerance horizon of the monitor (control steps).
     pub lag_history: usize,
+    /// Recovery-exit consistency gates (raw sensors vs sanitized view).
+    pub consistency: ConsistencyGates,
+    /// Trust band clamping the FFC override around the PID signal.
+    pub band: TrustBand,
+    /// Recovery-watchdog budget: consecutive recovery steps before the
+    /// defense latches the explicit `Degraded` fail-safe.
+    pub max_recovery_steps: usize,
+    /// Consecutive bad FFC predictions (non-finite / out-of-envelope)
+    /// before the model latches offline.
+    pub ffc_offline_after: usize,
+    /// CUSUM saturation factor: each axis's statistic is capped at this
+    /// multiple of its own threshold.
+    pub cusum_saturation: f64,
 }
 
 impl PidPiperConfig {
+    /// Default recovery-watchdog budget (control steps; 30 s at 100 Hz).
+    pub const DEFAULT_MAX_RECOVERY_STEPS: usize = 3000;
+    /// Default FFC offline debounce (consecutive bad predictions).
+    pub const DEFAULT_FFC_OFFLINE_AFTER: usize = 25;
+    /// Default CUSUM saturation factor.
+    pub const DEFAULT_CUSUM_SATURATION: f64 = 8.0;
+
+    /// Creates a configuration from the calibrated detection parameters,
+    /// with the supervisor layer (consistency gates, trust band, watchdog,
+    /// FFC health latch, CUSUM saturation) at its defaults.
+    pub fn new(
+        thresholds: AxisThresholds,
+        drifts: [f64; 4],
+        exit_hold_steps: usize,
+        lag_history: usize,
+    ) -> Self {
+        PidPiperConfig {
+            thresholds,
+            drifts,
+            exit_hold_steps,
+            lag_history,
+            consistency: ConsistencyGates::default(),
+            band: TrustBand::default(),
+            max_recovery_steps: Self::DEFAULT_MAX_RECOVERY_STEPS,
+            ffc_offline_after: Self::DEFAULT_FFC_OFFLINE_AFTER,
+            cusum_saturation: Self::DEFAULT_CUSUM_SATURATION,
+        }
+    }
+
     /// Validates parameter sanity.
     ///
     /// # Panics
     ///
-    /// Panics if the drift is non-positive or no axis is monitored.
+    /// Panics if the drift is non-positive, no axis is monitored, or any
+    /// supervisor parameter is out of range.
     pub fn validate(&self) {
         assert!(
             self.drifts.iter().all(|d| *d > 0.0),
@@ -59,6 +184,20 @@ impl PidPiperConfig {
         );
         assert!(self.exit_hold_steps > 0, "exit hold must be positive");
         assert!(self.lag_history > 0, "lag history must be positive");
+        self.consistency.validate();
+        self.band.validate();
+        assert!(
+            self.max_recovery_steps > 0,
+            "recovery watchdog budget must be positive"
+        );
+        assert!(
+            self.ffc_offline_after > 0,
+            "FFC offline debounce must be positive"
+        );
+        assert!(
+            self.cusum_saturation > 1.0,
+            "CUSUM saturation must exceed 1"
+        );
     }
 }
 
@@ -72,7 +211,10 @@ pub struct PidPiper {
     sanitizer: SensorSanitizer,
     monitor: CusumMonitor,
     config: PidPiperConfig,
+    ffc_health: FfcHealthMonitor,
+    watchdog: RecoveryWatchdog,
     recovery_mode: bool,
+    degraded: bool,
     recovery_activations: usize,
     below_drift_streak: usize,
     last_ml_signal: Option<ActuatorSignal>,
@@ -92,16 +234,39 @@ impl PidPiper {
                 config.thresholds,
                 config.drifts,
                 config.lag_history,
-            ),
+            )
+            .with_saturation(config.cusum_saturation),
             sanitizer: SensorSanitizer::new(ffc.pipeline().gate),
+            ffc_health: FfcHealthMonitor::new(SignalEnvelope::default(), config.ffc_offline_after),
+            watchdog: RecoveryWatchdog::new(config.max_recovery_steps),
             ffc,
             config,
             recovery_mode: false,
+            degraded: false,
             recovery_activations: 0,
             below_drift_streak: 0,
             last_ml_signal: None,
             sanitized: None,
         }
+    }
+
+    /// Whether the defense has latched the `Degraded` fail-safe.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Whether the FFC has latched offline (sustained bad predictions).
+    pub fn ffc_offline(&self) -> bool {
+        self.ffc_health.is_offline()
+    }
+
+    /// Latches the explicit fail-safe: recovery cannot be trusted any
+    /// further, but the sanitized estimate keeps feeding the loops and —
+    /// while the FFC is still healthy — the banded override keeps flying.
+    fn enter_degraded(&mut self) {
+        self.degraded = true;
+        self.recovery_mode = false;
+        self.below_drift_streak = 0;
     }
 
     /// The deployment configuration.
@@ -125,7 +290,7 @@ impl PidPiper {
         let c = &self.config;
         let opt = |o: Option<f64>| o.map_or("-".to_string(), |v| format!("{v:e}"));
         let g = self.ffc.pipeline().gate;
-        let mut out = String::from("pidpiper-deployment v1
+        let mut out = String::from("pidpiper-deployment v2
 ");
         out.push_str(&format!(
             "thresholds {} {} {} {}
@@ -144,6 +309,25 @@ impl PidPiper {
 ", c.exit_hold_steps));
         out.push_str(&format!("lag_history {}
 ", c.lag_history));
+        out.push_str(&format!(
+            "consistency {:e} {:e} {:e} {:e} {:e}
+",
+            c.consistency.pos_gap,
+            c.consistency.gyro_gap,
+            c.consistency.baro_gap,
+            c.consistency.mag_gap,
+            c.consistency.attitude_innovation
+        ));
+        out.push_str(&format!(
+            "band {:e} {:e} {:e}
+",
+            c.band.angle, c.band.yaw_rate, c.band.thrust
+        ));
+        out.push_str(&format!(
+            "supervisor {} {} {:e}
+",
+            c.max_recovery_steps, c.ffc_offline_after, c.cusum_saturation
+        ));
         out.push_str(&format!(
             "pipeline {} {} {:e} {:e} {:e} {} {:e}
 ",
@@ -178,9 +362,13 @@ impl PidPiper {
     /// Returns a descriptive error on any format violation.
     pub fn from_text(text: &str) -> Result<Self, String> {
         let mut lines = text.lines();
-        if lines.next() != Some("pidpiper-deployment v1") {
-            return Err("unknown deployment header".into());
-        }
+        let version = match lines.next() {
+            // v1 deployments predate the supervisor layer; their missing
+            // parameters load as the documented defaults.
+            Some("pidpiper-deployment v1") => 1,
+            Some("pidpiper-deployment v2") => 2,
+            _ => return Err("unknown deployment header".into()),
+        };
         let parse_opt = |tok: &str| -> Result<Option<f64>, String> {
             if tok == "-" {
                 Ok(None)
@@ -220,6 +408,57 @@ impl PidPiper {
             .ok_or("bad lag_history line")?
             .parse()
             .map_err(|e| format!("bad lag_history: {e}"))?;
+        let mut consistency = ConsistencyGates::default();
+        let mut band = TrustBand::default();
+        let mut max_recovery_steps = PidPiperConfig::DEFAULT_MAX_RECOVERY_STEPS;
+        let mut ffc_offline_after = PidPiperConfig::DEFAULT_FFC_OFFLINE_AFTER;
+        let mut cusum_saturation = PidPiperConfig::DEFAULT_CUSUM_SATURATION;
+        if version >= 2 {
+            let cons_line = lines.next().ok_or("missing consistency")?;
+            let toks: Vec<&str> = cons_line.split_whitespace().collect();
+            if toks.len() != 6 || toks[0] != "consistency" {
+                return Err("bad consistency line".into());
+            }
+            let mut vals = [0.0; 5];
+            for (v, t) in vals.iter_mut().zip(&toks[1..]) {
+                *v = t.parse().map_err(|e| format!("bad consistency gate: {e}"))?;
+            }
+            consistency = ConsistencyGates {
+                pos_gap: vals[0],
+                gyro_gap: vals[1],
+                baro_gap: vals[2],
+                mag_gap: vals[3],
+                attitude_innovation: vals[4],
+            };
+            let band_line = lines.next().ok_or("missing band")?;
+            let toks: Vec<&str> = band_line.split_whitespace().collect();
+            if toks.len() != 4 || toks[0] != "band" {
+                return Err("bad band line".into());
+            }
+            let mut vals = [0.0; 3];
+            for (v, t) in vals.iter_mut().zip(&toks[1..]) {
+                *v = t.parse().map_err(|e| format!("bad band width: {e}"))?;
+            }
+            band = TrustBand {
+                angle: vals[0],
+                yaw_rate: vals[1],
+                thrust: vals[2],
+            };
+            let sup_line = lines.next().ok_or("missing supervisor")?;
+            let toks: Vec<&str> = sup_line.split_whitespace().collect();
+            if toks.len() != 4 || toks[0] != "supervisor" {
+                return Err("bad supervisor line".into());
+            }
+            max_recovery_steps = toks[1]
+                .parse()
+                .map_err(|e| format!("bad max_recovery_steps: {e}"))?;
+            ffc_offline_after = toks[2]
+                .parse()
+                .map_err(|e| format!("bad ffc_offline_after: {e}"))?;
+            cusum_saturation = toks[3]
+                .parse()
+                .map_err(|e| format!("bad cusum_saturation: {e}"))?;
+        }
         let pipe_line = lines.next().ok_or("missing pipeline")?;
         let toks: Vec<&str> = pipe_line.split_whitespace().collect();
         if toks.len() != 8 || toks[0] != "pipeline" {
@@ -251,6 +490,11 @@ impl PidPiper {
                 drifts,
                 exit_hold_steps,
                 lag_history,
+                consistency,
+                band,
+                max_recovery_steps,
+                ffc_offline_after,
+                cusum_saturation,
             },
         ))
     }
@@ -265,6 +509,7 @@ fn sensors_consistent(
     readings: &pidpiper_sensors::SensorReadings,
     shadow: &EstimatedState,
     attitude_innovation: (f64, f64),
+    gates: &ConsistencyGates,
 ) -> bool {
     let pos_gap = readings.gps_position.distance(shadow.position);
     let gyro_gap = (readings.gyro - shadow.body_rates).norm();
@@ -274,29 +519,26 @@ fn sensors_consistent(
     // with the accelerometer's gravity direction — gyro tampering that the
     // (deliberately loose) gyro gate passes through.
     let innovation = attitude_innovation.0.abs().max(attitude_innovation.1.abs());
-    pos_gap < 3.5 && gyro_gap < 0.25 && baro_gap < 2.5 && mag_gap < 0.3 && innovation < 0.05
+    pos_gap < gates.pos_gap
+        && gyro_gap < gates.gyro_gap
+        && baro_gap < gates.baro_gap
+        && mag_gap < gates.mag_gap
+        && innovation < gates.attitude_innovation
 }
 
-/// Clamps each channel of `ml` into a trust band around `anchor`.
-fn band(ml: ActuatorSignal, anchor: ActuatorSignal) -> ActuatorSignal {
-    // The band must be narrower than the accumulated (integral) correction
-    // the anchor PID applies against steady disturbances — otherwise a
-    // model that mispredicts by a constant offset can hold the vehicle in
-    // a slow drift the anchor never gets to cancel.
-    const ANGLE_BAND: f64 = 0.05; // rad
-    const YAW_BAND: f64 = 0.20; // rad/s
-    const THRUST_BAND: f64 = 0.04;
+/// Clamps each channel of `ml` into the trust band around `anchor`.
+fn band(ml: ActuatorSignal, anchor: ActuatorSignal, b: &TrustBand) -> ActuatorSignal {
     ActuatorSignal {
-        roll: ml.roll.clamp(anchor.roll - ANGLE_BAND, anchor.roll + ANGLE_BAND),
+        roll: ml.roll.clamp(anchor.roll - b.angle, anchor.roll + b.angle),
         pitch: ml
             .pitch
-            .clamp(anchor.pitch - ANGLE_BAND, anchor.pitch + ANGLE_BAND),
+            .clamp(anchor.pitch - b.angle, anchor.pitch + b.angle),
         yaw_rate: ml
             .yaw_rate
-            .clamp(anchor.yaw_rate - YAW_BAND, anchor.yaw_rate + YAW_BAND),
+            .clamp(anchor.yaw_rate - b.yaw_rate, anchor.yaw_rate + b.yaw_rate),
         thrust: ml
             .thrust
-            .clamp(anchor.thrust - THRUST_BAND, anchor.thrust + THRUST_BAND),
+            .clamp(anchor.thrust - b.thrust, anchor.thrust + b.thrust),
     }
 }
 
@@ -319,7 +561,27 @@ impl Defense for PidPiper {
             return None;
         };
 
+        // Supervisor: health-check the prediction before it can reach the
+        // monitor or the motors. A bad prediction (non-finite or out of
+        // the actuation envelope) falls back to the PID for this step; a
+        // sustained run latches the FFC offline — and if that happens
+        // while its predictions were flying the vehicle, the only honest
+        // state left is the Degraded fail-safe.
+        if !self.ffc_health.check(&ml_signal) {
+            if self.ffc_health.is_offline() && (self.recovery_mode || self.degraded) {
+                self.enter_degraded();
+            }
+            return None;
+        }
+
         let tripped = self.monitor.update(&ml_signal, &ctx.pid_signal);
+
+        if self.degraded {
+            // Latched fail-safe: hold the banded override (the sanitized
+            // estimate keeps feeding the loops) until mission end. No
+            // re-entry into recovery, no silent hand-back.
+            return Some(band(ml_signal, ctx.pid_signal, &self.config.band));
+        }
 
         if !self.recovery_mode {
             if tripped {
@@ -328,7 +590,13 @@ impl Defense for PidPiper {
                 self.recovery_activations += 1;
                 self.below_drift_streak = 0;
                 self.monitor.reset();
+                self.watchdog.rearm();
             }
+        } else if self.watchdog.tick() {
+            // The recovery budget is spent: recovery has provably not
+            // converged within its allowance, so stop calling it recovery.
+            self.enter_degraded();
+            return Some(band(ml_signal, ctx.pid_signal, &self.config.band));
         } else if ctx.phase.is_landing() {
             // The landing descent is the RV's most vulnerable state (the
             // paper's Attack-3 targets exactly this): once recovery is
@@ -349,6 +617,7 @@ impl Defense for PidPiper {
                     ctx.readings,
                     &self.sanitizer.estimate().clone(),
                     self.sanitizer.attitude_innovation(),
+                    &self.config.consistency,
                 )
             {
                 self.below_drift_streak += 1;
@@ -356,6 +625,7 @@ impl Defense for PidPiper {
                     self.recovery_mode = false;
                     self.below_drift_streak = 0;
                     self.monitor.reset();
+                    self.watchdog.rearm();
                 }
             } else {
                 self.below_drift_streak = 0;
@@ -371,7 +641,7 @@ impl Defense for PidPiper {
             // unchanged; where it extrapolates out of distribution it
             // cannot command the vehicle away from the closed-loop
             // envelope (in particular, thrust stays altitude-stable).
-            Some(band(ml_signal, ctx.pid_signal))
+            Some(band(ml_signal, ctx.pid_signal, &self.config.band))
         } else {
             None
         }
@@ -394,6 +664,16 @@ impl Defense for PidPiper {
         self.recovery_mode
     }
 
+    fn health_state(&self) -> HealthState {
+        if self.degraded {
+            HealthState::Degraded
+        } else if self.recovery_mode {
+            HealthState::Recovery
+        } else {
+            HealthState::Nominal
+        }
+    }
+
     fn recovery_activations(&self) -> usize {
         self.recovery_activations
     }
@@ -402,7 +682,10 @@ impl Defense for PidPiper {
         self.ffc.reset();
         self.sanitizer.reset();
         self.monitor.reset_all();
+        self.ffc_health.reset();
+        self.watchdog.rearm();
         self.recovery_mode = false;
+        self.degraded = false;
         self.recovery_activations = 0;
         self.below_drift_streak = 0;
         self.last_ml_signal = None;
@@ -439,12 +722,7 @@ mod tests {
         );
         PidPiper::new(
             ffc,
-            PidPiperConfig {
-                thresholds: AxisThresholds::quad(18.0, 18.0, 18.6),
-                drifts: [0.5; 4],
-                exit_hold_steps: 5,
-                lag_history: 12,
-            },
+            PidPiperConfig::new(AxisThresholds::quad(18.0, 18.0, 18.6), [0.5; 4], 5, 12),
         )
     }
 
@@ -622,12 +900,142 @@ mod tests {
         let ffc = pp.ffc().clone();
         let _ = PidPiper::new(
             ffc,
-            PidPiperConfig {
-                thresholds: AxisThresholds::quad(18.0, 18.0, 18.0),
-                drifts: [0.0; 4],
-                exit_hold_steps: 5,
-                lag_history: 12,
-            },
+            PidPiperConfig::new(AxisThresholds::quad(18.0, 18.0, 18.0), [0.0; 4], 5, 12),
         );
+    }
+
+    #[test]
+    #[should_panic(expected = "watchdog")]
+    fn invalid_supervisor_config_rejected() {
+        let pp = tiny_pidpiper();
+        let ffc = pp.ffc().clone();
+        let mut config = *pp.config();
+        config.max_recovery_steps = 0;
+        let _ = PidPiper::new(ffc, config);
+    }
+
+    #[test]
+    fn v1_deployment_loads_with_supervisor_defaults() {
+        let a = tiny_pidpiper();
+        // Rewrite the v2 text as a v1 deployment: drop the supervisor
+        // lines and downgrade the header.
+        let v2 = a.to_text();
+        let v1: String = v2
+            .lines()
+            .filter(|l| {
+                !l.starts_with("consistency ")
+                    && !l.starts_with("band ")
+                    && !l.starts_with("supervisor ")
+            })
+            .map(|l| {
+                if l == "pidpiper-deployment v2" {
+                    "pidpiper-deployment v1".to_string()
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        let b = PidPiper::from_text(&v1).expect("v1 must load");
+        assert_eq!(b.config().consistency, ConsistencyGates::default());
+        assert_eq!(b.config().band, TrustBand::default());
+        assert_eq!(
+            b.config().max_recovery_steps,
+            PidPiperConfig::DEFAULT_MAX_RECOVERY_STEPS
+        );
+        assert_eq!(a.config(), b.config(), "defaults match the fixture");
+    }
+
+    #[test]
+    fn watchdog_bounds_time_in_recovery_and_latches_degraded() {
+        let base = tiny_pidpiper();
+        let ffc = base.ffc().clone();
+        let mut config = *base.config();
+        // Impossible exit gates: recovery can never hand control back, so
+        // without the watchdog it would run forever.
+        config.consistency.pos_gap = 1e-12;
+        config.max_recovery_steps = 40;
+        let mut pp = PidPiper::new(ffc, config);
+        let est = EstimatedState::default();
+        let readings = SensorReadings::default();
+        let target = TargetState::default();
+        for i in 0..30 {
+            let pid = pp.last_ml_signal().unwrap_or_default();
+            pp.observe(&ctx_with(&est, &readings, &target, pid, i as f64 * 0.01));
+        }
+        let base_sig = pp.last_ml_signal().expect("warmed up");
+        let attack_pid = ActuatorSignal {
+            roll: base_sig.roll + 0.5,
+            ..base_sig
+        };
+        let mut recovery_steps = 0;
+        for i in 0..500 {
+            let out = pp.observe(&ctx_with(&est, &readings, &target, attack_pid, 1.0 + i as f64 * 0.01));
+            if pp.in_recovery() {
+                recovery_steps += 1;
+            }
+            if pp.is_degraded() {
+                // The fail-safe still flies the banded override.
+                assert!(out.is_some(), "degraded must hold the override");
+                break;
+            }
+        }
+        assert!(pp.is_degraded(), "watchdog must force Degraded");
+        assert_eq!(pp.health_state(), HealthState::Degraded);
+        assert!(!pp.in_recovery(), "Degraded is not recovery");
+        assert!(
+            recovery_steps <= config.max_recovery_steps + 1,
+            "time in recovery ({recovery_steps}) must be bounded by the budget"
+        );
+        // Degraded is latched: many quiet steps later it still holds.
+        for i in 0..100 {
+            let ml = pp.last_ml_signal().unwrap_or_default();
+            pp.observe(&ctx_with(&est, &readings, &target, ml, 10.0 + i as f64 * 0.01));
+        }
+        assert_eq!(pp.health_state(), HealthState::Degraded);
+        // ...and reset clears it.
+        pp.reset();
+        assert_eq!(pp.health_state(), HealthState::Nominal);
+        assert!(!pp.is_degraded());
+    }
+
+    #[test]
+    fn non_finite_sensor_flood_is_contained_without_panic() {
+        // The runner's guard normally blocks non-finite readings; this
+        // exercises the defense-in-depth layers inside the defense itself
+        // (sanitizer hold-last-good + FFC health check + saturated CUSUM).
+        let mut pp = tiny_pidpiper();
+        let est = EstimatedState::default();
+        let good = SensorReadings::default();
+        let target = TargetState::default();
+        for i in 0..30 {
+            let pid = pp.last_ml_signal().unwrap_or_default();
+            pp.observe(&ctx_with(&est, &good, &target, pid, i as f64 * 0.01));
+        }
+        let bad = SensorReadings {
+            gps_position: pidpiper_math::Vec3::splat(f64::NAN),
+            gps_velocity: pidpiper_math::Vec3::splat(f64::NAN),
+            baro_altitude: f64::NAN,
+            gyro: pidpiper_math::Vec3::splat(f64::NAN),
+            accel: pidpiper_math::Vec3::splat(f64::NAN),
+            mag_heading: f64::NAN,
+        };
+        for i in 0..200 {
+            let pid = pp.last_ml_signal().unwrap_or_default();
+            let out = pp.observe(&ctx_with(&est, &bad, &target, pid, 1.0 + i as f64 * 0.01));
+            // A non-finite signal must never be flown.
+            if let Some(y) = out {
+                assert!(
+                    y.roll.is_finite()
+                        && y.pitch.is_finite()
+                        && y.yaw_rate.is_finite()
+                        && y.thrust.is_finite()
+                );
+            }
+            assert!(pp.monitor_level().statistic.is_finite());
+        }
+        if let Some(s) = pp.sanitized_estimate() {
+            assert!(s.position.is_finite(), "sanitized estimate poisoned");
+        }
     }
 }

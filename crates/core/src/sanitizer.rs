@@ -12,7 +12,7 @@
 use crate::gate::{GateConfig, VarianceGate};
 use pidpiper_math::Vec3;
 use pidpiper_sensors::estimator::EstimatorGains;
-use pidpiper_sensors::{EstimatedState, Estimator, SensorReadings};
+use pidpiper_sensors::{EstimatedState, Estimator, ReadingsGuard, SensorReadings};
 
 /// Number of raw scalar channels gated.
 const RAW_DIM: usize = 14;
@@ -34,6 +34,7 @@ const RAW_DIM: usize = 14;
 /// ```
 #[derive(Debug, Clone)]
 pub struct SensorSanitizer {
+    guard: ReadingsGuard,
     gate: VarianceGate,
     shadow: Estimator,
     last_estimate: EstimatedState,
@@ -79,6 +80,7 @@ impl SensorSanitizer {
             ..EstimatorGains::default()
         };
         SensorSanitizer {
+            guard: ReadingsGuard::new(),
             gate: VarianceGate::new(RAW_DIM, gate, &floors, &circular),
             shadow: Estimator::with_gains(shadow_gains),
             last_estimate: EstimatedState::default(),
@@ -105,6 +107,11 @@ impl SensorSanitizer {
     /// Sanitizes one sensor sample and advances the shadow estimator.
     /// Returns `(sanitized_readings, shadow_estimate)`.
     pub fn process(&mut self, readings: &SensorReadings, dt: f64) -> (SensorReadings, EstimatedState) {
+        // Boundary validation: hold-last-good any non-finite channel
+        // before the variance gate sees it — a single NaN would poison the
+        // gate's rolling statistics (and everything downstream of them)
+        // for the rest of the mission. Identity on finite samples.
+        let readings = &self.guard.accept(readings);
         let raw = [
             readings.gps_position.x,
             readings.gps_position.y,
@@ -137,6 +144,7 @@ impl SensorSanitizer {
 
     /// Resets all state (between missions).
     pub fn reset(&mut self) {
+        self.guard.reset();
         self.gate.reset();
         self.shadow.reset();
         self.last_estimate = EstimatedState::default();
@@ -261,6 +269,35 @@ mod tests {
         assert!(
             err < 5.0,
             "shadow estimate lost the vehicle during the attack: {err} m"
+        );
+    }
+
+    #[test]
+    fn non_finite_burst_does_not_poison_shadow_estimate() {
+        let truth = RigidBodyState::at_rest(Vec3::new(2.0, -1.0, 8.0));
+        let mut suite = SensorSuite::new(NoiseConfig::default(), 16);
+        let mut san = SensorSanitizer::default();
+        for _ in 0..500 {
+            let r = suite.sample(&truth, DT);
+            san.process(&r, DT);
+        }
+        let before = *san.estimate();
+        // A 1-second NaN/Inf burst across every channel.
+        for i in 0..100 {
+            let mut r = suite.sample(&truth, DT);
+            r.gps_position = Vec3::splat(f64::NAN);
+            r.baro_altitude = f64::INFINITY;
+            if i % 2 == 0 {
+                r.gyro = Vec3::splat(f64::NEG_INFINITY);
+            }
+            let (clean, est) = san.process(&r, DT);
+            assert!(clean.is_finite(), "sanitized readings must stay finite");
+            assert!(est.position.is_finite(), "shadow estimate poisoned");
+        }
+        assert!(
+            san.estimate().position.distance(before.position) < 2.0,
+            "estimate drifted {} m during the burst",
+            san.estimate().position.distance(before.position)
         );
     }
 

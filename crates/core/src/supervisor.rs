@@ -1,0 +1,285 @@
+//! Graceful-degradation supervisor primitives for the PID-Piper defense.
+//!
+//! Recovery mode flies an ML model's predictions, so the defense itself
+//! becomes a single point of failure: a model that emits NaN or wanders
+//! out of the vehicle's actuation envelope, or a recovery that never
+//! converges, would otherwise fly the vehicle into the ground while the
+//! framework reports "recovering". The supervisor bounds both failure
+//! modes with three small, independently testable components:
+//!
+//! - [`SignalEnvelope`] — per-channel validity check on an actuator
+//!   signal (finite and inside the physical actuation range).
+//! - [`FfcHealthMonitor`] — debounced health check over the FFC's output
+//!   stream; a sustained run of bad predictions latches the model
+//!   *offline* for the rest of the mission.
+//! - [`RecoveryWatchdog`] — hard budget on consecutive steps spent in
+//!   recovery; expiry forces the explicit `Degraded` fail-safe instead of
+//!   an indefinite silent recovery.
+
+use pidpiper_control::ActuatorSignal;
+
+/// Physical-plausibility envelope for an actuator signal.
+///
+/// The FFC is an LSTM: far out of its training distribution it can emit
+/// arbitrary values, and a non-finite input anywhere upstream surfaces
+/// here first. Any prediction outside the envelope is unusable as a
+/// recovery override.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SignalEnvelope {
+    /// Largest credible |roll| / |pitch| command (rad).
+    pub max_angle: f64,
+    /// Largest credible |yaw-rate| command (rad/s).
+    pub max_yaw_rate: f64,
+    /// Inclusive thrust range (fraction of full scale, with slack for
+    /// transient controller overshoot).
+    pub thrust_range: (f64, f64),
+}
+
+impl Default for SignalEnvelope {
+    fn default() -> Self {
+        // Generous bounds: ~69 degrees of tilt and 25% thrust overshoot
+        // are already unflyable for the simulated airframes, so anything
+        // outside is model failure, not an aggressive maneuver.
+        SignalEnvelope {
+            max_angle: 1.2,
+            max_yaw_rate: 6.0,
+            thrust_range: (-0.25, 1.25),
+        }
+    }
+}
+
+impl SignalEnvelope {
+    /// Whether `y` is finite on every channel and inside the envelope.
+    pub fn contains(&self, y: &ActuatorSignal) -> bool {
+        let finite = y.roll.is_finite()
+            && y.pitch.is_finite()
+            && y.yaw_rate.is_finite()
+            && y.thrust.is_finite();
+        finite
+            && y.roll.abs() <= self.max_angle
+            && y.pitch.abs() <= self.max_angle
+            && y.yaw_rate.abs() <= self.max_yaw_rate
+            && y.thrust >= self.thrust_range.0
+            && y.thrust <= self.thrust_range.1
+    }
+}
+
+/// Debounced health check over the FFC's prediction stream.
+///
+/// A single bad prediction falls back to the PID for that step; a run of
+/// `offline_after` *consecutive* bad predictions latches the model
+/// offline — after which [`FfcHealthMonitor::check`] reports unusable for
+/// the rest of the mission (until [`FfcHealthMonitor::reset`]).
+#[derive(Debug, Clone)]
+pub struct FfcHealthMonitor {
+    envelope: SignalEnvelope,
+    offline_after: usize,
+    bad_streak: usize,
+    offline: bool,
+}
+
+impl FfcHealthMonitor {
+    /// Creates a health monitor latching offline after `offline_after`
+    /// consecutive bad predictions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offline_after` is zero.
+    pub fn new(envelope: SignalEnvelope, offline_after: usize) -> Self {
+        assert!(offline_after > 0, "offline_after must be positive");
+        FfcHealthMonitor {
+            envelope,
+            offline_after,
+            bad_streak: 0,
+            offline: false,
+        }
+    }
+
+    /// Checks one prediction; returns whether it is usable this step.
+    /// Once offline, every prediction is unusable.
+    pub fn check(&mut self, y: &ActuatorSignal) -> bool {
+        if self.offline {
+            return false;
+        }
+        if self.envelope.contains(y) {
+            self.bad_streak = 0;
+            true
+        } else {
+            self.bad_streak += 1;
+            if self.bad_streak >= self.offline_after {
+                self.offline = true;
+            }
+            false
+        }
+    }
+
+    /// Whether the model has latched offline.
+    pub fn is_offline(&self) -> bool {
+        self.offline
+    }
+
+    /// Consecutive bad predictions ending now.
+    pub fn bad_streak(&self) -> usize {
+        self.bad_streak
+    }
+
+    /// Clears the latch and streak (between missions).
+    pub fn reset(&mut self) {
+        self.bad_streak = 0;
+        self.offline = false;
+    }
+}
+
+/// Hard budget on consecutive control steps spent in recovery mode.
+///
+/// Algorithm 1 exits recovery when the residual subsides; under a
+/// persistent fault (or an attack the sanitizer cannot null) that never
+/// happens, and "in recovery" must not silently become the permanent
+/// state. The watchdog counts each recovery step and *expires* once the
+/// budget is exhausted, at which point the caller transitions to its
+/// explicit fail-safe.
+#[derive(Debug, Clone)]
+pub struct RecoveryWatchdog {
+    max_steps: usize,
+    steps: usize,
+    expired: bool,
+}
+
+impl RecoveryWatchdog {
+    /// Creates a watchdog with a budget of `max_steps` recovery steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_steps` is zero.
+    pub fn new(max_steps: usize) -> Self {
+        assert!(max_steps > 0, "watchdog budget must be positive");
+        RecoveryWatchdog {
+            max_steps,
+            steps: 0,
+            expired: false,
+        }
+    }
+
+    /// Consumes one recovery step; returns `true` once the budget is
+    /// exhausted (and keeps returning `true` until re-armed).
+    pub fn tick(&mut self) -> bool {
+        self.steps += 1;
+        if self.steps > self.max_steps {
+            self.expired = true;
+        }
+        self.expired
+    }
+
+    /// Whether the budget has been exhausted.
+    pub fn expired(&self) -> bool {
+        self.expired
+    }
+
+    /// Steps consumed by the current recovery activation.
+    pub fn steps_in_recovery(&self) -> usize {
+        self.steps
+    }
+
+    /// Re-arms the full budget (on a clean recovery exit, or between
+    /// missions).
+    pub fn rearm(&mut self) {
+        self.steps = 0;
+        self.expired = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig(roll: f64, thrust: f64) -> ActuatorSignal {
+        ActuatorSignal {
+            roll,
+            pitch: 0.0,
+            yaw_rate: 0.0,
+            thrust,
+        }
+    }
+
+    #[test]
+    fn envelope_accepts_nominal_signals() {
+        let env = SignalEnvelope::default();
+        assert!(env.contains(&sig(0.2, 0.5)));
+        assert!(env.contains(&sig(-1.2, 0.0)), "boundary is inclusive");
+    }
+
+    #[test]
+    fn envelope_rejects_non_finite_and_out_of_range() {
+        let env = SignalEnvelope::default();
+        assert!(!env.contains(&sig(f64::NAN, 0.5)));
+        assert!(!env.contains(&sig(0.0, f64::INFINITY)));
+        assert!(!env.contains(&sig(2.0, 0.5)), "69-degree tilt cap");
+        assert!(!env.contains(&sig(0.0, 1.5)), "thrust overshoot cap");
+        assert!(!env.contains(&ActuatorSignal {
+            yaw_rate: -7.0,
+            ..Default::default()
+        }));
+    }
+
+    #[test]
+    fn health_monitor_debounces_isolated_glitches() {
+        let mut hm = FfcHealthMonitor::new(SignalEnvelope::default(), 3);
+        assert!(hm.check(&sig(0.1, 0.5)));
+        assert!(!hm.check(&sig(f64::NAN, 0.5)), "bad step falls back");
+        assert_eq!(hm.bad_streak(), 1);
+        assert!(hm.check(&sig(0.1, 0.5)), "recovered; streak cleared");
+        assert_eq!(hm.bad_streak(), 0);
+        assert!(!hm.is_offline());
+    }
+
+    #[test]
+    fn health_monitor_latches_offline_after_streak() {
+        let mut hm = FfcHealthMonitor::new(SignalEnvelope::default(), 3);
+        for _ in 0..3 {
+            assert!(!hm.check(&sig(f64::NAN, 0.5)));
+        }
+        assert!(hm.is_offline());
+        // Even a good prediction is now unusable: the latch holds.
+        assert!(!hm.check(&sig(0.1, 0.5)));
+        hm.reset();
+        assert!(!hm.is_offline());
+        assert!(hm.check(&sig(0.1, 0.5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "offline_after")]
+    fn health_monitor_rejects_zero_debounce() {
+        let _ = FfcHealthMonitor::new(SignalEnvelope::default(), 0);
+    }
+
+    #[test]
+    fn watchdog_expires_exactly_past_budget() {
+        let mut wd = RecoveryWatchdog::new(5);
+        for i in 1..=5 {
+            assert!(!wd.tick(), "within budget at step {i}");
+        }
+        assert!(wd.tick(), "budget exhausted");
+        assert!(wd.expired());
+        assert!(wd.tick(), "stays expired");
+        assert_eq!(wd.steps_in_recovery(), 7);
+    }
+
+    #[test]
+    fn watchdog_rearm_restores_full_budget() {
+        let mut wd = RecoveryWatchdog::new(2);
+        wd.tick();
+        wd.rearm();
+        assert_eq!(wd.steps_in_recovery(), 0);
+        assert!(!wd.tick());
+        assert!(!wd.tick());
+        assert!(wd.tick());
+        wd.rearm();
+        assert!(!wd.expired());
+    }
+
+    #[test]
+    #[should_panic(expected = "budget")]
+    fn watchdog_rejects_zero_budget() {
+        let _ = RecoveryWatchdog::new(0);
+    }
+}

@@ -390,12 +390,12 @@ impl Trainer {
 
         let pidpiper = PidPiper::new(
             ffc,
-            PidPiperConfig {
+            PidPiperConfig::new(
                 thresholds,
                 drifts,
-                exit_hold_steps: self.config.exit_hold_steps,
+                self.config.exit_hold_steps,
                 lag_history,
-            },
+            ),
         );
         TrainedPidPiper {
             pidpiper,

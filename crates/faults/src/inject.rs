@@ -1,0 +1,411 @@
+//! The stateful, seeded fault injector the mission runner drives.
+
+use crate::kind::{FaultKind, SensorChannel};
+use crate::schedule::FaultSchedule;
+use pidpiper_sensors::SensorReadings;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A scheduled fault.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fault {
+    /// What goes wrong.
+    pub kind: FaultKind,
+    /// When it goes wrong.
+    pub schedule: FaultSchedule,
+}
+
+impl Fault {
+    /// Creates a fault from a kind and schedule.
+    pub fn new(kind: FaultKind, schedule: FaultSchedule) -> Self {
+        Fault { kind, schedule }
+    }
+}
+
+/// Per-mission fault state: applies the configured faults to the sensor
+/// stream, the actuation and the control-loop timing, deterministically
+/// from one seed.
+///
+/// Construct one per mission (the runner does this from
+/// `RunnerConfig::faults` + `fault_seed`); all random draws — the
+/// NaN-burst corruption pattern, control jitter — come from the injector's
+/// own `StdRng`, and draws only occur while the owning fault's schedule is
+/// active, so the stream is a pure function of `(faults, seed, timeline)`.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    faults: Vec<Fault>,
+    rng: StdRng,
+    /// Last pre-fault sample per fault (frozen-sensor state).
+    frozen: Vec<Option<SensorReadings>>,
+    /// Count of active control steps per fault (skip periodicity).
+    active_steps: Vec<usize>,
+}
+
+/// Per-channel corruption probability of the NaN burst.
+const NAN_BURST_P: f64 = 0.7;
+
+impl FaultInjector {
+    /// Creates an injector for one mission.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `ControlSkip` period is zero, a `ControlJitter`
+    /// probability is outside `[0, 1]`, or an `ActuatorSaturation` effort
+    /// is outside `[0, 1]`.
+    pub fn new(faults: Vec<Fault>, seed: u64) -> Self {
+        for f in &faults {
+            match f.kind {
+                FaultKind::ControlSkip { every } => {
+                    assert!(every >= 1, "ControlSkip period must be >= 1");
+                }
+                FaultKind::ControlJitter { skip_probability } => {
+                    assert!(
+                        (0.0..=1.0).contains(&skip_probability),
+                        "ControlJitter probability must be in [0, 1]"
+                    );
+                }
+                FaultKind::ActuatorSaturation { effort } => {
+                    assert!(
+                        (0.0..=1.0).contains(&effort),
+                        "ActuatorSaturation effort must be in [0, 1]"
+                    );
+                }
+                _ => {}
+            }
+        }
+        let n = faults.len();
+        FaultInjector {
+            faults,
+            rng: StdRng::seed_from_u64(seed),
+            frozen: vec![None; n],
+            active_steps: vec![0; n],
+        }
+    }
+
+    /// Whether no faults are configured (the injector is a no-op).
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The configured faults.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Applies all active sensor faults to one sample in place. Returns
+    /// `true` when any sensor fault perturbed the sample.
+    ///
+    /// Must be called exactly once per control step, in step order: the
+    /// frozen-sensor faults snapshot the last *inactive* sample here, and
+    /// the NaN burst consumes seeded RNG draws on active steps.
+    pub fn apply_sensors(&mut self, r: &mut SensorReadings, t: f64) -> bool {
+        let mut any = false;
+        for (i, fault) in self.faults.iter().enumerate() {
+            if !fault.kind.is_sensor_fault() {
+                continue;
+            }
+            let active = fault.schedule.is_active(t);
+            match &fault.kind {
+                FaultKind::GpsDropout if active => {
+                    r.gps_position = pidpiper_math::Vec3::splat(f64::NAN);
+                    r.gps_velocity = pidpiper_math::Vec3::splat(f64::NAN);
+                    any = true;
+                }
+                FaultKind::FrozenSensor(channel) => {
+                    if active {
+                        // Freeze at the last pre-fault sample; if the fault
+                        // is active from the first step, the first faulty
+                        // sample itself latches.
+                        let snapshot = *self.frozen[i].get_or_insert(*r);
+                        copy_channel(*channel, &snapshot, r);
+                        any = true;
+                    } else {
+                        self.frozen[i] = Some(*r);
+                    }
+                }
+                FaultKind::NanBurst if active => {
+                    corrupt_burst(&mut self.rng, r);
+                    any = true;
+                }
+                FaultKind::GyroStuckAt(rate) if active => {
+                    r.gyro = *rate;
+                    any = true;
+                }
+                _ => {}
+            }
+        }
+        any
+    }
+
+    /// Whether this control step should be skipped (command latched from
+    /// the previous step). Call exactly once per control step, after
+    /// [`FaultInjector::apply_sensors`]. Returns `true` when any timing
+    /// fault fires.
+    pub fn skip_control(&mut self, t: f64) -> bool {
+        let mut skip = false;
+        for (i, fault) in self.faults.iter().enumerate() {
+            match fault.kind {
+                FaultKind::ControlSkip { every } if fault.schedule.is_active(t) => {
+                    self.active_steps[i] += 1;
+                    if self.active_steps[i].is_multiple_of(every) {
+                        skip = true;
+                    }
+                }
+                FaultKind::ControlJitter { skip_probability }
+                    if fault.schedule.is_active(t) && self.rng.gen_bool(skip_probability) =>
+                {
+                    skip = true;
+                }
+                _ => {}
+            }
+        }
+        skip
+    }
+
+    /// Applies active actuator-saturation faults to a slice of actuator
+    /// efforts (motor thrusts, rover throttle/steering) in place. Returns
+    /// `true` when any saturation fault was active.
+    pub fn apply_effort(&mut self, efforts: &mut [f64], t: f64) -> bool {
+        let mut any = false;
+        for fault in &self.faults {
+            if let FaultKind::ActuatorSaturation { effort } = fault.kind {
+                if fault.schedule.is_active(t) {
+                    for e in efforts.iter_mut() {
+                        *e *= effort;
+                    }
+                    any = true;
+                }
+            }
+        }
+        any
+    }
+}
+
+/// Copies one sensor channel of `from` into `to`.
+fn copy_channel(channel: SensorChannel, from: &SensorReadings, to: &mut SensorReadings) {
+    match channel {
+        SensorChannel::Gps => {
+            to.gps_position = from.gps_position;
+            to.gps_velocity = from.gps_velocity;
+        }
+        SensorChannel::Baro => to.baro_altitude = from.baro_altitude,
+        SensorChannel::Gyro => to.gyro = from.gyro,
+        SensorChannel::Accel => to.accel = from.accel,
+        SensorChannel::Mag => to.mag_heading = from.mag_heading,
+    }
+}
+
+/// Replaces each raw channel with NaN or ±Inf with probability
+/// [`NAN_BURST_P`], pattern drawn from `rng`.
+fn corrupt_burst(rng: &mut StdRng, r: &mut SensorReadings) {
+    let mut hit = |v: &mut f64| {
+        if rng.gen_bool(NAN_BURST_P) {
+            *v = match rng.gen_range(0..3u32) {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                _ => f64::NEG_INFINITY,
+            };
+        }
+    };
+    for axis in 0..3 {
+        hit(&mut r.gps_position[axis]);
+        hit(&mut r.gps_velocity[axis]);
+        hit(&mut r.gyro[axis]);
+        hit(&mut r.accel[axis]);
+    }
+    hit(&mut r.baro_altitude);
+    hit(&mut r.mag_heading);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pidpiper_math::Vec3;
+
+    fn sample(x: f64) -> SensorReadings {
+        SensorReadings {
+            gps_position: Vec3::new(x, x + 1.0, x + 2.0),
+            gps_velocity: Vec3::splat(0.5),
+            baro_altitude: x + 2.0,
+            gyro: Vec3::new(0.01, 0.02, 0.03),
+            accel: Vec3::new(0.0, 0.0, 9.81),
+            mag_heading: 0.1,
+        }
+    }
+
+    #[test]
+    fn gps_dropout_nans_only_gps() {
+        let mut inj = FaultInjector::new(
+            vec![Fault::new(
+                FaultKind::GpsDropout,
+                FaultSchedule::Windows(vec![(1.0, 2.0)]),
+            )],
+            7,
+        );
+        let mut r = sample(3.0);
+        assert!(!inj.apply_sensors(&mut r, 0.5));
+        assert!(r.is_finite());
+        assert!(inj.apply_sensors(&mut r, 1.5));
+        assert!(r.gps_position.x.is_nan());
+        assert!(r.gps_velocity.z.is_nan());
+        assert!(r.gyro.is_finite());
+        assert!(r.baro_altitude.is_finite());
+    }
+
+    #[test]
+    fn frozen_sensor_repeats_last_prefault_value() {
+        let mut inj = FaultInjector::new(
+            vec![Fault::new(
+                FaultKind::FrozenSensor(SensorChannel::Baro),
+                FaultSchedule::Continuous { start: 1.0 },
+            )],
+            7,
+        );
+        let mut r = sample(10.0);
+        inj.apply_sensors(&mut r, 0.9); // pre-fault: snapshot 12.0
+        let mut r2 = sample(50.0);
+        assert!(inj.apply_sensors(&mut r2, 1.1));
+        assert_eq!(r2.baro_altitude, 12.0, "baro frozen at pre-fault value");
+        assert_eq!(r2.gps_position.x, 50.0, "other channels untouched");
+    }
+
+    #[test]
+    fn frozen_from_step_one_latches_first_sample() {
+        let mut inj = FaultInjector::new(
+            vec![Fault::new(
+                FaultKind::FrozenSensor(SensorChannel::Gyro),
+                FaultSchedule::Continuous { start: 0.0 },
+            )],
+            7,
+        );
+        let mut r = sample(1.0);
+        r.gyro = Vec3::new(0.5, 0.0, 0.0);
+        inj.apply_sensors(&mut r, 0.01);
+        let mut r2 = sample(2.0);
+        inj.apply_sensors(&mut r2, 0.02);
+        assert_eq!(r2.gyro, Vec3::new(0.5, 0.0, 0.0));
+    }
+
+    #[test]
+    fn nan_burst_corrupts_and_is_deterministic() {
+        let run = || {
+            let mut inj = FaultInjector::new(
+                vec![Fault::new(
+                    FaultKind::NanBurst,
+                    FaultSchedule::Continuous { start: 0.0 },
+                )],
+                99,
+            );
+            let mut out = Vec::new();
+            for i in 0..20 {
+                let mut r = sample(i as f64);
+                inj.apply_sensors(&mut r, 0.01 * (i + 1) as f64);
+                out.push(r);
+            }
+            out
+        };
+        let a = run();
+        let b = run();
+        for (x, y) in a.iter().zip(&b) {
+            // Bitwise equality including NaN patterns.
+            assert_eq!(format!("{x:?}"), format!("{y:?}"));
+        }
+        assert!(
+            a.iter().any(|r| !r.is_finite()),
+            "a 0.7-per-channel burst must corrupt something in 20 steps"
+        );
+    }
+
+    #[test]
+    fn gyro_stuck_at_overrides_rates() {
+        let stuck = Vec3::new(0.0, 0.3, 0.0);
+        let mut inj = FaultInjector::new(
+            vec![Fault::new(
+                FaultKind::GyroStuckAt(stuck),
+                FaultSchedule::Continuous { start: 0.0 },
+            )],
+            7,
+        );
+        let mut r = sample(0.0);
+        assert!(inj.apply_sensors(&mut r, 1.0));
+        assert_eq!(r.gyro, stuck);
+    }
+
+    #[test]
+    fn control_skip_period() {
+        let mut inj = FaultInjector::new(
+            vec![Fault::new(
+                FaultKind::ControlSkip { every: 3 },
+                FaultSchedule::Continuous { start: 0.0 },
+            )],
+            7,
+        );
+        let skips: Vec<bool> = (1..=9).map(|i| inj.skip_control(i as f64 * 0.01)).collect();
+        assert_eq!(
+            skips,
+            vec![false, false, true, false, false, true, false, false, true]
+        );
+    }
+
+    #[test]
+    fn control_jitter_is_seeded() {
+        let run = |seed| {
+            let mut inj = FaultInjector::new(
+                vec![Fault::new(
+                    FaultKind::ControlJitter {
+                        skip_probability: 0.4,
+                    },
+                    FaultSchedule::Continuous { start: 0.0 },
+                )],
+                seed,
+            );
+            (0..50).map(|i| inj.skip_control(i as f64 * 0.01)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(5), run(5), "same seed, same skip pattern");
+        let skips = run(5);
+        let n = skips.iter().filter(|s| **s).count();
+        assert!(n > 5 && n < 45, "~40% skip rate, got {n}/50");
+    }
+
+    #[test]
+    fn actuator_saturation_scales_efforts() {
+        let mut inj = FaultInjector::new(
+            vec![Fault::new(
+                FaultKind::ActuatorSaturation { effort: 0.5 },
+                FaultSchedule::Windows(vec![(0.0, 1.0)]),
+            )],
+            7,
+        );
+        let mut motors = [4.0, 2.0, 4.0, 2.0];
+        assert!(inj.apply_effort(&mut motors, 0.5));
+        assert_eq!(motors, [2.0, 1.0, 2.0, 1.0]);
+        assert!(!inj.apply_effort(&mut motors, 1.5));
+        assert_eq!(motors, [2.0, 1.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn empty_injector_is_inert() {
+        let mut inj = FaultInjector::new(Vec::new(), 7);
+        assert!(inj.is_empty());
+        let mut r = sample(0.0);
+        let before = r;
+        assert!(!inj.apply_sensors(&mut r, 1.0));
+        assert_eq!(r, before);
+        assert!(!inj.skip_control(1.0));
+        let mut m = [1.0];
+        assert!(!inj.apply_effort(&mut m, 1.0));
+        assert_eq!(m, [1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "period")]
+    fn zero_skip_period_rejected() {
+        let _ = FaultInjector::new(
+            vec![Fault::new(
+                FaultKind::ControlSkip { every: 0 },
+                FaultSchedule::Never,
+            )],
+            7,
+        );
+    }
+}

@@ -1,0 +1,136 @@
+//! The fault taxonomy.
+
+use pidpiper_math::Vec3;
+
+/// Which sensor a channel-scoped fault affects. Mirrors the sensor set the
+/// attack engine's `AttackKind` perturbs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SensorChannel {
+    /// GPS position + velocity fix.
+    Gps,
+    /// Barometric altitude.
+    Baro,
+    /// Gyroscope body rates.
+    Gyro,
+    /// Accelerometer specific force.
+    Accel,
+    /// Magnetometer heading.
+    Mag,
+}
+
+impl SensorChannel {
+    /// Human-readable sensor name (matches the attack engine's names).
+    pub fn name(self) -> &'static str {
+        match self {
+            SensorChannel::Gps => "gps",
+            SensorChannel::Baro => "baro",
+            SensorChannel::Gyro => "gyro",
+            SensorChannel::Accel => "accel",
+            SensorChannel::Mag => "mag",
+        }
+    }
+}
+
+/// One benign fault mode.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultKind {
+    /// The GPS receiver loses its solution: position and velocity report
+    /// NaN (what a real driver surfaces on an invalid fix). Exercises the
+    /// runner's hold-last-good boundary.
+    GpsDropout,
+    /// A sensor stops updating and repeats its last pre-fault sample
+    /// (wedged peripheral). The values stay finite — only *stale*.
+    FrozenSensor(SensorChannel),
+    /// Corrupted samples across the whole suite: each raw channel is
+    /// independently replaced by NaN or ±Inf with probability 0.7 per
+    /// step, pattern drawn from the injector's seeded RNG.
+    NanBurst,
+    /// The gyroscope latches a constant body-rate reading (rad/s).
+    GyroStuckAt(Vec3),
+    /// Actuators deliver only `effort` (0..=1) of the commanded output —
+    /// ESC derating, prop damage, servo wear.
+    ActuatorSaturation {
+        /// Fraction of commanded effort actually delivered.
+        effort: f64,
+    },
+    /// The control task overruns deterministically: every `every`-th
+    /// active control step is skipped and the previous command stays
+    /// latched (`every = 1` = total control loss while active).
+    ControlSkip {
+        /// Period of the skip among active steps (must be ≥ 1).
+        every: usize,
+    },
+    /// Scheduling jitter: each active control step is skipped with
+    /// probability `skip_probability`, drawn from the injector's seeded
+    /// RNG.
+    ControlJitter {
+        /// Per-step probability (0..=1) that the step is skipped.
+        skip_probability: f64,
+    },
+}
+
+impl FaultKind {
+    /// Short name used in experiment tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::GpsDropout => "gps-dropout",
+            FaultKind::FrozenSensor(_) => "frozen-sensor",
+            FaultKind::NanBurst => "nan-burst",
+            FaultKind::GyroStuckAt(_) => "gyro-stuck",
+            FaultKind::ActuatorSaturation { .. } => "act-saturation",
+            FaultKind::ControlSkip { .. } => "ctrl-skip",
+            FaultKind::ControlJitter { .. } => "ctrl-jitter",
+        }
+    }
+
+    /// Whether this fault perturbs the sensor stream (as opposed to the
+    /// actuation or the control-loop timing).
+    pub fn is_sensor_fault(&self) -> bool {
+        matches!(
+            self,
+            FaultKind::GpsDropout
+                | FaultKind::FrozenSensor(_)
+                | FaultKind::NanBurst
+                | FaultKind::GyroStuckAt(_)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_distinct() {
+        let kinds = [
+            FaultKind::GpsDropout,
+            FaultKind::FrozenSensor(SensorChannel::Baro),
+            FaultKind::NanBurst,
+            FaultKind::GyroStuckAt(Vec3::ZERO),
+            FaultKind::ActuatorSaturation { effort: 0.5 },
+            FaultKind::ControlSkip { every: 2 },
+            FaultKind::ControlJitter {
+                skip_probability: 0.3,
+            },
+        ];
+        for (i, a) in kinds.iter().enumerate() {
+            for b in &kinds[i + 1..] {
+                assert_ne!(a.name(), b.name());
+            }
+        }
+    }
+
+    #[test]
+    fn sensor_fault_classification() {
+        assert!(FaultKind::GpsDropout.is_sensor_fault());
+        assert!(FaultKind::NanBurst.is_sensor_fault());
+        assert!(!FaultKind::ControlSkip { every: 1 }.is_sensor_fault());
+        assert!(!FaultKind::ActuatorSaturation { effort: 0.5 }.is_sensor_fault());
+    }
+
+    #[test]
+    fn channel_names_match_attack_engine() {
+        assert_eq!(SensorChannel::Gps.name(), "gps");
+        assert_eq!(SensorChannel::Mag.name(), "mag");
+    }
+}

@@ -1,0 +1,35 @@
+//! Benign-fault injection for the mission runner.
+//!
+//! The attack engine (`pidpiper-attacks`) models an *adversary*: biases
+//! chosen to defeat detection. This crate models everything that goes
+//! wrong without an adversary — the faults any fielded autopilot must
+//! survive:
+//!
+//! - **GPS dropout**: the receiver loses its fix and reports non-finite
+//!   position/velocity (exactly what a hardware driver surfaces when the
+//!   solution is invalid);
+//! - **frozen sensor**: a channel stops updating and repeats its last
+//!   pre-fault value (stale I2C peripheral, wedged driver thread);
+//! - **NaN/Inf burst**: corrupted samples across the whole suite (DMA
+//!   corruption, uninitialised memory reads);
+//! - **gyro stuck-at**: the gyroscope latches a constant rate;
+//! - **actuator saturation**: motors/servos deliver only a fraction of the
+//!   commanded effort (ESC derating, prop damage);
+//! - **control-step skip / jitter**: the control task overruns and the
+//!   previous command stays latched for a cycle (scheduling faults).
+//!
+//! Every fault is scheduled by a [`FaultSchedule`] that mirrors the attack
+//! engine's `Schedule` shape, and all randomness (the jitter fault, the
+//! NaN-burst corruption pattern) flows from one explicit seed, so a
+//! faulted mission is exactly as deterministic as a clean one — the
+//! serial/parallel bit-identity contract holds under faults too.
+
+#![deny(missing_docs)]
+
+pub mod inject;
+pub mod kind;
+pub mod schedule;
+
+pub use inject::{Fault, FaultInjector};
+pub use kind::{FaultKind, SensorChannel};
+pub use schedule::FaultSchedule;

@@ -1,0 +1,138 @@
+//! Fault activation schedules.
+//!
+//! Deliberately the same shape as `pidpiper_attacks::Schedule` (half-open
+//! windows, intermittent bursts) so experiment code can express attack and
+//! fault timelines in one vocabulary, without this crate depending on the
+//! attack engine.
+
+/// When a fault is active during a mission timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultSchedule {
+    /// Active from `start` (s) until the end of the mission.
+    Continuous {
+        /// Activation time (s).
+        start: f64,
+    },
+    /// Active during explicit `[start, end)` windows (s).
+    Windows(Vec<(f64, f64)>),
+    /// Repeating bursts: active for `on` seconds, inactive for `off`
+    /// seconds, starting at `start`.
+    Intermittent {
+        /// First activation time (s).
+        start: f64,
+        /// Burst duration (s).
+        on: f64,
+        /// Gap between bursts (s).
+        off: f64,
+    },
+    /// Never active (placeholder).
+    Never,
+}
+
+impl FaultSchedule {
+    /// Whether the fault is active at mission time `t` (seconds).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pidpiper_faults::FaultSchedule;
+    ///
+    /// let s = FaultSchedule::Intermittent { start: 10.0, on: 3.0, off: 5.0 };
+    /// assert!(!s.is_active(9.9));
+    /// assert!(s.is_active(11.0));
+    /// assert!(!s.is_active(14.0)); // in the off gap
+    /// assert!(s.is_active(18.5));  // second burst
+    /// ```
+    pub fn is_active(&self, t: f64) -> bool {
+        match self {
+            FaultSchedule::Continuous { start } => t >= *start,
+            FaultSchedule::Windows(ws) => ws.iter().any(|&(a, b)| t >= a && t < b),
+            FaultSchedule::Intermittent { start, on, off } => {
+                if t < *start {
+                    return false;
+                }
+                let period = on + off;
+                if period <= 0.0 {
+                    return true;
+                }
+                let phase = (t - start) % period;
+                phase < *on
+            }
+            FaultSchedule::Never => false,
+        }
+    }
+
+    /// The first activation time, if the schedule ever activates.
+    pub fn first_activation(&self) -> Option<f64> {
+        match self {
+            FaultSchedule::Continuous { start } => Some(*start),
+            FaultSchedule::Windows(ws) => {
+                pidpiper_math::float::min_of(ws.iter().map(|&(a, _)| a))
+            }
+            FaultSchedule::Intermittent { start, .. } => Some(*start),
+            FaultSchedule::Never => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn continuous_from_start() {
+        let s = FaultSchedule::Continuous { start: 5.0 };
+        assert!(!s.is_active(4.99));
+        assert!(s.is_active(5.0));
+        assert!(s.is_active(1e6));
+        assert_eq!(s.first_activation(), Some(5.0));
+    }
+
+    #[test]
+    fn windows_half_open() {
+        let s = FaultSchedule::Windows(vec![(1.0, 2.0), (4.0, 6.0)]);
+        assert!(!s.is_active(0.5));
+        assert!(s.is_active(1.0));
+        assert!(!s.is_active(2.0));
+        assert!(s.is_active(5.9));
+        assert!(!s.is_active(6.0));
+        assert_eq!(s.first_activation(), Some(1.0));
+    }
+
+    #[test]
+    fn intermittent_periodicity() {
+        let s = FaultSchedule::Intermittent {
+            start: 0.0,
+            on: 2.0,
+            off: 3.0,
+        };
+        for k in 0..5 {
+            let base = k as f64 * 5.0;
+            assert!(s.is_active(base + 0.1), "burst {k}");
+            assert!(!s.is_active(base + 2.1), "gap {k}");
+        }
+    }
+
+    #[test]
+    fn never_never_activates() {
+        let s = FaultSchedule::Never;
+        assert!(!s.is_active(0.0));
+        assert!(!s.is_active(1e9));
+        assert_eq!(s.first_activation(), None);
+    }
+
+    #[test]
+    fn mirrors_attack_schedule_semantics() {
+        // The contract with pidpiper-attacks: same variants, same
+        // activation algebra. Spot-check against hand-computed values the
+        // attack engine's own tests assert.
+        let s = FaultSchedule::Intermittent {
+            start: 10.0,
+            on: 3.0,
+            off: 5.0,
+        };
+        for (t, want) in [(9.9, false), (11.0, true), (14.0, false), (18.5, true)] {
+            assert_eq!(s.is_active(t), want, "t = {t}");
+        }
+    }
+}

@@ -64,6 +64,17 @@ impl Cusum {
         self.drift
     }
 
+    /// Clamps the statistic to `cap` (a non-finite statistic is also
+    /// replaced by `cap`). Supervised deployments saturate `S(t)` so that
+    /// a long fault cannot wind the accumulator up arbitrarily — bounding
+    /// both the de-accumulation a reset must wait for and the damage a
+    /// single non-finite residual can do.
+    pub fn saturate(&mut self, cap: f64) {
+        if self.statistic > cap || self.statistic.is_nan() {
+            self.statistic = cap;
+        }
+    }
+
     /// Resets `S` to zero (Algorithm 1 resets on detection).
     pub fn reset(&mut self) {
         self.statistic = 0.0;
@@ -164,6 +175,29 @@ mod tests {
         c.update(100.0);
         c.reset();
         assert_eq!(c.statistic(), 0.0);
+    }
+
+    #[test]
+    fn saturate_caps_and_heals_non_finite() {
+        let mut c = Cusum::new(0.5);
+        c.update(100.0);
+        c.saturate(10.0);
+        assert_eq!(c.statistic(), 10.0);
+        // Below the cap: untouched.
+        c.reset();
+        c.update(3.0);
+        c.saturate(10.0);
+        assert!((c.statistic() - 2.5).abs() < 1e-12);
+        // A NaN residual flushes the accumulator to zero (`max(0.0)`
+        // ignores NaN); saturate keeps the statistic finite either way.
+        c.update(f64::NAN);
+        c.saturate(10.0);
+        assert!(c.statistic().is_finite());
+        // An infinite residual *does* poison the statistic; saturate
+        // restores it to the cap.
+        c.update(f64::INFINITY);
+        c.saturate(10.0);
+        assert_eq!(c.statistic(), 10.0);
     }
 
     #[test]

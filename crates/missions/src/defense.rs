@@ -44,6 +44,42 @@ pub struct MonitorLevel {
     pub threshold: f64,
 }
 
+/// The graceful-degradation state machine every defense reports through.
+///
+/// Transitions: `Nominal -> Recovery` when the technique's monitor trips;
+/// `Recovery -> Nominal` when it hands control back; `Recovery ->
+/// Degraded` when a supervisor decides recovery can no longer be trusted
+/// (PID-Piper: the recovery watchdog expires or the FFC latches offline).
+/// `Degraded` is a latched fail-safe — it only clears on
+/// [`Defense::reset`] between missions, so a mission that ends there ends
+/// there *explicitly*, never silently flying garbage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum HealthState {
+    /// Flying the PID's own output; no anomaly in progress.
+    Nominal,
+    /// The monitor tripped; a recovery override is flying the vehicle.
+    Recovery,
+    /// Fail-safe: recovery exhausted its budget or its inputs went bad.
+    Degraded,
+}
+
+impl HealthState {
+    /// Whether this is the latched fail-safe state.
+    pub fn is_degraded(self) -> bool {
+        matches!(self, HealthState::Degraded)
+    }
+}
+
+impl std::fmt::Display for HealthState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HealthState::Nominal => write!(f, "nominal"),
+            HealthState::Recovery => write!(f, "recovery"),
+            HealthState::Degraded => write!(f, "degraded"),
+        }
+    }
+}
+
 /// An attack detection/recovery technique.
 pub trait Defense {
     /// Technique name for tables ("PID-Piper", "SRR", "CI", "Savior").
@@ -67,6 +103,18 @@ pub trait Defense {
 
     /// Whether recovery mode is currently active.
     fn in_recovery(&self) -> bool;
+
+    /// The defense's current [`HealthState`]. The default maps recovery
+    /// directly (the baselines have no degraded mode of their own);
+    /// techniques with a supervisor — PID-Piper's recovery watchdog and
+    /// FFC health latch — override this to surface `Degraded`.
+    fn health_state(&self) -> HealthState {
+        if self.in_recovery() {
+            HealthState::Recovery
+        } else {
+            HealthState::Nominal
+        }
+    }
 
     /// Total number of times recovery mode has been (re-)activated.
     fn recovery_activations(&self) -> usize;
@@ -134,9 +182,47 @@ mod tests {
         };
         assert!(d.observe(&ctx).is_none());
         assert!(!d.in_recovery());
+        assert_eq!(d.health_state(), HealthState::Nominal);
         assert_eq!(d.recovery_activations(), 0);
         assert!(d.monitor_level().threshold.is_infinite());
         d.reset();
         assert_eq!(d.name(), "None");
+    }
+
+    #[test]
+    fn health_state_ordering_and_display() {
+        assert!(HealthState::Nominal < HealthState::Recovery);
+        assert!(HealthState::Recovery < HealthState::Degraded);
+        assert!(HealthState::Degraded.is_degraded());
+        assert!(!HealthState::Recovery.is_degraded());
+        assert_eq!(HealthState::Degraded.to_string(), "degraded");
+    }
+
+    /// A stub whose `in_recovery` is settable, to pin the default
+    /// `health_state` mapping the baselines inherit.
+    struct Stub(bool);
+    impl Defense for Stub {
+        fn name(&self) -> &str {
+            "stub"
+        }
+        fn observe(&mut self, _ctx: &DefenseContext<'_>) -> Option<ActuatorSignal> {
+            None
+        }
+        fn monitor_level(&self) -> MonitorLevel {
+            MonitorLevel::default()
+        }
+        fn in_recovery(&self) -> bool {
+            self.0
+        }
+        fn recovery_activations(&self) -> usize {
+            0
+        }
+        fn reset(&mut self) {}
+    }
+
+    #[test]
+    fn default_health_state_follows_recovery() {
+        assert_eq!(Stub(false).health_state(), HealthState::Nominal);
+        assert_eq!(Stub(true).health_state(), HealthState::Recovery);
     }
 }

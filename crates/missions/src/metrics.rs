@@ -5,6 +5,7 @@
 //! commodity-GPS offset); it fails if the RV crashes, stalls, or ends
 //! further away.
 
+use crate::defense::HealthState;
 use crate::trace::Trace;
 use pidpiper_math::Vec3;
 
@@ -81,6 +82,18 @@ pub struct MissionResult {
     pub recovery_steps: usize,
     /// Steps during which an attack was perturbing sensors.
     pub attack_steps: usize,
+    /// Steps during which an injected benign fault was active.
+    pub fault_steps: usize,
+    /// The defense's [`HealthState`] when the mission ended.
+    pub final_health: HealthState,
+    /// Health-state transitions over the mission (Nominal → Recovery →
+    /// Degraded machine; re-entries count).
+    pub health_transitions: usize,
+    /// Steps spent in the latched `Degraded` fail-safe state.
+    pub degraded_steps: usize,
+    /// Steps on which the readings guard substituted held values for
+    /// non-finite sensor channels.
+    pub stale_sensor_steps: usize,
     /// The full per-step trace.
     pub trace: Trace,
 }

@@ -9,7 +9,7 @@
 //! all three — substituting its own signal when recovering. Physics runs
 //! at 400 Hz, control/monitoring at 100 Hz (both configurable).
 
-use crate::defense::{Defense, DefenseContext, NoDefense};
+use crate::defense::{Defense, DefenseContext, HealthState, NoDefense};
 use crate::metrics::{deviation_from, MissionOutcome, MissionResult};
 use crate::phase::{FlightPhase, PhaseLogic};
 use crate::plans::MissionPlan;
@@ -18,9 +18,10 @@ use pidpiper_attacks::{Attack, AttackKind, Schedule, StealthyAttack};
 use pidpiper_control::{
     ActuatorSignal, QuadController, RoverController, RoverGains, RoverTarget, TargetState,
 };
+use pidpiper_faults::{Fault, FaultInjector};
 use pidpiper_math::Vec3;
-use pidpiper_sensors::{Estimator, NoiseConfig, SensorSuite};
-use pidpiper_sim::rover::Rover;
+use pidpiper_sensors::{Estimator, NoiseConfig, ReadingsGuard, SensorSuite};
+use pidpiper_sim::rover::{Rover, RoverCommand};
 use pidpiper_sim::{
     ContactStatus, ProfileParams, Quadcopter, RvId, VehicleProfile, Wind, WindConfig,
 };
@@ -55,6 +56,13 @@ pub struct RunnerConfig {
     pub max_duration: f64,
     /// Horizon without waypoint progress that counts as a stall (s).
     pub stall_horizon: f64,
+    /// Benign faults injected during the mission (sensor dropouts, NaN
+    /// bursts, actuator/timing faults — see `pidpiper_faults`).
+    pub faults: Vec<Fault>,
+    /// Seed for the fault injector's RNG (NaN-burst patterns, control
+    /// jitter). Kept separate from `sensor_seed` so fault randomness can
+    /// be varied without disturbing the sensor-noise stream.
+    pub fault_seed: u64,
 }
 
 impl RunnerConfig {
@@ -68,6 +76,8 @@ impl RunnerConfig {
             sensor_seed: 1,
             max_duration: 300.0,
             stall_horizon: 25.0,
+            faults: Vec::new(),
+            fault_seed: 1,
         }
     }
 
@@ -80,6 +90,18 @@ impl RunnerConfig {
     /// Sets wind conditions (builder style).
     pub fn with_wind(mut self, wind: WindConfig) -> Self {
         self.wind = wind;
+        self
+    }
+
+    /// Sets the benign faults to inject (builder style).
+    pub fn with_faults(mut self, faults: Vec<Fault>) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Sets the fault-injector seed (builder style).
+    pub fn with_fault_seed(mut self, seed: u64) -> Self {
+        self.fault_seed = seed;
         self
     }
 }
@@ -193,6 +215,19 @@ impl MissionRunner {
         let mut phase_logic = PhaseLogic::new(plan.clone(), self.profile.kind());
         let destination = plan.destination();
 
+        let mut injector = FaultInjector::new(cfg.faults.clone(), cfg.fault_seed);
+        let mut guard = ReadingsGuard::new();
+        // Held actuator commands for timing faults (skip/jitter): the real
+        // autopilot's output latch keeps driving the motors when a control
+        // iteration is missed. Telemetry mirrors of the last computed step
+        // back the trace on skipped steps.
+        let mut held_quad: Option<[f64; 4]> = None;
+        let mut held_rover: Option<RoverCommand> = None;
+        let mut last_pid = ActuatorSignal::default();
+        let mut last_flown = ActuatorSignal::default();
+        let mut last_eff_p = 0.0;
+        let mut last_rot = 0.0;
+
         let mut trace = Trace::new();
         let mut t = 0.0;
         let mut override_signal: Option<ActuatorSignal> = None;
@@ -209,10 +244,11 @@ impl MissionRunner {
             t += dt;
 
             // --- Autonomy: phase machine on the estimated position. While
-            // a defense is in recovery, autonomy (like the inner loops)
-            // runs on its sanitized estimate, so a spoofed position cannot
-            // force premature waypoint switches or landings.
-            let est_snapshot = if defense.in_recovery() {
+            // a defense is in recovery (or holding the Degraded fail-safe),
+            // autonomy — like the inner loops — runs on its sanitized
+            // estimate, so a spoofed position cannot force premature
+            // waypoint switches or landings.
+            let est_snapshot = if defense.health_state() != HealthState::Nominal {
                 defense
                     .sanitized_estimate()
                     .unwrap_or_else(|| *estimator.state())
@@ -238,9 +274,12 @@ impl MissionRunner {
                 }
             }
 
-            // --- Sensors + attacks.
+            // --- Sensors + faults + attacks. Hardware faults corrupt the
+            // readings first (they live below the attack surface); attacks
+            // then perturb whatever the failing sensors produced.
             let truth = plant.truth();
             let mut readings = suite.sample(&truth, dt);
+            let mut fault_active = injector.apply_sensors(&mut readings, t);
             let mut attack_active = false;
             for attack in &attacks {
                 if let MissionAttack::Scheduled(a) = attack {
@@ -261,11 +300,18 @@ impl MissionRunner {
                 }
             }
 
-            // --- Estimation. While a defense is in recovery it may
-            // supply a sanitized estimate for the inner loops (PID-Piper's
-            // noise-gated estimate, SRR's software sensors).
+            // --- Boundary validation: hold-last-good any non-finite
+            // channel before the estimator or any defense sees it. On a
+            // fully finite sample this is the identity, so clean missions
+            // are bit-for-bit unchanged.
+            let readings = guard.accept(&readings);
+
+            // --- Estimation. While a defense is overriding (recovery or
+            // the Degraded fail-safe) it may supply a sanitized estimate
+            // for the inner loops (PID-Piper's noise-gated estimate, SRR's
+            // software sensors).
             let raw_est = estimator.update(&readings, dt);
-            let est = if defense.in_recovery() {
+            let est = if defense.health_state() != HealthState::Nominal {
                 defense.sanitized_estimate().unwrap_or(raw_est)
             } else {
                 raw_est
@@ -278,21 +324,45 @@ impl MissionRunner {
                 yaw: target_yaw,
                 landing: phase.is_landing(),
             };
+            // Timing faults: `skip_control` is polled exactly once per
+            // step (keeping the jitter RNG stream deterministic); a missed
+            // iteration only takes effect once a held command exists to
+            // replay — the real autopilot's output latch.
+            let timing_fault = injector.skip_control(t);
+            let mut control_skipped = false;
             let (pid_signal, flown_signal, telemetry_eff_p, rotation_rate);
             match &mut plant {
                 Plant::Quad {
                     vehicle,
                     controller,
                 } => {
-                    let (motors, pid) = controller.step(&est, &target, override_signal, dt);
-                    pid_signal = pid;
-                    flown_signal = controller.telemetry().flown_signal;
-                    telemetry_eff_p = controller.telemetry().position.effective_p;
-                    rotation_rate = controller.telemetry().rotation_rate;
+                    let motors = match held_quad {
+                        Some(held) if timing_fault => {
+                            control_skipped = true;
+                            pid_signal = last_pid;
+                            flown_signal = last_flown;
+                            telemetry_eff_p = last_eff_p;
+                            rotation_rate = last_rot;
+                            held
+                        }
+                        _ => {
+                            let (motors, pid) = controller.step(&est, &target, override_signal, dt);
+                            pid_signal = pid;
+                            flown_signal = controller.telemetry().flown_signal;
+                            telemetry_eff_p = controller.telemetry().position.effective_p;
+                            rotation_rate = controller.telemetry().rotation_rate;
+                            motors
+                        }
+                    };
+                    held_quad = Some(motors);
+                    // Actuator faults degrade what physically reaches the
+                    // motors, never the held command itself.
+                    let mut efforts = motors;
+                    fault_active |= injector.apply_effort(&mut efforts, t);
                     let sub_dt = dt / cfg.physics_substeps as f64;
                     for _ in 0..cfg.physics_substeps {
                         let w = wind.sample(sub_dt);
-                        vehicle.step(motors, w, sub_dt);
+                        vehicle.step(efforts, w, sub_dt);
                     }
                 }
                 Plant::Rover {
@@ -300,15 +370,36 @@ impl MissionRunner {
                     controller,
                     cruise_speed,
                 } => {
-                    let rover_target = RoverTarget {
-                        position: target_pos,
-                        cruise_speed: *cruise_speed,
+                    let cmd = match held_rover {
+                        Some(held) if timing_fault => {
+                            control_skipped = true;
+                            pid_signal = last_pid;
+                            flown_signal = last_flown;
+                            telemetry_eff_p = last_eff_p;
+                            rotation_rate = last_rot;
+                            held
+                        }
+                        _ => {
+                            let rover_target = RoverTarget {
+                                position: target_pos,
+                                cruise_speed: *cruise_speed,
+                            };
+                            let (cmd, pid) =
+                                controller.step(&est, &rover_target, override_signal, dt);
+                            pid_signal = pid;
+                            flown_signal = override_signal.unwrap_or(pid);
+                            telemetry_eff_p = 0.0;
+                            rotation_rate = est.body_rates.norm();
+                            cmd
+                        }
                     };
-                    let (cmd, pid) = controller.step(&est, &rover_target, override_signal, dt);
-                    pid_signal = pid;
-                    flown_signal = override_signal.unwrap_or(pid);
-                    telemetry_eff_p = 0.0;
-                    rotation_rate = est.body_rates.norm();
+                    held_rover = Some(cmd);
+                    let mut efforts = [cmd.throttle, cmd.steering];
+                    fault_active |= injector.apply_effort(&mut efforts, t);
+                    let cmd = RoverCommand {
+                        throttle: efforts[0],
+                        steering: efforts[1],
+                    };
                     let sub_dt = dt / cfg.physics_substeps as f64;
                     for _ in 0..cfg.physics_substeps {
                         let w = wind.sample(sub_dt);
@@ -316,22 +407,32 @@ impl MissionRunner {
                     }
                 }
             }
+            fault_active |= control_skipped;
+            last_pid = pid_signal;
+            last_flown = flown_signal;
+            last_eff_p = telemetry_eff_p;
+            last_rot = rotation_rate;
 
             // --- Defense observes and decides the next step's override.
             // The context always carries the *raw* estimate (what the
             // vehicle's primary EKF believes): a defense that substitutes
             // its own sanitized view keeps that internally — feeding its
             // output back as its input would let errors self-reinforce.
-            let ctx = DefenseContext {
-                t,
-                dt,
-                est: &raw_est,
-                readings: &readings,
-                target: &target,
-                pid_signal,
-                phase,
-            };
-            override_signal = defense.observe(&ctx);
+            // A skipped control iteration skips the monitor too — the
+            // defense runs inside the same missed loop — so the previous
+            // override (like the held actuator command) stays latched.
+            if !control_skipped {
+                let ctx = DefenseContext {
+                    t,
+                    dt,
+                    est: &raw_est,
+                    readings: &readings,
+                    target: &target,
+                    pid_signal,
+                    phase,
+                };
+                override_signal = defense.observe(&ctx);
+            }
 
             // --- Metrics bookkeeping (ground truth). Stall detection
             // tracks progress towards the *current* waypoint so that
@@ -371,7 +472,9 @@ impl MissionRunner {
                 pid_signal,
                 flown_signal,
                 attack_active,
+                fault_active,
                 recovery_active: defense.in_recovery(),
+                health: defense.health_state(),
                 monitor_statistic: defense.monitor_level().statistic,
                 effective_p: telemetry_eff_p,
                 rotation_rate,
@@ -413,6 +516,11 @@ impl MissionRunner {
             recovery_activations: defense.recovery_activations(),
             recovery_steps: trace.recovery_steps(),
             attack_steps: trace.attack_steps(),
+            fault_steps: trace.fault_steps(),
+            final_health: defense.health_state(),
+            health_transitions: trace.health_transitions(),
+            degraded_steps: trace.degraded_steps(),
+            stale_sensor_steps: guard.total_stale_steps(),
             trace,
         }
     }
@@ -428,6 +536,7 @@ impl MissionRunner {
 mod tests {
     use super::*;
     use pidpiper_attacks::AttackPreset;
+    use pidpiper_faults::{FaultKind, FaultSchedule, SensorChannel};
 
     fn quick_config(rv: RvId, seed: u64) -> RunnerConfig {
         RunnerConfig::for_rv(rv).with_seed(seed)
@@ -549,6 +658,136 @@ mod tests {
         let r2 = MissionRunner::new(quick_config(RvId::ArduCopter, 42)).run_clean(&plan);
         assert_eq!(r1.final_deviation, r2.final_deviation);
         assert_eq!(r1.trace.len(), r2.trace.len());
+    }
+
+    #[test]
+    fn clean_mission_reports_nominal_health() {
+        let runner = MissionRunner::new(quick_config(RvId::ArduCopter, 2));
+        let plan = MissionPlan::straight_line(40.0, 5.0);
+        let result = runner.run_clean(&plan);
+        assert_eq!(result.final_health, HealthState::Nominal);
+        assert_eq!(result.fault_steps, 0);
+        assert_eq!(result.degraded_steps, 0);
+        assert_eq!(result.health_transitions, 0);
+        assert_eq!(result.stale_sensor_steps, 0);
+    }
+
+    #[test]
+    fn empty_fault_list_is_bit_identical_to_no_injector() {
+        let plan = MissionPlan::straight_line(25.0, 5.0);
+        let base = MissionRunner::new(quick_config(RvId::ArduCopter, 11)).run_clean(&plan);
+        let with_cfg = quick_config(RvId::ArduCopter, 11).with_fault_seed(99);
+        let other = MissionRunner::new(with_cfg).run_clean(&plan);
+        assert_eq!(base.trace.len(), other.trace.len());
+        assert_eq!(base.final_deviation, other.final_deviation);
+    }
+
+    #[test]
+    fn nan_burst_mission_does_not_panic_or_poison_estimate() {
+        let config = quick_config(RvId::ArduCopter, 12).with_faults(vec![Fault::new(
+            FaultKind::NanBurst,
+            FaultSchedule::Windows(vec![(8.0, 12.0)]),
+        )]);
+        let runner = MissionRunner::new(config);
+        let plan = MissionPlan::straight_line(40.0, 5.0);
+        let result = runner.run_clean(&plan);
+        assert!(result.fault_steps > 0, "burst never fired");
+        assert!(result.stale_sensor_steps > 0, "guard never engaged");
+        assert!(result.final_deviation.is_finite());
+        for r in result.trace.records() {
+            assert!(r.est.position.is_finite(), "estimate poisoned at t={}", r.t);
+            assert!(r.readings.is_finite(), "guard leaked non-finite readings");
+        }
+    }
+
+    #[test]
+    fn gps_dropout_mission_holds_last_fix() {
+        let config = quick_config(RvId::ArduCopter, 13).with_faults(vec![Fault::new(
+            FaultKind::GpsDropout,
+            FaultSchedule::Windows(vec![(10.0, 11.5)]),
+        )]);
+        let runner = MissionRunner::new(config);
+        let plan = MissionPlan::straight_line(40.0, 5.0);
+        let result = runner.run_clean(&plan);
+        assert!(result.fault_steps > 0);
+        assert!(result.stale_sensor_steps > 0);
+        assert!(!result.outcome.is_crash_or_stall(), "{:?}", result.outcome);
+    }
+
+    #[test]
+    fn control_skip_fault_replays_held_command() {
+        let config = quick_config(RvId::ArduCopter, 14).with_faults(vec![Fault::new(
+            FaultKind::ControlSkip { every: 3 },
+            FaultSchedule::Windows(vec![(5.0, 15.0)]),
+        )]);
+        let runner = MissionRunner::new(config);
+        let plan = MissionPlan::straight_line(40.0, 5.0);
+        let result = runner.run_clean(&plan);
+        assert!(result.fault_steps > 0, "skips never engaged");
+        assert!(
+            result.outcome.is_success(),
+            "every-3rd-step skip should be flyable: {:?}",
+            result.outcome
+        );
+        // Skipped steps replay the previous step's pid signal verbatim.
+        let repeats = result
+            .trace
+            .records()
+            .windows(2)
+            .filter(|w| w[1].fault_active && w[1].pid_signal == w[0].pid_signal)
+            .count();
+        assert!(repeats > 0, "no held-command replays recorded");
+    }
+
+    #[test]
+    fn actuator_saturation_fault_registers_rover() {
+        let config = quick_config(RvId::ArduRover, 15).with_faults(vec![Fault::new(
+            FaultKind::ActuatorSaturation { effort: 0.6 },
+            FaultSchedule::Windows(vec![(5.0, 10.0)]),
+        )]);
+        let runner = MissionRunner::new(config);
+        let plan = MissionPlan::straight_line(30.0, 0.0);
+        let result = runner.run_clean(&plan);
+        assert!(result.fault_steps > 0);
+        assert!(result.final_deviation.is_finite());
+    }
+
+    #[test]
+    fn frozen_gyro_fault_mission_completes() {
+        let config = quick_config(RvId::ArduCopter, 16).with_faults(vec![Fault::new(
+            FaultKind::FrozenSensor(SensorChannel::Gyro),
+            FaultSchedule::Windows(vec![(8.0, 9.0)]),
+        )]);
+        let runner = MissionRunner::new(config);
+        let plan = MissionPlan::straight_line(40.0, 5.0);
+        let result = runner.run_clean(&plan);
+        assert!(result.fault_steps > 0);
+        assert!(result.final_deviation.is_finite());
+    }
+
+    #[test]
+    fn faulted_mission_is_deterministic() {
+        let faults = vec![
+            Fault::new(FaultKind::NanBurst, FaultSchedule::Windows(vec![(6.0, 9.0)])),
+            Fault::new(
+                FaultKind::ControlJitter {
+                    skip_probability: 0.3,
+                },
+                FaultSchedule::Windows(vec![(10.0, 14.0)]),
+            ),
+        ];
+        let plan = MissionPlan::straight_line(30.0, 5.0);
+        let mk = || {
+            let config = quick_config(RvId::ArduCopter, 17)
+                .with_faults(faults.clone())
+                .with_fault_seed(7);
+            MissionRunner::new(config).run_clean(&plan)
+        };
+        let (r1, r2) = (mk(), mk());
+        assert_eq!(r1.trace.len(), r2.trace.len());
+        assert_eq!(r1.fault_steps, r2.fault_steps);
+        assert_eq!(r1.stale_sensor_steps, r2.stale_sensor_steps);
+        assert_eq!(r1.final_deviation, r2.final_deviation);
     }
 
     #[test]

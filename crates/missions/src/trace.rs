@@ -1,6 +1,7 @@
 //! Per-step mission traces: the raw material for training datasets,
 //! threshold calibration and every figure in the evaluation.
 
+use crate::defense::HealthState;
 use pidpiper_control::{ActuatorSignal, TargetState};
 use pidpiper_sensors::{EstimatedState, SensorReadings};
 use pidpiper_sim::RigidBodyState;
@@ -28,8 +29,13 @@ pub struct TraceRecord {
     pub flown_signal: ActuatorSignal,
     /// Whether any attack perturbed the sensors this step.
     pub attack_active: bool,
+    /// Whether any injected benign fault (sensor, actuator or timing) was
+    /// active this step.
+    pub fault_active: bool,
     /// Whether the defense was in recovery mode this step.
     pub recovery_active: bool,
+    /// The defense's [`HealthState`] after observing this step.
+    pub health: HealthState,
     /// The defense monitor's decision statistic this step (for PID-Piper:
     /// the largest per-axis CUSUM `S(t)` as a fraction of its threshold
     /// `τ`).
@@ -92,19 +98,46 @@ impl Trace {
         self.records.iter().filter(|r| r.recovery_active).count()
     }
 
+    /// Time steps during which any injected fault was active.
+    pub fn fault_steps(&self) -> usize {
+        self.records.iter().filter(|r| r.fault_active).count()
+    }
+
+    /// Time steps spent in the latched `Degraded` fail-safe state.
+    pub fn degraded_steps(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.health.is_degraded())
+            .count()
+    }
+
+    /// Number of health-state transitions along the trace (counting the
+    /// implicit start in `Nominal`).
+    pub fn health_transitions(&self) -> usize {
+        let mut prev = HealthState::Nominal;
+        let mut n = 0;
+        for r in &self.records {
+            if r.health != prev {
+                n += 1;
+                prev = r.health;
+            }
+        }
+        n
+    }
+
     /// Renders the trace as CSV (header + one row per record) with the
     /// columns the experiment harness plots.
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
             "t,x,y,z,roll,pitch,yaw,est_x,est_y,est_z,pid_roll,pid_pitch,pid_yaw_rate,pid_thrust,\
-             flown_roll,flown_pitch,flown_yaw_rate,flown_thrust,attack,recovery,statistic,\
-             effective_p,rotation_rate,pos_err\n",
+             flown_roll,flown_pitch,flown_yaw_rate,flown_thrust,attack,fault,recovery,health,\
+             statistic,effective_p,rotation_rate,pos_err\n",
         );
         for r in &self.records {
             let pe = (r.target.position - r.est.position).norm_xy();
             let _ = writeln!(
                 out,
-                "{:.3},{:.4},{:.4},{:.4},{:.5},{:.5},{:.5},{:.4},{:.4},{:.4},{:.5},{:.5},{:.5},{:.4},{:.5},{:.5},{:.5},{:.4},{},{},{:.4},{:.4},{:.4},{:.4}",
+                "{:.3},{:.4},{:.4},{:.4},{:.5},{:.5},{:.5},{:.4},{:.4},{:.4},{:.5},{:.5},{:.5},{:.4},{:.5},{:.5},{:.5},{:.4},{},{},{},{},{:.4},{:.4},{:.4},{:.4}",
                 r.t,
                 r.truth.position.x,
                 r.truth.position.y,
@@ -124,7 +157,9 @@ impl Trace {
                 r.flown_signal.yaw_rate,
                 r.flown_signal.thrust,
                 u8::from(r.attack_active),
+                u8::from(r.fault_active),
                 u8::from(r.recovery_active),
+                r.health,
                 r.monitor_statistic,
                 r.effective_p,
                 r.rotation_rate,
@@ -150,7 +185,13 @@ mod tests {
             pid_signal: ActuatorSignal::default(),
             flown_signal: ActuatorSignal::default(),
             attack_active: attack,
+            fault_active: false,
             recovery_active: recovery,
+            health: if recovery {
+                HealthState::Recovery
+            } else {
+                HealthState::Nominal
+            },
             monitor_statistic: t * 2.0,
             effective_p: 4.0,
             rotation_rate: 0.1,
@@ -186,5 +227,32 @@ mod tests {
         let tr = Trace::new();
         assert!(tr.is_empty());
         assert_eq!(tr.to_csv().lines().count(), 1);
+    }
+
+    #[test]
+    fn health_transition_and_degraded_counters() {
+        let mut tr = Trace::new();
+        // Nominal, Recovery, Recovery, Degraded, Degraded.
+        for (i, h) in [
+            HealthState::Nominal,
+            HealthState::Recovery,
+            HealthState::Recovery,
+            HealthState::Degraded,
+            HealthState::Degraded,
+        ]
+        .iter()
+        .enumerate()
+        {
+            let mut r = record(i as f64, false, *h == HealthState::Recovery);
+            r.health = *h;
+            r.fault_active = i >= 1;
+            tr.push(r);
+        }
+        assert_eq!(tr.health_transitions(), 2);
+        assert_eq!(tr.degraded_steps(), 2);
+        assert_eq!(tr.fault_steps(), 4);
+        let csv = tr.to_csv();
+        assert!(csv.lines().nth(1).is_some_and(|l| l.contains(",nominal,")));
+        assert!(csv.lines().nth(4).is_some_and(|l| l.contains(",degraded,")));
     }
 }

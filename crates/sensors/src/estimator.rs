@@ -141,6 +141,13 @@ impl Estimator {
     /// Returns the updated estimate.
     pub fn update(&mut self, r: &SensorReadings, dt: f64) -> EstimatedState {
         debug_assert!(dt > 0.0 && dt < 0.5, "dt out of sane range: {dt}");
+        // Defense in depth behind [`crate::ReadingsGuard`]: a non-finite
+        // sample would poison every fused state permanently (NaN never
+        // washes out of the complementary filter), so the estimate holds
+        // rather than integrate garbage.
+        if !r.is_finite() {
+            return self.state;
+        }
         if !self.initialized {
             // Snap to the first fix.
             self.state.position = r.gps_position;
@@ -316,6 +323,28 @@ mod tests {
             "estimate dragged to {}",
             est.state().position.x
         );
+    }
+
+    #[test]
+    fn non_finite_sample_holds_estimate_without_poisoning() {
+        let mut suite = SensorSuite::new(NoiseConfig::default(), 7);
+        let mut est = Estimator::new();
+        let truth = RigidBodyState::at_rest(Vec3::new(3.0, 1.0, 12.0));
+        settle(&mut est, &mut suite, &truth, 300);
+        let before = *est.state();
+        // A NaN burst reaches the estimator directly (the guard normally
+        // filters this): the estimate must hold, not turn NaN.
+        let mut bad = suite.sample(&truth, DT);
+        bad.gps_position.x = f64::NAN;
+        bad.gyro.y = f64::INFINITY;
+        for _ in 0..50 {
+            est.update(&bad, DT);
+        }
+        assert_eq!(*est.state(), before, "estimate held through the burst");
+        // Recovery: good samples resume fusing normally.
+        settle(&mut est, &mut suite, &truth, 200);
+        assert!(est.state().position.is_finite());
+        assert!(est.state().position.distance(truth.position) < 1.0);
     }
 
     #[test]

@@ -1,0 +1,205 @@
+//! The runner-boundary readings guard: hold-last-good validation of
+//! [`SensorReadings`] before they reach the estimator or any defense.
+//!
+//! A non-finite sample (GPS dropout, DMA corruption) must never reach
+//! [`crate::Estimator::update`]: NaN propagates through every fused state
+//! and poisons the estimate permanently. The guard validates each channel
+//! and substitutes the last good value for any channel that fails, while
+//! counting staleness so the supervisor layer can surface how long the
+//! vehicle flew on held data.
+
+use crate::readings::SensorReadings;
+
+/// Per-channel hold-last-good validator with staleness accounting.
+///
+/// # Examples
+///
+/// ```
+/// use pidpiper_sensors::{ReadingsGuard, SensorReadings};
+///
+/// let mut guard = ReadingsGuard::new();
+/// let good = SensorReadings { baro_altitude: 10.0, ..Default::default() };
+/// assert_eq!(guard.accept(&good).baro_altitude, 10.0);
+/// let bad = SensorReadings { baro_altitude: f64::NAN, ..Default::default() };
+/// // The NaN channel is replaced by the held value; the rest pass through.
+/// assert_eq!(guard.accept(&bad).baro_altitude, 10.0);
+/// assert_eq!(guard.total_stale_steps(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ReadingsGuard {
+    last_good: SensorReadings,
+    consecutive_stale: usize,
+    max_consecutive_stale: usize,
+    total_stale: usize,
+}
+
+impl ReadingsGuard {
+    /// Creates a guard with a default (all-zero) hold state.
+    pub fn new() -> Self {
+        ReadingsGuard::default()
+    }
+
+    /// Validates one sample. Finite channels pass through and refresh the
+    /// hold state; non-finite channels are replaced by the last good value
+    /// of that channel (all-zero before any good sample arrives). A step
+    /// with *any* held channel counts as stale.
+    pub fn accept(&mut self, r: &SensorReadings) -> SensorReadings {
+        if r.is_finite() {
+            // Fast path: the whole sample is good.
+            self.last_good = *r;
+            self.consecutive_stale = 0;
+            return *r;
+        }
+        let mut out = *r;
+        // Per-channel merge: a GPS dropout must not freeze a healthy IMU.
+        if !out.gps_position.is_finite() {
+            out.gps_position = self.last_good.gps_position;
+        }
+        if !out.gps_velocity.is_finite() {
+            out.gps_velocity = self.last_good.gps_velocity;
+        }
+        if !out.baro_altitude.is_finite() {
+            out.baro_altitude = self.last_good.baro_altitude;
+        }
+        if !out.gyro.is_finite() {
+            out.gyro = self.last_good.gyro;
+        }
+        if !out.accel.is_finite() {
+            out.accel = self.last_good.accel;
+        }
+        if !out.mag_heading.is_finite() {
+            out.mag_heading = self.last_good.mag_heading;
+        }
+        // The surviving finite channels are trustworthy: refresh the hold
+        // state from the merged sample so a long dropout holds the newest
+        // good data, not the pre-fault snapshot.
+        self.last_good = out;
+        self.total_stale += 1;
+        self.consecutive_stale += 1;
+        self.max_consecutive_stale = self.max_consecutive_stale.max(self.consecutive_stale);
+        out
+    }
+
+    /// Steps in a row (ending now) with at least one held channel.
+    pub fn consecutive_stale_steps(&self) -> usize {
+        self.consecutive_stale
+    }
+
+    /// The longest stale run seen since the last reset.
+    pub fn max_consecutive_stale_steps(&self) -> usize {
+        self.max_consecutive_stale
+    }
+
+    /// Total steps with at least one held channel since the last reset.
+    pub fn total_stale_steps(&self) -> usize {
+        self.total_stale
+    }
+
+    /// Clears hold state and counters (between missions).
+    pub fn reset(&mut self) {
+        *self = ReadingsGuard::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pidpiper_math::Vec3;
+
+    fn good() -> SensorReadings {
+        SensorReadings {
+            gps_position: Vec3::new(1.0, 2.0, 3.0),
+            gps_velocity: Vec3::new(0.1, 0.2, 0.3),
+            baro_altitude: 3.0,
+            gyro: Vec3::new(0.01, 0.02, 0.03),
+            accel: Vec3::new(0.0, 0.0, 9.81),
+            mag_heading: 0.5,
+        }
+    }
+
+    #[test]
+    fn finite_samples_pass_through_unchanged() {
+        let mut g = ReadingsGuard::new();
+        let r = good();
+        assert_eq!(g.accept(&r), r);
+        assert_eq!(g.total_stale_steps(), 0);
+        assert_eq!(g.consecutive_stale_steps(), 0);
+    }
+
+    #[test]
+    fn partial_dropout_holds_only_the_bad_channel() {
+        let mut g = ReadingsGuard::new();
+        g.accept(&good());
+        let mut bad = good();
+        bad.gps_position = Vec3::splat(f64::NAN);
+        bad.gps_velocity = Vec3::splat(f64::NAN);
+        bad.gyro = Vec3::new(0.5, 0.0, 0.0); // fresh, finite IMU data
+        let out = g.accept(&bad);
+        assert_eq!(out.gps_position, good().gps_position, "GPS held");
+        assert_eq!(out.gyro, Vec3::new(0.5, 0.0, 0.0), "fresh gyro passes");
+        assert!(out.is_finite());
+        assert_eq!(g.total_stale_steps(), 1);
+    }
+
+    #[test]
+    fn staleness_counters_track_runs() {
+        let mut g = ReadingsGuard::new();
+        g.accept(&good());
+        let mut bad = good();
+        bad.baro_altitude = f64::INFINITY;
+        for _ in 0..5 {
+            g.accept(&bad);
+        }
+        assert_eq!(g.consecutive_stale_steps(), 5);
+        g.accept(&good());
+        assert_eq!(g.consecutive_stale_steps(), 0);
+        assert_eq!(g.max_consecutive_stale_steps(), 5);
+        assert_eq!(g.total_stale_steps(), 5);
+    }
+
+    #[test]
+    fn hold_state_refreshes_during_partial_faults() {
+        let mut g = ReadingsGuard::new();
+        g.accept(&good());
+        // Baro dies; baro holds at 3.0 while GPS keeps updating.
+        for i in 0..3 {
+            let mut r = good();
+            r.baro_altitude = f64::NAN;
+            r.gps_position.x = 10.0 + i as f64;
+            let out = g.accept(&r);
+            assert_eq!(out.baro_altitude, 3.0);
+            assert_eq!(out.gps_position.x, 10.0 + i as f64);
+        }
+        // GPS now also dies: it must hold the *latest* good fix (12.0),
+        // not the pre-fault one.
+        let mut r = good();
+        r.baro_altitude = f64::NAN;
+        r.gps_position = Vec3::splat(f64::NAN);
+        assert_eq!(g.accept(&r).gps_position.x, 12.0);
+    }
+
+    #[test]
+    fn all_nan_before_any_good_sample_yields_defaults() {
+        let mut g = ReadingsGuard::new();
+        let mut r = good();
+        r.gps_position = Vec3::splat(f64::NAN);
+        let out = g.accept(&r);
+        assert_eq!(out.gps_position, Vec3::ZERO);
+        assert!(out.is_finite());
+    }
+
+    #[test]
+    fn reset_clears_counters_and_hold() {
+        let mut g = ReadingsGuard::new();
+        g.accept(&good());
+        let mut bad = good();
+        bad.mag_heading = f64::NAN;
+        g.accept(&bad);
+        g.reset();
+        assert_eq!(g.total_stale_steps(), 0);
+        assert_eq!(g.max_consecutive_stale_steps(), 0);
+        let mut r = good();
+        r.baro_altitude = f64::NAN;
+        assert_eq!(g.accept(&r).baro_altitude, 0.0, "hold state cleared");
+    }
+}

@@ -36,9 +36,11 @@
 #![deny(missing_docs)]
 
 pub mod estimator;
+pub mod guard;
 pub mod readings;
 pub mod suite;
 
 pub use estimator::{EstimatedState, Estimator};
+pub use guard::ReadingsGuard;
 pub use readings::SensorReadings;
 pub use suite::{NoiseConfig, SensorSuite};

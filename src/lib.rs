@@ -15,6 +15,8 @@
 //! - [`sensors`] — GPS/IMU/baro/mag models and an EKF-style estimator;
 //! - [`control`] — the ArduPilot-style cascaded PID control stack;
 //! - [`attacks`] — overt and stealthy physical-attack injection;
+//! - [`faults`] — deterministic benign fault injection (sensor dropouts,
+//!   NaN bursts, actuator derating, control-task overruns);
 //! - [`ml`] — a from-scratch LSTM with BPTT training (the paper's
 //!   2×LSTM → sigmoid → 2×PReLU architecture);
 //! - [`missions`] — mission plans, the closed-loop runner and metrics;
@@ -67,6 +69,7 @@ pub use pidpiper_attacks as attacks;
 pub use pidpiper_baselines as baselines;
 pub use pidpiper_control as control;
 pub use pidpiper_core as core;
+pub use pidpiper_faults as faults;
 pub use pidpiper_math as math;
 pub use pidpiper_missions as missions;
 pub use pidpiper_ml as ml;
@@ -81,11 +84,12 @@ pub mod prelude {
     pub use pidpiper_core::{
         FfcModel, PidPiper, PidPiperConfig, SensorSanitizer, Trainer, TrainerConfig,
     };
+    pub use pidpiper_faults::{Fault, FaultInjector, FaultKind, FaultSchedule, SensorChannel};
     pub use pidpiper_math::Vec3;
     pub use pidpiper_missions::{
-        configured_jobs, Defense, MissionAttack, MissionOutcome, MissionPlan, MissionResult,
-        MissionRunner, MissionSpec, NoDefense, RunnerConfig,
+        configured_jobs, Defense, HealthState, MissionAttack, MissionOutcome, MissionPlan,
+        MissionResult, MissionRunner, MissionSpec, NoDefense, RunnerConfig,
     };
-    pub use pidpiper_sensors::{EstimatedState, Estimator, SensorReadings};
+    pub use pidpiper_sensors::{EstimatedState, Estimator, ReadingsGuard, SensorReadings};
     pub use pidpiper_sim::{Quadcopter, Rover, RvId, VehicleProfile, Wind, WindConfig};
 }

@@ -25,7 +25,7 @@ fn quick_defense(rv: RvId, monitor_yaw_only: bool) -> (Vec<pid_piper::missions::
                 .trace
         })
         .collect();
-    let model_path = format!("models/v7-{}-Quick.pidpiper", rv.name().replace(' ', "_"));
+    let model_path = format!("models/v8-{}-Quick.pidpiper", rv.name().replace(' ', "_"));
     if let Ok(text) = std::fs::read_to_string(&model_path) {
         if let Ok(pp) = PidPiper::from_text(&text) {
             return (traces, pp);
@@ -80,7 +80,7 @@ fn trained_defense_is_silent_on_clean_missions() {
 }
 
 fn shipped_model_available() -> bool {
-    std::path::Path::new("models/v7-ArduCopter-Quick.pidpiper").exists()
+    std::path::Path::new("models/v8-ArduCopter-Quick.pidpiper").exists()
 }
 
 #[test]

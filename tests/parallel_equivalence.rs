@@ -26,7 +26,7 @@ fn quick_defense(rv: RvId) -> PidPiper {
                 .trace
         })
         .collect();
-    let model_path = format!("models/v7-{}-Quick.pidpiper", rv.name().replace(' ', "_"));
+    let model_path = format!("models/v8-{}-Quick.pidpiper", rv.name().replace(' ', "_"));
     if let Ok(text) = std::fs::read_to_string(&model_path) {
         if let Ok(pp) = PidPiper::from_text(&text) {
             return pp;
@@ -118,6 +118,97 @@ fn parallel_cell_is_bit_identical_to_serial() {
     assert!(
         serial.iter().any(|r| detection_time(r).is_some()),
         "no mission tripped the monitor — the cell is not exercising CUSUM"
+    );
+}
+
+/// A faulted quadcopter cell: every mission carries an injected benign
+/// fault (cycling through sensor, actuator and timing faults), half of
+/// them with a GPS attack layered on top.
+fn faulted_cell(rv: RvId) -> Vec<MissionSpec> {
+    let faults = [
+        Fault::new(FaultKind::GpsDropout, FaultSchedule::Windows(vec![(6.0, 10.0)])),
+        Fault::new(
+            FaultKind::NanBurst,
+            FaultSchedule::Intermittent {
+                start: 6.0,
+                on: 0.5,
+                off: 2.0,
+            },
+        ),
+        Fault::new(
+            FaultKind::ActuatorSaturation { effort: 0.7 },
+            FaultSchedule::Continuous { start: 6.0 },
+        ),
+        Fault::new(
+            FaultKind::ControlJitter {
+                skip_probability: 0.3,
+            },
+            FaultSchedule::Windows(vec![(6.0, 12.0)]),
+        ),
+    ];
+    (0..4)
+        .map(|i| {
+            let spec = MissionSpec::clean(
+                RunnerConfig::for_rv(rv)
+                    .with_seed(4100 + i as u64)
+                    .with_faults(vec![faults[i].clone()])
+                    .with_fault_seed(77 + i as u64),
+                MissionPlan::straight_line(20.0 + 5.0 * i as f64, 5.0),
+            );
+            if i % 2 == 1 {
+                let attack = AttackPreset::GpsOvert.instantiate(8.0, (0.0, 0.0));
+                spec.with_attacks(vec![MissionAttack::Scheduled(attack)])
+            } else {
+                spec
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn faulted_cell_is_bit_identical_to_serial() {
+    // Fault injection adds a second seeded RNG (the injector's) plus the
+    // hold-last-good guard and held-command replay to every mission; all
+    // of it must stay inside the per-mission determinism contract.
+    let rv = RvId::ArduCopter;
+    let defense = quick_defense(rv);
+    let specs = faulted_cell(rv);
+
+    let serial = MissionRunner::par_run_missions_with_jobs(1, &specs, |_| {
+        Box::new(defense.clone())
+    });
+    let parallel = MissionRunner::par_run_missions_with_jobs(4, &specs, |_| {
+        Box::new(defense.clone())
+    });
+
+    assert_eq!(serial.len(), specs.len());
+    assert_eq!(parallel.len(), specs.len());
+    for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+        assert_eq!(
+            s.trace.records(),
+            p.trace.records(),
+            "faulted mission {i}: parallel trace diverged from serial"
+        );
+        assert_eq!(s.outcome, p.outcome, "faulted mission {i}: outcome diverged");
+        assert_eq!(
+            s.fault_steps, p.fault_steps,
+            "faulted mission {i}: fault accounting diverged"
+        );
+        assert_eq!(
+            s.final_health, p.final_health,
+            "faulted mission {i}: final health diverged"
+        );
+        assert_eq!(
+            s.stale_sensor_steps, p.stale_sensor_steps,
+            "faulted mission {i}: guard accounting diverged"
+        );
+    }
+
+    // The cell must actually inject: every mission was configured with a
+    // fault window inside its flight, so fault steps must be non-zero.
+    assert!(
+        serial.iter().all(|r| r.fault_steps > 0),
+        "a faulted mission recorded no fault steps"
     );
 }
 
