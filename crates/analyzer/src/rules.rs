@@ -3,7 +3,8 @@
 //! | family | rules | enforced in |
 //! |---|---|---|
 //! | determinism | `DT01` wall clock, `DT02` ambient randomness, `DT03` unordered collections | every scanned crate |
-//! | panic-freedom | `PF01` `.unwrap()`, `PF02` `.expect(...)`, `PF03` panic-family macros, `PF04` unchecked indexing | library crates (all but `pidpiper-bench`) |
+//! | panic-freedom | `PF01` `.unwrap()`, `PF02` `.expect(...)`, `PF03` panic-family macros, `PF04` unchecked indexing | library crates (all but the panic-exempt drivers) |
+//! | panicking I/O | `PF05` `fs::...(...)`/`File::...(...)` unwrapped | every scanned crate, *including* panic-exempt drivers |
 //! | float-safety | `FS01` float `==`/`!=`, `FS02` `partial_cmp().unwrap()` | every scanned crate |
 //! | doc coverage | `DC01` missing `#![deny(missing_docs)]` | every crate root |
 //!
@@ -35,6 +36,9 @@ pub enum RuleId {
     Pf03PanicMacro,
     /// `.get_unchecked{,_mut}(...)` bounds-check bypass.
     Pf04UncheckedIndex,
+    /// Filesystem call result unwrapped (`fs::write(..).unwrap()`);
+    /// enforced even in the panic-exempt driver crates.
+    Pf05PanickingIo,
     /// `==` / `!=` with a float operand.
     Fs01FloatEq,
     /// `partial_cmp(...)` chained into `.unwrap()` / `.expect(...)`.
@@ -56,6 +60,7 @@ impl RuleId {
             RuleId::Pf02Expect => "PF02",
             RuleId::Pf03PanicMacro => "PF03",
             RuleId::Pf04UncheckedIndex => "PF04",
+            RuleId::Pf05PanickingIo => "PF05",
             RuleId::Fs01FloatEq => "FS01",
             RuleId::Fs02PartialCmpUnwrap => "FS02",
             RuleId::Dc01MissingDocsLint => "DC01",
@@ -65,7 +70,7 @@ impl RuleId {
 
     /// Parses a short id (`"PF01"`), case-sensitively.
     pub fn parse(s: &str) -> Option<RuleId> {
-        const ALL: [RuleId; 11] = [
+        const ALL: [RuleId; 12] = [
             RuleId::Dt01WallClock,
             RuleId::Dt02AmbientRng,
             RuleId::Dt03UnorderedCollection,
@@ -73,6 +78,7 @@ impl RuleId {
             RuleId::Pf02Expect,
             RuleId::Pf03PanicMacro,
             RuleId::Pf04UncheckedIndex,
+            RuleId::Pf05PanickingIo,
             RuleId::Fs01FloatEq,
             RuleId::Fs02PartialCmpUnwrap,
             RuleId::Dc01MissingDocsLint,
@@ -120,10 +126,13 @@ pub struct FileContext<'a> {
     pub is_crate_root: bool,
 }
 
-/// Crates whose panics are tolerated: experiment *drivers*, not library
-/// code flown in the control loop. Everything else — including this
-/// analyzer — must be panic-free.
-const PANIC_EXEMPT_CRATES: [&str; 1] = ["bench"];
+/// Crates whose panics are tolerated: experiment *drivers* and demo
+/// binaries, not library code flown in the control loop. Everything else —
+/// including this analyzer — must be panic-free. The exemption covers
+/// `PF01`–`PF04` only: `PF05` (panicking I/O) is enforced even here,
+/// because a long batch run dying on a full disk while writing a report
+/// throws away hours of completed missions.
+const PANIC_EXEMPT_CRATES: [&str; 2] = ["bench", "examples"];
 
 const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
 
@@ -151,6 +160,7 @@ pub fn analyze_source(ctx: FileContext<'_>, src: &str) -> Vec<Finding> {
         if panic_rules {
             panic_freedom_at(&tokens, i, t, &mut f);
         }
+        panicking_io_at(&tokens, i, t, &mut f);
         float_safety_at(&tokens, i, t, &mut f);
     }
 
@@ -256,6 +266,49 @@ fn panic_freedom_at(
             )
         }
         _ => {}
+    }
+}
+
+/// PF05: a `fs::...(...)` / `File::...(...)` call whose `Result` is fed
+/// straight into `.unwrap()` / `.expect(...)`. Unlike `PF01`/`PF02` this
+/// fires in *every* scanned crate, panic-exempt drivers included: I/O
+/// failure (full disk, missing directory, permissions) is an environment
+/// condition, not a bug, and must degrade gracefully.
+fn panicking_io_at(tokens: &[Token], i: usize, t: &Token, f: &mut impl FnMut(u32, RuleId, String)) {
+    if t.kind != TokenKind::Ident || !(t.is_ident("fs") || t.is_ident("File")) {
+        return;
+    }
+    // Shape: `fs`/`File` :: <method> ( ... ) . unwrap/expect
+    if !(tokens.get(i + 1).is_some_and(|n| n.is_punct(b':'))
+        && tokens.get(i + 2).is_some_and(|n| n.is_punct(b':')))
+    {
+        return;
+    }
+    let method = match tokens.get(i + 3) {
+        Some(m) if m.kind == TokenKind::Ident => m.text.clone(),
+        _ => return,
+    };
+    if !tokens.get(i + 4).is_some_and(|n| n.is_punct(b'(')) {
+        return;
+    }
+    let Some(close) = matching_paren(tokens, i + 4) else {
+        return;
+    };
+    let chained_panic = tokens.get(close + 1).is_some_and(|n| n.is_punct(b'.'))
+        && tokens.get(close + 2).is_some_and(|n| {
+            n.is_ident("unwrap") || n.is_ident("expect") || n.is_ident("expect_err")
+        });
+    if chained_panic {
+        f(
+            t.line,
+            RuleId::Pf05PanickingIo,
+            format!(
+                "`{}::{method}(...)` unwrapped; I/O failure is an environment condition, not a \
+                 bug — handle the `Err` (report and continue, or return it), or allowlist with \
+                 a justification",
+                t.text
+            ),
+        );
     }
 }
 
@@ -535,6 +588,38 @@ mod tests {
         let fs = analyze_source(ctx, "fn f() { x.unwrap(); let m: HashMap<u8, u8>; }");
         let ids: Vec<&str> = fs.iter().map(|f| f.rule.as_str()).collect();
         assert_eq!(ids, vec!["DT03"]);
+    }
+
+    #[test]
+    fn panicking_io_flagged_even_in_exempt_crates() {
+        let bench = FileContext {
+            rel_path: "crates/bench/src/x.rs",
+            crate_name: "bench",
+            is_crate_root: false,
+        };
+        let fs = analyze_source(bench, "fn f() { fs::write(p, b).unwrap(); }");
+        let ids: Vec<&str> = fs.iter().map(|f| f.rule.as_str()).collect();
+        assert_eq!(ids, vec!["PF05"]);
+        let ex = FileContext {
+            rel_path: "examples/demo.rs",
+            crate_name: "examples",
+            is_crate_root: false,
+        };
+        let fs = analyze_source(ex, "fn f() { let s = File::open(p).expect(\"open\"); }");
+        let ids: Vec<&str> = fs.iter().map(|f| f.rule.as_str()).collect();
+        assert_eq!(ids, vec!["PF05"]);
+        // In a library crate the same line is both PF05 and PF01 (findings
+        // come back in token order: the `fs` path fires before `unwrap`).
+        assert_eq!(
+            rules("fn f() { fs::read_to_string(p).unwrap(); }"),
+            vec!["PF05", "PF01"]
+        );
+        // Handled or propagated I/O results are fine.
+        assert!(rules("fn f() { let _ = fs::write(p, b); }").is_empty());
+        assert!(rules("fn f() -> io::Result<()> { fs::write(p, b)?; Ok(()) }").is_empty());
+        assert!(rules("fn f() { if let Err(e) = fs::write(p, b) { log(e); } }").is_empty());
+        // Non-I/O unwraps in exempt crates stay exempt.
+        assert!(analyze_source(bench, "fn f() { x.unwrap(); }").is_empty());
     }
 
     #[test]

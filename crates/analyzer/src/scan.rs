@@ -1,10 +1,12 @@
 //! Workspace file discovery and the end-to-end analysis driver.
 //!
 //! The scanner covers exactly the code whose behaviour reaches results or
-//! the flight loop: `crates/*/src/**` plus the root facade's `src/**`.
-//! Integration tests, benches, examples and fixture corpora are skipped —
-//! they are either allowed to panic by design or are deliberately-bad
-//! analyzer test inputs.
+//! the flight loop: `crates/*/src/**`, the root facade's `src/**`, and the
+//! root `examples/**` demo binaries (scanned as the panic-exempt crate
+//! `examples`, so `PF05` and the determinism/float rules apply there).
+//! Integration tests, benches, per-crate examples and fixture corpora are
+//! skipped — they are either allowed to panic by design or are
+//! deliberately-bad analyzer test inputs.
 
 use crate::allowlist::Allowlist;
 use crate::rules::{analyze_source, FileContext, Finding};
@@ -56,6 +58,10 @@ pub fn workspace_files(root: &Path) -> Result<Vec<(PathBuf, String)>, ScanError>
         }
     }
     collect_rs(&root.join("src"), &mut files)?;
+    // Root demo binaries ride along as the panic-exempt `examples` crate;
+    // `collect_rs` only prunes SKIP_DIRS when *descending*, so handing it
+    // the examples directory itself works.
+    collect_rs(&root.join("examples"), &mut files)?;
     let mut out: Vec<(PathBuf, String)> = files
         .into_iter()
         .map(|abs| {
@@ -107,6 +113,9 @@ pub fn classify(rel: &str) -> (String, bool) {
         let crate_name = rest.split('/').next().unwrap_or(rest).to_string();
         let is_root = rest == format!("{crate_name}/src/lib.rs");
         (crate_name, is_root)
+    } else if rel.starts_with("examples/") {
+        // Root demo binaries: panic-exempt, never a crate root.
+        ("examples".to_string(), false)
     } else {
         ("pid-piper".to_string(), rel == "src/lib.rs")
     }
@@ -224,12 +233,13 @@ mod tests {
         assert_eq!(classify("crates/math/src/float.rs"), ("math".into(), false));
         assert_eq!(classify("src/lib.rs"), ("pid-piper".into(), true));
         assert_eq!(classify("src/main.rs"), ("pid-piper".into(), false));
+        assert_eq!(classify("examples/quickstart.rs"), ("examples".into(), false));
     }
 
     #[test]
     fn unused_rule_variant_lint_guard() {
         // RuleId::parse round-trips every id the analyzer can emit.
-        for id in ["DT01", "DT02", "DT03", "PF01", "PF02", "PF03", "PF04", "FS01", "FS02", "DC01", "AL01"] {
+        for id in ["DT01", "DT02", "DT03", "PF01", "PF02", "PF03", "PF04", "PF05", "FS01", "FS02", "DC01", "AL01"] {
             let parsed = RuleId::parse(id).map(RuleId::as_str);
             assert_eq!(parsed, Some(id));
         }

@@ -1,6 +1,15 @@
-//! Regenerates the fault-matrix artifact; see pidpiper_bench::exp_fault_matrix.
+//! Regenerates the fault-matrix artifact and runs the resilience soak;
+//! see pidpiper_bench::exp_fault_matrix. Set `PIDPIPER_SOAK_ONLY=1` to
+//! skip the (training-heavy) matrix and run only the soak — the CI
+//! resilience job uses this to get a fast, typed-failure smoke signal.
 fn main() {
     let scale = pidpiper_bench::Scale::from_env();
+    if std::env::var("PIDPIPER_SOAK_ONLY").is_ok() {
+        eprintln!("[bench] PIDPIPER_SOAK_ONLY set: running the resilience soak only");
+        pidpiper_bench::exp_fault_matrix::run_soak(scale);
+        return;
+    }
     eprintln!("[bench] running fault_matrix at {scale:?} scale (set PIDPIPER_SCALE=full for paper scale)");
     pidpiper_bench::exp_fault_matrix::run(scale);
+    pidpiper_bench::exp_fault_matrix::run_soak(scale);
 }

@@ -22,5 +22,10 @@ fn main() {
     let row = run_overt_missions(rv, &pp, &eval, 7000);
     eprintln!("no-wind: success {}/{} crash/stall {} mean dev {:.1}",
         row.success, row.total, row.crash_or_stall, row.mean_deviation());
-    std::fs::write("models/nowind-ArduCopter.pidpiper", pp.to_text()).unwrap();
+    // Checksummed atomic save; a failed save costs the probe nothing but
+    // the cache, so report and move on instead of panicking.
+    let path = std::path::Path::new("models/nowind-ArduCopter.pidpiper");
+    if let Err(err) = pidpiper_core::artifact::save_deployment(path, &pp) {
+        eprintln!("could not save {}: {err}", path.display());
+    }
 }

@@ -16,7 +16,10 @@
 use crate::harness::{self, Scale};
 use pidpiper_faults::{Fault, FaultKind, FaultSchedule, SensorChannel};
 use pidpiper_math::Vec3;
-use pidpiper_missions::{Defense, MissionPlan, MissionSpec, RunnerConfig};
+use pidpiper_missions::{
+    Defense, MissionBudget, MissionError, MissionPlan, MissionRunner, MissionSpec, NoDefense,
+    ResiliencePolicy, RunnerConfig,
+};
 use pidpiper_sim::RvId;
 use std::fmt::Write as _;
 
@@ -252,5 +255,222 @@ pub fn run(scale: Scale) -> String {
          monitor latched the fail-safe rather than crashing."
     );
     harness::emit_report("fault_matrix", &out);
+    out
+}
+
+/// Seed base for the resilience-soak missions (own block, far from the
+/// matrix rows, so neither sweep can reshuffle the other).
+const SOAK_SEED_BASE: u64 = 11_000;
+
+/// Soak missions per run. The soak exercises the *execution layer* — panic
+/// isolation, watchdog budgets, retry, quarantine, artifact integrity —
+/// not defense quality, so a handful of short undefended missions suffices
+/// at every scale.
+const SOAK_MISSIONS: usize = 6;
+const SOAK_PANIC_IDX: usize = 2;
+const SOAK_STALL_IDX: usize = 4;
+
+/// Builds the soak batch: `SOAK_MISSIONS` short missions, one carrying an
+/// injected [`FaultKind::WorkerPanic`] and one a [`FaultKind::WorkerStall`]
+/// heavy enough to exhaust the batch step budget.
+fn soak_specs() -> Vec<MissionSpec> {
+    (0..SOAK_MISSIONS)
+        .map(|i| {
+            let mut config = RunnerConfig::for_rv(RvId::ArduCopter).with_seed(SOAK_SEED_BASE + i as u64);
+            if i == SOAK_PANIC_IDX {
+                config = config.with_faults(vec![Fault::new(
+                    FaultKind::WorkerPanic,
+                    FaultSchedule::Continuous { start: 3.0 },
+                )]);
+            } else if i == SOAK_STALL_IDX {
+                config = config.with_faults(vec![Fault::new(
+                    FaultKind::WorkerStall { slowdown: 1000 },
+                    FaultSchedule::Continuous { start: 2.0 },
+                )]);
+            }
+            MissionSpec::clean(
+                config.with_fault_seed(SOAK_SEED_BASE + 31 * i as u64),
+                MissionPlan::straight_line(20.0 + 2.0 * i as f64, 5.0),
+            )
+        })
+        .collect()
+}
+
+/// Resilience soak: drives the resilient batch path through injected
+/// worker panics, a budget-exhausting stall and artifact bit-flip
+/// corruption, asserting the quarantine and integrity contracts hold.
+///
+/// Three passes:
+///
+/// 1. **Quarantine** — a batch where mission `2` panics mid-flight and
+///    mission `4` stalls past the step budget must complete every other
+///    mission bit-identically to a plain serial run, and quarantine
+///    exactly those two with typed [`MissionError`]s.
+/// 2. **Determinism** — re-running the identical batch at a different
+///    worker count must reproduce the whole
+///    [`pidpiper_missions::BatchOutcome`], retry trace included (the
+///    outcome is a pure function of `(specs, policy)`).
+/// 3. **Corruption** — a single flipped payload byte in a saved deployment
+///    must surface as a typed `ChecksumMismatch` on load (refuse-and-
+///    retrain), never a silently-loaded model.
+///
+/// Any violated contract panics the run: this is the CI tripwire for the
+/// resilient execution layer.
+pub fn run_soak(scale: Scale) -> String {
+    let _ = scale; // The soak is scale-invariant by design.
+    let specs = soak_specs();
+    let policy = ResiliencePolicy {
+        budget: MissionBudget::unlimited().with_step_budget(5000),
+        ..ResiliencePolicy::default()
+    };
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Resilience soak: {SOAK_MISSIONS} missions, WorkerPanic on #{SOAK_PANIC_IDX}, \
+         WorkerStall (x1000) on #{SOAK_STALL_IDX}, step budget 5000"
+    );
+
+    // Pass 1: quarantine + partial results. The default panic hook still
+    // prints a backtrace for the injected panic before catch_unwind
+    // swallows it, so tell the log reader it is expected.
+    eprintln!(
+        "[soak] panic backtraces below are expected: they are the injected \
+         WorkerPanic being caught at the isolation boundary"
+    );
+    let outcome = MissionRunner::try_par_run_missions(&specs, &policy, |_, _| {
+        Ok(Box::new(NoDefense::new()))
+    });
+    let quarantined: Vec<usize> = outcome.quarantined.iter().map(|q| q.index).collect();
+    assert_eq!(
+        quarantined,
+        vec![SOAK_PANIC_IDX, SOAK_STALL_IDX],
+        "exactly the sick missions must be quarantined"
+    );
+    assert!(
+        matches!(
+            outcome.quarantined[0].error,
+            MissionError::Panicked { .. }
+        ),
+        "the panicking mission must carry a typed Panicked error, got {:?}",
+        outcome.quarantined[0].error
+    );
+    assert!(
+        matches!(
+            outcome.quarantined[1].error,
+            MissionError::StepBudgetExhausted { .. }
+        ),
+        "the stalled mission must carry a typed StepBudgetExhausted error, got {:?}",
+        outcome.quarantined[1].error
+    );
+    assert_eq!(outcome.completed.len(), SOAK_MISSIONS - 2);
+    for (i, result) in &outcome.completed {
+        let spec = &specs[*i];
+        let mut defense = NoDefense::new();
+        let serial = MissionRunner::new(spec.config.clone()).run(
+            &spec.plan,
+            &mut defense,
+            spec.attacks.clone(),
+        );
+        assert_eq!(
+            *result, serial,
+            "soak mission {i} diverged from its plain serial run"
+        );
+    }
+    for q in &outcome.quarantined {
+        let _ = writeln!(
+            out,
+            "  quarantined #{} after {} attempt(s): {}",
+            q.index, q.attempts, q.error
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  {} missions completed bit-identically to their serial runs",
+        outcome.completed.len()
+    );
+
+    // Pass 2: the outcome (retry trace included) is worker-count
+    // independent and reproducible.
+    let replay =
+        MissionRunner::try_par_run_missions_with_jobs(1, &specs, &policy, |_, _| {
+            Ok(Box::new(NoDefense::new()))
+        });
+    assert_eq!(outcome, replay, "soak batch must replay identically on 1 worker");
+    for r in &outcome.retry_trace {
+        let _ = writeln!(
+            out,
+            "  retry: mission {} attempt {} backoff {} steps ({})",
+            r.mission, r.attempt, r.backoff_steps, r.error
+        );
+    }
+    let _ = writeln!(out, "  replay on 1 worker reproduced the outcome, retry trace included");
+
+    // Pass 3: artifact bit-flip corruption is refused with a typed error.
+    out.push_str(&soak_corruption_pass());
+
+    harness::emit_report("resilience_soak", &out);
+    out
+}
+
+/// The corruption leg of the soak: saves a deployment, flips one payload
+/// byte, and asserts the load is refused with [`ChecksumMismatch`] — the
+/// caller's documented cue to retrain instead of flying the corrupt model.
+///
+/// [`ChecksumMismatch`]: pidpiper_core::ArtifactError::ChecksumMismatch
+fn soak_corruption_pass() -> String {
+    use pidpiper_core::ffc::PipelineConfig;
+    use pidpiper_core::{artifact, AxisThresholds, FeatureSet, FfcModel, PidPiper, PidPiperConfig};
+    use pidpiper_ml::{LstmRegressor, RegressorConfig};
+
+    let mut out = String::new();
+    let set = FeatureSet::FfcPruned;
+    let net = RegressorConfig {
+        input_dim: set.dim(),
+        output_dim: 4,
+        hidden: 4,
+        fc_width: 4,
+        window: 3,
+    };
+    // Untrained is fine: the integrity check guards bytes, not accuracy.
+    let pp = PidPiper::new(
+        FfcModel::new(
+            LstmRegressor::new(net, 7),
+            set,
+            PipelineConfig {
+                decimate: 1,
+                gate: Default::default(),
+            },
+        ),
+        PidPiperConfig::new(AxisThresholds::quad(18.0, 18.0, 18.0), [0.5; 4], 5, 12),
+    );
+    let path = std::env::temp_dir().join("pidpiper_soak_corruption.model");
+    if let Err(err) = artifact::save_deployment(&path, &pp) {
+        panic!("soak: could not save the corruption-pass artifact: {err}");
+    }
+    let Ok(mut bytes) = std::fs::read(&path) else {
+        panic!("soak: could not read back {}", path.display());
+    };
+    // Flip one bit of the first payload byte (just past the header line).
+    let payload_start = bytes
+        .iter()
+        .position(|b| *b == b'\n')
+        .map(|p| p + 1)
+        .unwrap_or(0);
+    bytes[payload_start] ^= 0x01;
+    if let Err(err) = std::fs::write(&path, &bytes) {
+        panic!("soak: could not write the corrupted artifact: {err}");
+    }
+    match artifact::load_deployment(&path) {
+        Err(artifact::ArtifactError::ChecksumMismatch { expected, actual }) => {
+            let _ = writeln!(
+                out,
+                "  corruption pass: 1-bit flip refused with ChecksumMismatch \
+                 (expected {expected}, actual {actual}); caller retrains"
+            );
+        }
+        Err(err) => panic!("soak: corruption misclassified as {err}"),
+        Ok(_) => panic!("soak: a corrupted artifact was silently loaded"),
+    }
+    let _ = std::fs::remove_file(&path);
     out
 }

@@ -2,7 +2,7 @@
 //! caching, technique fitting and result output.
 
 use pidpiper_control::PositionGains;
-use pidpiper_core::{PidPiper, Trainer, TrainerConfig};
+use pidpiper_core::{artifact, PidPiper, Trainer, TrainerConfig};
 use pidpiper_baselines::ci::CiConfig;
 use pidpiper_baselines::savior::SaviorConfig;
 use pidpiper_baselines::srr::SrrConfig;
@@ -164,15 +164,24 @@ pub fn trained_pidpiper(rv: RvId, scale: Scale, traces: &[Trace]) -> PidPiper {
     slot.get_or_init(|| {
         let path = cache_dir().join(&key);
         for candidate in [path.clone(), models_dir().join(&key)] {
-            if let Ok(text) = fs::read_to_string(&candidate) {
-                if let Ok(pp) = PidPiper::from_text(&text) {
+            // Refuse-and-retrain: any integrity or format failure falls
+            // through to a fresh training run — a corrupt artifact is
+            // never parsed around or partially loaded.
+            match artifact::load_deployment(&candidate) {
+                Ok((pp, integrity)) => {
                     eprintln!(
-                        "[harness] loaded PID-Piper for {rv} from {}",
+                        "[harness] loaded PID-Piper for {rv} from {} ({integrity:?})",
                         candidate.display()
                     );
                     return pp;
                 }
-                eprintln!("[harness] model at {} is stale", candidate.display());
+                // A missing cache file is the normal first-run case; only
+                // report the interesting rejections.
+                Err(artifact::ArtifactError::Io { .. }) => {}
+                Err(err) => eprintln!(
+                    "[harness] model at {} rejected ({err}); retraining",
+                    candidate.display()
+                ),
             }
         }
         let t0 = Instant::now();
@@ -184,7 +193,9 @@ pub fn trained_pidpiper(rv: RvId, scale: Scale, traces: &[Trace]) -> PidPiper {
             trained.report,
             trained.thresholds
         );
-        let _ = fs::write(&path, trained.pidpiper.to_text());
+        if let Err(err) = artifact::save_deployment(&path, &trained.pidpiper) {
+            eprintln!("[harness] could not cache model at {}: {err}", path.display());
+        }
         trained.pidpiper
     })
     .clone()

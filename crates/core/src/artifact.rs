@@ -1,0 +1,365 @@
+//! Crash-safe, checksummed persistence for deployment artifacts.
+//!
+//! A deployment artifact — the trained FFC weights plus the
+//! [`PidPiperConfig`](crate::PidPiperConfig) supervisor/monitor settings,
+//! serialized by [`PidPiper::to_text`] — used to be written with a bare
+//! `fs::write` and read back with `fs::read_to_string`. Two failure modes
+//! made that brittle at batch scale:
+//!
+//! 1. **Torn writes**: a process killed mid-write leaves a truncated file
+//!    that the next run may parse as a (smaller, garbage) model.
+//! 2. **Silent corruption**: a flipped byte inside a weight matrix still
+//!    parses as a number; nothing downstream notices it flew a corrupted
+//!    model.
+//!
+//! This module closes both holes:
+//!
+//! - **Atomic persistence**: [`save_text`] writes to a process-unique
+//!   `*.tmp` sibling and `rename`s it into place, so a reader only ever
+//!   sees a complete artifact (rename is atomic on the same filesystem).
+//! - **Integrity framing**: the payload is prefixed with a one-line
+//!   header, `pidpiper-artifact v1 fnv64 <16-hex digest>`, and the
+//!   FNV-1a-64 digest ([`pidpiper_ml::fnv64`]) is verified on load.
+//!   Any single-byte corruption of the payload (or the header) surfaces
+//!   as a typed [`ArtifactError`] — never a silently-loaded model. The
+//!   caller's contract is *refuse and retrain*: on any load error, fall
+//!   back to training a fresh model (see the bench harness).
+//! - **Version negotiation**: the artifact header version and the
+//!   embedded `pidpiper-deployment v1|v2` payload version are both
+//!   checked, and headerless files written by earlier releases still load
+//!   (as [`ArtifactIntegrity::LegacyUnchecked`]) so existing caches stay
+//!   valid.
+//!
+//! Errors convert into the batch layer's taxonomy via
+//! `From<ArtifactError> for MissionError` (→ `ArtifactCorrupt`), so a
+//! mission whose model fails integrity checks quarantines with a typed
+//! error instead of panicking the batch.
+
+use crate::pidpiper::PidPiper;
+use pidpiper_missions::MissionError;
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+/// Artifact container format version this release writes and reads.
+const ARTIFACT_VERSION: &str = "v1";
+/// Magic token opening every framed artifact.
+const ARTIFACT_MAGIC: &str = "pidpiper-artifact";
+/// Deployment payload versions [`PidPiper::from_text`] understands.
+const SUPPORTED_DEPLOYMENTS: [&str; 2] = ["v1", "v2"];
+
+/// Why an artifact failed to save or load.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArtifactError {
+    /// The file could not be read, written or renamed.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The underlying I/O error, rendered.
+        detail: String,
+    },
+    /// The payload's FNV-64 digest does not match the header — the file
+    /// was truncated or corrupted after it was written.
+    ChecksumMismatch {
+        /// Digest recorded in the header (hex).
+        expected: String,
+        /// Digest of the payload as found on disk (hex).
+        actual: String,
+    },
+    /// The artifact header or payload is structurally invalid.
+    Malformed {
+        /// What failed to parse.
+        detail: String,
+    },
+    /// The artifact or deployment format version is not one this release
+    /// understands (e.g. a file written by a newer release).
+    UnsupportedVersion {
+        /// The version token found.
+        found: String,
+    },
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactError::Io { path, detail } => write!(f, "artifact I/O at {path}: {detail}"),
+            ArtifactError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "artifact checksum mismatch: header fnv64 {expected}, payload fnv64 {actual}"
+            ),
+            ArtifactError::Malformed { detail } => write!(f, "artifact malformed: {detail}"),
+            ArtifactError::UnsupportedVersion { found } => {
+                write!(f, "unsupported artifact version: {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {}
+
+impl From<ArtifactError> for MissionError {
+    fn from(err: ArtifactError) -> Self {
+        MissionError::ArtifactCorrupt {
+            detail: err.to_string(),
+        }
+    }
+}
+
+/// How much the load path could vouch for the artifact it returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArtifactIntegrity {
+    /// The artifact carried a checksum header and the payload digest
+    /// matched.
+    Verified,
+    /// A headerless legacy file (written before the artifact store
+    /// existed): parsed, but with no integrity check possible.
+    LegacyUnchecked,
+}
+
+/// Frames `payload` with the checksum header and writes it atomically:
+/// the bytes land in a process-unique `*.tmp` sibling first and are
+/// `rename`d into place, so concurrent readers (and readers after a
+/// crash) only ever observe a complete artifact.
+pub fn save_text(path: &Path, payload: &str) -> Result<(), ArtifactError> {
+    let io_err = |detail: std::io::Error| ArtifactError::Io {
+        path: path.display().to_string(),
+        detail: detail.to_string(),
+    };
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent).map_err(io_err)?;
+        }
+    }
+    let framed = format!(
+        "{ARTIFACT_MAGIC} {ARTIFACT_VERSION} fnv64 {}\n{payload}",
+        pidpiper_ml::fnv64_hex(payload.as_bytes())
+    );
+    // Process-unique tmp name: two processes racing to cache the same
+    // model never interleave bytes in one tmp file, and last rename wins
+    // with a complete artifact either way.
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    fs::write(&tmp, framed).map_err(|e| ArtifactError::Io {
+        path: tmp.display().to_string(),
+        detail: e.to_string(),
+    })?;
+    fs::rename(&tmp, path).map_err(io_err)
+}
+
+/// Reads an artifact, verifies its checksum frame, and returns the
+/// payload plus how much could be verified. Headerless files pass
+/// through whole as [`ArtifactIntegrity::LegacyUnchecked`].
+pub fn load_text(path: &Path) -> Result<(String, ArtifactIntegrity), ArtifactError> {
+    let text = fs::read_to_string(path).map_err(|e| ArtifactError::Io {
+        path: path.display().to_string(),
+        detail: e.to_string(),
+    })?;
+    let Some(first_line) = text.lines().next() else {
+        return Err(ArtifactError::Malformed {
+            detail: "empty artifact file".into(),
+        });
+    };
+    if !first_line.starts_with(ARTIFACT_MAGIC) {
+        // Legacy file from before the artifact store: no frame to check.
+        return Ok((text, ArtifactIntegrity::LegacyUnchecked));
+    }
+    let fields: Vec<&str> = first_line.split_whitespace().collect();
+    match fields.as_slice() {
+        [ARTIFACT_MAGIC, version, "fnv64", digest] => {
+            if *version != ARTIFACT_VERSION {
+                return Err(ArtifactError::UnsupportedVersion {
+                    found: format!("artifact {version}"),
+                });
+            }
+            // Everything after the header line (which `rename` wrote in
+            // one piece with it) is payload, checksummed as written.
+            let payload = match text.split_once('\n') {
+                Some((_, rest)) => rest,
+                None => "",
+            };
+            let actual = pidpiper_ml::fnv64_hex(payload.as_bytes());
+            if actual != *digest {
+                return Err(ArtifactError::ChecksumMismatch {
+                    expected: (*digest).to_string(),
+                    actual,
+                });
+            }
+            Ok((payload.to_string(), ArtifactIntegrity::Verified))
+        }
+        _ => Err(ArtifactError::Malformed {
+            detail: format!("bad artifact header: {first_line:?}"),
+        }),
+    }
+}
+
+/// Persists a trained deployment (FFC weights + supervisor config)
+/// atomically with a checksum frame.
+pub fn save_deployment(path: &Path, pidpiper: &PidPiper) -> Result<(), ArtifactError> {
+    save_text(path, &pidpiper.to_text())
+}
+
+/// Loads a deployment artifact with full integrity and version checks.
+///
+/// The error taxonomy is total — nothing loads silently:
+///
+/// - missing/unreadable file → [`ArtifactError::Io`];
+/// - bad frame or unparseable payload → [`ArtifactError::Malformed`];
+/// - payload digest mismatch → [`ArtifactError::ChecksumMismatch`];
+/// - unknown artifact *or* deployment version →
+///   [`ArtifactError::UnsupportedVersion`].
+///
+/// Callers should treat every error as "refuse and retrain" (or
+/// quarantine, via the `MissionError` conversion) — never fall back to
+/// parsing the raw file.
+pub fn load_deployment(path: &Path) -> Result<(PidPiper, ArtifactIntegrity), ArtifactError> {
+    let (payload, integrity) = load_text(path)?;
+    // Deployment version negotiation, folded in front of the payload
+    // parser so "a newer format than this binary" is distinguishable
+    // from "garbage".
+    if let Some(header) = payload.lines().next() {
+        let mut tokens = header.split_whitespace();
+        if tokens.next() == Some("pidpiper-deployment") {
+            let version = tokens.next().unwrap_or("");
+            if !SUPPORTED_DEPLOYMENTS.contains(&version) {
+                return Err(ArtifactError::UnsupportedVersion {
+                    found: format!("deployment {version:?}"),
+                });
+            }
+        }
+    }
+    let pidpiper = PidPiper::from_text(&payload).map_err(|detail| ArtifactError::Malformed {
+        detail,
+    })?;
+    Ok((pidpiper, integrity))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("pidpiper-artifact-{}", std::process::id()));
+        let _ = fs::create_dir_all(&dir);
+        dir.join(name)
+    }
+
+    #[test]
+    fn text_round_trips_verified() {
+        let path = scratch("roundtrip.pidpiper");
+        save_text(&path, "hello\nworld\n").expect("save");
+        let (payload, integrity) = load_text(&path).expect("load");
+        assert_eq!(payload, "hello\nworld\n");
+        assert_eq!(integrity, ArtifactIntegrity::Verified);
+    }
+
+    #[test]
+    fn every_single_byte_payload_corruption_is_detected() {
+        let path = scratch("bitflip.pidpiper");
+        save_text(&path, "pidpiper-deployment v2\nthresholds 1.8e1 - - -\n").expect("save");
+        let framed = fs::read(&path).expect("read back");
+        let header_len = framed
+            .iter()
+            .position(|&b| b == b'\n')
+            .expect("header newline")
+            + 1;
+        for i in header_len..framed.len() {
+            let mut corrupt = framed.clone();
+            corrupt[i] ^= 0x20;
+            let target = scratch("bitflip-corrupt.pidpiper");
+            fs::write(&target, &corrupt).expect("write corrupt");
+            match load_text(&target) {
+                Err(ArtifactError::ChecksumMismatch { .. }) => {}
+                other => panic!("flip at byte {i}: expected ChecksumMismatch, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn header_corruption_is_typed_not_silent() {
+        let path = scratch("header.pidpiper");
+        save_text(&path, "payload").expect("save");
+        let text = fs::read_to_string(&path).expect("read");
+
+        // Digest damaged in place.
+        let bad_digest = text.replacen("fnv64 ", "fnv64 0", 1);
+        let target = scratch("header-bad.pidpiper");
+        fs::write(&target, bad_digest).expect("write");
+        assert!(matches!(
+            load_text(&target),
+            Err(ArtifactError::Malformed { .. }) | Err(ArtifactError::ChecksumMismatch { .. })
+        ));
+
+        // Future container version.
+        let future = text.replacen("pidpiper-artifact v1", "pidpiper-artifact v9", 1);
+        fs::write(&target, future).expect("write");
+        assert!(matches!(
+            load_text(&target),
+            Err(ArtifactError::UnsupportedVersion { .. })
+        ));
+    }
+
+    #[test]
+    fn legacy_headerless_files_load_unchecked() {
+        let path = scratch("legacy.pidpiper");
+        fs::write(&path, "pidpiper-deployment v2\nrest\n").expect("write");
+        let (payload, integrity) = load_text(&path).expect("legacy load");
+        assert_eq!(integrity, ArtifactIntegrity::LegacyUnchecked);
+        assert!(payload.starts_with("pidpiper-deployment"));
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let path = scratch("does-not-exist.pidpiper");
+        let _ = fs::remove_file(&path);
+        assert!(matches!(load_text(&path), Err(ArtifactError::Io { .. })));
+    }
+
+    #[test]
+    fn empty_file_is_malformed() {
+        let path = scratch("empty.pidpiper");
+        fs::write(&path, "").expect("write");
+        assert!(matches!(
+            load_text(&path),
+            Err(ArtifactError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn future_deployment_version_is_negotiated_not_garbled() {
+        let path = scratch("future-deployment.pidpiper");
+        save_text(&path, "pidpiper-deployment v3\nsomething new\n").expect("save");
+        match load_deployment(&path) {
+            Err(ArtifactError::UnsupportedVersion { found }) => {
+                assert!(found.contains("v3"), "{found}");
+            }
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn no_tmp_file_survives_a_save() {
+        let path = scratch("clean.pidpiper");
+        save_text(&path, "payload").expect("save");
+        let dir = path.parent().expect("parent");
+        let leftovers: Vec<_> = fs::read_dir(dir)
+            .expect("read dir")
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains("clean.tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "tmp files left behind: {leftovers:?}");
+    }
+
+    #[test]
+    fn artifact_errors_convert_to_mission_errors() {
+        let err = ArtifactError::ChecksumMismatch {
+            expected: "aa".into(),
+            actual: "bb".into(),
+        };
+        match MissionError::from(err) {
+            MissionError::ArtifactCorrupt { detail } => {
+                assert!(detail.contains("checksum"), "{detail}");
+            }
+            other => panic!("expected ArtifactCorrupt, got {other:?}"),
+        }
+    }
+}

@@ -37,6 +37,7 @@
 
 #![deny(missing_docs)]
 
+pub mod artifact;
 pub mod fbc;
 pub mod features;
 pub mod ffc;
@@ -48,6 +49,7 @@ pub mod supervisor;
 pub mod threshold;
 pub mod trainer;
 
+pub use artifact::{load_deployment, save_deployment, ArtifactError, ArtifactIntegrity};
 pub use fbc::FbcModel;
 pub use features::{FeatureSet, SensorPrimitives};
 pub use ffc::FfcModel;

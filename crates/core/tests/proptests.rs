@@ -141,3 +141,111 @@ proptest! {
         prop_assert_eq!(m.statistic(), 0.0);
     }
 }
+
+/// Builds a minimal (untrained) deployment around an arbitrary — but
+/// valid — detection + supervisor configuration.
+fn arbitrary_pidpiper(seed: u64, config: pidpiper_core::PidPiperConfig) -> pidpiper_core::PidPiper {
+    use pidpiper_core::ffc::PipelineConfig;
+    use pidpiper_core::{FeatureSet, FfcModel, PidPiper};
+    use pidpiper_ml::{LstmRegressor, RegressorConfig};
+    let set = FeatureSet::FfcPruned;
+    let net = RegressorConfig {
+        input_dim: set.dim(),
+        output_dim: 4,
+        hidden: 4,
+        fc_width: 4,
+        window: 3,
+    };
+    let ffc = FfcModel::new(
+        LstmRegressor::new(net, seed),
+        set,
+        PipelineConfig {
+            decimate: 1,
+            gate: Default::default(),
+        },
+    );
+    PidPiper::new(ffc, config)
+}
+
+/// Rewrites a v2 deployment text as its v1 ancestor: the supervisor-era
+/// lines vanish and the header is downgraded (the documented downgrade
+/// recipe, mirroring `v1_deployment_loads_with_supervisor_defaults`).
+fn downgrade_to_v1(v2: &str) -> String {
+    v2.lines()
+        .filter(|l| {
+            !l.starts_with("consistency ")
+                && !l.starts_with("band ")
+                && !l.starts_with("supervisor ")
+        })
+        .map(|l| {
+            if l == "pidpiper-deployment v2" {
+                "pidpiper-deployment v1".to_string()
+            } else {
+                l.to_string()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn v1_deployment_upgrade_injects_defaults_exactly_once(
+        seed in 0u64..1000,
+        roll in 1.0..50.0f64,
+        pitch in 1.0..50.0f64,
+        yaw in 1.0..50.0f64,
+        thrust_sel in 0u8..2,
+        thrust_val in 5.0..60.0f64,
+        drifts in (0.01..5.0f64, 0.01..5.0f64, 0.01..5.0f64, 0.01..5.0f64),
+        exit_hold in 1usize..50,
+        lag_history in 1usize..40,
+    ) {
+        use pidpiper_core::{AxisThresholds, PidPiper, PidPiperConfig};
+        use pidpiper_core::{ConsistencyGates, TrustBand};
+        let mut thresholds = AxisThresholds::quad(roll, pitch, yaw);
+        thresholds.thrust = (thrust_sel == 1).then_some(thrust_val);
+        let drifts = [drifts.0, drifts.1, drifts.2, drifts.3];
+        let config = PidPiperConfig::new(thresholds, drifts, exit_hold, lag_history);
+        let a = arbitrary_pidpiper(seed, config);
+
+        // A v1 deployment of the same detection parameters loads, with
+        // every supervisor-era field at its documented default.
+        let v1 = downgrade_to_v1(&a.to_text());
+        let b = PidPiper::from_text(&v1).expect("v1 deployment must load");
+        prop_assert_eq!(b.config().thresholds, config.thresholds);
+        prop_assert_eq!(b.config().drifts, config.drifts);
+        prop_assert_eq!(b.config().exit_hold_steps, config.exit_hold_steps);
+        prop_assert_eq!(b.config().lag_history, config.lag_history);
+        prop_assert_eq!(b.config().consistency, ConsistencyGates::default());
+        prop_assert_eq!(b.config().band, TrustBand::default());
+        prop_assert_eq!(
+            b.config().max_recovery_steps,
+            PidPiperConfig::DEFAULT_MAX_RECOVERY_STEPS
+        );
+        prop_assert_eq!(
+            b.config().ffc_offline_after,
+            PidPiperConfig::DEFAULT_FFC_OFFLINE_AFTER
+        );
+        prop_assert_eq!(
+            b.config().cusum_saturation,
+            PidPiperConfig::DEFAULT_CUSUM_SATURATION
+        );
+
+        // The upgraded deployment re-serializes as v2 with the defaults
+        // injected exactly once — one line per supervisor-era field.
+        let upgraded = b.to_text();
+        prop_assert_eq!(upgraded.lines().filter(|l| l.starts_with("consistency ")).count(), 1);
+        prop_assert_eq!(upgraded.lines().filter(|l| l.starts_with("band ")).count(), 1);
+        prop_assert_eq!(upgraded.lines().filter(|l| l.starts_with("supervisor ")).count(), 1);
+        prop_assert!(upgraded.starts_with("pidpiper-deployment v2\n"));
+
+        // Serialization is stable: one upgrade reaches the fixpoint, so
+        // repeated save/load cycles can never drift the config.
+        let c = PidPiper::from_text(&upgraded).expect("upgraded text must load");
+        prop_assert_eq!(c.to_text(), upgraded);
+        prop_assert_eq!(c.config(), b.config());
+    }
+}

@@ -50,13 +50,16 @@ impl FaultInjector {
     /// # Panics
     ///
     /// Panics if a `ControlSkip` period is zero, a `ControlJitter`
-    /// probability is outside `[0, 1]`, or an `ActuatorSaturation` effort
-    /// is outside `[0, 1]`.
+    /// probability is outside `[0, 1]`, an `ActuatorSaturation` effort
+    /// is outside `[0, 1]`, or a `WorkerStall` slowdown is zero.
     pub fn new(faults: Vec<Fault>, seed: u64) -> Self {
         for f in &faults {
             match f.kind {
                 FaultKind::ControlSkip { every } => {
                     assert!(every >= 1, "ControlSkip period must be >= 1");
+                }
+                FaultKind::WorkerStall { slowdown } => {
+                    assert!(slowdown >= 1, "WorkerStall slowdown must be >= 1");
                 }
                 FaultKind::ControlJitter { skip_probability } => {
                     assert!(
@@ -160,6 +163,42 @@ impl FaultInjector {
             }
         }
         skip
+    }
+
+    /// Polls the worker-level faults at the top of a control step.
+    ///
+    /// Consumes no RNG draws, so missions without worker faults are
+    /// bit-identical whether or not the runner calls this.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first step where a [`FaultKind::WorkerPanic`]
+    /// schedule is active — that *is* the fault: it models the mission's
+    /// worker dying mid-batch. Plain `MissionRunner::run` propagates the
+    /// panic; the resilient batch layer catches it with `catch_unwind`
+    /// and quarantines the mission.
+    pub fn check_worker(&self, t: f64) {
+        for fault in &self.faults {
+            if fault.kind == FaultKind::WorkerPanic && fault.schedule.is_active(t) {
+                panic!("injected worker panic at t={t:.2}s");
+            }
+        }
+    }
+
+    /// Budget cost of the control step at time `t`: `1` normally, or the
+    /// largest active [`FaultKind::WorkerStall`] slowdown. Consumes no RNG
+    /// draws and never perturbs flight dynamics — only the step-budget
+    /// accounting of `MissionRunner::run_bounded` observes it.
+    pub fn step_cost(&self, t: f64) -> u64 {
+        let mut cost = 1;
+        for fault in &self.faults {
+            if let FaultKind::WorkerStall { slowdown } = fault.kind {
+                if fault.schedule.is_active(t) {
+                    cost = cost.max(slowdown);
+                }
+            }
+        }
+        cost
     }
 
     /// Applies active actuator-saturation faults to a slice of actuator
@@ -395,6 +434,64 @@ mod tests {
         let mut m = [1.0];
         assert!(!inj.apply_effort(&mut m, 1.0));
         assert_eq!(m, [1.0]);
+    }
+
+    #[test]
+    fn worker_panic_fires_only_while_active() {
+        let inj = FaultInjector::new(
+            vec![Fault::new(
+                FaultKind::WorkerPanic,
+                FaultSchedule::Windows(vec![(5.0, 6.0)]),
+            )],
+            7,
+        );
+        inj.check_worker(1.0); // inactive: no panic
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| inj.check_worker(5.5)));
+        assert!(caught.is_err(), "active WorkerPanic must panic");
+    }
+
+    #[test]
+    fn worker_stall_scales_step_cost_while_active() {
+        let inj = FaultInjector::new(
+            vec![Fault::new(
+                FaultKind::WorkerStall { slowdown: 40 },
+                FaultSchedule::Windows(vec![(2.0, 4.0)]),
+            )],
+            7,
+        );
+        assert_eq!(inj.step_cost(1.0), 1);
+        assert_eq!(inj.step_cost(3.0), 40);
+        assert_eq!(inj.step_cost(5.0), 1);
+    }
+
+    #[test]
+    fn overlapping_stalls_take_the_largest_slowdown() {
+        let inj = FaultInjector::new(
+            vec![
+                Fault::new(
+                    FaultKind::WorkerStall { slowdown: 10 },
+                    FaultSchedule::Continuous { start: 0.0 },
+                ),
+                Fault::new(
+                    FaultKind::WorkerStall { slowdown: 3 },
+                    FaultSchedule::Continuous { start: 0.0 },
+                ),
+            ],
+            7,
+        );
+        assert_eq!(inj.step_cost(1.0), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "slowdown")]
+    fn zero_stall_slowdown_rejected() {
+        let _ = FaultInjector::new(
+            vec![Fault::new(
+                FaultKind::WorkerStall { slowdown: 0 },
+                FaultSchedule::Never,
+            )],
+            7,
+        );
     }
 
     #[test]

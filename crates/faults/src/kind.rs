@@ -67,6 +67,22 @@ pub enum FaultKind {
         /// Per-step probability (0..=1) that the step is skipped.
         skip_probability: f64,
     },
+    /// The worker flying the mission dies: the injector panics on the
+    /// first active control step, modelling a crashed mission process.
+    /// Plain `MissionRunner::run` propagates the panic; the resilient
+    /// batch layer (`pidpiper-missions`) catches it with `catch_unwind`
+    /// and quarantines the mission as `MissionError::Panicked`.
+    WorkerPanic,
+    /// The worker stalls: each active control step costs `slowdown`
+    /// budget units instead of 1 (wedged I/O, priority inversion, a
+    /// livelocked co-process). Flight dynamics and the RNG stream are
+    /// untouched — only the step-budget accounting of
+    /// `MissionRunner::run_bounded` sees the fault, so a stalled mission
+    /// trips `MissionError::StepBudgetExhausted` deterministically.
+    WorkerStall {
+        /// Budget units consumed per active control step (must be ≥ 1).
+        slowdown: u64,
+    },
 }
 
 impl FaultKind {
@@ -80,6 +96,8 @@ impl FaultKind {
             FaultKind::ActuatorSaturation { .. } => "act-saturation",
             FaultKind::ControlSkip { .. } => "ctrl-skip",
             FaultKind::ControlJitter { .. } => "ctrl-jitter",
+            FaultKind::WorkerPanic => "worker-panic",
+            FaultKind::WorkerStall { .. } => "worker-stall",
         }
     }
 
@@ -93,6 +111,13 @@ impl FaultKind {
                 | FaultKind::NanBurst
                 | FaultKind::GyroStuckAt(_)
         )
+    }
+
+    /// Whether this fault targets the execution substrate (the worker
+    /// running the mission) rather than the vehicle's sensors, actuators
+    /// or control-loop timing.
+    pub fn is_worker_fault(&self) -> bool {
+        matches!(self, FaultKind::WorkerPanic | FaultKind::WorkerStall { .. })
     }
 }
 
@@ -112,6 +137,8 @@ mod tests {
             FaultKind::ControlJitter {
                 skip_probability: 0.3,
             },
+            FaultKind::WorkerPanic,
+            FaultKind::WorkerStall { slowdown: 10 },
         ];
         for (i, a) in kinds.iter().enumerate() {
             for b in &kinds[i + 1..] {
@@ -126,6 +153,16 @@ mod tests {
         assert!(FaultKind::NanBurst.is_sensor_fault());
         assert!(!FaultKind::ControlSkip { every: 1 }.is_sensor_fault());
         assert!(!FaultKind::ActuatorSaturation { effort: 0.5 }.is_sensor_fault());
+        assert!(!FaultKind::WorkerPanic.is_sensor_fault());
+        assert!(!FaultKind::WorkerStall { slowdown: 2 }.is_sensor_fault());
+    }
+
+    #[test]
+    fn worker_fault_classification() {
+        assert!(FaultKind::WorkerPanic.is_worker_fault());
+        assert!(FaultKind::WorkerStall { slowdown: 2 }.is_worker_fault());
+        assert!(!FaultKind::GpsDropout.is_worker_fault());
+        assert!(!FaultKind::ControlJitter { skip_probability: 0.1 }.is_worker_fault());
     }
 
     #[test]

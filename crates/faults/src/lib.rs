@@ -16,7 +16,12 @@
 //! - **actuator saturation**: motors/servos deliver only a fraction of the
 //!   commanded effort (ESC derating, prop damage);
 //! - **control-step skip / jitter**: the control task overruns and the
-//!   previous command stays latched for a cycle (scheduling faults).
+//!   previous command stays latched for a cycle (scheduling faults);
+//! - **worker panic / stall**: the *execution substrate* fails — the
+//!   worker flying the mission dies (panics) or wedges (each control step
+//!   costs many budget units). These exercise the resilient batch layer
+//!   in `pidpiper-missions` (panic isolation, step budgets, quarantine)
+//!   rather than the vehicle's own defenses.
 //!
 //! Every fault is scheduled by a [`FaultSchedule`] that mirrors the attack
 //! engine's `Schedule` shape, and all randomness (the jitter fault, the

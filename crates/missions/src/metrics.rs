@@ -65,7 +65,7 @@ impl std::fmt::Display for MissionOutcome {
 }
 
 /// Full result of one mission run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MissionResult {
     /// Terminal classification.
     pub outcome: MissionOutcome,

@@ -21,8 +21,12 @@
 use crate::defense::Defense;
 use crate::metrics::MissionResult;
 use crate::plans::MissionPlan;
+use crate::resilient::{
+    BatchOutcome, MissionError, QuarantinedMission, ResiliencePolicy, RetryRecord,
+};
 use crate::runner::{MissionAttack, MissionRunner, RunnerConfig};
 use rayon::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// One mission of a batch: its runner configuration (carrying the
 /// per-mission sensor seed), plan and attack set.
@@ -140,6 +144,134 @@ impl MissionRunner {
             Err(_) => (0..specs.len()).map(run_one).collect(),
         }
     }
+
+    /// The resilient batch path: [`Self::par_run_missions`] with panic
+    /// isolation, per-mission watchdog budgets, bounded deterministic
+    /// retry and quarantine, on `PIDPIPER_JOBS` workers.
+    ///
+    /// Unlike `par_run_missions`, one sick mission cannot take down the
+    /// batch: a panic (including an injected `WorkerPanic` fault) is
+    /// caught at the isolation boundary, a budget violation is cut off by
+    /// the watchdog, and a failed defense factory is treated as a failed
+    /// attempt. Failed attempts are retried per `policy.retry` (with a
+    /// seeded, recorded backoff schedule); a mission whose every attempt
+    /// fails lands on the quarantine list. The [`BatchOutcome`] carries
+    /// the partial results plus the full retry trace — a pure function of
+    /// `(specs, policy)`, independent of worker count.
+    ///
+    /// `defense_for(i, attempt)` builds a fresh defense for mission `i`'s
+    /// zero-based `attempt`; returning `Err` (e.g. a corrupt model
+    /// artifact for this mission) fails the attempt without running it.
+    /// Missions that complete are bit-identical to a serial
+    /// `par_run_missions` of the same specs — the isolation layer adds no
+    /// entropy.
+    pub fn try_par_run_missions<F>(
+        specs: &[MissionSpec],
+        policy: &ResiliencePolicy,
+        defense_for: F,
+    ) -> BatchOutcome
+    where
+        F: Fn(usize, usize) -> Result<Box<dyn Defense + Send>, MissionError> + Sync,
+    {
+        Self::try_par_run_missions_with_jobs(configured_jobs(), specs, policy, defense_for)
+    }
+
+    /// [`Self::try_par_run_missions`] with an explicit worker count (for
+    /// the equivalence tests, which must not race on process-global env
+    /// vars).
+    pub fn try_par_run_missions_with_jobs<F>(
+        jobs: usize,
+        specs: &[MissionSpec],
+        policy: &ResiliencePolicy,
+        defense_for: F,
+    ) -> BatchOutcome
+    where
+        F: Fn(usize, usize) -> Result<Box<dyn Defense + Send>, MissionError> + Sync,
+    {
+        // One mission, all its attempts. Runs inside whatever worker the
+        // pool assigned; the retry schedule is precomputed from
+        // `(policy, i)` so nothing here depends on scheduling order.
+        let run_mission = |i: usize| {
+            let spec = &specs[i];
+            let schedule = policy.retry.backoff_schedule(i);
+            let mut records = Vec::new();
+            let mut attempt = 0;
+            loop {
+                // AssertUnwindSafe is sound here: every piece of mission
+                // state (runner, defense, plant, RNGs) is constructed
+                // fresh inside the closure and dropped with it; the only
+                // captured shared state is the defense factory, which a
+                // panicking attempt cannot leave half-mutated in any way
+                // the next attempt observes.
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    let mut defense = defense_for(i, attempt)?;
+                    let runner = MissionRunner::new(spec.config.clone());
+                    runner.run_bounded(
+                        &spec.plan,
+                        defense.as_mut(),
+                        spec.attacks.clone(),
+                        &policy.budget,
+                    )
+                }));
+                let error = match outcome {
+                    Ok(Ok(result)) => return (Ok(result), records, attempt + 1),
+                    Ok(Err(err)) => err,
+                    Err(payload) => MissionError::Panicked {
+                        message: panic_message(payload.as_ref()),
+                    },
+                };
+                if attempt < policy.retry.max_retries {
+                    records.push(RetryRecord {
+                        mission: i,
+                        attempt,
+                        backoff_steps: schedule[attempt],
+                        error,
+                    });
+                    attempt += 1;
+                } else {
+                    return (Err(error), records, attempt + 1);
+                }
+            }
+        };
+        let raw: Vec<_> = if jobs <= 1 {
+            (0..specs.len()).map(run_mission).collect()
+        } else {
+            match rayon::ThreadPoolBuilder::new().num_threads(jobs).build() {
+                Ok(pool) => {
+                    pool.install(|| (0..specs.len()).into_par_iter().map(run_mission).collect())
+                }
+                Err(_) => (0..specs.len()).map(run_mission).collect(),
+            }
+        };
+        // Fold in spec order: completion order never leaks into the
+        // outcome, so any worker count yields the same BatchOutcome.
+        let mut out = BatchOutcome::default();
+        for (i, (result, records, attempts)) in raw.into_iter().enumerate() {
+            out.retry_trace.extend(records);
+            match result {
+                Ok(r) => out.completed.push((i, r)),
+                Err(error) => out.quarantined.push(QuarantinedMission {
+                    index: i,
+                    error,
+                    attempts,
+                }),
+            }
+        }
+        out
+    }
+}
+
+/// Renders a caught panic payload for `MissionError::Panicked` — the
+/// string payload when there is one (panics raised by `panic!`/`assert!`
+/// always carry one), a placeholder otherwise.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
 }
 
 #[cfg(test)]
@@ -195,5 +327,140 @@ mod tests {
         // Only checks the pure fallback logic; the env-dependent branch is
         // covered by running the harness under PIDPIPER_JOBS.
         assert!(configured_jobs() >= 1);
+    }
+
+    use crate::resilient::{MissionError, ResiliencePolicy, RetryPolicy};
+    use pidpiper_faults::{Fault, FaultKind, FaultSchedule};
+
+    /// A spec whose mission panics mid-flight via the injected
+    /// `WorkerPanic` fault.
+    fn panicking_spec(seed: u64) -> MissionSpec {
+        MissionSpec::clean(
+            RunnerConfig::for_rv(RvId::ArduCopter)
+                .with_seed(seed)
+                .with_faults(vec![Fault::new(
+                    FaultKind::WorkerPanic,
+                    FaultSchedule::Continuous { start: 3.0 },
+                )]),
+            MissionPlan::straight_line(30.0, 5.0),
+        )
+    }
+
+    fn no_retry() -> ResiliencePolicy {
+        ResiliencePolicy {
+            retry: RetryPolicy::none(),
+            ..ResiliencePolicy::default()
+        }
+    }
+
+    #[test]
+    fn panicking_mission_is_quarantined_not_propagated() {
+        let mut specs = specs(3);
+        specs[1] = panicking_spec(900);
+        let outcome = MissionRunner::try_par_run_missions_with_jobs(
+            3,
+            &specs,
+            &no_retry(),
+            |_, _| Ok(Box::new(NoDefense::new())),
+        );
+        assert_eq!(outcome.completed.len(), 2);
+        assert_eq!(outcome.quarantined.len(), 1);
+        let q = &outcome.quarantined[0];
+        assert_eq!(q.index, 1);
+        assert_eq!(q.attempts, 1);
+        match &q.error {
+            MissionError::Panicked { message } => {
+                assert!(message.contains("injected worker panic"), "{message}");
+            }
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+        assert!(outcome.result_for(0).is_some());
+        assert!(outcome.result_for(1).is_none());
+        assert!(!outcome.is_clean());
+    }
+
+    #[test]
+    fn completed_missions_are_bit_identical_to_the_plain_batch() {
+        let mut specs = specs(4);
+        specs[2] = panicking_spec(901);
+        let resilient = MissionRunner::try_par_run_missions_with_jobs(
+            4,
+            &specs,
+            &no_retry(),
+            |_, _| Ok(Box::new(NoDefense::new())),
+        );
+        // Serial reference over the healthy specs only.
+        for (i, result) in &resilient.completed {
+            let want = MissionRunner::new(specs[*i].config.clone()).run_clean(&specs[*i].plan);
+            assert_eq!(&want, result, "mission {i} diverged");
+        }
+    }
+
+    #[test]
+    fn retry_trace_is_seeded_and_worker_count_independent() {
+        let mut specs = specs(3);
+        specs[0] = panicking_spec(902);
+        let policy = ResiliencePolicy {
+            retry: RetryPolicy {
+                max_retries: 2,
+                backoff_seed: 42,
+                base_backoff_steps: 10,
+            },
+            ..ResiliencePolicy::default()
+        };
+        let mk = |jobs| {
+            MissionRunner::try_par_run_missions_with_jobs(jobs, &specs, &policy, |_, _| {
+                Ok(Box::new(NoDefense::new()))
+            })
+        };
+        let serial = mk(1);
+        let parallel = mk(3);
+        assert_eq!(serial.retry_trace, parallel.retry_trace);
+        assert_eq!(serial.retry_trace.len(), 2, "both retries recorded");
+        assert_eq!(serial.quarantined[0].attempts, 3);
+        // A different seed moves the backoff hints but not the structure.
+        let other = ResiliencePolicy {
+            retry: RetryPolicy {
+                backoff_seed: 43,
+                ..policy.retry
+            },
+            ..policy
+        };
+        let moved = MissionRunner::try_par_run_missions_with_jobs(1, &specs, &other, |_, _| {
+            Ok(Box::new(NoDefense::new()))
+        });
+        assert_ne!(
+            serial.retry_trace[0].backoff_steps,
+            moved.retry_trace[0].backoff_steps
+        );
+    }
+
+    #[test]
+    fn factory_failure_is_retried_then_succeeds() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let specs = specs(2);
+        let policy = ResiliencePolicy::default(); // 1 retry
+        let calls = AtomicUsize::new(0);
+        let outcome = MissionRunner::try_par_run_missions_with_jobs(1, &specs, &policy, |i, attempt| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            if i == 1 && attempt == 0 {
+                // e.g. the model artifact was corrupt on first load.
+                Err(MissionError::ArtifactCorrupt {
+                    detail: "checksum mismatch".into(),
+                })
+            } else {
+                Ok(Box::new(NoDefense::new()))
+            }
+        });
+        assert!(outcome.is_clean(), "retry must recover: {:?}", outcome.quarantined);
+        assert_eq!(outcome.completed.len(), 2);
+        assert_eq!(outcome.retry_trace.len(), 1);
+        assert_eq!(
+            outcome.retry_trace[0].error,
+            MissionError::ArtifactCorrupt {
+                detail: "checksum mismatch".into()
+            }
+        );
+        assert_eq!(calls.load(Ordering::SeqCst), 3);
     }
 }

@@ -1,0 +1,339 @@
+//! Failure semantics for batch execution: the mission error taxonomy,
+//! per-mission watchdog budgets, and the deterministic retry policy.
+//!
+//! PR 3 hardened the *vehicle* against benign faults; this module hardens
+//! the *execution substrate* that flies thousands of missions per
+//! experiment. The types here describe everything that can go wrong with
+//! a mission as a unit of work — it panics, it overruns its deadline or
+//! step budget, its model artifact is corrupt — and how the batch layer
+//! responds: bounded, seeded retries followed by quarantine, never an
+//! aborted batch. See `par.rs` for the batch functions that consume these
+//! types and ARCHITECTURE.md ("Failure semantics of the batch pipeline")
+//! for the full state machine.
+
+use crate::metrics::MissionResult;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// Why a mission failed as a unit of work.
+///
+/// This is the taxonomy of the resilient batch layer, distinct from
+/// [`MissionOutcome`](crate::MissionOutcome): an outcome describes what
+/// happened to the *vehicle* (crashed, stalled, missed), a `MissionError`
+/// describes what happened to the *worker flying it*. A mission with any
+/// vehicle outcome still completes; a mission with a `MissionError`
+/// produced no trustworthy result at all.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MissionError {
+    /// The mission's worker panicked; the panic was caught at the
+    /// isolation boundary and the payload recorded.
+    Panicked {
+        /// The panic payload, when it was a string (the common case);
+        /// `"<non-string panic payload>"` otherwise.
+        message: String,
+    },
+    /// The mission exceeded its wall-clock-free deadline: simulated time
+    /// passed `deadline` before the mission finished.
+    DeadlineExceeded {
+        /// The configured deadline (simulated seconds).
+        deadline: f64,
+        /// Simulated time when the watchdog fired.
+        reached: f64,
+    },
+    /// The mission spent more budget units than its step budget allows
+    /// (each control step costs 1 unit, or more under a
+    /// `WorkerStall` fault).
+    StepBudgetExhausted {
+        /// The configured budget (in budget units).
+        budget: u64,
+        /// Units spent when the watchdog fired.
+        spent: u64,
+    },
+    /// A model artifact the mission depends on failed integrity or format
+    /// checks at load time (see `pidpiper_core::artifact`).
+    ArtifactCorrupt {
+        /// Human-readable description of the corruption.
+        detail: String,
+    },
+}
+
+impl fmt::Display for MissionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MissionError::Panicked { message } => write!(f, "mission panicked: {message}"),
+            MissionError::DeadlineExceeded { deadline, reached } => write!(
+                f,
+                "mission deadline exceeded: {reached:.2}s simulated > {deadline:.2}s allowed"
+            ),
+            MissionError::StepBudgetExhausted { budget, spent } => {
+                write!(f, "mission step budget exhausted: {spent} units > {budget} allowed")
+            }
+            MissionError::ArtifactCorrupt { detail } => {
+                write!(f, "model artifact corrupt: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MissionError {}
+
+/// Per-mission watchdog limits for `MissionRunner::run_bounded`.
+///
+/// Both limits are expressed in *simulated* quantities — simulated seconds
+/// and budget units — never wall-clock time, so a bounded run is exactly
+/// as deterministic as an unbounded one and the serial/parallel
+/// bit-identity contract is unaffected. The checks consume no RNG draws:
+/// a mission that finishes within its budget is bit-identical to the same
+/// mission run without one.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MissionBudget {
+    /// Simulated-time deadline (seconds); `None` = unlimited. Tighter
+    /// than `RunnerConfig::max_duration` to be meaningful (the runner
+    /// already stops there).
+    pub deadline: Option<f64>,
+    /// Step budget in budget units; `None` = unlimited. A healthy control
+    /// step costs 1 unit; a `WorkerStall` fault inflates the cost.
+    pub step_budget: Option<u64>,
+}
+
+impl MissionBudget {
+    /// No limits: `run_bounded` behaves exactly like `run`.
+    pub fn unlimited() -> Self {
+        MissionBudget::default()
+    }
+
+    /// Sets the simulated-time deadline (builder style).
+    pub fn with_deadline(mut self, seconds: f64) -> Self {
+        self.deadline = Some(seconds);
+        self
+    }
+
+    /// Sets the step budget in budget units (builder style).
+    pub fn with_step_budget(mut self, units: u64) -> Self {
+        self.step_budget = Some(units);
+        self
+    }
+}
+
+/// Bounded deterministic retry: how many times a failed mission is
+/// re-attempted and the seeded backoff schedule recorded for each attempt.
+///
+/// Backoff here is a *recorded delay hint*, not a sleep: missions are
+/// deterministic simulations, so re-running one immediately is exactly as
+/// good as waiting — but a production scheduler draining this batch
+/// against flaky shared infrastructure would honor the hints. Keeping
+/// them seeded (and recorded in [`BatchOutcome::retry_trace`]) makes the
+/// whole retry behavior reproducible: same seed, same schedule, same
+/// trace — the property the acceptance tests pin down.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Re-attempts after the first failure (0 = quarantine immediately).
+    pub max_retries: usize,
+    /// Seed for the backoff jitter stream. Each mission derives its own
+    /// stream from `(backoff_seed, mission_index)`, so the schedule is
+    /// independent of worker count and completion order.
+    pub backoff_seed: u64,
+    /// Base backoff in scheduler steps; attempt `k` is hinted at
+    /// `base << k` plus seeded jitter in `[0, base)`.
+    pub base_backoff_steps: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 1,
+            backoff_seed: 0xB0FF,
+            base_backoff_steps: 64,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries: the first failure quarantines the mission.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The full backoff-hint schedule for `mission` — one entry per
+    /// possible retry, precomputed so it cannot depend on which attempts
+    /// actually fail. Pure function of `(self, mission)`.
+    pub fn backoff_schedule(&self, mission: usize) -> Vec<u64> {
+        // Golden-ratio mixing decorrelates adjacent mission indices the
+        // same way the sensor/fault seed derivations elsewhere do.
+        let stream = self
+            .backoff_seed
+            .wrapping_add((mission as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng = StdRng::seed_from_u64(stream);
+        let base = self.base_backoff_steps.max(1);
+        (0..self.max_retries)
+            .map(|attempt| {
+                let scaled = base.saturating_mul(1u64 << attempt.min(20));
+                scaled.saturating_add(rng.gen_range(0..base))
+            })
+            .collect()
+    }
+}
+
+/// Everything the resilient batch path needs to know: the per-mission
+/// watchdog budget and the retry policy.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ResiliencePolicy {
+    /// Watchdog limits applied to every mission of the batch.
+    pub budget: MissionBudget,
+    /// Retry behavior for failed missions.
+    pub retry: RetryPolicy,
+}
+
+/// One retry event of a batch: mission `mission`'s attempt `attempt`
+/// failed with `error` and was rescheduled with `backoff_steps` delay
+/// hint. The concatenation of these, in (mission, attempt) order, is the
+/// batch's *retry trace* — a pure function of the specs and the policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryRecord {
+    /// Spec index of the mission.
+    pub mission: usize,
+    /// Zero-based attempt number that failed.
+    pub attempt: usize,
+    /// Seeded backoff hint (scheduler steps) before the next attempt.
+    pub backoff_steps: u64,
+    /// Why the attempt failed.
+    pub error: MissionError,
+}
+
+/// A mission the batch gave up on: every attempt failed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuarantinedMission {
+    /// Spec index of the mission.
+    pub index: usize,
+    /// The error of the final attempt.
+    pub error: MissionError,
+    /// Total attempts made (1 + retries).
+    pub attempts: usize,
+}
+
+/// The partial-result return of the resilient batch path: completed
+/// missions (in spec order, with their spec indices) plus the quarantine
+/// list — never an aborted batch.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct BatchOutcome {
+    /// Successful missions as `(spec_index, result)`, in spec order.
+    /// Completed missions are bit-identical to a serial run of the same
+    /// specs (the isolation layer adds no entropy).
+    pub completed: Vec<(usize, MissionResult)>,
+    /// Missions whose every attempt failed, in spec order.
+    pub quarantined: Vec<QuarantinedMission>,
+    /// Every retry event of the batch, in (mission, attempt) order.
+    pub retry_trace: Vec<RetryRecord>,
+}
+
+impl BatchOutcome {
+    /// The completed result for spec `index`, if it was not quarantined.
+    pub fn result_for(&self, index: usize) -> Option<&MissionResult> {
+        self.completed
+            .iter()
+            .find(|(i, _)| *i == index)
+            .map(|(_, r)| r)
+    }
+
+    /// Whether every mission completed (the quarantine list is empty).
+    pub fn is_clean(&self) -> bool {
+        self.quarantined.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_schedule_is_a_pure_function_of_seed_and_mission() {
+        let policy = RetryPolicy {
+            max_retries: 4,
+            backoff_seed: 77,
+            base_backoff_steps: 16,
+        };
+        assert_eq!(policy.backoff_schedule(3), policy.backoff_schedule(3));
+        assert_ne!(
+            policy.backoff_schedule(3),
+            policy.backoff_schedule(4),
+            "adjacent missions must not share a backoff stream"
+        );
+        let other = RetryPolicy {
+            backoff_seed: 78,
+            ..policy
+        };
+        assert_ne!(policy.backoff_schedule(3), other.backoff_schedule(3));
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_with_bounded_jitter() {
+        let policy = RetryPolicy {
+            max_retries: 5,
+            backoff_seed: 1,
+            base_backoff_steps: 100,
+        };
+        let schedule = policy.backoff_schedule(0);
+        for (attempt, &hint) in schedule.iter().enumerate() {
+            let floor = 100u64 << attempt;
+            assert!(
+                (floor..floor + 100).contains(&hint),
+                "attempt {attempt}: hint {hint} outside [{floor}, {})",
+                floor + 100
+            );
+        }
+    }
+
+    #[test]
+    fn zero_retries_yields_empty_schedule() {
+        assert!(RetryPolicy::none().backoff_schedule(9).is_empty());
+    }
+
+    #[test]
+    fn unlimited_budget_is_default() {
+        assert_eq!(MissionBudget::unlimited(), MissionBudget::default());
+        assert_eq!(MissionBudget::unlimited().deadline, None);
+        assert_eq!(MissionBudget::unlimited().step_budget, None);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let cases = [
+            (
+                MissionError::Panicked {
+                    message: "boom".into(),
+                },
+                "panicked",
+            ),
+            (
+                MissionError::DeadlineExceeded {
+                    deadline: 10.0,
+                    reached: 10.01,
+                },
+                "deadline",
+            ),
+            (
+                MissionError::StepBudgetExhausted {
+                    budget: 100,
+                    spent: 140,
+                },
+                "budget",
+            ),
+            (
+                MissionError::ArtifactCorrupt {
+                    detail: "checksum".into(),
+                },
+                "corrupt",
+            ),
+        ];
+        for (err, needle) in cases {
+            assert!(
+                err.to_string().contains(needle),
+                "{err} should mention {needle}"
+            );
+        }
+    }
+}

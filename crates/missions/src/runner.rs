@@ -13,6 +13,7 @@ use crate::defense::{Defense, DefenseContext, HealthState, NoDefense};
 use crate::metrics::{deviation_from, MissionOutcome, MissionResult};
 use crate::phase::{FlightPhase, PhaseLogic};
 use crate::plans::MissionPlan;
+use crate::resilient::{MissionBudget, MissionError};
 use crate::trace::{Trace, TraceRecord};
 use pidpiper_attacks::{Attack, AttackKind, Schedule, StealthyAttack};
 use pidpiper_control::{
@@ -20,7 +21,7 @@ use pidpiper_control::{
 };
 use pidpiper_faults::{Fault, FaultInjector};
 use pidpiper_math::Vec3;
-use pidpiper_sensors::{Estimator, NoiseConfig, ReadingsGuard, SensorSuite};
+use pidpiper_sensors::{Estimator, GuardVerdict, NoiseConfig, ReadingsGuard, SensorSuite};
 use pidpiper_sim::rover::{Rover, RoverCommand};
 use pidpiper_sim::{
     ContactStatus, ProfileParams, Quadcopter, RvId, VehicleProfile, Wind, WindConfig,
@@ -63,6 +64,13 @@ pub struct RunnerConfig {
     /// jitter). Kept separate from `sensor_seed` so fault randomness can
     /// be varied without disturbing the sensor-noise stream.
     pub fault_seed: u64,
+    /// Longest stale run (control steps) the readings guard bridges with
+    /// held data before degrading to the estimator fallback; `None`
+    /// (default) holds forever, the historical behavior. With a limit
+    /// set, exhausted steps feed the raw (possibly non-finite) sample to
+    /// the estimator — whose own non-finite defense holds the state — so
+    /// the trace can contain non-finite `readings` on those steps.
+    pub sensor_hold_limit: Option<usize>,
 }
 
 impl RunnerConfig {
@@ -78,6 +86,7 @@ impl RunnerConfig {
             stall_horizon: 25.0,
             faults: Vec::new(),
             fault_seed: 1,
+            sensor_hold_limit: None,
         }
     }
 
@@ -102,6 +111,12 @@ impl RunnerConfig {
     /// Sets the fault-injector seed (builder style).
     pub fn with_fault_seed(mut self, seed: u64) -> Self {
         self.fault_seed = seed;
+        self
+    }
+
+    /// Sets the readings guard's hold window (builder style).
+    pub fn with_sensor_hold_limit(mut self, steps: usize) -> Self {
+        self.sensor_hold_limit = Some(steps);
         self
     }
 }
@@ -201,7 +216,52 @@ impl MissionRunner {
         &self,
         plan: &MissionPlan,
         defense: &mut dyn Defense,
+        attacks: Vec<MissionAttack>,
+    ) -> MissionResult {
+        let mut violation = None;
+        self.run_inner(plan, defense, attacks, &MissionBudget::unlimited(), &mut violation)
+    }
+
+    /// Runs one mission under a watchdog [`MissionBudget`].
+    ///
+    /// Identical to [`MissionRunner::run`] — bit-for-bit, including the
+    /// RNG streams — for any mission that finishes within its budget: the
+    /// watchdog checks consume no entropy. A mission that overruns its
+    /// simulated-time deadline or step budget is cut off at the violating
+    /// step and reported as `Err(MissionError::DeadlineExceeded)` or
+    /// `Err(MissionError::StepBudgetExhausted)`; its partial result is
+    /// discarded (a truncated trace is not a trustworthy measurement).
+    ///
+    /// Panic isolation and retry live a layer up, in the resilient batch
+    /// path (`MissionRunner::try_par_run_missions`).
+    pub fn run_bounded(
+        &self,
+        plan: &MissionPlan,
+        defense: &mut dyn Defense,
+        attacks: Vec<MissionAttack>,
+        budget: &MissionBudget,
+    ) -> Result<MissionResult, MissionError> {
+        let mut violation = None;
+        let result = self.run_inner(plan, defense, attacks, budget, &mut violation);
+        match violation {
+            Some(err) => Err(err),
+            None => Ok(result),
+        }
+    }
+
+    /// The closed-loop body shared by [`MissionRunner::run`] and
+    /// [`MissionRunner::run_bounded`]: flies the mission, checking the
+    /// watchdog budget at the top of every control step. A budget
+    /// violation breaks the loop and is reported through `violation`; the
+    /// returned (truncated) result is only meaningful when `violation`
+    /// stays `None`.
+    fn run_inner(
+        &self,
+        plan: &MissionPlan,
+        defense: &mut dyn Defense,
         mut attacks: Vec<MissionAttack>,
+        budget: &MissionBudget,
+        violation: &mut Option<MissionError>,
     ) -> MissionResult {
         defense.reset();
         let cfg = &self.config;
@@ -216,7 +276,10 @@ impl MissionRunner {
         let destination = plan.destination();
 
         let mut injector = FaultInjector::new(cfg.faults.clone(), cfg.fault_seed);
-        let mut guard = ReadingsGuard::new();
+        let mut guard = match cfg.sensor_hold_limit {
+            Some(limit) => ReadingsGuard::with_max_hold(limit),
+            None => ReadingsGuard::new(),
+        };
         // Held actuator commands for timing faults (skip/jitter): the real
         // autopilot's output latch keeps driving the motors when a control
         // iteration is missed. Telemetry mirrors of the last computed step
@@ -240,8 +303,35 @@ impl MissionRunner {
         let start_xy = Vec3::ZERO;
 
         let steps = (cfg.max_duration / dt).ceil() as usize;
+        let mut budget_spent: u64 = 0;
         for _step in 0..steps {
             t += dt;
+
+            // --- Watchdog. All checks are over simulated quantities and
+            // consume no RNG draws, so a mission that stays within budget
+            // is bit-identical to an unbounded run. `check_worker` panics
+            // on an active WorkerPanic fault — that panic is the fault,
+            // caught at the batch layer's isolation boundary.
+            injector.check_worker(t);
+            budget_spent = budget_spent.saturating_add(injector.step_cost(t));
+            if let Some(limit) = budget.step_budget {
+                if budget_spent > limit {
+                    *violation = Some(MissionError::StepBudgetExhausted {
+                        budget: limit,
+                        spent: budget_spent,
+                    });
+                    break;
+                }
+            }
+            if let Some(deadline) = budget.deadline {
+                if t > deadline {
+                    *violation = Some(MissionError::DeadlineExceeded {
+                        deadline,
+                        reached: t,
+                    });
+                    break;
+                }
+            }
 
             // --- Autonomy: phase machine on the estimated position. While
             // a defense is in recovery (or holding the Degraded fail-safe),
@@ -303,8 +393,14 @@ impl MissionRunner {
             // --- Boundary validation: hold-last-good any non-finite
             // channel before the estimator or any defense sees it. On a
             // fully finite sample this is the identity, so clean missions
-            // are bit-for-bit unchanged.
-            let readings = guard.accept(&readings);
+            // are bit-for-bit unchanged. With a hold limit configured, an
+            // exhausted window passes the raw sample through and the
+            // estimator's own non-finite defense coasts on its prediction
+            // instead of flying stale replays.
+            let readings = match guard.accept_checked(&readings) {
+                GuardVerdict::Pass(checked) => checked,
+                GuardVerdict::HoldExhausted => readings,
+            };
 
             // --- Estimation. While a defense is overriding (recovery or
             // the Degraded fail-safe) it may supply a sanitized estimate
@@ -788,6 +884,131 @@ mod tests {
         assert_eq!(r1.fault_steps, r2.fault_steps);
         assert_eq!(r1.stale_sensor_steps, r2.stale_sensor_steps);
         assert_eq!(r1.final_deviation, r2.final_deviation);
+    }
+
+    #[test]
+    fn run_bounded_with_unlimited_budget_is_bit_identical_to_run() {
+        let plan = MissionPlan::straight_line(25.0, 5.0);
+        let runner = MissionRunner::new(quick_config(RvId::ArduCopter, 21));
+        let plain = runner.run_clean(&plan);
+        let bounded = runner
+            .run_bounded(
+                &plan,
+                &mut NoDefense::new(),
+                Vec::new(),
+                &crate::resilient::MissionBudget::unlimited(),
+            )
+            .expect("unlimited budget never violates");
+        assert_eq!(plain.trace.records(), bounded.trace.records());
+        assert_eq!(plain.final_deviation, bounded.final_deviation);
+    }
+
+    #[test]
+    fn generous_budget_leaves_the_mission_untouched() {
+        let plan = MissionPlan::straight_line(25.0, 5.0);
+        let runner = MissionRunner::new(quick_config(RvId::ArduCopter, 22));
+        let plain = runner.run_clean(&plan);
+        let budget = crate::resilient::MissionBudget::unlimited()
+            .with_deadline(250.0)
+            .with_step_budget(1_000_000);
+        let bounded = runner
+            .run_bounded(&plan, &mut NoDefense::new(), Vec::new(), &budget)
+            .expect("generous budget never violates");
+        assert_eq!(plain.trace.records(), bounded.trace.records());
+    }
+
+    #[test]
+    fn tight_deadline_reports_deadline_exceeded() {
+        let plan = MissionPlan::straight_line(40.0, 5.0);
+        let runner = MissionRunner::new(quick_config(RvId::ArduCopter, 23));
+        let budget = crate::resilient::MissionBudget::unlimited().with_deadline(2.0);
+        let err = runner
+            .run_bounded(&plan, &mut NoDefense::new(), Vec::new(), &budget)
+            .expect_err("a 2 s deadline cannot fit a 40 m mission");
+        match err {
+            crate::resilient::MissionError::DeadlineExceeded { deadline, reached } => {
+                assert_eq!(deadline, 2.0);
+                assert!(reached > 2.0 && reached < 2.1, "cut off promptly, got {reached}");
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn worker_stall_fault_exhausts_the_step_budget() {
+        // 100 healthy steps/s; the stall makes each step cost 50 units
+        // from t=2 s, so a 1000-unit budget dies around t=2.16 s.
+        let config = quick_config(RvId::ArduCopter, 24).with_faults(vec![Fault::new(
+            FaultKind::WorkerStall { slowdown: 50 },
+            FaultSchedule::Continuous { start: 2.0 },
+        )]);
+        let runner = MissionRunner::new(config);
+        let plan = MissionPlan::straight_line(40.0, 5.0);
+        let budget = crate::resilient::MissionBudget::unlimited().with_step_budget(1000);
+        let err = runner
+            .run_bounded(&plan, &mut NoDefense::new(), Vec::new(), &budget)
+            .expect_err("a 50x stall must exhaust the budget");
+        match err {
+            crate::resilient::MissionError::StepBudgetExhausted { budget, spent } => {
+                assert_eq!(budget, 1000);
+                assert!(spent > 1000 && spent <= 1050, "spent {spent}");
+            }
+            other => panic!("expected StepBudgetExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn worker_stall_without_budget_changes_nothing() {
+        // The stall only inflates budget accounting; an unbounded run of
+        // the same mission is bit-identical with and without the fault.
+        let plan = MissionPlan::straight_line(25.0, 5.0);
+        let base = MissionRunner::new(quick_config(RvId::ArduCopter, 25)).run_clean(&plan);
+        let stalled_cfg = quick_config(RvId::ArduCopter, 25).with_faults(vec![Fault::new(
+            FaultKind::WorkerStall { slowdown: 1000 },
+            FaultSchedule::Continuous { start: 0.0 },
+        )]);
+        let stalled = MissionRunner::new(stalled_cfg).run_clean(&plan);
+        assert_eq!(base.trace.records(), stalled.trace.records());
+        assert_eq!(base.final_deviation, stalled.final_deviation);
+    }
+
+    #[test]
+    fn budget_violations_are_deterministic() {
+        let mk = || {
+            let config = quick_config(RvId::ArduCopter, 26).with_faults(vec![Fault::new(
+                FaultKind::WorkerStall { slowdown: 7 },
+                FaultSchedule::Windows(vec![(1.0, 20.0)]),
+            )]);
+            let budget = crate::resilient::MissionBudget::unlimited().with_step_budget(800);
+            MissionRunner::new(config).run_bounded(
+                &MissionPlan::straight_line(40.0, 5.0),
+                &mut NoDefense::new(),
+                Vec::new(),
+                &budget,
+            )
+        };
+        assert_eq!(mk(), mk(), "same config, same typed violation");
+    }
+
+    #[test]
+    fn sensor_hold_limit_survives_a_long_nan_burst() {
+        // A burst far outlasting the hold window: the guard degrades to
+        // the estimator fallback (coasting) instead of replaying stale
+        // readings, and the estimate never poisons.
+        let config = quick_config(RvId::ArduCopter, 27)
+            .with_faults(vec![Fault::new(
+                FaultKind::NanBurst,
+                FaultSchedule::Windows(vec![(8.0, 11.0)]),
+            )])
+            .with_sensor_hold_limit(20);
+        let runner = MissionRunner::new(config);
+        let plan = MissionPlan::straight_line(40.0, 5.0);
+        let result = runner.run_clean(&plan);
+        assert!(result.fault_steps > 0, "burst never fired");
+        assert!(result.stale_sensor_steps > 20, "window never exhausted");
+        for r in result.trace.records() {
+            assert!(r.est.position.is_finite(), "estimate poisoned at t={}", r.t);
+        }
     }
 
     #[test]

@@ -47,7 +47,7 @@ pub struct TraceRecord {
 }
 
 /// A complete mission trace.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Trace {
     records: Vec<TraceRecord>,
 }

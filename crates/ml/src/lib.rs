@@ -36,6 +36,7 @@
 pub mod adam;
 pub mod dataset;
 pub mod dense;
+pub mod digest;
 pub mod lstm;
 pub mod network;
 pub mod normalize;
@@ -45,6 +46,7 @@ pub mod selection;
 pub use adam::Adam;
 pub use dataset::WindowedDataset;
 pub use dense::{Activation, Dense};
+pub use digest::{fnv64, fnv64_hex};
 pub use lstm::LstmLayer;
 pub use network::{LstmRegressor, RegressorConfig, TrainReport};
 pub use normalize::Normalizer;

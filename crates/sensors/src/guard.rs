@@ -31,25 +31,90 @@ pub struct ReadingsGuard {
     consecutive_stale: usize,
     max_consecutive_stale: usize,
     total_stale: usize,
+    /// Longest stale run (steps) the guard will bridge with held data;
+    /// `None` = hold forever (the historical behavior).
+    max_hold: Option<usize>,
+}
+
+/// The guard's verdict on one sample (see
+/// [`ReadingsGuard::accept_checked`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GuardVerdict {
+    /// The sample is usable: fully finite, or repaired by substituting
+    /// held values into its non-finite channels.
+    Pass(SensorReadings),
+    /// The stale run has outlasted the hold window: the held data is too
+    /// old to keep replaying. The caller should drop the sample and let
+    /// the estimator coast on its own prediction (its non-finite input
+    /// defense holds the state unchanged), rather than feed it stale
+    /// readings forever.
+    HoldExhausted,
 }
 
 impl ReadingsGuard {
-    /// Creates a guard with a default (all-zero) hold state.
+    /// Creates a guard with a default (all-zero) hold state and an
+    /// unlimited hold window.
     pub fn new() -> Self {
         ReadingsGuard::default()
+    }
+
+    /// Creates a guard whose hold window is `max_hold_steps`: once a
+    /// stale run exceeds that many consecutive steps,
+    /// [`ReadingsGuard::accept_checked`] reports
+    /// [`GuardVerdict::HoldExhausted`] instead of replaying stale data.
+    pub fn with_max_hold(max_hold_steps: usize) -> Self {
+        ReadingsGuard {
+            max_hold: Some(max_hold_steps),
+            ..ReadingsGuard::default()
+        }
     }
 
     /// Validates one sample. Finite channels pass through and refresh the
     /// hold state; non-finite channels are replaced by the last good value
     /// of that channel (all-zero before any good sample arrives). A step
     /// with *any* held channel counts as stale.
+    ///
+    /// This is [`ReadingsGuard::accept_checked`] with the hold-window
+    /// exhaustion folded away: an exhausted window keeps substituting
+    /// anyway, preserving the historical unlimited behavior for guards
+    /// built with [`ReadingsGuard::new`].
     pub fn accept(&mut self, r: &SensorReadings) -> SensorReadings {
+        match self.accept_checked(r) {
+            GuardVerdict::Pass(out) => out,
+            GuardVerdict::HoldExhausted => self.merge_held(r),
+        }
+    }
+
+    /// Validates one sample, reporting hold-window exhaustion instead of
+    /// silently replaying stale data forever.
+    ///
+    /// Staleness counters advance on every stale step either way, so the
+    /// supervisor's accounting is identical whether the caller uses this
+    /// or [`ReadingsGuard::accept`].
+    pub fn accept_checked(&mut self, r: &SensorReadings) -> GuardVerdict {
         if r.is_finite() {
             // Fast path: the whole sample is good.
             self.last_good = *r;
             self.consecutive_stale = 0;
-            return *r;
+            return GuardVerdict::Pass(*r);
         }
+        self.total_stale += 1;
+        self.consecutive_stale += 1;
+        self.max_consecutive_stale = self.max_consecutive_stale.max(self.consecutive_stale);
+        if let Some(limit) = self.max_hold {
+            if self.consecutive_stale > limit {
+                // Window exhausted: the stale step is still counted, but
+                // the guard refuses to manufacture another sample from
+                // old data.
+                return GuardVerdict::HoldExhausted;
+            }
+        }
+        GuardVerdict::Pass(self.merge_held(r))
+    }
+
+    /// Per-channel hold-last-good substitution (no staleness accounting —
+    /// the callers have already counted the step).
+    fn merge_held(&mut self, r: &SensorReadings) -> SensorReadings {
         let mut out = *r;
         // Per-channel merge: a GPS dropout must not freeze a healthy IMU.
         if !out.gps_position.is_finite() {
@@ -74,9 +139,6 @@ impl ReadingsGuard {
         // state from the merged sample so a long dropout holds the newest
         // good data, not the pre-fault snapshot.
         self.last_good = out;
-        self.total_stale += 1;
-        self.consecutive_stale += 1;
-        self.max_consecutive_stale = self.max_consecutive_stale.max(self.consecutive_stale);
         out
     }
 
@@ -95,9 +157,13 @@ impl ReadingsGuard {
         self.total_stale
     }
 
-    /// Clears hold state and counters (between missions).
+    /// Clears hold state and counters (between missions), keeping the
+    /// configured hold window.
     pub fn reset(&mut self) {
-        *self = ReadingsGuard::default();
+        *self = ReadingsGuard {
+            max_hold: self.max_hold,
+            ..ReadingsGuard::default()
+        };
     }
 }
 
@@ -186,6 +252,128 @@ mod tests {
         let out = g.accept(&r);
         assert_eq!(out.gps_position, Vec3::ZERO);
         assert!(out.is_finite());
+    }
+
+    #[test]
+    fn bounded_guard_exhausts_after_the_window() {
+        let mut g = ReadingsGuard::with_max_hold(3);
+        g.accept_checked(&good());
+        let mut bad = good();
+        bad.gps_position = Vec3::splat(f64::NAN);
+        // The window bridges exactly 3 consecutive stale steps...
+        for step in 0..3 {
+            match g.accept_checked(&bad) {
+                GuardVerdict::Pass(out) => {
+                    assert_eq!(out.gps_position, good().gps_position, "held at step {step}");
+                }
+                GuardVerdict::HoldExhausted => panic!("exhausted early at step {step}"),
+            }
+        }
+        // ...then refuses to keep replaying stale data.
+        assert_eq!(g.accept_checked(&bad), GuardVerdict::HoldExhausted);
+        assert_eq!(g.accept_checked(&bad), GuardVerdict::HoldExhausted);
+        // Staleness is still counted on exhausted steps.
+        assert_eq!(g.total_stale_steps(), 5);
+        assert_eq!(g.consecutive_stale_steps(), 5);
+    }
+
+    #[test]
+    fn bounded_guard_recovers_when_good_data_returns() {
+        let mut g = ReadingsGuard::with_max_hold(1);
+        g.accept_checked(&good());
+        let mut bad = good();
+        bad.baro_altitude = f64::NAN;
+        assert!(matches!(g.accept_checked(&bad), GuardVerdict::Pass(_)));
+        assert_eq!(g.accept_checked(&bad), GuardVerdict::HoldExhausted);
+        // A good sample ends the run; the window re-arms in full.
+        let mut fresh = good();
+        fresh.baro_altitude = 7.5;
+        assert_eq!(g.accept_checked(&fresh), GuardVerdict::Pass(fresh));
+        assert!(matches!(g.accept_checked(&bad), GuardVerdict::Pass(_)));
+    }
+
+    #[test]
+    fn unlimited_guard_never_exhausts() {
+        let mut g = ReadingsGuard::new();
+        g.accept_checked(&good());
+        let mut bad = good();
+        bad.gyro = Vec3::splat(f64::NAN);
+        for _ in 0..1000 {
+            assert!(matches!(g.accept_checked(&bad), GuardVerdict::Pass(_)));
+        }
+    }
+
+    #[test]
+    fn accept_on_a_bounded_guard_still_substitutes_after_exhaustion() {
+        // `accept` folds exhaustion away (historical behavior) but the
+        // counters must not double-count the exhausted steps.
+        let mut g = ReadingsGuard::with_max_hold(2);
+        g.accept(&good());
+        let mut bad = good();
+        bad.mag_heading = f64::NAN;
+        for _ in 0..4 {
+            assert!(g.accept(&bad).mag_heading.is_finite());
+        }
+        assert_eq!(g.total_stale_steps(), 4);
+    }
+
+    #[test]
+    fn exhausted_burst_degrades_to_estimator_fallback_not_stale_replay() {
+        // The satellite scenario: a NaN burst outlasting the hold window.
+        // Once the window is exhausted the guard stops manufacturing
+        // samples; the estimator's own non-finite defense then holds the
+        // state unchanged — coasting on its prediction instead of being
+        // fed the same stale fix forever.
+        use crate::Estimator;
+        let mut guard = ReadingsGuard::with_max_hold(5);
+        let mut est = Estimator::new();
+        let dt = 0.01;
+        // Settle on good data.
+        let mut last_state = est.update(&good(), dt);
+        guard.accept_checked(&good());
+        // An all-NaN burst far longer than the window.
+        let burst = SensorReadings {
+            gps_position: Vec3::splat(f64::NAN),
+            gps_velocity: Vec3::splat(f64::NAN),
+            baro_altitude: f64::NAN,
+            gyro: Vec3::splat(f64::NAN),
+            accel: Vec3::splat(f64::NAN),
+            mag_heading: f64::NAN,
+        };
+        let mut exhausted_steps = 0;
+        for _ in 0..50 {
+            match guard.accept_checked(&burst) {
+                GuardVerdict::Pass(held) => {
+                    last_state = est.update(&held, dt);
+                }
+                GuardVerdict::HoldExhausted => {
+                    exhausted_steps += 1;
+                    // Estimator fallback: the raw (non-finite) sample goes
+                    // to the estimator, whose non-finite defense holds the
+                    // state bit-for-bit instead of replaying stale data.
+                    let coasted = est.update(&burst, dt);
+                    assert!(coasted.position.is_finite());
+                    assert_eq!(coasted.position, last_state.position, "estimate held, not driven");
+                    assert_eq!(coasted.velocity, last_state.velocity);
+                }
+            }
+        }
+        assert_eq!(exhausted_steps, 45, "window of 5 bridges 5 of 50 steps");
+    }
+
+    #[test]
+    fn reset_preserves_the_configured_window() {
+        let mut g = ReadingsGuard::with_max_hold(1);
+        g.accept(&good());
+        let mut bad = good();
+        bad.baro_altitude = f64::NAN;
+        g.accept(&bad);
+        g.accept(&bad);
+        g.reset();
+        assert_eq!(g.total_stale_steps(), 0);
+        // The window is still 1 after the reset.
+        assert!(matches!(g.accept_checked(&bad), GuardVerdict::Pass(_)));
+        assert_eq!(g.accept_checked(&bad), GuardVerdict::HoldExhausted);
     }
 
     #[test]

@@ -41,6 +41,6 @@ pub mod readings;
 pub mod suite;
 
 pub use estimator::{EstimatedState, Estimator};
-pub use guard::ReadingsGuard;
+pub use guard::{GuardVerdict, ReadingsGuard};
 pub use readings::SensorReadings;
 pub use suite::{NoiseConfig, SensorSuite};

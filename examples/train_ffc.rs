@@ -79,17 +79,28 @@ fn main() {
     println!("   calibrated thresholds: {:?}", trained.thresholds);
     println!("   per-axis drifts: {:?}", trained.pidpiper.config().drifts);
 
-    // --- 4. Save the deployment and reload it.
+    // --- 4. Save the deployment (atomic + checksummed, see
+    // `pid_piper::core::artifact`) and reload it with integrity checks.
     let path = std::env::temp_dir().join("pidpiper_example.model");
-    std::fs::write(&path, trained.pidpiper.to_text()).expect("write model");
-    let reloaded = PidPiper::from_text(&std::fs::read_to_string(&path).expect("read model"))
-        .expect("reload model");
-    println!(
-        "4. deployment saved to {} ({} bytes) and reloaded (thresholds match: {})",
-        path.display(),
-        std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0),
-        reloaded.config().thresholds == trained.thresholds,
-    );
+    let reloaded = match pid_piper::core::artifact::save_deployment(&path, &trained.pidpiper)
+        .and_then(|()| pid_piper::core::artifact::load_deployment(&path))
+    {
+        Ok((pp, integrity)) => {
+            println!(
+                "4. deployment saved to {} ({} bytes) and reloaded {integrity:?} (thresholds match: {})",
+                path.display(),
+                std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0),
+                pp.config().thresholds == trained.thresholds,
+            );
+            pp
+        }
+        Err(err) => {
+            // Refuse-and-retrain contract: with the fresh model still in
+            // hand, a failed round trip only costs us the demonstration.
+            println!("4. artifact round trip failed ({err}); continuing with the in-memory model");
+            trained.pidpiper
+        }
+    };
 
     // --- 5. Smoke-test the reloaded defense on a fresh mission.
     let mut defense = reloaded;

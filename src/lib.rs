@@ -19,7 +19,9 @@
 //!   NaN bursts, actuator derating, control-task overruns);
 //! - [`ml`] — a from-scratch LSTM with BPTT training (the paper's
 //!   2×LSTM → sigmoid → 2×PReLU architecture);
-//! - [`missions`] — mission plans, the closed-loop runner and metrics;
+//! - [`missions`] — mission plans, the closed-loop runner, metrics, and
+//!   the resilient batch layer (panic isolation, watchdog budgets,
+//!   deterministic retry and quarantine);
 //! - [`core`] — PID-Piper itself: sensor sanitizer, FFC/FBC models,
 //!   lag-tolerant CUSUM monitor, recovery module and training pipeline;
 //! - [`baselines`] — the SRR, CI and Savior comparison techniques.
@@ -82,14 +84,18 @@ pub mod prelude {
     pub use pidpiper_baselines::{CiDefense, SaviorDefense, SrrDefense};
     pub use pidpiper_control::{ActuatorSignal, TargetState};
     pub use pidpiper_core::{
-        FfcModel, PidPiper, PidPiperConfig, SensorSanitizer, Trainer, TrainerConfig,
+        load_deployment, save_deployment, ArtifactError, ArtifactIntegrity, FfcModel, PidPiper,
+        PidPiperConfig, SensorSanitizer, Trainer, TrainerConfig,
     };
     pub use pidpiper_faults::{Fault, FaultInjector, FaultKind, FaultSchedule, SensorChannel};
     pub use pidpiper_math::Vec3;
     pub use pidpiper_missions::{
-        configured_jobs, Defense, HealthState, MissionAttack, MissionOutcome, MissionPlan,
-        MissionResult, MissionRunner, MissionSpec, NoDefense, RunnerConfig,
+        configured_jobs, BatchOutcome, Defense, HealthState, MissionAttack, MissionBudget,
+        MissionError, MissionOutcome, MissionPlan, MissionResult, MissionRunner, MissionSpec,
+        NoDefense, QuarantinedMission, ResiliencePolicy, RetryPolicy, RetryRecord, RunnerConfig,
     };
-    pub use pidpiper_sensors::{EstimatedState, Estimator, ReadingsGuard, SensorReadings};
+    pub use pidpiper_sensors::{
+        EstimatedState, Estimator, GuardVerdict, ReadingsGuard, SensorReadings,
+    };
     pub use pidpiper_sim::{Quadcopter, Rover, RvId, VehicleProfile, Wind, WindConfig};
 }

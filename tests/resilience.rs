@@ -1,0 +1,219 @@
+//! Acceptance tests for the resilient batch layer and crash-safe model
+//! artifacts (ISSUE 4):
+//!
+//! - a mission that panics mid-batch is quarantined as
+//!   [`MissionError::Panicked`] while every *other* mission's result stays
+//!   bit-identical to a serial run of the batch without the sick mission;
+//! - a single flipped artifact byte surfaces as a typed error and the
+//!   caller falls back to retraining — a corrupt model is never silently
+//!   loaded;
+//! - the retry trace is a pure function of `(specs, policy)`: fixed seeds
+//!   reproduce it exactly at any worker count.
+
+use pid_piper::prelude::*;
+
+/// Deterministic batch of short clean quadcopter missions.
+fn specs(n: usize) -> Vec<MissionSpec> {
+    (0..n)
+        .map(|i| {
+            MissionSpec::clean(
+                RunnerConfig::for_rv(RvId::ArduCopter).with_seed(6000 + i as u64),
+                MissionPlan::straight_line(20.0 + 3.0 * i as f64, 5.0),
+            )
+        })
+        .collect()
+}
+
+/// Injects a [`FaultKind::WorkerPanic`] into one spec of a batch.
+fn poison(specs: &mut [MissionSpec], idx: usize) {
+    specs[idx].config = specs[idx]
+        .config
+        .clone()
+        .with_faults(vec![Fault::new(
+            FaultKind::WorkerPanic,
+            FaultSchedule::Continuous { start: 2.0 },
+        )])
+        .with_fault_seed(77);
+}
+
+#[test]
+fn panicking_mission_is_quarantined_and_the_rest_are_bit_identical() {
+    let clean = specs(5);
+    let mut poisoned = clean.clone();
+    poison(&mut poisoned, 2);
+
+    // Reference: the clean batch, serially, without any isolation layer.
+    let reference = MissionRunner::par_run_missions_with_jobs(1, &clean, |_| {
+        Box::new(NoDefense::new())
+    });
+
+    // The poisoned batch on 4 genuinely concurrent workers, no retries
+    // (the injected panic is deterministic, so retrying cannot help).
+    let policy = ResiliencePolicy {
+        retry: RetryPolicy::none(),
+        ..ResiliencePolicy::default()
+    };
+    let outcome = MissionRunner::try_par_run_missions_with_jobs(4, &poisoned, &policy, |_, _| {
+        Ok(Box::new(NoDefense::new()))
+    });
+
+    assert_eq!(outcome.quarantined.len(), 1, "exactly the sick mission fails");
+    let q = &outcome.quarantined[0];
+    assert_eq!(q.index, 2);
+    assert_eq!(q.attempts, 1);
+    match &q.error {
+        MissionError::Panicked { message } => {
+            assert!(
+                message.contains("injected worker panic"),
+                "panic payload must be preserved, got: {message}"
+            );
+        }
+        other => panic!("expected Panicked, got {other:?}"),
+    }
+
+    // Every healthy mission matches the clean serial reference bit for
+    // bit: the isolation layer adds no entropy and the sick mission leaks
+    // nothing into its neighbours.
+    assert_eq!(outcome.completed.len(), 4);
+    for (i, result) in &outcome.completed {
+        assert_ne!(*i, 2);
+        assert_eq!(result, &reference[*i], "mission {i} diverged");
+    }
+    assert!(outcome.result_for(2).is_none());
+    assert!(!outcome.is_clean());
+}
+
+#[test]
+fn retry_trace_is_reproducible_across_worker_counts() {
+    let mut batch = specs(4);
+    poison(&mut batch, 1);
+    poison(&mut batch, 3);
+    let policy = ResiliencePolicy::default(); // one seeded retry per mission
+
+    let defense = |_: usize, _: usize| -> Result<Box<dyn Defense + Send>, MissionError> {
+        Ok(Box::new(NoDefense::new()))
+    };
+    let a = MissionRunner::try_par_run_missions_with_jobs(1, &batch, &policy, defense);
+    let b = MissionRunner::try_par_run_missions_with_jobs(4, &batch, &policy, defense);
+    let c = MissionRunner::try_par_run_missions_with_jobs(3, &batch, &policy, defense);
+
+    // Both sick missions burned their retry, so the trace has exactly one
+    // record per sick mission, in mission order, with the seeded backoff.
+    assert_eq!(a.retry_trace.len(), 2);
+    assert_eq!(
+        a.retry_trace.iter().map(|r| r.mission).collect::<Vec<_>>(),
+        vec![1, 3]
+    );
+    for r in &a.retry_trace {
+        assert_eq!(
+            r.backoff_steps,
+            policy.retry.backoff_schedule(r.mission)[r.attempt],
+            "backoff must come from the precomputed seeded schedule"
+        );
+    }
+    // Bit-identical outcome — completed results, quarantine list and
+    // retry trace — at every worker count.
+    assert_eq!(a, b);
+    assert_eq!(a, c);
+}
+
+#[test]
+fn deadline_and_step_budget_quarantine_with_typed_errors() {
+    let batch = specs(2);
+    let tight_deadline = ResiliencePolicy {
+        budget: MissionBudget::unlimited().with_deadline(1.5),
+        retry: RetryPolicy::none(),
+    };
+    let outcome =
+        MissionRunner::try_par_run_missions_with_jobs(2, &batch, &tight_deadline, |_, _| {
+            Ok(Box::new(NoDefense::new()))
+        });
+    assert!(outcome.completed.is_empty(), "no 20 m mission fits in 1.5 s");
+    assert_eq!(outcome.quarantined.len(), 2);
+    for q in &outcome.quarantined {
+        assert!(
+            matches!(q.error, MissionError::DeadlineExceeded { .. }),
+            "expected DeadlineExceeded, got {:?}",
+            q.error
+        );
+    }
+
+    let tight_steps = ResiliencePolicy {
+        budget: MissionBudget::unlimited().with_step_budget(50),
+        retry: RetryPolicy::none(),
+    };
+    let outcome = MissionRunner::try_par_run_missions_with_jobs(2, &batch, &tight_steps, |_, _| {
+        Ok(Box::new(NoDefense::new()))
+    });
+    assert_eq!(outcome.quarantined.len(), 2);
+    for q in &outcome.quarantined {
+        assert!(
+            matches!(q.error, MissionError::StepBudgetExhausted { .. }),
+            "expected StepBudgetExhausted, got {:?}",
+            q.error
+        );
+    }
+}
+
+/// Emulates the harness's load-or-train path: try the artifact, retrain on
+/// any typed rejection. A corrupt artifact must take the retrain branch —
+/// never load.
+#[test]
+fn corrupt_artifact_is_refused_and_falls_back_to_retraining() {
+    // A tiny trained-enough model (fixture-scale: the integrity contract
+    // is about bytes, not accuracy).
+    let plans = MissionPlan::table1_missions(RvId::ArduCopter, 7, 0.3);
+    let traces: Vec<_> = plans
+        .iter()
+        .take(3)
+        .enumerate()
+        .map(|(i, p)| {
+            MissionRunner::new(RunnerConfig::for_rv(RvId::ArduCopter).with_seed(500 + i as u64))
+                .run_clean(p)
+                .trace
+        })
+        .collect();
+    let config = TrainerConfig {
+        hidden: 8,
+        fc_width: 8,
+        window: 8,
+        stages: [(1, 0.01), (0, 0.0), (0, 0.0)],
+        ..TrainerConfig::default()
+    };
+    let train = || Trainer::new(config).train(&traces, false).pidpiper;
+    let original = train();
+
+    let dir = std::env::temp_dir().join("pidpiper_resilience_test");
+    let path = dir.join("model.pidpiper");
+    save_deployment(&path, &original).expect("save");
+
+    // Sanity: the intact artifact loads, verified.
+    let (loaded, integrity) = load_deployment(&path).expect("intact artifact loads");
+    assert_eq!(integrity, ArtifactIntegrity::Verified);
+    assert_eq!(loaded.config(), original.config());
+
+    // Flip a single payload byte.
+    let mut bytes = std::fs::read(&path).expect("read");
+    let payload_start = bytes.iter().position(|b| *b == b'\n').expect("header") + 1;
+    bytes[payload_start + 11] ^= 0x10;
+    std::fs::write(&path, &bytes).expect("write corrupt");
+
+    // The load-or-train path: a typed rejection, then the fallback.
+    let recovered = match load_deployment(&path) {
+        Ok(_) => panic!("a corrupted artifact must never load"),
+        Err(err) => {
+            assert!(
+                matches!(err, ArtifactError::ChecksumMismatch { .. }),
+                "expected ChecksumMismatch, got {err:?}"
+            );
+            // The typed artifact error converts into the batch taxonomy.
+            let as_mission: MissionError = err.into();
+            assert!(matches!(as_mission, MissionError::ArtifactCorrupt { .. }));
+            train()
+        }
+    };
+    // Retraining from the same traces is deterministic, so the fallback
+    // reproduces the original deployment exactly.
+    assert_eq!(recovered.to_text(), original.to_text());
+    let _ = std::fs::remove_dir_all(&dir);
+}
