@@ -1,0 +1,15 @@
+//! Inference hot-path latency: seed (allocating) FFC observe loop vs the
+//! streaming engine. Wraps [`pidpiper_bench::exp_perf`]; also writes
+//! `BENCH_inference.json`. For the allocation-count assertion, run the
+//! `pidpiper-bench-perf` binary instead (a bench target cannot swap the
+//! global allocator without imposing it on every bench in the suite).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pidpiper_bench::exp_perf;
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = exp_perf::bench
+);
+criterion_main!(benches);

@@ -90,7 +90,7 @@ pub fn collect_traces(rv: RvId, scale: Scale) -> Vec<Trace> {
 
 /// The workspace root (bench executables run with the package directory
 /// as their cwd, so relative paths would land under `crates/bench/`).
-fn workspace_root() -> PathBuf {
+pub fn workspace_root() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .ancestors()
         .nth(2)

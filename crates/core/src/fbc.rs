@@ -111,12 +111,17 @@ impl FbcModel {
             }
             self.window.push_back(features);
             if self.window.len() == self.regressor.config().window {
-                let window: Vec<Vec<f64>> = self.window.iter().cloned().collect();
-                let x = self.regressor.predict(&window);
-                let mut predicted = *est;
-                predicted.position = Vec3::new(x[0], x[1], x[2]);
-                predicted.attitude = Vec3::new(x[3], x[4], x[5]);
-                self.last_state_prediction = Some(predicted);
+                // `make_contiguous` lays the deque out as one slice in
+                // place — no per-refresh clone of the window. A dimension
+                // error cannot occur (shapes are pinned at construction);
+                // if it somehow did, the FBC holds its previous state
+                // prediction instead of panicking mid-mission.
+                if let Ok(x) = self.regressor.predict(self.window.make_contiguous()) {
+                    let mut predicted = *est;
+                    predicted.position = Vec3::new(x[0], x[1], x[2]);
+                    predicted.attitude = Vec3::new(x[3], x[4], x[5]);
+                    self.last_state_prediction = Some(predicted);
+                }
             }
         }
         self.step_counter += 1;

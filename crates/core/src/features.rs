@@ -81,6 +81,13 @@ impl SensorPrimitives {
     /// Flattens into the documented order.
     pub fn to_vec(&self) -> Vec<f64> {
         let mut v = Vec::with_capacity(Self::DIM);
+        self.extend_vec(&mut v);
+        v
+    }
+
+    /// Appends the flattened scalars to `v` (the allocation-free form of
+    /// [`SensorPrimitives::to_vec`] for reused buffers).
+    pub fn extend_vec(&self, v: &mut Vec<f64>) {
         v.extend_from_slice(&self.position);
         v.extend_from_slice(&self.velocity);
         v.extend_from_slice(&self.attitude);
@@ -93,7 +100,6 @@ impl SensorPrimitives {
         v.extend_from_slice(&self.accel);
         v.push(self.baro);
         v.push(self.mag);
-        v
     }
 
     /// Rebuilds from a flattened vector (e.g. after gating).
@@ -199,6 +205,22 @@ pub fn assemble(
     prev_signal: &ActuatorSignal,
 ) -> Vec<f64> {
     let mut v = Vec::with_capacity(set.dim());
+    assemble_into(set, prims, target, phase, prev_signal, &mut v);
+    v
+}
+
+/// Allocation-free form of [`assemble`]: clears `v` and writes the
+/// feature vector into it, reusing its capacity. Hot-path callers keep
+/// one buffer per model and never allocate after warm-up.
+pub fn assemble_into(
+    set: FeatureSet,
+    prims: &SensorPrimitives,
+    target: &TargetState,
+    phase: FlightPhase,
+    prev_signal: &ActuatorSignal,
+    v: &mut Vec<f64>,
+) {
+    v.clear();
     let pos_err = [
         target.position.x - prims.position[0],
         target.position.y - prims.position[1],
@@ -208,7 +230,7 @@ pub fn assemble(
         FeatureSet::FfcFull => {
             // 32 gated primitives + u(t): target pos (3), target yaw (1),
             // position error (3), distance (1), phase (4) = 44.
-            v.extend(prims.to_vec());
+            prims.extend_vec(v);
             v.extend_from_slice(&target.position.to_array());
             v.push(target.yaw);
             v.extend_from_slice(&pos_err);
@@ -255,7 +277,6 @@ pub fn assemble(
         }
     }
     debug_assert_eq!(v.len(), set.dim(), "feature assembly dimension drift");
-    v
 }
 
 /// The FBC model's regression target: the current state `x'(t)` =

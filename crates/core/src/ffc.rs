@@ -6,12 +6,11 @@
 //! [`crate::sanitizer::SensorSanitizer`]; this module owns the windowed
 //! LSTM inference pipeline.
 
-use crate::features::{assemble, FeatureSet, SensorPrimitives};
+use crate::features::{assemble_into, FeatureSet, SensorPrimitives};
 use crate::gate::GateConfig;
 use pidpiper_control::{ActuatorSignal, TargetState};
 use pidpiper_missions::FlightPhase;
-use pidpiper_ml::{LstmRegressor, RegressorConfig};
-use std::collections::VecDeque;
+use pidpiper_ml::{InferenceScratch, LstmRegressor, RegressorConfig, StreamState, StreamingRegressor};
 
 /// Runtime pipeline configuration shared by FFC and FBC models.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -32,19 +31,50 @@ impl Default for PipelineConfig {
     }
 }
 
-/// A deployed FFC: rolling feature window + LSTM.
+/// A deployed FFC: rolling feature window + streaming LSTM engine.
 ///
 /// Call [`FfcModel::observe`] every control step with *sanitized*
 /// primitives; the model decimates internally, refreshes its prediction
 /// when a new window sample lands, and holds the latest prediction between
 /// refreshes. `None` is returned until the window has filled (mission
 /// start warm-up).
+///
+/// Inference runs on the compiled [`StreamingRegressor`], which is
+/// bit-identical to the allocating [`LstmRegressor::predict`] reference
+/// path. The hot-path layout (see ARCHITECTURE.md, "Inference hot
+/// path"):
+///
+/// - `ring` is a flat ring buffer of the last `window - 1` *sampled*
+///   feature rows, stored **already normalized** — each row is
+///   standardized exactly once, on ingest, instead of `window` times per
+///   refresh;
+/// - `prefix` caches the LSTM state after consuming the ring in order; it
+///   is recomputed only when a decimated push changes the history
+///   (every `decimate`-th step), so the per-tick refresh is a single
+///   fused LSTM step over the live row from a copy of `prefix`;
+/// - all buffers are preallocated in [`FfcModel::new`]: after the first
+///   `observe` call, the per-tick path performs zero heap allocation
+///   (asserted by the `exp_perf` bench harness).
 #[derive(Debug, Clone)]
 pub struct FfcModel {
     regressor: LstmRegressor,
+    engine: StreamingRegressor,
     feature_set: FeatureSet,
     pipeline: PipelineConfig,
-    window: VecDeque<Vec<f64>>,
+    /// Flat `[(window-1) * dim]` ring of normalized sampled rows.
+    ring: Vec<f64>,
+    /// Index of the oldest ring row.
+    ring_head: usize,
+    /// Number of valid ring rows (`<= window - 1`).
+    ring_len: usize,
+    /// Cached LSTM state after the ring rows, oldest to newest.
+    prefix: StreamState,
+    /// Working state for the per-tick live step.
+    live: StreamState,
+    scratch: InferenceScratch,
+    feat_buf: Vec<f64>,
+    normed_buf: Vec<f64>,
+    out_buf: Vec<f64>,
     step_counter: usize,
     last_prediction: Option<ActuatorSignal>,
 }
@@ -72,8 +102,20 @@ impl FfcModel {
             ActuatorSignal::DIM,
             "FFC predicts the 4-channel actuator signal"
         );
+        let engine = regressor.compile();
+        let dim = feature_set.dim();
+        let history = regressor.config().window.saturating_sub(1);
         FfcModel {
-            window: VecDeque::with_capacity(regressor.config().window),
+            ring: vec![0.0; history * dim],
+            ring_head: 0,
+            ring_len: 0,
+            prefix: engine.state(),
+            live: engine.state(),
+            scratch: engine.scratch(),
+            feat_buf: Vec::with_capacity(dim),
+            normed_buf: vec![0.0; dim],
+            out_buf: vec![0.0; ActuatorSignal::DIM],
+            engine,
             regressor,
             feature_set,
             pipeline,
@@ -138,35 +180,85 @@ impl FfcModel {
         target: &TargetState,
         phase: FlightPhase,
     ) -> Option<ActuatorSignal> {
-        let features = assemble(
+        assemble_into(
             self.feature_set,
             prims,
             target,
             phase,
             &ActuatorSignal::default(),
+            &mut self.feat_buf,
         );
-        let n = self.regressor.config().window;
-        // `window` stores the last n-1 *sampled* feature vectors.
-        if self.window.len() == n - 1 {
-            let mut full: Vec<Vec<f64>> = Vec::with_capacity(n);
-            full.extend(self.window.iter().cloned());
-            full.push(features.clone());
-            let y = self.regressor.predict(&full);
+        let n = self.engine.config().window;
+        // The ring stores the last n-1 *sampled* rows; the live row makes
+        // the window whole. A dimension error cannot occur here (shapes
+        // are pinned at construction); if it somehow did, the model holds
+        // its previous prediction — deterministic degradation, no panic
+        // in the control loop.
+        if self.ring_len == n - 1 && self.refresh_prediction().is_ok() {
+            let y = &self.out_buf;
             self.last_prediction = Some(ActuatorSignal::from_array([y[0], y[1], y[2], y[3]]));
         }
-        if self.step_counter.is_multiple_of(self.pipeline.decimate) {
-            if self.window.len() == n - 1 {
-                self.window.pop_front();
-            }
-            self.window.push_back(features);
+        if self.step_counter.is_multiple_of(self.pipeline.decimate) && n > 1 {
+            self.push_sample();
         }
         self.step_counter += 1;
         self.last_prediction
     }
 
+    /// One fused LSTM step over the live row from a copy of the cached
+    /// prefix state, then the dense stack. Allocation-free.
+    fn refresh_prediction(&mut self) -> Result<(), pidpiper_ml::PredictError> {
+        self.engine.normalize_into(&self.feat_buf, &mut self.normed_buf)?;
+        self.live.copy_from(&self.prefix);
+        self.engine
+            .step_normed(&self.normed_buf, &mut self.live, &mut self.scratch)?;
+        self.engine
+            .finish_into(&self.live, &mut self.scratch, &mut self.out_buf)
+    }
+
+    /// Normalizes the current features into the next ring slot and, once
+    /// the history is full, replays the ring to refresh the cached prefix
+    /// state. Runs only on decimated steps, so its O(window) cost is
+    /// amortized to `(window-1)/decimate` LSTM steps per tick.
+    fn push_sample(&mut self) {
+        let dim = self.feature_set.dim();
+        let cap = self.engine.config().window - 1;
+        let slot = if self.ring_len == cap {
+            let s = self.ring_head;
+            self.ring_head = (self.ring_head + 1) % cap;
+            s
+        } else {
+            let s = (self.ring_head + self.ring_len) % cap;
+            self.ring_len += 1;
+            s
+        };
+        let row = &mut self.ring[slot * dim..(slot + 1) * dim];
+        if self.engine.normalize_into(&self.feat_buf, row).is_err() {
+            // Unreachable with construction-pinned shapes; leave the
+            // prefix untouched rather than poison it.
+            return;
+        }
+        if self.ring_len == cap {
+            self.prefix.reset();
+            for k in 0..cap {
+                let idx = (self.ring_head + k) % cap;
+                let row = &self.ring[idx * dim..(idx + 1) * dim];
+                if self
+                    .engine
+                    .step_normed(row, &mut self.prefix, &mut self.scratch)
+                    .is_err()
+                {
+                    return;
+                }
+            }
+        }
+    }
+
     /// Resets all runtime state (between missions).
     pub fn reset(&mut self) {
-        self.window.clear();
+        self.ring_head = 0;
+        self.ring_len = 0;
+        self.prefix.reset();
         self.step_counter = 0;
         self.last_prediction = None;
     }

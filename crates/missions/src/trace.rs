@@ -125,6 +125,53 @@ impl Trace {
         n
     }
 
+    /// A 64-bit FNV-1a fingerprint of the trace's behavioral channels:
+    /// per record, the full `f64` bit patterns of time, ground-truth pose,
+    /// estimated position, both actuator signals, the monitor statistic
+    /// and telemetry scalars, plus the attack/fault/recovery flags and
+    /// health state.
+    ///
+    /// Two traces with equal fingerprints flew *bit-identically* (up to
+    /// FNV collisions) — unlike [`Trace::to_csv`], nothing is rounded.
+    /// The streaming-equivalence tests use this to assert that inference
+    /// engine rewrites leave every mission byte-for-byte unchanged.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut h = OFFSET;
+        let mut mix = |v: u64| {
+            const PRIME: u64 = 0x0000_0100_0000_01b3;
+            for b in v.to_le_bytes() {
+                h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+            }
+        };
+        for r in &self.records {
+            mix(r.t.to_bits());
+            for v in [r.truth.position, r.truth.attitude, r.est.position] {
+                mix(v.x.to_bits());
+                mix(v.y.to_bits());
+                mix(v.z.to_bits());
+            }
+            for s in [r.pid_signal, r.flown_signal] {
+                mix(s.roll.to_bits());
+                mix(s.pitch.to_bits());
+                mix(s.yaw_rate.to_bits());
+                mix(s.thrust.to_bits());
+            }
+            mix(u64::from(r.attack_active));
+            mix(u64::from(r.fault_active));
+            mix(u64::from(r.recovery_active));
+            mix(match r.health {
+                HealthState::Nominal => 0,
+                HealthState::Recovery => 1,
+                HealthState::Degraded => 2,
+            });
+            mix(r.monitor_statistic.to_bits());
+            mix(r.effective_p.to_bits());
+            mix(r.rotation_rate.to_bits());
+        }
+        h
+    }
+
     /// Renders the trace as CSV (header + one row per record) with the
     /// columns the experiment harness plots.
     pub fn to_csv(&self) -> String {
@@ -220,6 +267,27 @@ mod tests {
         assert!(lines[0].starts_with("t,x,y,z"));
         let fields: Vec<&str> = lines[1].split(',').collect();
         assert_eq!(fields.len(), lines[0].split(',').count());
+    }
+
+    #[test]
+    fn fingerprint_sensitive_to_any_channel() {
+        let mut a = Trace::new();
+        a.push(record(0.0, false, false));
+        a.push(record(1.0, true, false));
+        let mut b = a.clone();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // A sub-ULP change in one flown channel must flip the fingerprint.
+        if let Some(r) = b.records.last_mut() {
+            r.flown_signal.roll = f64::from_bits(r.flown_signal.roll.to_bits() ^ 1);
+        }
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        // Flag flips are visible too.
+        let mut c = a.clone();
+        if let Some(r) = c.records.last_mut() {
+            r.recovery_active = true;
+        }
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        assert_ne!(Trace::new().fingerprint(), a.fingerprint());
     }
 
     #[test]

@@ -19,6 +19,10 @@
 //! - [`network::LstmRegressor`] — the assembled sequence-to-one regression
 //!   network (2x LSTM → sigmoid FC → 2x PReLU FC → linear head), with
 //!   training, windowed inference and text (de)serialization;
+//! - [`stream::StreamingRegressor`] — the compiled, zero-allocation
+//!   streaming form of the network (fused LSTM gate blocks, caller-owned
+//!   [`stream::InferenceScratch`]), bit-identical to the reference
+//!   `predict` path;
 //! - [`normalize::Normalizer`] — per-feature standardization;
 //! - [`dataset::WindowedDataset`] — sliding-window sample extraction from
 //!   mission time series;
@@ -42,6 +46,7 @@ pub mod network;
 pub mod normalize;
 pub mod param;
 pub mod selection;
+pub mod stream;
 
 pub use adam::Adam;
 pub use dataset::WindowedDataset;
@@ -52,3 +57,4 @@ pub use network::{LstmRegressor, RegressorConfig, TrainReport};
 pub use normalize::Normalizer;
 pub use param::Param;
 pub use selection::{greedy_forward_selection, vif_prune};
+pub use stream::{InferenceScratch, PredictError, StreamState, StreamingRegressor};

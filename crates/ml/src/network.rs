@@ -9,6 +9,7 @@ use crate::dense::{Activation, Dense};
 use crate::lstm::{LstmLayer, LstmState};
 use crate::normalize::Normalizer;
 use crate::param::Param;
+use crate::stream::{PredictError, StreamingRegressor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt;
@@ -146,6 +147,28 @@ impl LstmRegressor {
     /// The fitted input normalizer.
     pub fn normalizer(&self) -> &Normalizer {
         &self.normalizer
+    }
+
+    /// The fitted target normalizer.
+    pub(crate) fn target_normalizer(&self) -> &Normalizer {
+        &self.target_normalizer
+    }
+
+    /// Both LSTM layers, in stack order.
+    pub(crate) fn lstm_layers(&self) -> (&LstmLayer, &LstmLayer) {
+        (&self.lstm1, &self.lstm2)
+    }
+
+    /// The dense stack: sigmoid FC, both PReLU FCs, linear head.
+    pub(crate) fn dense_stack(&self) -> (&Dense, &Dense, &Dense, &Dense) {
+        (&self.fc_sigmoid, &self.fc_prelu1, &self.fc_prelu2, &self.head)
+    }
+
+    /// Compiles the network into its allocation-free streaming form (see
+    /// [`StreamingRegressor`]). The compiled engine snapshots the current
+    /// weights; recompile after further training.
+    pub fn compile(&self) -> StreamingRegressor {
+        StreamingRegressor::compile(self)
     }
 
     /// Fits input/target normalizers on a dataset (raw physical units).
@@ -302,15 +325,30 @@ impl LstmRegressor {
     /// Predicts from a raw (unnormalized) window of exactly
     /// `config.window` feature vectors. Returns the de-normalized output.
     ///
-    /// # Panics
+    /// This is the allocating *reference* path; deployments compile the
+    /// network with [`LstmRegressor::compile`] and use the bit-identical
+    /// [`StreamingRegressor::predict_into`] instead.
     ///
-    /// Panics if the window length differs from the configuration.
-    pub fn predict(&self, window: &[Vec<f64>]) -> Vec<f64> {
-        assert_eq!(
-            window.len(),
-            self.config.window,
-            "window length mismatch"
-        );
+    /// # Errors
+    ///
+    /// Returns a [`PredictError`] if the window length or any row's
+    /// feature dimension differs from the configuration.
+    pub fn predict(&self, window: &[Vec<f64>]) -> Result<Vec<f64>, PredictError> {
+        if window.len() != self.config.window {
+            return Err(PredictError::WindowLength {
+                got: window.len(),
+                expected: self.config.window,
+            });
+        }
+        for (step, row) in window.iter().enumerate() {
+            if row.len() != self.config.input_dim {
+                return Err(PredictError::FeatureDim {
+                    step,
+                    got: row.len(),
+                    expected: self.config.input_dim,
+                });
+            }
+        }
         let normed: Vec<Vec<f64>> = window.iter().map(|x| self.normalizer.transform(x)).collect();
         let mut s1 = LstmState::zeros(self.config.hidden);
         let mut s2 = LstmState::zeros(self.config.hidden);
@@ -322,7 +360,7 @@ impl LstmRegressor {
         let p1 = self.fc_prelu1.infer(&s);
         let p2 = self.fc_prelu2.infer(&p1);
         let z = self.head.infer(&p2);
-        self.target_normalizer.inverse(&z)
+        Ok(self.target_normalizer.inverse(&z))
     }
 
     /// Serializes the full model (config, normalizers, weights) into a
@@ -450,7 +488,10 @@ mod tests {
         model.fit_normalizers(&ds);
         model.train(&ds, 3, 0.02, 5);
         let w = ds.samples()[0].window.clone();
-        assert_eq!(model.predict(&w), model.predict(&w));
+        assert_eq!(
+            model.predict(&w).expect("valid window"),
+            model.predict(&w).expect("valid window")
+        );
     }
 
     #[test]
@@ -463,8 +504,8 @@ mod tests {
         let text = model.to_text();
         let restored = LstmRegressor::from_text(&text).expect("round trip");
         let w = ds.samples()[3].window.clone();
-        let a = model.predict(&w);
-        let b = restored.predict(&w);
+        let a = model.predict(&w).expect("valid window");
+        let b = restored.predict(&w).expect("valid window");
         for (x, y) in a.iter().zip(&b) {
             assert!((x - y).abs() < 1e-9, "{x} vs {y}");
         }
@@ -488,16 +529,35 @@ mod tests {
         let a = LstmRegressor::new(config, 77);
         let b = LstmRegressor::new(config, 77);
         let w = vec![vec![0.1, 0.2, 0.3]; config.window];
-        assert_eq!(a.predict(&w), b.predict(&w));
+        assert_eq!(
+            a.predict(&w).expect("valid window"),
+            b.predict(&w).expect("valid window")
+        );
         let c = LstmRegressor::new(config, 78);
-        assert_ne!(a.predict(&w), c.predict(&w));
+        assert_ne!(
+            a.predict(&w).expect("valid window"),
+            c.predict(&w).expect("valid window")
+        );
     }
 
     #[test]
-    #[should_panic(expected = "window length mismatch")]
-    fn wrong_window_length_panics() {
+    fn wrong_window_length_rejected() {
         let config = RegressorConfig::tiny(1, 1);
         let model = LstmRegressor::new(config, 0);
-        let _ = model.predict(&[vec![0.0]]);
+        assert_eq!(
+            model.predict(&[vec![0.0]]),
+            Err(PredictError::WindowLength {
+                got: 1,
+                expected: config.window
+            })
+        );
+        assert_eq!(
+            model.predict(&vec![vec![0.0, 0.0]; config.window]),
+            Err(PredictError::FeatureDim {
+                step: 0,
+                got: 2,
+                expected: 1
+            })
+        );
     }
 }

@@ -89,6 +89,23 @@ impl Normalizer {
             .collect()
     }
 
+    /// Standardizes one sample into a caller-provided buffer,
+    /// allocation-free. Bit-identical to [`Normalizer::transform`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if either slice's length differs from the fitted dimension.
+    pub fn transform_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.mean.len(), "dimension mismatch");
+        assert_eq!(out.len(), self.mean.len(), "dimension mismatch");
+        for (o, (xi, (m, s))) in out
+            .iter_mut()
+            .zip(x.iter().zip(self.mean.iter().zip(&self.std)))
+        {
+            *o = (xi - m) / s;
+        }
+    }
+
     /// Inverse transform (de-standardize model outputs).
     ///
     /// # Panics
@@ -100,6 +117,23 @@ impl Normalizer {
             .zip(self.mean.iter().zip(&self.std))
             .map(|(zi, (m, s))| zi * s + m)
             .collect()
+    }
+
+    /// Inverse transform into a caller-provided buffer, allocation-free.
+    /// Bit-identical to [`Normalizer::inverse`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if either slice's length differs from the fitted dimension.
+    pub fn inverse_into(&self, z: &[f64], out: &mut [f64]) {
+        assert_eq!(z.len(), self.mean.len(), "dimension mismatch");
+        assert_eq!(out.len(), self.mean.len(), "dimension mismatch");
+        for (o, (zi, (m, s))) in out
+            .iter_mut()
+            .zip(z.iter().zip(self.mean.iter().zip(&self.std)))
+        {
+            *o = zi * s + m;
+        }
     }
 
     /// Fitted means.

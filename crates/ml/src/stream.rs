@@ -1,0 +1,613 @@
+//! Zero-allocation streaming inference for [`LstmRegressor`].
+//!
+//! [`LstmRegressor::predict`] is the reference path: it allocates fresh
+//! `Vec`s for every normalized row, every gate, and every dense layer of
+//! every call. That is fine for training-time evaluation but not for the
+//! FFC hot path, which runs inside every control tick. This module
+//! provides the deployment path:
+//!
+//! - [`StreamingRegressor`] — a compiled form of the network whose four
+//!   LSTM gate matmuls are fused into one contiguous row-major
+//!   `[4*hidden x (input+hidden)]` block per layer (one cache-friendly
+//!   sweep per step instead of two strided ones);
+//! - [`InferenceScratch`] — caller-owned preallocated working buffers;
+//! - [`StreamState`] — the `(h, c)` pair of both LSTM layers, exposed so
+//!   callers can checkpoint a partially-consumed window (the FFC caches
+//!   the state after its history rows and replays only the live row each
+//!   tick);
+//! - [`StreamingRegressor::predict_into`] — a whole-window entry point
+//!   that is **bit-identical** to [`LstmRegressor::predict`] and performs
+//!   zero heap allocation after the scratch has been built.
+//!
+//! Bit-identity is load-bearing: the fused rows store `[w_row | u_row]`
+//! contiguously but the dot products are still accumulated in two
+//! separate passes (`(b + w·x) + u·h`), preserving the exact f64
+//! operation order of `Param::matvec_into` as called by the reference
+//! path. Tests in this module and `crates/ml/tests` compare outputs with
+//! `f64::to_bits`, not an epsilon.
+
+use crate::dense::Dense;
+use crate::lstm::LstmLayer;
+use crate::network::{LstmRegressor, RegressorConfig};
+use crate::normalize::Normalizer;
+use std::fmt;
+
+#[inline]
+fn sigmoid(z: f64) -> f64 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+/// Typed error for malformed inference inputs.
+///
+/// Replaces the panicking window-length `assert_eq!` the reference
+/// `predict` used to carry: deployed controllers hold their previous
+/// output on `Err` instead of crashing the autopilot loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredictError {
+    /// The window holds the wrong number of timesteps.
+    WindowLength {
+        /// Number of rows supplied.
+        got: usize,
+        /// `RegressorConfig::window`.
+        expected: usize,
+    },
+    /// One feature row has the wrong dimension.
+    FeatureDim {
+        /// Index of the offending row within the window.
+        step: usize,
+        /// Length of that row.
+        got: usize,
+        /// `RegressorConfig::input_dim`.
+        expected: usize,
+    },
+    /// The caller-provided output slice has the wrong length.
+    OutputLength {
+        /// Length of the supplied output slice.
+        got: usize,
+        /// `RegressorConfig::output_dim`.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for PredictError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PredictError::WindowLength { got, expected } => {
+                write!(f, "window length mismatch: got {got}, expected {expected}")
+            }
+            PredictError::FeatureDim {
+                step,
+                got,
+                expected,
+            } => write!(
+                f,
+                "feature dimension mismatch at step {step}: got {got}, expected {expected}"
+            ),
+            PredictError::OutputLength { got, expected } => {
+                write!(f, "output length mismatch: got {got}, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PredictError {}
+
+/// One LSTM layer with the four gate matmuls fused into a single
+/// contiguous row-major block.
+///
+/// Row `r` of `rows` is `[w_row(r) | u_row(r)]` of length
+/// `input + hidden`; the gate order is the layer's stacked `[i; f; o; g]`.
+#[derive(Debug, Clone)]
+struct FusedLstm {
+    input: usize,
+    hidden: usize,
+    /// `4*hidden` fused rows, each `input + hidden` long.
+    rows: Vec<f64>,
+    /// Gate biases (`4*hidden`).
+    bias: Vec<f64>,
+}
+
+impl FusedLstm {
+    fn from_layer(layer: &LstmLayer) -> Self {
+        let input = layer.input_dim();
+        let hidden = layer.hidden_dim();
+        let stride = input + hidden;
+        let mut rows = vec![0.0; 4 * hidden * stride];
+        for r in 0..4 * hidden {
+            let dst = &mut rows[r * stride..(r + 1) * stride];
+            dst[..input].copy_from_slice(&layer.w.value[r * input..(r + 1) * input]);
+            dst[input..].copy_from_slice(&layer.u.value[r * hidden..(r + 1) * hidden]);
+        }
+        FusedLstm {
+            input,
+            hidden,
+            rows,
+            bias: layer.b.value.clone(),
+        }
+    }
+
+    /// One cell update, in place. `pre` must hold at least `4*hidden`
+    /// slots. The accumulation order — `(bias + w·x) + u·h`, each dot
+    /// product summed left to right into its own accumulator — mirrors
+    /// `Param::matvec_into` exactly; changing it breaks bit-identity with
+    /// the reference path.
+    fn step(&self, x: &[f64], h: &mut [f64], c: &mut [f64], pre: &mut [f64]) {
+        let hd = self.hidden;
+        let stride = self.input + hd;
+        debug_assert_eq!(x.len(), self.input);
+        debug_assert_eq!(h.len(), hd);
+        debug_assert_eq!(c.len(), hd);
+        let pre = &mut pre[..4 * hd];
+        for r in 0..4 * hd {
+            let row = &self.rows[r * stride..(r + 1) * stride];
+            let (wx, uh) = row.split_at(self.input);
+            let mut acc = 0.0;
+            for (w, xi) in wx.iter().zip(x) {
+                acc += w * xi;
+            }
+            let mut z = self.bias[r] + acc;
+            let mut acc = 0.0;
+            for (w, hi) in uh.iter().zip(h.iter()) {
+                acc += w * hi;
+            }
+            z += acc;
+            pre[r] = z;
+        }
+        for j in 0..hd {
+            pre[j] = sigmoid(pre[j]);
+            pre[hd + j] = sigmoid(pre[hd + j]);
+            pre[2 * hd + j] = sigmoid(pre[2 * hd + j]);
+            pre[3 * hd + j] = pre[3 * hd + j].tanh();
+        }
+        for j in 0..hd {
+            let cj = pre[hd + j] * c[j] + pre[j] * pre[3 * hd + j];
+            c[j] = cj;
+            h[j] = pre[2 * hd + j] * cj.tanh();
+        }
+    }
+}
+
+/// Hidden/cell state of both LSTM layers at some point in a window.
+///
+/// Separate from [`InferenceScratch`] so callers can keep *several*
+/// states per engine (the FFC checkpoints the state after its history
+/// rows and copies it into a working state each tick) while sharing one
+/// scratch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamState {
+    h1: Vec<f64>,
+    c1: Vec<f64>,
+    h2: Vec<f64>,
+    c2: Vec<f64>,
+}
+
+impl StreamState {
+    fn zeros(hidden: usize) -> Self {
+        StreamState {
+            h1: vec![0.0; hidden],
+            c1: vec![0.0; hidden],
+            h2: vec![0.0; hidden],
+            c2: vec![0.0; hidden],
+        }
+    }
+
+    /// Resets to the zero state (start of a window).
+    pub fn reset(&mut self) {
+        for v in [&mut self.h1, &mut self.c1, &mut self.h2, &mut self.c2] {
+            v.fill(0.0);
+        }
+    }
+
+    /// Overwrites this state with `other` without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the states belong to differently-sized engines.
+    pub fn copy_from(&mut self, other: &StreamState) {
+        self.h1.copy_from_slice(&other.h1);
+        self.c1.copy_from_slice(&other.c1);
+        self.h2.copy_from_slice(&other.h2);
+        self.c2.copy_from_slice(&other.c2);
+    }
+}
+
+/// Preallocated working buffers for one [`StreamingRegressor`].
+///
+/// Build once via [`StreamingRegressor::scratch`], reuse for every call;
+/// no inference entry point allocates after this exists. A scratch is
+/// engine-shaped, not call-shaped: one scratch serves any number of
+/// interleaved states/windows of the same engine.
+#[derive(Debug, Clone)]
+pub struct InferenceScratch {
+    /// Window-start state used by [`StreamingRegressor::predict_into`].
+    state: StreamState,
+    /// One normalized input row (`input_dim`).
+    normed: Vec<f64>,
+    /// Gate pre-activations (`4*hidden`), shared by both layers.
+    pre: Vec<f64>,
+    /// Dense ping buffer (`fc_width`).
+    fc_a: Vec<f64>,
+    /// Dense pong buffer (`fc_width`).
+    fc_b: Vec<f64>,
+    /// Normalized output (`output_dim`).
+    z: Vec<f64>,
+}
+
+impl InferenceScratch {
+    fn for_config(config: &RegressorConfig) -> Self {
+        InferenceScratch {
+            state: StreamState::zeros(config.hidden),
+            normed: vec![0.0; config.input_dim],
+            pre: vec![0.0; 4 * config.hidden],
+            fc_a: vec![0.0; config.fc_width],
+            fc_b: vec![0.0; config.fc_width],
+            z: vec![0.0; config.output_dim],
+        }
+    }
+}
+
+/// The compiled, allocation-free deployment form of an [`LstmRegressor`].
+///
+/// Obtain via [`LstmRegressor::compile`]. The compiled engine snapshots
+/// the network's weights; recompile after further training.
+///
+/// # Examples
+///
+/// ```
+/// use pidpiper_ml::{LstmRegressor, RegressorConfig};
+///
+/// let model = LstmRegressor::new(RegressorConfig::tiny(2, 1), 7);
+/// let engine = model.compile();
+/// let window = vec![vec![0.1, -0.2]; engine.config().window];
+/// let mut scratch = engine.scratch();
+/// let mut out = [0.0];
+/// engine.predict_into(&window, &mut scratch, &mut out).expect("valid window");
+/// let reference = model.predict(&window).expect("valid window");
+/// assert_eq!(out[0].to_bits(), reference[0].to_bits());
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamingRegressor {
+    config: RegressorConfig,
+    lstm1: FusedLstm,
+    lstm2: FusedLstm,
+    fc_sigmoid: Dense,
+    fc_prelu1: Dense,
+    fc_prelu2: Dense,
+    head: Dense,
+    normalizer: Normalizer,
+    target_normalizer: Normalizer,
+}
+
+impl StreamingRegressor {
+    /// Compiles a trained network. Equivalent to
+    /// [`LstmRegressor::compile`].
+    pub fn compile(model: &LstmRegressor) -> Self {
+        let (lstm1, lstm2) = model.lstm_layers();
+        let (fc_sigmoid, fc_prelu1, fc_prelu2, head) = model.dense_stack();
+        StreamingRegressor {
+            config: *model.config(),
+            lstm1: FusedLstm::from_layer(lstm1),
+            lstm2: FusedLstm::from_layer(lstm2),
+            fc_sigmoid: fc_sigmoid.clone(),
+            fc_prelu1: fc_prelu1.clone(),
+            fc_prelu2: fc_prelu2.clone(),
+            head: head.clone(),
+            normalizer: model.normalizer().clone(),
+            target_normalizer: model.target_normalizer().clone(),
+        }
+    }
+
+    /// The compiled network's configuration.
+    pub fn config(&self) -> &RegressorConfig {
+        &self.config
+    }
+
+    /// A fresh zero [`StreamState`] sized for this engine.
+    pub fn state(&self) -> StreamState {
+        StreamState::zeros(self.config.hidden)
+    }
+
+    /// A fresh [`InferenceScratch`] sized for this engine.
+    pub fn scratch(&self) -> InferenceScratch {
+        InferenceScratch::for_config(&self.config)
+    }
+
+    /// Standardizes one raw feature row into `out` without allocating.
+    /// Bit-identical to `Normalizer::transform`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PredictError::FeatureDim`] / [`PredictError::OutputLength`]
+    /// on a length mismatch.
+    pub fn normalize_into(&self, raw: &[f64], out: &mut [f64]) -> Result<(), PredictError> {
+        if raw.len() != self.config.input_dim {
+            return Err(PredictError::FeatureDim {
+                step: 0,
+                got: raw.len(),
+                expected: self.config.input_dim,
+            });
+        }
+        if out.len() != self.config.input_dim {
+            return Err(PredictError::OutputLength {
+                got: out.len(),
+                expected: self.config.input_dim,
+            });
+        }
+        self.normalizer.transform_into(raw, out);
+        Ok(())
+    }
+
+    /// Advances `state` by one *already-normalized* input row.
+    ///
+    /// This is the incremental entry point: feeding `window` rows one by
+    /// one from a reset state and then calling
+    /// [`StreamingRegressor::finish_into`] is bit-identical to
+    /// [`StreamingRegressor::predict_into`] over the same rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PredictError::FeatureDim`] if the row has the wrong
+    /// length.
+    pub fn step_normed(
+        &self,
+        x_normed: &[f64],
+        state: &mut StreamState,
+        scratch: &mut InferenceScratch,
+    ) -> Result<(), PredictError> {
+        if x_normed.len() != self.config.input_dim {
+            return Err(PredictError::FeatureDim {
+                step: 0,
+                got: x_normed.len(),
+                expected: self.config.input_dim,
+            });
+        }
+        self.step_raw(x_normed, state, &mut scratch.pre);
+        Ok(())
+    }
+
+    /// Runs the dense stack from `state` and writes the de-normalized
+    /// prediction into `out`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PredictError::OutputLength`] if `out` has the wrong
+    /// length.
+    pub fn finish_into(
+        &self,
+        state: &StreamState,
+        scratch: &mut InferenceScratch,
+        out: &mut [f64],
+    ) -> Result<(), PredictError> {
+        if out.len() != self.config.output_dim {
+            return Err(PredictError::OutputLength {
+                got: out.len(),
+                expected: self.config.output_dim,
+            });
+        }
+        let InferenceScratch {
+            fc_a, fc_b, z, ..
+        } = scratch;
+        self.finish_raw(state, fc_a, fc_b, z, out);
+        Ok(())
+    }
+
+    /// Predicts from a raw (unnormalized) window of exactly
+    /// `config.window` rows, writing the de-normalized output into `out`.
+    ///
+    /// Bit-identical to [`LstmRegressor::predict`] on the same window and
+    /// allocation-free given a prebuilt scratch.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PredictError`] describing the first malformed input
+    /// dimension; `out` is left unspecified on error.
+    pub fn predict_into(
+        &self,
+        window: &[Vec<f64>],
+        scratch: &mut InferenceScratch,
+        out: &mut [f64],
+    ) -> Result<(), PredictError> {
+        if window.len() != self.config.window {
+            return Err(PredictError::WindowLength {
+                got: window.len(),
+                expected: self.config.window,
+            });
+        }
+        for (step, row) in window.iter().enumerate() {
+            if row.len() != self.config.input_dim {
+                return Err(PredictError::FeatureDim {
+                    step,
+                    got: row.len(),
+                    expected: self.config.input_dim,
+                });
+            }
+        }
+        if out.len() != self.config.output_dim {
+            return Err(PredictError::OutputLength {
+                got: out.len(),
+                expected: self.config.output_dim,
+            });
+        }
+        let InferenceScratch {
+            state,
+            normed,
+            pre,
+            fc_a,
+            fc_b,
+            z,
+        } = scratch;
+        state.reset();
+        for row in window {
+            self.normalizer.transform_into(row, normed);
+            self.step_raw(normed, state, pre);
+        }
+        self.finish_raw(state, fc_a, fc_b, z, out);
+        Ok(())
+    }
+
+    /// Core LSTM double-step: layer 1 consumes `x`, layer 2 consumes the
+    /// *updated* `h1` — the same ordering as the reference loop.
+    fn step_raw(&self, x: &[f64], state: &mut StreamState, pre: &mut [f64]) {
+        let StreamState { h1, c1, h2, c2 } = state;
+        self.lstm1.step(x, h1, c1, pre);
+        self.lstm2.step(h1, h2, c2, pre);
+    }
+
+    /// Dense stack + de-normalization, ping-ponging between the two fc
+    /// buffers so no layer reads and writes the same slice.
+    fn finish_raw(
+        &self,
+        state: &StreamState,
+        fc_a: &mut [f64],
+        fc_b: &mut [f64],
+        z: &mut [f64],
+        out: &mut [f64],
+    ) {
+        self.fc_sigmoid.infer_into(&state.h2, fc_a);
+        self.fc_prelu1.infer_into(fc_a, fc_b);
+        self.fc_prelu2.infer_into(fc_b, fc_a);
+        self.head.infer_into(fc_a, z);
+        self.target_normalizer.inverse_into(z, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::WindowedDataset;
+
+    fn trained_tiny() -> LstmRegressor {
+        let config = RegressorConfig::tiny(2, 1);
+        let inputs: Vec<Vec<f64>> = (0..80)
+            .map(|i| vec![((i as f64) * 0.37).sin(), ((i as f64) * 0.11).cos()])
+            .collect();
+        let targets: Vec<Vec<f64>> = inputs.iter().map(|x| vec![x[0] + 0.5 * x[1]]).collect();
+        let ds = WindowedDataset::from_series(&inputs, &targets, config.window);
+        let mut model = LstmRegressor::new(config, 13);
+        model.fit_normalizers(&ds);
+        model.train(&ds, 2, 0.02, 5);
+        model
+    }
+
+    fn window_for(model: &LstmRegressor, salt: f64) -> Vec<Vec<f64>> {
+        let c = model.config();
+        (0..c.window)
+            .map(|t| {
+                (0..c.input_dim)
+                    .map(|j| ((t * 7 + j) as f64 * 0.31 + salt).sin() * 3.0)
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn predict_into_bit_identical_to_predict() {
+        let model = trained_tiny();
+        let engine = model.compile();
+        let mut scratch = engine.scratch();
+        let mut out = vec![0.0; model.config().output_dim];
+        for salt in [0.0, 1.3, -2.7] {
+            let w = window_for(&model, salt);
+            let reference = model.predict(&w).expect("valid window");
+            engine.predict_into(&w, &mut scratch, &mut out).expect("valid window");
+            for (a, b) in out.iter().zip(&reference) {
+                assert_eq!(a.to_bits(), b.to_bits(), "bit mismatch: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_carries_no_state() {
+        let model = trained_tiny();
+        let engine = model.compile();
+        let mut scratch = engine.scratch();
+        let w = window_for(&model, 0.4);
+        let mut first = vec![0.0; 1];
+        let mut second = vec![0.0; 1];
+        engine.predict_into(&w, &mut scratch, &mut first).expect("valid");
+        // A different window in between must not leak into the repeat.
+        let other = window_for(&model, 9.9);
+        engine.predict_into(&other, &mut scratch, &mut second).expect("valid");
+        engine.predict_into(&w, &mut scratch, &mut second).expect("valid");
+        assert_eq!(first[0].to_bits(), second[0].to_bits());
+    }
+
+    #[test]
+    fn incremental_steps_match_whole_window() {
+        let model = trained_tiny();
+        let engine = model.compile();
+        let mut scratch = engine.scratch();
+        let w = window_for(&model, 2.2);
+        let mut whole = vec![0.0; 1];
+        engine.predict_into(&w, &mut scratch, &mut whole).expect("valid");
+
+        let mut state = engine.state();
+        let mut normed = vec![0.0; engine.config().input_dim];
+        for row in &w {
+            engine.normalize_into(row, &mut normed).expect("dims");
+            engine.step_normed(&normed, &mut state, &mut scratch).expect("dims");
+        }
+        let mut inc = vec![0.0; 1];
+        engine.finish_into(&state, &mut scratch, &mut inc).expect("dims");
+        assert_eq!(whole[0].to_bits(), inc[0].to_bits());
+    }
+
+    #[test]
+    fn typed_errors_for_malformed_inputs() {
+        let model = LstmRegressor::new(RegressorConfig::tiny(2, 1), 0);
+        let engine = model.compile();
+        let mut scratch = engine.scratch();
+        let mut out = vec![0.0; 1];
+        assert_eq!(
+            engine.predict_into(&[vec![0.0, 0.0]], &mut scratch, &mut out),
+            Err(PredictError::WindowLength {
+                got: 1,
+                expected: 5
+            })
+        );
+        let mut bad_row = vec![vec![0.0, 0.0]; 5];
+        bad_row[3] = vec![0.0];
+        assert_eq!(
+            engine.predict_into(&bad_row, &mut scratch, &mut out),
+            Err(PredictError::FeatureDim {
+                step: 3,
+                got: 1,
+                expected: 2
+            })
+        );
+        let good = vec![vec![0.0, 0.0]; 5];
+        let mut bad_out = vec![0.0; 3];
+        assert_eq!(
+            engine.predict_into(&good, &mut scratch, &mut bad_out),
+            Err(PredictError::OutputLength {
+                got: 3,
+                expected: 1
+            })
+        );
+        // The reference path reports the same typed errors.
+        assert_eq!(
+            model.predict(&[vec![0.0, 0.0]]),
+            Err(PredictError::WindowLength {
+                got: 1,
+                expected: 5
+            })
+        );
+    }
+
+    #[test]
+    fn state_copy_and_reset_round_trip() {
+        let model = trained_tiny();
+        let engine = model.compile();
+        let mut scratch = engine.scratch();
+        let mut state = engine.state();
+        let mut normed = vec![0.0; 2];
+        engine.normalize_into(&[1.0, -1.0], &mut normed).expect("dims");
+        engine.step_normed(&normed, &mut state, &mut scratch).expect("dims");
+        let mut copy = engine.state();
+        copy.copy_from(&state);
+        assert_eq!(copy, state);
+        state.reset();
+        assert_eq!(state, engine.state());
+        assert_ne!(copy, state);
+    }
+}
