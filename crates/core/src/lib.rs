@@ -57,6 +57,6 @@ pub use gate::{GateConfig, VarianceGate};
 pub use monitor::{AxisThresholds, CusumMonitor};
 pub use pidpiper::{ConsistencyGates, PidPiper, PidPiperConfig, TrustBand};
 pub use sanitizer::SensorSanitizer;
-pub use supervisor::{FfcHealthMonitor, RecoveryWatchdog, SignalEnvelope};
+pub use supervisor::{FfcHealthMonitor, RecoveryWatchdog, SessionSupervisor, SignalEnvelope};
 pub use threshold::calibrate_thresholds;
 pub use trainer::{TrainedPidPiper, Trainer, TrainerConfig};

@@ -15,8 +15,13 @@
 //! - [`RecoveryWatchdog`] — hard budget on consecutive steps spent in
 //!   recovery; expiry forces the explicit `Degraded` fail-safe instead of
 //!   an indefinite silent recovery.
+//! - [`SessionSupervisor`] — the three above composed into one compact
+//!   per-session state machine for fleet deployments, driving the same
+//!   `Nominal -> Recovery -> Degraded` lattice as the full `PidPiper`
+//!   defense from just two inputs per tick.
 
 use pidpiper_control::ActuatorSignal;
+use pidpiper_missions::HealthState;
 
 /// Physical-plausibility envelope for an actuator signal.
 ///
@@ -188,6 +193,114 @@ impl RecoveryWatchdog {
     }
 }
 
+/// The graceful-degradation supervisor as one compact per-session value.
+///
+/// The full [`PidPiper`](crate::PidPiper) defense owns a sanitizer, gate
+/// stack, FFC and monitor; a fleet session cannot afford any of that per
+/// vehicle. This type is the supervisor *alone* — an
+/// [`FfcHealthMonitor`], a [`RecoveryWatchdog`] and the latched
+/// [`HealthState`] machine, a few dozen bytes in total — consuming per
+/// tick only the FFC's prediction and whether the detection monitor is
+/// tripped, both of which the session already has in hand.
+///
+/// Transition rules (mirroring the full defense):
+///
+/// - `Nominal -> Recovery` when the monitor trips and the prediction is
+///   usable (inside the envelope, model not latched offline);
+/// - `Recovery -> Nominal` when the monitor quiesces (watchdog re-armed);
+/// - `Recovery -> Degraded` when the watchdog budget expires or the FFC
+///   latches offline mid-recovery;
+/// - `Nominal -> Degraded` when the monitor demands recovery but the FFC
+///   has latched offline — recovery is needed and cannot be trusted;
+/// - `Degraded` is latched until [`SessionSupervisor::reset`].
+///
+/// Fully deterministic: no clocks, no RNG, state only.
+#[derive(Debug, Clone)]
+pub struct SessionSupervisor {
+    monitor: FfcHealthMonitor,
+    watchdog: RecoveryWatchdog,
+    health: HealthState,
+    activations: usize,
+}
+
+impl SessionSupervisor {
+    /// Creates a supervisor: predictions outside `envelope` count toward
+    /// the `offline_after` debounce, and a recovery activation may run at
+    /// most `max_recovery_steps` consecutive steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offline_after` or `max_recovery_steps` is zero.
+    pub fn new(envelope: SignalEnvelope, offline_after: usize, max_recovery_steps: usize) -> Self {
+        SessionSupervisor {
+            monitor: FfcHealthMonitor::new(envelope, offline_after),
+            watchdog: RecoveryWatchdog::new(max_recovery_steps),
+            health: HealthState::Nominal,
+            activations: 0,
+        }
+    }
+
+    /// Observes one tick — the FFC's prediction and whether the detection
+    /// monitor is tripped — and returns the updated health state.
+    pub fn observe(&mut self, prediction: &ActuatorSignal, monitor_tripped: bool) -> HealthState {
+        // The debounce streak advances every tick, even once degraded, so
+        // the monitor's view of the prediction stream stays contiguous.
+        let usable = self.monitor.check(prediction);
+        if self.health == HealthState::Degraded {
+            return self.health;
+        }
+        match self.health {
+            HealthState::Nominal if monitor_tripped => {
+                if usable {
+                    self.health = HealthState::Recovery;
+                    self.activations += 1;
+                    self.watchdog.rearm();
+                    if self.watchdog.tick() {
+                        self.health = HealthState::Degraded;
+                    }
+                } else if self.monitor.is_offline() {
+                    // Recovery is demanded and the model that would fly it
+                    // is gone: fail safe explicitly.
+                    self.health = HealthState::Degraded;
+                }
+            }
+            HealthState::Recovery => {
+                if !monitor_tripped {
+                    self.health = HealthState::Nominal;
+                    self.watchdog.rearm();
+                } else if self.monitor.is_offline() || self.watchdog.tick() {
+                    self.health = HealthState::Degraded;
+                }
+            }
+            _ => {}
+        }
+        self.health
+    }
+
+    /// The current (latched) health state.
+    pub fn health(&self) -> HealthState {
+        self.health
+    }
+
+    /// Whether the FFC health monitor has latched the model offline.
+    pub fn ffc_offline(&self) -> bool {
+        self.monitor.is_offline()
+    }
+
+    /// Total number of recovery activations so far.
+    pub fn recovery_activations(&self) -> usize {
+        self.activations
+    }
+
+    /// Clears all latches and counters (between missions).
+    pub fn reset(&mut self) {
+        self.monitor.reset();
+        self.watchdog.rearm();
+        self.health = HealthState::Nominal;
+        self.activations = 0;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -281,5 +394,57 @@ mod tests {
     #[should_panic(expected = "budget")]
     fn watchdog_rejects_zero_budget() {
         let _ = RecoveryWatchdog::new(0);
+    }
+
+    #[test]
+    fn session_supervisor_full_recovery_cycle() {
+        let mut sup = SessionSupervisor::new(SignalEnvelope::default(), 3, 10);
+        let good = sig(0.1, 0.5);
+        // Quiet: stays nominal.
+        assert_eq!(sup.observe(&good, false), HealthState::Nominal);
+        // Trip with a usable prediction: recovery, one activation.
+        assert_eq!(sup.observe(&good, true), HealthState::Recovery);
+        assert_eq!(sup.recovery_activations(), 1);
+        assert_eq!(sup.observe(&good, true), HealthState::Recovery);
+        // Monitor quiesces: back to nominal with the watchdog re-armed.
+        assert_eq!(sup.observe(&good, false), HealthState::Nominal);
+        // Second activation runs the full budget and degrades.
+        for i in 0..10 {
+            assert_eq!(sup.observe(&good, true), HealthState::Recovery, "step {i}");
+        }
+        assert_eq!(sup.observe(&good, true), HealthState::Degraded);
+        assert_eq!(sup.recovery_activations(), 2);
+        // Latched until reset, even if the monitor quiesces.
+        assert_eq!(sup.observe(&good, false), HealthState::Degraded);
+        sup.reset();
+        assert_eq!(sup.health(), HealthState::Nominal);
+        assert_eq!(sup.recovery_activations(), 0);
+    }
+
+    #[test]
+    fn session_supervisor_degrades_when_ffc_dies_in_recovery() {
+        let mut sup = SessionSupervisor::new(SignalEnvelope::default(), 2, 100);
+        let good = sig(0.1, 0.5);
+        let bad = sig(f64::NAN, 0.5);
+        assert_eq!(sup.observe(&good, true), HealthState::Recovery);
+        // One bad prediction is debounced; a second latches offline and
+        // recovery can no longer be trusted.
+        assert_eq!(sup.observe(&bad, true), HealthState::Recovery);
+        assert_eq!(sup.observe(&bad, true), HealthState::Degraded);
+        assert!(sup.ffc_offline());
+    }
+
+    #[test]
+    fn session_supervisor_nominal_offline_trip_fails_safe() {
+        let mut sup = SessionSupervisor::new(SignalEnvelope::default(), 2, 100);
+        let bad = sig(f64::NAN, 0.5);
+        // The model dies while nominal (no trip): still nominal — the PID
+        // is flying and nothing demanded the FFC.
+        assert_eq!(sup.observe(&bad, false), HealthState::Nominal);
+        assert_eq!(sup.observe(&bad, false), HealthState::Nominal);
+        assert!(sup.ffc_offline());
+        // A trip that *cannot* be answered is an explicit fail-safe.
+        assert_eq!(sup.observe(&bad, true), HealthState::Degraded);
+        assert_eq!(sup.recovery_activations(), 0);
     }
 }

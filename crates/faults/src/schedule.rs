@@ -62,6 +62,44 @@ impl FaultSchedule {
         }
     }
 
+    /// The same schedule shifted `offset` seconds later (negative shifts
+    /// pull it earlier; window edges are clamped at zero).
+    ///
+    /// This is how per-session fault schedules are derived at fleet
+    /// scale: the fleet engine phase-shifts one template schedule by a
+    /// session-dependent offset, so a 100k-session fleet exercises the
+    /// fault path continuously instead of tripping every monitor on the
+    /// same tick.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pidpiper_faults::FaultSchedule;
+    ///
+    /// let template = FaultSchedule::Intermittent { start: 5.0, on: 1.0, off: 9.0 };
+    /// let session_7 = template.shifted(0.7);
+    /// assert!(!session_7.is_active(5.5));
+    /// assert!(session_7.is_active(5.8));
+    /// ```
+    pub fn shifted(&self, offset: f64) -> FaultSchedule {
+        match self {
+            FaultSchedule::Continuous { start } => FaultSchedule::Continuous {
+                start: (start + offset).max(0.0),
+            },
+            FaultSchedule::Windows(ws) => FaultSchedule::Windows(
+                ws.iter()
+                    .map(|&(a, b)| ((a + offset).max(0.0), (b + offset).max(0.0)))
+                    .collect(),
+            ),
+            FaultSchedule::Intermittent { start, on, off } => FaultSchedule::Intermittent {
+                start: (start + offset).max(0.0),
+                on: *on,
+                off: *off,
+            },
+            FaultSchedule::Never => FaultSchedule::Never,
+        }
+    }
+
     /// The first activation time, if the schedule ever activates.
     pub fn first_activation(&self) -> Option<f64> {
         match self {
@@ -111,6 +149,27 @@ mod tests {
             assert!(s.is_active(base + 0.1), "burst {k}");
             assert!(!s.is_active(base + 2.1), "gap {k}");
         }
+    }
+
+    #[test]
+    fn shifted_translates_every_variant() {
+        let c = FaultSchedule::Continuous { start: 5.0 }.shifted(2.5);
+        assert_eq!(c.first_activation(), Some(7.5));
+        // Negative shifts clamp at the mission start.
+        let clamped = FaultSchedule::Continuous { start: 1.0 }.shifted(-4.0);
+        assert_eq!(clamped.first_activation(), Some(0.0));
+        let w = FaultSchedule::Windows(vec![(1.0, 2.0)]).shifted(3.0);
+        assert!(w.is_active(4.5));
+        assert!(!w.is_active(1.5));
+        let i = FaultSchedule::Intermittent {
+            start: 10.0,
+            on: 3.0,
+            off: 5.0,
+        }
+        .shifted(1.0);
+        assert!(!i.is_active(10.5));
+        assert!(i.is_active(11.5));
+        assert_eq!(FaultSchedule::Never.shifted(9.0), FaultSchedule::Never);
     }
 
     #[test]

@@ -1,0 +1,253 @@
+//! Shards: the steal-free unit of parallelism.
+//!
+//! Every session is pinned to shard `id % shard_count` for life. A shard
+//! owns its sessions, its pending-admission queue, its quarantine list
+//! and one heavy [`ShardScratch`]; a fleet tick gives each worker a fixed
+//! contiguous range of shards and no work ever migrates. Determinism
+//! falls out: the sessions of a shard tick in admission order, shards
+//! never share mutable state, so the fleet's per-session results are
+//! bit-identical for *any* worker count — the serial/parallel equivalence
+//! contract of the PR-4 batch layer, extended to fleet ticks.
+
+use std::collections::VecDeque;
+
+use pidpiper_missions::{HealthState, MissionError};
+use pidpiper_ml::StreamingRegressor;
+
+use crate::session::{SessionParams, SessionSpec, ShardScratch, VehicleSession};
+
+/// Why the fleet refused a session outright (neither admitted nor
+/// queued). Submission never blocks and never silently drops: callers
+/// get this typed error and decide whether to retry later, shed load, or
+/// route the vehicle to another fleet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// The target shard is at resident capacity (or past its tick cost
+    /// budget) *and* its pending queue is full.
+    ShardSaturated {
+        /// The shard that refused the session.
+        shard: usize,
+        /// Sessions currently resident on that shard.
+        resident: usize,
+        /// Sessions already waiting in its pending queue.
+        queued: usize,
+    },
+}
+
+impl std::fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmissionError::ShardSaturated {
+                shard,
+                resident,
+                queued,
+            } => write!(
+                f,
+                "shard {shard} saturated: {resident} resident sessions, {queued} queued"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+/// Successful submission outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// The session is resident and ticks from the next fleet tick on.
+    Admitted {
+        /// The shard it landed on.
+        shard: usize,
+    },
+    /// The shard is behind its deadline budget; the session waits in the
+    /// shard's pending queue and is admitted (in FIFO order) as soon as
+    /// capacity frees up — backpressure, not rejection.
+    Queued {
+        /// The shard whose queue it joined.
+        shard: usize,
+        /// Its position in that queue (1 = next to admit).
+        depth: usize,
+    },
+}
+
+/// A session retired into quarantine with its typed error — the PR-4
+/// quarantine contract applied to fleet sessions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetiredSession {
+    /// The retired session's identity.
+    pub id: u64,
+    /// Ticks it flew before retirement.
+    pub ticks: u64,
+    /// Its final behavioral fingerprint (still part of the determinism
+    /// gate: retirement timing is deterministic too).
+    pub fingerprint: u64,
+    /// Why it was retired.
+    pub error: MissionError,
+}
+
+/// Aggregate results of one shard tick.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardTickStats {
+    /// Session ticks executed.
+    pub session_ticks: u64,
+    /// Sessions admitted from the pending queue this tick.
+    pub admitted_from_queue: u64,
+    /// Sessions retired into quarantine this tick.
+    pub retired: u64,
+    /// Ticks whose CUSUM monitor was tripped.
+    pub tripped: u64,
+    /// Ticks with an active fault schedule.
+    pub faulted: u64,
+    /// Sessions currently in `Recovery`.
+    pub in_recovery: u64,
+    /// Sessions currently latched `Degraded`.
+    pub degraded: u64,
+}
+
+impl ShardTickStats {
+    /// Accumulates another shard's stats.
+    pub fn merge(&mut self, other: &ShardTickStats) {
+        self.session_ticks += other.session_ticks;
+        self.admitted_from_queue += other.admitted_from_queue;
+        self.retired += other.retired;
+        self.tripped += other.tripped;
+        self.faulted += other.faulted;
+        self.in_recovery += other.in_recovery;
+        self.degraded += other.degraded;
+    }
+}
+
+/// One shard: resident sessions, pending queue, quarantine, scratch.
+#[derive(Debug)]
+pub(crate) struct Shard {
+    index: usize,
+    capacity: usize,
+    pending_capacity: usize,
+    /// Deadline budget in cost units per tick; a shard whose resident
+    /// load would exceed it stops admitting directly.
+    cost_budget: u64,
+    /// Deterministic cost estimate of one session tick, in cost units.
+    session_cost: u64,
+    sessions: Vec<VehicleSession>,
+    pending: VecDeque<SessionSpec>,
+    retired: Vec<RetiredSession>,
+    scratch: ShardScratch,
+}
+
+impl Shard {
+    pub(crate) fn new(
+        index: usize,
+        capacity: usize,
+        pending_capacity: usize,
+        cost_budget: u64,
+        session_cost: u64,
+        engine: &StreamingRegressor,
+    ) -> Self {
+        Shard {
+            index,
+            capacity,
+            pending_capacity,
+            cost_budget,
+            session_cost: session_cost.max(1),
+            sessions: Vec::new(),
+            pending: VecDeque::new(),
+            retired: Vec::new(),
+            scratch: ShardScratch::for_engine(engine),
+        }
+    }
+
+    /// Whether one more resident session fits the resident cap and the
+    /// tick cost budget.
+    fn has_room(&self) -> bool {
+        self.sessions.len() < self.capacity
+            && (self.sessions.len() as u64 + 1).saturating_mul(self.session_cost)
+                <= self.cost_budget
+    }
+
+    pub(crate) fn submit(
+        &mut self,
+        spec: SessionSpec,
+        engine: &StreamingRegressor,
+        params: &SessionParams,
+    ) -> Result<Admission, AdmissionError> {
+        if self.has_room() && self.pending.is_empty() {
+            self.sessions.push(VehicleSession::new(spec, engine, params));
+            Ok(Admission::Admitted { shard: self.index })
+        } else if self.pending.len() < self.pending_capacity {
+            self.pending.push_back(spec);
+            Ok(Admission::Queued {
+                shard: self.index,
+                depth: self.pending.len(),
+            })
+        } else {
+            Err(AdmissionError::ShardSaturated {
+                shard: self.index,
+                resident: self.sessions.len(),
+                queued: self.pending.len(),
+            })
+        }
+    }
+
+    /// Ticks the shard: drains the pending queue into freed capacity
+    /// (FIFO), then ticks every resident session in admission order,
+    /// retiring budget violators into quarantine.
+    pub(crate) fn tick(
+        &mut self,
+        engine: &StreamingRegressor,
+        params: &SessionParams,
+    ) -> ShardTickStats {
+        let mut stats = ShardTickStats::default();
+        while self.has_room() {
+            match self.pending.pop_front() {
+                Some(spec) => {
+                    self.sessions.push(VehicleSession::new(spec, engine, params));
+                    stats.admitted_from_queue += 1;
+                }
+                None => break,
+            }
+        }
+        let mut i = 0;
+        while i < self.sessions.len() {
+            match self.sessions[i].tick(engine, params, &mut self.scratch) {
+                Ok(r) => {
+                    stats.session_ticks += 1;
+                    stats.tripped += u64::from(r.tripped);
+                    stats.faulted += u64::from(r.fault_active);
+                    match r.health {
+                        HealthState::Recovery => stats.in_recovery += 1,
+                        HealthState::Degraded => stats.degraded += 1,
+                        HealthState::Nominal => {}
+                    }
+                    i += 1;
+                }
+                Err(error) => {
+                    let s = self.sessions.remove(i);
+                    self.retired.push(RetiredSession {
+                        id: s.id(),
+                        ticks: s.ticks(),
+                        fingerprint: s.fingerprint(),
+                        error,
+                    });
+                    stats.retired += 1;
+                }
+            }
+        }
+        stats
+    }
+
+    pub(crate) fn resident(&self) -> usize {
+        self.sessions.len()
+    }
+
+    pub(crate) fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    pub(crate) fn sessions(&self) -> &[VehicleSession] {
+        &self.sessions
+    }
+
+    pub(crate) fn retired_sessions(&self) -> &[RetiredSession] {
+        &self.retired
+    }
+}

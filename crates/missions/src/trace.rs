@@ -7,6 +7,83 @@ use pidpiper_sensors::{EstimatedState, SensorReadings};
 use pidpiper_sim::RigidBodyState;
 use std::fmt::Write as _;
 
+/// A streaming 64-bit FNV-1a hasher over 64-bit words — the exact mixer
+/// behind [`Trace::fingerprint`], exposed so long-lived consumers (the
+/// fleet engine's per-session trace hook) can fingerprint behavior tick
+/// by tick without materializing a [`Trace`].
+///
+/// Words are mixed byte-by-byte in little-endian order, so a
+/// `Fingerprint` fed the same word sequence as `Trace::fingerprint`
+/// produces the same value — there is one hash definition in the
+/// codebase, not two.
+///
+/// # Examples
+///
+/// ```
+/// use pidpiper_missions::Fingerprint;
+///
+/// let mut fp = Fingerprint::new();
+/// fp.mix_f64(1.5);
+/// fp.mix_flag(true);
+/// let a = fp.value();
+/// let mut fp2 = Fingerprint::new();
+/// fp2.mix_u64(1.5f64.to_bits());
+/// fp2.mix_u64(1);
+/// assert_eq!(a, fp2.value());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fingerprint {
+    hash: u64,
+}
+
+impl Fingerprint {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A fresh hasher at the FNV-1a offset basis.
+    pub const fn new() -> Self {
+        Fingerprint { hash: Self::OFFSET }
+    }
+
+    /// Mixes one 64-bit word (little-endian, byte by byte).
+    pub fn mix_u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.hash = (self.hash ^ u64::from(b)).wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Mixes the full bit pattern of an `f64` (nothing is rounded; a
+    /// sub-ULP change flips the value).
+    pub fn mix_f64(&mut self, v: f64) {
+        self.mix_u64(v.to_bits());
+    }
+
+    /// Mixes a boolean flag as a 0/1 word.
+    pub fn mix_flag(&mut self, v: bool) {
+        self.mix_u64(u64::from(v));
+    }
+
+    /// Mixes a [`HealthState`] as its 0/1/2 discriminant.
+    pub fn mix_health(&mut self, h: HealthState) {
+        self.mix_u64(match h {
+            HealthState::Nominal => 0,
+            HealthState::Recovery => 1,
+            HealthState::Degraded => 2,
+        });
+    }
+
+    /// The current hash value.
+    pub fn value(&self) -> u64 {
+        self.hash
+    }
+}
+
+impl Default for Fingerprint {
+    fn default() -> Self {
+        Fingerprint::new()
+    }
+}
+
 /// One control-step record.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceRecord {
@@ -136,40 +213,29 @@ impl Trace {
     /// The streaming-equivalence tests use this to assert that inference
     /// engine rewrites leave every mission byte-for-byte unchanged.
     pub fn fingerprint(&self) -> u64 {
-        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-        let mut h = OFFSET;
-        let mut mix = |v: u64| {
-            const PRIME: u64 = 0x0000_0100_0000_01b3;
-            for b in v.to_le_bytes() {
-                h = (h ^ u64::from(b)).wrapping_mul(PRIME);
-            }
-        };
+        let mut fp = Fingerprint::new();
         for r in &self.records {
-            mix(r.t.to_bits());
+            fp.mix_f64(r.t);
             for v in [r.truth.position, r.truth.attitude, r.est.position] {
-                mix(v.x.to_bits());
-                mix(v.y.to_bits());
-                mix(v.z.to_bits());
+                fp.mix_f64(v.x);
+                fp.mix_f64(v.y);
+                fp.mix_f64(v.z);
             }
             for s in [r.pid_signal, r.flown_signal] {
-                mix(s.roll.to_bits());
-                mix(s.pitch.to_bits());
-                mix(s.yaw_rate.to_bits());
-                mix(s.thrust.to_bits());
+                fp.mix_f64(s.roll);
+                fp.mix_f64(s.pitch);
+                fp.mix_f64(s.yaw_rate);
+                fp.mix_f64(s.thrust);
             }
-            mix(u64::from(r.attack_active));
-            mix(u64::from(r.fault_active));
-            mix(u64::from(r.recovery_active));
-            mix(match r.health {
-                HealthState::Nominal => 0,
-                HealthState::Recovery => 1,
-                HealthState::Degraded => 2,
-            });
-            mix(r.monitor_statistic.to_bits());
-            mix(r.effective_p.to_bits());
-            mix(r.rotation_rate.to_bits());
+            fp.mix_flag(r.attack_active);
+            fp.mix_flag(r.fault_active);
+            fp.mix_flag(r.recovery_active);
+            fp.mix_health(r.health);
+            fp.mix_f64(r.monitor_statistic);
+            fp.mix_f64(r.effective_p);
+            fp.mix_f64(r.rotation_rate);
         }
-        h
+        fp.value()
     }
 
     /// Renders the trace as CSV (header + one row per record) with the
@@ -288,6 +354,46 @@ mod tests {
         }
         assert_ne!(a.fingerprint(), c.fingerprint());
         assert_ne!(Trace::new().fingerprint(), a.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_builder_matches_trace_hash() {
+        // The standalone builder is THE hash behind Trace::fingerprint:
+        // an empty trace hashes to the empty builder's value, and replaying
+        // a record's channels through the builder reproduces the trace hash.
+        assert_eq!(Trace::new().fingerprint(), Fingerprint::new().value());
+        let mut tr = Trace::new();
+        tr.push(record(2.0, true, true));
+        let mut fp = Fingerprint::new();
+        let r = &tr.records()[0];
+        fp.mix_f64(r.t);
+        for v in [r.truth.position, r.truth.attitude, r.est.position] {
+            fp.mix_f64(v.x);
+            fp.mix_f64(v.y);
+            fp.mix_f64(v.z);
+        }
+        for s in [r.pid_signal, r.flown_signal] {
+            fp.mix_f64(s.roll);
+            fp.mix_f64(s.pitch);
+            fp.mix_f64(s.yaw_rate);
+            fp.mix_f64(s.thrust);
+        }
+        fp.mix_flag(r.attack_active);
+        fp.mix_flag(r.fault_active);
+        fp.mix_flag(r.recovery_active);
+        fp.mix_health(r.health);
+        fp.mix_f64(r.monitor_statistic);
+        fp.mix_f64(r.effective_p);
+        fp.mix_f64(r.rotation_rate);
+        assert_eq!(tr.fingerprint(), fp.value());
+        // Order matters: swapping two mixes changes the value.
+        let mut a = Fingerprint::new();
+        a.mix_u64(1);
+        a.mix_u64(2);
+        let mut b = Fingerprint::new();
+        b.mix_u64(2);
+        b.mix_u64(1);
+        assert_ne!(a.value(), b.value());
     }
 
     #[test]

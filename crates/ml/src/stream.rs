@@ -209,6 +209,13 @@ impl StreamState {
         self.h2.copy_from_slice(&other.h2);
         self.c2.copy_from_slice(&other.c2);
     }
+
+    /// Heap bytes held by this state: the four hidden-sized `f64`
+    /// vectors (`4 * hidden * 8`). Used by fleet capacity planning.
+    pub fn resident_bytes(&self) -> usize {
+        (self.h1.len() + self.c1.len() + self.h2.len() + self.c2.len())
+            * std::mem::size_of::<f64>()
+    }
 }
 
 /// Preallocated working buffers for one [`StreamingRegressor`].
@@ -243,6 +250,19 @@ impl InferenceScratch {
             fc_b: vec![0.0; config.fc_width],
             z: vec![0.0; config.output_dim],
         }
+    }
+
+    /// Heap bytes held by this scratch (all working buffers plus its
+    /// embedded window-start state). A scratch is engine-shaped and shared
+    /// across sessions, so this is *per worker*, not per session.
+    pub fn resident_bytes(&self) -> usize {
+        self.state.resident_bytes()
+            + (self.normed.len()
+                + self.pre.len()
+                + self.fc_a.len()
+                + self.fc_b.len()
+                + self.z.len())
+                * std::mem::size_of::<f64>()
     }
 }
 
@@ -310,6 +330,22 @@ impl StreamingRegressor {
     /// A fresh [`InferenceScratch`] sized for this engine.
     pub fn scratch(&self) -> InferenceScratch {
         InferenceScratch::for_config(&self.config)
+    }
+
+    /// Bytes a long-lived session must keep *resident between ticks* to
+    /// stream this engine: one checkpoint [`StreamState`] (`4 * hidden`
+    /// f64s) plus a normalized history ring of `window - 1` feature rows
+    /// (`(window - 1) * input_dim` f64s).
+    ///
+    /// Engine weights and the [`InferenceScratch`] are shared across any
+    /// number of sessions and are deliberately excluded — this is the
+    /// marginal cost of one more session, the number fleet capacity
+    /// planning multiplies by the session count (see `OPERATIONS.md`).
+    pub fn session_state_bytes(&self) -> usize {
+        let state = 4 * self.config.hidden * std::mem::size_of::<f64>();
+        let ring =
+            (self.config.window - 1) * self.config.input_dim * std::mem::size_of::<f64>();
+        state + ring
     }
 
     /// Standardizes one raw feature row into `out` without allocating.
@@ -591,6 +627,23 @@ mod tests {
                 got: 1,
                 expected: 5
             })
+        );
+    }
+
+    #[test]
+    fn session_state_sizing_matches_config() {
+        let model = LstmRegressor::new(RegressorConfig::tiny(2, 1), 0);
+        let engine = model.compile();
+        let c = *engine.config();
+        // tiny: hidden 6, window 5, input 2.
+        let expected_state = 4 * c.hidden * 8;
+        let expected_ring = (c.window - 1) * c.input_dim * 8;
+        assert_eq!(engine.session_state_bytes(), expected_state + expected_ring);
+        assert_eq!(engine.state().resident_bytes(), expected_state);
+        let scratch = engine.scratch();
+        assert_eq!(
+            scratch.resident_bytes(),
+            expected_state + (c.input_dim + 4 * c.hidden + 2 * c.fc_width + c.output_dim) * 8
         );
     }
 

@@ -24,7 +24,10 @@
 //!   deterministic retry and quarantine);
 //! - [`core`] — PID-Piper itself: sensor sanitizer, FFC/FBC models,
 //!   lag-tolerant CUSUM monitor, recovery module and training pipeline;
-//! - [`baselines`] — the SRR, CI and Savior comparison techniques.
+//! - [`baselines`] — the SRR, CI and Savior comparison techniques;
+//! - [`fleet`] — the fleet-scale session engine: sharded deterministic
+//!   scheduling of many concurrent vehicle monitoring sessions (the
+//!   `pidpiper-fleet` binary; see `OPERATIONS.md`).
 //!
 //! # Quickstart
 //!
@@ -72,6 +75,7 @@ pub use pidpiper_baselines as baselines;
 pub use pidpiper_control as control;
 pub use pidpiper_core as core;
 pub use pidpiper_faults as faults;
+pub use pidpiper_fleet as fleet;
 pub use pidpiper_math as math;
 pub use pidpiper_missions as missions;
 pub use pidpiper_ml as ml;
@@ -88,6 +92,7 @@ pub mod prelude {
         PidPiperConfig, SensorSanitizer, Trainer, TrainerConfig,
     };
     pub use pidpiper_faults::{Fault, FaultInjector, FaultKind, FaultSchedule, SensorChannel};
+    pub use pidpiper_fleet::{FleetConfig, FleetEngine, SessionSpec};
     pub use pidpiper_math::Vec3;
     pub use pidpiper_missions::{
         configured_jobs, BatchOutcome, Defense, HealthState, MissionAttack, MissionBudget,
