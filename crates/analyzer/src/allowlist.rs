@@ -105,7 +105,9 @@ impl Allowlist {
                 line: e.line,
                 rule: RuleId::Al01StaleAllow,
                 message: format!(
-                    "stale allowlist entry ({} {} \"{}\") suppresses nothing; remove it",
+                    "stale allowlist entry at {allow_path}:{} ({} {} \"{}\") suppresses \
+                     nothing; remove it",
+                    e.line,
                     e.rule.as_str(),
                     e.path_suffix,
                     e.needle
@@ -214,5 +216,19 @@ mod tests {
         assert_eq!(f.rule, RuleId::Al01StaleAllow);
         assert_eq!(f.path, "analyzer.allow");
         assert_eq!(f.line, 1);
+    }
+
+    #[test]
+    fn stale_entry_findings_name_the_allow_file_line() {
+        // The dead entry sits on line 5 after comments and blanks; both
+        // the finding's line and its message must say so, so the fix is a
+        // one-keystroke jump rather than a needle hunt.
+        let text = "# header\n\n# more commentary\n\nDT01 nowhere.rs \"tick\" -- obsolete\n";
+        let al = Allowlist::parse(text).expect("parses");
+        let applied = al.apply(Vec::new(), "custom.allow", |_, _| None);
+        assert_eq!(applied.kept.len(), 1);
+        let f = &applied.kept[0];
+        assert_eq!(f.line, 5);
+        assert!(f.message.contains("custom.allow:5"), "{}", f.message);
     }
 }

@@ -208,7 +208,14 @@ impl Lexer<'_> {
         self.pos += 1; // opening quote
         while self.pos < self.bytes.len() {
             match self.bytes[self.pos] {
-                b'\\' => self.pos += 2,
+                // The escaped byte may itself be a newline (`\` line
+                // continuation); it still advances the line counter.
+                b'\\' => {
+                    if let Some(next) = self.peek(1) {
+                        self.bump_line_on(next);
+                    }
+                    self.pos += 2;
+                }
                 b'"' => {
                     self.pos += 1;
                     self.push(TokenKind::Str, String::new(), line);
@@ -227,7 +234,12 @@ impl Lexer<'_> {
         self.pos += 1; // opening quote
         while self.pos < self.bytes.len() {
             match self.bytes[self.pos] {
-                b'\\' => self.pos += 2,
+                b'\\' => {
+                    if let Some(next) = self.peek(1) {
+                        self.bump_line_on(next);
+                    }
+                    self.pos += 2;
+                }
                 b'\'' => {
                     self.pos += 1;
                     self.push(TokenKind::Str, String::new(), line);
@@ -430,6 +442,16 @@ mod tests {
         let ts = tokenize("let s = \"a\nb\nc\";\nafter");
         let after = ts.iter().find(|t| t.is_ident("after")).unwrap();
         assert_eq!(after.line, 4);
+    }
+
+    #[test]
+    fn string_line_continuation_counts_lines() {
+        // A `\` at end of line inside a string escapes the newline; the
+        // newline must still bump the line counter or every later
+        // finding (and allowlist needle lookup) lands one line short.
+        let ts = tokenize("let s = \"head \\\n tail\";\nafter");
+        let after = ts.iter().find(|t| t.is_ident("after")).unwrap();
+        assert_eq!(after.line, 3);
     }
 
     #[test]

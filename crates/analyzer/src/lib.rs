@@ -17,6 +17,25 @@
 //! - **doc coverage** (`DC01`) — every crate root must carry
 //!   `#![deny(missing_docs)]`.
 //!
+//! On top of the per-file lints sits a lightweight cross-file symbol
+//! index ([`symbols`]): a second pass over the lexer output recording
+//! item definitions and call references, linked across crates by the
+//! workspace `Cargo.toml` graph. It powers the interprocedural families
+//! in [`taint`]:
+//!
+//! - **trust boundary** (`TB01`) — raw sensor readings must cross a
+//!   declared `ReadingsGuard`/sanitizer entry point before reaching FFC
+//!   inference or actuator-command construction (PID-Piper's core
+//!   architectural claim, made checkable by the `analyzer.boundaries`
+//!   manifest);
+//! - **interprocedural determinism** (`DT04`/`DT05`) — hash-ordered
+//!   collections and unordered float reductions anywhere transitively
+//!   reachable from the declared determinism roots;
+//! - **concurrency** (`CC01`/`CC02`) — mutable globals and
+//!   lock-held-across-callback patterns in the declared worker paths;
+//! - **manifest hygiene** (`BM01`) — boundary declarations that no longer
+//!   match any symbol are themselves findings.
+//!
 //! Justified exceptions live in the checked-in `analyzer.allow` file; a
 //! stale exception is itself a finding (`AL01`). See the module docs of
 //! [`rules`] and [`allowlist`] for the rule catalogue and file format, and
@@ -29,7 +48,11 @@ pub mod allowlist;
 pub mod lexer;
 pub mod rules;
 pub mod scan;
+pub mod symbols;
+pub mod taint;
 
 pub use allowlist::{AllowEntry, Allowlist};
-pub use rules::{analyze_source, FileContext, Finding, RuleId};
-pub use scan::{analyze_rel, scan_workspace, ScanReport};
+pub use rules::{analyze_source, FileContext, Finding, LintProfile, RuleId};
+pub use scan::{analyze_rel, analyze_sources, scan_workspace, ScanReport};
+pub use symbols::{CrateGraph, SymbolIndex};
+pub use taint::{Boundaries, BoundaryEntry, BoundaryKind};

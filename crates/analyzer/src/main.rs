@@ -1,23 +1,36 @@
 //! `pidpiper-analyzer` — the workspace invariant gate.
 //!
 //! ```text
-//! pidpiper-analyzer --workspace              # scan the whole workspace (CI mode)
-//! pidpiper-analyzer file.rs [file2.rs ...]   # scan specific files
-//! pidpiper-analyzer --allow my.allow ...     # use an explicit allow file
+//! pidpiper-analyzer --workspace                # scan the whole workspace (CI mode)
+//! pidpiper-analyzer --workspace --format json  # machine-readable report on stdout
+//! pidpiper-analyzer file.rs [file2.rs ...]     # scan specific files
+//! pidpiper-analyzer --allow my.allow ...       # use an explicit allow file
+//! pidpiper-analyzer --boundaries my.b ...      # use an explicit boundary manifest
 //! ```
 //!
-//! Findings print as `path:line: RULE: message`, sorted. Exit status:
-//! `0` clean, `1` findings, `2` usage or I/O error.
+//! Text findings print as `path:line: RULE: message`, sorted; `--format
+//! json` emits the schema-versioned report CI archives and diffs. Exit
+//! status: `0` clean, `1` findings, `2` usage or I/O error.
 
 #![deny(missing_docs)]
 
 use pidpiper_analyzer::scan;
+use pidpiper_analyzer::symbols::CrateGraph;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
+
+#[derive(PartialEq)]
+enum Format {
+    Text,
+    Json,
+}
 
 struct Args {
     workspace: bool,
     allow: Option<PathBuf>,
+    boundaries: Option<PathBuf>,
+    format: Format,
     files: Vec<PathBuf>,
 }
 
@@ -25,6 +38,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut args = Args {
         workspace: false,
         allow: None,
+        boundaries: None,
+        format: Format::Text,
         files: Vec::new(),
     };
     let mut it = argv.iter();
@@ -34,6 +49,18 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--allow" => {
                 let p = it.next().ok_or("--allow requires a file path")?;
                 args.allow = Some(PathBuf::from(p));
+            }
+            "--boundaries" => {
+                let p = it.next().ok_or("--boundaries requires a file path")?;
+                args.boundaries = Some(PathBuf::from(p));
+            }
+            "--format" => {
+                let f = it.next().ok_or("--format requires `text` or `json`")?;
+                args.format = match f.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    other => return Err(format!("unknown format `{other}` (text|json)")),
+                };
             }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other if other.starts_with('-') => {
@@ -51,7 +78,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     Ok(args)
 }
 
-const USAGE: &str = "usage: pidpiper-analyzer --workspace | <file.rs>... [--allow <file>]";
+const USAGE: &str = "usage: pidpiper-analyzer --workspace | <file.rs>... \
+                     [--allow <file>] [--boundaries <file>] [--format text|json]";
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -63,34 +91,46 @@ fn main() -> ExitCode {
         }
     };
 
+    // Wall time is the measurand here: CI regression-gates the parallel
+    // scan's runtime on the reported `scan_ms` (allowlisted DT01 — the
+    // scan duration is diagnostic output, never part of any result).
+    let started = Instant::now();
     let report = if args.workspace {
         let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
         let root = scan::find_workspace_root(&cwd);
-        scan::scan_workspace(&root, args.allow.as_deref())
+        scan::scan_workspace(&root, args.allow.as_deref(), args.boundaries.as_deref())
     } else {
         let files: Vec<(PathBuf, String)> = args
             .files
             .iter()
             .map(|p| (p.clone(), p.to_string_lossy().replace('\\', "/")))
             .collect();
-        let allow_text = match &args.allow {
-            Some(p) => match std::fs::read_to_string(p) {
-                Ok(text) => Some((p.clone(), text)),
-                Err(e) => {
-                    eprintln!("{}: {e}", p.display());
-                    return ExitCode::from(2);
-                }
-            },
-            None => None,
+        let read_named = |p: &PathBuf| match std::fs::read_to_string(p) {
+            Ok(text) => Ok((p.to_string_lossy().replace('\\', "/"), text)),
+            Err(e) => Err(format!("{}: {e}", p.display())),
         };
-        let allow_ref = allow_text
-            .as_ref()
-            .map(|(p, t)| (p.to_string_lossy().replace('\\', "/"), t.as_str()));
+        let allow_text = match args.allow.as_ref().map(read_named).transpose() {
+            Ok(t) => t,
+            Err(msg) => {
+                eprintln!("{msg}");
+                return ExitCode::from(2);
+            }
+        };
+        let bounds_text = match args.boundaries.as_ref().map(read_named).transpose() {
+            Ok(t) => t,
+            Err(msg) => {
+                eprintln!("{msg}");
+                return ExitCode::from(2);
+            }
+        };
         scan::scan_files(
             &files,
-            allow_ref.as_ref().map(|(p, t)| (p.as_str(), *t)),
+            allow_text.as_ref().map(|(p, t)| (p.as_str(), t.as_str())),
+            bounds_text.as_ref().map(|(p, t)| (p.as_str(), t.as_str())),
+            CrateGraph::permissive(),
         )
     };
+    let scan_ms = started.elapsed().as_millis() as u64;
 
     let report = match report {
         Ok(r) => r,
@@ -100,8 +140,13 @@ fn main() -> ExitCode {
         }
     };
 
-    for f in &report.findings {
-        println!("{f}");
+    match args.format {
+        Format::Json => print!("{}", scan::to_json(&report, scan_ms)),
+        Format::Text => {
+            for f in &report.findings {
+                println!("{f}");
+            }
+        }
     }
     let suppressed = match report.suppressed {
         0 => String::new(),
@@ -116,7 +161,7 @@ fn main() -> ExitCode {
         ExitCode::from(1)
     } else {
         eprintln!(
-            "pidpiper-analyzer: clean — {} file(s) analyzed{suppressed}",
+            "pidpiper-analyzer: clean — {} file(s) analyzed in {scan_ms} ms{suppressed}",
             report.files
         );
         ExitCode::SUCCESS
@@ -137,13 +182,30 @@ mod tests {
         let a = parse_args(&argv(&["--workspace"])).expect("ok");
         assert!(a.workspace);
         assert!(a.files.is_empty());
+        assert!(a.format == Format::Text);
     }
 
     #[test]
-    fn parses_files_and_allow() {
-        let a = parse_args(&argv(&["--allow", "x.allow", "a.rs", "b.rs"])).expect("ok");
+    fn parses_files_allow_and_boundaries() {
+        let a = parse_args(&argv(&[
+            "--allow",
+            "x.allow",
+            "--boundaries",
+            "x.b",
+            "a.rs",
+            "b.rs",
+        ]))
+        .expect("ok");
         assert_eq!(a.allow.as_deref(), Some(Path::new("x.allow")));
+        assert_eq!(a.boundaries.as_deref(), Some(Path::new("x.b")));
         assert_eq!(a.files.len(), 2);
+    }
+
+    #[test]
+    fn parses_json_format() {
+        let a = parse_args(&argv(&["--workspace", "--format", "json"])).expect("ok");
+        assert!(a.format == Format::Json);
+        assert!(parse_args(&argv(&["--workspace", "--format", "yaml"])).is_err());
     }
 
     #[test]

@@ -1,12 +1,19 @@
-//! The four project-specific lint families and their token-level matchers.
+//! The per-file lint families, their token-level matchers, and the scan
+//! profiles that select which families apply where.
 //!
 //! | family | rules | enforced in |
 //! |---|---|---|
-//! | determinism | `DT01` wall clock, `DT02` ambient randomness, `DT03` unordered collections | every scanned crate |
-//! | panic-freedom | `PF01` `.unwrap()`, `PF02` `.expect(...)`, `PF03` panic-family macros, `PF04` unchecked indexing | library crates (all but the panic-exempt drivers) |
-//! | panicking I/O | `PF05` `fs::...(...)`/`File::...(...)` unwrapped | every scanned crate, *including* panic-exempt drivers |
-//! | float-safety | `FS01` float `==`/`!=`, `FS02` `partial_cmp().unwrap()` | every scanned crate |
-//! | doc coverage | `DC01` missing `#![deny(missing_docs)]` | every crate root |
+//! | determinism | `DT01` wall clock, `DT02` ambient randomness, `DT03` unordered collections | every scanned file, all profiles |
+//! | panic-freedom | `PF01` `.unwrap()`, `PF02` `.expect(...)`, `PF03` panic-family macros, `PF04` unchecked indexing | [`LintProfile::Strict`] library code only |
+//! | panicking I/O | `PF05` `fs::...(...)`/`File::...(...)` unwrapped | `Strict` *and* `Driver` (panic-exempt drivers included) |
+//! | float-safety | `FS01` float `==`/`!=`, `FS02` `partial_cmp().unwrap()` | `Strict` and `Driver` |
+//! | doc coverage | `DC01` missing `#![deny(missing_docs)]` | every crate root (`Strict`/`Driver`) |
+//!
+//! The symbol-aware families — `TB01` (trust boundary), `DT04`/`DT05`
+//! (interprocedural determinism), `CC01`/`CC02` (concurrency) and `BM01`
+//! (stale boundary-manifest entry) — are cross-file rules and live in
+//! [`crate::taint`]; they share this module's [`RuleId`]/[`Finding`]
+//! vocabulary and run in *every* profile, relaxed test code included.
 //!
 //! `assert!`/`debug_assert!` are deliberately *not* flagged: they state
 //! documented caller contracts, and banning them would only push the same
@@ -47,6 +54,26 @@ pub enum RuleId {
     Dc01MissingDocsLint,
     /// An `analyzer.allow` entry that suppressed nothing (stale).
     Al01StaleAllow,
+    /// Raw sensor readings reach an FFC/actuator sink without crossing a
+    /// declared trust boundary (`ReadingsGuard`/sanitizer).
+    Tb01RawToSink,
+    /// `HashMap`/`HashSet` in a function transitively reachable from a
+    /// declared determinism root (`Trace::fingerprint`, the parallel
+    /// mission runners, the fleet tick loop).
+    Dt04ReachableUnordered,
+    /// An unordered float reduction (`.sum()`/`.fold()`/... over a
+    /// parallel or hash-ordered iterator) reachable from a determinism
+    /// root.
+    Dt05UnorderedReduction,
+    /// `static mut` or a non-`OnceLock` lazy static in the fleet/missions
+    /// worker paths.
+    Cc01MutableGlobal,
+    /// A lock guard acquired and then held across a callback/closure in
+    /// the same statement, in the fleet/missions worker paths.
+    Cc02LockAcrossCallback,
+    /// An `analyzer.boundaries` manifest entry that matches no symbol in
+    /// the scanned workspace (the manifest has rotted).
+    Bm01StaleBoundary,
 }
 
 impl RuleId {
@@ -65,12 +92,18 @@ impl RuleId {
             RuleId::Fs02PartialCmpUnwrap => "FS02",
             RuleId::Dc01MissingDocsLint => "DC01",
             RuleId::Al01StaleAllow => "AL01",
+            RuleId::Tb01RawToSink => "TB01",
+            RuleId::Dt04ReachableUnordered => "DT04",
+            RuleId::Dt05UnorderedReduction => "DT05",
+            RuleId::Cc01MutableGlobal => "CC01",
+            RuleId::Cc02LockAcrossCallback => "CC02",
+            RuleId::Bm01StaleBoundary => "BM01",
         }
     }
 
     /// Parses a short id (`"PF01"`), case-sensitively.
     pub fn parse(s: &str) -> Option<RuleId> {
-        const ALL: [RuleId; 12] = [
+        const ALL: [RuleId; 18] = [
             RuleId::Dt01WallClock,
             RuleId::Dt02AmbientRng,
             RuleId::Dt03UnorderedCollection,
@@ -83,6 +116,12 @@ impl RuleId {
             RuleId::Fs02PartialCmpUnwrap,
             RuleId::Dc01MissingDocsLint,
             RuleId::Al01StaleAllow,
+            RuleId::Tb01RawToSink,
+            RuleId::Dt04ReachableUnordered,
+            RuleId::Dt05UnorderedReduction,
+            RuleId::Cc01MutableGlobal,
+            RuleId::Cc02LockAcrossCallback,
+            RuleId::Bm01StaleBoundary,
         ];
         ALL.into_iter().find(|r| r.as_str() == s)
     }
@@ -114,6 +153,29 @@ impl std::fmt::Display for Finding {
     }
 }
 
+/// Which per-file rule families apply to a scanned file.
+///
+/// Profiles are derived from the file's workspace location by
+/// [`crate::scan::classify`]; the cross-file rules in [`crate::taint`]
+/// (TB/DT04/DT05/CC) apply in every profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LintProfile {
+    /// Library code flown in the control loop: every family applies.
+    Strict,
+    /// Experiment drivers and demo binaries (the `bench` crate, root
+    /// `examples/`): panics are tolerated (`PF01`–`PF04` off) but
+    /// panicking I/O (`PF05`), determinism, float-safety and doc coverage
+    /// still apply — a long batch run dying on a full disk while writing
+    /// a report throws away hours of completed missions.
+    Driver,
+    /// Integration tests and per-crate examples: panic-freedom, float-
+    /// safety and doc-coverage rules are off (tests legitimately unwrap
+    /// and compare exact floats), but the determinism family stays on —
+    /// a test that reads the wall clock or iterates a `HashMap` can go
+    /// flaky, and flaky equivalence tests defeat their purpose.
+    Relaxed,
+}
+
 /// Per-file analysis context.
 #[derive(Debug, Clone, Copy)]
 pub struct FileContext<'a> {
@@ -124,24 +186,25 @@ pub struct FileContext<'a> {
     pub crate_name: &'a str,
     /// Whether this file is the crate root (`lib.rs`).
     pub is_crate_root: bool,
+    /// Which rule families apply here.
+    pub profile: LintProfile,
 }
-
-/// Crates whose panics are tolerated: experiment *drivers* and demo
-/// binaries, not library code flown in the control loop. Everything else —
-/// including this analyzer — must be panic-free. The exemption covers
-/// `PF01`–`PF04` only: `PF05` (panicking I/O) is enforced even here,
-/// because a long batch run dying on a full disk while writing a report
-/// throws away hours of completed missions.
-const PANIC_EXEMPT_CRATES: [&str; 2] = ["bench", "examples"];
 
 const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
 
 /// Runs every applicable rule over one file's source.
 pub fn analyze_source(ctx: FileContext<'_>, src: &str) -> Vec<Finding> {
-    let tokens = tokenize(src);
-    let mask = test_mask(&tokens);
+    analyze_tokens(ctx, &tokenize(src))
+}
+
+/// Runs every applicable per-file rule over an already-tokenized file.
+/// The scan driver tokenizes each file once and shares the stream between
+/// this pass and the symbol index.
+pub fn analyze_tokens(ctx: FileContext<'_>, tokens: &[Token]) -> Vec<Finding> {
+    let mask = test_mask(tokens);
     let mut findings = Vec::new();
-    let panic_rules = !PANIC_EXEMPT_CRATES.contains(&ctx.crate_name);
+    let panic_rules = ctx.profile == LintProfile::Strict;
+    let driver_rules = ctx.profile != LintProfile::Relaxed;
 
     let mut f = |line: u32, rule: RuleId, message: String| {
         findings.push(Finding {
@@ -156,15 +219,17 @@ pub fn analyze_source(ctx: FileContext<'_>, src: &str) -> Vec<Finding> {
         if mask[i] {
             continue;
         }
-        determinism_at(&tokens, i, t, &mut f);
+        determinism_at(tokens, i, t, &mut f);
         if panic_rules {
-            panic_freedom_at(&tokens, i, t, &mut f);
+            panic_freedom_at(tokens, i, t, &mut f);
         }
-        panicking_io_at(&tokens, i, t, &mut f);
-        float_safety_at(&tokens, i, t, &mut f);
+        if driver_rules {
+            panicking_io_at(tokens, i, t, &mut f);
+            float_safety_at(tokens, i, t, &mut f);
+        }
     }
 
-    if ctx.is_crate_root && !has_missing_docs_deny(&tokens) {
+    if ctx.is_crate_root && driver_rules && !has_missing_docs_deny(tokens) {
         f(
             1,
             RuleId::Dc01MissingDocsLint,
@@ -421,7 +486,7 @@ fn path_call(tokens: &[Token], i: usize, segment: &str) -> bool {
 }
 
 /// Index of the `)` matching the `(` at `open`.
-fn matching_paren(tokens: &[Token], open: usize) -> Option<usize> {
+pub(crate) fn matching_paren(tokens: &[Token], open: usize) -> Option<usize> {
     let mut depth = 0usize;
     for (k, t) in tokens.iter().enumerate().skip(open) {
         if t.is_punct(b'(') {
@@ -464,7 +529,7 @@ fn has_missing_docs_deny(tokens: &[Token]) -> bool {
 /// Computes a boolean mask over the tokens: `true` marks tokens inside a
 /// `#[cfg(test)]`-gated item (module, fn, impl, use, ...), which every
 /// rule skips.
-fn test_mask(tokens: &[Token]) -> Vec<bool> {
+pub(crate) fn test_mask(tokens: &[Token]) -> Vec<bool> {
     let mut mask = vec![false; tokens.len()];
     let mut i = 0usize;
     while i < tokens.len() {
@@ -554,6 +619,7 @@ mod tests {
                 rel_path: "crates/fake/src/x.rs",
                 crate_name: "fake",
                 is_crate_root: false,
+                profile: LintProfile::Strict,
             },
             src,
         )
@@ -579,15 +645,36 @@ mod tests {
     }
 
     #[test]
-    fn bench_crate_is_panic_exempt_but_not_determinism_exempt() {
+    fn driver_profile_is_panic_exempt_but_not_determinism_exempt() {
         let ctx = FileContext {
             rel_path: "crates/bench/src/x.rs",
             crate_name: "bench",
             is_crate_root: false,
+            profile: LintProfile::Driver,
         };
         let fs = analyze_source(ctx, "fn f() { x.unwrap(); let m: HashMap<u8, u8>; }");
         let ids: Vec<&str> = fs.iter().map(|f| f.rule.as_str()).collect();
         assert_eq!(ids, vec!["DT03"]);
+    }
+
+    #[test]
+    fn relaxed_profile_keeps_determinism_only() {
+        let ctx = FileContext {
+            rel_path: "tests/end_to_end.rs",
+            crate_name: "pid-piper",
+            is_crate_root: false,
+            profile: LintProfile::Relaxed,
+        };
+        // Unwraps, panics, float ==, panicking I/O: all tolerated in tests.
+        let quiet = "fn f() { x.unwrap(); panic!(); if y == 0.5 {} fs::write(p, b).unwrap(); }";
+        assert!(analyze_source(ctx, quiet).is_empty());
+        // But the determinism family still fires.
+        let fs = analyze_source(
+            ctx,
+            "fn f() { let t = Instant::now(); let m: HashMap<u8, u8>; }",
+        );
+        let ids: Vec<&str> = fs.iter().map(|f| f.rule.as_str()).collect();
+        assert_eq!(ids, vec!["DT01", "DT03"]);
     }
 
     #[test]
@@ -596,6 +683,7 @@ mod tests {
             rel_path: "crates/bench/src/x.rs",
             crate_name: "bench",
             is_crate_root: false,
+            profile: LintProfile::Driver,
         };
         let fs = analyze_source(bench, "fn f() { fs::write(p, b).unwrap(); }");
         let ids: Vec<&str> = fs.iter().map(|f| f.rule.as_str()).collect();
@@ -604,6 +692,7 @@ mod tests {
             rel_path: "examples/demo.rs",
             crate_name: "examples",
             is_crate_root: false,
+            profile: LintProfile::Driver,
         };
         let fs = analyze_source(ex, "fn f() { let s = File::open(p).expect(\"open\"); }");
         let ids: Vec<&str> = fs.iter().map(|f| f.rule.as_str()).collect();
@@ -689,6 +778,7 @@ mod tests {
             rel_path: "crates/fake/src/lib.rs",
             crate_name: "fake",
             is_crate_root: true,
+            profile: LintProfile::Strict,
         };
         let fs = analyze_source(root, "//! docs\npub fn f() {}\n");
         assert_eq!(fs.len(), 1);

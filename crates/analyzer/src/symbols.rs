@@ -1,0 +1,787 @@
+//! A lightweight cross-file symbol index over the lexer's token streams.
+//!
+//! This is the analyzer's "second pass": where [`crate::rules`] judges one
+//! token stream at a time, this module records *items* — function
+//! definitions (with their `impl`/`trait` owner, parameter type
+//! identifiers and body extent), type definitions, and the call references
+//! inside each body — and links them across crates so the cross-file rules
+//! in [`crate::taint`] can walk a call graph instead of grepping lines.
+//!
+//! The index is deliberately name-based, not a type checker:
+//!
+//! - a method call `x.observe(...)` resolves to every function named
+//!   `observe` in a crate *linked* to the caller's crate (its dependencies
+//!   **or** its direct dependents — trait methods dispatch into impls that
+//!   live downstream of the trait's crate, e.g. `Defense::observe` impls
+//!   in `baselines` called from `missions`);
+//! - a qualified call `Type::method(...)` additionally requires the callee
+//!   to be defined in an `impl Type`/`trait Type` block, and resolves only
+//!   into the caller's crate and its dependencies;
+//! - a bare call `helper(...)` resolves by name into the caller's crate
+//!   and its dependencies.
+//!
+//! Over-approximation is the accepted trade: resolving to *more* functions
+//! than the compiler would makes reachability-based rules (DT04/DT05, CC)
+//! conservative rather than blind. The crate-dependency filter, parsed
+//! from the workspace `Cargo.toml` graph, keeps the fan-out honest.
+//!
+//! `#[cfg(test)]`-gated functions are excluded from the index entirely,
+//! mirroring the per-file rules' test exemption.
+
+use crate::lexer::{Token, TokenKind};
+use crate::rules::{matching_paren, test_mask};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+
+/// Identifier keywords never recorded as call references or parameters.
+const IDENT_KEYWORDS: [&str; 18] = [
+    "if", "else", "while", "for", "match", "return", "in", "as", "let", "fn", "move", "unsafe",
+    "loop", "self", "mut", "ref", "dyn", "impl",
+];
+
+/// How a call reference is written at the call site.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CallForm {
+    /// `helper(...)` — a bare function call.
+    Bare,
+    /// `x.method(...)` — a method call (possibly dynamic dispatch).
+    Method,
+    /// `Qualifier::name(...)` — a path-qualified call. Holds the final
+    /// qualifier segment (`FfcModel`, `Self`, a module name, ...).
+    Qualified(String),
+}
+
+/// One call reference inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct CallRef {
+    /// The called name (final path segment).
+    pub name: String,
+    /// How the call is written.
+    pub form: CallForm,
+}
+
+/// One function definition.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// The function's name.
+    pub name: String,
+    /// The `impl`/`trait` block's type name, when defined inside one.
+    pub owner: Option<String>,
+    /// Index into [`SymbolIndex::files`].
+    pub file: usize,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Identifiers appearing in the parameter list (types and bindings;
+    /// the taint rules match the distinctive CamelCase type names).
+    pub params: BTreeSet<String>,
+    /// Token range `[start, end]` of the body including its braces, or
+    /// `None` for bodyless declarations (trait method signatures).
+    pub body: Option<(usize, usize)>,
+    /// Deduplicated call references inside the body.
+    pub calls: Vec<CallRef>,
+}
+
+impl FnDef {
+    /// `Owner::name` when owned, else just the name.
+    pub fn qualified_name(&self) -> String {
+        match &self.owner {
+            Some(o) => format!("{o}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// One `struct`/`enum`/`trait`/`union` definition.
+#[derive(Debug, Clone)]
+pub struct TypeDef {
+    /// The type's name.
+    pub name: String,
+    /// Index into [`SymbolIndex::files`].
+    pub file: usize,
+    /// 1-based line of the defining keyword.
+    pub line: u32,
+}
+
+/// One indexed file: its tokens, test mask and identifier set, retained so
+/// the cross-file rules can run token-level checks inside function bodies.
+#[derive(Debug)]
+pub struct IndexedFile {
+    /// Workspace-relative path.
+    pub rel: String,
+    /// Owning crate directory name.
+    pub crate_name: String,
+    /// The file's token stream.
+    pub tokens: Vec<Token>,
+    /// `#[cfg(test)]` mask aligned with `tokens`.
+    pub mask: Vec<bool>,
+    /// Every identifier appearing in the file (for existence checks).
+    pub idents: BTreeSet<String>,
+}
+
+/// The crate-dependency graph, parsed from the workspace `Cargo.toml`s.
+///
+/// Crates are identified by their directory name under `crates/`
+/// (`pidpiper-math` → `math`); the root facade package is `pid-piper` and
+/// the root `examples/` and `tests/` directories borrow its edges.
+#[derive(Debug, Clone, Default)]
+pub struct CrateGraph {
+    deps: BTreeMap<String, BTreeSet<String>>,
+    rdeps: BTreeMap<String, BTreeSet<String>>,
+    permissive: bool,
+}
+
+impl CrateGraph {
+    /// A graph where every crate links to every other — used for fixture
+    /// corpora and ad-hoc file scans, where no manifest context exists.
+    pub fn permissive() -> CrateGraph {
+        CrateGraph {
+            permissive: true,
+            ..CrateGraph::default()
+        }
+    }
+
+    /// Parses the dependency graph from `<root>/Cargo.toml` and every
+    /// `<root>/crates/*/Cargo.toml`. Best-effort: unreadable manifests
+    /// contribute no edges rather than failing the scan.
+    pub fn from_workspace(root: &Path) -> CrateGraph {
+        let mut deps: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        let crates_dir = root.join("crates");
+        if let Ok(rd) = std::fs::read_dir(&crates_dir) {
+            for entry in rd.flatten() {
+                let dir = entry.path();
+                let name = match dir.file_name() {
+                    Some(n) => n.to_string_lossy().into_owned(),
+                    None => continue,
+                };
+                if dir.is_dir() {
+                    let parsed = parse_manifest_deps(&dir.join("Cargo.toml"));
+                    deps.insert(name, parsed);
+                }
+            }
+        }
+        let root_deps = parse_manifest_deps(&root.join("Cargo.toml"));
+        // The root facade, its examples/ and its tests/ see every crate
+        // the facade links.
+        deps.insert("pid-piper".to_string(), root_deps.clone());
+        deps.insert("examples".to_string(), root_deps);
+        let mut rdeps: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        for (c, ds) in &deps {
+            for d in ds {
+                rdeps.entry(d.clone()).or_default().insert(c.clone());
+            }
+        }
+        CrateGraph {
+            deps,
+            rdeps,
+            permissive: false,
+        }
+    }
+
+    /// Whether `callee_crate` is `caller` itself or a (direct) dependency.
+    pub fn links_dep(&self, caller: &str, callee: &str) -> bool {
+        if self.permissive || caller == callee {
+            return true;
+        }
+        self.deps
+            .get(caller)
+            .is_some_and(|ds| ds.contains(callee))
+    }
+
+    /// Whether the two crates are linked in either direction — the filter
+    /// for method calls, where trait impls live in dependent crates.
+    pub fn links_either(&self, caller: &str, callee: &str) -> bool {
+        self.links_dep(caller, callee)
+            || self
+                .rdeps
+                .get(caller)
+                .is_some_and(|ds| ds.contains(callee))
+    }
+}
+
+/// Extracts `pidpiper-*` dependency directory names from one `Cargo.toml`.
+fn parse_manifest_deps(path: &Path) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return out;
+    };
+    let mut in_deps = false;
+    for raw in text.lines() {
+        let line = raw.trim();
+        if line.starts_with('[') {
+            in_deps = matches!(
+                line,
+                "[dependencies]" | "[dev-dependencies]" | "[build-dependencies]"
+            );
+            continue;
+        }
+        if !in_deps {
+            continue;
+        }
+        let key: String = line
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '-' || *c == '_')
+            .collect();
+        if let Some(dir) = key.strip_prefix("pidpiper-") {
+            out.insert(dir.to_string());
+        }
+    }
+    out
+}
+
+/// The workspace-wide symbol index.
+#[derive(Debug)]
+pub struct SymbolIndex {
+    /// Every indexed file, in scan order.
+    pub files: Vec<IndexedFile>,
+    /// Every (non-test) function definition.
+    pub fns: Vec<FnDef>,
+    /// Every type definition.
+    pub types: Vec<TypeDef>,
+    by_name: BTreeMap<String, Vec<usize>>,
+    graph: CrateGraph,
+}
+
+impl SymbolIndex {
+    /// Builds the index from `(rel_path, crate_name, tokens)` triples.
+    pub fn build(inputs: Vec<(String, String, Vec<Token>)>, graph: CrateGraph) -> SymbolIndex {
+        let mut files = Vec::with_capacity(inputs.len());
+        let mut fns = Vec::new();
+        let mut types = Vec::new();
+        for (rel, crate_name, tokens) in inputs {
+            let mask = test_mask(&tokens);
+            let file_idx = files.len();
+            extract_items(&tokens, &mask, file_idx, &mut fns, &mut types);
+            let idents = tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Ident)
+                .map(|t| t.text.clone())
+                .collect();
+            files.push(IndexedFile {
+                rel,
+                crate_name,
+                tokens,
+                mask,
+                idents,
+            });
+        }
+        let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (i, f) in fns.iter().enumerate() {
+            by_name.entry(f.name.clone()).or_default().push(i);
+        }
+        SymbolIndex {
+            files,
+            fns,
+            types,
+            by_name,
+            graph,
+        }
+    }
+
+    /// The crate a function is defined in.
+    pub fn crate_of(&self, fn_idx: usize) -> &str {
+        &self.files[self.fns[fn_idx].file].crate_name
+    }
+
+    /// Function indices matching `owner`/`name`. With `owner == None` any
+    /// owner matches; with `Some(o)` the definition must sit in an
+    /// `impl o`/`trait o` block.
+    pub fn find_fns(&self, owner: Option<&str>, name: &str) -> Vec<usize> {
+        self.by_name
+            .get(name)
+            .map(|cands| {
+                cands
+                    .iter()
+                    .copied()
+                    .filter(|&i| match owner {
+                        Some(o) => self.fns[i].owner.as_deref() == Some(o),
+                        None => true,
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Whether any scanned file mentions the identifier at all.
+    pub fn mentions_ident(&self, name: &str) -> bool {
+        self.files.iter().any(|f| f.idents.contains(name))
+    }
+
+    /// Resolves one call reference from `caller_fn` to candidate
+    /// definitions, filtered by the crate graph (see the module docs for
+    /// the per-form rules).
+    pub fn resolve(&self, caller_fn: usize, call: &CallRef) -> Vec<usize> {
+        let caller_crate = self.crate_of(caller_fn).to_string();
+        let caller_owner = self.fns[caller_fn].owner.clone();
+        let Some(cands) = self.by_name.get(&call.name) else {
+            return Vec::new();
+        };
+        cands
+            .iter()
+            .copied()
+            .filter(|&i| {
+                if i == caller_fn {
+                    return false;
+                }
+                let callee_crate = self.crate_of(i);
+                let crate_ok = match call.form {
+                    CallForm::Method => self.graph.links_either(&caller_crate, callee_crate),
+                    _ => self.graph.links_dep(&caller_crate, callee_crate),
+                };
+                if !crate_ok {
+                    return false;
+                }
+                match &call.form {
+                    // An uppercase qualifier names the owning type; `Self`
+                    // means the caller's own impl block. A lowercase
+                    // qualifier is a module path segment and constrains
+                    // nothing the index can check.
+                    CallForm::Qualified(q) if q == "Self" => {
+                        self.fns[i].owner == caller_owner
+                    }
+                    CallForm::Qualified(q)
+                        if q.chars().next().is_some_and(|c| c.is_ascii_uppercase()) =>
+                    {
+                        self.fns[i].owner.as_deref() == Some(q.as_str())
+                    }
+                    _ => true,
+                }
+            })
+            .collect()
+    }
+
+    /// BFS over the resolved call graph from `roots`. Returns every
+    /// reachable function (roots included) mapped to the index of the root
+    /// that first reached it.
+    pub fn reachable(&self, roots: &[usize]) -> BTreeMap<usize, usize> {
+        let mut seen: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut queue: Vec<(usize, usize)> = roots.iter().map(|&r| (r, r)).collect();
+        while let Some((n, root)) = queue.pop() {
+            if seen.contains_key(&n) {
+                continue;
+            }
+            seen.insert(n, root);
+            for call in &self.fns[n].calls {
+                for m in self.resolve(n, call) {
+                    if !seen.contains_key(&m) {
+                        queue.push((m, root));
+                    }
+                }
+            }
+        }
+        seen
+    }
+}
+
+/// Walks one token stream recording function and type definitions.
+fn extract_items(
+    tokens: &[Token],
+    mask: &[bool],
+    file_idx: usize,
+    fns: &mut Vec<FnDef>,
+    types: &mut Vec<TypeDef>,
+) {
+    // Brace-scope stack: the owner introduced by the block opened at each
+    // `{` (Some for impl/trait blocks, None otherwise).
+    let mut scopes: Vec<Option<String>> = Vec::new();
+    let mut pending_owner: Option<String> = None;
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_punct(b'{') {
+            scopes.push(pending_owner.take());
+            i += 1;
+            continue;
+        }
+        if t.is_punct(b'}') {
+            scopes.pop();
+            i += 1;
+            continue;
+        }
+        if t.kind != TokenKind::Ident {
+            i += 1;
+            continue;
+        }
+        match t.text.as_str() {
+            "impl" | "trait" if !mask.get(i).copied().unwrap_or(false) => {
+                let (owner, next) = parse_impl_owner(tokens, i + 1);
+                pending_owner = owner;
+                i = next;
+            }
+            "struct" | "enum" | "union" => {
+                if let Some(n) = tokens.get(i + 1) {
+                    if n.kind == TokenKind::Ident && !mask.get(i).copied().unwrap_or(false) {
+                        types.push(TypeDef {
+                            name: n.text.clone(),
+                            file: file_idx,
+                            line: t.line,
+                        });
+                    }
+                }
+                i += 1;
+            }
+            "fn" => {
+                if mask.get(i).copied().unwrap_or(false) {
+                    i += 1;
+                    continue;
+                }
+                let owner = scopes
+                    .iter()
+                    .rev()
+                    .find_map(|s| s.clone())
+                    .or_else(|| pending_owner.clone());
+                match parse_fn(tokens, i, owner, file_idx) {
+                    Some((def, next)) => {
+                        // Continue *inside* the body so nested items are
+                        // seen too; the scope stack tracks the braces.
+                        fns.push(def);
+                        i = next;
+                    }
+                    None => i += 1,
+                }
+            }
+            _ => i += 1,
+        }
+    }
+}
+
+/// Parses the owner type of an `impl`/`trait` header starting after the
+/// keyword. Returns `(owner, index_to_resume_at)`; resumption is right
+/// after the header path so the scope stack still sees the opening `{`.
+fn parse_impl_owner(tokens: &[Token], start: usize) -> (Option<String>, usize) {
+    let mut i = skip_generics(tokens, start);
+    let (first, mut i2) = parse_path_last_segment(tokens, i);
+    i = i2;
+    // `impl Trait for Type {` — the implementing type follows `for`.
+    if tokens.get(i).is_some_and(|t| t.is_ident("for")) {
+        let (second, j) = parse_path_last_segment(tokens, i + 1);
+        i2 = j;
+        return (second.or(first), i2);
+    }
+    (first, i)
+}
+
+/// Reads a type path (`&'a mut pidpiper_math::Vec3<T>`), returning its
+/// last identifier segment and the index just past it.
+fn parse_path_last_segment(tokens: &[Token], start: usize) -> (Option<String>, usize) {
+    let mut i = start;
+    // Skip reference/modifier noise before the path.
+    while tokens.get(i).is_some_and(|t| {
+        t.is_punct(b'&')
+            || t.kind == TokenKind::Lifetime
+            || t.is_ident("mut")
+            || t.is_ident("dyn")
+    }) {
+        i += 1;
+    }
+    let mut last = None;
+    loop {
+        match tokens.get(i) {
+            Some(t) if t.kind == TokenKind::Ident && !t.is_ident("for") && !t.is_ident("where") => {
+                last = Some(t.text.clone());
+                i += 1;
+                i = skip_generics(tokens, i);
+                if tokens.get(i).is_some_and(|a| a.is_punct(b':'))
+                    && tokens.get(i + 1).is_some_and(|b| b.is_punct(b':'))
+                {
+                    i += 2;
+                    continue;
+                }
+                break;
+            }
+            _ => break,
+        }
+    }
+    (last, i)
+}
+
+/// Skips a balanced `<...>` generic-argument list if one starts at `i`.
+/// `->` inside bounds is guarded so its `>` does not close the list.
+fn skip_generics(tokens: &[Token], i: usize) -> usize {
+    if !tokens.get(i).is_some_and(|t| t.is_punct(b'<')) {
+        return i;
+    }
+    let mut depth = 0i32;
+    let mut k = i;
+    while k < tokens.len() {
+        let t = &tokens[k];
+        if t.is_punct(b'<') {
+            depth += 1;
+        } else if t.is_punct(b'>') {
+            let arrow = k > 0 && tokens[k - 1].is_punct(b'-');
+            if !arrow {
+                depth -= 1;
+                if depth == 0 {
+                    return k + 1;
+                }
+            }
+        } else if t.is_punct(b'{') || t.is_punct(b';') {
+            // Malformed/unbalanced: bail without consuming the block.
+            return k;
+        }
+        k += 1;
+    }
+    k
+}
+
+/// Parses one `fn` item starting at the `fn` keyword. Returns the
+/// definition and the index of the token *after* the name/signature
+/// prefix (not past the body: the caller's scope stack walks the braces).
+fn parse_fn(
+    tokens: &[Token],
+    fn_idx: usize,
+    owner: Option<String>,
+    file_idx: usize,
+) -> Option<(FnDef, usize)> {
+    let name_tok = tokens.get(fn_idx + 1)?;
+    if name_tok.kind != TokenKind::Ident {
+        return None; // `fn(...)` pointer type, not a definition.
+    }
+    let name = name_tok.text.clone();
+    let mut i = skip_generics(tokens, fn_idx + 2);
+    if !tokens.get(i).is_some_and(|t| t.is_punct(b'(')) {
+        return None;
+    }
+    let close = matching_paren(tokens, i)?;
+    let mut params = BTreeSet::new();
+    for t in &tokens[i + 1..close] {
+        if t.kind == TokenKind::Ident && !IDENT_KEYWORDS.contains(&t.text.as_str()) {
+            params.insert(t.text.clone());
+        }
+    }
+    // Find the body `{` or a terminating `;` (bodyless declaration).
+    i = close + 1;
+    let mut body = None;
+    while let Some(t) = tokens.get(i) {
+        if t.is_punct(b'{') {
+            let end = matching_brace(tokens, i).unwrap_or(tokens.len().saturating_sub(1));
+            body = Some((i, end));
+            break;
+        }
+        if t.is_punct(b';') {
+            break;
+        }
+        i += 1;
+    }
+    let calls = match body {
+        Some((s, e)) => collect_calls(tokens, s, e),
+        None => Vec::new(),
+    };
+    let def = FnDef {
+        name,
+        owner,
+        file: file_idx,
+        line: tokens[fn_idx].line,
+        params,
+        body,
+        calls,
+    };
+    // Resume right after the signature prefix so the scope stack (and any
+    // nested `fn`) still walks the body tokens.
+    Some((def, fn_idx + 2))
+}
+
+/// Index of the `}` matching the `{` at `open`.
+pub(crate) fn matching_brace(tokens: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (k, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct(b'{') {
+            depth += 1;
+        } else if t.is_punct(b'}') {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+/// Collects deduplicated call references in the token range `[s, e]`.
+fn collect_calls(tokens: &[Token], s: usize, e: usize) -> Vec<CallRef> {
+    let mut set = BTreeSet::new();
+    for i in s..=e.min(tokens.len().saturating_sub(1)) {
+        let t = &tokens[i];
+        if t.kind != TokenKind::Ident || IDENT_KEYWORDS.contains(&t.text.as_str()) {
+            continue;
+        }
+        let calls = tokens.get(i + 1).is_some_and(|n| n.is_punct(b'('));
+        if !calls {
+            continue;
+        }
+        // `name!(` is a macro, `fn name(` a nested definition.
+        if tokens.get(i + 1).is_some_and(|n| n.is_punct(b'!')) {
+            continue;
+        }
+        if i > 0 && tokens[i - 1].is_ident("fn") {
+            continue;
+        }
+        let form = if i > 0 && tokens[i - 1].is_punct(b'.') {
+            CallForm::Method
+        } else if i >= 3
+            && tokens[i - 1].is_punct(b':')
+            && tokens[i - 2].is_punct(b':')
+            && tokens[i - 3].kind == TokenKind::Ident
+        {
+            CallForm::Qualified(tokens[i - 3].text.clone())
+        } else {
+            CallForm::Bare
+        };
+        set.insert(CallRef {
+            name: t.text.clone(),
+            form,
+        });
+    }
+    set.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::tokenize;
+
+    fn index(files: &[(&str, &str, &str)]) -> SymbolIndex {
+        let inputs = files
+            .iter()
+            .map(|(rel, krate, src)| (rel.to_string(), krate.to_string(), tokenize(src)))
+            .collect();
+        SymbolIndex::build(inputs, CrateGraph::permissive())
+    }
+
+    #[test]
+    fn records_fns_with_impl_owner_and_params() {
+        let idx = index(&[(
+            "crates/a/src/lib.rs",
+            "a",
+            "pub struct Guard;\n\
+             impl Guard {\n    pub fn accept(&mut self, r: &SensorReadings) -> SensorReadings { r.clone() }\n}\n\
+             fn free(x: u64) -> u64 { x }\n",
+        )]);
+        assert_eq!(idx.types.len(), 1);
+        assert_eq!(idx.types[0].name, "Guard");
+        let accept = &idx.fns[idx.find_fns(Some("Guard"), "accept")[0]];
+        assert!(accept.params.contains("SensorReadings"));
+        assert_eq!(accept.qualified_name(), "Guard::accept");
+        assert_eq!(idx.find_fns(None, "free").len(), 1);
+    }
+
+    #[test]
+    fn trait_impl_owner_is_the_implementing_type() {
+        let idx = index(&[(
+            "crates/a/src/lib.rs",
+            "a",
+            "impl<T: Clone> Defense for PidPiper where T: Send {\n\
+                 fn observe(&mut self, ctx: &DefenseContext<'_>) -> Option<Signal> { None }\n\
+             }\n",
+        )]);
+        let hits = idx.find_fns(Some("PidPiper"), "observe");
+        assert_eq!(hits.len(), 1, "{:?}", idx.fns);
+        assert!(idx.fns[hits[0]].params.contains("DefenseContext"));
+    }
+
+    #[test]
+    fn call_refs_classified_by_form() {
+        let idx = index(&[(
+            "crates/a/src/lib.rs",
+            "a",
+            "fn run(x: X) { helper(1); x.observe(2); FfcModel::load(3); maybe!(macro_stuff); }\n\
+             fn helper(n: u64) {}\n",
+        )]);
+        let run = &idx.fns[idx.find_fns(None, "run")[0]];
+        assert!(run.calls.contains(&CallRef {
+            name: "helper".into(),
+            form: CallForm::Bare
+        }));
+        assert!(run.calls.contains(&CallRef {
+            name: "observe".into(),
+            form: CallForm::Method
+        }));
+        assert!(run.calls.contains(&CallRef {
+            name: "load".into(),
+            form: CallForm::Qualified("FfcModel".into())
+        }));
+        assert!(!run.calls.iter().any(|c| c.name == "maybe"));
+    }
+
+    #[test]
+    fn cfg_test_fns_are_not_indexed() {
+        let idx = index(&[(
+            "crates/a/src/lib.rs",
+            "a",
+            "fn real() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\n",
+        )]);
+        assert_eq!(idx.find_fns(None, "real").len(), 1);
+        assert!(idx.find_fns(None, "helper").is_empty());
+    }
+
+    #[test]
+    fn reachability_walks_across_files_and_crates() {
+        let idx = index(&[
+            (
+                "crates/a/src/lib.rs",
+                "a",
+                "pub fn root() { step_one(); }\nfn step_one() { Helper::deep(); }\n",
+            ),
+            (
+                "crates/b/src/lib.rs",
+                "b",
+                "pub struct Helper;\nimpl Helper {\n    pub fn deep() { leaf(); }\n}\nfn leaf() {}\nfn unrelated() {}\n",
+            ),
+        ]);
+        let roots = idx.find_fns(None, "root");
+        let reach = idx.reachable(&roots);
+        let names: Vec<&str> = reach.keys().map(|&i| idx.fns[i].name.as_str()).collect();
+        assert_eq!(names, vec!["root", "step_one", "deep", "leaf"]);
+    }
+
+    #[test]
+    fn dependency_graph_filters_bare_calls_but_methods_link_both_ways() {
+        let mut deps: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        deps.insert(
+            "missions".to_string(),
+            ["math"].iter().map(|s| s.to_string()).collect(),
+        );
+        deps.insert(
+            "baselines".to_string(),
+            ["missions"].iter().map(|s| s.to_string()).collect(),
+        );
+        let mut rdeps: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        for (c, ds) in &deps {
+            for d in ds {
+                rdeps.entry(d.clone()).or_default().insert(c.clone());
+            }
+        }
+        let graph = CrateGraph {
+            deps,
+            rdeps,
+            permissive: false,
+        };
+        let inputs = vec![
+            (
+                "crates/missions/src/lib.rs".to_string(),
+                "missions".to_string(),
+                tokenize("pub fn run(d: D) { d.observe(); downstream_only(); }"),
+            ),
+            (
+                "crates/baselines/src/lib.rs".to_string(),
+                "baselines".to_string(),
+                tokenize(
+                    "impl Defense for Srr { fn observe(&mut self) {} }\npub fn downstream_only() {}",
+                ),
+            ),
+        ];
+        let idx = SymbolIndex::build(inputs, graph);
+        let run = idx.find_fns(None, "run")[0];
+        // Method call dispatches into the dependent crate's trait impl...
+        let observe = CallRef {
+            name: "observe".into(),
+            form: CallForm::Method,
+        };
+        assert_eq!(idx.resolve(run, &observe).len(), 1);
+        // ...but a bare call cannot reach a crate `missions` doesn't link.
+        let bare = CallRef {
+            name: "downstream_only".into(),
+            form: CallForm::Bare,
+        };
+        assert!(idx.resolve(run, &bare).is_empty());
+    }
+}

@@ -191,11 +191,32 @@ fn cli_usage_errors_exit_two() {
 #[test]
 fn workspace_scan_is_clean() {
     // The repo itself must pass its own gate (with the checked-in
-    // allowlist); this is the CI contract.
+    // allowlist and boundary manifest); this is the CI contract — zero
+    // non-allowlisted findings, TB/DT04/DT05/CC included.
     let (code, stdout, stderr) = run_analyzer(&["--workspace"]);
     assert_eq!(
         code,
         Some(0),
         "workspace has findings:\n{stdout}\n{stderr}"
     );
+}
+
+#[test]
+fn cli_json_report_on_clean_workspace() {
+    let (code, stdout, stderr) = run_analyzer(&["--workspace", "--format", "json"]);
+    assert_eq!(code, Some(0), "stdout: {stdout} stderr: {stderr}");
+    assert!(stdout.contains("\"schema_version\": 1"), "{stdout}");
+    assert!(stdout.contains("\"findings\": ["), "{stdout}");
+    assert!(stdout.contains("\"scan_ms\": "), "{stdout}");
+}
+
+#[test]
+fn cli_json_report_carries_findings_and_counts() {
+    let path = fixture_path("determinism.rs");
+    let (code, stdout, _) =
+        run_analyzer(&["--format", "json", path.to_str().expect("utf8 path")]);
+    assert_eq!(code, Some(1), "violations still fail the gate in json mode");
+    assert!(stdout.contains("\"DT01\": 3"), "{stdout}");
+    assert!(stdout.contains("\"DT03\": 3"), "{stdout}");
+    assert!(stdout.contains("\"rule\": \"DT02\""), "{stdout}");
 }

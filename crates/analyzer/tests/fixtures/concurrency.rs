@@ -1,0 +1,44 @@
+//! CC01/CC02 fixture: worker-path globals and lock-across-callback
+//! patterns (analyzed as a `fleet` worker-crate file).
+
+static mut TICK_COUNTER: u64 = 0;
+
+static REGISTRY: Lazy<u64> = Lazy::new(seed_registry);
+
+static LEGACY_TABLE: Lazy<u64> = Lazy::new(seed_table);
+
+/// Shard worker pool.
+pub struct Workers {
+    sessions: Vec<u64>,
+}
+
+impl Workers {
+    /// Guard held across the callback: flagged.
+    pub fn broadcast(&self) {
+        self.sessions.lock().unwrap().iter().for_each(|s| ping(s));
+    }
+
+    /// Guard dropped before the callback runs: clean.
+    pub fn snapshot_then_send(&self) {
+        let snapshot = self.sessions.lock().unwrap().clone();
+        snapshot.iter().for_each(|s| ping(s));
+    }
+
+    /// Closure consumes the lock *error*, never the guard: clean.
+    pub fn labelled_lock(&self) -> bool {
+        self.sessions.lock().map_err(|e| log_poison(e)).is_ok()
+    }
+
+    /// No closure at all in the locked statement: clean.
+    pub fn tolerant_read(&self) -> u64 {
+        match self.sessions.lock() {
+            Ok(guard) => guard.len() as u64,
+            Err(poisoned) => recover(poisoned),
+        }
+    }
+
+    /// Flagged, but suppressed by the `symbol.allow` fixture entry.
+    pub fn legacy_broadcast(&self) {
+        self.sessions.lock().unwrap().iter().for_each(|s| nudge(s));
+    }
+}

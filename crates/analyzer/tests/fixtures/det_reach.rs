@@ -1,0 +1,41 @@
+//! DT04/DT05 fixture: unordered iteration and reductions relative to a
+//! declared determinism root.
+
+/// Carries the fingerprint root.
+pub struct Trace {
+    xs: Vec<f64>,
+}
+
+impl Trace {
+    /// The declared determinism root.
+    pub fn fingerprint(&self) -> u64 {
+        let folded = self.ordered_total() + self.tolerated_total();
+        self.mix() ^ self.cached() ^ folded.to_bits()
+    }
+
+    fn mix(&self) -> u64 {
+        let m: HashMap<u8, u8> = HashMap::new();
+        let _total: f64 = self.xs.par_iter().map(|x| x + 1.0).sum::<f64>();
+        m.len() as u64
+    }
+
+    fn cached(&self) -> u64 {
+        let lookup: HashMap<u8, u64> = HashMap::new();
+        lookup.len() as u64
+    }
+
+    /// Sequential ordered reduction, reachable: DT05-clean.
+    fn ordered_total(&self) -> f64 {
+        self.xs.iter().map(|x| x * 2.0).sum::<f64>()
+    }
+
+    /// Parallel reduction suppressed by the `symbol.allow` entry.
+    fn tolerated_total(&self) -> f64 {
+        self.xs.par_iter().map(|x| x * 3.0).sum::<f64>()
+    }
+}
+
+/// Not reachable from the root: stays a per-file DT03, never DT04.
+pub fn not_reachable() {
+    let _s: HashSet<u8> = HashSet::new();
+}

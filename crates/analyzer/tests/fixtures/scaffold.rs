@@ -1,0 +1,41 @@
+//! Fixture scaffold: definitions for every name the fixture boundary
+//! manifest declares, so BM01 stays quiet and the TB walk has real
+//! boundary/sink symbols to resolve against.
+
+/// The raw (attackable) readings type.
+pub struct SensorReadings {
+    /// Spoofable channel.
+    pub gyro: f64,
+}
+
+/// The actuator-command type (struct-literal construction is a sink).
+pub struct ActuatorSignal {
+    /// Motor thrust.
+    pub thrust: f64,
+}
+
+/// The sanctioned crossing point.
+pub struct ReadingsGuard {
+    limit: f64,
+}
+
+impl ReadingsGuard {
+    /// Clamps raw channels; the only approved way in.
+    pub fn accept(&mut self, r: &SensorReadings) -> SensorReadings {
+        SensorReadings {
+            gyro: r.gyro.clamp(-self.limit, self.limit),
+        }
+    }
+}
+
+/// The FFC inference model.
+pub struct FfcModel {
+    bias: f64,
+}
+
+impl FfcModel {
+    /// Inference entry point (a declared sink).
+    pub fn observe(&mut self, features: &[f64]) -> f64 {
+        self.bias + features.iter().sum::<f64>()
+    }
+}

@@ -1,0 +1,35 @@
+//! TB01 fixture: raw readings reaching sinks with and without the guard.
+
+/// Raw straight into FFC inference: flagged.
+pub fn leak_direct(r: &SensorReadings, m: &mut FfcModel) {
+    let features = featurize(r);
+    m.observe(&features);
+}
+
+/// Raw handed to a helper that builds an actuator command: both the
+/// origin and the helper are flagged.
+pub fn leak_via_helper(r: &SensorReadings) {
+    forward(r);
+}
+
+fn forward(r: &SensorReadings) {
+    let _sig = ActuatorSignal { thrust: r.gyro };
+}
+
+/// Crosses `ReadingsGuard::accept` first: clean.
+pub fn guarded(r: &SensorReadings, g: &mut ReadingsGuard, m: &mut FfcModel) {
+    let clean = g.accept(r);
+    let features = featurize(&clean);
+    m.observe(&features);
+}
+
+/// `ActuatorSignal` in return position is not a construction: clean.
+pub fn signal_type_mention(r: &SensorReadings) -> ActuatorSignal {
+    neutral_signal(r.gyro.signum())
+}
+
+/// Flagged, but suppressed by the `symbol.allow` fixture entry.
+pub fn leak_allowlisted(r: &SensorReadings, m: &mut FfcModel) {
+    let features = featurize(r);
+    m.observe(&features);
+}
