@@ -196,6 +196,64 @@ fn seeded_sanitizer_bypass_in_pidpiper_is_flagged() {
 }
 
 #[test]
+fn seeded_consistency_gate_bypass_in_strategy_is_flagged() {
+    // Same contract as the `PidPiper::observe` seed, one layer down: every
+    // `RecoveryStrategy::decide` takes the raw `RecoveryContext` and ends
+    // in an `ActuatorSignal` literal, so dropping the consistency-gate
+    // crossing from Algorithm 1's exit path must produce exactly one TB01
+    // — and the pristine strategies must stay clean.
+    let root = repo_root();
+    let rel = "crates/core/src/strategy.rs";
+    let pristine = std::fs::read_to_string(root.join(rel)).expect("strategy.rs exists");
+    let gate_call = "monitor.residuals_below_drift(RESIDUAL_EXIT_RELAXATION)\n                \
+                     && sensors_consistent(";
+    assert!(
+        pristine.contains(gate_call),
+        "mutation anchor moved; update this test alongside strategy.rs"
+    );
+    let b = workspace_boundaries();
+
+    let tb = |src: &str| {
+        let fs = analyze_sources(
+            &[(rel.to_string(), src.to_string())],
+            Some(&b),
+            CrateGraph::permissive(),
+        );
+        fs.into_iter()
+            .filter(|f| f.rule == RuleId::Tb01RawToSink)
+            .collect::<Vec<_>>()
+    };
+
+    assert!(
+        tb(&pristine).is_empty(),
+        "pristine strategies must cross the consistency boundary"
+    );
+
+    let mutated = pristine.replace(
+        gate_call,
+        "monitor.residuals_below_drift(RESIDUAL_EXIT_RELAXATION)\n                \
+         && raw_shadow_agree(",
+    );
+    // The bypass reports twice: at the mutated impl itself, and at the
+    // `StrategyState` dispatcher whose walk reaches the same sink via it.
+    let flagged = tb(&mutated);
+    assert_eq!(flagged.len(), 2, "{flagged:#?}");
+    assert!(
+        flagged
+            .iter()
+            .any(|f| f.message.starts_with("`Algorithm1Strategy::decide`")),
+        "{flagged:#?}"
+    );
+    assert!(
+        flagged.iter().any(|f| {
+            f.message.starts_with("`StrategyState::decide`")
+                && f.message.contains("via `Algorithm1Strategy::decide`")
+        }),
+        "{flagged:#?}"
+    );
+}
+
+#[test]
 fn workspace_manifest_matches_reality() {
     // Every raw/boundary/sink/root entry in the checked-in manifest must
     // resolve against the real workspace — BM01 findings here mean the

@@ -1,0 +1,35 @@
+//! Runs the Algorithm-1 fingerprint regression gate, then the recovery-
+//! strategy tournament, and writes `BENCH_recovery.json`; see
+//! pidpiper_bench::exp_recovery. Set `PIDPIPER_TOURNAMENT_SMOKE=1` for
+//! the reduced CI grid (one vehicle, two cases, two missions per cell).
+//! A gate failure exits nonzero *before* any tournament flying: a
+//! strategy comparison on a diverged Algorithm 1 would be meaningless.
+fn main() {
+    let scale = pidpiper_bench::Scale::from_env();
+    let smoke = std::env::var("PIDPIPER_TOURNAMENT_SMOKE").is_ok();
+
+    let gate = pidpiper_bench::exp_recovery::baseline_gate();
+    let gate_passed = gate.is_ok();
+    match &gate {
+        Ok(()) => eprintln!(
+            "[bench] fingerprint gate: all {} baseline cases bit-identical",
+            pidpiper_bench::exp_recovery::BASELINE_FINGERPRINTS.len()
+        ),
+        Err(report) => {
+            eprintln!(
+                "[bench] fingerprint gate FAILED — Algorithm-1-on-trait diverged from the \
+                 pre-refactor supervisor:\n{report}"
+            );
+            std::process::exit(1);
+        }
+    }
+
+    eprintln!(
+        "[bench] running recovery_tournament at {scale:?} scale{} \
+         (set PIDPIPER_SCALE=full for paper scale)",
+        if smoke { " (smoke grid)" } else { "" }
+    );
+    let (report, cells) = pidpiper_bench::exp_recovery::run_tournament(scale, smoke);
+    pidpiper_bench::exp_recovery::write_report(scale, smoke, gate_passed, &cells);
+    println!("{report}");
+}

@@ -36,6 +36,7 @@ mod tests {
             pending_capacity: 1,
             cost_budget: None,
             seed: 11,
+            strategy: pidpiper_missions::StrategyKind::Algorithm1,
         };
         let report = run(&cfg);
         assert!(report.gate.passed());

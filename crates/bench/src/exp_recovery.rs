@@ -1,0 +1,509 @@
+//! Recovery-strategy tournament: every [`StrategyKind`] against benign
+//! faults *and* overt attacks on several vehicle profiles, reporting
+//! survival rate, mission deviation and time-to-recover per cell — plus
+//! the Algorithm-1 regression gate that pins the trait port to the
+//! pre-refactor supervisor path, trace-fingerprint by trace-fingerprint.
+//!
+//! [`StrategyKind`]: pidpiper_missions::StrategyKind
+
+use crate::exp_fault_matrix::fault_cases;
+use crate::harness::{self, Scale};
+use pidpiper_attacks::AttackPreset;
+use pidpiper_core::ffc::PipelineConfig;
+use pidpiper_core::{AxisThresholds, FeatureSet, FfcModel, PidPiper, PidPiperConfig};
+use pidpiper_faults::{Fault, FaultKind, FaultSchedule};
+use pidpiper_missions::{
+    MissionAttack, MissionPlan, MissionRunner, MissionSpec, RunnerConfig, StrategyKind,
+};
+use pidpiper_ml::{LstmRegressor, RegressorConfig};
+use pidpiper_sim::{RvId, VehicleKind};
+use std::fmt::Write as _;
+
+/// Seed base for the regression-gate missions (fixed forever: changing it
+/// invalidates [`BASELINE_FINGERPRINTS`]).
+const GATE_SEED_BASE: u64 = 42;
+
+/// The tiny untrained deployment flown by the regression gate. Accuracy is
+/// irrelevant here — the gate compares *trajectories of decisions*, and an
+/// untrained FFC exercises the trip/recover/degrade machinery harder than
+/// a trained one (its predictions disagree with the PID almost at once).
+fn gate_pidpiper() -> PidPiper {
+    let set = FeatureSet::FfcPruned;
+    let net = RegressorConfig {
+        input_dim: set.dim(),
+        output_dim: 4,
+        hidden: 4,
+        fc_width: 4,
+        window: 3,
+    };
+    PidPiper::new(
+        FfcModel::new(
+            LstmRegressor::new(net, 7),
+            set,
+            PipelineConfig {
+                decimate: 1,
+                gate: Default::default(),
+            },
+        ),
+        PidPiperConfig::new(AxisThresholds::quad(18.0, 18.0, 18.6), [0.5; 4], 5, 12),
+    )
+}
+
+/// One pinned regression-gate mission.
+struct GateCase {
+    config: RunnerConfig,
+    plan: MissionPlan,
+    attacks: Vec<MissionAttack>,
+}
+
+/// The five gate missions: clean, two benign faults, one overt attack and
+/// one timing fault — together they drive the supervisor through warmup,
+/// trip, recovery flight, exit and the degraded latch.
+fn gate_cases() -> Vec<GateCase> {
+    let rv = RvId::ArduCopter;
+    let plan = || MissionPlan::straight_line(30.0, 5.0);
+    vec![
+        GateCase {
+            config: RunnerConfig::for_rv(rv).with_seed(GATE_SEED_BASE),
+            plan: plan(),
+            attacks: vec![],
+        },
+        GateCase {
+            config: RunnerConfig::for_rv(rv)
+                .with_seed(GATE_SEED_BASE + 1)
+                .with_faults(vec![Fault::new(
+                    FaultKind::GpsDropout,
+                    FaultSchedule::Windows(vec![(8.0, 12.0)]),
+                )])
+                .with_fault_seed(91),
+            plan: plan(),
+            attacks: vec![],
+        },
+        GateCase {
+            config: RunnerConfig::for_rv(rv)
+                .with_seed(GATE_SEED_BASE + 2)
+                .with_faults(vec![Fault::new(
+                    FaultKind::NanBurst,
+                    FaultSchedule::Intermittent {
+                        start: 8.0,
+                        on: 0.5,
+                        off: 4.0,
+                    },
+                )])
+                .with_fault_seed(92),
+            plan: plan(),
+            attacks: vec![],
+        },
+        GateCase {
+            config: RunnerConfig::for_rv(rv).with_seed(GATE_SEED_BASE + 3),
+            plan: plan(),
+            attacks: vec![MissionAttack::Scheduled(
+                AttackPreset::GpsOvert.instantiate(8.0, (0.0, 0.0)),
+            )],
+        },
+        GateCase {
+            config: RunnerConfig::for_rv(rv)
+                .with_seed(GATE_SEED_BASE + 4)
+                .with_faults(vec![Fault::new(
+                    FaultKind::ControlJitter {
+                        skip_probability: 0.2,
+                    },
+                    FaultSchedule::Continuous { start: 8.0 },
+                )])
+                .with_fault_seed(93),
+            plan: plan(),
+            attacks: vec![],
+        },
+    ]
+}
+
+/// Trace fingerprints of the gate missions recorded on the *pre-refactor*
+/// supervisor path (the hardcoded Algorithm 1 inside `PidPiper::observe`,
+/// before the `RecoveryStrategy` extraction). The trait port must
+/// reproduce every one bit-identically.
+pub const BASELINE_FINGERPRINTS: [(&str, u64); 5] = [
+    ("clean", 0xe33b_a84b_8398_27ba),
+    ("gps dropout 4s", 0x6981_7a5e_d770_01fe),
+    ("nan bursts 0.5s/4s", 0xda25_321c_7171_a592),
+    ("gps overt attack", 0xa436_a9bd_a21d_17a4),
+    ("ctrl jitter p=0.2", 0xc53e_cc28_7a74_4f09),
+];
+
+/// Flies the gate missions on the current tree and compares each trace
+/// fingerprint against [`BASELINE_FINGERPRINTS`]. `Err` carries one line
+/// per divergent case.
+pub fn baseline_gate() -> Result<(), String> {
+    let mut failures = String::new();
+    for (case, (label, expected)) in gate_cases().into_iter().zip(BASELINE_FINGERPRINTS) {
+        let mut defense = gate_pidpiper();
+        let result = MissionRunner::new(case.config).run(&case.plan, &mut defense, case.attacks);
+        let actual = result.trace.fingerprint();
+        if actual != expected {
+            let _ = writeln!(
+                failures,
+                "{label}: expected {expected:#018x}, got {actual:#018x}"
+            );
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures)
+    }
+}
+
+/// Seed base for the tournament cells (own block, far from the fault
+/// matrix and the soak). Seeds depend on `(vehicle, case, mission)` but
+/// NOT on the strategy: every strategy flies the same missions against
+/// the same fault realizations, so cells in one row are comparable.
+const TOURNAMENT_SEED_BASE: u64 = 13_000;
+
+/// When the overt attacks of the tournament begin (past the monitors'
+/// warmup, matching the fault matrix's mid-mission activation).
+const ATTACK_START: f64 = 8.0;
+
+/// What one tournament column injects into every mission of a cell.
+enum CaseLoad {
+    /// A benign fault (from the fault matrix's case list).
+    Fault(FaultKind, FaultSchedule),
+    /// An overt sensor attack preset, scheduled at [`ATTACK_START`].
+    Attack(AttackPreset),
+}
+
+/// One tournament scenario: a label plus the injected load.
+struct TournamentCase {
+    label: &'static str,
+    load: CaseLoad,
+}
+
+/// The tournament's scenario list: every benign fault of the fault matrix
+/// plus two overt attacks (GPS and gyro), so the strategies are compared
+/// on both accidental and adversarial trips. Smoke mode keeps one of
+/// each flavor for a fast CI signal.
+fn tournament_cases(smoke: bool) -> Vec<TournamentCase> {
+    let mut cases: Vec<TournamentCase> = fault_cases()
+        .into_iter()
+        .map(|c| TournamentCase {
+            label: c.label,
+            load: CaseLoad::Fault(c.kind, c.schedule),
+        })
+        .collect();
+    cases.push(TournamentCase {
+        label: "gps overt attack",
+        load: CaseLoad::Attack(AttackPreset::GpsOvert),
+    });
+    cases.push(TournamentCase {
+        label: "gyro overt attack",
+        load: CaseLoad::Attack(AttackPreset::GyroOvert),
+    });
+    if smoke {
+        cases.retain(|c| matches!(c.label, "gps dropout 4s" | "gps overt attack"));
+    }
+    cases
+}
+
+/// Aggregated outcome of one `strategy x case x vehicle` cell.
+#[derive(Debug, Clone)]
+pub struct TournamentCell {
+    /// The recovery strategy flown.
+    pub strategy: StrategyKind,
+    /// The vehicle profile.
+    pub vehicle: RvId,
+    /// The scenario label.
+    pub case: &'static str,
+    /// Missions flown.
+    pub missions: usize,
+    /// Missions ending without a crash or stall.
+    pub survived: usize,
+    /// Missions ending in the latched `Degraded` fail-safe.
+    pub degraded: usize,
+    /// Mean final deviation (m) over the surviving missions; `None` when
+    /// nothing survived.
+    pub mean_deviation: Option<f64>,
+    /// Mean simulated seconds per recovery activation, over missions that
+    /// actually recovered; `None` when no mission activated recovery.
+    pub time_to_recover_s: Option<f64>,
+}
+
+impl TournamentCell {
+    /// Survival rate in percent.
+    pub fn survival_rate(&self) -> f64 {
+        100.0 * self.survived as f64 / self.missions.max(1) as f64
+    }
+}
+
+/// Flies one tournament cell: `plans` under `defense` with the cell's
+/// load injected, the per-mission strategy selected via
+/// [`RunnerConfig::with_strategy`] (mission `i` gets seed
+/// `seed_base + i`, fault seed `seed_base + 31 * i`).
+fn run_tournament_cell(
+    rv: RvId,
+    defense: &PidPiper,
+    plans: &[MissionPlan],
+    case: &TournamentCase,
+    strategy: StrategyKind,
+    seed_base: u64,
+) -> TournamentCell {
+    let specs: Vec<MissionSpec> = plans
+        .iter()
+        .enumerate()
+        .map(|(i, plan)| {
+            let mut config = RunnerConfig::for_rv(rv)
+                .with_seed(seed_base + i as u64)
+                .with_strategy(strategy);
+            let mut attacks = Vec::new();
+            match &case.load {
+                CaseLoad::Fault(kind, schedule) => {
+                    config = config
+                        .with_faults(vec![Fault::new(kind.clone(), schedule.clone())])
+                        .with_fault_seed(seed_base + 31 * i as u64);
+                }
+                CaseLoad::Attack(preset) => {
+                    attacks.push(MissionAttack::Scheduled(
+                        preset.instantiate(ATTACK_START, (0.0, 0.0)),
+                    ));
+                }
+            }
+            MissionSpec::clean(config, plan.clone()).with_attacks(attacks)
+        })
+        .collect();
+    let dt = specs
+        .first()
+        .map(|s| s.config.control_dt)
+        .unwrap_or(0.01);
+
+    let mut cell = TournamentCell {
+        strategy,
+        vehicle: rv,
+        case: case.label,
+        missions: 0,
+        survived: 0,
+        degraded: 0,
+        mean_deviation: None,
+        time_to_recover_s: None,
+    };
+    let mut deviation_sum = 0.0;
+    let mut ttr_sum = 0.0;
+    let mut ttr_count = 0usize;
+    for result in harness::par_with_defense(&specs, defense) {
+        cell.missions += 1;
+        if result.final_health.is_degraded() {
+            cell.degraded += 1;
+        }
+        if result.outcome.is_crash_or_stall() {
+            continue;
+        }
+        cell.survived += 1;
+        deviation_sum += result.final_deviation;
+        if result.recovery_activations > 0 {
+            ttr_sum += result.recovery_steps as f64 * dt / result.recovery_activations as f64;
+            ttr_count += 1;
+        }
+    }
+    if cell.survived > 0 {
+        cell.mean_deviation = Some(deviation_sum / cell.survived as f64);
+    }
+    if ttr_count > 0 {
+        cell.time_to_recover_s = Some(ttr_sum / ttr_count as f64);
+    }
+    cell
+}
+
+/// Runs the full strategy × fault × vehicle tournament. `smoke` shrinks
+/// the grid to one vehicle, two cases and two missions per cell (the CI
+/// smoke configuration). Returns the human-readable report plus every
+/// cell for the JSON artifact.
+pub fn run_tournament(scale: Scale, smoke: bool) -> (String, Vec<TournamentCell>) {
+    let vehicles: &[RvId] = if smoke {
+        &[RvId::ArduCopter]
+    } else {
+        &[RvId::ArduCopter, RvId::Px4Solo, RvId::ArduRover]
+    };
+    let cases = tournament_cases(smoke);
+    let n = if smoke { 2 } else { (scale.missions() / 3).max(4) };
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Recovery-strategy tournament: {} strategies x {} cases x {} vehicle(s), \
+         {n} missions per cell\n\
+         cell format: survival% / mean deviation m / time-to-recover s (dash: no sample)",
+        StrategyKind::ALL.len(),
+        cases.len(),
+        vehicles.len(),
+    );
+
+    let mut cells = Vec::new();
+    for (v, &rv) in vehicles.iter().enumerate() {
+        let traces = harness::collect_traces(rv, scale);
+        let pidpiper = harness::trained_pidpiper(rv, scale, &traces);
+        let altitude = if rv.kind() == VehicleKind::Rover { 0.0 } else { 5.0 };
+        let plans: Vec<MissionPlan> = (0..n)
+            .map(|i| {
+                if i % 3 == 2 {
+                    MissionPlan::multi_waypoint(3, 60.0 * scale.geometry(), altitude, 40 + i as u64)
+                } else {
+                    MissionPlan::straight_line(
+                        (40.0 + 4.0 * i as f64) * scale.geometry().max(0.5),
+                        altitude,
+                    )
+                }
+            })
+            .collect();
+
+        let _ = writeln!(out, "\n{rv}:");
+        let widths = [20, 24, 24, 24];
+        let header: Vec<String> = std::iter::once("Case".to_string())
+            .chain(StrategyKind::ALL.iter().map(|s| s.name().to_string()))
+            .collect();
+        let _ = writeln!(out, "{}", harness::row(&header, &widths));
+        for (c, case) in cases.iter().enumerate() {
+            let seed_base = TOURNAMENT_SEED_BASE + 1000 * v as u64 + 100 * c as u64;
+            let mut row = vec![case.label.to_string()];
+            for &strategy in StrategyKind::ALL.iter() {
+                let cell =
+                    run_tournament_cell(rv, &pidpiper, &plans, case, strategy, seed_base);
+                let dev = cell
+                    .mean_deviation
+                    .map(|d| format!("{d:.1}"))
+                    .unwrap_or_else(|| "-".into());
+                let ttr = cell
+                    .time_to_recover_s
+                    .map(|t| format!("{t:.2}"))
+                    .unwrap_or_else(|| "-".into());
+                row.push(format!("{:.0}% / {dev} / {ttr}", cell.survival_rate()));
+                cells.push(cell);
+            }
+            let _ = writeln!(out, "{}", harness::row(&row, &widths));
+        }
+    }
+    let _ = writeln!(
+        out,
+        "\nSeeds depend on (vehicle, case, mission) only — each row's strategies fly\n\
+         identical missions and fault realizations, so cells are directly comparable."
+    );
+    harness::emit_report("recovery_tournament", &out);
+    (out, cells)
+}
+
+/// Renders the tournament (and the regression-gate verdict) as the
+/// `BENCH_recovery.json` document.
+pub fn to_json(
+    scale: Scale,
+    smoke: bool,
+    gate_passed: bool,
+    cells: &[TournamentCell],
+) -> String {
+    let mut body = String::new();
+    body.push_str("{\n  \"bench\": \"recovery_tournament\",\n");
+    let _ = writeln!(
+        body,
+        "  \"config\": {{\n    \"scale\": \"{scale:?}\",\n    \"smoke\": {smoke},\n    \
+         \"strategies\": [{}]\n  }},",
+        StrategyKind::ALL
+            .iter()
+            .map(|s| format!("\"{}\"", s.name()))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let _ = writeln!(
+        body,
+        "  \"fingerprint_gate\": {{\n    \"passed\": {gate_passed},\n    \"cases\": {}\n  }},",
+        BASELINE_FINGERPRINTS.len()
+    );
+    body.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let dev = c
+            .mean_deviation
+            .map(|d| format!("{d:.2}"))
+            .unwrap_or_else(|| "null".into());
+        let ttr = c
+            .time_to_recover_s
+            .map(|t| format!("{t:.3}"))
+            .unwrap_or_else(|| "null".into());
+        let _ = write!(
+            body,
+            "    {{\"strategy\": \"{}\", \"vehicle\": \"{}\", \"case\": \"{}\", \
+             \"missions\": {}, \"survival_rate\": {:.1}, \"mean_deviation\": {dev}, \
+             \"time_to_recover_s\": {ttr}, \"degraded\": {}}}",
+            c.strategy.name(),
+            c.vehicle,
+            c.case,
+            c.missions,
+            c.survival_rate(),
+            c.degraded,
+        );
+        body.push_str(if i + 1 == cells.len() { "\n" } else { ",\n" });
+    }
+    body.push_str("  ]\n}\n");
+    body
+}
+
+/// Writes `BENCH_recovery.json` to the workspace root and mirrors it into
+/// `target/experiments/`.
+pub fn write_report(scale: Scale, smoke: bool, gate_passed: bool, cells: &[TournamentCell]) {
+    let body = to_json(scale, smoke, gate_passed, cells);
+    for path in [
+        harness::workspace_root().join("BENCH_recovery.json"),
+        harness::experiments_dir().join("BENCH_recovery.json"),
+    ] {
+        if let Err(e) = std::fs::write(&path, &body) {
+            eprintln!("warning: failed to write {}: {e}", path.display());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn algorithm1_trait_port_is_bit_identical_to_prerefactor_baseline() {
+        if let Err(report) = baseline_gate() {
+            panic!("Algorithm-1-on-trait diverged from the pre-refactor supervisor:\n{report}");
+        }
+    }
+
+    #[test]
+    fn tournament_json_is_well_formed_and_null_safe() {
+        let cells = vec![
+            TournamentCell {
+                strategy: StrategyKind::Algorithm1,
+                vehicle: RvId::ArduCopter,
+                case: "gps dropout 4s",
+                missions: 2,
+                survived: 2,
+                degraded: 0,
+                mean_deviation: Some(3.25),
+                time_to_recover_s: Some(1.5),
+            },
+            TournamentCell {
+                strategy: StrategyKind::DiagnosisGuided,
+                vehicle: RvId::ArduCopter,
+                case: "gps overt attack",
+                missions: 2,
+                survived: 0,
+                degraded: 0,
+                mean_deviation: None,
+                time_to_recover_s: None,
+            },
+        ];
+        let json = to_json(Scale::Quick, true, true, &cells);
+        assert!(json.contains("\"bench\": \"recovery_tournament\""));
+        assert!(json.contains("\"passed\": true"));
+        assert!(json.contains("\"mean_deviation\": null"));
+        assert!(json.contains("\"survival_rate\": 100.0"));
+        // Balanced braces/brackets (the writer is hand-rolled).
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+        assert_eq!(
+            json.matches('[').count(),
+            json.matches(']').count(),
+            "{json}"
+        );
+        assert!(json.trim_end().ends_with('}'));
+    }
+}

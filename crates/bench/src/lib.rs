@@ -22,6 +22,7 @@ pub mod exp_fig8;
 pub mod exp_fig9;
 pub mod exp_fleet;
 pub mod exp_perf;
+pub mod exp_recovery;
 pub mod exp_table1;
 pub mod exp_table2;
 pub mod exp_table3;

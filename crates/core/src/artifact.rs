@@ -25,7 +25,7 @@
 //!   caller's contract is *refuse and retrain*: on any load error, fall
 //!   back to training a fresh model (see the bench harness).
 //! - **Version negotiation**: the artifact header version and the
-//!   embedded `pidpiper-deployment v1|v2` payload version are both
+//!   embedded `pidpiper-deployment v1|v2|v3` payload version are both
 //!   checked, and headerless files written by earlier releases still load
 //!   (as [`ArtifactIntegrity::LegacyUnchecked`]) so existing caches stay
 //!   valid.
@@ -46,7 +46,7 @@ const ARTIFACT_VERSION: &str = "v1";
 /// Magic token opening every framed artifact.
 const ARTIFACT_MAGIC: &str = "pidpiper-artifact";
 /// Deployment payload versions [`PidPiper::from_text`] understands.
-const SUPPORTED_DEPLOYMENTS: [&str; 2] = ["v1", "v2"];
+const SUPPORTED_DEPLOYMENTS: [&str; 3] = ["v1", "v2", "v3"];
 
 /// Why an artifact failed to save or load.
 #[derive(Debug, Clone, PartialEq)]
@@ -327,10 +327,10 @@ mod tests {
     #[test]
     fn future_deployment_version_is_negotiated_not_garbled() {
         let path = scratch("future-deployment.pidpiper");
-        save_text(&path, "pidpiper-deployment v3\nsomething new\n").expect("save");
+        save_text(&path, "pidpiper-deployment v4\nsomething new\n").expect("save");
         match load_deployment(&path) {
             Err(ArtifactError::UnsupportedVersion { found }) => {
-                assert!(found.contains("v3"), "{found}");
+                assert!(found.contains("v4"), "{found}");
             }
             other => panic!("expected UnsupportedVersion, got {other:?}"),
         }

@@ -27,6 +27,10 @@
 //!   detection, the RV flies the FFC's predictions (and its inner loops
 //!   consume the noise-gated estimate) until the residual returns to
 //!   zero;
+//! - the **pluggable recovery strategies** ([`strategy`]) behind the
+//!   [`strategy::RecoveryStrategy`] trait: Algorithm 1 plus
+//!   spec-compliance and diagnosis-guided alternatives from the related
+//!   work, selectable per deployment/mission/fleet-session;
 //! - the **graceful-degradation supervisor** ([`supervisor`]) bounding
 //!   the defense's own failure modes: FFC output health checks with an
 //!   offline latch, and a recovery watchdog that forces an explicit
@@ -45,6 +49,7 @@ pub mod gate;
 pub mod monitor;
 pub mod pidpiper;
 pub mod sanitizer;
+pub mod strategy;
 pub mod supervisor;
 pub mod threshold;
 pub mod trainer;
@@ -57,6 +62,10 @@ pub use gate::{GateConfig, VarianceGate};
 pub use monitor::{AxisThresholds, CusumMonitor};
 pub use pidpiper::{ConsistencyGates, PidPiper, PidPiperConfig, TrustBand};
 pub use sanitizer::SensorSanitizer;
+pub use strategy::{
+    Algorithm1Strategy, DiagnosisGuidedStrategy, RecoveryContext, RecoveryStrategy,
+    SpecComplianceStrategy, StrategyState,
+};
 pub use supervisor::{FfcHealthMonitor, RecoveryWatchdog, SessionSupervisor, SignalEnvelope};
 pub use threshold::calibrate_thresholds;
 pub use trainer::{TrainedPidPiper, Trainer, TrainerConfig};

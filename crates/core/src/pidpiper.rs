@@ -21,9 +21,12 @@ use crate::features::SensorPrimitives;
 use crate::ffc::FfcModel;
 use crate::monitor::{AxisThresholds, CusumMonitor};
 use crate::sanitizer::SensorSanitizer;
+use crate::strategy::{RecoveryContext, RecoveryStrategy, StrategyState};
 use crate::supervisor::{FfcHealthMonitor, RecoveryWatchdog, SignalEnvelope};
 use pidpiper_control::ActuatorSignal;
-use pidpiper_missions::{Defense, DefenseContext, HealthState, MonitorLevel};
+use pidpiper_missions::{
+    Defense, DefenseContext, HealthState, MonitorLevel, SensorChannel, StrategyKind,
+};
 use pidpiper_sensors::EstimatedState;
 
 /// Raw-vs-shadow consistency gates for the recovery-exit check: recovery
@@ -135,6 +138,10 @@ pub struct PidPiperConfig {
     /// CUSUM saturation factor: each axis's statistic is capped at this
     /// multiple of its own threshold.
     pub cusum_saturation: f64,
+    /// Which recovery strategy to run once the monitor trips (the
+    /// [`crate::strategy`] module). The default — and what v1/v2
+    /// deployment texts load as — is the paper's Algorithm 1.
+    pub strategy: StrategyKind,
 }
 
 impl PidPiperConfig {
@@ -164,7 +171,14 @@ impl PidPiperConfig {
             max_recovery_steps: Self::DEFAULT_MAX_RECOVERY_STEPS,
             ffc_offline_after: Self::DEFAULT_FFC_OFFLINE_AFTER,
             cusum_saturation: Self::DEFAULT_CUSUM_SATURATION,
+            strategy: StrategyKind::default(),
         }
+    }
+
+    /// Selects a recovery strategy (builder style).
+    pub fn with_strategy(mut self, strategy: StrategyKind) -> Self {
+        self.strategy = strategy;
+        self
     }
 
     /// Validates parameter sanity.
@@ -213,10 +227,7 @@ pub struct PidPiper {
     config: PidPiperConfig,
     ffc_health: FfcHealthMonitor,
     watchdog: RecoveryWatchdog,
-    recovery_mode: bool,
-    degraded: bool,
-    recovery_activations: usize,
-    below_drift_streak: usize,
+    strategy: StrategyState,
     last_ml_signal: Option<ActuatorSignal>,
     sanitized: Option<EstimatedState>,
 }
@@ -239,12 +250,9 @@ impl PidPiper {
             sanitizer: SensorSanitizer::new(ffc.pipeline().gate),
             ffc_health: FfcHealthMonitor::new(SignalEnvelope::default(), config.ffc_offline_after),
             watchdog: RecoveryWatchdog::new(config.max_recovery_steps),
+            strategy: StrategyState::for_kind(config.strategy, &config),
             ffc,
             config,
-            recovery_mode: false,
-            degraded: false,
-            recovery_activations: 0,
-            below_drift_streak: 0,
             last_ml_signal: None,
             sanitized: None,
         }
@@ -252,7 +260,7 @@ impl PidPiper {
 
     /// Whether the defense has latched the `Degraded` fail-safe.
     pub fn is_degraded(&self) -> bool {
-        self.degraded
+        self.strategy.is_degraded()
     }
 
     /// Whether the FFC has latched offline (sustained bad predictions).
@@ -260,13 +268,21 @@ impl PidPiper {
         self.ffc_health.is_offline()
     }
 
-    /// Latches the explicit fail-safe: recovery cannot be trusted any
-    /// further, but the sanitized estimate keeps feeding the loops and —
-    /// while the FFC is still healthy — the banded override keeps flying.
-    fn enter_degraded(&mut self) {
-        self.degraded = true;
-        self.recovery_mode = false;
-        self.below_drift_streak = 0;
+    /// The active recovery strategy.
+    pub fn strategy_kind(&self) -> StrategyKind {
+        self.strategy.kind()
+    }
+
+    /// Swaps in the recovery strategy for `kind`, discarding the current
+    /// episode state. A no-op when `kind` is already active — in
+    /// particular, re-selecting Algorithm 1 right after [`Defense::reset`]
+    /// (the mission runner's pre-flight sequence) leaves the defense
+    /// bit-identical to a freshly constructed one.
+    pub fn set_strategy(&mut self, kind: StrategyKind) {
+        if self.strategy.kind() != kind {
+            self.config.strategy = kind;
+            self.strategy = StrategyState::for_kind(kind, &self.config);
+        }
     }
 
     /// The deployment configuration.
@@ -290,7 +306,7 @@ impl PidPiper {
         let c = &self.config;
         let opt = |o: Option<f64>| o.map_or("-".to_string(), |v| format!("{v:e}"));
         let g = self.ffc.pipeline().gate;
-        let mut out = String::from("pidpiper-deployment v2
+        let mut out = String::from("pidpiper-deployment v3
 ");
         out.push_str(&format!(
             "thresholds {} {} {} {}
@@ -328,6 +344,8 @@ impl PidPiper {
 ",
             c.max_recovery_steps, c.ffc_offline_after, c.cusum_saturation
         ));
+        out.push_str(&format!("strategy {}
+", c.strategy.name()));
         out.push_str(&format!(
             "pipeline {} {} {:e} {:e} {:e} {} {:e}
 ",
@@ -363,10 +381,12 @@ impl PidPiper {
     pub fn from_text(text: &str) -> Result<Self, String> {
         let mut lines = text.lines();
         let version = match lines.next() {
-            // v1 deployments predate the supervisor layer; their missing
-            // parameters load as the documented defaults.
+            // v1 deployments predate the supervisor layer and v2 the
+            // strategy selector; their missing parameters load as the
+            // documented defaults (Algorithm 1 for the strategy).
             Some("pidpiper-deployment v1") => 1,
             Some("pidpiper-deployment v2") => 2,
+            Some("pidpiper-deployment v3") => 3,
             _ => return Err("unknown deployment header".into()),
         };
         let parse_opt = |tok: &str| -> Result<Option<f64>, String> {
@@ -459,6 +479,15 @@ impl PidPiper {
                 .parse()
                 .map_err(|e| format!("bad cusum_saturation: {e}"))?;
         }
+        let mut strategy = StrategyKind::default();
+        if version >= 3 {
+            let strat_line = lines.next().ok_or("missing strategy")?;
+            let name = strat_line
+                .strip_prefix("strategy ")
+                .ok_or("bad strategy line")?;
+            strategy =
+                StrategyKind::parse(name).ok_or_else(|| format!("unknown strategy: {name}"))?;
+        }
         let pipe_line = lines.next().ok_or("missing pipeline")?;
         let toks: Vec<&str> = pipe_line.split_whitespace().collect();
         if toks.len() != 8 || toks[0] != "pipeline" {
@@ -495,50 +524,9 @@ impl PidPiper {
                 max_recovery_steps,
                 ffc_offline_after,
                 cusum_saturation,
+                strategy,
             },
         ))
-    }
-}
-
-/// Raw-vs-shadow sensor consistency: while an attack is injecting bias,
-/// the raw readings disagree with the sanitized estimate by far more than
-/// sensor noise allows. Recovery must not exit while this holds — during
-/// recovery the PID runs on the sanitized estimate, so the monitor's
-/// residual alone cannot see that the attack is still in progress.
-fn sensors_consistent(
-    readings: &pidpiper_sensors::SensorReadings,
-    shadow: &EstimatedState,
-    attitude_innovation: (f64, f64),
-    gates: &ConsistencyGates,
-) -> bool {
-    let pos_gap = readings.gps_position.distance(shadow.position);
-    let gyro_gap = (readings.gyro - shadow.body_rates).norm();
-    let baro_gap = (readings.baro_altitude - shadow.position.z).abs();
-    let mag_gap = pidpiper_math::wrap_angle(readings.mag_heading - shadow.attitude.z).abs();
-    // A persistent attitude innovation means the gyro stream disagrees
-    // with the accelerometer's gravity direction — gyro tampering that the
-    // (deliberately loose) gyro gate passes through.
-    let innovation = attitude_innovation.0.abs().max(attitude_innovation.1.abs());
-    pos_gap < gates.pos_gap
-        && gyro_gap < gates.gyro_gap
-        && baro_gap < gates.baro_gap
-        && mag_gap < gates.mag_gap
-        && innovation < gates.attitude_innovation
-}
-
-/// Clamps each channel of `ml` into the trust band around `anchor`.
-fn band(ml: ActuatorSignal, anchor: ActuatorSignal, b: &TrustBand) -> ActuatorSignal {
-    ActuatorSignal {
-        roll: ml.roll.clamp(anchor.roll - b.angle, anchor.roll + b.angle),
-        pitch: ml
-            .pitch
-            .clamp(anchor.pitch - b.angle, anchor.pitch + b.angle),
-        yaw_rate: ml
-            .yaw_rate
-            .clamp(anchor.yaw_rate - b.yaw_rate, anchor.yaw_rate + b.yaw_rate),
-        thrust: ml
-            .thrust
-            .clamp(anchor.thrust - b.thrust, anchor.thrust + b.thrust),
     }
 }
 
@@ -568,83 +556,34 @@ impl Defense for PidPiper {
         // while its predictions were flying the vehicle, the only honest
         // state left is the Degraded fail-safe.
         if !self.ffc_health.check(&ml_signal) {
-            if self.ffc_health.is_offline() && (self.recovery_mode || self.degraded) {
-                self.enter_degraded();
+            if self.ffc_health.is_offline()
+                && (self.strategy.in_recovery() || self.strategy.is_degraded())
+            {
+                self.strategy.force_degraded();
             }
             return None;
         }
 
         let tripped = self.monitor.update(&ml_signal, &ctx.pid_signal);
 
-        if self.degraded {
-            // Latched fail-safe: hold the banded override (the sanitized
-            // estimate keeps feeding the loops) until mission end. No
-            // re-entry into recovery, no silent hand-back.
-            return Some(band(ml_signal, ctx.pid_signal, &self.config.band));
-        }
-
-        if !self.recovery_mode {
-            if tripped {
-                // Algorithm 1 line 15-17: activate recovery, reset S.
-                self.recovery_mode = true;
-                self.recovery_activations += 1;
-                self.below_drift_streak = 0;
-                self.monitor.reset();
-                self.watchdog.rearm();
-            }
-        } else if self.watchdog.tick() {
-            // The recovery budget is spent: recovery has provably not
-            // converged within its allowance, so stop calling it recovery.
-            self.enter_degraded();
-            return Some(band(ml_signal, ctx.pid_signal, &self.config.band));
-        } else if ctx.phase.is_landing() {
-            // The landing descent is the RV's most vulnerable state (the
-            // paper's Attack-3 targets exactly this): once recovery is
-            // active there, it stays latched until touchdown — an
-            // intermittent attack must not regain the controls metres
-            // above the ground.
-            self.below_drift_streak = 0;
-        } else {
-            // Algorithm 1 line 21-24: exit when the raw sensors agree
-            // with the sanitized estimate again (the direct indicator that
-            // the attack has subsided) and the controllers have
-            // re-converged (debounced). The residual bound is relaxed to
-            // 4x drift: during recovery the PID runs on the sanitized
-            // state, so once the sensors are consistent a tight residual
-            // requirement only delays handing control back.
-            if self.monitor.residuals_below_drift(4.0)
-                && sensors_consistent(
-                    ctx.readings,
-                    &self.sanitizer.estimate().clone(),
-                    self.sanitizer.attitude_innovation(),
-                    &self.config.consistency,
-                )
-            {
-                self.below_drift_streak += 1;
-                if self.below_drift_streak >= self.config.exit_hold_steps {
-                    self.recovery_mode = false;
-                    self.below_drift_streak = 0;
-                    self.monitor.reset();
-                    self.watchdog.rearm();
-                }
-            } else {
-                self.below_drift_streak = 0;
-            }
-        }
-
-        if self.recovery_mode {
-            // Fly the FFC's prediction, banded around the PID signal.
-            // During recovery the runner feeds the sanitized estimate to
-            // the controller, so `ctx.pid_signal` is the PID's response to
-            // the *clean* state — exactly what the FFC approximates. The
-            // band is a trust region: where the LSTM is accurate it flies
-            // unchanged; where it extrapolates out of distribution it
-            // cannot command the vehicle away from the closed-loop
-            // envelope (in particular, thrust stays altitude-stable).
-            Some(band(ml_signal, ctx.pid_signal, &self.config.band))
-        } else {
-            None
-        }
+        // Hand the step to the active recovery strategy. During recovery
+        // the runner feeds the sanitized estimate to the controller, so
+        // `ctx.pid_signal` is the PID's response to the *clean* state —
+        // exactly what the FFC approximates.
+        let rctx = RecoveryContext {
+            readings: ctx.readings,
+            shadow: &shadow_est,
+            attitude_innovation: self.sanitizer.attitude_innovation(),
+            ml_signal,
+            pid_signal: ctx.pid_signal,
+            tripped,
+            phase: ctx.phase,
+            target: ctx.target,
+            t: ctx.t,
+            dt: ctx.dt,
+        };
+        self.strategy
+            .decide(&rctx, &mut self.monitor, &mut self.watchdog)
     }
 
     fn sanitized_estimate(&self) -> Option<EstimatedState> {
@@ -661,21 +600,23 @@ impl Defense for PidPiper {
     }
 
     fn in_recovery(&self) -> bool {
-        self.recovery_mode
+        self.strategy.in_recovery()
     }
 
     fn health_state(&self) -> HealthState {
-        if self.degraded {
-            HealthState::Degraded
-        } else if self.recovery_mode {
-            HealthState::Recovery
-        } else {
-            HealthState::Nominal
-        }
+        self.strategy.health()
     }
 
     fn recovery_activations(&self) -> usize {
-        self.recovery_activations
+        self.strategy.activations()
+    }
+
+    fn attribution(&self) -> Option<SensorChannel> {
+        self.strategy.attribution()
+    }
+
+    fn configure_strategy(&mut self, kind: StrategyKind) {
+        self.set_strategy(kind);
     }
 
     fn reset(&mut self) {
@@ -684,10 +625,7 @@ impl Defense for PidPiper {
         self.monitor.reset_all();
         self.ffc_health.reset();
         self.watchdog.rearm();
-        self.recovery_mode = false;
-        self.degraded = false;
-        self.recovery_activations = 0;
-        self.below_drift_streak = 0;
+        self.strategy.reset();
         self.last_ml_signal = None;
         self.sanitized = None;
     }
@@ -917,18 +855,19 @@ mod tests {
     #[test]
     fn v1_deployment_loads_with_supervisor_defaults() {
         let a = tiny_pidpiper();
-        // Rewrite the v2 text as a v1 deployment: drop the supervisor
-        // lines and downgrade the header.
-        let v2 = a.to_text();
-        let v1: String = v2
+        // Rewrite the v3 text as a v1 deployment: drop the supervisor and
+        // strategy lines and downgrade the header.
+        let v3 = a.to_text();
+        let v1: String = v3
             .lines()
             .filter(|l| {
                 !l.starts_with("consistency ")
                     && !l.starts_with("band ")
                     && !l.starts_with("supervisor ")
+                    && !l.starts_with("strategy ")
             })
             .map(|l| {
-                if l == "pidpiper-deployment v2" {
+                if l == "pidpiper-deployment v3" {
                     "pidpiper-deployment v1".to_string()
                 } else {
                     l.to_string()
@@ -943,7 +882,63 @@ mod tests {
             b.config().max_recovery_steps,
             PidPiperConfig::DEFAULT_MAX_RECOVERY_STEPS
         );
+        assert_eq!(b.config().strategy, StrategyKind::Algorithm1);
         assert_eq!(a.config(), b.config(), "defaults match the fixture");
+    }
+
+    #[test]
+    fn v2_deployment_loads_with_algorithm1_strategy() {
+        let a = tiny_pidpiper();
+        // Rewrite the v3 text as a v2 deployment: drop only the strategy
+        // line (v2 carried the supervisor layer already).
+        let v3 = a.to_text();
+        let v2: String = v3
+            .lines()
+            .filter(|l| !l.starts_with("strategy "))
+            .map(|l| {
+                if l == "pidpiper-deployment v3" {
+                    "pidpiper-deployment v2".to_string()
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        let b = PidPiper::from_text(&v2).expect("v2 must load");
+        assert_eq!(b.config().strategy, StrategyKind::Algorithm1);
+        assert_eq!(a.config(), b.config(), "defaults match the fixture");
+    }
+
+    #[test]
+    fn strategy_selection_serializes_and_round_trips() {
+        let base = tiny_pidpiper();
+        let ffc = base.ffc().clone();
+        let config = (*base.config()).with_strategy(StrategyKind::DiagnosisGuided);
+        let a = PidPiper::new(ffc, config);
+        assert_eq!(a.strategy_kind(), StrategyKind::DiagnosisGuided);
+        let text = a.to_text();
+        assert!(text.contains("strategy diagnosis-guided\n"), "{text}");
+        let b = PidPiper::from_text(&text).expect("v3 round trip");
+        assert_eq!(b.strategy_kind(), StrategyKind::DiagnosisGuided);
+        assert_eq!(a.config(), b.config());
+        // An unknown strategy name is a config error, not a default.
+        let bad = text.replace("strategy diagnosis-guided", "strategy bogus");
+        assert!(PidPiper::from_text(&bad).is_err());
+    }
+
+    #[test]
+    fn configure_strategy_swaps_and_preserves_identity() {
+        let mut pp = tiny_pidpiper();
+        assert_eq!(pp.strategy_kind(), StrategyKind::Algorithm1);
+        // Re-selecting the active strategy is a no-op.
+        pp.configure_strategy(StrategyKind::Algorithm1);
+        assert_eq!(pp.strategy_kind(), StrategyKind::Algorithm1);
+        // Selecting another strategy swaps it in and sticks through reset.
+        pp.configure_strategy(StrategyKind::SpecCompliance);
+        assert_eq!(pp.strategy_kind(), StrategyKind::SpecCompliance);
+        assert_eq!(pp.config().strategy, StrategyKind::SpecCompliance);
+        pp.reset();
+        assert_eq!(pp.strategy_kind(), StrategyKind::SpecCompliance);
     }
 
     #[test]

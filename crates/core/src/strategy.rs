@@ -1,0 +1,1036 @@
+//! Pluggable recovery strategies: the paper's Algorithm 1 plus two
+//! alternatives from the related work, all behind one trait.
+//!
+//! The PID-Piper defense splits into two halves. *Detection* (the CUSUM
+//! bank, the FFC health envelope, the sensor sanitizer) lives in
+//! [`crate::PidPiper`] and is strategy-independent. *Recovery* — what to
+//! fly once the monitor trips, and when to hand control back — is the
+//! [`RecoveryStrategy`] implemented here. Each control step, after
+//! sanitizing and monitoring, `PidPiper::observe` packs what a strategy
+//! may see into a [`RecoveryContext`] and asks the active strategy to
+//! [`RecoveryStrategy::decide`] the override and the health transition.
+//!
+//! Three strategies ship:
+//!
+//! - [`Algorithm1Strategy`] — the paper's Algorithm 1, ported verbatim
+//!   (bit-identical traces to the pre-trait supervisor path; regression-
+//!   gated by the bench crate's pinned baseline fingerprints).
+//! - [`SpecComplianceStrategy`] — SpecGuard-style (arXiv 2408.15200):
+//!   recovery quality is judged against the *mission spec*, not the FFC.
+//!   The trust band tightens toward the plan-tracking PID as the vehicle
+//!   re-approaches its target, and the exit additionally requires the
+//!   vehicle to be demonstrably converging on the plan.
+//! - [`DiagnosisGuidedStrategy`] — diagnosis-guided (arXiv 2209.04554):
+//!   the attack is attributed to the sensor with the largest consistency-
+//!   gate exceedance, and the recovery exit is judged on the remaining
+//!   (unblamed) sensors — a GPS-spoofed vehicle can hand control back on
+//!   gyro/baro/mag agreement without waiting for the spoofer to stop.
+//!
+//! Every strategy drives the same latched health machine
+//! (`Nominal → Recovery → Degraded`): `Degraded` is absorbing until an
+//! explicit [`RecoveryStrategy::reset`], and the watchdog/FFC-offline
+//! degradation paths are shared. The strategy latch proptests pin this
+//! monotonicity for all implementations.
+
+use crate::monitor::CusumMonitor;
+use crate::pidpiper::{ConsistencyGates, PidPiperConfig, TrustBand};
+use crate::supervisor::RecoveryWatchdog;
+use pidpiper_control::{ActuatorSignal, TargetState};
+use pidpiper_missions::{FlightPhase, HealthState, SensorChannel, StrategyKind};
+use pidpiper_sensors::{EstimatedState, SensorReadings};
+
+/// Residual relaxation factor for the recovery exit (Algorithm 1 and the
+/// diagnosis strategy): during recovery the PID runs on the sanitized
+/// state, so once the sensors are consistent a tight residual requirement
+/// only delays handing control back.
+const RESIDUAL_EXIT_RELAXATION: f64 = 4.0;
+
+/// The spec-compliance strategy's residual relaxation: looser than
+/// Algorithm 1's because the exit is additionally gated on plan
+/// convergence, which the FFC-vs-PID residual cannot fake.
+const SPEC_RESIDUAL_RELAXATION: f64 = 6.0;
+
+/// Radius (m) around the mission target inside which the spec-compliance
+/// strategy considers the vehicle back on spec — the mission-success
+/// radius of the evaluation.
+const SPEC_COMPLIANCE_RADIUS: f64 = 10.0;
+
+/// Smallest trust-band scale the spec-compliance strategy applies: near
+/// the plan the band hugs the plan-tracking PID this tightly.
+const SPEC_MIN_BAND_SCALE: f64 = 0.25;
+
+/// Everything a recovery strategy may observe on one post-detection
+/// control step. Carries *raw* (possibly attacked) readings alongside the
+/// sanitized shadow estimate — strategies must route raw data through a
+/// consistency boundary ([`sensors_consistent`] /
+/// [`sensors_consistent_excluding`]) before it can influence actuator
+/// construction (enforced by the analyzer's TB01 taint rule).
+#[derive(Debug, Clone, Copy)]
+pub struct RecoveryContext<'a> {
+    /// Raw (possibly attacked) sensor readings this step.
+    pub readings: &'a SensorReadings,
+    /// The sanitizer's shadow estimate after this step.
+    pub shadow: &'a EstimatedState,
+    /// The shadow estimator's low-passed attitude innovation (roll,
+    /// pitch) — the gyro-tampering indicator.
+    pub attitude_innovation: (f64, f64),
+    /// The FFC's (health-checked) prediction `y'(t)`.
+    pub ml_signal: ActuatorSignal,
+    /// The PID controller's signal `y(t)` this step.
+    pub pid_signal: ActuatorSignal,
+    /// Whether the CUSUM monitor tripped on this step's residual.
+    pub tripped: bool,
+    /// Current flight phase.
+    pub phase: FlightPhase,
+    /// The autonomous logic's current target.
+    pub target: &'a TargetState,
+    /// Mission time (s).
+    pub t: f64,
+    /// Control period (s).
+    pub dt: f64,
+}
+
+/// A recovery strategy: decides the override signal and the health-state
+/// transition each control step, given the detection state.
+///
+/// The monitor and watchdog are owned by the caller ([`crate::PidPiper`])
+/// and lent per step — they are detection/supervision machinery shared by
+/// every strategy, while the strategy owns the episode state (recovery
+/// latch, degraded latch, activation count, exit debounce).
+pub trait RecoveryStrategy {
+    /// Which [`StrategyKind`] this implementation realizes.
+    fn kind(&self) -> StrategyKind;
+
+    /// Observes one post-detection step and returns the actuator override
+    /// to fly (`None` = fly the PID's own output). May reset `monitor`
+    /// and re-arm `watchdog` on recovery entry/exit; ticks `watchdog`
+    /// while recovering and latches `Degraded` when it expires.
+    fn decide(
+        &mut self,
+        ctx: &RecoveryContext<'_>,
+        monitor: &mut CusumMonitor,
+        watchdog: &mut RecoveryWatchdog,
+    ) -> Option<ActuatorSignal>;
+
+    /// Whether recovery mode is currently active.
+    fn in_recovery(&self) -> bool;
+
+    /// Whether the strategy has latched the `Degraded` fail-safe.
+    fn is_degraded(&self) -> bool;
+
+    /// The latched health state implied by the two flags.
+    fn health(&self) -> HealthState {
+        if self.is_degraded() {
+            HealthState::Degraded
+        } else if self.in_recovery() {
+            HealthState::Recovery
+        } else {
+            HealthState::Nominal
+        }
+    }
+
+    /// Total number of times recovery mode has been (re-)activated.
+    fn activations(&self) -> usize;
+
+    /// The sensor this strategy currently blames for the anomaly (`None`
+    /// for strategies without a diagnosis stage, or with no active blame).
+    fn attribution(&self) -> Option<SensorChannel> {
+        None
+    }
+
+    /// Latches the `Degraded` fail-safe from outside the step loop (the
+    /// FFC-offline path: the model died while its predictions were flying
+    /// the vehicle).
+    fn force_degraded(&mut self);
+
+    /// Clears all episode state between missions (the only way out of
+    /// `Degraded`).
+    fn reset(&mut self);
+}
+
+/// The episode state every strategy shares: the recovery/degraded latches,
+/// the activation counter and the exit-hold debounce streak.
+#[derive(Debug, Clone, Default)]
+struct LatchState {
+    recovery: bool,
+    degraded: bool,
+    activations: usize,
+    streak: usize,
+}
+
+impl LatchState {
+    /// Recovery entry (Algorithm 1 line 15-17 bookkeeping).
+    fn activate(&mut self) {
+        self.recovery = true;
+        self.activations += 1;
+        self.streak = 0;
+    }
+
+    /// Latches the fail-safe: recovery cannot be trusted any further.
+    fn enter_degraded(&mut self) {
+        self.degraded = true;
+        self.recovery = false;
+        self.streak = 0;
+    }
+
+    /// Recovery exit (hand control back to the PID).
+    fn exit(&mut self) {
+        self.recovery = false;
+        self.streak = 0;
+    }
+
+    fn reset(&mut self) {
+        *self = LatchState::default();
+    }
+}
+
+/// Raw-vs-shadow sensor consistency: while an attack is injecting bias,
+/// the raw readings disagree with the sanitized estimate by far more than
+/// sensor noise allows. Recovery must not exit while this holds — during
+/// recovery the PID runs on the sanitized estimate, so the monitor's
+/// residual alone cannot see that the attack is still in progress.
+pub fn sensors_consistent(
+    readings: &SensorReadings,
+    shadow: &EstimatedState,
+    attitude_innovation: (f64, f64),
+    gates: &ConsistencyGates,
+) -> bool {
+    sensors_consistent_excluding(readings, shadow, attitude_innovation, gates, None)
+}
+
+/// [`sensors_consistent`] with one sensor excused: the diagnosis-guided
+/// exit check, which judges consistency on the sensors the diagnosis did
+/// *not* blame (an attacked GPS can stay inconsistent forever; the other
+/// channels agreeing with the shadow estimate is the recovery signal).
+/// `excluded: None` is exactly the plain check.
+pub fn sensors_consistent_excluding(
+    readings: &SensorReadings,
+    shadow: &EstimatedState,
+    attitude_innovation: (f64, f64),
+    gates: &ConsistencyGates,
+    excluded: Option<SensorChannel>,
+) -> bool {
+    let pos_gap = readings.gps_position.distance(shadow.position);
+    let gyro_gap = (readings.gyro - shadow.body_rates).norm();
+    let baro_gap = (readings.baro_altitude - shadow.position.z).abs();
+    let mag_gap = pidpiper_math::wrap_angle(readings.mag_heading - shadow.attitude.z).abs();
+    // A persistent attitude innovation means the gyro stream disagrees
+    // with the accelerometer's gravity direction — gyro tampering that the
+    // (deliberately loose) gyro gate passes through.
+    let innovation = attitude_innovation.0.abs().max(attitude_innovation.1.abs());
+    let skip = |ch: SensorChannel| excluded == Some(ch);
+    (skip(SensorChannel::Gps) || pos_gap < gates.pos_gap)
+        && (skip(SensorChannel::Gyro)
+            || (gyro_gap < gates.gyro_gap && innovation < gates.attitude_innovation))
+        && (skip(SensorChannel::Baro) || baro_gap < gates.baro_gap)
+        && (skip(SensorChannel::Mag) || mag_gap < gates.mag_gap)
+}
+
+/// Attributes an anomaly to the sensor with the largest *relative*
+/// consistency-gate exceedance (gap as a multiple of its gate), or `None`
+/// when no gate is exceeded. Ties resolve to the first channel in the
+/// fixed GPS → gyro → baro → mag order, so attribution is deterministic;
+/// NaN gaps (held sensors) never win a comparison and thus never blame.
+fn attribute_exceedance(
+    readings: &SensorReadings,
+    shadow: &EstimatedState,
+    attitude_innovation: (f64, f64),
+    gates: &ConsistencyGates,
+) -> Option<SensorChannel> {
+    let pos = readings.gps_position.distance(shadow.position) / gates.pos_gap;
+    let innovation = attitude_innovation.0.abs().max(attitude_innovation.1.abs())
+        / gates.attitude_innovation;
+    let gyro = ((readings.gyro - shadow.body_rates).norm() / gates.gyro_gap).max(innovation);
+    let baro = (readings.baro_altitude - shadow.position.z).abs() / gates.baro_gap;
+    let mag =
+        pidpiper_math::wrap_angle(readings.mag_heading - shadow.attitude.z).abs() / gates.mag_gap;
+    let mut blamed = None;
+    let mut best = 1.0;
+    for (channel, score) in [
+        (SensorChannel::Gps, pos),
+        (SensorChannel::Gyro, gyro),
+        (SensorChannel::Baro, baro),
+        (SensorChannel::Mag, mag),
+    ] {
+        if score > best {
+            best = score;
+            blamed = Some(channel);
+        }
+    }
+    blamed
+}
+
+/// The paper's Algorithm 1 on the [`RecoveryStrategy`] trait — a verbatim
+/// port of the pre-trait supervisor path. Trip: fly the FFC prediction
+/// trust-banded around the PID signal. Exit: residuals below the relaxed
+/// drift *and* raw sensors consistent with the shadow estimate, debounced
+/// by the exit hold; the landing phase latches recovery until touchdown.
+/// Watchdog expiry latches `Degraded` (the banded override keeps flying).
+#[derive(Debug, Clone)]
+pub struct Algorithm1Strategy {
+    gates: ConsistencyGates,
+    band: TrustBand,
+    exit_hold_steps: usize,
+    state: LatchState,
+}
+
+impl Algorithm1Strategy {
+    /// Builds the strategy from a deployment configuration.
+    pub fn new(config: &PidPiperConfig) -> Self {
+        Algorithm1Strategy {
+            gates: config.consistency,
+            band: config.band,
+            exit_hold_steps: config.exit_hold_steps,
+            state: LatchState::default(),
+        }
+    }
+}
+
+impl RecoveryStrategy for Algorithm1Strategy {
+    fn kind(&self) -> StrategyKind {
+        StrategyKind::Algorithm1
+    }
+
+    fn decide(
+        &mut self,
+        ctx: &RecoveryContext<'_>,
+        monitor: &mut CusumMonitor,
+        watchdog: &mut RecoveryWatchdog,
+    ) -> Option<ActuatorSignal> {
+        if !self.state.degraded {
+            if !self.state.recovery {
+                if ctx.tripped {
+                    // Algorithm 1 line 15-17: activate recovery, reset S.
+                    self.state.activate();
+                    monitor.reset();
+                    watchdog.rearm();
+                }
+            } else if watchdog.tick() {
+                // The recovery budget is spent: recovery has provably not
+                // converged within its allowance, so stop calling it
+                // recovery.
+                self.state.enter_degraded();
+            } else if ctx.phase.is_landing() {
+                // The landing descent is the RV's most vulnerable state
+                // (the paper's Attack-3 targets exactly this): once
+                // recovery is active there, it stays latched until
+                // touchdown — an intermittent attack must not regain the
+                // controls metres above the ground.
+                self.state.streak = 0;
+            } else if monitor.residuals_below_drift(RESIDUAL_EXIT_RELAXATION)
+                && sensors_consistent(
+                    ctx.readings,
+                    ctx.shadow,
+                    ctx.attitude_innovation,
+                    &self.gates,
+                )
+            {
+                // Algorithm 1 line 21-24: exit when the raw sensors agree
+                // with the sanitized estimate again (the direct indicator
+                // that the attack has subsided) and the controllers have
+                // re-converged (debounced).
+                self.state.streak += 1;
+                if self.state.streak >= self.exit_hold_steps {
+                    self.state.exit();
+                    monitor.reset();
+                    watchdog.rearm();
+                }
+            } else {
+                self.state.streak = 0;
+            }
+        }
+        if self.state.degraded || self.state.recovery {
+            // Fly the FFC's prediction, banded around the PID signal. The
+            // band is a trust region: where the LSTM is accurate it flies
+            // unchanged; where it extrapolates out of distribution it
+            // cannot command the vehicle away from the closed-loop
+            // envelope (in particular, thrust stays altitude-stable).
+            let (ml, anchor, b) = (ctx.ml_signal, ctx.pid_signal, &self.band);
+            Some(ActuatorSignal {
+                roll: ml.roll.clamp(anchor.roll - b.angle, anchor.roll + b.angle),
+                pitch: ml
+                    .pitch
+                    .clamp(anchor.pitch - b.angle, anchor.pitch + b.angle),
+                yaw_rate: ml
+                    .yaw_rate
+                    .clamp(anchor.yaw_rate - b.yaw_rate, anchor.yaw_rate + b.yaw_rate),
+                thrust: ml
+                    .thrust
+                    .clamp(anchor.thrust - b.thrust, anchor.thrust + b.thrust),
+            })
+        } else {
+            None
+        }
+    }
+
+    fn in_recovery(&self) -> bool {
+        self.state.recovery
+    }
+
+    fn is_degraded(&self) -> bool {
+        self.state.degraded
+    }
+
+    fn activations(&self) -> usize {
+        self.state.activations
+    }
+
+    fn force_degraded(&mut self) {
+        self.state.enter_degraded();
+    }
+
+    fn reset(&mut self) {
+        self.state.reset();
+    }
+}
+
+/// SpecGuard-style spec-compliance recovery: deviation is measured against
+/// the *mission plan*, not the FFC prediction. While recovering, the trust
+/// band around the plan-tracking PID scales with the shadow estimate's
+/// distance to the mission target (far off-plan: the full band lets the
+/// FFC fly; back near the plan: the band hugs the PID). The exit requires
+/// the vehicle to be back on spec — inside the compliance radius, or
+/// monotonically closing on the target — on top of relaxed residuals and
+/// sensor consistency, all debounced by the exit hold.
+#[derive(Debug, Clone)]
+pub struct SpecComplianceStrategy {
+    gates: ConsistencyGates,
+    band: TrustBand,
+    exit_hold_steps: usize,
+    compliance_radius: f64,
+    state: LatchState,
+    last_dist: Option<f64>,
+}
+
+impl SpecComplianceStrategy {
+    /// Builds the strategy from a deployment configuration.
+    pub fn new(config: &PidPiperConfig) -> Self {
+        SpecComplianceStrategy {
+            gates: config.consistency,
+            band: config.band,
+            exit_hold_steps: config.exit_hold_steps,
+            compliance_radius: SPEC_COMPLIANCE_RADIUS,
+            state: LatchState::default(),
+            last_dist: None,
+        }
+    }
+}
+
+impl RecoveryStrategy for SpecComplianceStrategy {
+    fn kind(&self) -> StrategyKind {
+        StrategyKind::SpecCompliance
+    }
+
+    fn decide(
+        &mut self,
+        ctx: &RecoveryContext<'_>,
+        monitor: &mut CusumMonitor,
+        watchdog: &mut RecoveryWatchdog,
+    ) -> Option<ActuatorSignal> {
+        if !self.state.degraded {
+            if !self.state.recovery {
+                if ctx.tripped {
+                    self.state.activate();
+                    self.last_dist = None;
+                    monitor.reset();
+                    watchdog.rearm();
+                }
+            } else if watchdog.tick() {
+                self.state.enter_degraded();
+            } else if ctx.phase.is_landing() {
+                self.state.streak = 0;
+            } else {
+                // Spec compliance: inside the mission-success radius, or
+                // strictly closing on the target (the plan is being
+                // re-acquired even if the vehicle is still far out).
+                let dist = ctx.shadow.position.distance(ctx.target.position);
+                let converging = self.last_dist.is_some_and(|prev| dist < prev - 1e-9);
+                self.last_dist = Some(dist);
+                if (dist < self.compliance_radius || converging)
+                    && monitor.residuals_below_drift(SPEC_RESIDUAL_RELAXATION)
+                    && sensors_consistent(
+                        ctx.readings,
+                        ctx.shadow,
+                        ctx.attitude_innovation,
+                        &self.gates,
+                    )
+                {
+                    self.state.streak += 1;
+                    if self.state.streak >= self.exit_hold_steps {
+                        self.state.exit();
+                        self.last_dist = None;
+                        monitor.reset();
+                        watchdog.rearm();
+                    }
+                } else {
+                    self.state.streak = 0;
+                }
+            }
+        }
+        if self.state.degraded || self.state.recovery {
+            // Deviation-scaled trust band: the further off-spec the
+            // shadow estimate says the vehicle is, the more authority the
+            // FFC gets; near the plan, the band collapses toward the
+            // plan-tracking PID (never below the minimum scale — the FFC
+            // still smooths the hand-back).
+            let dist = ctx.shadow.position.distance(ctx.target.position);
+            let w = (dist / self.compliance_radius).clamp(SPEC_MIN_BAND_SCALE, 1.0);
+            let (ml, anchor, b) = (ctx.ml_signal, ctx.pid_signal, &self.band);
+            let (angle, yaw, thrust) = (b.angle * w, b.yaw_rate * w, b.thrust * w);
+            Some(ActuatorSignal {
+                roll: ml.roll.clamp(anchor.roll - angle, anchor.roll + angle),
+                pitch: ml.pitch.clamp(anchor.pitch - angle, anchor.pitch + angle),
+                yaw_rate: ml
+                    .yaw_rate
+                    .clamp(anchor.yaw_rate - yaw, anchor.yaw_rate + yaw),
+                thrust: ml
+                    .thrust
+                    .clamp(anchor.thrust - thrust, anchor.thrust + thrust),
+            })
+        } else {
+            None
+        }
+    }
+
+    fn in_recovery(&self) -> bool {
+        self.state.recovery
+    }
+
+    fn is_degraded(&self) -> bool {
+        self.state.degraded
+    }
+
+    fn activations(&self) -> usize {
+        self.state.activations
+    }
+
+    fn force_degraded(&mut self) {
+        self.state.enter_degraded();
+    }
+
+    fn reset(&mut self) {
+        self.state.reset();
+        self.last_dist = None;
+    }
+}
+
+/// Diagnosis-guided recovery: on every recovering step the anomaly is
+/// attributed to the sensor with the largest relative consistency-gate
+/// exceedance (`attribute_exceedance`); the recovery exit then judges
+/// consistency on the *unblamed* sensors only
+/// ([`sensors_consistent_excluding`]). Against a persistent single-sensor
+/// attack this hands control back as soon as the healthy sensors agree
+/// with the shadow estimate, instead of waiting out the attacker. The
+/// active blame is surfaced through [`RecoveryStrategy::attribution`] into
+/// the mission trace.
+#[derive(Debug, Clone)]
+pub struct DiagnosisGuidedStrategy {
+    gates: ConsistencyGates,
+    band: TrustBand,
+    exit_hold_steps: usize,
+    state: LatchState,
+    blamed: Option<SensorChannel>,
+}
+
+impl DiagnosisGuidedStrategy {
+    /// Builds the strategy from a deployment configuration.
+    pub fn new(config: &PidPiperConfig) -> Self {
+        DiagnosisGuidedStrategy {
+            gates: config.consistency,
+            band: config.band,
+            exit_hold_steps: config.exit_hold_steps,
+            state: LatchState::default(),
+            blamed: None,
+        }
+    }
+}
+
+impl RecoveryStrategy for DiagnosisGuidedStrategy {
+    fn kind(&self) -> StrategyKind {
+        StrategyKind::DiagnosisGuided
+    }
+
+    fn decide(
+        &mut self,
+        ctx: &RecoveryContext<'_>,
+        monitor: &mut CusumMonitor,
+        watchdog: &mut RecoveryWatchdog,
+    ) -> Option<ActuatorSignal> {
+        if !self.state.degraded {
+            if !self.state.recovery {
+                if ctx.tripped {
+                    self.state.activate();
+                    self.blamed = attribute_exceedance(
+                        ctx.readings,
+                        ctx.shadow,
+                        ctx.attitude_innovation,
+                        &self.gates,
+                    );
+                    monitor.reset();
+                    watchdog.rearm();
+                }
+            } else if watchdog.tick() {
+                self.state.enter_degraded();
+            } else if ctx.phase.is_landing() {
+                self.state.streak = 0;
+            } else {
+                // Re-diagnose while the episode runs: a confident new
+                // exceedance updates the blame (an attack that migrates
+                // between sensors is followed); an inconclusive step keeps
+                // the last blame rather than forgetting mid-episode.
+                if let Some(channel) = attribute_exceedance(
+                    ctx.readings,
+                    ctx.shadow,
+                    ctx.attitude_innovation,
+                    &self.gates,
+                ) {
+                    self.blamed = Some(channel);
+                }
+                if monitor.residuals_below_drift(RESIDUAL_EXIT_RELAXATION)
+                    && sensors_consistent_excluding(
+                        ctx.readings,
+                        ctx.shadow,
+                        ctx.attitude_innovation,
+                        &self.gates,
+                        self.blamed,
+                    )
+                {
+                    self.state.streak += 1;
+                    if self.state.streak >= self.exit_hold_steps {
+                        self.state.exit();
+                        self.blamed = None;
+                        monitor.reset();
+                        watchdog.rearm();
+                    }
+                } else {
+                    self.state.streak = 0;
+                }
+            }
+        }
+        if self.state.degraded || self.state.recovery {
+            let (ml, anchor, b) = (ctx.ml_signal, ctx.pid_signal, &self.band);
+            Some(ActuatorSignal {
+                roll: ml.roll.clamp(anchor.roll - b.angle, anchor.roll + b.angle),
+                pitch: ml
+                    .pitch
+                    .clamp(anchor.pitch - b.angle, anchor.pitch + b.angle),
+                yaw_rate: ml
+                    .yaw_rate
+                    .clamp(anchor.yaw_rate - b.yaw_rate, anchor.yaw_rate + b.yaw_rate),
+                thrust: ml
+                    .thrust
+                    .clamp(anchor.thrust - b.thrust, anchor.thrust + b.thrust),
+            })
+        } else {
+            None
+        }
+    }
+
+    fn in_recovery(&self) -> bool {
+        self.state.recovery
+    }
+
+    fn is_degraded(&self) -> bool {
+        self.state.degraded
+    }
+
+    fn activations(&self) -> usize {
+        self.state.activations
+    }
+
+    fn attribution(&self) -> Option<SensorChannel> {
+        // Blame is held through Degraded too: a mission that ends in the
+        // fail-safe still explains which sensor drove it there.
+        self.blamed
+    }
+
+    fn force_degraded(&mut self) {
+        self.state.enter_degraded();
+    }
+
+    fn reset(&mut self) {
+        self.state.reset();
+        self.blamed = None;
+    }
+}
+
+/// The clonable strategy dispatcher [`crate::PidPiper`] embeds: one
+/// variant per [`StrategyKind`], delegating every [`RecoveryStrategy`]
+/// method (the fourth trait impl). An enum rather than a boxed trait
+/// object so `PidPiper` stays `Clone` and mission batches can hand each
+/// worker its own defense without dynamic allocation.
+#[derive(Debug, Clone)]
+pub enum StrategyState {
+    /// The paper's Algorithm 1.
+    Algorithm1(Algorithm1Strategy),
+    /// SpecGuard-style spec-compliance recovery.
+    SpecCompliance(SpecComplianceStrategy),
+    /// Diagnosis-guided recovery.
+    DiagnosisGuided(DiagnosisGuidedStrategy),
+}
+
+impl StrategyState {
+    /// Builds the strategy selected by `kind` from a deployment
+    /// configuration.
+    pub fn for_kind(kind: StrategyKind, config: &PidPiperConfig) -> Self {
+        match kind {
+            StrategyKind::Algorithm1 => StrategyState::Algorithm1(Algorithm1Strategy::new(config)),
+            StrategyKind::SpecCompliance => {
+                StrategyState::SpecCompliance(SpecComplianceStrategy::new(config))
+            }
+            StrategyKind::DiagnosisGuided => {
+                StrategyState::DiagnosisGuided(DiagnosisGuidedStrategy::new(config))
+            }
+        }
+    }
+}
+
+impl RecoveryStrategy for StrategyState {
+    fn kind(&self) -> StrategyKind {
+        match self {
+            StrategyState::Algorithm1(s) => s.kind(),
+            StrategyState::SpecCompliance(s) => s.kind(),
+            StrategyState::DiagnosisGuided(s) => s.kind(),
+        }
+    }
+
+    fn decide(
+        &mut self,
+        ctx: &RecoveryContext<'_>,
+        monitor: &mut CusumMonitor,
+        watchdog: &mut RecoveryWatchdog,
+    ) -> Option<ActuatorSignal> {
+        match self {
+            StrategyState::Algorithm1(s) => s.decide(ctx, monitor, watchdog),
+            StrategyState::SpecCompliance(s) => s.decide(ctx, monitor, watchdog),
+            StrategyState::DiagnosisGuided(s) => s.decide(ctx, monitor, watchdog),
+        }
+    }
+
+    fn in_recovery(&self) -> bool {
+        match self {
+            StrategyState::Algorithm1(s) => s.in_recovery(),
+            StrategyState::SpecCompliance(s) => s.in_recovery(),
+            StrategyState::DiagnosisGuided(s) => s.in_recovery(),
+        }
+    }
+
+    fn is_degraded(&self) -> bool {
+        match self {
+            StrategyState::Algorithm1(s) => s.is_degraded(),
+            StrategyState::SpecCompliance(s) => s.is_degraded(),
+            StrategyState::DiagnosisGuided(s) => s.is_degraded(),
+        }
+    }
+
+    fn activations(&self) -> usize {
+        match self {
+            StrategyState::Algorithm1(s) => s.activations(),
+            StrategyState::SpecCompliance(s) => s.activations(),
+            StrategyState::DiagnosisGuided(s) => s.activations(),
+        }
+    }
+
+    fn attribution(&self) -> Option<SensorChannel> {
+        match self {
+            StrategyState::Algorithm1(s) => s.attribution(),
+            StrategyState::SpecCompliance(s) => s.attribution(),
+            StrategyState::DiagnosisGuided(s) => s.attribution(),
+        }
+    }
+
+    fn force_degraded(&mut self) {
+        match self {
+            StrategyState::Algorithm1(s) => s.force_degraded(),
+            StrategyState::SpecCompliance(s) => s.force_degraded(),
+            StrategyState::DiagnosisGuided(s) => s.force_degraded(),
+        }
+    }
+
+    fn reset(&mut self) {
+        match self {
+            StrategyState::Algorithm1(s) => s.reset(),
+            StrategyState::SpecCompliance(s) => s.reset(),
+            StrategyState::DiagnosisGuided(s) => s.reset(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::AxisThresholds;
+    use pidpiper_math::Vec3;
+
+    fn config() -> PidPiperConfig {
+        PidPiperConfig::new(AxisThresholds::quad(18.0, 18.0, 18.6), [0.5; 4], 3, 12)
+    }
+
+    /// Drives one strategy step with synthetic inputs built inside (no raw
+    /// types cross this helper's signature).
+    fn drive(
+        strategy: &mut StrategyState,
+        monitor: &mut CusumMonitor,
+        watchdog: &mut RecoveryWatchdog,
+        tripped: bool,
+        biased_gps: bool,
+        landing: bool,
+    ) -> Option<ActuatorSignal> {
+        let readings = SensorReadings {
+            gps_position: if biased_gps {
+                Vec3::new(50.0, 0.0, 0.0)
+            } else {
+                Vec3::default()
+            },
+            ..Default::default()
+        };
+        let shadow = EstimatedState::default();
+        let target = TargetState::default();
+        let ctx = RecoveryContext {
+            readings: &readings,
+            shadow: &shadow,
+            attitude_innovation: (0.0, 0.0),
+            ml_signal: ActuatorSignal::default(),
+            pid_signal: ActuatorSignal::default(),
+            tripped,
+            phase: if landing {
+                FlightPhase::Land
+            } else {
+                FlightPhase::Cruise { wp_index: 0 }
+            },
+            target: &target,
+            t: 0.0,
+            dt: 0.01,
+        };
+        strategy.decide(&ctx, monitor, watchdog)
+    }
+
+    fn machinery() -> (CusumMonitor, RecoveryWatchdog) {
+        let c = config();
+        (
+            CusumMonitor::with_drifts_and_lag(c.thresholds, c.drifts, c.lag_history),
+            RecoveryWatchdog::new(c.max_recovery_steps),
+        )
+    }
+
+    #[test]
+    fn every_strategy_trips_recovers_and_exits() {
+        for kind in StrategyKind::ALL {
+            let mut s = StrategyState::for_kind(kind, &config());
+            let (mut m, mut w) = machinery();
+            assert_eq!(s.kind(), kind);
+            assert_eq!(s.health(), HealthState::Nominal);
+            // Trip: the override flies immediately.
+            let out = drive(&mut s, &mut m, &mut w, true, false, false);
+            assert!(out.is_some(), "{kind}: trip must fly the override");
+            assert!(s.in_recovery(), "{kind}");
+            assert_eq!(s.activations(), 1, "{kind}");
+            assert_eq!(s.health(), HealthState::Recovery, "{kind}");
+            // Quiet consistent steps: every strategy eventually exits
+            // (spec compliance needs the shadow at the target, which the
+            // default states satisfy).
+            for _ in 0..20 {
+                drive(&mut s, &mut m, &mut w, false, false, false);
+            }
+            assert!(!s.in_recovery(), "{kind}: must hand control back");
+            assert_eq!(s.health(), HealthState::Nominal, "{kind}");
+        }
+    }
+
+    #[test]
+    fn inconsistent_sensors_block_every_exit() {
+        for kind in [StrategyKind::Algorithm1, StrategyKind::SpecCompliance] {
+            let mut s = StrategyState::for_kind(kind, &config());
+            let (mut m, mut w) = machinery();
+            drive(&mut s, &mut m, &mut w, true, true, false);
+            for _ in 0..50 {
+                drive(&mut s, &mut m, &mut w, false, true, false);
+            }
+            assert!(
+                s.in_recovery(),
+                "{kind}: a 50 m GPS gap must block the exit"
+            );
+        }
+    }
+
+    #[test]
+    fn diagnosis_excludes_the_blamed_sensor_and_exits_through_the_attack() {
+        let mut s = StrategyState::for_kind(StrategyKind::DiagnosisGuided, &config());
+        let (mut m, mut w) = machinery();
+        // Trip while the GPS is wildly inconsistent: blame lands on GPS.
+        drive(&mut s, &mut m, &mut w, true, true, false);
+        assert_eq!(s.attribution(), Some(SensorChannel::Gps));
+        // The attack persists, but the other sensors agree with the shadow
+        // estimate — the diagnosis-guided exit hands control back anyway.
+        for _ in 0..20 {
+            drive(&mut s, &mut m, &mut w, false, true, false);
+        }
+        assert!(!s.in_recovery(), "exit must not wait out the attacker");
+        assert_eq!(s.attribution(), None, "blame clears on exit");
+    }
+
+    #[test]
+    fn landing_latches_recovery_for_every_strategy() {
+        for kind in StrategyKind::ALL {
+            let mut s = StrategyState::for_kind(kind, &config());
+            let (mut m, mut w) = machinery();
+            drive(&mut s, &mut m, &mut w, true, false, false);
+            for _ in 0..50 {
+                drive(&mut s, &mut m, &mut w, false, false, true);
+            }
+            assert!(s.in_recovery(), "{kind}: landing must latch recovery");
+        }
+    }
+
+    #[test]
+    fn watchdog_expiry_degrades_and_latches_for_every_strategy() {
+        for kind in StrategyKind::ALL {
+            let mut s = StrategyState::for_kind(kind, &config());
+            let (mut m, _) = machinery();
+            let mut w = RecoveryWatchdog::new(5);
+            drive(&mut s, &mut m, &mut w, true, true, false);
+            // Recover through the landing descent: every strategy latches
+            // recovery there (no exit path), but the watchdog keeps
+            // ticking — the budget must still bound the episode.
+            for _ in 0..10 {
+                drive(&mut s, &mut m, &mut w, false, true, true);
+            }
+            assert!(s.is_degraded(), "{kind}: watchdog must force Degraded");
+            assert_eq!(s.health(), HealthState::Degraded, "{kind}");
+            // Degraded still flies the banded override, and is latched.
+            let out = drive(&mut s, &mut m, &mut w, false, false, false);
+            assert!(out.is_some(), "{kind}: degraded must hold the override");
+            assert!(s.is_degraded(), "{kind}: Degraded is absorbing");
+            // Only reset clears it.
+            s.reset();
+            assert_eq!(s.health(), HealthState::Nominal, "{kind}");
+            assert_eq!(s.activations(), 0, "{kind}");
+        }
+    }
+
+    #[test]
+    fn spec_compliance_band_tightens_near_the_plan() {
+        let c = config();
+        let mut s = SpecComplianceStrategy::new(&c);
+        let (mut m, mut w) = machinery();
+        let readings = SensorReadings::default();
+        let target = TargetState::default();
+        // Far off-plan: the full band applies; ml well outside it clamps
+        // to the band edge.
+        let far = EstimatedState {
+            position: Vec3::new(100.0, 0.0, 0.0),
+            ..Default::default()
+        };
+        let ml = ActuatorSignal {
+            roll: 1.0,
+            ..Default::default()
+        };
+        fn mk<'a>(
+            readings: &'a SensorReadings,
+            shadow: &'a EstimatedState,
+            target: &'a TargetState,
+            ml: ActuatorSignal,
+        ) -> RecoveryContext<'a> {
+            RecoveryContext {
+                readings,
+                shadow,
+                attitude_innovation: (0.0, 0.0),
+                ml_signal: ml,
+                pid_signal: ActuatorSignal::default(),
+                tripped: true,
+                phase: FlightPhase::Cruise { wp_index: 0 },
+                target,
+                t: 0.0,
+                dt: 0.01,
+            }
+        }
+        let out_far = s
+            .decide(&mk(&readings, &far, &target, ml), &mut m, &mut w)
+            .expect("trip flies the override");
+        assert!((out_far.roll - c.band.angle).abs() < 1e-12, "{}", out_far.roll);
+        // Near the plan: the band collapses to the minimum scale.
+        let near = EstimatedState::default();
+        let out_near = s
+            .decide(&mk(&readings, &near, &target, ml), &mut m, &mut w)
+            .expect("still recovering");
+        assert!(
+            (out_near.roll - c.band.angle * SPEC_MIN_BAND_SCALE).abs() < 1e-12,
+            "{}",
+            out_near.roll
+        );
+        assert!(out_near.roll < out_far.roll);
+    }
+
+    #[test]
+    fn attribution_picks_the_largest_relative_exceedance() {
+        let gates = ConsistencyGates::default();
+        let shadow = EstimatedState::default();
+        // Clean readings: no blame.
+        assert_eq!(
+            attribute_exceedance(&SensorReadings::default(), &shadow, (0.0, 0.0), &gates),
+            None
+        );
+        // A huge baro gap with a mild GPS gap blames the baro.
+        let r = SensorReadings {
+            gps_position: Vec3::new(4.0, 0.0, 0.0),
+            baro_altitude: 100.0,
+            ..Default::default()
+        };
+        assert_eq!(
+            attribute_exceedance(&r, &shadow, (0.0, 0.0), &gates),
+            Some(SensorChannel::Baro)
+        );
+        // A dominant attitude innovation blames the gyro.
+        let clean = SensorReadings::default();
+        assert_eq!(
+            attribute_exceedance(&clean, &shadow, (0.4, 0.0), &gates),
+            Some(SensorChannel::Gyro)
+        );
+        // NaN channels (held sensors) never blame.
+        let nan = SensorReadings {
+            baro_altitude: f64::NAN,
+            ..Default::default()
+        };
+        assert_eq!(attribute_exceedance(&nan, &shadow, (0.0, 0.0), &gates), None);
+    }
+
+    #[test]
+    fn excluding_a_sensor_excuses_exactly_that_gate() {
+        let gates = ConsistencyGates::default();
+        let shadow = EstimatedState::default();
+        let bad_gps = SensorReadings {
+            gps_position: Vec3::new(50.0, 0.0, 0.0),
+            ..Default::default()
+        };
+        assert!(!sensors_consistent(&bad_gps, &shadow, (0.0, 0.0), &gates));
+        assert!(sensors_consistent_excluding(
+            &bad_gps,
+            &shadow,
+            (0.0, 0.0),
+            &gates,
+            Some(SensorChannel::Gps)
+        ));
+        // Excluding a different sensor does not excuse the GPS gap.
+        assert!(!sensors_consistent_excluding(
+            &bad_gps,
+            &shadow,
+            (0.0, 0.0),
+            &gates,
+            Some(SensorChannel::Baro)
+        ));
+        // Excluding the gyro excuses the innovation gate too.
+        assert!(!sensors_consistent(
+            &SensorReadings::default(),
+            &shadow,
+            (0.4, 0.0),
+            &gates
+        ));
+        assert!(sensors_consistent_excluding(
+            &SensorReadings::default(),
+            &shadow,
+            (0.4, 0.0),
+            &gates,
+            Some(SensorChannel::Gyro)
+        ));
+    }
+}

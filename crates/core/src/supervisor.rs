@@ -143,6 +143,22 @@ impl FfcHealthMonitor {
 /// state. The watchdog counts each recovery step and *expires* once the
 /// budget is exhausted, at which point the caller transitions to its
 /// explicit fail-safe.
+///
+/// # Re-arm semantics
+///
+/// A budget of `N` permits exactly `N` ticks; the `(N + 1)`-th tick
+/// expires (so the smallest legal budget, 1, allows one recovery step
+/// before the fail-safe). Expiry is *latched*: once [`tick`] has
+/// returned `true` it keeps returning `true` — quiescence alone never
+/// restores the budget. The only way back is an explicit [`rearm`],
+/// which callers issue at exactly two points: on a *clean* recovery exit
+/// (so the next activation gets the full budget again) and on a
+/// between-mission `reset`. A recovery *entry* also re-arms before the
+/// first tick, so a previous activation's partial spend never leaks into
+/// the next one.
+///
+/// [`tick`]: RecoveryWatchdog::tick
+/// [`rearm`]: RecoveryWatchdog::rearm
 #[derive(Debug, Clone)]
 pub struct RecoveryWatchdog {
     max_steps: usize,
@@ -394,6 +410,41 @@ mod tests {
     #[should_panic(expected = "budget")]
     fn watchdog_rejects_zero_budget() {
         let _ = RecoveryWatchdog::new(0);
+    }
+
+    #[test]
+    fn watchdog_budget_one_allows_exactly_one_step() {
+        // The degenerate-but-legal budget: one recovery step flies, the
+        // second expires. (Budget zero is rejected at construction — a
+        // watchdog that can never fly a single override step would make
+        // every trip an instant Degraded.)
+        let mut wd = RecoveryWatchdog::new(1);
+        assert!(!wd.tick(), "the single budgeted step is allowed");
+        assert!(wd.tick(), "the second step expires");
+        assert!(wd.expired());
+        // Expiry latches: quiescence is not a re-arm.
+        assert!(wd.tick());
+        wd.rearm();
+        assert!(!wd.expired());
+        assert!(!wd.tick(), "re-arm restores the full (unit) budget");
+    }
+
+    #[test]
+    fn session_supervisor_reentry_gets_full_budget() {
+        // A partial spend in one activation must not leak into the next:
+        // the Nominal -> Recovery edge re-arms before the first tick.
+        let mut sup = SessionSupervisor::new(SignalEnvelope::default(), 3, 3);
+        let good = sig(0.1, 0.5);
+        // First activation spends 2 of the 3 budgeted steps, then exits.
+        assert_eq!(sup.observe(&good, true), HealthState::Recovery);
+        assert_eq!(sup.observe(&good, true), HealthState::Recovery);
+        assert_eq!(sup.observe(&good, false), HealthState::Nominal);
+        // Second activation still affords all 3 steps before degrading.
+        for i in 0..3 {
+            assert_eq!(sup.observe(&good, true), HealthState::Recovery, "step {i}");
+        }
+        assert_eq!(sup.observe(&good, true), HealthState::Degraded);
+        assert_eq!(sup.recovery_activations(), 2);
     }
 
     #[test]

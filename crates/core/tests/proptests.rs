@@ -170,15 +170,16 @@ fn arbitrary_pidpiper(seed: u64, config: pidpiper_core::PidPiperConfig) -> pidpi
 /// Rewrites a v2 deployment text as its v1 ancestor: the supervisor-era
 /// lines vanish and the header is downgraded (the documented downgrade
 /// recipe, mirroring `v1_deployment_loads_with_supervisor_defaults`).
-fn downgrade_to_v1(v2: &str) -> String {
-    v2.lines()
+fn downgrade_to_v1(v3: &str) -> String {
+    v3.lines()
         .filter(|l| {
             !l.starts_with("consistency ")
                 && !l.starts_with("band ")
                 && !l.starts_with("supervisor ")
+                && !l.starts_with("strategy ")
         })
         .map(|l| {
-            if l == "pidpiper-deployment v2" {
+            if l == "pidpiper-deployment v3" {
                 "pidpiper-deployment v1".to_string()
             } else {
                 l.to_string()
@@ -234,13 +235,15 @@ proptest! {
             PidPiperConfig::DEFAULT_CUSUM_SATURATION
         );
 
-        // The upgraded deployment re-serializes as v2 with the defaults
-        // injected exactly once — one line per supervisor-era field.
+        // The upgraded deployment re-serializes as v3 with the defaults
+        // injected exactly once — one line per supervisor-era field plus
+        // the strategy selector.
         let upgraded = b.to_text();
         prop_assert_eq!(upgraded.lines().filter(|l| l.starts_with("consistency ")).count(), 1);
         prop_assert_eq!(upgraded.lines().filter(|l| l.starts_with("band ")).count(), 1);
         prop_assert_eq!(upgraded.lines().filter(|l| l.starts_with("supervisor ")).count(), 1);
-        prop_assert!(upgraded.starts_with("pidpiper-deployment v2\n"));
+        prop_assert_eq!(upgraded.lines().filter(|l| l.starts_with("strategy ")).count(), 1);
+        prop_assert!(upgraded.starts_with("pidpiper-deployment v3\n"));
 
         // Serialization is stable: one upgrade reaches the fixpoint, so
         // repeated save/load cycles can never drift the config.

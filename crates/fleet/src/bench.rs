@@ -20,8 +20,9 @@
 //! All knobs come from the environment (see `OPERATIONS.md`):
 //! `PIDPIPER_FLEET_SESSIONS`, `PIDPIPER_FLEET_TICKS`,
 //! `PIDPIPER_FLEET_SHARDS`, `PIDPIPER_FLEET_SHARD_CAPACITY`,
-//! `PIDPIPER_FLEET_PENDING`, `PIDPIPER_FLEET_COST_BUDGET`, and
-//! `PIDPIPER_JOBS` for the worker pool.
+//! `PIDPIPER_FLEET_PENDING`, `PIDPIPER_FLEET_COST_BUDGET`,
+//! `PIDPIPER_FLEET_STRATEGY` (the recovery strategy every session runs),
+//! and `PIDPIPER_JOBS` for the worker pool.
 
 use std::fs;
 use std::path::PathBuf;
@@ -29,7 +30,7 @@ use std::time::Instant;
 
 use pidpiper_faults::FaultSchedule;
 use pidpiper_math::float::sort_floats;
-use pidpiper_missions::{configured_jobs, MissionBudget};
+use pidpiper_missions::{configured_jobs, MissionBudget, StrategyKind};
 
 use crate::engine::{FleetConfig, FleetEngine};
 use crate::session::SessionSpec;
@@ -57,6 +58,11 @@ pub struct FleetBenchConfig {
     pub cost_budget: Option<u64>,
     /// Model weight seed (scheduling does not depend on the values).
     pub seed: u64,
+    /// Recovery strategy every session runs (`PIDPIPER_FLEET_STRATEGY`:
+    /// `algorithm1` | `spec-compliance` | `diagnosis-guided`, plus the
+    /// `spec` / `diagnosis` short aliases; unknown values fall back to
+    /// the Algorithm 1 default).
+    pub strategy: StrategyKind,
 }
 
 impl Default for FleetBenchConfig {
@@ -73,6 +79,7 @@ impl Default for FleetBenchConfig {
             pending_capacity: 4,
             cost_budget: None,
             seed: 2021,
+            strategy: StrategyKind::Algorithm1,
         }
     }
 }
@@ -101,19 +108,25 @@ impl FleetBenchConfig {
         cfg.cost_budget = std::env::var("PIDPIPER_FLEET_COST_BUDGET")
             .ok()
             .and_then(|v| v.parse::<u64>().ok());
+        cfg.strategy = std::env::var("PIDPIPER_FLEET_STRATEGY")
+            .ok()
+            .and_then(|v| StrategyKind::parse(&v))
+            .unwrap_or(cfg.strategy);
         cfg.workers = configured_jobs();
         cfg
     }
 
     fn fleet_config(&self) -> FleetConfig {
-        FleetConfig {
+        let mut config = FleetConfig {
             shards: self.shards,
             workers: self.workers,
             shard_capacity: self.shard_capacity,
             pending_capacity: self.pending_capacity,
             shard_cost_budget: self.cost_budget.unwrap_or(u64::MAX),
             ..FleetConfig::default()
-        }
+        };
+        config.session.strategy = self.strategy;
+        config
     }
 }
 
@@ -318,7 +331,8 @@ pub fn to_json(r: &FleetBenchReport) -> String {
             "    \"shard_capacity\": {cap},\n",
             "    \"pending_capacity\": {pend},\n",
             "    \"cost_budget\": {cost_budget},\n",
-            "    \"seed\": {seed}\n",
+            "    \"seed\": {seed},\n",
+            "    \"strategy\": \"{strategy}\"\n",
             "  }},\n",
             "  \"resident_sessions\": {resident},\n",
             "  \"session_ticks_per_sec\": {tps:.1},\n",
@@ -355,6 +369,7 @@ pub fn to_json(r: &FleetBenchReport) -> String {
         pend = r.cfg.pending_capacity,
         cost_budget = cost_budget,
         seed = r.cfg.seed,
+        strategy = r.cfg.strategy.name(),
         resident = r.resident_sessions,
         tps = r.session_ticks_per_sec,
         mean = r.tick_ms_mean,
@@ -429,6 +444,7 @@ mod tests {
             pending_capacity: 2,
             cost_budget: None,
             seed: 7,
+            strategy: StrategyKind::Algorithm1,
         }
     }
 

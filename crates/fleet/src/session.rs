@@ -20,7 +20,7 @@ use pidpiper_core::{SessionSupervisor, SignalEnvelope};
 use pidpiper_faults::FaultSchedule;
 use pidpiper_math::{Cusum, Vec3};
 use pidpiper_missions::{Fingerprint, FlightPhase, HealthState, MissionBudget, MissionError,
-    MissionSpec};
+    MissionSpec, StrategyKind};
 use pidpiper_ml::{InferenceScratch, StreamState, StreamingRegressor};
 
 /// Everything needed to admit one session to the fleet.
@@ -113,6 +113,12 @@ pub struct SessionParams {
     /// session's fault schedule is active — a GPS-spoof-shaped
     /// perturbation.
     pub fault_bias: f64,
+    /// Recovery strategy shaping the trip/release decision the supervisor
+    /// observes (the fleet-scale analogue of the core crate's
+    /// `RecoveryStrategy` selection — see the `PIDPIPER_FLEET_STRATEGY`
+    /// bench knob). The default, Algorithm 1, keeps session fingerprints
+    /// bit-identical to pre-strategy fleets.
+    pub strategy: StrategyKind,
 }
 
 impl Default for SessionParams {
@@ -127,6 +133,7 @@ impl Default for SessionParams {
             offline_after: 25,
             max_recovery_steps: 400,
             fault_bias: 35.0,
+            strategy: StrategyKind::Algorithm1,
         }
     }
 }
@@ -203,6 +210,10 @@ pub struct VehicleSession {
     ticks: u64,
     spent: u64,
     last_prediction: [f64; 4],
+    /// The axis the diagnosis-guided strategy currently blames (its CUSUM
+    /// is excluded from the trip decision while recovering). Always `None`
+    /// under the other strategies.
+    blamed_axis: Option<usize>,
 }
 
 impl VehicleSession {
@@ -236,6 +247,7 @@ impl VehicleSession {
             ticks: 0,
             spent: 0,
             last_prediction: [0.0; 4],
+            blamed_axis: None,
             spec,
         }
     }
@@ -404,15 +416,61 @@ impl VehicleSession {
             self.ema = prediction;
             self.ema_primed = true;
         }
-        let mut stat = 0.0f64;
+        let mut axis = [0.0f64; 4];
         for (a, &pred) in prediction.iter().enumerate() {
             let residual = (pred - self.ema[a]).abs();
             self.ema[a] += params.ema_alpha * (pred - self.ema[a]);
             let s = self.cusum[a].update(residual);
             self.cusum[a].saturate(params.cusum_cap);
-            stat = stat.max(s.min(params.cusum_cap));
+            axis[a] = s.min(params.cusum_cap);
         }
-        let tripped = stat > params.tau;
+        let stat = axis.iter().fold(0.0f64, |m, &v| m.max(v));
+        let recovering = self.supervisor.health() == HealthState::Recovery;
+        let tripped = match params.strategy {
+            // The paper's Algorithm 1: trip whenever any axis CUSUM is
+            // over threshold.
+            StrategyKind::Algorithm1 => stat > params.tau,
+            // Spec-compliance flavor: release hysteresis — once in
+            // recovery, stay tripped until the statistic has decayed well
+            // below threshold (back on spec), not merely under it.
+            StrategyKind::SpecCompliance => {
+                if recovering {
+                    stat > 0.5 * params.tau
+                } else {
+                    stat > params.tau
+                }
+            }
+            // Diagnosis-guided flavor: while recovering, the blamed axis's
+            // CUSUM is excused from the trip decision, so the session can
+            // hand control back on the health of the remaining axes even
+            // under a persistent single-axis fault.
+            StrategyKind::DiagnosisGuided => {
+                let effective = match (recovering, self.blamed_axis) {
+                    (true, Some(b)) => axis
+                        .iter()
+                        .enumerate()
+                        .filter(|&(i, _)| i != b)
+                        .fold(0.0f64, |m, (_, &v)| m.max(v)),
+                    _ => stat,
+                };
+                let t = effective > params.tau;
+                if t && self.blamed_axis.is_none() {
+                    // Blame the axis carrying the largest statistic
+                    // (first-max-wins: strict comparison over a fixed
+                    // order keeps it deterministic).
+                    let mut best = 0usize;
+                    for (i, &v) in axis.iter().enumerate().skip(1) {
+                        if v > axis[best] {
+                            best = i;
+                        }
+                    }
+                    self.blamed_axis = Some(best);
+                } else if !t && !recovering {
+                    self.blamed_axis = None;
+                }
+                t
+            }
+        };
 
         let y = ActuatorSignal::from_array(prediction);
         let health = self.supervisor.observe(&y, tripped);
@@ -543,6 +601,67 @@ mod tests {
             "the supervisor must have reacted: health {:?}",
             s.health()
         );
+    }
+
+    #[test]
+    fn strategies_are_deterministic_and_default_matches_algorithm1() {
+        let eng = engine();
+        // Every strategy is deterministic over a faulted flight, and the
+        // default params run Algorithm 1 exactly (fingerprint identity
+        // with an explicit Algorithm 1 selection).
+        let fp = |strategy: StrategyKind| {
+            let params = SessionParams {
+                strategy,
+                ..SessionParams::default()
+            };
+            let spec =
+                SessionSpec::new(9, 5).with_fault(FaultSchedule::Continuous { start: 1.0 });
+            let mut s = VehicleSession::new(spec, &eng, &params);
+            let mut scratch = ShardScratch::for_engine(&eng);
+            for _ in 0..600 {
+                s.tick(&eng, &params, &mut scratch).expect("in budget");
+            }
+            (s.fingerprint(), s.recovery_activations(), s.health())
+        };
+        for kind in StrategyKind::ALL {
+            assert_eq!(fp(kind), fp(kind), "{kind} must be deterministic");
+        }
+        let default_params = SessionParams::default();
+        assert_eq!(default_params.strategy, StrategyKind::Algorithm1);
+        assert_eq!(fp(StrategyKind::Algorithm1).0, {
+            let spec =
+                SessionSpec::new(9, 5).with_fault(FaultSchedule::Continuous { start: 1.0 });
+            let mut s = VehicleSession::new(spec, &eng, &default_params);
+            let mut scratch = ShardScratch::for_engine(&eng);
+            for _ in 0..600 {
+                s.tick(&eng, &default_params, &mut scratch).expect("in budget");
+            }
+            s.fingerprint()
+        });
+    }
+
+    #[test]
+    fn diagnosis_strategy_blames_then_clears() {
+        let eng = engine();
+        let params = SessionParams {
+            strategy: StrategyKind::DiagnosisGuided,
+            ..SessionParams::default()
+        };
+        // Fault window ends at t=3: blame must be assigned during the
+        // fault and cleared once the session settles back to nominal.
+        let spec =
+            SessionSpec::new(9, 5).with_fault(FaultSchedule::Windows(vec![(1.0, 3.0)]));
+        let mut s = VehicleSession::new(spec, &eng, &params);
+        let mut scratch = ShardScratch::for_engine(&eng);
+        let mut blamed_during = false;
+        for _ in 0..1500 {
+            s.tick(&eng, &params, &mut scratch).expect("in budget");
+            blamed_during |= s.blamed_axis.is_some();
+        }
+        assert!(blamed_during, "the fault must draw blame onto an axis");
+        if s.health() == HealthState::Nominal {
+            assert_eq!(s.blamed_axis, None, "blame clears once nominal");
+        }
     }
 
     #[test]

@@ -10,6 +10,7 @@ use pidpiper_control::{ActuatorSignal, TargetState};
 use pidpiper_sensors::{EstimatedState, SensorReadings};
 
 use crate::phase::FlightPhase;
+use crate::strategy::{SensorChannel, StrategyKind};
 
 /// Everything a defense may observe on one control step.
 ///
@@ -119,6 +120,21 @@ pub trait Defense {
     /// Total number of times recovery mode has been (re-)activated.
     fn recovery_activations(&self) -> usize;
 
+    /// The sensor the defense currently blames for the anomaly, if its
+    /// recovery strategy performs diagnosis. `None` (the default) means
+    /// either "no diagnosis capability" or "no active blame" — the mission
+    /// trace records this verbatim, so attribution-free runs keep their
+    /// historical fingerprints.
+    fn attribution(&self) -> Option<SensorChannel> {
+        None
+    }
+
+    /// Selects the recovery strategy to run once the monitor trips. The
+    /// default is a no-op: the baselines (and any defense without a
+    /// pluggable recovery path) ignore the request and keep their single
+    /// built-in behavior.
+    fn configure_strategy(&mut self, _kind: StrategyKind) {}
+
     /// Resets all internal state between missions.
     fn reset(&mut self);
 }
@@ -184,6 +200,11 @@ mod tests {
         assert!(!d.in_recovery());
         assert_eq!(d.health_state(), HealthState::Nominal);
         assert_eq!(d.recovery_activations(), 0);
+        assert_eq!(d.attribution(), None);
+        // Strategy selection is a no-op for defenses without a pluggable
+        // recovery path.
+        d.configure_strategy(StrategyKind::DiagnosisGuided);
+        assert!(d.observe(&ctx).is_none());
         assert!(d.monitor_level().threshold.is_infinite());
         d.reset();
         assert_eq!(d.name(), "None");

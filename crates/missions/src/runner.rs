@@ -14,6 +14,7 @@ use crate::metrics::{deviation_from, MissionOutcome, MissionResult};
 use crate::phase::{FlightPhase, PhaseLogic};
 use crate::plans::MissionPlan;
 use crate::resilient::{MissionBudget, MissionError};
+use crate::strategy::StrategyKind;
 use crate::trace::{Trace, TraceRecord};
 use pidpiper_attacks::{Attack, AttackKind, Schedule, StealthyAttack};
 use pidpiper_control::{
@@ -71,6 +72,13 @@ pub struct RunnerConfig {
     /// the estimator — whose own non-finite defense holds the state — so
     /// the trace can contain non-finite `readings` on those steps.
     pub sensor_hold_limit: Option<usize>,
+    /// Recovery strategy requested of the defense (passed through
+    /// [`Defense::configure_strategy`] right after the pre-mission reset;
+    /// defenses without a pluggable recovery path ignore it). The default
+    /// is [`StrategyKind::Algorithm1`], which every strategy-aware defense
+    /// treats as its historical behavior — existing configs fly
+    /// bit-identically.
+    pub strategy: StrategyKind,
 }
 
 impl RunnerConfig {
@@ -87,6 +95,7 @@ impl RunnerConfig {
             faults: Vec::new(),
             fault_seed: 1,
             sensor_hold_limit: None,
+            strategy: StrategyKind::Algorithm1,
         }
     }
 
@@ -117,6 +126,12 @@ impl RunnerConfig {
     /// Sets the readings guard's hold window (builder style).
     pub fn with_sensor_hold_limit(mut self, steps: usize) -> Self {
         self.sensor_hold_limit = Some(steps);
+        self
+    }
+
+    /// Selects the recovery strategy (builder style).
+    pub fn with_strategy(mut self, strategy: StrategyKind) -> Self {
+        self.strategy = strategy;
         self
     }
 }
@@ -264,6 +279,7 @@ impl MissionRunner {
         violation: &mut Option<MissionError>,
     ) -> MissionResult {
         defense.reset();
+        defense.configure_strategy(self.config.strategy);
         let cfg = &self.config;
         let dt = cfg.control_dt;
         let noise = NoiseConfig::default()
@@ -574,6 +590,7 @@ impl MissionRunner {
                 monitor_statistic: defense.monitor_level().statistic,
                 effective_p: telemetry_eff_p,
                 rotation_rate,
+                attribution: defense.attribution(),
             });
 
             // --- Terminal conditions.

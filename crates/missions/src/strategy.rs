@@ -1,0 +1,103 @@
+//! Recovery-strategy selection, shared by every layer that configures a
+//! defense: deployment configs (`PidPiperConfig` text format v3), mission
+//! runners ([`RunnerConfig`]) and fleet sessions.
+//!
+//! The strategy *implementations* live next to the detection machinery in
+//! `pidpiper-core` (`pidpiper_core::strategy`); this module only carries
+//! the selector enum plus its text form, so that the missions layer can
+//! name a strategy without depending on core.
+//!
+//! [`RunnerConfig`]: crate::RunnerConfig
+
+/// The sensor channel a diagnosis blames for an anomaly, re-exported from
+/// the fault taxonomy so trace consumers need not depend on
+/// `pidpiper-faults` directly.
+pub use pidpiper_faults::SensorChannel;
+
+/// Which recovery strategy a defense should run once its monitor trips.
+///
+/// Parsed from / rendered to the single word used by the deployment text
+/// format (v3 `strategy` line), `RunnerConfig::with_strategy` and the
+/// fleet's `PIDPIPER_FLEET_STRATEGY` knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StrategyKind {
+    /// The paper's Algorithm 1: fly the FFC prediction trust-banded around
+    /// the PID signal; exit when residuals subside and raw sensors agree
+    /// with the sanitized shadow estimate.
+    #[default]
+    Algorithm1,
+    /// SpecGuard-style spec-compliance recovery (arXiv 2408.15200):
+    /// tighten the trust band toward the plan-tracking PID as the vehicle
+    /// re-approaches its mission target, and only hand control back once
+    /// the vehicle is demonstrably converging on the plan again.
+    SpecCompliance,
+    /// Diagnosis-guided recovery (arXiv 2209.04554): attribute the attack
+    /// to one sensor via its consistency-gate exceedance, then judge the
+    /// recovery exit on the remaining (unblamed) sensors.
+    DiagnosisGuided,
+}
+
+impl StrategyKind {
+    /// Every strategy, in tournament/report order.
+    pub const ALL: [StrategyKind; 3] = [
+        StrategyKind::Algorithm1,
+        StrategyKind::SpecCompliance,
+        StrategyKind::DiagnosisGuided,
+    ];
+
+    /// The canonical config-text name.
+    pub fn name(self) -> &'static str {
+        match self {
+            StrategyKind::Algorithm1 => "algorithm1",
+            StrategyKind::SpecCompliance => "spec-compliance",
+            StrategyKind::DiagnosisGuided => "diagnosis-guided",
+        }
+    }
+
+    /// Parses a config-text name (the canonical names plus the short
+    /// aliases `spec` and `diagnosis`). Returns `None` for anything else —
+    /// callers decide whether that is a config error or a default.
+    pub fn parse(s: &str) -> Option<StrategyKind> {
+        match s {
+            "algorithm1" => Some(StrategyKind::Algorithm1),
+            "spec-compliance" | "spec" => Some(StrategyKind::SpecCompliance),
+            "diagnosis-guided" | "diagnosis" => Some(StrategyKind::DiagnosisGuided),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for StrategyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for kind in StrategyKind::ALL {
+            assert_eq!(StrategyKind::parse(kind.name()), Some(kind));
+            assert_eq!(kind.to_string(), kind.name());
+        }
+    }
+
+    #[test]
+    fn short_aliases_and_garbage() {
+        assert_eq!(StrategyKind::parse("spec"), Some(StrategyKind::SpecCompliance));
+        assert_eq!(
+            StrategyKind::parse("diagnosis"),
+            Some(StrategyKind::DiagnosisGuided)
+        );
+        assert_eq!(StrategyKind::parse("Algorithm1"), None);
+        assert_eq!(StrategyKind::parse(""), None);
+    }
+
+    #[test]
+    fn default_is_the_paper_algorithm() {
+        assert_eq!(StrategyKind::default(), StrategyKind::Algorithm1);
+    }
+}

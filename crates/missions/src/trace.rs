@@ -2,6 +2,7 @@
 //! threshold calibration and every figure in the evaluation.
 
 use crate::defense::HealthState;
+use crate::strategy::SensorChannel;
 use pidpiper_control::{ActuatorSignal, TargetState};
 use pidpiper_sensors::{EstimatedState, SensorReadings};
 use pidpiper_sim::RigidBodyState;
@@ -72,6 +73,22 @@ impl Fingerprint {
         });
     }
 
+    /// Mixes a per-sensor attribution as a 1-based discriminant — and,
+    /// crucially, mixes *nothing at all* for `None`, so traces from
+    /// attribution-free runs (every pre-diagnosis defense, Algorithm 1,
+    /// the baselines) keep their historical fingerprints unchanged.
+    pub fn mix_attribution(&mut self, blamed: Option<SensorChannel>) {
+        if let Some(channel) = blamed {
+            self.mix_u64(match channel {
+                SensorChannel::Gps => 1,
+                SensorChannel::Baro => 2,
+                SensorChannel::Gyro => 3,
+                SensorChannel::Accel => 4,
+                SensorChannel::Mag => 5,
+            });
+        }
+    }
+
     /// The current hash value.
     pub fn value(&self) -> u64 {
         self.hash
@@ -121,6 +138,10 @@ pub struct TraceRecord {
     pub effective_p: f64,
     /// Body-rate magnitude (paper Fig. 2d "rotation rate").
     pub rotation_rate: f64,
+    /// The sensor the defense's diagnosis blamed for this step's anomaly
+    /// (`None` when the defense performs no diagnosis or holds no active
+    /// blame) — the "why" behind a recovery action.
+    pub attribution: Option<SensorChannel>,
 }
 
 /// A complete mission trace.
@@ -234,6 +255,7 @@ impl Trace {
             fp.mix_f64(r.monitor_statistic);
             fp.mix_f64(r.effective_p);
             fp.mix_f64(r.rotation_rate);
+            fp.mix_attribution(r.attribution);
         }
         fp.value()
     }
@@ -244,13 +266,13 @@ impl Trace {
         let mut out = String::from(
             "t,x,y,z,roll,pitch,yaw,est_x,est_y,est_z,pid_roll,pid_pitch,pid_yaw_rate,pid_thrust,\
              flown_roll,flown_pitch,flown_yaw_rate,flown_thrust,attack,fault,recovery,health,\
-             statistic,effective_p,rotation_rate,pos_err\n",
+             statistic,effective_p,rotation_rate,pos_err,blamed\n",
         );
         for r in &self.records {
             let pe = (r.target.position - r.est.position).norm_xy();
             let _ = writeln!(
                 out,
-                "{:.3},{:.4},{:.4},{:.4},{:.5},{:.5},{:.5},{:.4},{:.4},{:.4},{:.5},{:.5},{:.5},{:.4},{:.5},{:.5},{:.5},{:.4},{},{},{},{},{:.4},{:.4},{:.4},{:.4}",
+                "{:.3},{:.4},{:.4},{:.4},{:.5},{:.5},{:.5},{:.4},{:.4},{:.4},{:.5},{:.5},{:.5},{:.4},{:.5},{:.5},{:.5},{:.4},{},{},{},{},{:.4},{:.4},{:.4},{:.4},{}",
                 r.t,
                 r.truth.position.x,
                 r.truth.position.y,
@@ -277,6 +299,7 @@ impl Trace {
                 r.effective_p,
                 r.rotation_rate,
                 pe,
+                r.attribution.map(SensorChannel::name).unwrap_or(""),
             );
         }
         out
@@ -308,6 +331,7 @@ mod tests {
             monitor_statistic: t * 2.0,
             effective_p: 4.0,
             rotation_rate: 0.1,
+            attribution: None,
         }
     }
 
@@ -385,6 +409,7 @@ mod tests {
         fp.mix_f64(r.monitor_statistic);
         fp.mix_f64(r.effective_p);
         fp.mix_f64(r.rotation_rate);
+        fp.mix_attribution(r.attribution);
         assert_eq!(tr.fingerprint(), fp.value());
         // Order matters: swapping two mixes changes the value.
         let mut a = Fingerprint::new();
@@ -394,6 +419,48 @@ mod tests {
         b.mix_u64(2);
         b.mix_u64(1);
         assert_ne!(a.value(), b.value());
+    }
+
+    #[test]
+    fn attribution_none_preserves_historical_fingerprints() {
+        // The stability contract of the attribution channel: a record with
+        // no blame hashes to exactly the pre-attribution word sequence (the
+        // mixer emits nothing for None), while an active blame is visible.
+        let mut tr = Trace::new();
+        tr.push(record(3.0, true, true));
+        let r = &tr.records()[0];
+        let mut fp = Fingerprint::new();
+        fp.mix_f64(r.t);
+        for v in [r.truth.position, r.truth.attitude, r.est.position] {
+            fp.mix_f64(v.x);
+            fp.mix_f64(v.y);
+            fp.mix_f64(v.z);
+        }
+        for s in [r.pid_signal, r.flown_signal] {
+            fp.mix_f64(s.roll);
+            fp.mix_f64(s.pitch);
+            fp.mix_f64(s.yaw_rate);
+            fp.mix_f64(s.thrust);
+        }
+        fp.mix_flag(r.attack_active);
+        fp.mix_flag(r.fault_active);
+        fp.mix_flag(r.recovery_active);
+        fp.mix_health(r.health);
+        fp.mix_f64(r.monitor_statistic);
+        fp.mix_f64(r.effective_p);
+        fp.mix_f64(r.rotation_rate);
+        // No mix_attribution call at all: the None-blame trace must match.
+        assert_eq!(tr.fingerprint(), fp.value());
+
+        let mut blamed = tr.clone();
+        blamed.records[0].attribution = Some(SensorChannel::Gps);
+        assert_ne!(tr.fingerprint(), blamed.fingerprint());
+        // Distinct blames hash distinctly.
+        let mut other = tr.clone();
+        other.records[0].attribution = Some(SensorChannel::Gyro);
+        assert_ne!(blamed.fingerprint(), other.fingerprint());
+        // The blamed column lands in the CSV for trace explainability.
+        assert!(blamed.to_csv().lines().nth(1).is_some_and(|l| l.ends_with(",gps")));
     }
 
     #[test]
