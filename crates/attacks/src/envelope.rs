@@ -1,0 +1,224 @@
+//! Ramp-hold-release gain envelopes over scheduled attacks.
+//!
+//! A real spoofer that slams a full-strength bias into a sensor stream
+//! trips CUSUM monitors within a handful of control steps. Campaign
+//! programs therefore shape the bias with a trapezoidal gain envelope:
+//! ramp the bias in slowly (staying under the detector's drift
+//! allowance), hold it at full strength, then release it before the
+//! accumulated statistic crosses the threshold. The adaptive attacker in
+//! `pidpiper-campaigns` searches over exactly these three durations.
+
+use crate::overt::AttackKind;
+use crate::schedule::Schedule;
+use pidpiper_sensors::SensorReadings;
+
+impl AttackKind {
+    /// The same perturbation scaled by `gain` (bias multiplied
+    /// component-wise; `gain = 1.0` is the identity).
+    pub fn scaled(&self, gain: f64) -> AttackKind {
+        match *self {
+            AttackKind::GpsBias(b) => AttackKind::GpsBias(b * gain),
+            AttackKind::GyroBias(b) => AttackKind::GyroBias(b * gain),
+            AttackKind::AccelBias(b) => AttackKind::AccelBias(b * gain),
+            AttackKind::BaroBias(b) => AttackKind::BaroBias(b * gain),
+            AttackKind::MagBias(b) => AttackKind::MagBias(b * gain),
+        }
+    }
+}
+
+/// A trapezoidal gain profile: linear ramp to full strength, plateau,
+/// linear release back to zero.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Envelope {
+    /// Seconds spent ramping from gain 0 to gain 1.
+    pub ramp: f64,
+    /// Seconds held at gain 1.
+    pub hold: f64,
+    /// Seconds spent releasing from gain 1 back to 0.
+    pub release: f64,
+}
+
+impl Envelope {
+    /// Creates an envelope; negative durations are clamped to zero.
+    pub fn new(ramp: f64, hold: f64, release: f64) -> Self {
+        Envelope {
+            ramp: ramp.max(0.0),
+            hold: hold.max(0.0),
+            release: release.max(0.0),
+        }
+    }
+
+    /// The gain at `elapsed` seconds after the envelope is triggered.
+    ///
+    /// Zero before the trigger and after the release completes; a
+    /// zero-length ramp or release is an instantaneous step.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pidpiper_attacks::Envelope;
+    ///
+    /// let e = Envelope::new(4.0, 10.0, 2.0);
+    /// assert_eq!(e.gain(-1.0), 0.0);
+    /// assert_eq!(e.gain(2.0), 0.5);   // mid-ramp
+    /// assert_eq!(e.gain(7.0), 1.0);   // plateau
+    /// assert_eq!(e.gain(15.0), 0.5);  // mid-release
+    /// assert_eq!(e.gain(20.0), 0.0);  // done
+    /// ```
+    pub fn gain(&self, elapsed: f64) -> f64 {
+        if elapsed < 0.0 {
+            return 0.0;
+        }
+        if elapsed < self.ramp {
+            return elapsed / self.ramp;
+        }
+        let past_ramp = elapsed - self.ramp;
+        if past_ramp < self.hold {
+            return 1.0;
+        }
+        let past_hold = past_ramp - self.hold;
+        if past_hold < self.release {
+            return 1.0 - past_hold / self.release;
+        }
+        0.0
+    }
+
+    /// Total duration from trigger to silence.
+    pub fn duration(&self) -> f64 {
+        self.ramp + self.hold + self.release
+    }
+}
+
+/// A scheduled attack whose bias is shaped by a gain [`Envelope`]
+/// anchored at the schedule's first activation.
+///
+/// The schedule gates *whether* the perturbation is applied (so a
+/// duty-cycled schedule still blanks the bias during its off gaps); the
+/// envelope scales *how much* of the nominal bias is applied, as a
+/// function of time since the attack first went live.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnvelopeAttack {
+    /// The full-strength perturbation.
+    pub kind: AttackKind,
+    /// When the perturbation may be applied.
+    pub schedule: Schedule,
+    /// Gain profile relative to the schedule's first activation.
+    pub envelope: Envelope,
+}
+
+impl EnvelopeAttack {
+    /// Creates an enveloped attack.
+    pub fn new(kind: AttackKind, schedule: Schedule, envelope: Envelope) -> Self {
+        EnvelopeAttack {
+            kind,
+            schedule,
+            envelope,
+        }
+    }
+
+    /// Applies the scaled perturbation to `readings` if the schedule is
+    /// active and the envelope gain is nonzero at time `t`. Returns
+    /// `true` when a perturbation was applied.
+    pub fn apply(&self, readings: &mut SensorReadings, t: f64) -> bool {
+        if !self.schedule.is_active(t) {
+            return false;
+        }
+        let Some(start) = self.schedule.first_activation() else {
+            return false;
+        };
+        let gain = self.envelope.gain(t - start);
+        if gain <= 0.0 {
+            return false;
+        }
+        self.kind.scaled(gain).apply(readings);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pidpiper_math::Vec3;
+
+    #[test]
+    fn gain_is_trapezoidal() {
+        let e = Envelope::new(2.0, 4.0, 2.0);
+        assert_eq!(e.gain(-0.1), 0.0);
+        assert!((e.gain(1.0) - 0.5).abs() < 1e-12);
+        assert_eq!(e.gain(3.0), 1.0);
+        assert!((e.gain(7.0) - 0.5).abs() < 1e-12);
+        assert_eq!(e.gain(8.0), 0.0);
+        assert_eq!(e.duration(), 8.0);
+    }
+
+    #[test]
+    fn zero_ramp_is_a_step() {
+        let e = Envelope::new(0.0, 1.0, 0.0);
+        assert_eq!(e.gain(0.0), 1.0);
+        assert_eq!(e.gain(0.999), 1.0);
+        assert_eq!(e.gain(1.0), 0.0);
+    }
+
+    #[test]
+    fn negative_durations_clamp() {
+        let e = Envelope::new(-3.0, -1.0, -2.0);
+        assert_eq!(e.duration(), 0.0);
+        assert_eq!(e.gain(0.0), 0.0);
+    }
+
+    #[test]
+    fn scaled_kind_scales_every_variant() {
+        let g = AttackKind::GpsBias(Vec3::new(10.0, 0.0, 4.0)).scaled(0.5);
+        assert_eq!(g, AttackKind::GpsBias(Vec3::new(5.0, 0.0, 2.0)));
+        let b = AttackKind::BaroBias(6.0).scaled(0.25);
+        assert_eq!(b, AttackKind::BaroBias(1.5));
+        let m = AttackKind::MagBias(0.4).scaled(0.0);
+        assert_eq!(m, AttackKind::MagBias(0.0));
+    }
+
+    #[test]
+    fn enveloped_attack_ramps_applied_bias() {
+        let a = EnvelopeAttack::new(
+            AttackKind::GpsBias(Vec3::new(10.0, 0.0, 0.0)),
+            Schedule::Continuous { start: 5.0 },
+            Envelope::new(4.0, 10.0, 0.0),
+        );
+        let mut r = SensorReadings::default();
+        assert!(!a.apply(&mut r, 4.0));
+        assert_eq!(r.gps_position.x, 0.0);
+        assert!(a.apply(&mut r, 7.0)); // 2 s into a 4 s ramp: half gain
+        assert!((r.gps_position.x - 5.0).abs() < 1e-12);
+        let mut r2 = SensorReadings::default();
+        assert!(a.apply(&mut r2, 12.0)); // plateau
+        assert!((r2.gps_position.x - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duty_cycled_schedule_blanks_off_gaps() {
+        let a = EnvelopeAttack::new(
+            AttackKind::GyroBias(Vec3::new(0.4, 0.0, 0.0)),
+            Schedule::Intermittent {
+                start: 0.0,
+                on: 2.0,
+                off: 3.0,
+            },
+            Envelope::new(0.0, 100.0, 0.0),
+        );
+        let mut r = SensorReadings::default();
+        assert!(a.apply(&mut r, 1.0));
+        assert!(!a.apply(&mut r, 3.0)); // off gap
+        assert!(a.apply(&mut r, 6.0)); // second burst
+    }
+
+    #[test]
+    fn envelope_release_silences_attack() {
+        let a = EnvelopeAttack::new(
+            AttackKind::BaroBias(5.0),
+            Schedule::Continuous { start: 0.0 },
+            Envelope::new(1.0, 1.0, 1.0),
+        );
+        let mut r = SensorReadings::default();
+        assert!(!a.apply(&mut r, 10.0)); // envelope exhausted
+        assert_eq!(r.baro_altitude, 0.0);
+    }
+}

@@ -21,10 +21,12 @@
 
 #![deny(missing_docs)]
 
+pub mod envelope;
 pub mod overt;
 pub mod schedule;
 pub mod stealthy;
 
+pub use envelope::{Envelope, EnvelopeAttack};
 pub use overt::{Attack, AttackKind, AttackPreset};
 pub use schedule::Schedule;
 pub use stealthy::StealthyAttack;

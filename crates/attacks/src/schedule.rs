@@ -21,6 +21,14 @@ pub enum Schedule {
         /// Gap between bursts (s).
         off: f64,
     },
+    /// Active whenever *any* member schedule is active (set union).
+    ///
+    /// This is how campaign programs stack several activation patterns
+    /// onto one sensor channel — e.g. a continuous low bias plus extra
+    /// intermittent bursts. Members are evaluated in `Vec` order, which
+    /// keeps activation queries deterministic, and because the union is
+    /// commutative the *activation set* is independent of member order.
+    Stacked(Vec<Schedule>),
     /// Never active (placeholder for unarmed attacks).
     Never,
 }
@@ -54,7 +62,36 @@ impl Schedule {
                 let phase = (t - start) % period;
                 phase < *on
             }
+            Schedule::Stacked(members) => members.iter().any(|m| m.is_active(t)),
             Schedule::Never => false,
+        }
+    }
+
+    /// The same schedule shifted `offset` seconds later (negative shifts
+    /// pull it earlier; activation edges are clamped at zero).
+    ///
+    /// Mirrors `pidpiper_faults::FaultSchedule::shifted`: the fleet
+    /// engine derives per-session attack timelines by phase-shifting one
+    /// campaign template, exactly as it already does for fault schedules.
+    pub fn shifted(&self, offset: f64) -> Schedule {
+        match self {
+            Schedule::Continuous { start } => Schedule::Continuous {
+                start: (start + offset).max(0.0),
+            },
+            Schedule::Windows(ws) => Schedule::Windows(
+                ws.iter()
+                    .map(|&(a, b)| ((a + offset).max(0.0), (b + offset).max(0.0)))
+                    .collect(),
+            ),
+            Schedule::Intermittent { start, on, off } => Schedule::Intermittent {
+                start: (start + offset).max(0.0),
+                on: *on,
+                off: *off,
+            },
+            Schedule::Stacked(members) => {
+                Schedule::Stacked(members.iter().map(|m| m.shifted(offset)).collect())
+            }
+            Schedule::Never => Schedule::Never,
         }
     }
 
@@ -66,6 +103,9 @@ impl Schedule {
                 pidpiper_math::float::min_of(ws.iter().map(|&(a, _)| a))
             }
             Schedule::Intermittent { start, .. } => Some(*start),
+            Schedule::Stacked(members) => {
+                pidpiper_math::float::min_of(members.iter().filter_map(|m| m.first_activation()))
+            }
             Schedule::Never => None,
         }
     }
@@ -117,5 +157,56 @@ mod tests {
         assert!(!s.is_active(0.0));
         assert!(!s.is_active(1e9));
         assert_eq!(s.first_activation(), None);
+    }
+
+    #[test]
+    fn stacked_is_member_union() {
+        let s = Schedule::Stacked(vec![
+            Schedule::Windows(vec![(1.0, 2.0)]),
+            Schedule::Intermittent {
+                start: 10.0,
+                on: 1.0,
+                off: 4.0,
+            },
+        ]);
+        assert!(s.is_active(1.5));
+        assert!(!s.is_active(3.0));
+        assert!(s.is_active(10.5));
+        assert!(!s.is_active(12.0));
+        assert_eq!(s.first_activation(), Some(1.0));
+        // Union is commutative: member order does not change activation.
+        let reversed = match &s {
+            Schedule::Stacked(ms) => {
+                Schedule::Stacked(ms.iter().rev().cloned().collect())
+            }
+            _ => unreachable!(),
+        };
+        for step in 0..200 {
+            let t = step as f64 * 0.1;
+            assert_eq!(s.is_active(t), reversed.is_active(t), "t = {t}");
+        }
+    }
+
+    #[test]
+    fn shifted_translates_every_variant() {
+        let c = Schedule::Continuous { start: 5.0 }.shifted(2.5);
+        assert_eq!(c.first_activation(), Some(7.5));
+        // Negative shifts clamp at the mission start.
+        let clamped = Schedule::Continuous { start: 1.0 }.shifted(-4.0);
+        assert_eq!(clamped.first_activation(), Some(0.0));
+        let w = Schedule::Windows(vec![(1.0, 2.0)]).shifted(3.0);
+        assert!(w.is_active(4.5));
+        assert!(!w.is_active(1.5));
+        let i = Schedule::Intermittent {
+            start: 10.0,
+            on: 3.0,
+            off: 5.0,
+        }
+        .shifted(1.0);
+        assert!(!i.is_active(10.5));
+        assert!(i.is_active(11.5));
+        let st = Schedule::Stacked(vec![Schedule::Continuous { start: 2.0 }]).shifted(1.0);
+        assert_eq!(st.first_activation(), Some(3.0));
+        assert_eq!(Schedule::Never.shifted(9.0), Schedule::Never);
     }
 }

@@ -1,0 +1,472 @@
+//! `exp_adversarial`: the attack-campaign engine against every deployed
+//! recovery strategy.
+//!
+//! For each (strategy, vehicle) cell the seeded adaptive attacker searches
+//! a multi-phase campaign — a slow-ramp GPS drift stacked with a
+//! duty-cycled gyro wobble — for the **stealthy worst case**: maximum
+//! mission deviation subject to the monitor's CUSUM statistic staying
+//! under the detection margin and recovery never firing. The search result
+//! is compared against the paper's three hand-written overt schedules run
+//! under the *same* defense, strategy and seed: the adversarial claim is
+//! that a tuned stealthy campaign out-damages every overt schedule
+//! precisely because the overt ones get detected and recovered.
+//!
+//! A determinism gate re-runs one search serially and on four workers and
+//! compares winning parameter vectors bit-for-bit. Results land in
+//! `BENCH_adversarial.json` (workspace root + `target/experiments/`).
+
+use crate::harness::{self, Scale};
+use pidpiper_attacks::AttackPreset;
+use pidpiper_campaigns::{search_with_jobs, Campaign, SearchOutcome};
+use pidpiper_missions::{
+    configured_jobs, Defense, MissionAttack, MissionRunner, MissionSpec, RunnerConfig,
+    StrategyKind,
+};
+use pidpiper_sim::RvId;
+use std::fmt::Write as _;
+
+/// The vehicles under adversarial study (the simulated fleet of Table I).
+pub const VEHICLES: [RvId; 3] = [RvId::ArduCopter, RvId::Px4Solo, RvId::ArduRover];
+
+/// When the hand-written overt schedules begin (the bench-wide convention).
+const ATTACK_START: f64 = 8.0;
+
+/// The campaign template, instantiated per vehicle. Every DSL feature the
+/// engine supports is exercised: stacked multi-sensor phases, an
+/// intermittent duty cycle, a ramp-hold-release envelope, a benign fault
+/// riding along, and a five-dimensional search space.
+pub fn campaign_source(rv: RvId, seed: u64) -> String {
+    let tok = pidpiper_campaigns::dsl::vehicle_token(rv);
+    format!(
+        "\
+campaign v1
+name stealth-drift-{tok}
+vehicle {tok}
+mission straight 60 5
+seed {seed}
+stealth-margin 0.95
+search generations 6 lambda 6
+phase drift gps 0 6 0 start 6 envelope 25 60 6
+phase wobble gyro 0.003 0 0 start 20 duty 2 8
+fault blip gps-dropout window 26 26.4
+param drift.bias.y 2 45
+param drift.envelope.ramp 12 50
+param drift.start 2 12
+param wobble.bias.x 0 0.01
+"
+    )
+}
+
+/// One hand-written comparison case.
+#[derive(Debug, Clone)]
+pub struct HandwrittenCase {
+    /// Preset name (`gyro-overt`, `gps-overt`, `gyro-landing`).
+    pub case: &'static str,
+    /// Ground-truth worst-case deviation under the defended run (m).
+    pub max_path_deviation: f64,
+}
+
+/// One (strategy, vehicle) cell of the adversarial study.
+#[derive(Debug, Clone)]
+pub struct AdversarialCell {
+    /// Recovery strategy under attack.
+    pub strategy: StrategyKind,
+    /// Vehicle under attack.
+    pub vehicle: RvId,
+    /// Campaign name (from the DSL file).
+    pub campaign: String,
+    /// The search result.
+    pub outcome: SearchOutcome,
+    /// The hand-written overt schedules under the same defense/seed.
+    pub handwritten: Vec<HandwrittenCase>,
+}
+
+impl AdversarialCell {
+    /// The best hand-written deviation (the bar the campaign must clear).
+    pub fn handwritten_best(&self) -> f64 {
+        self.handwritten
+            .iter()
+            .fold(0.0_f64, |acc, h| acc.max(h.max_path_deviation))
+    }
+
+    /// Whether the stealthy winner out-damages every hand-written overt
+    /// schedule (the acceptance criterion of the adversarial study).
+    pub fn beats_handwritten(&self) -> bool {
+        self.outcome.winner_stealthy
+            && self.outcome.best.max_path_deviation > self.handwritten_best()
+    }
+}
+
+/// The full study result.
+#[derive(Debug, Clone)]
+pub struct AdversarialReport {
+    /// All (strategy, vehicle) cells.
+    pub cells: Vec<AdversarialCell>,
+    /// Whether 1-worker and 4-worker searches returned bit-identical
+    /// winners (params fingerprint + winning trace fingerprint).
+    pub worker_invariant: bool,
+    /// The stealth margin every search enforced.
+    pub margin: f64,
+    /// Search budget actually used (after any smoke reduction).
+    pub generations: usize,
+    /// Children per generation actually used.
+    pub lambda: usize,
+    /// Whether the reduced smoke grid ran.
+    pub smoke: bool,
+}
+
+impl AdversarialReport {
+    /// Whether every cell's recorded winner respected the stealth gate.
+    pub fn stealth_respected(&self) -> bool {
+        self.cells.iter().all(|c| c.outcome.winner_stealthy)
+    }
+}
+
+fn campaign_for(rv: RvId, smoke: bool) -> Campaign {
+    let seed = 9000 + rv as u64;
+    let src = campaign_source(rv, seed);
+    let mut campaign = Campaign::from_text(&src).expect("embedded campaign parses");
+    if smoke {
+        campaign.search.generations = 1;
+        campaign.search.lambda = 2;
+    }
+    campaign
+}
+
+/// Runs the hand-written overt presets under the same defense, strategy
+/// and seed as the campaign search, returning per-preset deviations.
+fn run_handwritten(
+    campaign: &Campaign,
+    strategy: StrategyKind,
+    defense: &pidpiper_core::PidPiper,
+) -> Vec<HandwrittenCase> {
+    let compiled = campaign.compile_default().expect("campaign compiles");
+    let config = RunnerConfig::for_rv(campaign.vehicle)
+        .with_seed(campaign.seed)
+        .with_strategy(strategy);
+    let cases: Vec<(&'static str, MissionAttack)> = AttackPreset::ALL
+        .iter()
+        .map(|preset| {
+            let attack = match preset {
+                AttackPreset::GyroAtLanding => {
+                    MissionAttack::AtLanding(preset.instantiate(0.0, (0.0, f64::MAX)).kind)
+                }
+                _ => MissionAttack::Scheduled(preset.instantiate(ATTACK_START, (0.0, 0.0))),
+            };
+            (preset.name(), attack)
+        })
+        .collect();
+    let specs: Vec<MissionSpec> = cases
+        .iter()
+        .map(|(_, attack)| {
+            MissionSpec::clean(config.clone(), compiled.plan.clone())
+                .with_attacks(vec![attack.clone()])
+        })
+        .collect();
+    let results = MissionRunner::par_run_missions(&specs, |_| Box::new(defense.clone()));
+    cases
+        .iter()
+        .zip(&results)
+        .map(|((name, _), r)| HandwrittenCase {
+            case: name,
+            max_path_deviation: r.max_path_deviation,
+        })
+        .collect()
+}
+
+/// Runs the full adversarial study: search + hand-written comparison per
+/// (strategy, vehicle) cell, plus the worker-invariance gate.
+pub fn run_adversarial(scale: Scale, smoke: bool) -> (String, AdversarialReport) {
+    let vehicles: &[RvId] = if smoke { &VEHICLES[..1] } else { &VEHICLES };
+    let mut cells = Vec::new();
+    let mut margin = pidpiper_campaigns::DEFAULT_STEALTH_MARGIN;
+    let mut budget = (0usize, 0usize);
+    let mut worker_invariant = true;
+
+    for &rv in vehicles {
+        let campaign = campaign_for(rv, smoke);
+        margin = campaign.stealth_margin;
+        budget = (campaign.search.generations, campaign.search.lambda);
+        let traces = harness::collect_traces(rv, scale);
+        let defense = harness::trained_pidpiper(rv, scale, &traces);
+
+        // Worker-invariance gate, once per vehicle on Algorithm 1: the
+        // same search serially and on 4 workers must return bit-identical
+        // winners.
+        let serial = search_with_jobs(1, &campaign, StrategyKind::Algorithm1, |_| {
+            Box::new(defense.clone()) as Box<dyn Defense + Send>
+        })
+        .expect("serial search runs");
+        let parallel = search_with_jobs(4, &campaign, StrategyKind::Algorithm1, |_| {
+            Box::new(defense.clone()) as Box<dyn Defense + Send>
+        })
+        .expect("parallel search runs");
+        let invariant = serial.params_fingerprint == parallel.params_fingerprint
+            && serial.best.trace_fingerprint == parallel.best.trace_fingerprint;
+        if !invariant {
+            eprintln!(
+                "[adversarial] WORKER DIVERGENCE on {rv}: serial {:016x} vs parallel {:016x}",
+                serial.params_fingerprint, parallel.params_fingerprint
+            );
+        }
+        worker_invariant &= invariant;
+
+        for strategy in StrategyKind::ALL {
+            // Algorithm 1 reuses the gate's serial outcome (identical by
+            // construction) instead of paying for a third search.
+            let outcome = if strategy == StrategyKind::Algorithm1 {
+                serial.clone()
+            } else {
+                search_with_jobs(configured_jobs(), &campaign, strategy, |_| {
+                    Box::new(defense.clone()) as Box<dyn Defense + Send>
+                })
+                .expect("search runs")
+            };
+            let handwritten = run_handwritten(&campaign, strategy, &defense);
+            cells.push(AdversarialCell {
+                strategy,
+                vehicle: rv,
+                campaign: campaign.name.clone(),
+                outcome,
+                handwritten,
+            });
+        }
+    }
+
+    let report = AdversarialReport {
+        cells,
+        worker_invariant,
+        margin,
+        generations: budget.0,
+        lambda: budget.1,
+        smoke,
+    };
+    (render(&report), report)
+}
+
+fn render(report: &AdversarialReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Adversarial campaign study ({} generations x {} children, margin {}):",
+        report.generations, report.lambda, report.margin
+    );
+    let _ = writeln!(
+        out,
+        "worker invariance: {}",
+        if report.worker_invariant { "OK" } else { "FAILED" }
+    );
+    let widths = [18usize, 12, 14, 12, 10, 12, 10];
+    let _ = writeln!(
+        out,
+        "{}",
+        harness::row(
+            &[
+                "strategy".into(),
+                "vehicle".into(),
+                "stealthy dev".into(),
+                "handwritten".into(),
+                "beats?".into(),
+                "peak stat".into(),
+                "rejected".into(),
+            ],
+            &widths
+        )
+    );
+    for c in &report.cells {
+        let _ = writeln!(
+            out,
+            "{}",
+            harness::row(
+                &[
+                    c.strategy.name().into(),
+                    c.vehicle.to_string(),
+                    format!("{:.2} m", c.outcome.best.max_path_deviation),
+                    format!("{:.2} m", c.handwritten_best()),
+                    if c.beats_handwritten() { "yes" } else { "NO" }.into(),
+                    format!("{:.3}", c.outcome.best.peak_statistic),
+                    format!(
+                        "{}/{}",
+                        c.outcome.rejected_stealth, c.outcome.evaluations
+                    ),
+                ],
+                &widths
+            )
+        );
+    }
+    let _ = writeln!(
+        out,
+        "stealth gate respected: {}",
+        report.stealth_respected()
+    );
+    out
+}
+
+/// `BENCH_adversarial.json` document.
+pub fn to_json(scale: Scale, report: &AdversarialReport) -> String {
+    let mut body = String::new();
+    body.push_str("{\n  \"bench\": \"adversarial_campaign\",\n");
+    let _ = writeln!(
+        body,
+        "  \"config\": {{\n    \"scale\": \"{scale:?}\",\n    \"smoke\": {},\n    \
+         \"generations\": {},\n    \"lambda\": {},\n    \"strategies\": [{}],\n    \
+         \"vehicles\": [{}]\n  }},",
+        report.smoke,
+        report.generations,
+        report.lambda,
+        StrategyKind::ALL
+            .iter()
+            .map(|s| format!("\"{}\"", s.name()))
+            .collect::<Vec<_>>()
+            .join(", "),
+        {
+            let mut names: Vec<String> =
+                report.cells.iter().map(|c| format!("\"{}\"", c.vehicle)).collect();
+            names.dedup();
+            names.join(", ")
+        }
+    );
+    let _ = writeln!(
+        body,
+        "  \"stealth_gate\": {{\n    \"respected\": {},\n    \"margin\": {}\n  }},",
+        report.stealth_respected(),
+        report.margin
+    );
+    let _ = writeln!(
+        body,
+        "  \"determinism\": {{\n    \"worker_invariant\": {}\n  }},",
+        report.worker_invariant
+    );
+    body.push_str("  \"cells\": [\n");
+    for (i, c) in report.cells.iter().enumerate() {
+        let params = c
+            .outcome
+            .best_params
+            .iter()
+            .map(|v| format!("{v}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let handwritten = c
+            .handwritten
+            .iter()
+            .map(|h| {
+                format!(
+                    "{{\"case\": \"{}\", \"max_path_deviation\": {:.3}}}",
+                    h.case, h.max_path_deviation
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = write!(
+            body,
+            "    {{\"strategy\": \"{}\", \"vehicle\": \"{}\", \"campaign\": \"{}\", \
+             \"winner\": {{\"params\": [{params}], \"params_fingerprint\": \"{:016x}\", \
+             \"trace_fingerprint\": \"{:016x}\", \"max_path_deviation\": {:.3}, \
+             \"final_deviation\": {:.3}, \"peak_statistic\": {:.4}, \
+             \"recovery_activations\": {}, \"stealthy\": {}}}, \
+             \"handwritten\": [{handwritten}], \"handwritten_best\": {:.3}, \
+             \"beats_handwritten\": {}, \"evaluations\": {}, \"rejected_stealth\": {}}}",
+            c.strategy.name(),
+            c.vehicle,
+            c.campaign,
+            c.outcome.params_fingerprint,
+            c.outcome.best.trace_fingerprint,
+            c.outcome.best.max_path_deviation,
+            c.outcome.best.final_deviation,
+            c.outcome.best.peak_statistic,
+            c.outcome.best.recovery_activations,
+            c.outcome.winner_stealthy,
+            c.handwritten_best(),
+            c.beats_handwritten(),
+            c.outcome.evaluations,
+            c.outcome.rejected_stealth,
+        );
+        body.push_str(if i + 1 == report.cells.len() { "\n" } else { ",\n" });
+    }
+    body.push_str("  ]\n}\n");
+    body
+}
+
+/// Writes `BENCH_adversarial.json` to the workspace root and mirrors it
+/// into `target/experiments/`.
+pub fn write_report(scale: Scale, report: &AdversarialReport) {
+    let body = to_json(scale, report);
+    for path in [
+        harness::workspace_root().join("BENCH_adversarial.json"),
+        harness::experiments_dir().join("BENCH_adversarial.json"),
+    ] {
+        if let Err(e) = std::fs::write(&path, &body) {
+            eprintln!("warning: failed to write {}: {e}", path.display());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn embedded_campaigns_parse_for_every_vehicle() {
+        for rv in VEHICLES {
+            let campaign = campaign_for(rv, false);
+            assert_eq!(campaign.vehicle, rv);
+            assert_eq!(campaign.dimensions(), 4);
+            assert!(campaign.compile_default().is_ok());
+        }
+    }
+
+    #[test]
+    fn smoke_reduces_the_budget() {
+        let c = campaign_for(RvId::ArduCopter, true);
+        assert_eq!(c.search.generations, 1);
+        assert_eq!(c.search.lambda, 2);
+    }
+
+    #[test]
+    fn json_schema_smoke() {
+        use pidpiper_campaigns::{CandidateEval, SearchOutcome};
+        let outcome = SearchOutcome {
+            best_params: vec![10.0, 2.0, 12.0, 6.0, 0.01],
+            best: CandidateEval {
+                max_path_deviation: 9.5,
+                final_deviation: 4.0,
+                peak_statistic: 0.4,
+                recovery_activations: 0,
+                trace_fingerprint: 0xdead,
+            },
+            winner_stealthy: true,
+            params_fingerprint: 0xbeef,
+            evaluations: 26,
+            rejected_stealth: 3,
+            stealth_margin: 0.95,
+        };
+        let report = AdversarialReport {
+            cells: vec![AdversarialCell {
+                strategy: StrategyKind::Algorithm1,
+                vehicle: RvId::ArduCopter,
+                campaign: "stealth-drift-arducopter".into(),
+                outcome,
+                handwritten: vec![HandwrittenCase {
+                    case: "gps-overt",
+                    max_path_deviation: 3.2,
+                }],
+            }],
+            worker_invariant: true,
+            margin: 0.95,
+            generations: 5,
+            lambda: 5,
+            smoke: false,
+        };
+        let json = to_json(Scale::Quick, &report);
+        for needle in [
+            "\"bench\": \"adversarial_campaign\"",
+            "\"stealth_gate\"",
+            "\"respected\": true",
+            "\"worker_invariant\": true",
+            "\"beats_handwritten\": true",
+            "\"params_fingerprint\": \"000000000000beef\"",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in:\n{json}");
+        }
+    }
+}

@@ -14,6 +14,7 @@
 #![deny(missing_docs)]
 
 pub mod exp_ablation;
+pub mod exp_adversarial;
 pub mod exp_design_study;
 pub mod exp_fault_matrix;
 pub mod exp_fig2;

@@ -1,0 +1,323 @@
+//! Lowering: a parsed [`Campaign`] plus a parameter vector becomes a
+//! [`CompiledCampaign`] — concrete `MissionAttack`s, `Fault`s and a
+//! `MissionSpec` that `MissionRunner` (and the fleet engine) consume
+//! unchanged.
+
+use crate::dsl::{
+    write_field, Campaign, CampaignError, FaultToken, MissionDecl, PhaseDecl, ScheduleDecl,
+    SensorTarget,
+};
+use pidpiper_attacks::{Attack, AttackKind, Envelope, EnvelopeAttack, Schedule};
+use pidpiper_faults::{Fault, FaultKind, FaultSchedule, SensorChannel};
+use pidpiper_missions::{MissionAttack, MissionPlan, MissionSpec, RunnerConfig, StrategyKind};
+use pidpiper_sim::RvId;
+
+/// A campaign lowered onto the existing attack/fault machinery at one
+/// point of its parameter space.
+#[derive(Debug, Clone)]
+pub struct CompiledCampaign {
+    /// The vehicle under attack.
+    pub rv: RvId,
+    /// The mission flown.
+    pub plan: MissionPlan,
+    /// Open-loop attacks, in phase declaration order (the deterministic
+    /// stacking order).
+    pub attacks: Vec<MissionAttack>,
+    /// Benign faults riding along.
+    pub faults: Vec<Fault>,
+    /// Sensor/fault seed shared by every candidate of a search.
+    pub seed: u64,
+}
+
+fn build_schedule(decl: &ScheduleDecl) -> Schedule {
+    let base = match (decl.start, decl.duty) {
+        (Some(start), Some((on, off))) => Some(Schedule::Intermittent { start, on, off }),
+        (Some(start), None) => Some(Schedule::Continuous { start }),
+        (None, _) => None,
+    };
+    let windows = if decl.windows.is_empty() {
+        None
+    } else {
+        Some(Schedule::Windows(decl.windows.clone()))
+    };
+    match (base, windows) {
+        (Some(b), Some(w)) => Schedule::Stacked(vec![b, w]),
+        (Some(b), None) => b,
+        (None, Some(w)) => w,
+        (None, None) => Schedule::Never,
+    }
+}
+
+fn build_fault_schedule(decl: &ScheduleDecl) -> FaultSchedule {
+    let base = match (decl.start, decl.duty) {
+        (Some(start), Some((on, off))) => Some(FaultSchedule::Intermittent { start, on, off }),
+        (Some(start), None) => Some(FaultSchedule::Continuous { start }),
+        (None, _) => None,
+    };
+    let windows = if decl.windows.is_empty() {
+        None
+    } else {
+        Some(FaultSchedule::Windows(decl.windows.clone()))
+    };
+    match (base, windows) {
+        (Some(b), Some(w)) => FaultSchedule::Stacked(vec![b, w]),
+        (Some(b), None) => b,
+        (None, Some(w)) => w,
+        (None, None) => FaultSchedule::Never,
+    }
+}
+
+fn attack_kind(phase: &PhaseDecl) -> AttackKind {
+    match phase.sensor {
+        SensorTarget::Gps => AttackKind::GpsBias(phase.bias),
+        SensorTarget::Gyro => AttackKind::GyroBias(phase.bias),
+        SensorTarget::Accel => AttackKind::AccelBias(phase.bias),
+        SensorTarget::Baro => AttackKind::BaroBias(phase.bias.x),
+        SensorTarget::Mag => AttackKind::MagBias(phase.bias.x),
+    }
+}
+
+fn fault_kind(tok: FaultToken) -> FaultKind {
+    match tok {
+        FaultToken::GpsDropout => FaultKind::GpsDropout,
+        FaultToken::NanBurst => FaultKind::NanBurst,
+        FaultToken::FrozenGyro => FaultKind::FrozenSensor(SensorChannel::Gyro),
+    }
+}
+
+fn build_plan(mission: MissionDecl) -> MissionPlan {
+    match mission {
+        MissionDecl::Straight { distance, altitude } => {
+            MissionPlan::straight_line(distance, altitude)
+        }
+        MissionDecl::Polygon {
+            sides,
+            radius,
+            altitude,
+        } => MissionPlan::polygon(sides.max(3), radius, altitude),
+        MissionDecl::Hover { altitude, duration } => MissionPlan::hover(altitude, duration),
+    }
+}
+
+impl Campaign {
+    /// Lowers the campaign at `params` (one value per declared `param`
+    /// line, in file order). Pass [`Campaign::initial_params`] for the
+    /// written-down operating point.
+    pub fn compile(&self, params: &[f64]) -> Result<CompiledCampaign, CampaignError> {
+        if params.len() != self.params.len() {
+            return Err(CampaignError::WrongArity {
+                expected: self.params.len(),
+                got: params.len(),
+            });
+        }
+        let mut phases = self.phases.clone();
+        for (decl, &value) in self.params.iter().zip(params) {
+            if let Some(phase) = phases.iter_mut().find(|p| p.id == decl.phase) {
+                write_field(phase, decl.field, value.clamp(decl.lo, decl.hi));
+            }
+        }
+        let attacks = phases
+            .iter()
+            .map(|p| {
+                let kind = attack_kind(p);
+                let schedule = build_schedule(&p.schedule);
+                match p.envelope {
+                    Some((ramp, hold, release)) => MissionAttack::Enveloped(EnvelopeAttack::new(
+                        kind,
+                        schedule,
+                        Envelope::new(ramp, hold, release),
+                    )),
+                    None => MissionAttack::Scheduled(Attack::new(kind, schedule)),
+                }
+            })
+            .collect();
+        let faults = self
+            .faults
+            .iter()
+            .map(|f| Fault::new(fault_kind(f.kind), build_fault_schedule(&f.schedule)))
+            .collect();
+        Ok(CompiledCampaign {
+            rv: self.vehicle,
+            plan: build_plan(self.mission),
+            attacks,
+            faults,
+            seed: self.seed,
+        })
+    }
+
+    /// Lowers the campaign at its declared operating point.
+    pub fn compile_default(&self) -> Result<CompiledCampaign, CampaignError> {
+        self.compile(&self.initial_params())
+    }
+}
+
+impl CompiledCampaign {
+    /// Builds the `MissionSpec` the runner consumes: the campaign's seed
+    /// drives both sensor noise and fault RNG, so `(campaign, params)`
+    /// fully determines the trace.
+    pub fn spec(&self, strategy: StrategyKind) -> MissionSpec {
+        let config = RunnerConfig::for_rv(self.rv)
+            .with_seed(self.seed)
+            .with_faults(self.faults.clone())
+            .with_fault_seed(self.seed)
+            .with_strategy(strategy);
+        MissionSpec::clean(config, self.plan.clone()).with_attacks(self.attacks.clone())
+    }
+
+    /// A phase-shifted variant: every attack and fault schedule delayed by
+    /// `offset` seconds (clamped at zero), for staggered fleet rollouts.
+    pub fn shifted(&self, offset: f64) -> CompiledCampaign {
+        let attacks = self
+            .attacks
+            .iter()
+            .map(|a| match a {
+                MissionAttack::Scheduled(atk) => MissionAttack::Scheduled(Attack::new(
+                    atk.kind,
+                    atk.schedule.shifted(offset),
+                )),
+                MissionAttack::Enveloped(env) => MissionAttack::Enveloped(EnvelopeAttack::new(
+                    env.kind,
+                    env.schedule.shifted(offset),
+                    env.envelope,
+                )),
+                other => other.clone(),
+            })
+            .collect();
+        let faults = self
+            .faults
+            .iter()
+            .map(|f| Fault::new(f.kind.clone(), f.schedule.shifted(offset)))
+            .collect();
+        CompiledCampaign {
+            rv: self.rv,
+            plan: self.plan.clone(),
+            attacks,
+            faults,
+            seed: self.seed,
+        }
+    }
+
+    /// The union of the campaign's fault schedules as a single
+    /// `FaultSchedule`, for handing to the fleet engine's `SessionSpec`.
+    /// `None` when the campaign declares no faults.
+    pub fn fleet_fault_schedule(&self) -> Option<FaultSchedule> {
+        match self.faults.len() {
+            0 => None,
+            1 => self.faults.first().map(|f| f.schedule.clone()),
+            _ => Some(FaultSchedule::Stacked(
+                self.faults.iter().map(|f| f.schedule.clone()).collect(),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pidpiper_missions::{MissionRunner, NoDefense};
+
+    const SRC: &str = "\
+campaign v1
+name lower-check
+vehicle arducopter
+mission straight 50 5
+seed 77
+phase drift gps 0 8 0 start 8 envelope 5 20 3
+phase wobble gyro 0.04 0 0 start 10 duty 2 4 window 30 34
+fault blackout gps-dropout window 20 22
+param drift.bias.y 2 25
+";
+
+    #[test]
+    fn lowering_builds_the_declared_program() {
+        let c = Campaign::from_text(SRC).expect("parses");
+        let compiled = c.compile_default().expect("compiles");
+        assert_eq!(compiled.rv, RvId::ArduCopter);
+        assert_eq!(compiled.attacks.len(), 2);
+        assert_eq!(compiled.faults.len(), 1);
+        match &compiled.attacks[0] {
+            MissionAttack::Enveloped(e) => {
+                assert!(matches!(e.kind, AttackKind::GpsBias(b) if b.y == 8.0));
+                assert!(matches!(e.schedule, Schedule::Continuous { start } if start == 8.0));
+            }
+            other => panic!("expected enveloped phase, got {other:?}"),
+        }
+        match &compiled.attacks[1] {
+            MissionAttack::Scheduled(a) => match &a.schedule {
+                Schedule::Stacked(members) => {
+                    assert_eq!(members.len(), 2);
+                    assert!(matches!(
+                        members[0],
+                        Schedule::Intermittent { start, on, off }
+                            if start == 10.0 && on == 2.0 && off == 4.0
+                    ));
+                    assert!(matches!(&members[1], Schedule::Windows(w) if w == &[(30.0, 34.0)]));
+                }
+                other => panic!("expected stacked schedule, got {other:?}"),
+            },
+            other => panic!("expected scheduled phase, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn params_overwrite_phase_fields_with_clamping() {
+        let c = Campaign::from_text(SRC).expect("parses");
+        let compiled = c.compile(&[99.0]).expect("compiles");
+        match &compiled.attacks[0] {
+            MissionAttack::Enveloped(e) => {
+                // 99 clamps into the declared [2, 25] bound.
+                assert!(matches!(e.kind, AttackKind::GpsBias(b) if b.y == 25.0));
+            }
+            other => panic!("expected enveloped phase, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_arity_is_a_typed_error() {
+        let c = Campaign::from_text(SRC).expect("parses");
+        let err = c.compile(&[1.0, 2.0]).expect_err("arity mismatch");
+        assert_eq!(err, CampaignError::WrongArity { expected: 1, got: 2 });
+    }
+
+    #[test]
+    fn shifted_delays_every_schedule() {
+        let c = Campaign::from_text(SRC).expect("parses");
+        let compiled = c.compile_default().expect("compiles");
+        let shifted = compiled.shifted(5.0);
+        match &shifted.attacks[0] {
+            MissionAttack::Enveloped(e) => {
+                assert!(matches!(e.schedule, Schedule::Continuous { start } if start == 13.0));
+            }
+            other => panic!("expected enveloped phase, got {other:?}"),
+        }
+        match &shifted.faults[0].schedule {
+            FaultSchedule::Windows(w) => assert_eq!(w, &[(25.0, 27.0)]),
+            other => panic!("expected windows, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fleet_fault_schedule_unions_declared_faults() {
+        let c = Campaign::from_text(SRC).expect("parses");
+        let compiled = c.compile_default().expect("compiles");
+        let sched = compiled.fleet_fault_schedule().expect("one fault declared");
+        assert!(sched.is_active(21.0));
+        assert!(!sched.is_active(10.0));
+    }
+
+    #[test]
+    fn compiled_spec_runs_end_to_end() {
+        let c = Campaign::from_text(SRC).expect("parses");
+        let compiled = c.compile_default().expect("compiles");
+        let spec = compiled.spec(StrategyKind::Algorithm1);
+        let mut defense = NoDefense::new();
+        let result = MissionRunner::new(spec.config.clone()).run(
+            &spec.plan,
+            &mut defense,
+            spec.attacks.clone(),
+        );
+        assert!(result.final_deviation.is_finite());
+        assert!(result.attack_steps > 0, "the campaign's phases must fire");
+        assert!(result.fault_steps > 0, "the campaign's fault must fire");
+    }
+}

@@ -1,0 +1,1112 @@
+//! The campaign DSL: a line-oriented text format describing multi-phase,
+//! multi-sensor attack programs and the parameter space an adaptive
+//! attacker may search.
+//!
+//! Same idiom as `analyzer.boundaries` and the v3 deployment text format:
+//! one declaration per line, `#` comments, whitespace-separated tokens, a
+//! versioned `campaign v1` header, and typed errors carrying the offending
+//! line number. A campaign file is the *entire* input of a search — the
+//! pair `(campaign, seed)` reproduces a run bit-for-bit.
+//!
+//! ```text
+//! campaign v1
+//! name stealth-drift
+//! vehicle arducopter
+//! mission straight 60 5
+//! seed 9001
+//! stealth-margin 0.95
+//! search generations 6 lambda 6
+//!
+//! # One attack phase per line: sensor, full-strength bias, schedule
+//! # clauses and an optional ramp-hold-release envelope.
+//! phase drift gps 0 10 0 start 8 envelope 6 30 4
+//! phase wobble gyro 0.05 0 0 start 12 duty 3 5
+//!
+//! # Benign faults riding along (same schedule grammar).
+//! fault blackout gps-dropout window 20 22
+//!
+//! # Searchable dimensions: `<phase>.<field> <lo> <hi>`, in file order.
+//! param drift.bias.y 2 30
+//! param drift.envelope.ramp 4 20
+//! ```
+
+use pidpiper_math::Vec3;
+use pidpiper_sim::RvId;
+use std::fmt;
+
+/// A parse or validation failure, carrying the 1-based source line where
+/// one exists. Render against a file name with [`CampaignError::at`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CampaignError {
+    /// The first meaningful line was not a `campaign <version>` header.
+    MissingHeader,
+    /// The header named a version this parser does not speak.
+    UnsupportedVersion {
+        /// Line of the header.
+        line: usize,
+        /// The version token found.
+        found: String,
+    },
+    /// A malformed line (unknown directive, wrong arity, bad number …).
+    Syntax {
+        /// Offending line.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A single-occurrence key appeared twice.
+    DuplicateKey {
+        /// Line of the second occurrence.
+        line: usize,
+        /// The repeated key.
+        key: String,
+    },
+    /// A required key never appeared.
+    MissingKey {
+        /// The absent key.
+        key: String,
+    },
+    /// A `param` line referenced a phase or field that does not exist.
+    UnknownParamTarget {
+        /// Offending line.
+        line: usize,
+        /// The `<phase>.<field>` target as written.
+        target: String,
+    },
+    /// A `param` line declared an empty or inverted `[lo, hi]` range.
+    InvalidBounds {
+        /// Offending line.
+        line: usize,
+        /// The `<phase>.<field>` target as written.
+        target: String,
+    },
+    /// A parameter vector of the wrong length was supplied to `compile`.
+    WrongArity {
+        /// Dimensions the campaign declares.
+        expected: usize,
+        /// Dimensions supplied.
+        got: usize,
+    },
+}
+
+impl CampaignError {
+    /// The source line the error points at, when it has one.
+    pub fn line(&self) -> Option<usize> {
+        match self {
+            CampaignError::MissingHeader | CampaignError::MissingKey { .. } => None,
+            CampaignError::WrongArity { .. } => None,
+            CampaignError::UnsupportedVersion { line, .. }
+            | CampaignError::Syntax { line, .. }
+            | CampaignError::DuplicateKey { line, .. }
+            | CampaignError::UnknownParamTarget { line, .. }
+            | CampaignError::InvalidBounds { line, .. } => Some(*line),
+        }
+    }
+
+    /// Renders the error as `<file>:<line>: <message>` (analyzer-style
+    /// diagnostics; the line is omitted when the error has none).
+    pub fn at(&self, file: &str) -> String {
+        match self.line() {
+            Some(line) => format!("{file}:{line}: {self}"),
+            None => format!("{file}: {self}"),
+        }
+    }
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::MissingHeader => {
+                write!(f, "missing `campaign v1` header")
+            }
+            CampaignError::UnsupportedVersion { found, .. } => {
+                write!(f, "unsupported campaign version `{found}` (expected v1)")
+            }
+            CampaignError::Syntax { message, .. } => write!(f, "{message}"),
+            CampaignError::DuplicateKey { key, .. } => {
+                write!(f, "duplicate `{key}` declaration")
+            }
+            CampaignError::MissingKey { key } => {
+                write!(f, "missing required `{key}` declaration")
+            }
+            CampaignError::UnknownParamTarget { target, .. } => {
+                write!(f, "param target `{target}` does not match any phase field")
+            }
+            CampaignError::InvalidBounds { target, .. } => {
+                write!(f, "param `{target}` has an empty [lo, hi] range")
+            }
+            CampaignError::WrongArity { expected, got } => {
+                write!(f, "parameter vector has {got} dims, campaign declares {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+/// Which sensor a phase perturbs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SensorTarget {
+    /// GPS position fix (bias in ENU metres).
+    Gps,
+    /// Gyroscope body rates (bias in rad/s).
+    Gyro,
+    /// Accelerometer (bias in m/s², body frame).
+    Accel,
+    /// Barometric altitude (bias in metres; `x` component only).
+    Baro,
+    /// Magnetometer heading (bias in rad; `x` component only).
+    Mag,
+}
+
+impl SensorTarget {
+    /// The DSL token.
+    pub fn token(self) -> &'static str {
+        match self {
+            SensorTarget::Gps => "gps",
+            SensorTarget::Gyro => "gyro",
+            SensorTarget::Accel => "accel",
+            SensorTarget::Baro => "baro",
+            SensorTarget::Mag => "mag",
+        }
+    }
+
+    fn parse(tok: &str) -> Option<SensorTarget> {
+        match tok {
+            "gps" => Some(SensorTarget::Gps),
+            "gyro" => Some(SensorTarget::Gyro),
+            "accel" => Some(SensorTarget::Accel),
+            "baro" => Some(SensorTarget::Baro),
+            "mag" => Some(SensorTarget::Mag),
+            _ => None,
+        }
+    }
+}
+
+/// A benign fault kind expressible in the DSL (the subset of
+/// `pidpiper_faults::FaultKind` that takes no numeric arguments).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultToken {
+    /// GPS fix dropout (held last fix).
+    GpsDropout,
+    /// NaN bursts across the sensor bus.
+    NanBurst,
+    /// Frozen gyroscope.
+    FrozenGyro,
+}
+
+impl FaultToken {
+    /// The DSL token.
+    pub fn token(self) -> &'static str {
+        match self {
+            FaultToken::GpsDropout => "gps-dropout",
+            FaultToken::NanBurst => "nan-burst",
+            FaultToken::FrozenGyro => "frozen-gyro",
+        }
+    }
+
+    fn parse(tok: &str) -> Option<FaultToken> {
+        match tok {
+            "gps-dropout" => Some(FaultToken::GpsDropout),
+            "nan-burst" => Some(FaultToken::NanBurst),
+            "frozen-gyro" => Some(FaultToken::FrozenGyro),
+            _ => None,
+        }
+    }
+}
+
+/// The mission a campaign flies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MissionDecl {
+    /// `mission straight <distance> <altitude>`.
+    Straight {
+        /// Distance (m).
+        distance: f64,
+        /// Cruise altitude (m).
+        altitude: f64,
+    },
+    /// `mission polygon <sides> <radius> <altitude>`.
+    Polygon {
+        /// Number of sides.
+        sides: usize,
+        /// Circumradius (m).
+        radius: f64,
+        /// Cruise altitude (m).
+        altitude: f64,
+    },
+    /// `mission hover <altitude> <duration>`.
+    Hover {
+        /// Hover altitude (m).
+        altitude: f64,
+        /// Hover duration (s).
+        duration: f64,
+    },
+}
+
+/// When a phase or fault is active: the DSL's schedule clauses, kept in
+/// declaration form so printing round-trips exactly.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ScheduleDecl {
+    /// `start <t>` — continuous from `t` (intermittent when `duty` set).
+    pub start: Option<f64>,
+    /// `duty <on> <off>` — duty-cycled bursts (requires `start`).
+    pub duty: Option<(f64, f64)>,
+    /// `window <a> <b>` clauses, in declaration order.
+    pub windows: Vec<(f64, f64)>,
+}
+
+/// One attack phase: a sensor, a full-strength bias, a schedule and an
+/// optional ramp-hold-release envelope.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseDecl {
+    /// Phase identifier (target of `param` lines).
+    pub id: String,
+    /// The sensor the phase perturbs.
+    pub sensor: SensorTarget,
+    /// Full-strength bias (scalar sensors use the `x` component).
+    pub bias: Vec3,
+    /// Activation schedule.
+    pub schedule: ScheduleDecl,
+    /// `envelope <ramp> <hold> <release>` gain shaping, if any.
+    pub envelope: Option<(f64, f64, f64)>,
+}
+
+/// One benign fault riding along with the campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultDecl {
+    /// Fault identifier.
+    pub id: String,
+    /// What goes wrong.
+    pub kind: FaultToken,
+    /// When it goes wrong.
+    pub schedule: ScheduleDecl,
+}
+
+/// A tunable field of a phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParamField {
+    /// `bias.x`.
+    BiasX,
+    /// `bias.y`.
+    BiasY,
+    /// `bias.z`.
+    BiasZ,
+    /// `start`.
+    Start,
+    /// `duty.on` (requires a `duty` clause on the phase).
+    DutyOn,
+    /// `duty.off` (requires a `duty` clause on the phase).
+    DutyOff,
+    /// `envelope.ramp` (requires an `envelope` clause on the phase).
+    EnvelopeRamp,
+    /// `envelope.hold` (requires an `envelope` clause on the phase).
+    EnvelopeHold,
+    /// `envelope.release` (requires an `envelope` clause on the phase).
+    EnvelopeRelease,
+}
+
+impl ParamField {
+    /// The DSL token (the part after `<phase>.`).
+    pub fn token(self) -> &'static str {
+        match self {
+            ParamField::BiasX => "bias.x",
+            ParamField::BiasY => "bias.y",
+            ParamField::BiasZ => "bias.z",
+            ParamField::Start => "start",
+            ParamField::DutyOn => "duty.on",
+            ParamField::DutyOff => "duty.off",
+            ParamField::EnvelopeRamp => "envelope.ramp",
+            ParamField::EnvelopeHold => "envelope.hold",
+            ParamField::EnvelopeRelease => "envelope.release",
+        }
+    }
+
+    fn parse(tok: &str) -> Option<ParamField> {
+        match tok {
+            "bias.x" => Some(ParamField::BiasX),
+            "bias.y" => Some(ParamField::BiasY),
+            "bias.z" => Some(ParamField::BiasZ),
+            "start" => Some(ParamField::Start),
+            "duty.on" => Some(ParamField::DutyOn),
+            "duty.off" => Some(ParamField::DutyOff),
+            "envelope.ramp" => Some(ParamField::EnvelopeRamp),
+            "envelope.hold" => Some(ParamField::EnvelopeHold),
+            "envelope.release" => Some(ParamField::EnvelopeRelease),
+            _ => None,
+        }
+    }
+}
+
+/// One searchable dimension: a phase field and its `[lo, hi]` bounds.
+/// File order defines the parameter-vector order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamDecl {
+    /// The phase whose field is tunable.
+    pub phase: String,
+    /// Which field.
+    pub field: ParamField,
+    /// Lower bound (inclusive).
+    pub lo: f64,
+    /// Upper bound (inclusive).
+    pub hi: f64,
+}
+
+impl ParamDecl {
+    /// The `<phase>.<field>` target as written in the DSL.
+    pub fn target(&self) -> String {
+        format!("{}.{}", self.phase, self.field.token())
+    }
+}
+
+/// The adaptive attacker's budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchDecl {
+    /// (1+λ) generations to run.
+    pub generations: usize,
+    /// Children per generation (λ).
+    pub lambda: usize,
+}
+
+impl Default for SearchDecl {
+    fn default() -> Self {
+        SearchDecl {
+            generations: 6,
+            lambda: 6,
+        }
+    }
+}
+
+/// A parsed campaign: the complete, seeded description of an attack
+/// program and its searchable parameter space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Campaign {
+    /// Campaign name (used in reports and output file names).
+    pub name: String,
+    /// The vehicle under attack.
+    pub vehicle: RvId,
+    /// The mission flown.
+    pub mission: MissionDecl,
+    /// Seed for sensor noise, fault RNG and the attacker's mutations.
+    pub seed: u64,
+    /// Stealth ceiling as a fraction of the detection threshold: a
+    /// candidate whose peak normalized CUSUM statistic reaches this value
+    /// (or that triggers recovery at all) is rejected. `1.0` = detection.
+    pub stealth_margin: f64,
+    /// Search budget.
+    pub search: SearchDecl,
+    /// Attack phases, in file order (the deterministic stacking order).
+    pub phases: Vec<PhaseDecl>,
+    /// Benign faults, in file order.
+    pub faults: Vec<FaultDecl>,
+    /// Searchable dimensions, in file order.
+    pub params: Vec<ParamDecl>,
+}
+
+/// The default stealth ceiling (fraction of the detection threshold).
+pub const DEFAULT_STEALTH_MARGIN: f64 = 0.95;
+
+fn syntax(line: usize, message: impl Into<String>) -> CampaignError {
+    CampaignError::Syntax {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_f64(line: usize, tok: &str, what: &str) -> Result<f64, CampaignError> {
+    let v: f64 = tok
+        .parse()
+        .map_err(|_| syntax(line, format!("{what}: expected a number, got `{tok}`")))?;
+    if !v.is_finite() {
+        return Err(syntax(line, format!("{what}: `{tok}` is not finite")));
+    }
+    Ok(v)
+}
+
+fn parse_usize(line: usize, tok: &str, what: &str) -> Result<usize, CampaignError> {
+    tok.parse()
+        .map_err(|_| syntax(line, format!("{what}: expected a count, got `{tok}`")))
+}
+
+/// A parsed schedule plus the optional `(ramp, hold, release)` envelope.
+type ClauseParse = (ScheduleDecl, Option<(f64, f64, f64)>);
+
+/// Parses `start`/`duty`/`window` clauses from a token stream.
+fn parse_schedule_clauses(line: usize, toks: &[&str]) -> Result<ClauseParse, CampaignError> {
+    let mut decl = ScheduleDecl::default();
+    let mut envelope = None;
+    let mut i = 0;
+    while i < toks.len() {
+        match toks[i] {
+            "start" => {
+                if decl.start.is_some() {
+                    return Err(syntax(line, "duplicate `start` clause"));
+                }
+                let t = toks
+                    .get(i + 1)
+                    .ok_or_else(|| syntax(line, "`start` needs a time"))?;
+                decl.start = Some(parse_f64(line, t, "start time")?);
+                i += 2;
+            }
+            "duty" => {
+                if decl.duty.is_some() {
+                    return Err(syntax(line, "duplicate `duty` clause"));
+                }
+                if i + 2 >= toks.len() {
+                    return Err(syntax(line, "`duty` needs <on> <off> durations"));
+                }
+                let on = parse_f64(line, toks[i + 1], "duty on")?;
+                let off = parse_f64(line, toks[i + 2], "duty off")?;
+                decl.duty = Some((on, off));
+                i += 3;
+            }
+            "window" => {
+                if i + 2 >= toks.len() {
+                    return Err(syntax(line, "`window` needs <start> <end> times"));
+                }
+                let a = parse_f64(line, toks[i + 1], "window start")?;
+                let b = parse_f64(line, toks[i + 2], "window end")?;
+                decl.windows.push((a, b));
+                i += 3;
+            }
+            "envelope" => {
+                if envelope.is_some() {
+                    return Err(syntax(line, "duplicate `envelope` clause"));
+                }
+                if i + 3 >= toks.len() {
+                    return Err(syntax(line, "`envelope` needs <ramp> <hold> <release>"));
+                }
+                let r = parse_f64(line, toks[i + 1], "envelope ramp")?;
+                let h = parse_f64(line, toks[i + 2], "envelope hold")?;
+                let rel = parse_f64(line, toks[i + 3], "envelope release")?;
+                envelope = Some((r, h, rel));
+                i += 4;
+            }
+            other => {
+                return Err(syntax(line, format!("unknown schedule clause `{other}`")));
+            }
+        }
+    }
+    if decl.duty.is_some() && decl.start.is_none() {
+        return Err(syntax(line, "`duty` requires a `start` clause"));
+    }
+    if decl.start.is_none() && decl.windows.is_empty() {
+        return Err(syntax(line, "schedule needs `start` or at least one `window`"));
+    }
+    Ok((decl, envelope))
+}
+
+/// The vehicle tokens the DSL accepts, with their RV mapping.
+pub const VEHICLE_TOKENS: [(&str, RvId); 6] = [
+    ("arducopter", RvId::ArduCopter),
+    ("px4solo", RvId::Px4Solo),
+    ("ardurover", RvId::ArduRover),
+    ("pixhawk", RvId::PixhawkDrone),
+    ("skyviper", RvId::SkyViper),
+    ("aionr1", RvId::AionR1),
+];
+
+/// The DSL token for a vehicle.
+pub fn vehicle_token(rv: RvId) -> &'static str {
+    match VEHICLE_TOKENS.iter().find(|(_, id)| *id == rv) {
+        Some((tok, _)) => tok,
+        // RvId is a closed enum fully covered by VEHICLE_TOKENS.
+        None => "arducopter",
+    }
+}
+
+impl Campaign {
+    /// Parses a campaign from its text form.
+    pub fn from_text(src: &str) -> Result<Campaign, CampaignError> {
+        let mut name: Option<(usize, String)> = None;
+        let mut vehicle: Option<RvId> = None;
+        let mut mission: Option<MissionDecl> = None;
+        let mut seed: Option<u64> = None;
+        let mut stealth_margin: Option<f64> = None;
+        let mut search: Option<SearchDecl> = None;
+        let mut phases: Vec<PhaseDecl> = Vec::new();
+        let mut faults: Vec<FaultDecl> = Vec::new();
+        let mut params: Vec<(usize, ParamDecl)> = Vec::new();
+        let mut header_seen = false;
+
+        for (idx, raw) in src.lines().enumerate() {
+            let line = idx + 1;
+            let text = raw.trim();
+            if text.is_empty() || text.starts_with('#') {
+                continue;
+            }
+            let toks: Vec<&str> = text.split_whitespace().collect();
+            if !header_seen {
+                if toks[0] != "campaign" {
+                    return Err(CampaignError::MissingHeader);
+                }
+                match toks.get(1) {
+                    Some(&"v1") if toks.len() == 2 => header_seen = true,
+                    Some(found) => {
+                        return Err(CampaignError::UnsupportedVersion {
+                            line,
+                            found: (*found).to_string(),
+                        })
+                    }
+                    None => return Err(CampaignError::MissingHeader),
+                }
+                continue;
+            }
+            let dup = |line: usize, key: &str| CampaignError::DuplicateKey {
+                line,
+                key: key.to_string(),
+            };
+            match toks[0] {
+                "name" => {
+                    if name.is_some() {
+                        return Err(dup(line, "name"));
+                    }
+                    if toks.len() != 2 {
+                        return Err(syntax(line, "usage: name <identifier>"));
+                    }
+                    name = Some((line, toks[1].to_string()));
+                }
+                "vehicle" => {
+                    if vehicle.is_some() {
+                        return Err(dup(line, "vehicle"));
+                    }
+                    let tok = toks
+                        .get(1)
+                        .ok_or_else(|| syntax(line, "usage: vehicle <name>"))?;
+                    vehicle = Some(
+                        VEHICLE_TOKENS
+                            .iter()
+                            .find(|(t, _)| t == tok)
+                            .map(|(_, id)| *id)
+                            .ok_or_else(|| {
+                                syntax(line, format!("unknown vehicle `{tok}`"))
+                            })?,
+                    );
+                }
+                "mission" => {
+                    if mission.is_some() {
+                        return Err(dup(line, "mission"));
+                    }
+                    mission = Some(match toks.get(1) {
+                        Some(&"straight") if toks.len() == 4 => MissionDecl::Straight {
+                            distance: parse_f64(line, toks[2], "distance")?,
+                            altitude: parse_f64(line, toks[3], "altitude")?,
+                        },
+                        Some(&"polygon") if toks.len() == 5 => {
+                            let sides = parse_usize(line, toks[2], "sides")?;
+                            if sides < 3 {
+                                return Err(syntax(line, "polygons need at least 3 sides"));
+                            }
+                            MissionDecl::Polygon {
+                                sides,
+                                radius: parse_f64(line, toks[3], "radius")?,
+                                altitude: parse_f64(line, toks[4], "altitude")?,
+                            }
+                        }
+                        Some(&"hover") if toks.len() == 4 => MissionDecl::Hover {
+                            altitude: parse_f64(line, toks[2], "altitude")?,
+                            duration: parse_f64(line, toks[3], "duration")?,
+                        },
+                        _ => {
+                            return Err(syntax(
+                                line,
+                                "usage: mission straight <dist> <alt> | \
+                                 polygon <sides> <radius> <alt> | hover <alt> <secs>",
+                            ))
+                        }
+                    });
+                }
+                "seed" => {
+                    if seed.is_some() {
+                        return Err(dup(line, "seed"));
+                    }
+                    let tok = toks
+                        .get(1)
+                        .ok_or_else(|| syntax(line, "usage: seed <u64>"))?;
+                    seed = Some(
+                        tok.parse()
+                            .map_err(|_| syntax(line, format!("bad seed `{tok}`")))?,
+                    );
+                }
+                "stealth-margin" => {
+                    if stealth_margin.is_some() {
+                        return Err(dup(line, "stealth-margin"));
+                    }
+                    let tok = toks
+                        .get(1)
+                        .ok_or_else(|| syntax(line, "usage: stealth-margin <frac>"))?;
+                    let m = parse_f64(line, tok, "stealth margin")?;
+                    if m <= 0.0 {
+                        return Err(syntax(line, "stealth margin must be positive"));
+                    }
+                    stealth_margin = Some(m);
+                }
+                "search" => {
+                    if search.is_some() {
+                        return Err(dup(line, "search"));
+                    }
+                    if toks.len() != 5 || toks[1] != "generations" || toks[3] != "lambda" {
+                        return Err(syntax(
+                            line,
+                            "usage: search generations <n> lambda <n>",
+                        ));
+                    }
+                    let generations = parse_usize(line, toks[2], "generations")?;
+                    let lambda = parse_usize(line, toks[4], "lambda")?;
+                    if generations == 0 || lambda == 0 {
+                        return Err(syntax(line, "search budget must be nonzero"));
+                    }
+                    search = Some(SearchDecl {
+                        generations,
+                        lambda,
+                    });
+                }
+                "phase" => {
+                    if toks.len() < 6 {
+                        return Err(syntax(
+                            line,
+                            "usage: phase <id> <sensor> <bx> <by> <bz> <schedule…>",
+                        ));
+                    }
+                    let id = toks[1].to_string();
+                    if phases.iter().any(|p: &PhaseDecl| p.id == id) {
+                        return Err(dup(line, &format!("phase {id}")));
+                    }
+                    let sensor = SensorTarget::parse(toks[2])
+                        .ok_or_else(|| syntax(line, format!("unknown sensor `{}`", toks[2])))?;
+                    let bias = Vec3::new(
+                        parse_f64(line, toks[3], "bias x")?,
+                        parse_f64(line, toks[4], "bias y")?,
+                        parse_f64(line, toks[5], "bias z")?,
+                    );
+                    let (schedule, envelope) = parse_schedule_clauses(line, &toks[6..])?;
+                    phases.push(PhaseDecl {
+                        id,
+                        sensor,
+                        bias,
+                        schedule,
+                        envelope,
+                    });
+                }
+                "fault" => {
+                    if toks.len() < 3 {
+                        return Err(syntax(line, "usage: fault <id> <kind> <schedule…>"));
+                    }
+                    let id = toks[1].to_string();
+                    if faults.iter().any(|f: &FaultDecl| f.id == id) {
+                        return Err(dup(line, &format!("fault {id}")));
+                    }
+                    let kind = FaultToken::parse(toks[2])
+                        .ok_or_else(|| syntax(line, format!("unknown fault `{}`", toks[2])))?;
+                    let (schedule, envelope) = parse_schedule_clauses(line, &toks[3..])?;
+                    if envelope.is_some() {
+                        return Err(syntax(line, "faults do not take an `envelope`"));
+                    }
+                    faults.push(FaultDecl { id, kind, schedule });
+                }
+                "param" => {
+                    if toks.len() != 4 {
+                        return Err(syntax(line, "usage: param <phase>.<field> <lo> <hi>"));
+                    }
+                    let target = toks[1];
+                    let (phase, field_tok) = target.split_once('.').ok_or_else(|| {
+                        CampaignError::UnknownParamTarget {
+                            line,
+                            target: target.to_string(),
+                        }
+                    })?;
+                    let field = ParamField::parse(field_tok).ok_or_else(|| {
+                        CampaignError::UnknownParamTarget {
+                            line,
+                            target: target.to_string(),
+                        }
+                    })?;
+                    let lo = parse_f64(line, toks[2], "param lo")?;
+                    let hi = parse_f64(line, toks[3], "param hi")?;
+                    params.push((
+                        line,
+                        ParamDecl {
+                            phase: phase.to_string(),
+                            field,
+                            lo,
+                            hi,
+                        },
+                    ));
+                }
+                other => {
+                    return Err(syntax(line, format!("unknown directive `{other}`")));
+                }
+            }
+        }
+
+        if !header_seen {
+            return Err(CampaignError::MissingHeader);
+        }
+        let missing = |key: &str| CampaignError::MissingKey {
+            key: key.to_string(),
+        };
+        let (_, name) = name.ok_or_else(|| missing("name"))?;
+        let vehicle = vehicle.ok_or_else(|| missing("vehicle"))?;
+        let mission = mission.ok_or_else(|| missing("mission"))?;
+        let seed = seed.ok_or_else(|| missing("seed"))?;
+        if phases.is_empty() {
+            return Err(missing("phase"));
+        }
+
+        // Validate param targets against the declared phases.
+        for (line, p) in &params {
+            let phase = phases.iter().find(|ph| ph.id == p.phase).ok_or_else(|| {
+                CampaignError::UnknownParamTarget {
+                    line: *line,
+                    target: p.target(),
+                }
+            })?;
+            let available = match p.field {
+                ParamField::BiasX | ParamField::BiasY | ParamField::BiasZ => true,
+                ParamField::Start => phase.schedule.start.is_some(),
+                ParamField::DutyOn | ParamField::DutyOff => phase.schedule.duty.is_some(),
+                ParamField::EnvelopeRamp
+                | ParamField::EnvelopeHold
+                | ParamField::EnvelopeRelease => phase.envelope.is_some(),
+            };
+            if !available {
+                return Err(CampaignError::UnknownParamTarget {
+                    line: *line,
+                    target: p.target(),
+                });
+            }
+            // `partial_cmp` so a NaN bound is rejected, not ordered past.
+            let ordered = matches!(
+                p.lo.partial_cmp(&p.hi),
+                Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal)
+            );
+            if !ordered {
+                return Err(CampaignError::InvalidBounds {
+                    line: *line,
+                    target: p.target(),
+                });
+            }
+        }
+
+        Ok(Campaign {
+            name,
+            vehicle,
+            mission,
+            seed,
+            stealth_margin: stealth_margin.unwrap_or(DEFAULT_STEALTH_MARGIN),
+            search: search.unwrap_or_default(),
+            phases,
+            faults,
+            params: params.into_iter().map(|(_, p)| p).collect(),
+        })
+    }
+
+    /// Prints the campaign in canonical text form.
+    ///
+    /// `from_text(to_text(c)) == c` for every valid campaign — the
+    /// round-trip identity the proptests pin down.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("campaign v1\n");
+        out.push_str(&format!("name {}\n", self.name));
+        out.push_str(&format!("vehicle {}\n", vehicle_token(self.vehicle)));
+        match self.mission {
+            MissionDecl::Straight { distance, altitude } => {
+                out.push_str(&format!("mission straight {distance} {altitude}\n"));
+            }
+            MissionDecl::Polygon {
+                sides,
+                radius,
+                altitude,
+            } => {
+                out.push_str(&format!("mission polygon {sides} {radius} {altitude}\n"));
+            }
+            MissionDecl::Hover { altitude, duration } => {
+                out.push_str(&format!("mission hover {altitude} {duration}\n"));
+            }
+        }
+        out.push_str(&format!("seed {}\n", self.seed));
+        out.push_str(&format!("stealth-margin {}\n", self.stealth_margin));
+        out.push_str(&format!(
+            "search generations {} lambda {}\n",
+            self.search.generations, self.search.lambda
+        ));
+        for p in &self.phases {
+            out.push_str(&format!(
+                "phase {} {} {} {} {}",
+                p.id,
+                p.sensor.token(),
+                p.bias.x,
+                p.bias.y,
+                p.bias.z
+            ));
+            push_schedule(&mut out, &p.schedule);
+            if let Some((r, h, rel)) = p.envelope {
+                out.push_str(&format!(" envelope {r} {h} {rel}"));
+            }
+            out.push('\n');
+        }
+        for f in &self.faults {
+            out.push_str(&format!("fault {} {}", f.id, f.kind.token()));
+            push_schedule(&mut out, &f.schedule);
+            out.push('\n');
+        }
+        for p in &self.params {
+            out.push_str(&format!("param {} {} {}\n", p.target(), p.lo, p.hi));
+        }
+        out
+    }
+
+    /// The number of searchable dimensions.
+    pub fn dimensions(&self) -> usize {
+        self.params.len()
+    }
+
+    /// The `[lo, hi]` bounds of each dimension, in declaration order.
+    pub fn bounds(&self) -> Vec<(f64, f64)> {
+        self.params.iter().map(|p| (p.lo, p.hi)).collect()
+    }
+
+    /// The declared (written) value of each searchable field, clamped into
+    /// its bounds — the adaptive attacker's starting point.
+    pub fn initial_params(&self) -> Vec<f64> {
+        self.params
+            .iter()
+            .map(|p| {
+                let declared = self
+                    .phases
+                    .iter()
+                    .find(|ph| ph.id == p.phase)
+                    .map(|ph| read_field(ph, p.field))
+                    .unwrap_or(p.lo);
+                declared.clamp(p.lo, p.hi)
+            })
+            .collect()
+    }
+}
+
+/// Reads the current value of a tunable field from a phase.
+pub(crate) fn read_field(phase: &PhaseDecl, field: ParamField) -> f64 {
+    match field {
+        ParamField::BiasX => phase.bias.x,
+        ParamField::BiasY => phase.bias.y,
+        ParamField::BiasZ => phase.bias.z,
+        ParamField::Start => phase.schedule.start.unwrap_or(0.0),
+        ParamField::DutyOn => phase.schedule.duty.map(|(on, _)| on).unwrap_or(0.0),
+        ParamField::DutyOff => phase.schedule.duty.map(|(_, off)| off).unwrap_or(0.0),
+        ParamField::EnvelopeRamp => phase.envelope.map(|(r, _, _)| r).unwrap_or(0.0),
+        ParamField::EnvelopeHold => phase.envelope.map(|(_, h, _)| h).unwrap_or(0.0),
+        ParamField::EnvelopeRelease => phase.envelope.map(|(_, _, r)| r).unwrap_or(0.0),
+    }
+}
+
+/// Writes a tunable field back into a phase (validation has already
+/// guaranteed the clause exists).
+pub(crate) fn write_field(phase: &mut PhaseDecl, field: ParamField, value: f64) {
+    match field {
+        ParamField::BiasX => phase.bias.x = value,
+        ParamField::BiasY => phase.bias.y = value,
+        ParamField::BiasZ => phase.bias.z = value,
+        ParamField::Start => phase.schedule.start = Some(value),
+        ParamField::DutyOn => {
+            if let Some((_, off)) = phase.schedule.duty {
+                phase.schedule.duty = Some((value, off));
+            }
+        }
+        ParamField::DutyOff => {
+            if let Some((on, _)) = phase.schedule.duty {
+                phase.schedule.duty = Some((on, value));
+            }
+        }
+        ParamField::EnvelopeRamp => {
+            if let Some((_, h, rel)) = phase.envelope {
+                phase.envelope = Some((value, h, rel));
+            }
+        }
+        ParamField::EnvelopeHold => {
+            if let Some((r, _, rel)) = phase.envelope {
+                phase.envelope = Some((r, value, rel));
+            }
+        }
+        ParamField::EnvelopeRelease => {
+            if let Some((r, h, _)) = phase.envelope {
+                phase.envelope = Some((r, h, value));
+            }
+        }
+    }
+}
+
+fn push_schedule(out: &mut String, s: &ScheduleDecl) {
+    if let Some(t) = s.start {
+        out.push_str(&format!(" start {t}"));
+    }
+    if let Some((on, off)) = s.duty {
+        out.push_str(&format!(" duty {on} {off}"));
+    }
+    for (a, b) in &s.windows {
+        out.push_str(&format!(" window {a} {b}"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EXAMPLE: &str = "\
+campaign v1
+name stealth-drift
+vehicle arducopter
+mission straight 60 5
+seed 9001
+stealth-margin 0.9
+search generations 4 lambda 5
+
+# drift phase
+phase drift gps 0 10 0 start 8 envelope 6 30 4
+phase wobble gyro 0.05 0 0 start 12 duty 3 5
+fault blackout gps-dropout window 20 22
+param drift.bias.y 2 30
+param drift.envelope.ramp 4 20
+";
+
+    #[test]
+    fn parses_the_example() {
+        let c = Campaign::from_text(EXAMPLE).expect("example parses");
+        assert_eq!(c.name, "stealth-drift");
+        assert_eq!(c.vehicle, RvId::ArduCopter);
+        assert_eq!(c.seed, 9001);
+        assert_eq!(c.stealth_margin, 0.9);
+        assert_eq!(c.search.generations, 4);
+        assert_eq!(c.phases.len(), 2);
+        assert_eq!(c.faults.len(), 1);
+        assert_eq!(c.dimensions(), 2);
+        assert_eq!(c.initial_params(), vec![10.0, 6.0]);
+        assert_eq!(c.bounds(), vec![(2.0, 30.0), (4.0, 20.0)]);
+    }
+
+    #[test]
+    fn round_trips_the_example() {
+        let c = Campaign::from_text(EXAMPLE).expect("example parses");
+        let printed = c.to_text();
+        let reparsed = Campaign::from_text(&printed).expect("canonical form parses");
+        assert_eq!(c, reparsed);
+    }
+
+    #[test]
+    fn missing_header_is_typed() {
+        let err = Campaign::from_text("name x\n").expect_err("no header");
+        assert_eq!(err, CampaignError::MissingHeader);
+        assert_eq!(err.at("c.campaign"), "c.campaign: missing `campaign v1` header");
+    }
+
+    #[test]
+    fn unsupported_version_carries_line() {
+        let err = Campaign::from_text("campaign v9\n").expect_err("bad version");
+        match err {
+            CampaignError::UnsupportedVersion { line, ref found } => {
+                assert_eq!(line, 1);
+                assert_eq!(found, "v9");
+            }
+            ref other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+        assert!(err.at("f").starts_with("f:1: "));
+    }
+
+    #[test]
+    fn syntax_errors_carry_the_line() {
+        let src = "campaign v1\nname x\nbogus line here\n";
+        let err = Campaign::from_text(src).expect_err("bogus directive");
+        assert_eq!(err.line(), Some(3));
+    }
+
+    #[test]
+    fn duplicate_keys_rejected() {
+        let src = "campaign v1\nname a\nname b\n";
+        let err = Campaign::from_text(src).expect_err("duplicate name");
+        assert_eq!(
+            err,
+            CampaignError::DuplicateKey {
+                line: 3,
+                key: "name".into()
+            }
+        );
+    }
+
+    #[test]
+    fn param_must_reference_existing_phase_field() {
+        let src = "\
+campaign v1
+name x
+vehicle arducopter
+mission straight 40 5
+seed 1
+phase a gps 0 5 0 start 8
+param a.duty.on 1 2
+";
+        let err = Campaign::from_text(src).expect_err("no duty clause on phase a");
+        match err {
+            CampaignError::UnknownParamTarget { line, target } => {
+                assert_eq!(line, 7);
+                assert_eq!(target, "a.duty.on");
+            }
+            other => panic!("expected UnknownParamTarget, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn inverted_bounds_rejected() {
+        let src = "\
+campaign v1
+name x
+vehicle arducopter
+mission straight 40 5
+seed 1
+phase a gps 0 5 0 start 8
+param a.bias.y 9 2
+";
+        let err = Campaign::from_text(src).expect_err("inverted bounds");
+        assert!(matches!(err, CampaignError::InvalidBounds { line: 7, .. }));
+    }
+
+    #[test]
+    fn schedule_needs_an_anchor() {
+        let src = "\
+campaign v1
+name x
+vehicle arducopter
+mission straight 40 5
+seed 1
+phase a gps 0 5 0 duty 1 2
+";
+        let err = Campaign::from_text(src).expect_err("duty without start");
+        assert_eq!(err.line(), Some(6));
+    }
+
+    #[test]
+    fn defaults_fill_in() {
+        let src = "\
+campaign v1
+name x
+vehicle px4solo
+mission hover 5 20
+seed 7
+phase a gyro 0.1 0 0 start 5
+";
+        let c = Campaign::from_text(src).expect("minimal campaign");
+        assert_eq!(c.stealth_margin, DEFAULT_STEALTH_MARGIN);
+        assert_eq!(c.search, SearchDecl::default());
+        assert!(c.faults.is_empty());
+        assert_eq!(c.dimensions(), 0);
+    }
+
+    #[test]
+    fn every_vehicle_token_round_trips() {
+        for (tok, rv) in VEHICLE_TOKENS {
+            assert_eq!(vehicle_token(rv), tok);
+            let src = format!(
+                "campaign v1\nname v\nvehicle {tok}\nmission straight 30 5\nseed 1\nphase a gps 0 1 0 start 5\n"
+            );
+            let c = Campaign::from_text(&src).expect("vehicle parses");
+            assert_eq!(c.vehicle, rv);
+        }
+    }
+}

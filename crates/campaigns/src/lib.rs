@@ -1,0 +1,43 @@
+//! Adversarial attack-campaign engine.
+//!
+//! PID-Piper's evaluation (and this reproduction's, until now) tests
+//! recovery against *hand-written* attack schedules — fixed biases on
+//! fixed timers. A motivated attacker does better: they tune timing,
+//! magnitude and shaping to maximize damage while staying under the
+//! detector's threshold. This crate closes that gap with three layers:
+//!
+//! - [`dsl`] — a declarative, line-oriented **campaign DSL** (same idiom
+//!   as `analyzer.boundaries` and the v3 deployment format) describing
+//!   seeded multi-phase, multi-sensor attack programs: stacked GPS+gyro
+//!   phases, duty-cycled intermittent spoofing, ramp-hold-release
+//!   envelopes, plus the parameter space an attacker may search.
+//! - [`compile`] — lowering onto the existing `FaultSchedule` /
+//!   `Schedule` / `MissionAttack` machinery, so `MissionRunner` and the
+//!   fleet engine consume campaigns unchanged, including phase-shifted
+//!   fleet variants.
+//! - [`search`](mod@search) — a **seeded adaptive attacker**: a (1+λ) evolutionary
+//!   hill-climb over the campaign's parameter space that rejects any
+//!   candidate whose peak monitor statistic crosses the stealth ceiling.
+//!   Fully reproducible from `(campaign, seed)`, bit-identical at any
+//!   worker count.
+//!
+//! The `pidpiper-campaign` binary exposes `check` (validate a campaign
+//! file without running it) and `run` (train-or-load the deployed defense,
+//! then hunt for its stealthy worst case).
+
+#![deny(missing_docs)]
+
+pub mod compile;
+pub mod deploy;
+pub mod dsl;
+pub mod search;
+
+pub use compile::CompiledCampaign;
+pub use deploy::{deployed_pidpiper, training_traces, TrainScale};
+pub use dsl::{
+    Campaign, CampaignError, FaultDecl, FaultToken, MissionDecl, ParamDecl, ParamField,
+    PhaseDecl, ScheduleDecl, SearchDecl, SensorTarget, DEFAULT_STEALTH_MARGIN,
+};
+pub use search::{
+    params_fingerprint, search, search_with_jobs, CandidateEval, SearchOutcome,
+};

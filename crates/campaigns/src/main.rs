@@ -1,0 +1,174 @@
+//! `pidpiper-campaign`: validate and run adversarial attack campaigns.
+//!
+//! ```text
+//! pidpiper-campaign check <file>   # parse + lower, report, exit 0/2
+//! pidpiper-campaign run <file>     # train-or-load defense, run search
+//! ```
+//!
+//! Environment knobs (see OPERATIONS.md):
+//!
+//! - `PIDPIPER_CAMPAIGN_GENERATIONS` / `PIDPIPER_CAMPAIGN_LAMBDA` —
+//!   override the campaign's search budget (e.g. for CI smoke runs);
+//! - `PIDPIPER_CAMPAIGN_STRATEGY` — recovery strategy to attack
+//!   (`algorithm1` | `spec-compliance` | `diagnosis-guided`);
+//! - `PIDPIPER_JOBS` — worker count (results are identical at any value);
+//! - `PIDPIPER_SCALE` — training scale for the defense model.
+
+use pidpiper_campaigns::{
+    deployed_pidpiper, search, Campaign, CompiledCampaign, TrainScale,
+};
+use pidpiper_missions::{Defense, MissionAttack, StrategyKind};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: pidpiper-campaign <check|run> <campaign-file>");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let (cmd, file) = match (args.get(1), args.get(2)) {
+        (Some(c), Some(f)) => (c.as_str(), f.as_str()),
+        _ => return usage(),
+    };
+    let src = match std::fs::read_to_string(file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{file}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let campaign = match Campaign::from_text(&src) {
+        Ok(c) => c,
+        Err(err) => {
+            eprintln!("{}", err.at(file));
+            return ExitCode::from(2);
+        }
+    };
+    match cmd {
+        "check" => check(file, &campaign),
+        "run" => run(file, campaign),
+        _ => usage(),
+    }
+}
+
+/// Validates the campaign end-to-end (parse already succeeded; lowering
+/// catches the rest) and prints a one-screen summary — the analyzer-style
+/// `--check` UX: exit 0 quietly-ish, exit 2 with `file:line: message`.
+fn check(file: &str, campaign: &Campaign) -> ExitCode {
+    let compiled = match campaign.compile_default() {
+        Ok(c) => c,
+        Err(err) => {
+            eprintln!("{}", err.at(file));
+            return ExitCode::from(2);
+        }
+    };
+    println!("{file}: ok");
+    println!("  name            {}", campaign.name);
+    println!("  vehicle         {}", campaign.vehicle.name());
+    println!("  seed            {}", campaign.seed);
+    println!("  stealth margin  {}", campaign.stealth_margin);
+    println!(
+        "  search          {} generations x {} children",
+        campaign.search.generations, campaign.search.lambda
+    );
+    println!(
+        "  program         {} phase(s), {} fault(s), {} searchable dim(s)",
+        compiled.attacks.len(),
+        compiled.faults.len(),
+        campaign.dimensions()
+    );
+    for (decl, (lo, hi)) in campaign.params.iter().zip(campaign.bounds()) {
+        println!("    param {} in [{lo}, {hi}]", decl.target());
+    }
+    ExitCode::SUCCESS
+}
+
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok()?.trim().parse().ok().filter(|&n| n > 0)
+}
+
+fn run(file: &str, mut campaign: Campaign) -> ExitCode {
+    if let Some(g) = env_usize("PIDPIPER_CAMPAIGN_GENERATIONS") {
+        campaign.search.generations = g;
+    }
+    if let Some(l) = env_usize("PIDPIPER_CAMPAIGN_LAMBDA") {
+        campaign.search.lambda = l;
+    }
+    let strategy = match std::env::var("PIDPIPER_CAMPAIGN_STRATEGY") {
+        Ok(s) => match StrategyKind::parse(s.trim()) {
+            Some(k) => k,
+            None => {
+                eprintln!("unknown PIDPIPER_CAMPAIGN_STRATEGY `{s}`");
+                return ExitCode::from(2);
+            }
+        },
+        Err(_) => StrategyKind::default(),
+    };
+    if let Err(err) = campaign.compile_default() {
+        eprintln!("{}", err.at(file));
+        return ExitCode::from(2);
+    }
+    let defense = deployed_pidpiper(campaign.vehicle, TrainScale::from_env());
+    let outcome = match search(&campaign, strategy, |_| {
+        Box::new(defense.clone()) as Box<dyn Defense + Send>
+    }) {
+        Ok(o) => o,
+        Err(err) => {
+            eprintln!("{}", err.at(file));
+            return ExitCode::from(2);
+        }
+    };
+    println!("campaign  {} ({})", campaign.name, file);
+    println!("vehicle   {}", campaign.vehicle.name());
+    println!("strategy  {}", strategy.name());
+    println!(
+        "search    {} evaluations, {} rejected by the stealth gate",
+        outcome.evaluations, outcome.rejected_stealth
+    );
+    println!(
+        "winner    max deviation {:.2} m, final {:.2} m, peak statistic {:.3} (< {} required)",
+        outcome.best.max_path_deviation,
+        outcome.best.final_deviation,
+        outcome.best.peak_statistic,
+        outcome.stealth_margin
+    );
+    println!(
+        "stealthy  {} (recovery activations: {})",
+        outcome.winner_stealthy, outcome.best.recovery_activations
+    );
+    for (decl, v) in campaign.params.iter().zip(&outcome.best_params) {
+        println!("  {} = {v}", decl.target());
+    }
+    println!(
+        "replay    params fingerprint {:016x}, trace fingerprint {:016x}",
+        outcome.params_fingerprint, outcome.best.trace_fingerprint
+    );
+    if let Ok(compiled) = campaign.compile(&outcome.best_params) {
+        print_program(&compiled);
+    }
+    if outcome.winner_stealthy {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("warning: no stealthy candidate found under margin {}", outcome.stealth_margin);
+        ExitCode::from(1)
+    }
+}
+
+fn print_program(compiled: &CompiledCampaign) {
+    println!("program   ({} attack phase(s))", compiled.attacks.len());
+    for a in &compiled.attacks {
+        match a {
+            MissionAttack::Scheduled(atk) => {
+                println!("  scheduled {:?} on {:?}", atk.kind, atk.schedule);
+            }
+            MissionAttack::Enveloped(env) => {
+                println!(
+                    "  enveloped {:?} on {:?} envelope {:?}",
+                    env.kind, env.schedule, env.envelope
+                );
+            }
+            other => println!("  {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,367 @@
+//! The seeded adaptive attacker: a (1+λ) evolutionary hill-climb over a
+//! campaign's declared parameter space, with a hard stealth constraint.
+//!
+//! Every candidate is one full mission simulation. A candidate is
+//! **rejected** — fitness forced to −∞ — unless it stays stealthy: its
+//! peak normalized monitor statistic must remain below the campaign's
+//! `stealth-margin` (1.0 = the detection threshold) *and* the defense must
+//! never activate recovery. Among stealthy candidates the attacker
+//! maximizes the mission's ground-truth `max_path_deviation` — the
+//! worst-case a defender cares about precisely because the monitor never
+//! fired.
+//!
+//! Reproducibility contract: the whole search is a pure function of
+//! `(campaign, strategy, defense template)`. Child mutations draw from
+//! per-child RNGs seeded by `splitmix(campaign.seed, generation, child)`,
+//! candidates are evaluated with [`MissionRunner::par_run_missions_with_jobs`]
+//! (results in spec order, bit-identical for any worker count), and ties
+//! resolve to the lowest child index — so 1 worker and N workers return
+//! the same winning parameter vector, bit for bit.
+
+use crate::compile::CompiledCampaign;
+use crate::dsl::{Campaign, CampaignError};
+use pidpiper_missions::{
+    configured_jobs, Defense, Fingerprint, MissionResult, MissionRunner, StrategyKind,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-candidate evaluation record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CandidateEval {
+    /// Ground-truth worst-case cross-track deviation (m) — the objective.
+    pub max_path_deviation: f64,
+    /// Ground-truth deviation at mission end (m).
+    pub final_deviation: f64,
+    /// Peak normalized monitor statistic over the mission (1.0 =
+    /// detection threshold).
+    pub peak_statistic: f64,
+    /// Recovery activations by the defense (any > 0 breaks stealth).
+    pub recovery_activations: usize,
+    /// The mission trace's FNV fingerprint (for replay verification).
+    pub trace_fingerprint: u64,
+}
+
+impl CandidateEval {
+    fn from_result(r: &MissionResult) -> CandidateEval {
+        let peak = r
+            .trace
+            .records()
+            .iter()
+            .fold(0.0_f64, |acc, rec| acc.max(rec.monitor_statistic));
+        CandidateEval {
+            max_path_deviation: r.max_path_deviation,
+            final_deviation: r.final_deviation,
+            peak_statistic: peak,
+            recovery_activations: r.recovery_activations,
+            trace_fingerprint: r.trace.fingerprint(),
+        }
+    }
+
+    /// Whether the candidate stayed under the stealth ceiling.
+    pub fn stealthy(&self, margin: f64) -> bool {
+        self.peak_statistic < margin && self.recovery_activations == 0
+    }
+
+    fn fitness(&self, margin: f64) -> f64 {
+        if self.stealthy(margin) {
+            self.max_path_deviation
+        } else {
+            f64::NEG_INFINITY
+        }
+    }
+}
+
+/// The result of a campaign search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchOutcome {
+    /// The winning parameter vector (declaration order).
+    pub best_params: Vec<f64>,
+    /// The winner's evaluation.
+    pub best: CandidateEval,
+    /// Whether the winner satisfied the stealth constraint (false only
+    /// when *no* candidate — parent included — ever stayed stealthy).
+    pub winner_stealthy: bool,
+    /// FNV fingerprint of the winning parameter vector's bits — the
+    /// value the determinism gate compares across worker counts.
+    pub params_fingerprint: u64,
+    /// Total mission simulations performed.
+    pub evaluations: usize,
+    /// Candidates rejected by the stealth constraint.
+    pub rejected_stealth: usize,
+    /// The stealth ceiling the search enforced.
+    pub stealth_margin: f64,
+}
+
+/// Fingerprints a parameter vector bit-for-bit.
+pub fn params_fingerprint(params: &[f64]) -> u64 {
+    let mut fp = Fingerprint::new();
+    fp.mix_u64(params.len() as u64);
+    for &v in params {
+        fp.mix_f64(v);
+    }
+    fp.value()
+}
+
+/// splitmix64-style finalizer: decorrelates `(seed, generation, child)`
+/// into one well-mixed child seed.
+fn derive_seed(seed: u64, generation: u64, child: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(generation.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        .wrapping_add(child.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Mutates the parent into one child: each dimension is reset uniformly
+/// within its bounds with probability 0.15, otherwise nudged by a uniform
+/// step of up to ±25 % of the bound span, then clamped.
+fn mutate(parent: &[f64], bounds: &[(f64, f64)], rng: &mut StdRng) -> Vec<f64> {
+    parent
+        .iter()
+        .zip(bounds)
+        .map(|(&v, &(lo, hi))| {
+            let span = hi - lo;
+            if span <= 0.0 {
+                return lo;
+            }
+            if rng.gen_bool(0.15) {
+                rng.gen_range(lo..hi)
+            } else {
+                (v + rng.gen_range(-0.25..0.25) * span).clamp(lo, hi)
+            }
+        })
+        .collect()
+}
+
+fn evaluate_batch<F>(
+    jobs: usize,
+    campaign: &Campaign,
+    strategy: StrategyKind,
+    candidates: &[Vec<f64>],
+    defense_for: &F,
+) -> Result<Vec<CandidateEval>, CampaignError>
+where
+    F: Fn(usize) -> Box<dyn Defense + Send> + Sync,
+{
+    let compiled: Vec<CompiledCampaign> = candidates
+        .iter()
+        .map(|p| campaign.compile(p))
+        .collect::<Result<_, _>>()?;
+    let specs: Vec<_> = compiled.iter().map(|c| c.spec(strategy)).collect();
+    let results = MissionRunner::par_run_missions_with_jobs(jobs, &specs, defense_for);
+    Ok(results.iter().map(CandidateEval::from_result).collect())
+}
+
+/// Runs the (1+λ) search on `PIDPIPER_JOBS` workers.
+///
+/// `defense_for(i)` must build a *fresh* defense for evaluation slot `i`
+/// of the current batch — typically a clone of one fitted template, so
+/// every candidate faces an identical defender.
+pub fn search<F>(
+    campaign: &Campaign,
+    strategy: StrategyKind,
+    defense_for: F,
+) -> Result<SearchOutcome, CampaignError>
+where
+    F: Fn(usize) -> Box<dyn Defense + Send> + Sync,
+{
+    search_with_jobs(configured_jobs(), campaign, strategy, defense_for)
+}
+
+/// [`search`] with an explicit worker count (the determinism tests compare
+/// `jobs = 1` against `jobs = N` without racing on env vars).
+pub fn search_with_jobs<F>(
+    jobs: usize,
+    campaign: &Campaign,
+    strategy: StrategyKind,
+    defense_for: F,
+) -> Result<SearchOutcome, CampaignError>
+where
+    F: Fn(usize) -> Box<dyn Defense + Send> + Sync,
+{
+    let bounds = campaign.bounds();
+    let margin = campaign.stealth_margin;
+    let mut parent = campaign.initial_params();
+    let parent_evals = evaluate_batch(jobs, campaign, strategy, &[parent.clone()], &defense_for)?;
+    let mut best = match parent_evals.first() {
+        Some(e) => *e,
+        None => {
+            // Unreachable: a one-candidate batch yields one result; keep
+            // the lib panic-free anyway.
+            return Err(CampaignError::WrongArity {
+                expected: 1,
+                got: 0,
+            });
+        }
+    };
+    let mut evaluations = 1;
+    let mut rejected_stealth = usize::from(!best.stealthy(margin));
+    let mut best_fitness = best.fitness(margin);
+
+    // Zero searchable dimensions degenerates to the parent evaluation:
+    // the campaign *is* its only candidate.
+    if !bounds.is_empty() {
+        for generation in 0..campaign.search.generations {
+            let children: Vec<Vec<f64>> = (0..campaign.search.lambda)
+                .map(|child| {
+                    let mut rng = StdRng::seed_from_u64(derive_seed(
+                        campaign.seed,
+                        generation as u64,
+                        child as u64,
+                    ));
+                    mutate(&parent, &bounds, &mut rng)
+                })
+                .collect();
+            let evals = evaluate_batch(jobs, campaign, strategy, &children, &defense_for)?;
+            evaluations += evals.len();
+            // Selection in child order: strict improvement over the
+            // incumbent, ties to the lowest index — completion order
+            // never participates.
+            for (child, eval) in children.iter().zip(&evals) {
+                if !eval.stealthy(margin) {
+                    rejected_stealth += 1;
+                }
+                let fitness = eval.fitness(margin);
+                if fitness > best_fitness {
+                    best_fitness = fitness;
+                    best = *eval;
+                    parent = child.clone();
+                }
+            }
+        }
+    }
+
+    let winner_stealthy = best.stealthy(margin);
+    Ok(SearchOutcome {
+        params_fingerprint: params_fingerprint(&parent),
+        best_params: parent,
+        best,
+        winner_stealthy,
+        evaluations,
+        rejected_stealth,
+        stealth_margin: margin,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pidpiper_missions::NoDefense;
+
+    const SRC: &str = "\
+campaign v1
+name search-check
+vehicle arducopter
+mission straight 40 5
+seed 11
+stealth-margin 0.95
+search generations 2 lambda 3
+phase drift gps 0 6 0 start 8 envelope 5 12 3
+param drift.bias.y 1 14
+param drift.envelope.ramp 3 10
+";
+
+    fn campaign() -> Campaign {
+        Campaign::from_text(SRC).expect("test campaign parses")
+    }
+
+    #[test]
+    fn derive_seed_decorrelates_coordinates() {
+        let a = derive_seed(11, 0, 0);
+        let b = derive_seed(11, 0, 1);
+        let c = derive_seed(11, 1, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+        assert_eq!(a, derive_seed(11, 0, 0), "pure function of inputs");
+    }
+
+    #[test]
+    fn mutation_respects_bounds() {
+        let bounds = vec![(1.0, 14.0), (3.0, 10.0)];
+        let parent = vec![6.0, 5.0];
+        for seed in 0..50 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let child = mutate(&parent, &bounds, &mut rng);
+            for (v, (lo, hi)) in child.iter().zip(&bounds) {
+                assert!(*v >= *lo && *v <= *hi, "child {v} outside [{lo}, {hi}]");
+            }
+        }
+    }
+
+    #[test]
+    fn search_is_reproducible_across_worker_counts() {
+        let c = campaign();
+        let factory = |_: usize| -> Box<dyn Defense + Send> { Box::new(NoDefense::new()) };
+        let serial = search_with_jobs(1, &c, StrategyKind::Algorithm1, factory)
+            .expect("serial search runs");
+        let parallel = search_with_jobs(4, &c, StrategyKind::Algorithm1, factory)
+            .expect("parallel search runs");
+        assert_eq!(serial.best_params, parallel.best_params);
+        assert_eq!(serial.params_fingerprint, parallel.params_fingerprint);
+        assert_eq!(serial.best.trace_fingerprint, parallel.best.trace_fingerprint);
+        assert_eq!(serial.evaluations, parallel.evaluations);
+        assert_eq!(serial.rejected_stealth, parallel.rejected_stealth);
+        // And the whole thing again from scratch: same seed, same answer.
+        let again = search_with_jobs(1, &c, StrategyKind::Algorithm1, factory)
+            .expect("repeat search runs");
+        assert_eq!(serial, again);
+    }
+
+    #[test]
+    fn search_improves_or_matches_the_declared_operating_point() {
+        let c = campaign();
+        let factory = |_: usize| -> Box<dyn Defense + Send> { Box::new(NoDefense::new()) };
+        let outcome =
+            search_with_jobs(1, &c, StrategyKind::Algorithm1, factory).expect("search runs");
+        // NoDefense's monitor statistic is always 0, so everything is
+        // stealthy and the search purely maximizes deviation.
+        assert!(outcome.winner_stealthy);
+        assert_eq!(outcome.rejected_stealth, 0);
+        let baseline = evaluate_batch(
+            1,
+            &c,
+            StrategyKind::Algorithm1,
+            &[c.initial_params()],
+            &factory,
+        )
+        .expect("baseline evaluates");
+        assert!(
+            outcome.best.max_path_deviation >= baseline[0].max_path_deviation,
+            "selection must never regress below the parent"
+        );
+        assert_eq!(
+            outcome.evaluations,
+            1 + c.search.generations * c.search.lambda
+        );
+    }
+
+    #[test]
+    fn zero_dimension_campaign_degenerates_to_one_evaluation() {
+        let src = "\
+campaign v1
+name fixed
+vehicle arducopter
+mission straight 30 5
+seed 3
+phase a gps 0 5 0 start 8
+";
+        let c = Campaign::from_text(src).expect("parses");
+        let factory = |_: usize| -> Box<dyn Defense + Send> { Box::new(NoDefense::new()) };
+        let outcome =
+            search_with_jobs(1, &c, StrategyKind::Algorithm1, factory).expect("search runs");
+        assert_eq!(outcome.evaluations, 1);
+        assert!(outcome.best_params.is_empty());
+    }
+
+    #[test]
+    fn params_fingerprint_is_bit_sensitive() {
+        let a = params_fingerprint(&[1.0, 2.0]);
+        let b = params_fingerprint(&[1.0, f64::from_bits(2.0_f64.to_bits() + 1)]);
+        let c = params_fingerprint(&[1.0, 2.0]);
+        assert_eq!(a, c);
+        assert_ne!(a, b);
+    }
+}

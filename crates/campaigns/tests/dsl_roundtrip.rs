@@ -1,0 +1,190 @@
+//! Property tests for the campaign DSL: `parse(print(c)) == c` for every
+//! structurally valid campaign, across missions, sensors, schedule shapes,
+//! envelopes, faults and parameter declarations.
+
+use pidpiper_campaigns::dsl::{
+    FaultDecl, FaultToken, MissionDecl, ParamDecl, ParamField, PhaseDecl, ScheduleDecl,
+    SearchDecl, SensorTarget,
+};
+use pidpiper_campaigns::Campaign;
+use pidpiper_math::Vec3;
+use pidpiper_sim::RvId;
+use proptest::prelude::*;
+
+const VEHICLES: [RvId; 6] = [
+    RvId::ArduCopter,
+    RvId::Px4Solo,
+    RvId::ArduRover,
+    RvId::PixhawkDrone,
+    RvId::SkyViper,
+    RvId::AionR1,
+];
+
+const SENSORS: [SensorTarget; 5] = [
+    SensorTarget::Gps,
+    SensorTarget::Gyro,
+    SensorTarget::Accel,
+    SensorTarget::Baro,
+    SensorTarget::Mag,
+];
+
+const FAULTS: [FaultToken; 3] = [
+    FaultToken::GpsDropout,
+    FaultToken::NanBurst,
+    FaultToken::FrozenGyro,
+];
+
+#[allow(clippy::too_many_arguments)]
+fn build_campaign(
+    vehicle_ix: usize,
+    mission_ix: usize,
+    dist: f64,
+    alt: f64,
+    sides: usize,
+    seed: u64,
+    margin: f64,
+    generations: usize,
+    lambda: usize,
+    sensor_ix: usize,
+    bias: (f64, f64, f64),
+    start: f64,
+    duty: Option<(f64, f64)>,
+    window: Option<(f64, f64)>,
+    envelope: Option<(f64, f64, f64)>,
+    fault_ix: Option<usize>,
+    param_span: Option<f64>,
+) -> Campaign {
+    let schedule = ScheduleDecl {
+        start: Some(start),
+        duty,
+        windows: window.into_iter().collect(),
+    };
+    let phase = PhaseDecl {
+        id: "p0".to_string(),
+        sensor: SENSORS[sensor_ix % SENSORS.len()],
+        bias: Vec3::new(bias.0, bias.1, bias.2),
+        schedule,
+        envelope,
+    };
+    let mut params = vec![ParamDecl {
+        phase: "p0".to_string(),
+        field: ParamField::BiasY,
+        lo: -10.0,
+        hi: 10.0,
+    }];
+    if let Some(span) = param_span {
+        params.push(ParamDecl {
+            phase: "p0".to_string(),
+            field: ParamField::Start,
+            lo: start,
+            hi: start + span,
+        });
+    }
+    Campaign {
+        name: "prop-campaign".to_string(),
+        vehicle: VEHICLES[vehicle_ix % VEHICLES.len()],
+        mission: match mission_ix % 3 {
+            0 => MissionDecl::Straight {
+                distance: dist,
+                altitude: alt,
+            },
+            1 => MissionDecl::Polygon {
+                sides: 3 + sides % 6,
+                radius: dist,
+                altitude: alt,
+            },
+            _ => MissionDecl::Hover {
+                altitude: alt,
+                duration: dist,
+            },
+        },
+        seed,
+        stealth_margin: margin,
+        search: SearchDecl {
+            generations,
+            lambda,
+        },
+        phases: vec![phase],
+        faults: fault_ix
+            .map(|ix| FaultDecl {
+                id: "f0".to_string(),
+                kind: FAULTS[ix % FAULTS.len()],
+                schedule: ScheduleDecl {
+                    start: None,
+                    duty: None,
+                    windows: vec![(12.0, 15.5)],
+                },
+            })
+            .into_iter()
+            .collect(),
+        params,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn parse_print_parse_is_identity(
+        vehicle_ix in 0usize..6,
+        mission_ix in 0usize..3,
+        dist in 5.0..500.0f64,
+        alt in 1.0..30.0f64,
+        sides in 0usize..12,
+        seed in 0u64..1_000_000,
+        margin in 0.05..2.0f64,
+        generations in 1usize..12,
+        lambda in 1usize..12,
+        sensor_ix in 0usize..5,
+        bias in (-40.0..40.0f64, -40.0..40.0f64, -40.0..40.0f64),
+        start in 0.0..60.0f64,
+        duty_sel in 0usize..2,
+        duty in (0.1..12.0f64, 0.1..12.0f64),
+        window_sel in 0usize..2,
+        window in (0.0..30.0f64, 30.0..60.0f64),
+        env_sel in 0usize..2,
+        env in (0.0..20.0f64, 0.0..40.0f64, 0.0..20.0f64),
+        fault_sel in 0usize..4,
+        param_span in 0.0..25.0f64,
+    ) {
+        let campaign = build_campaign(
+            vehicle_ix,
+            mission_ix,
+            dist,
+            alt,
+            sides,
+            seed,
+            margin,
+            generations,
+            lambda,
+            sensor_ix,
+            bias,
+            start,
+            (duty_sel == 1).then_some(duty),
+            (window_sel == 1).then_some(window),
+            (env_sel == 1).then_some(env),
+            (fault_sel < 3).then_some(fault_sel),
+            Some(param_span),
+        );
+        let printed = campaign.to_text();
+        let reparsed = Campaign::from_text(&printed);
+        prop_assert!(reparsed.is_ok(), "canonical text must reparse: {reparsed:?}\n{printed}");
+        prop_assert_eq!(reparsed.unwrap(), campaign);
+    }
+
+    #[test]
+    fn printing_is_deterministic(
+        seed in 0u64..1_000_000,
+        bias_y in -30.0..30.0f64,
+        start in 0.0..40.0f64,
+    ) {
+        let campaign = build_campaign(
+            0, 0, 60.0, 5.0, 0, seed, 0.95, 4, 4, 0,
+            (0.0, bias_y, 0.0), start, None, None, None, None, None,
+        );
+        prop_assert_eq!(campaign.to_text(), campaign.clone().to_text());
+        let reparsed = Campaign::from_text(&campaign.to_text()).unwrap();
+        // Second round trip: the canonical form is a fixed point.
+        prop_assert_eq!(reparsed.to_text(), campaign.to_text());
+    }
+}

@@ -1,0 +1,74 @@
+//! Campaigns hand off to the fleet engine unchanged: the compiled fault
+//! schedules drop straight into `SessionSpec`, and the phase-shifted
+//! variants stagger a fleet built from one campaign template.
+
+use pidpiper_campaigns::Campaign;
+use pidpiper_fleet::SessionSpec;
+use pidpiper_missions::StrategyKind;
+
+const SRC: &str = "\
+campaign v1
+name fleet-template
+vehicle arducopter
+mission straight 50 5
+seed 33
+phase drift gps 0 9 0 start 10 envelope 4 12 3
+fault blackout gps-dropout window 18 21
+fault burst nan-burst window 30 31
+";
+
+#[test]
+fn session_spec_consumes_the_campaign_fault_schedule() {
+    let campaign = Campaign::from_text(SRC).expect("parses");
+    let compiled = campaign.compile_default().expect("compiles");
+    let fault = compiled
+        .fleet_fault_schedule()
+        .expect("two faults declared");
+    // The union schedule covers both declared faults and nothing else.
+    assert!(fault.is_active(19.0));
+    assert!(fault.is_active(30.5));
+    assert!(!fault.is_active(25.0));
+
+    let spec = SessionSpec::new(7, campaign.seed).with_fault(fault);
+    assert!(spec.fault.is_some());
+}
+
+#[test]
+fn from_mission_picks_up_compiled_faults() {
+    let campaign = Campaign::from_text(SRC).expect("parses");
+    let compiled = campaign.compile_default().expect("compiles");
+    let mission = compiled.spec(StrategyKind::Algorithm1);
+    let session = SessionSpec::from_mission(3, &mission);
+    // The fleet derivation keeps the campaign's first fault (shifted by
+    // the session id so monitors don't all trip on the same tick).
+    let fault = session.fault.expect("campaign fault must survive handoff");
+    assert!(!fault.is_active(18.1), "shifted schedule starts later");
+    assert!(fault.is_active(19.0));
+}
+
+#[test]
+fn shifted_variants_stagger_a_fleet() {
+    let campaign = Campaign::from_text(SRC).expect("parses");
+    let compiled = campaign.compile_default().expect("compiles");
+    let offsets = [0.0, 2.5, 5.0];
+    let variants: Vec<_> = offsets.iter().map(|&o| compiled.shifted(o)).collect();
+    for (variant, offset) in variants.iter().zip(offsets) {
+        let fault = variant.fleet_fault_schedule().expect("faults survive shift");
+        assert!(fault.is_active(18.5 + offset));
+        assert!(!fault.is_active(17.5 + offset));
+        // The attack phases shift in lockstep with the faults.
+        let spec = variant.spec(StrategyKind::Algorithm1);
+        assert_eq!(spec.attacks.len(), 1);
+    }
+    // Distinct offsets produce distinct session specs from one template.
+    let specs: Vec<SessionSpec> = variants
+        .iter()
+        .enumerate()
+        .map(|(i, v)| {
+            SessionSpec::new(i as u64, campaign.seed)
+                .with_fault(v.fleet_fault_schedule().expect("fault"))
+        })
+        .collect();
+    assert_ne!(specs[0].fault, specs[1].fault);
+    assert_ne!(specs[1].fault, specs[2].fault);
+}

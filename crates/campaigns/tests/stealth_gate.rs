@@ -1,0 +1,105 @@
+//! The stealth constraint, proven from both sides: candidates the search
+//! rejects really do cross the CUSUM detection margin (or trip recovery),
+//! and a search whose every candidate is rejected says so.
+
+use pidpiper_campaigns::{search_with_jobs, Campaign};
+use pidpiper_core::ffc::PipelineConfig;
+use pidpiper_core::{AxisThresholds, FeatureSet, FfcModel, PidPiper, PidPiperConfig};
+use pidpiper_missions::{Defense, MissionRunner, StrategyKind};
+use pidpiper_ml::{LstmRegressor, RegressorConfig};
+
+/// A tiny *untrained* deployment (the bench regression gate's trick): its
+/// FFC predictions disagree with the PID almost immediately, so any real
+/// attack drives the monitor over threshold fast — ideal for exercising
+/// the rejection path.
+fn trigger_happy_pidpiper() -> PidPiper {
+    let set = FeatureSet::FfcPruned;
+    let net = RegressorConfig {
+        input_dim: set.dim(),
+        output_dim: 4,
+        hidden: 4,
+        fc_width: 4,
+        window: 3,
+    };
+    PidPiper::new(
+        FfcModel::new(
+            LstmRegressor::new(net, 7),
+            set,
+            PipelineConfig {
+                decimate: 1,
+                gate: Default::default(),
+            },
+        ),
+        PidPiperConfig::new(AxisThresholds::quad(18.0, 18.0, 18.6), [0.5; 4], 5, 12),
+    )
+}
+
+/// A blatant overt campaign: a hard 0.7 rad/s gyro bias from t = 5 s with
+/// no envelope shaping. Against the trigger-happy monitor this must be
+/// detected, never stealthy.
+const OVERT: &str = "\
+campaign v1
+name overt-gyro
+vehicle arducopter
+mission straight 30 5
+seed 21
+stealth-margin 0.95
+search generations 1 lambda 2
+phase slam gyro 0.7 0 0 start 5
+param slam.bias.x 0.5 0.9
+";
+
+#[test]
+fn rejected_candidates_actually_cross_the_threshold() {
+    let campaign = Campaign::from_text(OVERT).expect("campaign parses");
+    let template = trigger_happy_pidpiper();
+
+    // Side 1: run the campaign's own operating point directly and show the
+    // monitor statistic crossing the margin (or recovery firing).
+    let compiled = campaign.compile_default().expect("compiles");
+    let spec = compiled.spec(StrategyKind::Algorithm1);
+    let mut defense = template.clone();
+    let result =
+        MissionRunner::new(spec.config.clone()).run(&spec.plan, &mut defense, spec.attacks);
+    let peak = result
+        .trace
+        .records()
+        .iter()
+        .fold(0.0_f64, |acc, r| acc.max(r.monitor_statistic));
+    assert!(
+        peak >= campaign.stealth_margin || result.recovery_activations > 0,
+        "the overt attack must be detectable: peak statistic {peak}, \
+         recoveries {}",
+        result.recovery_activations
+    );
+
+    // Side 2: the search sees the same physics, so every candidate (the
+    // parent and both children stay in [0.5, 0.9] rad/s — all blatant)
+    // lands in the rejected bucket and the outcome admits defeat.
+    let outcome = search_with_jobs(1, &campaign, StrategyKind::Algorithm1, |_| {
+        Box::new(template.clone()) as Box<dyn Defense + Send>
+    })
+    .expect("search runs");
+    assert_eq!(
+        outcome.rejected_stealth, outcome.evaluations,
+        "every blatant candidate must be rejected by the stealth gate"
+    );
+    assert!(!outcome.winner_stealthy);
+    assert!(
+        outcome.best.peak_statistic >= campaign.stealth_margin
+            || outcome.best.recovery_activations > 0,
+        "the recorded winner must carry the evidence of its detection"
+    );
+}
+
+#[test]
+fn stealth_margin_is_recorded_in_the_outcome() {
+    let campaign = Campaign::from_text(OVERT).expect("campaign parses");
+    let template = trigger_happy_pidpiper();
+    let outcome = search_with_jobs(1, &campaign, StrategyKind::Algorithm1, |_| {
+        Box::new(template.clone()) as Box<dyn Defense + Send>
+    })
+    .expect("search runs");
+    assert_eq!(outcome.stealth_margin, campaign.stealth_margin);
+    assert_eq!(outcome.evaluations, 3, "1 parent + 1 generation x 2 children");
+}

@@ -25,6 +25,13 @@ pub enum FaultSchedule {
         /// Gap between bursts (s).
         off: f64,
     },
+    /// Active whenever *any* member schedule is active (set union).
+    ///
+    /// Campaign programs use this to stack several activation patterns
+    /// onto one fault channel. Members are evaluated in `Vec` order; the
+    /// union is commutative, so the activation set is independent of
+    /// member order.
+    Stacked(Vec<FaultSchedule>),
     /// Never active (placeholder).
     Never,
 }
@@ -58,6 +65,7 @@ impl FaultSchedule {
                 let phase = (t - start) % period;
                 phase < *on
             }
+            FaultSchedule::Stacked(members) => members.iter().any(|m| m.is_active(t)),
             FaultSchedule::Never => false,
         }
     }
@@ -96,6 +104,9 @@ impl FaultSchedule {
                 on: *on,
                 off: *off,
             },
+            FaultSchedule::Stacked(members) => {
+                FaultSchedule::Stacked(members.iter().map(|m| m.shifted(offset)).collect())
+            }
             FaultSchedule::Never => FaultSchedule::Never,
         }
     }
@@ -108,6 +119,9 @@ impl FaultSchedule {
                 pidpiper_math::float::min_of(ws.iter().map(|&(a, _)| a))
             }
             FaultSchedule::Intermittent { start, .. } => Some(*start),
+            FaultSchedule::Stacked(members) => {
+                pidpiper_math::float::min_of(members.iter().filter_map(|m| m.first_activation()))
+            }
             FaultSchedule::Never => None,
         }
     }
@@ -169,7 +183,27 @@ mod tests {
         .shifted(1.0);
         assert!(!i.is_active(10.5));
         assert!(i.is_active(11.5));
+        let st =
+            FaultSchedule::Stacked(vec![FaultSchedule::Continuous { start: 2.0 }]).shifted(1.0);
+        assert_eq!(st.first_activation(), Some(3.0));
         assert_eq!(FaultSchedule::Never.shifted(9.0), FaultSchedule::Never);
+    }
+
+    #[test]
+    fn stacked_is_member_union() {
+        let s = FaultSchedule::Stacked(vec![
+            FaultSchedule::Windows(vec![(1.0, 2.0)]),
+            FaultSchedule::Intermittent {
+                start: 10.0,
+                on: 1.0,
+                off: 4.0,
+            },
+        ]);
+        assert!(s.is_active(1.5));
+        assert!(!s.is_active(3.0));
+        assert!(s.is_active(10.5));
+        assert!(!s.is_active(12.0));
+        assert_eq!(s.first_activation(), Some(1.0));
     }
 
     #[test]

@@ -16,7 +16,7 @@ use crate::plans::MissionPlan;
 use crate::resilient::{MissionBudget, MissionError};
 use crate::strategy::StrategyKind;
 use crate::trace::{Trace, TraceRecord};
-use pidpiper_attacks::{Attack, AttackKind, Schedule, StealthyAttack};
+use pidpiper_attacks::{Attack, AttackKind, EnvelopeAttack, Schedule, StealthyAttack};
 use pidpiper_control::{
     ActuatorSignal, QuadController, RoverController, RoverGains, RoverTarget, TargetState,
 };
@@ -33,6 +33,10 @@ use pidpiper_sim::{
 pub enum MissionAttack {
     /// A pre-scheduled overt attack.
     Scheduled(Attack),
+    /// A scheduled attack whose bias is shaped by a ramp-hold-release
+    /// gain envelope (campaign programs use this to sneak large biases
+    /// past CUSUM monitors).
+    Enveloped(EnvelopeAttack),
     /// An overt attack armed when the landing phase begins (the paper's
     /// Attack-3 against the RV's vulnerable state).
     AtLanding(AttackKind),
@@ -387,9 +391,17 @@ impl MissionRunner {
             let mut readings = suite.sample(&truth, dt);
             let mut fault_active = injector.apply_sensors(&mut readings, t);
             let mut attack_active = false;
+            // Open-loop attacks apply in `attacks` Vec order — the
+            // deterministic stacking order campaign programs rely on.
             for attack in &attacks {
-                if let MissionAttack::Scheduled(a) = attack {
-                    attack_active |= a.apply(&mut readings, t);
+                match attack {
+                    MissionAttack::Scheduled(a) => {
+                        attack_active |= a.apply(&mut readings, t);
+                    }
+                    MissionAttack::Enveloped(e) => {
+                        attack_active |= e.apply(&mut readings, t);
+                    }
+                    _ => {}
                 }
             }
             if let Some(a) = &landing_attack_armed {
@@ -1026,6 +1038,64 @@ mod tests {
         for r in result.trace.records() {
             assert!(r.est.position.is_finite(), "estimate poisoned at t={}", r.t);
         }
+    }
+
+    #[test]
+    fn stacked_disjoint_attacks_are_order_independent() {
+        // Two concurrent scheduled attacks on *disjoint* sensors: bias
+        // additions on different channels commute, so the full mission
+        // trace must be bit-identical regardless of stacking order. This
+        // is the contract campaign programs lean on when they lower a
+        // multi-phase attack onto one `attacks` Vec.
+        let plan = MissionPlan::straight_line(40.0, 5.0);
+        let gps = Attack::new(
+            AttackKind::GpsBias(pidpiper_math::Vec3::new(0.0, 6.0, 0.0)),
+            Schedule::Intermittent {
+                start: 8.0,
+                on: 3.0,
+                off: 4.0,
+            },
+        );
+        let gyro = Attack::new(
+            AttackKind::GyroBias(pidpiper_math::Vec3::new(0.05, 0.0, 0.0)),
+            Schedule::Windows(vec![(10.0, 14.0)]),
+        );
+        let fly = |attacks: Vec<MissionAttack>| {
+            MissionRunner::new(quick_config(RvId::ArduCopter, 31))
+                .run(&plan, &mut NoDefense::new(), attacks)
+        };
+        let ab = fly(vec![
+            MissionAttack::Scheduled(gps.clone()),
+            MissionAttack::Scheduled(gyro.clone()),
+        ]);
+        let ba = fly(vec![
+            MissionAttack::Scheduled(gyro),
+            MissionAttack::Scheduled(gps),
+        ]);
+        assert!(ab.attack_steps > 0, "stack never fired");
+        assert_eq!(
+            ab.trace.fingerprint(),
+            ba.trace.fingerprint(),
+            "disjoint-sensor stacking must be order-independent"
+        );
+        assert_eq!(ab.final_deviation, ba.final_deviation);
+    }
+
+    #[test]
+    fn enveloped_attack_fires_and_stays_finite() {
+        let plan = MissionPlan::straight_line(40.0, 5.0);
+        let attack = EnvelopeAttack::new(
+            AttackKind::GpsBias(pidpiper_math::Vec3::new(0.0, 12.0, 0.0)),
+            Schedule::Continuous { start: 8.0 },
+            pidpiper_attacks::Envelope::new(6.0, 10.0, 4.0),
+        );
+        let result = MissionRunner::new(quick_config(RvId::ArduCopter, 32)).run(
+            &plan,
+            &mut NoDefense::new(),
+            vec![MissionAttack::Enveloped(attack)],
+        );
+        assert!(result.attack_steps > 0, "enveloped attack never fired");
+        assert!(result.final_deviation.is_finite());
     }
 
     #[test]

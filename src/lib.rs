@@ -27,7 +27,10 @@
 //! - [`baselines`] — the SRR, CI and Savior comparison techniques;
 //! - [`fleet`] — the fleet-scale session engine: sharded deterministic
 //!   scheduling of many concurrent vehicle monitoring sessions (the
-//!   `pidpiper-fleet` binary; see `OPERATIONS.md`).
+//!   `pidpiper-fleet` binary; see `OPERATIONS.md`);
+//! - [`campaigns`] — the adversarial attack-campaign engine: a
+//!   declarative campaign DSL plus a seeded adaptive attacker that hunts
+//!   for stealthy worst cases (the `pidpiper-campaign` binary).
 //!
 //! # Quickstart
 //!
@@ -72,6 +75,7 @@
 
 pub use pidpiper_attacks as attacks;
 pub use pidpiper_baselines as baselines;
+pub use pidpiper_campaigns as campaigns;
 pub use pidpiper_control as control;
 pub use pidpiper_core as core;
 pub use pidpiper_faults as faults;
@@ -84,8 +88,11 @@ pub use pidpiper_sim as sim;
 
 /// The most commonly used types, for glob import in examples and tests.
 pub mod prelude {
-    pub use pidpiper_attacks::{Attack, AttackKind, AttackPreset, Schedule, StealthyAttack};
+    pub use pidpiper_attacks::{
+        Attack, AttackKind, AttackPreset, Envelope, EnvelopeAttack, Schedule, StealthyAttack,
+    };
     pub use pidpiper_baselines::{CiDefense, SaviorDefense, SrrDefense};
+    pub use pidpiper_campaigns::{Campaign, CampaignError, CompiledCampaign, SearchOutcome};
     pub use pidpiper_control::{ActuatorSignal, TargetState};
     pub use pidpiper_core::{
         load_deployment, save_deployment, ArtifactError, ArtifactIntegrity, FfcModel, PidPiper,
