@@ -41,7 +41,7 @@ static ALLOCATOR: CountingAlloc = CountingAlloc;
 fn main() {
     let cfg = exp_perf::PerfConfig::from_env();
     let counter = || ALLOCATIONS.load(Ordering::Relaxed);
-    let report = exp_perf::run(&cfg, Some(&counter));
+    let report = exp_perf::run_perf(&cfg, Some(&counter));
     exp_perf::write_report(&report);
     let per_tick = report
         .allocations_per_tick

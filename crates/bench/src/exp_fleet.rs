@@ -37,6 +37,7 @@ mod tests {
             cost_budget: None,
             seed: 11,
             strategy: pidpiper_missions::StrategyKind::Algorithm1,
+            batch: pidpiper_fleet::FleetBatch::Batched,
         };
         let report = run(&cfg);
         assert!(report.gate.passed());

@@ -16,6 +16,17 @@
 //! plus the baseline latency and the measured allocation count. The
 //! `pidpiper-bench-perf` binary runs this with a counting global
 //! allocator and fails if the streaming loop allocates at all.
+//!
+//! The `batched` section measures the PR-10 fleet kernels: N sessions'
+//! per-tick inference fused into cache-blocked matrix–matrix products
+//! ([`BatchedStreamingRegressor`]), timed as ns per *vehicle*-tick at
+//! batch sizes 1/16/64/256 against the per-session streaming loop over
+//! the same states and rows. Before each point is timed, both paths run
+//! the same ticks and every output **and** every LSTM state is compared
+//! with `f64::to_bits` — a divergence panics (nonzero exit from the
+//! binary), so a non-identical kernel can never report a speedup. The
+//! opt-in `f32` mode is timed too, with its measured max-abs error
+//! recorded next to the number it buys.
 
 use crate::harness::{experiments_dir, workspace_root};
 use criterion::{black_box, Criterion};
@@ -25,7 +36,10 @@ use pidpiper_core::ffc::PipelineConfig;
 use pidpiper_core::FfcModel;
 use pidpiper_math::Vec3;
 use pidpiper_missions::FlightPhase;
-use pidpiper_ml::{LstmRegressor, RegressorConfig};
+use pidpiper_ml::{
+    BatchPrecision, BatchedStreamingRegressor, LstmRegressor, RegressorConfig, StreamState,
+    StreamingRegressor,
+};
 use pidpiper_sensors::{EstimatedState, SensorReadings};
 use std::collections::VecDeque;
 use std::fs;
@@ -86,6 +100,282 @@ pub struct PerfReport {
     /// Heap allocations per streaming tick, when the caller supplied an
     /// allocation counter (the `pidpiper-bench-perf` binary does).
     pub allocations_per_tick: Option<f64>,
+    /// The batched fleet-kernel measurements.
+    pub batched: BatchedPerf,
+}
+
+/// One measured batched-inference point.
+#[derive(Debug, Clone)]
+pub struct BatchPoint {
+    /// Active lanes in the batch.
+    pub batch: usize,
+    /// Nanoseconds per vehicle-tick (gather + GEMM step/finish + scatter,
+    /// divided by `batch`).
+    pub ns_per_vehicle_tick: f64,
+    /// Per-session streaming ns/vehicle-tick divided by this point's.
+    pub speedup_vs_streaming: f64,
+}
+
+/// The `batched` section of [`PerfReport`]: fleet GEMM kernels vs the
+/// per-session streaming loop, plus the opt-in `f32` mode.
+#[derive(Debug, Clone)]
+pub struct BatchedPerf {
+    /// Per-session streaming loop cost, ns per vehicle-tick.
+    pub scalar_ns_per_vehicle_tick: f64,
+    /// Measured points at batch sizes 1 / 16 / 64 / 256, each gated on
+    /// `to_bits` equality of outputs and states before timing.
+    pub points: Vec<BatchPoint>,
+    /// `f32` mode at batch 64, ns per vehicle-tick.
+    pub f32_ns_per_vehicle_tick: f64,
+    /// Measured max-abs output error of the `f32` mode vs the exact path
+    /// over the gate ticks.
+    pub f32_max_abs_error: f64,
+}
+
+/// Batch sizes the batched section measures.
+const BATCH_POINTS: [usize; 4] = [1, 16, 64, 256];
+/// Lanes in the per-session scalar baseline loop (and the `f32` point).
+const SCALAR_LANES: usize = 64;
+/// Pre-normalized input rows cycled through the timed loops (prime, so
+/// lanes decorrelate without allocating per tick).
+const ROW_POOL: usize = 509;
+/// Ticks of the per-point `to_bits` equality gate.
+const GATE_TICKS: usize = 40;
+
+/// Deterministic pre-normalized row pool plus a warmed state per lane:
+/// lane `i` is `window + i % 7` steps into its stream, so the gate and
+/// the timed loops start from realistic, phase-skewed checkpoints.
+fn batch_fixture(
+    engine: &StreamingRegressor,
+    lanes: usize,
+) -> (Vec<Vec<f64>>, Vec<StreamState>) {
+    let dim = engine.config().input_dim;
+    let window = engine.config().window;
+    let mut inf = engine.scratch();
+    let pool: Vec<Vec<f64>> = (0..ROW_POOL)
+        .map(|i| {
+            let mut normed = vec![0.0; dim];
+            let raw: Vec<f64> = (0..dim)
+                .map(|j| (((i * 31 + j * 7) as f64) * 0.013).sin() * 2.0)
+                .collect();
+            engine.normalize_into(&raw, &mut normed).expect("dim matches");
+            normed
+        })
+        .collect();
+    let states: Vec<StreamState> = (0..lanes)
+        .map(|i| {
+            let mut s = engine.state();
+            for t in 0..window + i % 7 {
+                engine
+                    .step_normed(&pool[(i + t) % ROW_POOL], &mut s, &mut inf)
+                    .expect("dim matches");
+            }
+            s
+        })
+        .collect();
+    (pool, states)
+}
+
+/// Runs `ticks` fleet-shaped batched iterations (gather, GEMM step +
+/// finish, scatter) over `states`, mutating them in place.
+fn batched_ticks(
+    batched: &BatchedStreamingRegressor,
+    scratch: &mut pidpiper_ml::BatchScratch,
+    pool: &[Vec<f64>],
+    states: &mut [StreamState],
+    out: &mut [f64],
+    start: usize,
+    ticks: usize,
+) {
+    let n = states.len();
+    // Reused per-tick row-reference table for the bulk gather (allocated
+    // once per run, outside the timed tick loop's steady state).
+    let mut rows: Vec<&[f64]> = Vec::with_capacity(n);
+    for t in start..start + ticks {
+        rows.clear();
+        rows.extend((0..n).map(|lane| pool[(t + lane) % ROW_POOL].as_slice()));
+        scratch.load_states(states);
+        scratch.load_rows(&rows);
+        batched.step_batch(scratch, n);
+        batched.finish_batch(scratch, n);
+        scratch.store_states(states);
+        scratch.read_outputs(out);
+        black_box(&mut *out);
+    }
+}
+
+/// The per-session twin of [`batched_ticks`]: the same states and rows
+/// through `step_normed` + `finish_into`, one session at a time.
+fn scalar_ticks(
+    engine: &StreamingRegressor,
+    inf: &mut pidpiper_ml::InferenceScratch,
+    pool: &[Vec<f64>],
+    states: &mut [StreamState],
+    out: &mut [f64],
+    start: usize,
+    ticks: usize,
+) {
+    let n = states.len();
+    let odim = out.len() / n.max(1);
+    for t in start..start + ticks {
+        for (lane, s) in states.iter_mut().enumerate() {
+            engine
+                .step_normed(&pool[(t + lane) % ROW_POOL], s, inf)
+                .expect("dim matches");
+            engine
+                .finish_into(s, inf, &mut out[lane * odim..(lane + 1) * odim])
+                .expect("dim matches");
+        }
+        black_box(&mut *out);
+    }
+}
+
+/// The `to_bits` equality gate for one batch size: both paths run
+/// [`GATE_TICKS`] ticks from identical warmed states; every output and
+/// every post-tick LSTM state must match bit-for-bit or the bench panics
+/// (nonzero exit from `pidpiper-bench-perf`).
+fn assert_batched_agrees(
+    engine: &StreamingRegressor,
+    batched: &BatchedStreamingRegressor,
+    pool: &[Vec<f64>],
+    warmed: &[StreamState],
+) {
+    let n = warmed.len();
+    let odim = engine.config().output_dim;
+    let mut scratch = batched.scratch(n);
+    let mut inf = engine.scratch();
+    let mut batch_states = warmed.to_vec();
+    let mut scalar_states = warmed.to_vec();
+    let mut batch_out = vec![0.0; n * odim];
+    let mut scalar_out = vec![0.0; n * odim];
+    for t in 0..GATE_TICKS {
+        batched_ticks(batched, &mut scratch, pool, &mut batch_states, &mut batch_out, t, 1);
+        // The scalar twin walks the same (t + lane) row schedule.
+        for (lane, s) in scalar_states.iter_mut().enumerate() {
+            engine
+                .step_normed(&pool[(t + lane) % ROW_POOL], s, &mut inf)
+                .expect("dim matches");
+            engine
+                .finish_into(s, &mut inf, &mut scalar_out[lane * odim..(lane + 1) * odim])
+                .expect("dim matches");
+        }
+        for (a, b) in batch_out.iter().zip(&scalar_out) {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "batched kernel diverged from streaming at batch {n}, tick {t}; \
+                 refusing to benchmark"
+            );
+        }
+        assert_eq!(
+            batch_states, scalar_states,
+            "batched LSTM state diverged from streaming at batch {n}, tick {t}; \
+             refusing to benchmark"
+        );
+    }
+}
+
+/// Runs the batched section: equality gates, scalar baseline, the four
+/// batch points, and the `f32` mode with its measured error envelope.
+fn run_batched(cfg: &PerfConfig) -> BatchedPerf {
+    let set = FeatureSet::FfcPruned;
+    let config = RegressorConfig::standard(set.dim(), ActuatorSignal::DIM);
+    let model = LstmRegressor::new(config, cfg.seed);
+    let engine = model.compile();
+    let batched = BatchedStreamingRegressor::compile(&engine);
+    let odim = config.output_dim;
+    let ticks = cfg.ticks.max(1);
+
+    // Per-session streaming baseline over SCALAR_LANES sessions.
+    let (pool, warmed) = batch_fixture(&engine, SCALAR_LANES);
+    let mut inf = engine.scratch();
+    let mut states = warmed.clone();
+    let mut out = vec![0.0; SCALAR_LANES * odim];
+    let warmup = cfg.warmup.max(1);
+    scalar_ticks(&engine, &mut inf, &pool, &mut states, &mut out, 0, warmup);
+    let t0 = Instant::now();
+    scalar_ticks(&engine, &mut inf, &pool, &mut states, &mut out, warmup, ticks);
+    let scalar_ns = t0.elapsed().as_nanos() as f64 / (ticks * SCALAR_LANES) as f64;
+
+    let mut points = Vec::with_capacity(BATCH_POINTS.len());
+    for batch in BATCH_POINTS {
+        let (pool, warmed) = batch_fixture(&engine, batch);
+        // Gate first: timing only runs for a bit-identical kernel.
+        assert_batched_agrees(&engine, &batched, &pool, &warmed);
+        let mut scratch = batched.scratch(batch);
+        let mut states = warmed.clone();
+        let mut out = vec![0.0; batch * odim];
+        batched_ticks(&batched, &mut scratch, &pool, &mut states, &mut out, 0, warmup);
+        let t0 = Instant::now();
+        batched_ticks(&batched, &mut scratch, &pool, &mut states, &mut out, warmup, ticks);
+        let ns = t0.elapsed().as_nanos() as f64 / (ticks * batch) as f64;
+        points.push(BatchPoint {
+            batch,
+            ns_per_vehicle_tick: ns,
+            speedup_vs_streaming: scalar_ns / ns.max(f64::MIN_POSITIVE),
+        });
+    }
+
+    // f32 mode at SCALAR_LANES: measured error envelope first, then timed.
+    // The f32 state lives only in the scratch panels (a throughput
+    // experiment, not a checkpointed session), so both twins start from
+    // reset states and evolve over the same rows.
+    let fast = BatchedStreamingRegressor::with_precision(&engine, BatchPrecision::F32);
+    let (pool, _) = batch_fixture(&engine, SCALAR_LANES);
+    let mut scratch = fast.scratch(SCALAR_LANES);
+    let mut exact_scratch = batched.scratch(SCALAR_LANES);
+    let mut exact_states: Vec<StreamState> =
+        (0..SCALAR_LANES).map(|_| engine.state()).collect();
+    let mut exact_out = vec![0.0; SCALAR_LANES * odim];
+    let mut f32_out = vec![0.0; SCALAR_LANES * odim];
+    let mut max_err = 0.0f64;
+    scratch.reset_states();
+    for t in 0..GATE_TICKS {
+        for lane in 0..SCALAR_LANES {
+            scratch.load_row_f32(lane, &pool[(t + lane) % ROW_POOL]);
+        }
+        fast.step_batch_f32(&mut scratch, SCALAR_LANES);
+        fast.finish_batch_f32(&mut scratch, SCALAR_LANES);
+        for lane in 0..SCALAR_LANES {
+            scratch.read_output(lane, &mut f32_out[lane * odim..(lane + 1) * odim]);
+        }
+        batched_ticks(
+            &batched,
+            &mut exact_scratch,
+            &pool,
+            &mut exact_states,
+            &mut exact_out,
+            t,
+            1,
+        );
+        for (a, b) in f32_out.iter().zip(&exact_out) {
+            max_err = max_err.max((a - b).abs());
+        }
+    }
+    let mut f32_ticks = |scratch: &mut pidpiper_ml::BatchScratch, n_ticks: usize| {
+        for t in 0..n_ticks {
+            for lane in 0..SCALAR_LANES {
+                scratch.load_row_f32(lane, &pool[(t + lane) % ROW_POOL]);
+            }
+            fast.step_batch_f32(scratch, SCALAR_LANES);
+            fast.finish_batch_f32(scratch, SCALAR_LANES);
+            for lane in 0..SCALAR_LANES {
+                scratch.read_output(lane, &mut f32_out[lane * odim..(lane + 1) * odim]);
+            }
+            black_box(&mut f32_out);
+        }
+    };
+    f32_ticks(&mut scratch, cfg.warmup.max(1));
+    let t0 = Instant::now();
+    f32_ticks(&mut scratch, ticks);
+    let f32_ns = t0.elapsed().as_nanos() as f64 / (ticks * SCALAR_LANES) as f64;
+
+    BatchedPerf {
+        scalar_ns_per_vehicle_tick: scalar_ns,
+        points,
+        f32_ns_per_vehicle_tick: f32_ns,
+        f32_max_abs_error: max_err,
+    }
 }
 
 /// The pre-streaming FFC observe loop, reproduced as the latency baseline:
@@ -204,7 +494,7 @@ fn assert_paths_agree(
 /// `alloc_count`, when given, is read before and after the timed
 /// streaming loop (the `pidpiper-bench-perf` binary passes its counting
 /// global allocator); the per-tick allocation rate lands in the report.
-pub fn run(cfg: &PerfConfig, alloc_count: Option<&dyn Fn() -> u64>) -> PerfReport {
+pub fn run_perf(cfg: &PerfConfig, alloc_count: Option<&dyn Fn() -> u64>) -> PerfReport {
     let (mut streaming, mut seed) = deployed_model(cfg.seed);
     let window = streaming.network_config().window;
     let decimate = streaming.pipeline().decimate;
@@ -251,6 +541,7 @@ pub fn run(cfg: &PerfConfig, alloc_count: Option<&dyn Fn() -> u64>) -> PerfRepor
         ticks_per_sec: 1e9 / ns.max(f64::MIN_POSITIVE),
         speedup_vs_baseline: baseline_ns / ns.max(f64::MIN_POSITIVE),
         allocations_per_tick,
+        batched: run_batched(cfg),
     }
 }
 
@@ -260,6 +551,26 @@ pub fn to_json(r: &PerfReport) -> String {
         Some(a) => format!("{a:.3}"),
         None => "null".to_string(),
     };
+    let points = r
+        .batched
+        .points
+        .iter()
+        .map(|p| {
+            format!(
+                concat!(
+                    "      {{\n",
+                    "        \"batch\": {batch},\n",
+                    "        \"ns_per_vehicle_tick\": {ns:.1},\n",
+                    "        \"speedup_vs_streaming\": {speedup:.2}\n",
+                    "      }}"
+                ),
+                batch = p.batch,
+                ns = p.ns_per_vehicle_tick,
+                speedup = p.speedup_vs_streaming,
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
     format!(
         concat!(
             "{{\n",
@@ -277,7 +588,16 @@ pub fn to_json(r: &PerfReport) -> String {
             "  \"baseline_ns_per_iter\": {base:.1},\n",
             "  \"ticks_per_sec\": {tps:.1},\n",
             "  \"speedup_vs_baseline\": {speedup:.2},\n",
-            "  \"allocations_per_tick\": {allocs}\n",
+            "  \"allocations_per_tick\": {allocs},\n",
+            "  \"batched\": {{\n",
+            "    \"scalar_ns_per_vehicle_tick\": {scalar_ns:.1},\n",
+            "    \"points\": [\n{points}\n    ],\n",
+            "    \"f32\": {{\n",
+            "      \"batch\": {f32_batch},\n",
+            "      \"ns_per_vehicle_tick\": {f32_ns:.1},\n",
+            "      \"max_abs_error\": {f32_err:e}\n",
+            "    }}\n",
+            "  }}\n",
             "}}\n"
         ),
         input_dim = r.config.input_dim,
@@ -292,6 +612,11 @@ pub fn to_json(r: &PerfReport) -> String {
         tps = r.ticks_per_sec,
         speedup = r.speedup_vs_baseline,
         allocs = allocs,
+        scalar_ns = r.batched.scalar_ns_per_vehicle_tick,
+        points = points,
+        f32_batch = SCALAR_LANES,
+        f32_ns = r.batched.f32_ns_per_vehicle_tick,
+        f32_err = r.batched.f32_max_abs_error,
     )
 }
 
@@ -318,6 +643,20 @@ pub fn write_report(r: &PerfReport) {
             .map(|a| format!("{a:.3}"))
             .unwrap_or_else(|| "not measured".to_string()),
     );
+    for p in &r.batched.points {
+        println!(
+            "exp_perf[batch {}]: {:.0} ns/vehicle-tick — {:.2}x vs streaming \
+             ({:.0} ns/vehicle-tick)",
+            p.batch,
+            p.ns_per_vehicle_tick,
+            p.speedup_vs_streaming,
+            r.batched.scalar_ns_per_vehicle_tick,
+        );
+    }
+    println!(
+        "exp_perf[f32 batch {}]: {:.0} ns/vehicle-tick, max abs error {:.3e}",
+        SCALAR_LANES, r.batched.f32_ns_per_vehicle_tick, r.batched.f32_max_abs_error,
+    );
 }
 
 /// Criterion-shim entry: per-tick latency of both paths as named benches,
@@ -341,7 +680,7 @@ pub fn bench(c: &mut Criterion) {
             black_box(streaming.observe(&prims[j], &target, phase))
         })
     });
-    write_report(&run(&cfg, None));
+    write_report(&run_perf(&cfg, None));
 }
 
 #[cfg(test)]
@@ -355,16 +694,30 @@ mod tests {
             warmup: 30,
             seed: 3,
         };
-        let r = run(&cfg, None);
+        let r = run_perf(&cfg, None);
         assert!(r.ns_per_iter > 0.0);
         assert!(r.baseline_ns_per_iter > 0.0);
         assert!(r.ticks_per_sec > 0.0);
         assert!(r.speedup_vs_baseline > 0.0);
         assert!(r.allocations_per_tick.is_none());
+        // The batched section measured every point through its gate.
+        assert_eq!(r.batched.points.len(), BATCH_POINTS.len());
+        for (p, want) in r.batched.points.iter().zip(BATCH_POINTS) {
+            assert_eq!(p.batch, want);
+            assert!(p.ns_per_vehicle_tick > 0.0);
+            assert!(p.speedup_vs_streaming > 0.0);
+        }
+        assert!(r.batched.scalar_ns_per_vehicle_tick > 0.0);
+        assert!(r.batched.f32_ns_per_vehicle_tick > 0.0);
+        assert!(r.batched.f32_max_abs_error.is_finite());
         let json = to_json(&r);
         assert!(json.contains("\"bench\": \"inference_hot_path\""));
         assert!(json.contains("\"speedup_vs_baseline\""));
         assert!(json.contains("\"allocations_per_tick\": null"));
+        assert!(json.contains("\"batched\": {"));
+        assert!(json.contains("\"scalar_ns_per_vehicle_tick\""));
+        assert!(json.contains("\"batch\": 256"));
+        assert!(json.contains("\"max_abs_error\""));
     }
 
     #[test]
@@ -381,7 +734,7 @@ mod tests {
             calls.set(c + 40);
             c
         };
-        let r = run(&cfg, Some(&counter));
+        let r = run_perf(&cfg, Some(&counter));
         assert_eq!(r.allocations_per_tick, Some(2.0));
         assert!(to_json(&r).contains("\"allocations_per_tick\": 2.000"));
     }

@@ -3,26 +3,31 @@
 //!
 //! Three stages, mirroring the PR-5 perf bench's refuse-to-lie shape:
 //!
-//! 1. **Determinism gate** — a reduced fleet is run three times (1
-//!    worker, several workers, different shard count) and every
-//!    per-session fingerprint is compared bit-for-bit. The bench records
-//!    the verdict; the `pidpiper-fleet` binary exits nonzero on a
-//!    mismatch and CI's `fleet-smoke` job asserts the flag.
+//! 1. **Determinism gate** — a reduced fleet is run four times (1
+//!    worker, several workers, different shard count, and the opposite
+//!    batching mode) and every per-session fingerprint is compared
+//!    bit-for-bit. The bench records the verdict; the `pidpiper-fleet`
+//!    binary exits nonzero on a mismatch and CI's `fleet-smoke` job
+//!    asserts the flags.
 //! 2. **Admission exercise** — the full fleet is submitted with a
 //!    deliberate overflow beyond capacity, so the report always carries
 //!    real queued/rejected/quarantined counts, and a slice of sessions
 //!    gets tight PR-4 budgets so retirement (and queue drainage) happens
 //!    mid-run.
-//! 3. **Timed run** — every fleet tick is wall-clock timed; the report
+//! 3. **Timed runs** — every fleet tick is wall-clock timed, twice: a
+//!    1-worker row (the configuration the determinism gate anchors on)
+//!    and a multi-worker row (`workers` from `PIDPIPER_JOBS`), so the
+//!    batched-inference speedup is measured where it matters. The report
 //!    carries sustained session-ticks/sec, mean and p99 fleet-tick
-//!    latency, and the measured marginal bytes/session.
+//!    latency per row, and the measured marginal bytes/session.
 //!
 //! All knobs come from the environment (see `OPERATIONS.md`):
 //! `PIDPIPER_FLEET_SESSIONS`, `PIDPIPER_FLEET_TICKS`,
 //! `PIDPIPER_FLEET_SHARDS`, `PIDPIPER_FLEET_SHARD_CAPACITY`,
 //! `PIDPIPER_FLEET_PENDING`, `PIDPIPER_FLEET_COST_BUDGET`,
 //! `PIDPIPER_FLEET_STRATEGY` (the recovery strategy every session runs),
-//! and `PIDPIPER_JOBS` for the worker pool.
+//! `PIDPIPER_FLEET_BATCH` (batched vs per-session inference), and
+//! `PIDPIPER_JOBS` for the worker pool.
 
 use std::fs;
 use std::path::PathBuf;
@@ -32,7 +37,7 @@ use pidpiper_faults::FaultSchedule;
 use pidpiper_math::float::sort_floats;
 use pidpiper_missions::{configured_jobs, MissionBudget, StrategyKind};
 
-use crate::engine::{FleetConfig, FleetEngine};
+use crate::engine::{FleetBatch, FleetConfig, FleetEngine};
 use crate::session::SessionSpec;
 
 /// Bench configuration, read from the environment by the binary.
@@ -63,6 +68,9 @@ pub struct FleetBenchConfig {
     /// `spec` / `diagnosis` short aliases; unknown values fall back to
     /// the Algorithm 1 default).
     pub strategy: StrategyKind,
+    /// Inference batching mode (`PIDPIPER_FLEET_BATCH`: `batched` |
+    /// `per-session`; unknown values fall back to the batched default).
+    pub batch: FleetBatch,
 }
 
 impl Default for FleetBenchConfig {
@@ -80,6 +88,7 @@ impl Default for FleetBenchConfig {
             cost_budget: None,
             seed: 2021,
             strategy: StrategyKind::Algorithm1,
+            batch: FleetBatch::default(),
         }
     }
 }
@@ -112,17 +121,22 @@ impl FleetBenchConfig {
             .ok()
             .and_then(|v| StrategyKind::parse(&v))
             .unwrap_or(cfg.strategy);
+        cfg.batch = std::env::var("PIDPIPER_FLEET_BATCH")
+            .ok()
+            .and_then(|v| FleetBatch::parse(&v))
+            .unwrap_or(cfg.batch);
         cfg.workers = configured_jobs();
         cfg
     }
 
-    fn fleet_config(&self) -> FleetConfig {
+    fn fleet_config(&self, workers: usize) -> FleetConfig {
         let mut config = FleetConfig {
             shards: self.shards,
-            workers: self.workers,
+            workers,
             shard_capacity: self.shard_capacity,
             pending_capacity: self.pending_capacity,
             shard_cost_budget: self.cost_budget.unwrap_or(u64::MAX),
+            batch: self.batch,
             ..FleetConfig::default()
         };
         config.session.strategy = self.strategy;
@@ -143,13 +157,30 @@ pub struct DeterminismGate {
     /// Whether a different shard count also left every per-session
     /// fingerprint unchanged.
     pub shard_invariant: bool,
+    /// Whether switching between batched and per-session inference left
+    /// every per-session fingerprint unchanged (the PR-10 `to_bits`
+    /// equality contract, enforced at fleet scale).
+    pub batch_invariant: bool,
 }
 
 impl DeterminismGate {
-    /// Both invariances hold.
+    /// All three invariances hold.
     pub fn passed(&self) -> bool {
-        self.worker_invariant && self.shard_invariant
+        self.worker_invariant && self.shard_invariant && self.batch_invariant
     }
+}
+
+/// One wall-clock-timed fleet row at a fixed worker count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimedRun {
+    /// Worker threads this row ran with.
+    pub workers: usize,
+    /// Sustained session-ticks per second over the timed run.
+    pub session_ticks_per_sec: f64,
+    /// Mean fleet-tick latency (ms).
+    pub tick_ms_mean: f64,
+    /// 99th-percentile fleet-tick latency (ms).
+    pub tick_ms_p99: f64,
 }
 
 /// Measured results of one fleet bench run.
@@ -159,12 +190,17 @@ pub struct FleetBenchReport {
     pub cfg: FleetBenchConfig,
     /// Sessions resident when the timed run started.
     pub resident_sessions: usize,
-    /// Sustained session-ticks per second over the timed run.
+    /// Sustained session-ticks per second over the multi-worker row.
     pub session_ticks_per_sec: f64,
-    /// Mean fleet-tick latency (ms).
+    /// Mean fleet-tick latency over the multi-worker row (ms).
     pub tick_ms_mean: f64,
-    /// 99th-percentile fleet-tick latency (ms).
+    /// 99th-percentile fleet-tick latency over the multi-worker row (ms).
     pub tick_ms_p99: f64,
+    /// Every timed row: a 1-worker determinism-anchor row, then the
+    /// multi-worker throughput row (`workers` from `PIDPIPER_JOBS`).
+    /// When the configured worker count is 1 the rows coincide and only
+    /// one is emitted.
+    pub runs: Vec<TimedRun>,
     /// Measured marginal bytes per resident session.
     pub bytes_per_session: usize,
     /// Deterministic cost units of one session tick.
@@ -213,13 +249,14 @@ fn fingerprints_match(a: &FleetEngine, b: &FleetEngine) -> bool {
 }
 
 /// Runs the reduced determinism gate: the same session mix under
-/// (1 worker), (several workers) and (different shard count) must yield
-/// bit-identical per-session fingerprints, including retirement timing.
+/// (1 worker), (several workers), (different shard count) and (the
+/// opposite batching mode) must yield bit-identical per-session
+/// fingerprints, including retirement timing.
 pub fn run_gate(cfg: &FleetBenchConfig) -> DeterminismGate {
     let gate_sessions = cfg.sessions.min(512);
     let gate_ticks = cfg.ticks.clamp(5, 30);
     let dt = 0.01;
-    let build = |shards: usize, workers: usize| {
+    let build = |shards: usize, workers: usize, batch: FleetBatch| {
         let mut engine = FleetEngine::with_synthetic_model(
             FleetConfig {
                 shards,
@@ -227,6 +264,7 @@ pub fn run_gate(cfg: &FleetBenchConfig) -> DeterminismGate {
                 shard_capacity: gate_sessions,
                 pending_capacity: gate_sessions,
                 shard_cost_budget: u64::MAX,
+                batch,
                 ..FleetConfig::default()
             },
             cfg.seed,
@@ -238,22 +276,34 @@ pub fn run_gate(cfg: &FleetBenchConfig) -> DeterminismGate {
         engine.run_ticks(gate_ticks);
         engine
     };
-    let serial = build(8, 1);
-    let parallel = build(8, cfg.workers.clamp(2, 8));
-    let resharded = build(5, 2);
+    // The batch leg always runs the *opposite* mode of the timed fleet,
+    // so batched == per-session is asserted whichever mode the knob picks.
+    let other = match cfg.batch {
+        FleetBatch::Batched => FleetBatch::PerSession,
+        FleetBatch::PerSession => FleetBatch::Batched,
+    };
+    let serial = build(8, 1, cfg.batch);
+    let parallel = build(8, cfg.workers.clamp(2, 8), cfg.batch);
+    let resharded = build(5, 2, cfg.batch);
+    let rebatched = build(8, 1, other);
     DeterminismGate {
         gate_sessions,
         gate_ticks,
         worker_invariant: fingerprints_match(&serial, &parallel),
         shard_invariant: fingerprints_match(&serial, &resharded),
+        batch_invariant: fingerprints_match(&serial, &rebatched),
     }
 }
 
-/// Runs the full bench: gate, admission exercise, warm-up, timed run.
-pub fn run(cfg: &FleetBenchConfig) -> FleetBenchReport {
-    let gate = run_gate(cfg);
-
-    let mut engine = FleetEngine::with_synthetic_model(cfg.fleet_config(), cfg.seed);
+/// Builds, fills (with deliberate overflow), warms up, and wall-clock
+/// times one fleet at the given worker count. Returns the timed row plus
+/// the finished engine, the last tick's health stats, and the resident
+/// session count at the start of the timed loop.
+fn timed_run(
+    cfg: &FleetBenchConfig,
+    workers: usize,
+) -> (TimedRun, FleetEngine, crate::shard::ShardTickStats, usize) {
+    let mut engine = FleetEngine::with_synthetic_model(cfg.fleet_config(workers), cfg.seed);
     let dt = engine.config().session.dt;
     for id in 0..cfg.sessions as u64 {
         let _ = engine.submit(bench_spec(id, cfg.ticks, dt));
@@ -287,13 +337,36 @@ pub fn run(cfg: &FleetBenchConfig) -> FleetBenchReport {
     let p99_idx = ((n as f64 * 0.99).ceil() as usize).clamp(1, n) - 1;
     let mean = latencies_ms.iter().sum::<f64>() / n as f64;
 
+    let row = TimedRun {
+        workers,
+        session_ticks_per_sec: timed_session_ticks as f64 / total_s.max(f64::MIN_POSITIVE),
+        tick_ms_mean: mean,
+        tick_ms_p99: latencies_ms.get(p99_idx).copied().unwrap_or(mean),
+    };
+    (row, engine, last_stats, resident)
+}
+
+/// Runs the full bench: gate, admission exercise, warm-up, and the two
+/// timed rows (1 worker, then `cfg.workers`).
+pub fn run(cfg: &FleetBenchConfig) -> FleetBenchReport {
+    let gate = run_gate(cfg);
+
+    let mut runs = Vec::with_capacity(2);
+    if cfg.workers > 1 {
+        let (row, _, _, _) = timed_run(cfg, 1);
+        runs.push(row);
+    }
+    let (row, engine, last_stats, resident) = timed_run(cfg, cfg.workers);
+    runs.push(row.clone());
+
     let s = engine.stats();
     FleetBenchReport {
         cfg: cfg.clone(),
         resident_sessions: resident,
-        session_ticks_per_sec: timed_session_ticks as f64 / total_s.max(f64::MIN_POSITIVE),
-        tick_ms_mean: mean,
-        tick_ms_p99: latencies_ms.get(p99_idx).copied().unwrap_or(mean),
+        session_ticks_per_sec: row.session_ticks_per_sec,
+        tick_ms_mean: row.tick_ms_mean,
+        tick_ms_p99: row.tick_ms_p99,
+        runs,
         bytes_per_session: engine.bytes_per_session(),
         session_cost: engine.session_cost(),
         admission: [
@@ -319,6 +392,27 @@ pub fn to_json(r: &FleetBenchReport) -> String {
         Some(b) => b.to_string(),
         None => "null".to_string(),
     };
+    let runs = r
+        .runs
+        .iter()
+        .map(|row| {
+            format!(
+                concat!(
+                    "    {{\n",
+                    "      \"workers\": {workers},\n",
+                    "      \"session_ticks_per_sec\": {tps:.1},\n",
+                    "      \"fleet_tick_ms_mean\": {mean:.3},\n",
+                    "      \"fleet_tick_ms_p99\": {p99:.3}\n",
+                    "    }}"
+                ),
+                workers = row.workers,
+                tps = row.session_ticks_per_sec,
+                mean = row.tick_ms_mean,
+                p99 = row.tick_ms_p99,
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
     format!(
         concat!(
             "{{\n",
@@ -332,12 +426,14 @@ pub fn to_json(r: &FleetBenchReport) -> String {
             "    \"pending_capacity\": {pend},\n",
             "    \"cost_budget\": {cost_budget},\n",
             "    \"seed\": {seed},\n",
-            "    \"strategy\": \"{strategy}\"\n",
+            "    \"strategy\": \"{strategy}\",\n",
+            "    \"batch\": \"{batch}\"\n",
             "  }},\n",
             "  \"resident_sessions\": {resident},\n",
             "  \"session_ticks_per_sec\": {tps:.1},\n",
             "  \"fleet_tick_ms_mean\": {mean:.3},\n",
             "  \"fleet_tick_ms_p99\": {p99:.3},\n",
+            "  \"runs\": [\n{runs}\n  ],\n",
             "  \"bytes_per_session\": {bps},\n",
             "  \"session_cost_units\": {cost},\n",
             "  \"admission\": {{\n",
@@ -357,7 +453,8 @@ pub fn to_json(r: &FleetBenchReport) -> String {
             "    \"gate_sessions\": {gate_sessions},\n",
             "    \"gate_ticks\": {gate_ticks},\n",
             "    \"worker_invariant\": {worker_invariant},\n",
-            "    \"shard_invariant\": {shard_invariant}\n",
+            "    \"shard_invariant\": {shard_invariant},\n",
+            "    \"batch_invariant\": {batch_invariant}\n",
             "  }}\n",
             "}}\n"
         ),
@@ -370,7 +467,9 @@ pub fn to_json(r: &FleetBenchReport) -> String {
         cost_budget = cost_budget,
         seed = r.cfg.seed,
         strategy = r.cfg.strategy.name(),
+        batch = r.cfg.batch.as_str(),
         resident = r.resident_sessions,
+        runs = runs,
         tps = r.session_ticks_per_sec,
         mean = r.tick_ms_mean,
         p99 = r.tick_ms_p99,
@@ -389,6 +488,7 @@ pub fn to_json(r: &FleetBenchReport) -> String {
         gate_ticks = r.gate.gate_ticks,
         worker_invariant = r.gate.worker_invariant,
         shard_invariant = r.gate.shard_invariant,
+        batch_invariant = r.gate.batch_invariant,
     )
 }
 
@@ -416,13 +516,21 @@ pub fn write_report(r: &FleetBenchReport) {
             eprintln!("warning: failed to write {}: {e}", path.display());
         }
     }
+    for row in &r.runs {
+        println!(
+            "exp_fleet[{} worker{}]: {:.0} session-ticks/s, tick p99 {:.2} ms (mean {:.2} ms)",
+            row.workers,
+            if row.workers == 1 { "" } else { "s" },
+            row.session_ticks_per_sec,
+            row.tick_ms_p99,
+            row.tick_ms_mean,
+        );
+    }
     println!(
-        "exp_fleet: {} sessions, {:.0} session-ticks/s, tick p99 {:.2} ms (mean {:.2} ms), \
-         {} bytes/session; admission {:?}; determinism gate: {}",
+        "exp_fleet: {} sessions ({} inference), {} bytes/session; admission {:?}; \
+         determinism gate: {}",
         r.resident_sessions,
-        r.session_ticks_per_sec,
-        r.tick_ms_p99,
-        r.tick_ms_mean,
+        r.cfg.batch.as_str(),
         r.bytes_per_session,
         r.admission,
         if r.gate.passed() { "PASS" } else { "FAIL" },
@@ -445,6 +553,7 @@ mod tests {
             cost_budget: None,
             seed: 7,
             strategy: StrategyKind::Algorithm1,
+            batch: FleetBatch::Batched,
         }
     }
 
@@ -453,6 +562,7 @@ mod tests {
         let gate = run_gate(&small_cfg());
         assert!(gate.worker_invariant, "worker count changed results");
         assert!(gate.shard_invariant, "shard count changed results");
+        assert!(gate.batch_invariant, "batching mode changed results");
         assert!(gate.passed());
     }
 
@@ -469,14 +579,36 @@ mod tests {
         // The deliberate overflow forces queueing AND typed rejection.
         assert!(r.admission[2] > 0, "no backpressure exercised");
         assert!(r.admission[3] > 0, "no typed rejection exercised");
+        // Two timed rows: the 1-worker anchor and the configured workers.
+        assert_eq!(r.runs.len(), 2);
+        assert_eq!(r.runs[0].workers, 1);
+        assert_eq!(r.runs[1].workers, cfg.workers);
+        assert!(r.runs.iter().all(|row| row.session_ticks_per_sec > 0.0));
+        assert_eq!(r.session_ticks_per_sec, r.runs[1].session_ticks_per_sec);
         let json = to_json(&r);
         assert!(json.contains("\"bench\": \"fleet_engine\""));
         assert!(json.contains("\"session_ticks_per_sec\""));
         assert!(json.contains("\"fleet_tick_ms_p99\""));
         assert!(json.contains("\"bytes_per_session\""));
+        assert!(json.contains("\"batch\": \"batched\""));
+        assert!(json.contains("\"runs\": ["));
+        assert!(json.contains("\"workers\": 1"));
+        assert!(json.contains("\"workers\": 2"));
         assert!(json.contains("\"worker_invariant\": true"));
         assert!(json.contains("\"shard_invariant\": true"));
+        assert!(json.contains("\"batch_invariant\": true"));
         assert!(json.contains("\"cost_budget\": null"));
+    }
+
+    #[test]
+    fn single_worker_config_emits_one_row() {
+        let mut cfg = small_cfg();
+        cfg.workers = 1;
+        cfg.sessions = 48;
+        cfg.ticks = 6;
+        let r = run(&cfg);
+        assert_eq!(r.runs.len(), 1);
+        assert_eq!(r.runs[0].workers, 1);
     }
 
     #[test]

@@ -4,10 +4,54 @@
 use pidpiper_control::ActuatorSignal;
 use pidpiper_core::features::FeatureSet;
 use pidpiper_missions::configured_jobs;
-use pidpiper_ml::{LstmRegressor, RegressorConfig, StreamingRegressor};
+use pidpiper_ml::{BatchedStreamingRegressor, LstmRegressor, RegressorConfig, StreamingRegressor};
 
 use crate::session::{SessionParams, SessionSpec};
 use crate::shard::{Admission, AdmissionError, RetiredSession, Shard, ShardTickStats};
+
+/// How shards run their sessions' inference each tick.
+///
+/// Both modes produce bit-identical session fingerprints (the bench's
+/// `batch_invariant` gate compares them); the knob exists for A/B
+/// measurement and as an escape hatch. The batched f64 path is the only
+/// batched mode a fleet can run: `pidpiper_ml::BatchPrecision::F32` is
+/// deliberately not constructible here, so the non-deterministic f32
+/// kernels can never sit under `FleetEngine::tick` (a determinism root —
+/// the analyzer's DT06 rule enforces this at CI time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FleetBatch {
+    /// One matrix–vector streaming pass per session (the PR-5 loop).
+    PerSession,
+    /// Cache-blocked matrix–matrix kernels over lanes of up to 64
+    /// sessions (`shard::BATCH_WIDTH`) sharing the shard's model (the
+    /// default).
+    #[default]
+    Batched,
+}
+
+impl FleetBatch {
+    /// Parses the `PIDPIPER_FLEET_BATCH` knob value. Accepts
+    /// `batched`/`1`/`on` and `per_session`/`per-session`/`0`/`off`
+    /// (case-insensitive); anything else is `None` (callers keep their
+    /// default).
+    pub fn parse(s: &str) -> Option<FleetBatch> {
+        match s.to_ascii_lowercase().as_str() {
+            "batched" | "batch" | "1" | "on" => Some(FleetBatch::Batched),
+            "per_session" | "per-session" | "scalar" | "0" | "off" => {
+                Some(FleetBatch::PerSession)
+            }
+            _ => None,
+        }
+    }
+
+    /// The knob spelling (`batched` / `per_session`), for reports.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FleetBatch::PerSession => "per_session",
+            FleetBatch::Batched => "batched",
+        }
+    }
+}
 
 /// Fleet-engine configuration. Every field maps to an operator knob
 /// documented in `OPERATIONS.md`.
@@ -33,6 +77,9 @@ pub struct FleetConfig {
     pub shard_cost_budget: u64,
     /// Per-session tick parameters (CUSUM, supervisor, fault bias …).
     pub session: SessionParams,
+    /// Inference mode per shard tick (`PIDPIPER_FLEET_BATCH` in the
+    /// bench). Bit-identical either way; batched is the default.
+    pub batch: FleetBatch,
 }
 
 impl Default for FleetConfig {
@@ -44,6 +91,7 @@ impl Default for FleetConfig {
             pending_capacity: 64,
             shard_cost_budget: u64::MAX,
             session: SessionParams::default(),
+            batch: FleetBatch::default(),
         }
     }
 }
@@ -101,6 +149,9 @@ pub struct FleetStats {
 pub struct FleetEngine {
     config: FleetConfig,
     model: StreamingRegressor,
+    /// The batched (always f64-exact) form of `model`; `None` under
+    /// [`FleetBatch::PerSession`].
+    batched: Option<BatchedStreamingRegressor>,
     session_cost: u64,
     shards: Vec<Shard>,
     ticks: u64,
@@ -113,6 +164,12 @@ impl FleetEngine {
         let config = config.sanitized();
         let c = model.config();
         let session_cost = 1 + ((c.window - 1) as u64).div_ceil(config.session.decimate.max(1) as u64);
+        let batched = match config.batch {
+            // Always BatchPrecision::Exact: the f32 mode must stay
+            // unreachable from this determinism root.
+            FleetBatch::Batched => Some(BatchedStreamingRegressor::compile(&model)),
+            FleetBatch::PerSession => None,
+        };
         let shards = (0..config.shards)
             .map(|i| {
                 Shard::new(
@@ -122,12 +179,14 @@ impl FleetEngine {
                     config.shard_cost_budget,
                     session_cost,
                     &model,
+                    batched.as_ref(),
                 )
             })
             .collect();
         FleetEngine {
             config,
             model,
+            batched,
             session_cost,
             shards,
             ticks: 0,
@@ -185,11 +244,21 @@ impl FleetEngine {
     }
 
     /// Marginal resident bytes of one session: the streaming state the ml
-    /// layer accounts ([`StreamingRegressor::session_state_bytes`]) plus
-    /// the session struct itself (spec, CUSUMs, supervisor, counters).
+    /// layer accounts ([`StreamingRegressor::session_state_bytes`]), the
+    /// session struct itself (spec, CUSUMs, supervisor, counters), and —
+    /// under [`FleetBatch::Batched`] — the shard's batched working set
+    /// (64-lane panels plus staging) amortized over the
+    /// shard's session capacity, so `bytes_per_session` stays honest
+    /// about everything a resident session costs.
     pub fn bytes_per_session(&self) -> usize {
+        let batch_scratch = self
+            .shards
+            .first()
+            .map_or(0, Shard::batch_bytes)
+            .div_ceil(self.config.shard_capacity.max(1));
         self.model.session_state_bytes()
             + std::mem::size_of::<crate::session::VehicleSession>()
+            + batch_scratch
     }
 
     /// Submits one session to its home shard (`spec.id % shards`).
@@ -219,12 +288,13 @@ impl FleetEngine {
     pub fn tick(&mut self) -> ShardTickStats {
         let workers = self.config.workers.min(self.shards.len()).max(1);
         let model = &self.model;
+        let batched = self.batched.as_ref();
         let params = &self.config.session;
         let mut merged = ShardTickStats::default();
         let mut join_failures = 0u64;
         if workers == 1 {
             for shard in &mut self.shards {
-                merged.merge(&shard.tick(model, params));
+                merged.merge(&shard.tick(model, params, batched));
             }
         } else {
             let chunk = self.shards.len().div_ceil(workers);
@@ -237,7 +307,7 @@ impl FleetEngine {
                         scope.spawn(move || {
                             let mut acc = ShardTickStats::default();
                             for shard in chunk {
-                                acc.merge(&shard.tick(model, params));
+                                acc.merge(&shard.tick(model, params, batched));
                             }
                             acc
                         })
@@ -299,5 +369,96 @@ impl FleetEngine {
             .collect();
         out.sort_unstable_by_key(|r| r.id);
         out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pidpiper_faults::FaultSchedule;
+    use pidpiper_missions::MissionBudget;
+
+    /// A small but adversarial fleet: faulted sessions, budget-retired
+    /// sessions, shard populations spanning several batch chunks, and a
+    /// second admission wave so ring warm-up states (and hence batched
+    /// replay groups) are ragged.
+    fn run_fleet(batch: FleetBatch) -> (Vec<(u64, u64)>, FleetStats) {
+        let config = FleetConfig {
+            shards: 3,
+            workers: 1,
+            shard_capacity: 200,
+            pending_capacity: 16,
+            shard_cost_budget: u64::MAX,
+            session: SessionParams::default(),
+            batch,
+        };
+        let mut engine = FleetEngine::with_synthetic_model(config, 2027);
+        let spec = |id: u64| {
+            let mut s = SessionSpec::new(id, id.wrapping_mul(11) ^ 5);
+            if id.is_multiple_of(5) {
+                s = s.with_fault(FaultSchedule::Continuous { start: 0.05 });
+            }
+            if id.is_multiple_of(17) {
+                s = s.with_budget(MissionBudget::default().with_step_budget(20));
+            }
+            s
+        };
+        for id in 0..150 {
+            engine.submit(spec(id)).expect("admitted or queued");
+        }
+        engine.run_ticks(30);
+        // Second wave: these sessions' rings warm up out of phase with the
+        // first wave's, exercising the ragged replay grouping.
+        for id in 150..180 {
+            engine.submit(spec(id)).expect("admitted or queued");
+        }
+        engine.run_ticks(33);
+        (engine.session_fingerprints(), *engine.stats())
+    }
+
+    #[test]
+    fn batched_and_per_session_fleets_are_bit_identical() {
+        let (fp_batched, stats_batched) = run_fleet(FleetBatch::Batched);
+        let (fp_scalar, stats_scalar) = run_fleet(FleetBatch::PerSession);
+        assert_eq!(fp_batched.len(), fp_scalar.len());
+        assert_eq!(fp_batched, fp_scalar, "batched inference changed a fingerprint");
+        assert_eq!(stats_batched, stats_scalar);
+        assert!(stats_batched.retired > 0, "budget retirement must occur in-run");
+    }
+
+    #[test]
+    fn batch_scratch_is_amortized_into_bytes_per_session() {
+        let scalar = FleetEngine::with_synthetic_model(
+            FleetConfig {
+                batch: FleetBatch::PerSession,
+                ..FleetConfig::default()
+            },
+            7,
+        );
+        let batched = FleetEngine::with_synthetic_model(
+            FleetConfig {
+                batch: FleetBatch::Batched,
+                ..FleetConfig::default()
+            },
+            7,
+        );
+        let a = scalar.bytes_per_session();
+        let b = batched.bytes_per_session();
+        assert!(b > a, "batched accounting must include the amortized scratch");
+        // The ~5 KB/session budget from OPERATIONS.md holds with the
+        // batch scratch amortized in.
+        assert!(b < 5 * 1024, "session must stay under ~5 KB, got {b}");
+    }
+
+    #[test]
+    fn fleet_batch_knob_parses_and_prints() {
+        assert_eq!(FleetBatch::parse("batched"), Some(FleetBatch::Batched));
+        assert_eq!(FleetBatch::parse("ON"), Some(FleetBatch::Batched));
+        assert_eq!(FleetBatch::parse("per_session"), Some(FleetBatch::PerSession));
+        assert_eq!(FleetBatch::parse("off"), Some(FleetBatch::PerSession));
+        assert_eq!(FleetBatch::parse("sideways"), None);
+        assert_eq!(FleetBatch::Batched.as_str(), "batched");
+        assert_eq!(FleetBatch::PerSession.as_str(), "per_session");
+        assert_eq!(FleetBatch::default(), FleetBatch::Batched);
     }
 }

@@ -45,6 +45,6 @@ pub mod engine;
 pub mod session;
 pub mod shard;
 
-pub use engine::{FleetConfig, FleetEngine, FleetStats};
+pub use engine::{FleetBatch, FleetConfig, FleetEngine, FleetStats};
 pub use session::{SessionParams, SessionSpec, SessionTick, VehicleSession};
 pub use shard::{Admission, AdmissionError, RetiredSession, ShardTickStats};

@@ -19,9 +19,12 @@ fn main() {
     bench::write_report(&report);
     if !report.gate.passed() {
         eprintln!(
-            "FAIL: fleet determinism gate (worker_invariant={}, shard_invariant={}); \
-             per-session fingerprints must be bit-identical for any worker count",
-            report.gate.worker_invariant, report.gate.shard_invariant
+            "FAIL: fleet determinism gate (worker_invariant={}, shard_invariant={}, \
+             batch_invariant={}); per-session fingerprints must be bit-identical for \
+             any worker count and batching mode",
+            report.gate.worker_invariant,
+            report.gate.shard_invariant,
+            report.gate.batch_invariant,
         );
         std::process::exit(1);
     }

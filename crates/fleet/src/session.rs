@@ -23,6 +23,18 @@ use pidpiper_missions::{Fingerprint, FlightPhase, HealthState, MissionBudget, Mi
     MissionSpec, StrategyKind};
 use pidpiper_ml::{InferenceScratch, StreamState, StreamingRegressor};
 
+/// What [`VehicleSession::begin_tick`] established before inference: the
+/// simulated time, whether the fault schedule is active, and whether the
+/// feature row normalized cleanly (it always does for engine-shaped
+/// buffers; on the impossible mismatch the session holds its previous
+/// prediction, exactly like the monolithic tick path).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct TickPrologue {
+    t: f64,
+    fault_active: bool,
+    pub(crate) normed_ok: bool,
+}
+
 /// Everything needed to admit one session to the fleet.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SessionSpec {
@@ -145,11 +157,11 @@ impl Default for SessionParams {
 /// and the per-session footprint stays small.
 #[derive(Debug, Clone)]
 pub struct ShardScratch {
-    live: StreamState,
-    scratch: InferenceScratch,
-    feat: Vec<f64>,
-    normed: Vec<f64>,
-    out: Vec<f64>,
+    pub(crate) live: StreamState,
+    pub(crate) scratch: InferenceScratch,
+    pub(crate) feat: Vec<f64>,
+    pub(crate) normed: Vec<f64>,
+    pub(crate) out: Vec<f64>,
 }
 
 impl ShardScratch {
@@ -343,6 +355,52 @@ impl VehicleSession {
         params: &SessionParams,
         scratch: &mut ShardScratch,
     ) -> Result<SessionTick, MissionError> {
+        let ShardScratch {
+            live,
+            scratch: inf,
+            feat,
+            normed,
+            out,
+        } = scratch;
+        let pro = self.begin_tick(engine, params, feat, normed)?;
+
+        // Streaming prediction: copy the prefix checkpoint, step the live
+        // row, run the dense head. Dimension errors cannot occur (every
+        // buffer is engine-shaped); on the impossible mismatch the session
+        // holds its previous prediction rather than crashing the shard.
+        let prediction = if pro.normed_ok {
+            live.copy_from(&self.prefix);
+            let stepped = engine.step_normed(normed, live, inf).is_ok()
+                && engine.finish_into(live, inf, out).is_ok();
+            if stepped {
+                [out[0], out[1], out[2], out[3]]
+            } else {
+                self.last_prediction
+            }
+        } else {
+            self.last_prediction
+        };
+        let (tick, deferred) = self.finish_tick(engine, params, prediction, &pro, normed, Some(inf));
+        debug_assert!(!deferred, "inline scratch given, replay cannot defer");
+        Ok(tick)
+    }
+
+    /// First phase of a tick: budget checks, synthetic flight, feature
+    /// assembly and normalization into `normed`. Shared verbatim by the
+    /// per-session path ([`VehicleSession::tick`]) and the shard's batched
+    /// path, which runs inference over many sessions between this and
+    /// [`VehicleSession::finish_tick`].
+    ///
+    /// # Errors
+    ///
+    /// The same typed [`MissionError`] budget violations as `tick`.
+    pub(crate) fn begin_tick(
+        &mut self,
+        engine: &StreamingRegressor,
+        params: &SessionParams,
+        feat: &mut Vec<f64>,
+        normed: &mut [f64],
+    ) -> Result<TickPrologue, MissionError> {
         let t = self.ticks as f64 * params.dt;
         self.spent += 1;
         if let Some(deadline) = self.spec.budget.deadline {
@@ -374,37 +432,36 @@ impl VehicleSession {
             &self.spec.target,
             FlightPhase::Cruise { wp_index: 0 },
             &ActuatorSignal::default(),
-            &mut scratch.feat,
+            feat,
         );
+        let normed_ok = engine.normalize_into(feat, normed).is_ok();
+        Ok(TickPrologue {
+            t,
+            fault_active,
+            normed_ok,
+        })
+    }
 
-        // Streaming prediction: copy the prefix checkpoint, step the live
-        // row, run the dense head. Dimension errors cannot occur (every
-        // buffer is engine-shaped); on the impossible mismatch the session
-        // holds its previous prediction rather than crashing the shard.
-        let prediction = if engine
-            .normalize_into(&scratch.feat, &mut scratch.normed)
-            .is_ok()
-        {
-            scratch.live.copy_from(&self.prefix);
-            let stepped = engine
-                .step_normed(&scratch.normed, &mut scratch.live, &mut scratch.scratch)
-                .is_ok()
-                && engine
-                    .finish_into(&scratch.live, &mut scratch.scratch, &mut scratch.out)
-                    .is_ok();
-            if stepped {
-                [
-                    scratch.out[0],
-                    scratch.out[1],
-                    scratch.out[2],
-                    scratch.out[3],
-                ]
-            } else {
-                self.last_prediction
-            }
-        } else {
-            self.last_prediction
-        };
+    /// Second phase of a tick: folds `prediction` through the monitor
+    /// (EMA baseline → CUSUM → strategy trip decision), the supervisor and
+    /// the fingerprint, and performs the decimated history-ring push.
+    ///
+    /// The prefix-checkpoint replay that follows a ring push runs inline
+    /// when `replay_scratch` is `Some` (the per-session path); with `None`
+    /// the caller batches it instead, and the returned flag is `true` when
+    /// a replay is owed. Deferring is sound because the replay touches
+    /// only the prefix checkpoint, which nothing after the ring push in
+    /// this function reads — the deferred end state is bit-identical.
+    pub(crate) fn finish_tick(
+        &mut self,
+        engine: &StreamingRegressor,
+        params: &SessionParams,
+        prediction: [f64; 4],
+        pro: &TickPrologue,
+        normed: &[f64],
+        replay_scratch: Option<&mut InferenceScratch>,
+    ) -> (SessionTick, bool) {
+        let TickPrologue { t, fault_active, .. } = *pro;
         self.last_prediction = prediction;
 
         // Residual per axis against a slow EMA baseline: smooth nominal
@@ -477,10 +534,14 @@ impl VehicleSession {
 
         // Decimated history-ring push + prefix replay (the PR-5 layout).
         self.ticks_since_push += 1;
+        let mut replay_deferred = false;
         if self.ticks_since_push >= params.decimate {
             self.ticks_since_push = 0;
-            self.push_ring(engine, &scratch.normed);
-            self.replay_prefix(engine, scratch);
+            self.push_ring(engine, normed);
+            match replay_scratch {
+                Some(inf) => self.replay_prefix(engine, inf),
+                None => replay_deferred = true,
+            }
         }
 
         // The per-session trace hook: same mixer as `Trace::fingerprint`.
@@ -494,11 +555,14 @@ impl VehicleSession {
         self.fingerprint.mix_health(health);
 
         self.ticks += 1;
-        Ok(SessionTick {
-            health,
-            tripped,
-            fault_active,
-        })
+        (
+            SessionTick {
+                health,
+                tripped,
+                fault_active,
+            },
+            replay_deferred,
+        )
     }
 
     /// Appends one normalized row to the circular history ring.
@@ -519,8 +583,9 @@ impl VehicleSession {
     }
 
     /// Recomputes the prefix checkpoint by replaying the ring
-    /// oldest-to-newest from the zero state.
-    fn replay_prefix(&mut self, engine: &StreamingRegressor, scratch: &mut ShardScratch) {
+    /// oldest-to-newest from the zero state. Also the per-session
+    /// fallback for batched replay groups of one.
+    pub(crate) fn replay_prefix(&mut self, engine: &StreamingRegressor, inf: &mut InferenceScratch) {
         let dim = engine.config().input_dim;
         self.prefix.reset();
         for i in 0..self.ring_rows {
@@ -528,13 +593,41 @@ impl VehicleSession {
             let row = &self.ring[idx * dim..(idx + 1) * dim];
             // Engine-shaped row: cannot mismatch; skip defensively if it
             // somehow does rather than poisoning the checkpoint.
-            if engine
-                .step_normed(row, &mut self.prefix, &mut scratch.scratch)
-                .is_err()
-            {
+            if engine.step_normed(row, &mut self.prefix, inf).is_err() {
                 break;
             }
         }
+    }
+
+    /// The prefix checkpoint (batched path: gathered into a lane before
+    /// the live step).
+    pub(crate) fn prefix(&self) -> &StreamState {
+        &self.prefix
+    }
+
+    /// Mutable prefix checkpoint (batched path: scatter target after a
+    /// batched replay).
+    pub(crate) fn prefix_mut(&mut self) -> &mut StreamState {
+        &mut self.prefix
+    }
+
+    /// Rows currently in the history ring — the batched-replay grouping
+    /// key (lanes in one replay batch must step the same row count).
+    pub(crate) fn ring_rows(&self) -> usize {
+        self.ring_rows
+    }
+
+    /// The `i`-th oldest ring row (replay order), for batched replay.
+    pub(crate) fn ring_row(&self, i: usize, dim: usize) -> &[f64] {
+        let idx = (self.ring_head + i) % self.ring_rows;
+        &self.ring[idx * dim..(idx + 1) * dim]
+    }
+
+    /// The previous tick's prediction — the batched path's fallback when
+    /// a lane's row failed to normalize (impossible for engine-shaped
+    /// buffers, mirrored from the per-session path anyway).
+    pub(crate) fn last_prediction(&self) -> [f64; 4] {
+        self.last_prediction
     }
 }
 
@@ -722,6 +815,8 @@ mod tests {
         let b = s.resident_bytes(&eng);
         assert!(b >= eng.session_state_bytes());
         // Standard config: 4*24*8 state + 19*24*8 ring = 4416 bytes + struct.
-        assert!(b < 16 * 1024, "session must stay compact, got {b} bytes");
+        // The ~5 KB/session budget also covers the amortized share of the
+        // shard-level batch scratch (see engine::bytes_per_session tests).
+        assert!(b < 5 * 1024, "session must stay compact, got {b} bytes");
     }
 }

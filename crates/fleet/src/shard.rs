@@ -12,9 +12,64 @@
 use std::collections::VecDeque;
 
 use pidpiper_missions::{HealthState, MissionError};
-use pidpiper_ml::StreamingRegressor;
+use pidpiper_ml::{BatchScratch, BatchedStreamingRegressor, StreamingRegressor};
 
-use crate::session::{SessionParams, SessionSpec, ShardScratch, VehicleSession};
+use crate::session::{SessionParams, SessionSpec, ShardScratch, TickPrologue, VehicleSession};
+
+/// Lane capacity of the per-shard batched working set: sessions tick
+/// through the batched kernels in chunks of this many lanes. 64 lanes
+/// keep the f64 panels (~140 KB at the standard config) inside L2 while
+/// amortizing each weight load across 8x more sessions than the GEMM
+/// lane width alone.
+pub(crate) const BATCH_WIDTH: usize = 64;
+
+/// Per-shard working set of the batched tick path: the struct-of-arrays
+/// panels plus staging and bookkeeping buffers, allocated once and reused
+/// every tick. Shard-resident (one per shard, like [`ShardScratch`]), so
+/// its footprint is amortized over the shard's resident sessions — see
+/// `FleetEngine::bytes_per_session`.
+#[derive(Debug)]
+pub(crate) struct BatchState {
+    scratch: BatchScratch,
+    /// Live normalized rows staged per lane (`input_dim * BATCH_WIDTH`);
+    /// kept out of the panels so the replay phase can reuse them after
+    /// the ring push.
+    normed: Vec<f64>,
+    /// Session indices that completed their prologue this chunk.
+    lanes: Vec<usize>,
+    /// Their prologues, parallel to `lanes`.
+    pros: Vec<TickPrologue>,
+    /// `(session index, error)` pairs retired once the tick completes —
+    /// deferred so batched lane numbering stays stable mid-tick.
+    errored: Vec<(usize, MissionError)>,
+    /// Sessions owing a prefix replay this tick (decimation boundary).
+    replay: Vec<usize>,
+}
+
+impl BatchState {
+    fn new(batched: &BatchedStreamingRegressor) -> Self {
+        let dim = batched.engine().config().input_dim;
+        BatchState {
+            scratch: batched.scratch(BATCH_WIDTH),
+            normed: vec![0.0; dim * BATCH_WIDTH],
+            lanes: Vec::with_capacity(BATCH_WIDTH),
+            pros: Vec::with_capacity(BATCH_WIDTH),
+            errored: Vec::with_capacity(BATCH_WIDTH),
+            replay: Vec::with_capacity(BATCH_WIDTH),
+        }
+    }
+
+    /// Heap bytes of the whole batched working set (panels + staging +
+    /// bookkeeping), for capacity-planning amortization.
+    pub(crate) fn resident_bytes(&self) -> usize {
+        self.scratch.resident_bytes()
+            + self.normed.capacity() * std::mem::size_of::<f64>()
+            + self.lanes.capacity() * std::mem::size_of::<usize>()
+            + self.pros.capacity() * std::mem::size_of::<TickPrologue>()
+            + self.errored.capacity() * std::mem::size_of::<(usize, MissionError)>()
+            + self.replay.capacity() * std::mem::size_of::<usize>()
+    }
+}
 
 /// Why the fleet refused a session outright (neither admitted nor
 /// queued). Submission never blocks and never silently drops: callers
@@ -132,6 +187,8 @@ pub(crate) struct Shard {
     pending: VecDeque<SessionSpec>,
     retired: Vec<RetiredSession>,
     scratch: ShardScratch,
+    /// Batched-path working set; `None` under `FleetBatch::PerSession`.
+    batch: Option<BatchState>,
 }
 
 impl Shard {
@@ -142,6 +199,7 @@ impl Shard {
         cost_budget: u64,
         session_cost: u64,
         engine: &StreamingRegressor,
+        batched: Option<&BatchedStreamingRegressor>,
     ) -> Self {
         Shard {
             index,
@@ -153,7 +211,13 @@ impl Shard {
             pending: VecDeque::new(),
             retired: Vec::new(),
             scratch: ShardScratch::for_engine(engine),
+            batch: batched.map(BatchState::new),
         }
+    }
+
+    /// Heap bytes of the batched working set (0 under per-session mode).
+    pub(crate) fn batch_bytes(&self) -> usize {
+        self.batch.as_ref().map_or(0, BatchState::resident_bytes)
     }
 
     /// Whether one more resident session fits the resident cap and the
@@ -191,10 +255,17 @@ impl Shard {
     /// Ticks the shard: drains the pending queue into freed capacity
     /// (FIFO), then ticks every resident session in admission order,
     /// retiring budget violators into quarantine.
+    ///
+    /// With `batched` supplied (and a batch working set built for it),
+    /// sessions tick through the batched kernels — bit-identical results,
+    /// one matrix–matrix sweep per [`BATCH_WIDTH`] lanes instead of one
+    /// matrix–vector sweep per session. `None` is the per-session (PR-5)
+    /// path, byte for byte the pre-batching loop.
     pub(crate) fn tick(
         &mut self,
         engine: &StreamingRegressor,
         params: &SessionParams,
+        batched: Option<&BatchedStreamingRegressor>,
     ) -> ShardTickStats {
         let mut stats = ShardTickStats::default();
         while self.has_room() {
@@ -206,6 +277,20 @@ impl Shard {
                 None => break,
             }
         }
+        match batched {
+            Some(b) if self.batch.is_some() => self.tick_batched(engine, b, params, &mut stats),
+            _ => self.tick_per_session(engine, params, &mut stats),
+        }
+        stats
+    }
+
+    /// The per-session tick loop (PR-5 streaming path, unchanged).
+    fn tick_per_session(
+        &mut self,
+        engine: &StreamingRegressor,
+        params: &SessionParams,
+        stats: &mut ShardTickStats,
+    ) {
         let mut i = 0;
         while i < self.sessions.len() {
             match self.sessions[i].tick(engine, params, &mut self.scratch) {
@@ -232,7 +317,157 @@ impl Shard {
                 }
             }
         }
-        stats
+    }
+
+    /// The batched tick loop. Per chunk of [`BATCH_WIDTH`] sessions (in
+    /// admission order — every resident session shares the shard's model,
+    /// so the model-fingerprint grouping the batch key encodes is the
+    /// whole shard):
+    ///
+    /// 1. **prologue/gather** — each session's budget check, synthetic
+    ///    flight and normalization ([`VehicleSession::begin_tick`]); its
+    ///    prefix checkpoint and live row are gathered into a panel lane.
+    ///    Budget violators are set aside (lane numbering stays stable)
+    ///    and retired after the loop, in the same ascending-index order
+    ///    as the per-session path.
+    /// 2. **batched inference** — one `step_batch` + `finish_batch` over
+    ///    the active lanes replaces the chunk's matrix–vector passes.
+    /// 3. **epilogue/scatter** — each lane's prediction feeds
+    ///    [`VehicleSession::finish_tick`] (monitor, supervisor,
+    ///    fingerprint, decimated ring push) with the prefix replay
+    ///    *deferred*.
+    ///
+    /// Deferred replays are then grouped by ring row count (lanes in one
+    /// replay batch must step the same number of rows — sessions
+    /// mid-warmup or on a different decimation phase simply land in
+    /// different groups or different ticks) and replayed through the
+    /// batched kernels; groups of one fall back to the per-session
+    /// [`VehicleSession::replay_prefix`]. Every f64 op matches the
+    /// per-session path, so fingerprints are bit-identical — the fleet
+    /// bench gates this (`batch_invariant`).
+    fn tick_batched(
+        &mut self,
+        engine: &StreamingRegressor,
+        batched: &BatchedStreamingRegressor,
+        params: &SessionParams,
+        stats: &mut ShardTickStats,
+    ) {
+        let state = self.batch.as_mut().expect("tick_batched without batch state");
+        let sessions = &mut self.sessions;
+        let shard_scratch = &mut self.scratch;
+        let dim = engine.config().input_dim;
+        state.errored.clear();
+        state.replay.clear();
+
+        let total = sessions.len();
+        let mut start = 0;
+        while start < total {
+            let end = (start + BATCH_WIDTH).min(total);
+            state.lanes.clear();
+            state.pros.clear();
+            for (off, session) in sessions[start..end].iter_mut().enumerate() {
+                let i = start + off;
+                let lane = state.lanes.len();
+                let row = &mut state.normed[lane * dim..(lane + 1) * dim];
+                match session.begin_tick(engine, params, &mut shard_scratch.feat, row) {
+                    Ok(pro) => {
+                        if pro.normed_ok {
+                            state.scratch.load_state(lane, session.prefix());
+                            state.scratch.load_row(lane, row);
+                        }
+                        state.lanes.push(i);
+                        state.pros.push(pro);
+                    }
+                    Err(error) => state.errored.push((i, error)),
+                }
+            }
+            let n = state.lanes.len();
+            if n > 0 {
+                batched.step_batch(&mut state.scratch, n);
+                batched.finish_batch(&mut state.scratch, n);
+            }
+            let mut pred = [0.0f64; 4];
+            for (lane, (&i, pro)) in state.lanes.iter().zip(&state.pros).enumerate() {
+                let prediction = if pro.normed_ok {
+                    state.scratch.read_output(lane, &mut pred);
+                    pred
+                } else {
+                    sessions[i].last_prediction()
+                };
+                let row = &state.normed[lane * dim..(lane + 1) * dim];
+                let (r, deferred) =
+                    sessions[i].finish_tick(engine, params, prediction, pro, row, None);
+                stats.session_ticks += 1;
+                stats.tripped += u64::from(r.tripped);
+                stats.faulted += u64::from(r.fault_active);
+                match r.health {
+                    HealthState::Recovery => stats.in_recovery += 1,
+                    HealthState::Degraded => stats.degraded += 1,
+                    HealthState::Nominal => {}
+                }
+                if deferred {
+                    state.replay.push(i);
+                }
+            }
+            start = end;
+        }
+
+        // Batched prefix replay, grouped by ring row count. The sort key
+        // is (rows, index): deterministic, and sessions keep their
+        // relative order inside a group.
+        state
+            .replay
+            .sort_unstable_by_key(|&i| (sessions[i].ring_rows(), i));
+        let mut g = 0;
+        while g < state.replay.len() {
+            let rows = sessions[state.replay[g]].ring_rows();
+            let mut group_end = g + 1;
+            while group_end < state.replay.len()
+                && sessions[state.replay[group_end]].ring_rows() == rows
+            {
+                group_end += 1;
+            }
+            if group_end - g == 1 {
+                // Ragged remainder: the per-session fallback.
+                sessions[state.replay[g]].replay_prefix(engine, &mut shard_scratch.scratch);
+            } else {
+                let mut cs = g;
+                while cs < group_end {
+                    let ce = (cs + BATCH_WIDTH).min(group_end);
+                    let lanes = &state.replay[cs..ce];
+                    let n = lanes.len();
+                    state.scratch.reset_states();
+                    for t in 0..rows {
+                        for (lane, &i) in lanes.iter().enumerate() {
+                            state.scratch.load_row(lane, sessions[i].ring_row(t, dim));
+                        }
+                        batched.step_batch(&mut state.scratch, n);
+                    }
+                    for (lane, &i) in lanes.iter().enumerate() {
+                        state.scratch.store_state(lane, sessions[i].prefix_mut());
+                    }
+                    cs = ce;
+                }
+            }
+            g = group_end;
+        }
+
+        // Retire budget violators: records in ascending index order (the
+        // per-session path's order), removals in descending order so the
+        // collected indices stay valid.
+        for (i, error) in &state.errored {
+            let s = &sessions[*i];
+            self.retired.push(RetiredSession {
+                id: s.id(),
+                ticks: s.ticks(),
+                fingerprint: s.fingerprint(),
+                error: error.clone(),
+            });
+            stats.retired += 1;
+        }
+        for (i, _) in state.errored.iter().rev() {
+            sessions.remove(*i);
+        }
     }
 
     pub(crate) fn resident(&self) -> usize {

@@ -12,6 +12,10 @@
 //! - dynamic time warping used for threshold calibration ([`dtw`]);
 //! - the CUSUM change detector used by the monitoring module ([`cusum`]);
 //! - angle helpers (wrapping, degree/radian conversion) ([`angles`]);
+//! - op-order-preserving cache-blocked matrix–matrix micro-kernels for
+//!   batched fleet inference ([`gemm`]);
+//! - branch-free, auto-vectorizable sigmoid/tanh/exp kernels shared by
+//!   every inference path ([`activations`]);
 //! - NaN-safe total-order comparison helpers ([`float`]) — the required
 //!   replacement for `partial_cmp().unwrap()` and float `==` throughout
 //!   the workspace (enforced by `pidpiper-analyzer`).
@@ -31,10 +35,12 @@
 
 #![deny(missing_docs)]
 
+pub mod activations;
 pub mod angles;
 pub mod cusum;
 pub mod dtw;
 pub mod float;
+pub mod gemm;
 pub mod mat3;
 pub mod matrix;
 pub mod stats;
@@ -45,6 +51,7 @@ pub use angles::{deg_to_rad, rad_to_deg, wrap_angle};
 pub use cusum::Cusum;
 pub use dtw::{dtw_distance, dtw_path};
 pub use float::{approx_eq, fmax, fmin, is_zero, sort_floats};
+pub use gemm::{gemm_acc, gemm_acc_f32, gemm_bias, gemm_bias_f32};
 pub use mat3::Mat3;
 pub use matrix::Matrix;
 pub use stats::{mean, population_variance, sample_variance, std_dev, RollingWindow};

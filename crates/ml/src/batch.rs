@@ -1,0 +1,1100 @@
+//! Batched (multi-session) streaming inference for fleets that share a
+//! model.
+//!
+//! [`crate::stream::StreamingRegressor`] is the per-session deployment
+//! path: one matrix–vector product per gate block per tick. At fleet
+//! scale thousands of sessions run the *same* weights, so every session
+//! re-streams the whole weight matrix through the cache for a single
+//! column of work. [`BatchedStreamingRegressor`] amortizes that: it
+//! gathers up to `width` sessions' inputs and LSTM states into
+//! struct-of-arrays *panels* (`panel[row * width + lane]`) and replaces N
+//! matrix–vector passes with one cache-blocked matrix–matrix product per
+//! gate block, built on the op-order-preserving kernels in
+//! `pidpiper_math::gemm`.
+//!
+//! # Bit-identity
+//!
+//! The batched f64 path is `to_bits`-identical to the per-session
+//! streaming path, by construction, for every lane: each lane's dot
+//! products are summed in the same ascending-`k` order with the same
+//! two-accumulator `(bias + w·x) + u·h` reduction, activations and cell
+//! updates are elementwise with per-element expressions copied from
+//! `FusedLstm::step` / `Dense::infer_into`, and the `k` dimension is
+//! never split. `crates/ml/tests/batch_bit_identity.rs` gates this with
+//! proptests; `exp_perf` re-gates it before every timing run.
+//!
+//! # Ragged batches and masked lanes
+//!
+//! Panels are allocated at capacity `width` but every entry point takes
+//! the active lane count `n <= width`; lanes `n..width` are never read or
+//! written. Callers with heterogeneous sessions (mid-window, decimation
+//! phase skew, quarantine) simply pack the compatible subset and fall
+//! back to the per-session path for the rest — see
+//! `pidpiper-fleet::shard`.
+//!
+//! # `f32` mode
+//!
+//! [`BatchPrecision::F32`] enables an opt-in single-precision path
+//! (`step_batch_f32` / `finish_batch_f32`) that halves panel traffic at
+//! the cost of a measured error envelope (pinned in
+//! `batch_bit_identity.rs`, reported by `exp_perf`). It is **banned from
+//! determinism roots**: fleet fingerprints are computed over f64 bit
+//! patterns, so the analyzer manifest (`analyzer.boundaries`) marks the
+//! f32 entry points `det_banned` and CI fails if they ever become
+//! reachable from `Trace::fingerprint` / `FleetEngine::tick`.
+
+use crate::dense::{Activation, Dense};
+use crate::digest::fnv64;
+use crate::normalize::Normalizer;
+use crate::stream::{FusedLstm, PredictError, StreamState, StreamingRegressor};
+use pidpiper_math::activations;
+use pidpiper_math::gemm;
+
+/// Column-window width for wide batches: `step_batch`/`finish_batch`
+/// process lanes in windows of this many columns so the per-window
+/// pre-activation slab (`4 * hidden * COL_BLOCK` elements) stays
+/// cache-resident regardless of the total batch width. Lanes are
+/// independent, so windowing never changes per-lane op order.
+const COL_BLOCK: usize = 64;
+
+/// Numeric precision of the batched path.
+///
+/// The typed knob the paper-faithful pipeline keeps at [`Exact`]:
+/// `Exact` is bit-identical to the per-session streaming path and is the
+/// only mode the fleet engine can construct. `F32` additionally builds
+/// single-precision weight mirrors and panel buffers for the
+/// `*_batch_f32` entry points (throughput experiments only).
+///
+/// [`Exact`]: BatchPrecision::Exact
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BatchPrecision {
+    /// f64 panels, `to_bits`-identical to `StreamingRegressor` (default).
+    #[default]
+    Exact,
+    /// Opt-in f32 panels with a measured error envelope; never reachable
+    /// from determinism roots (enforced by the analyzer's DT06 rule).
+    F32,
+}
+
+/// Single-precision mirror of a [`FusedLstm`].
+#[derive(Debug, Clone)]
+struct F32Lstm {
+    input: usize,
+    hidden: usize,
+    rows: Vec<f32>,
+    bias: Vec<f32>,
+}
+
+impl F32Lstm {
+    fn from_fused(l: &FusedLstm) -> Self {
+        F32Lstm {
+            input: l.input,
+            hidden: l.hidden,
+            rows: l.rows.iter().map(|&v| v as f32).collect(),
+            bias: l.bias.iter().map(|&v| v as f32).collect(),
+        }
+    }
+}
+
+/// Single-precision mirror of a [`Dense`] layer.
+#[derive(Debug, Clone)]
+struct F32Dense {
+    rows: usize,
+    cols: usize,
+    w: Vec<f32>,
+    b: Vec<f32>,
+    alpha: Vec<f32>,
+    activation: Activation,
+}
+
+impl F32Dense {
+    fn from_dense(d: &Dense) -> Self {
+        F32Dense {
+            rows: d.output_dim(),
+            cols: d.input_dim(),
+            w: d.w.value.iter().map(|&v| v as f32).collect(),
+            b: d.b.value.iter().map(|&v| v as f32).collect(),
+            alpha: d.alpha.value.iter().map(|&v| v as f32).collect(),
+            activation: d.activation(),
+        }
+    }
+}
+
+/// All single-precision weight mirrors (built only under
+/// [`BatchPrecision::F32`]).
+#[derive(Debug, Clone)]
+struct F32Weights {
+    lstm1: F32Lstm,
+    lstm2: F32Lstm,
+    fc_sigmoid: F32Dense,
+    fc_prelu1: F32Dense,
+    fc_prelu2: F32Dense,
+    head: F32Dense,
+    t_mean: Vec<f32>,
+    t_std: Vec<f32>,
+}
+
+/// Single-precision panel set, allocated only under
+/// [`BatchPrecision::F32`].
+#[derive(Debug, Clone)]
+struct F32Panels {
+    x: Vec<f32>,
+    h1: Vec<f32>,
+    c1: Vec<f32>,
+    h2: Vec<f32>,
+    c2: Vec<f32>,
+    pre: Vec<f32>,
+    fc_a: Vec<f32>,
+    fc_b: Vec<f32>,
+    z: Vec<f32>,
+}
+
+impl F32Panels {
+    fn new(input: usize, hidden: usize, fc: usize, output: usize, w: usize) -> Self {
+        F32Panels {
+            x: vec![0.0; input * w],
+            h1: vec![0.0; hidden * w],
+            c1: vec![0.0; hidden * w],
+            h2: vec![0.0; hidden * w],
+            c2: vec![0.0; hidden * w],
+            pre: vec![0.0; 4 * hidden * w],
+            fc_a: vec![0.0; fc * w],
+            fc_b: vec![0.0; fc * w],
+            z: vec![0.0; output * w],
+        }
+    }
+
+    fn resident_bytes(&self) -> usize {
+        (self.x.len()
+            + self.h1.len()
+            + self.c1.len()
+            + self.h2.len()
+            + self.c2.len()
+            + self.pre.len()
+            + self.fc_a.len()
+            + self.fc_b.len()
+            + self.z.len())
+            * std::mem::size_of::<f32>()
+    }
+}
+
+/// Caller-owned struct-of-arrays working panels for one
+/// [`BatchedStreamingRegressor`].
+///
+/// Every panel stores `panel[row * width + lane]`: rows are feature /
+/// hidden / gate indices, lanes are sessions. A scratch is allocated at a
+/// fixed `width` (the batch capacity) and serves any active lane count
+/// `n <= width`; the unused lanes are masked (never read or written).
+/// One scratch is shard-resident and shared by every session the shard
+/// ticks, so its footprint is amortized — see
+/// `StreamingRegressor::session_state_bytes` and the fleet bench's
+/// `bytes_per_session`.
+#[derive(Debug, Clone)]
+pub struct BatchScratch {
+    width: usize,
+    /// Normalized input rows (`input_dim x width`).
+    x: Vec<f64>,
+    h1: Vec<f64>,
+    c1: Vec<f64>,
+    h2: Vec<f64>,
+    c2: Vec<f64>,
+    /// Gate pre-activations (`4*hidden x width`), shared by both layers.
+    pre: Vec<f64>,
+    fc_a: Vec<f64>,
+    fc_b: Vec<f64>,
+    /// Normalized outputs (`output_dim x width`).
+    z: Vec<f64>,
+    /// De-normalized outputs (`output_dim x width`); written by both the
+    /// f64 and f32 finish paths (the latter converts on store).
+    out: Vec<f64>,
+    /// One normalized row (`input_dim`), for the whole-window helpers.
+    normed: Vec<f64>,
+    f32p: Option<F32Panels>,
+}
+
+impl BatchScratch {
+    /// The lane capacity this scratch was allocated for.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Heap bytes held by this scratch (all panels, f32 mirrors
+    /// included when present).
+    pub fn resident_bytes(&self) -> usize {
+        let f64_bytes = (self.x.len()
+            + self.h1.len()
+            + self.c1.len()
+            + self.h2.len()
+            + self.c2.len()
+            + self.pre.len()
+            + self.fc_a.len()
+            + self.fc_b.len()
+            + self.z.len()
+            + self.out.len()
+            + self.normed.len())
+            * std::mem::size_of::<f64>();
+        f64_bytes + self.f32p.as_ref().map_or(0, F32Panels::resident_bytes)
+    }
+
+    /// Zeroes all LSTM state panels (both precisions) — every lane is
+    /// then at the start-of-window state, like `StreamState::reset`.
+    pub fn reset_states(&mut self) {
+        for p in [&mut self.h1, &mut self.c1, &mut self.h2, &mut self.c2] {
+            p.fill(0.0);
+        }
+        if let Some(f) = &mut self.f32p {
+            for p in [&mut f.h1, &mut f.c1, &mut f.h2, &mut f.c2] {
+                p.fill(0.0);
+            }
+        }
+    }
+
+    /// Loads one *already-normalized* input row into `lane`'s column of
+    /// the f64 input panel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= width` or the row has the wrong dimension.
+    pub fn load_row(&mut self, lane: usize, normed: &[f64]) {
+        assert!(lane < self.width, "lane {lane} >= width {}", self.width);
+        assert_eq!(normed.len() * self.width, self.x.len(), "row dimension mismatch");
+        for (j, &v) in normed.iter().enumerate() {
+            self.x[j * self.width + lane] = v;
+        }
+    }
+
+    /// Loads a session's checkpoint state into `lane`'s columns of the
+    /// f64 state panels (the batched analogue of `StreamState::copy_from`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= width` or the state belongs to a
+    /// differently-sized engine.
+    pub fn load_state(&mut self, lane: usize, state: &StreamState) {
+        assert!(lane < self.width, "lane {lane} >= width {}", self.width);
+        assert_eq!(state.h1.len() * self.width, self.h1.len(), "state dimension mismatch");
+        let w = self.width;
+        for (j, &v) in state.h1.iter().enumerate() {
+            self.h1[j * w + lane] = v;
+        }
+        for (j, &v) in state.c1.iter().enumerate() {
+            self.c1[j * w + lane] = v;
+        }
+        for (j, &v) in state.h2.iter().enumerate() {
+            self.h2[j * w + lane] = v;
+        }
+        for (j, &v) in state.c2.iter().enumerate() {
+            self.c2[j * w + lane] = v;
+        }
+    }
+
+    /// Scatters `lane`'s columns of the f64 state panels back into a
+    /// per-session [`StreamState`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= width` or the state belongs to a
+    /// differently-sized engine.
+    pub fn store_state(&self, lane: usize, state: &mut StreamState) {
+        assert!(lane < self.width, "lane {lane} >= width {}", self.width);
+        assert_eq!(state.h1.len() * self.width, self.h1.len(), "state dimension mismatch");
+        let w = self.width;
+        for (j, v) in state.h1.iter_mut().enumerate() {
+            *v = self.h1[j * w + lane];
+        }
+        for (j, v) in state.c1.iter_mut().enumerate() {
+            *v = self.c1[j * w + lane];
+        }
+        for (j, v) in state.h2.iter_mut().enumerate() {
+            *v = self.h2[j * w + lane];
+        }
+        for (j, v) in state.c2.iter_mut().enumerate() {
+            *v = self.c2[j * w + lane];
+        }
+    }
+
+    /// Copies `lane`'s de-normalized prediction out of the output panel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= width` or `out` has the wrong dimension.
+    pub fn read_output(&self, lane: usize, out: &mut [f64]) {
+        assert!(lane < self.width, "lane {lane} >= width {}", self.width);
+        assert_eq!(out.len() * self.width, self.out.len(), "output dimension mismatch");
+        for (r, o) in out.iter_mut().enumerate() {
+            *o = self.out[r * self.width + lane];
+        }
+    }
+
+    /// Bulk gather: loads `states[i]` into lane `i` for every state, in
+    /// row-major panel order. Equivalent to calling
+    /// [`BatchScratch::load_state`] per lane, but sweeps each panel row
+    /// with sequential writes — at wide batches the per-lane form writes
+    /// one value every `width * 8` bytes and pays a cache-line fill per
+    /// store, which is the dominant cost of a monolithic wide gather.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states.len() > width` or any state belongs to a
+    /// differently-sized engine.
+    pub fn load_states(&mut self, states: &[StreamState]) {
+        let n = states.len();
+        let w = self.width;
+        assert!(n <= w, "{n} states exceed width {w}");
+        for s in states {
+            assert_eq!(s.h1.len() * w, self.h1.len(), "state dimension mismatch");
+        }
+        let rows = if n == 0 { 0 } else { states[0].h1.len() };
+        for j in 0..rows {
+            let (h1, c1) = (&mut self.h1[j * w..j * w + n], &mut self.c1[j * w..j * w + n]);
+            for (lane, s) in states.iter().enumerate() {
+                h1[lane] = s.h1[j];
+                c1[lane] = s.c1[j];
+            }
+            let (h2, c2) = (&mut self.h2[j * w..j * w + n], &mut self.c2[j * w..j * w + n]);
+            for (lane, s) in states.iter().enumerate() {
+                h2[lane] = s.h2[j];
+                c2[lane] = s.c2[j];
+            }
+        }
+    }
+
+    /// Bulk scatter: the inverse of [`BatchScratch::load_states`] —
+    /// writes lane `i`'s state columns back into `states[i]` with
+    /// sequential panel-row reads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states.len() > width` or any state belongs to a
+    /// differently-sized engine.
+    pub fn store_states(&self, states: &mut [StreamState]) {
+        let n = states.len();
+        let w = self.width;
+        assert!(n <= w, "{n} states exceed width {w}");
+        for s in states.iter() {
+            assert_eq!(s.h1.len() * w, self.h1.len(), "state dimension mismatch");
+        }
+        let rows = if n == 0 { 0 } else { states[0].h1.len() };
+        for j in 0..rows {
+            let (h1, c1) = (&self.h1[j * w..j * w + n], &self.c1[j * w..j * w + n]);
+            for (lane, s) in states.iter_mut().enumerate() {
+                s.h1[j] = h1[lane];
+                s.c1[j] = c1[lane];
+            }
+            let (h2, c2) = (&self.h2[j * w..j * w + n], &self.c2[j * w..j * w + n]);
+            for (lane, s) in states.iter_mut().enumerate() {
+                s.h2[j] = h2[lane];
+                s.c2[j] = c2[lane];
+            }
+        }
+    }
+
+    /// Bulk row gather: loads `rows[i]` (already normalized) into lane
+    /// `i` of the input panel, sweeping the panel row-major like
+    /// [`BatchScratch::load_states`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows.len() > width` or any row has the wrong dimension.
+    pub fn load_rows(&mut self, rows: &[&[f64]]) {
+        let n = rows.len();
+        let w = self.width;
+        assert!(n <= w, "{n} rows exceed width {w}");
+        for r in rows {
+            assert_eq!(r.len() * w, self.x.len(), "row dimension mismatch");
+        }
+        let dim = if n == 0 { 0 } else { rows[0].len() };
+        for j in 0..dim {
+            let xr = &mut self.x[j * w..j * w + n];
+            for (lane, r) in rows.iter().enumerate() {
+                xr[lane] = r[j];
+            }
+        }
+    }
+
+    /// Bulk output scatter: copies every active lane's de-normalized
+    /// prediction into `out` (lane-major, `n * output_dim`), sweeping the
+    /// output panel row-major.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len()` is not a multiple of the output dimension or
+    /// implies more lanes than `width`.
+    pub fn read_outputs(&self, out: &mut [f64]) {
+        let w = self.width;
+        let odim = self.out.len() / w;
+        assert_eq!(out.len() % odim, 0, "out length not a lane multiple");
+        let n = out.len() / odim;
+        assert!(n <= w, "{n} lanes exceed width {w}");
+        for j in 0..odim {
+            let row = &self.out[j * w..j * w + n];
+            for (lane, chunk) in out.chunks_exact_mut(odim).enumerate() {
+                chunk[j] = row[lane];
+            }
+        }
+    }
+
+    /// Loads one normalized row into `lane`'s column of the **f32**
+    /// input panel (converting on store).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scratch was not built under [`BatchPrecision::F32`],
+    /// `lane >= width`, or the row has the wrong dimension.
+    pub fn load_row_f32(&mut self, lane: usize, normed: &[f64]) {
+        assert!(lane < self.width, "lane {lane} >= width {}", self.width);
+        let w = self.width;
+        let f = self.f32p.as_mut().expect("scratch built without BatchPrecision::F32");
+        assert_eq!(normed.len() * w, f.x.len(), "row dimension mismatch");
+        for (j, &v) in normed.iter().enumerate() {
+            f.x[j * w + lane] = v as f32;
+        }
+    }
+}
+
+/// The batched deployment form of a compiled [`StreamingRegressor`].
+///
+/// Compiled from the same artifacts (`LstmRegressor::compile` →
+/// [`BatchedStreamingRegressor::compile`]); holds its own snapshot of the
+/// engine so fleet shards can share one instance across worker threads.
+///
+/// # Examples
+///
+/// ```
+/// use pidpiper_ml::{BatchedStreamingRegressor, LstmRegressor, RegressorConfig};
+///
+/// let model = LstmRegressor::new(RegressorConfig::tiny(2, 1), 7);
+/// let engine = model.compile();
+/// let batched = BatchedStreamingRegressor::compile(&engine);
+/// let windows: Vec<Vec<Vec<f64>>> =
+///     (0..3).map(|s| vec![vec![0.1 * s as f64, -0.2]; engine.config().window]).collect();
+/// let mut scratch = batched.scratch(8);
+/// let mut out = vec![0.0; 3];
+/// batched.predict_windows_into(&windows, &mut scratch, &mut out).expect("valid");
+/// // Lane 0 is bit-identical to the per-session path:
+/// let mut solo = engine.scratch();
+/// let mut one = [0.0];
+/// engine.predict_into(&windows[0], &mut solo, &mut one).expect("valid");
+/// assert_eq!(out[0].to_bits(), one[0].to_bits());
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchedStreamingRegressor {
+    engine: StreamingRegressor,
+    precision: BatchPrecision,
+    f32w: Option<F32Weights>,
+    weights_fp: u64,
+}
+
+impl BatchedStreamingRegressor {
+    /// Compiles the exact (bit-identical f64) batched form of `engine`.
+    pub fn compile(engine: &StreamingRegressor) -> Self {
+        Self::with_precision(engine, BatchPrecision::Exact)
+    }
+
+    /// Compiles with an explicit [`BatchPrecision`]; `F32` additionally
+    /// builds single-precision weight mirrors for the `*_f32` entry
+    /// points (the f64 path stays available and exact).
+    pub fn with_precision(engine: &StreamingRegressor, precision: BatchPrecision) -> Self {
+        let f32w = match precision {
+            BatchPrecision::Exact => None,
+            BatchPrecision::F32 => Some(F32Weights {
+                lstm1: F32Lstm::from_fused(&engine.lstm1),
+                lstm2: F32Lstm::from_fused(&engine.lstm2),
+                fc_sigmoid: F32Dense::from_dense(&engine.fc_sigmoid),
+                fc_prelu1: F32Dense::from_dense(&engine.fc_prelu1),
+                fc_prelu2: F32Dense::from_dense(&engine.fc_prelu2),
+                head: F32Dense::from_dense(&engine.head),
+                t_mean: engine.target_normalizer.means().iter().map(|&v| v as f32).collect(),
+                t_std: engine.target_normalizer.stds().iter().map(|&v| v as f32).collect(),
+            }),
+        };
+        let weights_fp = fingerprint_weights(engine);
+        BatchedStreamingRegressor {
+            engine: engine.clone(),
+            precision,
+            f32w,
+            weights_fp,
+        }
+    }
+
+    /// The wrapped per-session engine (same weights, same config).
+    pub fn engine(&self) -> &StreamingRegressor {
+        &self.engine
+    }
+
+    /// The precision this instance was compiled for.
+    pub fn precision(&self) -> BatchPrecision {
+        self.precision
+    }
+
+    /// FNV-1a digest over the engine's weight bits, config and
+    /// normalizers. Two sessions may share a batch lane iff their model
+    /// fingerprints are equal — this is the grouping key the fleet shard
+    /// tick uses.
+    pub fn weights_fingerprint(&self) -> u64 {
+        self.weights_fp
+    }
+
+    /// A fresh [`BatchScratch`] with capacity for `width` lanes.
+    pub fn scratch(&self, width: usize) -> BatchScratch {
+        let c = &self.engine.config;
+        BatchScratch {
+            width,
+            x: vec![0.0; c.input_dim * width],
+            h1: vec![0.0; c.hidden * width],
+            c1: vec![0.0; c.hidden * width],
+            h2: vec![0.0; c.hidden * width],
+            c2: vec![0.0; c.hidden * width],
+            pre: vec![0.0; 4 * c.hidden * width],
+            fc_a: vec![0.0; c.fc_width * width],
+            fc_b: vec![0.0; c.fc_width * width],
+            z: vec![0.0; c.output_dim * width],
+            out: vec![0.0; c.output_dim * width],
+            normed: vec![0.0; c.input_dim],
+            f32p: match self.precision {
+                BatchPrecision::Exact => None,
+                BatchPrecision::F32 => Some(F32Panels::new(
+                    c.input_dim,
+                    c.hidden,
+                    c.fc_width,
+                    c.output_dim,
+                    width,
+                )),
+            },
+        }
+    }
+
+    /// Heap bytes a `width`-lane scratch of this engine occupies —
+    /// what fleet capacity planning amortizes over a shard's sessions.
+    pub fn scratch_bytes(&self, width: usize) -> usize {
+        self.scratch(width).resident_bytes()
+    }
+
+    /// Advances the first `n` lanes by their loaded input rows: the
+    /// batched, bit-identical analogue of `StreamingRegressor::step_normed`
+    /// over every lane. Load each lane's row ([`BatchScratch::load_row`])
+    /// and state ([`BatchScratch::load_state`] or a previous step's
+    /// output) first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > scratch.width()`.
+    pub fn step_batch(&self, scratch: &mut BatchScratch, n: usize) {
+        assert!(n <= scratch.width, "n={n} exceeds scratch width {}", scratch.width);
+        let w = scratch.width;
+        // Wide batches run in COL_BLOCK-lane column windows so the
+        // active pre-activation slab stays cache-resident; lanes are
+        // independent, so windowing changes no per-lane op order (the
+        // panels are sliced at the window offset, keeping the full
+        // width `w` as the row stride).
+        let mut off = 0;
+        while off < n {
+            let nb = (n - off).min(COL_BLOCK);
+            lstm_step_panel(
+                &self.engine.lstm1,
+                &scratch.x[off..],
+                &mut scratch.h1[off..],
+                &mut scratch.c1[off..],
+                &mut scratch.pre[off..],
+                w,
+                nb,
+            );
+            lstm_step_panel(
+                &self.engine.lstm2,
+                &scratch.h1[off..],
+                &mut scratch.h2[off..],
+                &mut scratch.c2[off..],
+                &mut scratch.pre[off..],
+                w,
+                nb,
+            );
+            off += nb;
+        }
+    }
+
+    /// Runs the dense stack over the first `n` lanes' layer-2 hidden
+    /// states and writes de-normalized predictions into the output panel
+    /// (read back per lane with [`BatchScratch::read_output`]). The
+    /// batched, bit-identical analogue of
+    /// `StreamingRegressor::finish_into`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > scratch.width()`.
+    pub fn finish_batch(&self, scratch: &mut BatchScratch, n: usize) {
+        assert!(n <= scratch.width, "n={n} exceeds scratch width {}", scratch.width);
+        let w = scratch.width;
+        // Same column windowing as `step_batch` (see the comment there).
+        let mut off = 0;
+        while off < n {
+            let nb = (n - off).min(COL_BLOCK);
+            dense_panel(&self.engine.fc_sigmoid, &scratch.h2[off..], &mut scratch.fc_a[off..], w, nb);
+            dense_panel(&self.engine.fc_prelu1, &scratch.fc_a[off..], &mut scratch.fc_b[off..], w, nb);
+            dense_panel(&self.engine.fc_prelu2, &scratch.fc_b[off..], &mut scratch.fc_a[off..], w, nb);
+            dense_panel(&self.engine.head, &scratch.fc_a[off..], &mut scratch.z[off..], w, nb);
+            inverse_panel(
+                &self.engine.target_normalizer,
+                &scratch.z[off..],
+                &mut scratch.out[off..],
+                w,
+                nb,
+            );
+            off += nb;
+        }
+    }
+
+    /// Whole-window batched prediction: validates and normalizes each
+    /// lane's window, streams all rows through [`Self::step_batch`] from
+    /// reset states and finishes into `out` (lane-major,
+    /// `windows.len() * output_dim`). Bit-identical per lane to
+    /// `StreamingRegressor::predict_into`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`PredictError`] found in any lane's window
+    /// (scratch contents are unspecified on error).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `windows.len() > scratch.width()`.
+    pub fn predict_windows_into(
+        &self,
+        windows: &[Vec<Vec<f64>>],
+        scratch: &mut BatchScratch,
+        out: &mut [f64],
+    ) -> Result<(), PredictError> {
+        let c = &self.engine.config;
+        let n = windows.len();
+        assert!(n <= scratch.width, "{n} windows exceed scratch width {}", scratch.width);
+        for window in windows {
+            if window.len() != c.window {
+                return Err(PredictError::WindowLength {
+                    got: window.len(),
+                    expected: c.window,
+                });
+            }
+            for (step, row) in window.iter().enumerate() {
+                if row.len() != c.input_dim {
+                    return Err(PredictError::FeatureDim {
+                        step,
+                        got: row.len(),
+                        expected: c.input_dim,
+                    });
+                }
+            }
+        }
+        if out.len() != n * c.output_dim {
+            return Err(PredictError::OutputLength {
+                got: out.len(),
+                expected: n * c.output_dim,
+            });
+        }
+        scratch.reset_states();
+        // Move the row buffer out so loading lanes can re-borrow the scratch.
+        let mut normed = std::mem::take(&mut scratch.normed);
+        for t in 0..c.window {
+            for (lane, window) in windows.iter().enumerate() {
+                self.engine.normalizer.transform_into(&window[t], &mut normed);
+                scratch.load_row(lane, &normed);
+            }
+            self.step_batch(scratch, n);
+        }
+        scratch.normed = normed;
+        self.finish_batch(scratch, n);
+        for (lane, chunk) in out.chunks_exact_mut(c.output_dim).enumerate() {
+            scratch.read_output(lane, chunk);
+        }
+        Ok(())
+    }
+
+    /// `f32` twin of [`Self::step_batch`] over the single-precision
+    /// panels. **Not** bit-identical to the streaming path — for
+    /// throughput experiments only, and flagged `det_banned` in the
+    /// analyzer manifest so it can never reach a determinism root.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this instance or the scratch was not built under
+    /// [`BatchPrecision::F32`], or if `n > scratch.width()`.
+    pub fn step_batch_f32(&self, scratch: &mut BatchScratch, n: usize) {
+        assert!(n <= scratch.width, "n={n} exceeds scratch width {}", scratch.width);
+        let w = scratch.width;
+        let weights = self.f32w.as_ref().expect("compiled without BatchPrecision::F32");
+        let f = scratch.f32p.as_mut().expect("scratch built without BatchPrecision::F32");
+        let mut off = 0;
+        while off < n {
+            let nb = (n - off).min(COL_BLOCK);
+            lstm_step_panel_f32(
+                &weights.lstm1,
+                &f.x[off..],
+                &mut f.h1[off..],
+                &mut f.c1[off..],
+                &mut f.pre[off..],
+                w,
+                nb,
+            );
+            lstm_step_panel_f32(
+                &weights.lstm2,
+                &f.h1[off..],
+                &mut f.h2[off..],
+                &mut f.c2[off..],
+                &mut f.pre[off..],
+                w,
+                nb,
+            );
+            off += nb;
+        }
+    }
+
+    /// `f32` twin of [`Self::finish_batch`]: dense stack over the f32
+    /// panels, converting the de-normalized result into the shared f64
+    /// output panel (read back with [`BatchScratch::read_output`]). Same
+    /// caveats as [`Self::step_batch_f32`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if this instance or the scratch was not built under
+    /// [`BatchPrecision::F32`], or if `n > scratch.width()`.
+    pub fn finish_batch_f32(&self, scratch: &mut BatchScratch, n: usize) {
+        assert!(n <= scratch.width, "n={n} exceeds scratch width {}", scratch.width);
+        let w = scratch.width;
+        let weights = self.f32w.as_ref().expect("compiled without BatchPrecision::F32");
+        let f = scratch.f32p.as_mut().expect("scratch built without BatchPrecision::F32");
+        let mut off = 0;
+        while off < n {
+            let nb = (n - off).min(COL_BLOCK);
+            dense_panel_f32(&weights.fc_sigmoid, &f.h2[off..], &mut f.fc_a[off..], w, nb);
+            dense_panel_f32(&weights.fc_prelu1, &f.fc_a[off..], &mut f.fc_b[off..], w, nb);
+            dense_panel_f32(&weights.fc_prelu2, &f.fc_b[off..], &mut f.fc_a[off..], w, nb);
+            dense_panel_f32(&weights.head, &f.fc_a[off..], &mut f.z[off..], w, nb);
+            for (r, (m, s)) in weights.t_mean.iter().zip(&weights.t_std).enumerate() {
+                for c in 0..nb {
+                    scratch.out[r * w + off + c] = (f.z[r * w + off + c] * s + m) as f64;
+                }
+            }
+            off += nb;
+        }
+    }
+}
+
+/// One batched [`FusedLstm`] cell update over `n` lanes: the two-pass
+/// `(bias + w·x) + u·h` GEMM reduction followed by the elementwise gate
+/// and cell expressions of `FusedLstm::step`, per lane.
+fn lstm_step_panel(
+    l: &FusedLstm,
+    xp: &[f64],
+    hp: &mut [f64],
+    cp: &mut [f64],
+    pre: &mut [f64],
+    w: usize,
+    n: usize,
+) {
+    let hd = l.hidden;
+    let stride = l.input + hd;
+    gemm::gemm_bias(&l.rows, stride, 4 * hd, l.input, &l.bias, xp, w, pre, w, n);
+    gemm::gemm_acc(&l.rows[l.input..], stride, 4 * hd, hd, hp, w, pre, w, n);
+    // Gate activations via the ISA-dispatched slice kernels
+    // (bit-identical to the scalar calls — see
+    // `pidpiper_math::activations`). In the panel layout the i/f/o gate
+    // rows `0..3*hd` are contiguous and all sigmoid; the candidate rows
+    // `3*hd..4*hd` are tanh. Ragged batches activate per row so masked
+    // lanes `n..w` are never written.
+    activations::apply_rows(pre, 0..3 * hd, w, n, activations::fast_sigmoid_slice);
+    activations::apply_rows(pre, 3 * hd..4 * hd, w, n, activations::fast_tanh_slice);
+    // Cell update, staged so the `tanh(c)` sweep also runs through the
+    // dispatched kernel: write the new cell into both `cp` and `hp`,
+    // tanh `hp` in place, then scale by the output gate. Per element
+    // this is the same op sequence as the scalar path
+    // (`h = o * tanh(f*c' + i*g)`).
+    for j in 0..hd {
+        for c in 0..n {
+            let cj = pre[(hd + j) * w + c] * cp[j * w + c] + pre[j * w + c] * pre[(3 * hd + j) * w + c];
+            cp[j * w + c] = cj;
+            hp[j * w + c] = cj;
+        }
+    }
+    activations::apply_rows(hp, 0..hd, w, n, activations::fast_tanh_slice);
+    for j in 0..hd {
+        for c in 0..n {
+            hp[j * w + c] *= pre[(2 * hd + j) * w + c];
+        }
+    }
+}
+
+/// One batched dense layer over `n` lanes, mirroring `Dense::infer_into`
+/// per lane (bias preload folded into the GEMM, activation in place).
+fn dense_panel(d: &Dense, xp: &[f64], outp: &mut [f64], w: usize, n: usize) {
+    let m = d.output_dim();
+    let k = d.input_dim();
+    gemm::gemm_bias(&d.w.value, k, m, k, &d.b.value, xp, w, outp, w, n);
+    match d.activation() {
+        Activation::Linear => {}
+        Activation::Sigmoid => {
+            activations::apply_rows(outp, 0..m, w, n, activations::fast_sigmoid_slice);
+        }
+        Activation::PRelu => {
+            for r in 0..m {
+                let alpha = d.alpha.value[r];
+                for c in 0..n {
+                    let v = outp[r * w + c];
+                    outp[r * w + c] = if v > 0.0 { v } else { alpha * v };
+                }
+            }
+        }
+    }
+}
+
+/// Batched `Normalizer::inverse_into`: `out = z * std + mean` per row,
+/// per lane.
+fn inverse_panel(norm: &Normalizer, zp: &[f64], outp: &mut [f64], w: usize, n: usize) {
+    for (r, (m, s)) in norm.means().iter().zip(norm.stds()).enumerate() {
+        for c in 0..n {
+            outp[r * w + c] = zp[r * w + c] * s + m;
+        }
+    }
+}
+
+
+fn lstm_step_panel_f32(
+    l: &F32Lstm,
+    xp: &[f32],
+    hp: &mut [f32],
+    cp: &mut [f32],
+    pre: &mut [f32],
+    w: usize,
+    n: usize,
+) {
+    let hd = l.hidden;
+    let stride = l.input + hd;
+    gemm::gemm_bias_f32(&l.rows, stride, 4 * hd, l.input, &l.bias, xp, w, pre, w, n);
+    gemm::gemm_acc_f32(&l.rows[l.input..], stride, 4 * hd, hd, hp, w, pre, w, n);
+    // Mirrors `lstm_step_panel`: dispatched slice activations over the
+    // contiguous gate rows, staged tanh for the cell update.
+    activations::apply_rows(pre, 0..3 * hd, w, n, activations::fast_sigmoid_slice_f32);
+    activations::apply_rows(pre, 3 * hd..4 * hd, w, n, activations::fast_tanh_slice_f32);
+    for j in 0..hd {
+        for c in 0..n {
+            let cj = pre[(hd + j) * w + c] * cp[j * w + c] + pre[j * w + c] * pre[(3 * hd + j) * w + c];
+            cp[j * w + c] = cj;
+            hp[j * w + c] = cj;
+        }
+    }
+    activations::apply_rows(hp, 0..hd, w, n, activations::fast_tanh_slice_f32);
+    for j in 0..hd {
+        for c in 0..n {
+            hp[j * w + c] *= pre[(2 * hd + j) * w + c];
+        }
+    }
+}
+
+fn dense_panel_f32(d: &F32Dense, xp: &[f32], outp: &mut [f32], w: usize, n: usize) {
+    gemm::gemm_bias_f32(&d.w, d.cols, d.rows, d.cols, &d.b, xp, w, outp, w, n);
+    match d.activation {
+        Activation::Linear => {}
+        Activation::Sigmoid => {
+            activations::apply_rows(outp, 0..d.rows, w, n, activations::fast_sigmoid_slice_f32);
+        }
+        Activation::PRelu => {
+            for r in 0..d.rows {
+                let alpha = d.alpha[r];
+                for c in 0..n {
+                    let v = outp[r * w + c];
+                    outp[r * w + c] = if v > 0.0 { v } else { alpha * v };
+                }
+            }
+        }
+    }
+}
+
+/// FNV-1a over the full weight snapshot: config dims, fused LSTM rows and
+/// biases, the dense stack (weights, biases, PReLU slopes) and both
+/// normalizers, all as little-endian f64 bits.
+fn fingerprint_weights(engine: &StreamingRegressor) -> u64 {
+    let c = &engine.config;
+    let mut bytes: Vec<u8> = Vec::new();
+    for dim in [c.input_dim, c.output_dim, c.hidden, c.fc_width, c.window] {
+        bytes.extend_from_slice(&(dim as u64).to_le_bytes());
+    }
+    let mut feed = Vec::new();
+    for l in [&engine.lstm1, &engine.lstm2] {
+        feed.push(l.rows.as_slice());
+        feed.push(l.bias.as_slice());
+    }
+    for d in [
+        &engine.fc_sigmoid,
+        &engine.fc_prelu1,
+        &engine.fc_prelu2,
+        &engine.head,
+    ] {
+        feed.push(d.w.value.as_slice());
+        feed.push(d.b.value.as_slice());
+        feed.push(d.alpha.value.as_slice());
+    }
+    for nm in [&engine.normalizer, &engine.target_normalizer] {
+        feed.push(nm.means());
+        feed.push(nm.stds());
+    }
+    for slice in feed {
+        for v in slice {
+            bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+    }
+    fnv64(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{LstmRegressor, RegressorConfig};
+
+    fn engine() -> StreamingRegressor {
+        LstmRegressor::new(RegressorConfig::tiny(2, 1), 21).compile()
+    }
+
+    fn window_for(c: &RegressorConfig, salt: f64) -> Vec<Vec<f64>> {
+        (0..c.window)
+            .map(|t| {
+                (0..c.input_dim)
+                    .map(|j| ((t * 5 + j) as f64 * 0.43 + salt).sin() * 2.0)
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batched_lane_matches_streaming_bitwise() {
+        let e = engine();
+        let b = BatchedStreamingRegressor::compile(&e);
+        let windows: Vec<_> = (0..5).map(|i| window_for(e.config(), i as f64 * 0.7)).collect();
+        let mut scratch = b.scratch(8);
+        let mut out = vec![0.0; 5];
+        b.predict_windows_into(&windows, &mut scratch, &mut out).expect("valid");
+        let mut solo = e.scratch();
+        let mut one = [0.0];
+        for (lane, w) in windows.iter().enumerate() {
+            e.predict_into(w, &mut solo, &mut one).expect("valid");
+            assert_eq!(out[lane].to_bits(), one[0].to_bits(), "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn state_gather_scatter_round_trips() {
+        let e = engine();
+        let b = BatchedStreamingRegressor::compile(&e);
+        let mut scratch = b.scratch(4);
+        let mut state = e.state();
+        let mut solo = e.scratch();
+        let mut normed = vec![0.0; 2];
+        e.normalize_into(&[0.9, -0.4], &mut normed).expect("dims");
+        e.step_normed(&normed, &mut state, &mut solo).expect("dims");
+        scratch.load_state(2, &state);
+        let mut back = e.state();
+        scratch.store_state(2, &mut back);
+        assert_eq!(back, state);
+    }
+
+    #[test]
+    fn bulk_gather_scatter_matches_per_lane_apis() {
+        let e = engine();
+        let b = BatchedStreamingRegressor::compile(&e);
+        let mut solo = e.scratch();
+        let mut normed = vec![0.0; 2];
+        // Distinct per-lane states and rows.
+        let states: Vec<StreamState> = (0..3)
+            .map(|i| {
+                let mut s = e.state();
+                for t in 0..=i {
+                    e.normalize_into(&[0.3 * t as f64, -0.1 * i as f64], &mut normed)
+                        .expect("dims");
+                    e.step_normed(&normed, &mut s, &mut solo).expect("dims");
+                }
+                s
+            })
+            .collect();
+        let rows: Vec<Vec<f64>> = (0..3).map(|i| vec![0.2 * i as f64, 0.7 - i as f64]).collect();
+        let row_refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+
+        let mut bulk = b.scratch(8);
+        bulk.load_states(&states);
+        bulk.load_rows(&row_refs);
+        let mut per_lane = b.scratch(8);
+        for (lane, s) in states.iter().enumerate() {
+            per_lane.load_state(lane, s);
+            per_lane.load_row(lane, &rows[lane]);
+        }
+        b.step_batch(&mut bulk, 3);
+        b.finish_batch(&mut bulk, 3);
+        b.step_batch(&mut per_lane, 3);
+        b.finish_batch(&mut per_lane, 3);
+
+        let mut bulk_out = vec![0.0; 3];
+        bulk.read_outputs(&mut bulk_out);
+        let mut want = [0.0];
+        let mut got_states: Vec<StreamState> = (0..3).map(|_| e.state()).collect();
+        bulk.store_states(&mut got_states);
+        for lane in 0..3 {
+            per_lane.read_output(lane, &mut want);
+            assert_eq!(bulk_out[lane].to_bits(), want[0].to_bits(), "output lane {lane}");
+            let mut s = e.state();
+            per_lane.store_state(lane, &mut s);
+            assert_eq!(got_states[lane], s, "state lane {lane}");
+        }
+        // The bulk forms also round-trip: scatter back what was gathered.
+        let mut round = b.scratch(8);
+        round.load_states(&got_states);
+        let mut back: Vec<StreamState> = (0..3).map(|_| e.state()).collect();
+        round.store_states(&mut back);
+        assert_eq!(back, got_states);
+    }
+
+    #[test]
+    fn fingerprint_separates_models_and_is_stable() {
+        let e1 = engine();
+        let e2 = LstmRegressor::new(RegressorConfig::tiny(2, 1), 22).compile();
+        let b1a = BatchedStreamingRegressor::compile(&e1);
+        let b1b = BatchedStreamingRegressor::compile(&e1);
+        let b2 = BatchedStreamingRegressor::compile(&e2);
+        assert_eq!(b1a.weights_fingerprint(), b1b.weights_fingerprint());
+        assert_ne!(b1a.weights_fingerprint(), b2.weights_fingerprint());
+    }
+
+    #[test]
+    #[should_panic(expected = "without BatchPrecision::F32")]
+    fn f32_entry_points_require_f32_compile() {
+        let e = engine();
+        let b = BatchedStreamingRegressor::compile(&e);
+        let mut scratch = b.scratch(4);
+        b.step_batch_f32(&mut scratch, 2);
+    }
+
+    #[test]
+    fn f32_mode_stays_in_envelope_here_pinned_in_integration_tests() {
+        let e = engine();
+        let b = BatchedStreamingRegressor::with_precision(&e, BatchPrecision::F32);
+        let mut scratch = b.scratch(4);
+        scratch.reset_states();
+        let mut normed = vec![0.0; 2];
+        let windows: Vec<_> = (0..3).map(|i| window_for(e.config(), i as f64)).collect();
+        for t in 0..e.config().window {
+            for (lane, w) in windows.iter().enumerate() {
+                e.normalize_into(&w[t], &mut normed).expect("dims");
+                scratch.load_row_f32(lane, &normed);
+            }
+            b.step_batch_f32(&mut scratch, 3);
+        }
+        b.finish_batch_f32(&mut scratch, 3);
+        let mut got = [0.0];
+        let mut want = [0.0];
+        let mut solo = e.scratch();
+        for (lane, w) in windows.iter().enumerate() {
+            scratch.read_output(lane, &mut got);
+            e.predict_into(w, &mut solo, &mut want).expect("valid");
+            assert!(
+                (got[0] - want[0]).abs() < 1e-3,
+                "lane {lane}: f32 drifted {} vs {}",
+                got[0],
+                want[0]
+            );
+        }
+    }
+}

@@ -195,10 +195,9 @@ impl Dense {
     }
 }
 
-#[inline]
-fn sigmoid(z: f64) -> f64 {
-    1.0 / (1.0 + (-z).exp())
-}
+// Shared with the streaming/batched paths so head activations stay
+// bit-identical across training and deployment inference.
+use pidpiper_math::activations::fast_sigmoid as sigmoid;
 
 #[cfg(test)]
 mod tests {

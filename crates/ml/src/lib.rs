@@ -23,6 +23,12 @@
 //!   streaming form of the network (fused LSTM gate blocks, caller-owned
 //!   [`stream::InferenceScratch`]), bit-identical to the reference
 //!   `predict` path;
+//! - [`batch::BatchedStreamingRegressor`] — the batched fleet form:
+//!   struct-of-arrays panels over up to `width` sessions sharing one
+//!   model, cache-blocked matrix–matrix gate products
+//!   (`pidpiper_math::gemm`), bit-identical per lane to the streaming
+//!   path, with an opt-in non-deterministic `f32` mode for throughput
+//!   experiments;
 //! - [`normalize::Normalizer`] — per-feature standardization;
 //! - [`dataset::WindowedDataset`] — sliding-window sample extraction from
 //!   mission time series;
@@ -38,6 +44,7 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod adam;
+pub mod batch;
 pub mod dataset;
 pub mod dense;
 pub mod digest;
@@ -49,6 +56,7 @@ pub mod selection;
 pub mod stream;
 
 pub use adam::Adam;
+pub use batch::{BatchPrecision, BatchScratch, BatchedStreamingRegressor};
 pub use dataset::WindowedDataset;
 pub use dense::{Activation, Dense};
 pub use digest::{fnv64, fnv64_hex};

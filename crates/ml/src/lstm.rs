@@ -20,10 +20,10 @@
 use crate::param::Param;
 use rand::rngs::StdRng;
 
-#[inline]
-fn sigmoid(z: f64) -> f64 {
-    1.0 / (1.0 + (-z).exp())
-}
+// The activations are shared with the streaming and batched inference
+// paths (pidpiper_math::activations), which keeps the training-time
+// forward pass bit-identical to deployment inference.
+use pidpiper_math::activations::{fast_sigmoid as sigmoid, fast_tanh as tanh};
 
 /// Per-timestep cache for BPTT.
 #[derive(Debug, Clone, Default)]
@@ -128,7 +128,7 @@ impl LstmLayer {
         let mut h_new = vec![0.0; h];
         for j in 0..h {
             c[j] = f[j] * state.c[j] + i[j] * g[j];
-            h_new[j] = o[j] * c[j].tanh();
+            h_new[j] = o[j] * tanh(c[j]);
         }
         LstmState { h: h_new, c }
     }
@@ -142,7 +142,7 @@ impl LstmLayer {
         let i: Vec<f64> = pre[0..h].iter().map(|&z| sigmoid(z)).collect();
         let f: Vec<f64> = pre[h..2 * h].iter().map(|&z| sigmoid(z)).collect();
         let o: Vec<f64> = pre[2 * h..3 * h].iter().map(|&z| sigmoid(z)).collect();
-        let g: Vec<f64> = pre[3 * h..4 * h].iter().map(|&z| z.tanh()).collect();
+        let g: Vec<f64> = pre[3 * h..4 * h].iter().map(|&z| tanh(z)).collect();
         (i, f, o, g)
     }
 
@@ -162,7 +162,7 @@ impl LstmLayer {
             let mut h_new = vec![0.0; hdim];
             for j in 0..hdim {
                 c[j] = f[j] * c_prev[j] + i[j] * g[j];
-                tanh_c[j] = c[j].tanh();
+                tanh_c[j] = tanh(c[j]);
                 h_new[j] = o[j] * tanh_c[j];
             }
             self.caches.push(StepCache {

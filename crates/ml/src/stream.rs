@@ -32,9 +32,23 @@ use crate::network::{LstmRegressor, RegressorConfig};
 use crate::normalize::Normalizer;
 use std::fmt;
 
+/// The logistic gate activation, shared by every inference path.
+///
+/// Delegates to [`pidpiper_math::activations::fast_sigmoid`]: a
+/// branch-free body the compiler can vectorize inside the batched panel
+/// loops. Scalar streaming, batched, and training forward passes must
+/// all call this same function — see the activations module docs for
+/// the bit-identity argument.
 #[inline]
-fn sigmoid(z: f64) -> f64 {
-    1.0 / (1.0 + (-z).exp())
+pub(crate) fn sigmoid(z: f64) -> f64 {
+    pidpiper_math::activations::fast_sigmoid(z)
+}
+
+/// The hyperbolic-tangent activation, shared by every inference path
+/// (same contract as [`sigmoid`]).
+#[inline]
+pub(crate) fn tanh(z: f64) -> f64 {
+    pidpiper_math::activations::fast_tanh(z)
 }
 
 /// Typed error for malformed inference inputs.
@@ -98,13 +112,13 @@ impl std::error::Error for PredictError {}
 /// Row `r` of `rows` is `[w_row(r) | u_row(r)]` of length
 /// `input + hidden`; the gate order is the layer's stacked `[i; f; o; g]`.
 #[derive(Debug, Clone)]
-struct FusedLstm {
-    input: usize,
-    hidden: usize,
+pub(crate) struct FusedLstm {
+    pub(crate) input: usize,
+    pub(crate) hidden: usize,
     /// `4*hidden` fused rows, each `input + hidden` long.
-    rows: Vec<f64>,
+    pub(crate) rows: Vec<f64>,
     /// Gate biases (`4*hidden`).
-    bias: Vec<f64>,
+    pub(crate) bias: Vec<f64>,
 }
 
 impl FusedLstm {
@@ -157,12 +171,12 @@ impl FusedLstm {
             pre[j] = sigmoid(pre[j]);
             pre[hd + j] = sigmoid(pre[hd + j]);
             pre[2 * hd + j] = sigmoid(pre[2 * hd + j]);
-            pre[3 * hd + j] = pre[3 * hd + j].tanh();
+            pre[3 * hd + j] = tanh(pre[3 * hd + j]);
         }
         for j in 0..hd {
             let cj = pre[hd + j] * c[j] + pre[j] * pre[3 * hd + j];
             c[j] = cj;
-            h[j] = pre[2 * hd + j] * cj.tanh();
+            h[j] = pre[2 * hd + j] * tanh(cj);
         }
     }
 }
@@ -175,10 +189,10 @@ impl FusedLstm {
 /// scratch.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StreamState {
-    h1: Vec<f64>,
-    c1: Vec<f64>,
-    h2: Vec<f64>,
-    c2: Vec<f64>,
+    pub(crate) h1: Vec<f64>,
+    pub(crate) c1: Vec<f64>,
+    pub(crate) h2: Vec<f64>,
+    pub(crate) c2: Vec<f64>,
 }
 
 impl StreamState {
@@ -287,15 +301,15 @@ impl InferenceScratch {
 /// ```
 #[derive(Debug, Clone)]
 pub struct StreamingRegressor {
-    config: RegressorConfig,
-    lstm1: FusedLstm,
-    lstm2: FusedLstm,
-    fc_sigmoid: Dense,
-    fc_prelu1: Dense,
-    fc_prelu2: Dense,
-    head: Dense,
-    normalizer: Normalizer,
-    target_normalizer: Normalizer,
+    pub(crate) config: RegressorConfig,
+    pub(crate) lstm1: FusedLstm,
+    pub(crate) lstm2: FusedLstm,
+    pub(crate) fc_sigmoid: Dense,
+    pub(crate) fc_prelu1: Dense,
+    pub(crate) fc_prelu2: Dense,
+    pub(crate) head: Dense,
+    pub(crate) normalizer: Normalizer,
+    pub(crate) target_normalizer: Normalizer,
 }
 
 impl StreamingRegressor {
